@@ -1,0 +1,64 @@
+//! Micro-benchmarks of the crossbar substrate: MAGIC gate execution,
+//! multi-input NOR, aggregation-circuit application.
+
+use bbpim_sim::aggcircuit::AggRequest;
+use bbpim_sim::compiler::reduce::ReduceOp;
+use bbpim_sim::compiler::ColRange;
+use bbpim_sim::crossbar::Crossbar;
+use bbpim_sim::isa::Microprogram;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn paper_crossbar() -> Crossbar {
+    let mut xb = Crossbar::new(1024, 512);
+    for r in 0..1024 {
+        xb.write_row_bits(r, 0, 32, (r as u64).wrapping_mul(2654435761) & 0xFFFF_FFFF);
+        xb.bits_mut_unaccounted().set(r, 40, r % 3 == 0);
+    }
+    xb
+}
+
+fn bench_gate_program(c: &mut Criterion) {
+    let mut prog = Microprogram::new();
+    // a representative 100-gate filter-sized program
+    for i in 0..100 {
+        prog.gate_nor(i % 32, (i + 1) % 32, 64 + (i % 64));
+    }
+    c.bench_function("crossbar/100_gate_program_1024x512", |b| {
+        let mut xb = paper_crossbar();
+        b.iter(|| {
+            black_box(xb.execute(&prog).unwrap());
+        })
+    });
+}
+
+fn bench_multi_nor(c: &mut Criterion) {
+    let mut prog = Microprogram::new();
+    prog.init_col(100);
+    prog.nor_many_cols((0..24).collect(), 100);
+    c.bench_function("crossbar/24_input_nor", |b| {
+        let mut xb = paper_crossbar();
+        b.iter(|| {
+            black_box(xb.execute(&prog).unwrap());
+        })
+    });
+}
+
+fn bench_agg_circuit(c: &mut Criterion) {
+    let req = AggRequest {
+        op: ReduceOp::Sum,
+        value: ColRange::new(0, 32),
+        mask_col: 40,
+        dst_row: 0,
+        dst: ColRange::new(448, 48),
+    };
+    c.bench_function("crossbar/agg_circuit_apply_1024_rows", |b| {
+        let mut xb = paper_crossbar();
+        b.iter(|| {
+            black_box(req.apply(&mut xb).unwrap());
+        })
+    });
+}
+
+criterion_group!(benches, bench_gate_program, bench_multi_nor, bench_agg_circuit);
+criterion_main!(benches);

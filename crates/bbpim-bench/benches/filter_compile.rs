@@ -1,0 +1,48 @@
+//! Micro-benchmarks of the predicate/arithmetic compilers.
+
+use bbpim_sim::compiler::{arith, predicate, CodeBuilder, ColRange, ScratchPool};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const ATTR: ColRange = ColRange { lo: 32, width: 20 };
+const RHS: ColRange = ColRange { lo: 64, width: 4 };
+const DST: ColRange = ColRange { lo: 96, width: 24 };
+const SCRATCH: ColRange = ColRange { lo: 200, width: 200 };
+
+fn bench_eq(c: &mut Criterion) {
+    c.bench_function("compile/eq_20bit", |b| {
+        b.iter(|| {
+            let mut pool = ScratchPool::new(SCRATCH);
+            let mut builder = CodeBuilder::new(&mut pool);
+            black_box(predicate::compile_eq_const(&mut builder, ATTR, 0xABCDE).unwrap());
+            black_box(builder.finish())
+        })
+    });
+}
+
+fn bench_between(c: &mut Criterion) {
+    c.bench_function("compile/between_20bit", |b| {
+        b.iter(|| {
+            let mut pool = ScratchPool::new(SCRATCH);
+            let mut builder = CodeBuilder::new(&mut pool);
+            black_box(
+                predicate::compile_between_const(&mut builder, ATTR, 1000, 200_000).unwrap(),
+            );
+            black_box(builder.finish())
+        })
+    });
+}
+
+fn bench_mul(c: &mut Criterion) {
+    c.bench_function("compile/mul_20x4", |b| {
+        b.iter(|| {
+            let mut pool = ScratchPool::new(SCRATCH);
+            let mut builder = CodeBuilder::new(&mut pool);
+            arith::compile_mul(&mut builder, ATTR, RHS, DST).unwrap();
+            black_box(builder.finish())
+        })
+    });
+}
+
+criterion_group!(benches, bench_eq, bench_between, bench_mul);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! The two GROUP-BY paths head-to-head: per-subgroup pim-gb versus a
+//! full host-gb pass (simulation throughput on the small geometry).
+
+use bbpim_core::agg_exec::materialize_expr;
+use bbpim_core::filter_exec::run_filter;
+use bbpim_core::groupby::host_gb::{run_host_gb, HostGbRequest};
+use bbpim_core::groupby::pim_gb::run_pim_gb;
+use bbpim_core::layout::RecordLayout;
+use bbpim_core::loader::load_relation;
+use bbpim_core::modes::EngineMode;
+use bbpim_db::plan::{AggExpr, AggFunc};
+use bbpim_db::schema::{Attribute, Schema};
+use bbpim_db::Relation;
+use bbpim_sim::module::PimModule;
+use bbpim_sim::timeline::RunLog;
+use bbpim_sim::SimConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashSet;
+use std::hint::black_box;
+
+type Setup = (
+    PimModule,
+    RecordLayout,
+    bbpim_core::loader::LoadedRelation,
+    bbpim_core::agg_exec::AggInput,
+);
+
+fn setup() -> Setup {
+    let cfg = SimConfig::small_for_tests();
+    let schema =
+        Schema::new("t", vec![Attribute::numeric("lo_v", 8), Attribute::numeric("d_g", 4)]);
+    let mut rel = Relation::new(schema);
+    for i in 0..2000u64 {
+        rel.push_row(&[i % 251, i % 9]).unwrap();
+    }
+    let layout = RecordLayout::build(rel.schema(), &cfg, EngineMode::OneXb, &[]).unwrap();
+    let mut module = PimModule::new(cfg);
+    let loaded = load_relation(&mut module, &rel, &layout).unwrap();
+    let mut log = RunLog::new();
+    run_filter(&mut module, &layout, &loaded, &[], &mut log).unwrap();
+    let input =
+        materialize_expr(&mut module, &layout, &loaded, &AggExpr::Attr("lo_v".into()), &mut log)
+            .unwrap();
+    (module, layout, loaded, input)
+}
+
+fn bench_pim_gb(c: &mut Criterion) {
+    let (mut module, layout, loaded, input) = setup();
+    let gp = vec![("d_g".to_string(), layout.placement("d_g").unwrap())];
+    c.bench_function("groupby/pim_gb_one_subgroup", |b| {
+        b.iter(|| {
+            let mut log = RunLog::new();
+            black_box(
+                run_pim_gb(
+                    &mut module,
+                    &layout,
+                    &loaded,
+                    EngineMode::OneXb,
+                    &gp,
+                    &[vec![3u64]],
+                    &input,
+                    AggFunc::Sum,
+                    &mut log,
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_host_gb(c: &mut Criterion) {
+    let (mut module, layout, loaded, _input) = setup();
+    let gp = vec![("d_g".to_string(), layout.placement("d_g").unwrap())];
+    let expr = AggExpr::Attr("lo_v".into());
+    let skip = HashSet::new();
+    c.bench_function("groupby/host_gb_full_pass", |b| {
+        b.iter(|| {
+            let mut log = RunLog::new();
+            let req = HostGbRequest {
+                group_placements: &gp,
+                expr: &expr,
+                func: AggFunc::Sum,
+                skip: &skip,
+            };
+            black_box(run_host_gb(&mut module, &layout, &loaded, &req, &mut log).unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, bench_pim_gb, bench_host_gb);
+criterion_main!(benches);

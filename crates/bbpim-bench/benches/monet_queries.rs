@@ -1,0 +1,25 @@
+//! Baseline engine wall-clock on representative SSB queries.
+
+use bbpim_bench::{setup, BenchConfig};
+use bbpim_monet::MonetEngine;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_monet(c: &mut Criterion) {
+    let cfg = BenchConfig { sf: 0.01, skewed: false, ..BenchConfig::default() };
+    let s = setup(cfg);
+    let join_engine = MonetEngine::prejoined(&s.wide, 4);
+    let star_engine = MonetEngine::star(&s.db, 4);
+    for (idx, name) in [(0usize, "q1.1"), (3, "q2.1"), (6, "q3.1")] {
+        let q = s.queries[idx].clone();
+        c.bench_function(&format!("monet/{name}_mnt_join_sf0.01"), |b| {
+            b.iter(|| black_box(join_engine.run(&q).unwrap()))
+        });
+        c.bench_function(&format!("monet/{name}_mnt_reg_sf0.01"), |b| {
+            b.iter(|| black_box(star_engine.run(&q).unwrap()))
+        });
+    }
+}
+
+criterion_group!(benches, bench_monet);
+criterion_main!(benches);

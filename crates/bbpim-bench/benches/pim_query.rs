@@ -1,0 +1,43 @@
+//! Simulator throughput: a full SSB query end-to-end on a small
+//! instance (how fast the *simulation* runs, not the simulated time).
+
+use bbpim_bench::{setup, BenchConfig};
+use bbpim_core::engine::PimQueryEngine;
+use bbpim_core::groupby::calibration::CalibrationConfig;
+use bbpim_core::modes::EngineMode;
+use bbpim_sim::SimConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_q11_one_xb(c: &mut Criterion) {
+    let cfg = BenchConfig { sf: 0.005, skewed: false, ..BenchConfig::default() };
+    let s = setup(cfg);
+    let mut engine =
+        PimQueryEngine::new(SimConfig::default(), s.wide.clone(), EngineMode::OneXb).unwrap();
+    engine.calibrate(&CalibrationConfig::tiny_for_tests()).unwrap();
+    let q = s.queries[0].clone(); // Q1.1
+    let mut group = c.benchmark_group("pim_query");
+    group.sample_size(10);
+    group.bench_function("q1.1_one_xb_sf0.005", |b| {
+        b.iter(|| black_box(engine.run(&q).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_q21_groupby(c: &mut Criterion) {
+    let cfg = BenchConfig { sf: 0.005, skewed: false, ..BenchConfig::default() };
+    let s = setup(cfg);
+    let mut engine =
+        PimQueryEngine::new(SimConfig::default(), s.wide.clone(), EngineMode::OneXb).unwrap();
+    engine.calibrate(&CalibrationConfig::tiny_for_tests()).unwrap();
+    let q = s.queries[3].clone(); // Q2.1
+    let mut group = c.benchmark_group("pim_query");
+    group.sample_size(10);
+    group.bench_function("q2.1_one_xb_sf0.005", |b| {
+        b.iter(|| black_box(engine.run(&q).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_q11_one_xb, bench_q21_groupby);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! UPDATE via the PIM multiplexer (Algorithm 1), end to end.
+
+use bbpim_core::engine::PimQueryEngine;
+use bbpim_core::modes::EngineMode;
+use bbpim_core::update::UpdateOp;
+use bbpim_db::plan::Atom;
+use bbpim_db::schema::{Attribute, Schema};
+use bbpim_db::Relation;
+use bbpim_sim::SimConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn relation() -> Relation {
+    let schema =
+        Schema::new("t", vec![Attribute::numeric("lo_v", 8), Attribute::numeric("d_city", 8)]);
+    let mut rel = Relation::new(schema);
+    for i in 0..4000u64 {
+        rel.push_row(&[i % 256, i % 250]).unwrap();
+    }
+    rel
+}
+
+fn bench_update(c: &mut Criterion) {
+    let mut engine =
+        PimQueryEngine::new(SimConfig::small_for_tests(), relation(), EngineMode::OneXb).unwrap();
+    let op = UpdateOp {
+        filter: vec![Atom::Eq { attr: "d_city".into(), value: 17u64.into() }],
+        set_attr: "d_city".into(),
+        set_value: 18u64.into(),
+    };
+    let back = UpdateOp {
+        filter: vec![Atom::Eq { attr: "d_city".into(), value: 18u64.into() }],
+        set_attr: "d_city".into(),
+        set_value: 17u64.into(),
+    };
+    c.bench_function("update/mux_filter_plus_rewrite", |b| {
+        b.iter(|| {
+            black_box(engine.update(&op).unwrap());
+            black_box(engine.update(&back).unwrap());
+        })
+    });
+}
+
+criterion_group!(benches, bench_update);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Fig. 6: SSB execution latency for all five systems.
+
+use bbpim_bench::reports::print_fig6;
+use bbpim_bench::{cross_validate, pim_runs, run_monet, setup, BenchConfig};
+
+fn main() {
+    let s = setup(BenchConfig::from_args());
+    eprintln!("running 3 PIM modes (load + calibrate + 13 queries each)…");
+    let pim = pim_runs(&s);
+    eprintln!("running baselines…");
+    let mnt_join = run_monet(&s, true, 3);
+    let mnt_reg = run_monet(&s, false, 3);
+
+    let refs: Vec<&bbpim_bench::PimModeRun> = pim.iter().collect();
+    let bad = cross_validate(&s.queries, &refs, &[&mnt_join, &mnt_reg]);
+    if bad.is_empty() {
+        println!("cross-validation: all 5 systems agree on all 13 queries\n");
+    } else {
+        println!("cross-validation FAILED on: {bad:?}\n");
+    }
+    print_fig6(&s, &pim, &mnt_join, &mnt_reg);
+}

@@ -1,0 +1,10 @@
+//! Fig. 7: PIM memory energy per query.
+
+use bbpim_bench::reports::print_fig7;
+use bbpim_bench::{pim_runs, setup, BenchConfig};
+
+fn main() {
+    let s = setup(BenchConfig::from_args());
+    let pim = pim_runs(&s);
+    print_fig7(&s, &pim);
+}

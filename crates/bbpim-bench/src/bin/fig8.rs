@@ -1,0 +1,10 @@
+//! Fig. 8: peak power per PIM chip.
+
+use bbpim_bench::reports::print_fig8;
+use bbpim_bench::{pim_runs, setup, BenchConfig};
+
+fn main() {
+    let s = setup(BenchConfig::from_args());
+    let pim = pim_runs(&s);
+    print_fig8(&s, &pim);
+}

@@ -1,0 +1,10 @@
+//! Fig. 9: required cell endurance for 10 years of back-to-back runs.
+
+use bbpim_bench::reports::print_fig9;
+use bbpim_bench::{pim_runs, setup, BenchConfig};
+
+fn main() {
+    let s = setup(BenchConfig::from_args());
+    let pim = pim_runs(&s);
+    print_fig9(&s, &pim);
+}

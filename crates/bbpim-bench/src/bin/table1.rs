@@ -1,0 +1,61 @@
+//! Table I: architecture and system configuration.
+
+use bbpim_bench::print_table;
+use bbpim_sim::SimConfig;
+
+fn main() {
+    let cfg = SimConfig::default();
+    println!("Table I — architecture and system configuration\n");
+    println!("Single RRAM PIM module");
+    print_table(
+        &["parameter", "value"],
+        &[
+            vec!["total capacity".into(), format!("{} GiB", cfg.module_capacity_bytes >> 30)],
+            vec!["huge page size".into(), format!("{} MiB", cfg.page_bytes >> 20)],
+            vec!["memory ranks".into(), "1".into()],
+            vec!["PIM chips".into(), cfg.chips.to_string()],
+            vec!["crossbar rows".into(), cfg.crossbar_rows.to_string()],
+            vec!["crossbar columns".into(), cfg.crossbar_cols.to_string()],
+            vec!["crossbar read".into(), format!("{} bit", cfg.read_width_bits)],
+            vec!["bulk-bitwise logic cycle".into(), format!("{} ns", cfg.logic_cycle_ns)],
+            vec![
+                "crossbar read/write energy".into(),
+                format!(
+                    "{}\\{} pJ/bit",
+                    cfg.read_energy_pj_per_bit, cfg.write_energy_pj_per_bit
+                ),
+            ],
+            vec![
+                "bulk-bitwise logic energy".into(),
+                format!("{} fJ/bit", cfg.logic_energy_fj_per_bit),
+            ],
+            vec!["single agg. circuit power".into(), format!("{} uW", cfg.agg_circuit_power_uw)],
+            vec!["single PIM controller power".into(), format!("{} uW", cfg.controller_power_uw)],
+        ],
+    );
+    println!("\nDerived geometry");
+    print_table(
+        &["parameter", "value"],
+        &[
+            vec!["crossbars per page".into(), cfg.crossbars_per_page().to_string()],
+            vec!["records per page".into(), cfg.records_per_page().to_string()],
+            vec!["pages per module".into(), cfg.module_pages().to_string()],
+            vec!["page crossbars per chip".into(), cfg.page_crossbars_per_chip().to_string()],
+        ],
+    );
+    println!("\nEvaluation system (host)");
+    print_table(
+        &["parameter", "value"],
+        &[
+            vec!["worker threads".into(), cfg.host.threads.to_string()],
+            vec!["cache line".into(), format!("{} B", cfg.host.line_bytes)],
+            vec!["DRAM latency".into(), format!("{} ns", cfg.host.dram_latency_ns)],
+            vec![
+                "DRAM bandwidth".into(),
+                format!("{} GiB/s (DDR4-2400)", cfg.host.dram_bandwidth_gib_s),
+            ],
+            vec!["memory-level parallelism".into(), format!("{}", cfg.host.mlp)],
+            vec!["host clock".into(), format!("{} GHz", cfg.host.clock_ghz)],
+        ],
+    );
+}

@@ -1,0 +1,10 @@
+//! Table II: per-query selectivity and subgroup statistics.
+
+use bbpim_bench::reports::print_table2;
+use bbpim_bench::{pim_runs, setup, BenchConfig};
+
+fn main() {
+    let s = setup(BenchConfig::from_args());
+    let pim = pim_runs(&s);
+    print_table2(&s, &pim);
+}

@@ -1,0 +1,312 @@
+//! # bbpim-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §4):
+//!
+//! | binary   | reproduces |
+//! |----------|------------|
+//! | `table1` | Table I — architecture and system configuration |
+//! | `table2` | Table II — per-query selectivity / subgroup statistics |
+//! | `fig4`   | Fig. 4 — empirical latency modeling (a, b, c panels) |
+//! | `fig5`   | Fig. 5 — PIM chip area breakdown |
+//! | `fig6`   | Fig. 6 — SSB execution latency, all five systems |
+//! | `fig7`   | Fig. 7 — PIM energy per query |
+//! | `fig8`   | Fig. 8 — peak per-chip power |
+//! | `fig9`   | Fig. 9 — required cell endurance (10-year back-to-back) |
+//! | `all`    | everything above in one pass (EXPERIMENTS.md source) |
+//!
+//! All binaries accept `--sf <f64>` (default 0.1), `--uniform` (default
+//! is the paper's skewed data), `--seed <u64>` and `--threads <usize>`.
+//! Criterion micro-benchmarks live under `benches/`.
+
+pub mod reports;
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use bbpim_core::engine::PimQueryEngine;
+use bbpim_core::groupby::calibration::CalibrationConfig;
+use bbpim_core::modes::EngineMode;
+use bbpim_core::result::QueryExecution;
+use bbpim_db::plan::Query;
+use bbpim_db::relation::Relation;
+use bbpim_db::ssb::{queries, SsbDb, SsbParams};
+use bbpim_db::stats::GroupedResult;
+use bbpim_monet::MonetEngine;
+use bbpim_sim::SimConfig;
+
+/// Harness configuration (CLI-parsed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchConfig {
+    /// SSB scale factor.
+    pub sf: f64,
+    /// Skewed data (the paper's setting) vs uniform.
+    pub skewed: bool,
+    /// Generator seed.
+    pub seed: u64,
+    /// Host threads for the baseline engine.
+    pub threads: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig { sf: 0.1, skewed: true, seed: 0xB1_7B17, threads: 4 }
+    }
+}
+
+impl BenchConfig {
+    /// Parse from `std::env::args` (unknown flags are ignored so every
+    /// binary shares the same surface).
+    pub fn from_args() -> Self {
+        let mut cfg = BenchConfig::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--sf" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        cfg.sf = v;
+                        i += 1;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        cfg.seed = v;
+                        i += 1;
+                    }
+                }
+                "--threads" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        cfg.threads = v;
+                        i += 1;
+                    }
+                }
+                "--uniform" => cfg.skewed = false,
+                "--skewed" => cfg.skewed = true,
+                _ => {}
+            }
+            i += 1;
+        }
+        cfg
+    }
+
+    /// The SSB generator parameters for this configuration.
+    pub fn ssb_params(&self) -> SsbParams {
+        let mut p =
+            if self.skewed { SsbParams::skewed(self.sf) } else { SsbParams::uniform(self.sf) };
+        p.seed = self.seed;
+        p
+    }
+}
+
+/// Generated data plus the (skew-adjusted) queries.
+pub struct SsbSetup {
+    /// Harness configuration.
+    pub cfg: BenchConfig,
+    /// The star-schema database.
+    pub db: SsbDb,
+    /// The pre-joined relation.
+    pub wide: Relation,
+    /// The 13 queries (constants re-picked on skewed data).
+    pub queries: Vec<Query>,
+}
+
+/// Generate data and queries.
+///
+/// # Panics
+///
+/// Panics on generator/query-resolution bugs (deterministic inputs).
+pub fn setup(cfg: BenchConfig) -> SsbSetup {
+    let db = SsbDb::generate(&cfg.ssb_params());
+    let wide = db.prejoin();
+    let queries = if cfg.skewed {
+        queries::adjusted_queries(&wide).expect("query adjustment")
+    } else {
+        queries::standard_queries()
+    };
+    SsbSetup { cfg, db, wide, queries }
+}
+
+/// All 13 per-query executions of one PIM mode.
+pub struct PimModeRun {
+    /// Which mode ran.
+    pub mode: EngineMode,
+    /// Executions in query order.
+    pub executions: Vec<QueryExecution>,
+}
+
+/// Run every query through one PIM mode (engine constructed, calibrated
+/// and dropped inside, keeping peak memory to one engine).
+///
+/// # Panics
+///
+/// Panics on engine errors (the harness runs known-good inputs).
+pub fn run_pim_mode(setup: &SsbSetup, mode: EngineMode) -> PimModeRun {
+    let mut engine = PimQueryEngine::new(SimConfig::default(), setup.wide.clone(), mode)
+        .expect("engine construction");
+    engine.calibrate(&CalibrationConfig::default()).expect("calibration");
+    let executions = setup
+        .queries
+        .iter()
+        .map(|q| engine.run(q).unwrap_or_else(|e| panic!("{} on {}: {e}", mode.label(), q.id)))
+        .collect();
+    PimModeRun { mode, executions }
+}
+
+/// One baseline measurement.
+pub struct MonetRun {
+    /// `mnt_join` or `mnt_reg`.
+    pub label: &'static str,
+    /// Per-query wall time and groups, in query order.
+    pub results: Vec<(Duration, GroupedResult)>,
+}
+
+/// Run every query through one baseline configuration, `repeats` times,
+/// keeping the fastest wall time (warm caches, as a DBMS benchmark
+/// would).
+///
+/// # Panics
+///
+/// Panics on resolution errors.
+pub fn run_monet(setup: &SsbSetup, prejoined: bool, repeats: usize) -> MonetRun {
+    let engine = if prejoined {
+        MonetEngine::prejoined(&setup.wide, setup.cfg.threads)
+    } else {
+        MonetEngine::star(&setup.db, setup.cfg.threads)
+    };
+    let results = setup
+        .queries
+        .iter()
+        .map(|q| {
+            let mut best: Option<(Duration, GroupedResult)> = None;
+            for _ in 0..repeats.max(1) {
+                let r = engine.run(q).expect("baseline run");
+                if best.as_ref().map(|(d, _)| r.wall < *d).unwrap_or(true) {
+                    best = Some((r.wall, r.groups));
+                }
+            }
+            best.expect("at least one repeat")
+        })
+        .collect();
+    MonetRun { label: engine.label(), results }
+}
+
+/// Run all three PIM modes (sequentially, bounding peak memory).
+///
+/// # Panics
+///
+/// Panics on engine errors.
+pub fn pim_runs(setup: &SsbSetup) -> Vec<PimModeRun> {
+    EngineMode::all().iter().map(|m| run_pim_mode(setup, *m)).collect()
+}
+
+/// Check that every system produced identical answers per query.
+/// Returns the list of mismatching query ids (empty = all agree).
+pub fn cross_validate(
+    queries: &[Query],
+    pim_runs: &[&PimModeRun],
+    monet_runs: &[&MonetRun],
+) -> Vec<String> {
+    let mut bad = Vec::new();
+    for (i, q) in queries.iter().enumerate() {
+        let reference = &pim_runs
+            .first()
+            .map(|r| r.executions[i].groups.clone())
+            .or_else(|| monet_runs.first().map(|r| r.results[i].1.clone()))
+            .expect("at least one system");
+        let pim_ok = pim_runs.iter().all(|r| &r.executions[i].groups == reference);
+        let mnt_ok = monet_runs.iter().all(|r| &r.results[i].1 == reference);
+        if !(pim_ok && mnt_ok) {
+            bad.push(q.id.clone());
+        }
+    }
+    bad
+}
+
+/// Geometric mean of positive values.
+///
+/// # Panics
+///
+/// Panics on an empty slice or non-positive values.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of nothing");
+    assert!(values.iter().all(|v| *v > 0.0), "geomean needs positive values");
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Fixed-width table printer for the figure binaries.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let joined: Vec<String> =
+            cells.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
+        println!("  {}", joined.join("  "));
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Pretty nanoseconds (ms with 3 decimals).
+pub fn fmt_ms(ns: f64) -> String {
+    format!("{:.3}", ns / 1e6)
+}
+
+/// Speedups of `base` over `other` per query, as positive ratios.
+pub fn speedups(base_ns: &[f64], other_ns: &[f64]) -> Vec<f64> {
+    base_ns.iter().zip(other_ns).map(|(b, o)| o / b).collect()
+}
+
+/// Map query id → value for report assembly.
+pub fn by_query<T: Clone>(queries: &[Query], values: &[T]) -> BTreeMap<String, T> {
+    queries.iter().map(|q| q.id.clone()).zip(values.iter().cloned()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_zero() {
+        let _ = geomean(&[0.0, 1.0]);
+    }
+
+    #[test]
+    fn config_defaults() {
+        let c = BenchConfig::default();
+        assert!(c.skewed);
+        assert!((c.sf - 0.1).abs() < 1e-12);
+        assert_eq!(c.threads, 4);
+    }
+
+    #[test]
+    fn speedup_orientation() {
+        // base twice as fast as other → speedup 2
+        let s = speedups(&[1.0], &[2.0]);
+        assert!((s[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_end_to_end_smoke() {
+        let cfg = BenchConfig { sf: 0.001, skewed: false, ..BenchConfig::default() };
+        let s = setup(cfg);
+        assert_eq!(s.queries.len(), 13);
+        let mnt = run_monet(&s, true, 1);
+        assert_eq!(mnt.results.len(), 13);
+    }
+}

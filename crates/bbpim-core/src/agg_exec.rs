@@ -1,0 +1,476 @@
+//! Aggregation execution: in-crossbar expression materialisation, the
+//! peripheral-circuit (or pure-bitwise) reduction, and the host combine.
+//!
+//! SSB Q1 aggregates `extendedprice · discount` and Q4 aggregates
+//! `revenue − supplycost`; [`materialize_expr`] compiles the arithmetic
+//! to a column-parallel program that computes the expression for every
+//! record of every page at once, into a reserved slice of the scratch
+//! region. [`aggregate_masked`] then reduces the (possibly computed)
+//! value under a mask column: through the aggregation circuit
+//! (`one-xb`/`two-xb`) or the PIMDB bulk-bitwise reduction tree
+//! (`pimdb`), followed by one cache line per result chunk per page and a
+//! trivial host-side combine of the per-crossbar partials.
+
+use bbpim_db::plan::{AggExpr, AggFunc};
+use bbpim_sim::aggcircuit::AggRequest;
+use bbpim_sim::compiler::reduce::ReduceOp;
+use bbpim_sim::compiler::{arith, CodeBuilder, ColRange, ScratchPool};
+use bbpim_sim::module::PimModule;
+use bbpim_sim::timeline::{Phase, RunLog};
+
+use crate::error::CoreError;
+use crate::layout::RecordLayout;
+use crate::loader::LoadedRelation;
+use crate::modes::EngineMode;
+
+/// Host nanoseconds to fold one per-crossbar partial into the total.
+const COMBINE_NS_PER_PARTIAL: f64 = 2.0;
+
+/// Where the value being aggregated lives after preparation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggInput {
+    /// Vertical partition holding the value.
+    pub partition: usize,
+    /// Columns of the value (an attribute, or a computed expression in
+    /// scratch).
+    pub value: ColRange,
+    /// Scratch still free for later programs (group masks…).
+    pub scratch_left: ColRange,
+}
+
+/// Map a plan-level aggregate function onto the hardware operator.
+pub fn reduce_op(func: AggFunc) -> ReduceOp {
+    match func {
+        AggFunc::Sum => ReduceOp::Sum,
+        AggFunc::Min => ReduceOp::Min,
+        AggFunc::Max => ReduceOp::Max,
+    }
+}
+
+/// Prepare the aggregation input: a plain attribute is used in place; a
+/// `Mul`/`Sub` expression is computed into scratch by one bulk-bitwise
+/// program (executed here, charged to `log`).
+///
+/// # Errors
+///
+/// [`CoreError::Unsupported`] when operands sit in different partitions
+/// (cannot happen for SSB: expression operands are fact attributes);
+/// compiler and simulator failures otherwise.
+pub fn materialize_expr(
+    module: &mut PimModule,
+    layout: &RecordLayout,
+    loaded: &LoadedRelation,
+    expr: &AggExpr,
+    log: &mut RunLog,
+) -> Result<AggInput, CoreError> {
+    match expr {
+        AggExpr::Attr(name) => {
+            let p = layout.placement(name)?;
+            Ok(AggInput {
+                partition: p.partition,
+                value: p.range,
+                scratch_left: layout.scratch(p.partition),
+            })
+        }
+        AggExpr::Mul(a, b) | AggExpr::Sub(a, b) => {
+            let pa = layout.placement(a)?;
+            let pb = layout.placement(b)?;
+            if pa.partition != pb.partition {
+                return Err(CoreError::Unsupported(format!(
+                    "aggregate expression operands `{a}` and `{b}` live in different partitions"
+                )));
+            }
+            let scratch = layout.scratch(pa.partition);
+            let width = match expr {
+                AggExpr::Mul(..) => pa.range.width + pb.range.width,
+                _ => pa.range.width.max(pb.range.width),
+            };
+            if width + crate::layout::MIN_SCRATCH_COLS > scratch.width {
+                return Err(CoreError::Layout(format!(
+                    "expression needs {width} result columns plus workspace; scratch has {}",
+                    scratch.width
+                )));
+            }
+            let dst = ColRange::new(scratch.lo, width);
+            let rest = ColRange::new(scratch.lo + width, scratch.width - width);
+            let mut pool = ScratchPool::new(rest);
+            let mut builder = CodeBuilder::new(&mut pool);
+            match expr {
+                AggExpr::Mul(..) => arith::compile_mul(&mut builder, pa.range, pb.range, dst)?,
+                AggExpr::Sub(..) => arith::compile_sub(&mut builder, pa.range, pb.range, dst)?,
+                AggExpr::Attr(..) => unreachable!("handled above"),
+            }
+            let prog = builder.finish();
+            let phase = module.exec_program(loaded.pages(pa.partition), &prog)?;
+            log.push(phase);
+            Ok(AggInput { partition: pa.partition, value: dst, scratch_left: rest })
+        }
+    }
+}
+
+/// Result-slot width for a reduction: the value width plus carry room
+/// for `rows` addends, clamped to the slot.
+pub fn partial_width(layout: &RecordLayout, partition: usize, value: ColRange, rows: usize) -> ColRange {
+    let slot = layout.result_slot(partition);
+    let need = (value.width + (usize::BITS - (rows - 1).leading_zeros()) as usize).min(slot.width).min(64);
+    ColRange::new(slot.lo, need)
+}
+
+/// Reads (`n` of the paper's Eq. 2) the aggregation circuit performs per
+/// row for a value range: its 16-bit chunks.
+pub fn reads_per_value(layout_cols_chunk_bits: usize, value: ColRange) -> usize {
+    let first = value.lo / layout_cols_chunk_bits;
+    let last = (value.end() - 1) / layout_cols_chunk_bits;
+    last - first + 1
+}
+
+/// Aggregate `input` under `mask_col` over the partition's pages,
+/// returning the combined value. Phases (PIM aggregation, result-line
+/// reads, host combine) are pushed to `log`.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+#[allow(clippy::too_many_arguments)] // engine plumbing: module + layout + log threading
+pub fn aggregate_masked(
+    module: &mut PimModule,
+    layout: &RecordLayout,
+    loaded: &LoadedRelation,
+    mode: EngineMode,
+    input: &AggInput,
+    mask_col: usize,
+    func: AggFunc,
+    log: &mut RunLog,
+) -> Result<u64, CoreError> {
+    let rows = module.config().crossbar_rows;
+    let dst = partial_width(layout, input.partition, input.value, rows);
+    let req = AggRequest {
+        op: reduce_op(func),
+        value: input.value,
+        mask_col,
+        dst_row: 0,
+        dst,
+    };
+    let pages = loaded.pages(input.partition).to_vec();
+    let (partials, phase) = if mode.uses_agg_circuit() {
+        module.agg_circuit(&pages, &req)?
+    } else {
+        module.bitwise_reduce(&pages, &req)?
+    };
+    log.push(phase);
+
+    // Host fetches one line per result chunk per page…
+    let chunk_bits = module.config().read_width_bits;
+    let chunks = reads_per_value(chunk_bits, dst) as u64;
+    log.push(module.host_read_phase(pages.len() as u64 * chunks));
+
+    // …and folds the per-crossbar partials.
+    let flat: Vec<u64> = partials.into_iter().flatten().collect();
+    log.push(Phase::host_compute(flat.len() as f64 * COMBINE_NS_PER_PARTIAL));
+    let combined = match func {
+        AggFunc::Sum => flat.iter().fold(0u64, |acc, v| acc.wrapping_add(*v)),
+        AggFunc::Min => flat.into_iter().min().unwrap_or(u64::MAX),
+        AggFunc::Max => flat.into_iter().max().unwrap_or(0),
+    };
+    Ok(combined)
+}
+
+/// Like [`aggregate_masked`], with the count register enabled: returns
+/// `(aggregate, selected_rows)`. The result slot is split — the value
+/// partial in its low 48 bits, the count in the top 16-bit chunk — so
+/// the host still reads one extra line per page at most.
+///
+/// Used by pim-gb, where SQL semantics need to know whether a subgroup
+/// was empty. Under `pimdb` the count costs a second reduction tree
+/// (no count register in pure bulk-bitwise logic).
+///
+/// Per-crossbar SUM partials wrap at 48 bits: size aggregated values so
+/// `value.width + log2(rows)` ≤ 48 (every SSB attribute and expression
+/// is ≤ 37; cross-engine tests would catch a violation as an oracle
+/// mismatch).
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+#[allow(clippy::too_many_arguments)] // engine plumbing: module + layout + log threading
+pub fn aggregate_masked_counted(
+    module: &mut PimModule,
+    layout: &RecordLayout,
+    loaded: &LoadedRelation,
+    mode: EngineMode,
+    input: &AggInput,
+    mask_col: usize,
+    func: AggFunc,
+    log: &mut RunLog,
+) -> Result<(u64, u64), CoreError> {
+    let rows = module.config().crossbar_rows;
+    let slot = layout.result_slot(input.partition);
+    let carry = (usize::BITS - (rows - 1).leading_zeros()) as usize;
+    let sum_width = (input.value.width + carry).min(slot.width.saturating_sub(16)).min(48);
+    let dst = ColRange::new(slot.lo, sum_width.max(1));
+    let count_dst = ColRange::new(slot.lo + slot.width - 16, 16);
+    let req = AggRequest { op: reduce_op(func), value: input.value, mask_col, dst_row: 0, dst };
+    let pages = loaded.pages(input.partition).to_vec();
+    let ((sums, counts), phase) = if mode.uses_agg_circuit() {
+        module.agg_circuit_counted(&pages, &req, count_dst)?
+    } else {
+        module.bitwise_reduce_counted(&pages, &req, count_dst)?
+    };
+    log.push(phase);
+
+    let chunk_bits = module.config().read_width_bits;
+    let chunks = reads_per_value(chunk_bits, dst) as u64 + 1; // + the count chunk
+    log.push(module.host_read_phase(pages.len() as u64 * chunks));
+
+    let flat_sums: Vec<u64> = sums.into_iter().flatten().collect();
+    let flat_counts: Vec<u64> = counts.into_iter().flatten().collect();
+    log.push(Phase::host_compute(flat_sums.len() as f64 * COMBINE_NS_PER_PARTIAL));
+    let count: u64 = flat_counts.iter().sum();
+    let combined = match func {
+        AggFunc::Sum => flat_sums.iter().fold(0u64, |acc, v| acc.wrapping_add(*v)),
+        AggFunc::Min => flat_sums
+            .iter()
+            .zip(&flat_counts)
+            .filter(|(_, c)| **c > 0)
+            .map(|(v, _)| *v)
+            .min()
+            .unwrap_or(u64::MAX),
+        AggFunc::Max => flat_sums
+            .iter()
+            .zip(&flat_counts)
+            .filter(|(_, c)| **c > 0)
+            .map(|(v, _)| *v)
+            .max()
+            .unwrap_or(0),
+    };
+    Ok((combined, count))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter_exec::run_filter;
+    use crate::layout::{RecordLayout, MASK_COL};
+    use crate::loader::load_relation;
+    use bbpim_db::plan::{Atom, Query};
+    use bbpim_db::schema::{Attribute, Schema};
+    use bbpim_db::Relation;
+    use bbpim_sim::SimConfig;
+
+    fn setup(mode: EngineMode) -> (PimModule, Relation, RecordLayout, LoadedRelation) {
+        let cfg = SimConfig::small_for_tests();
+        let schema = Schema::new(
+            "t",
+            vec![
+                Attribute::numeric("lo_price", 8),
+                Attribute::numeric("lo_disc", 4),
+                Attribute::numeric("d_g", 4),
+            ],
+        );
+        let mut rel = Relation::new(schema);
+        for i in 0..500u64 {
+            rel.push_row(&[(i * 7) % 256, i % 11, i % 8]).unwrap();
+        }
+        let layout = RecordLayout::build(rel.schema(), &cfg, mode, &[]).unwrap();
+        let mut module = PimModule::new(cfg);
+        let loaded = load_relation(&mut module, &rel, &layout).unwrap();
+        (module, rel, layout, loaded)
+    }
+
+    fn filter_all(
+        module: &mut PimModule,
+        rel: &Relation,
+        layout: &RecordLayout,
+        loaded: &LoadedRelation,
+        filter: Vec<Atom>,
+        log: &mut RunLog,
+    ) -> Query {
+        let q = Query {
+            id: "t".into(),
+            filter,
+            group_by: vec![],
+            agg_func: AggFunc::Sum,
+            agg_expr: AggExpr::Attr("lo_price".into()),
+        };
+        let atoms: Vec<_> = q
+            .resolve_filter(rel.schema())
+            .unwrap()
+            .into_iter()
+            .zip(q.filter.iter())
+            .map(|(a, raw)| (a, layout.placement(raw.attr()).unwrap()))
+            .collect();
+        run_filter(module, layout, loaded, &atoms, log).unwrap();
+        q
+    }
+
+    #[test]
+    fn plain_attribute_sum_matches_oracle() {
+        for mode in [EngineMode::OneXb, EngineMode::PimDb] {
+            let (mut module, rel, layout, loaded) = setup(mode);
+            let mut log = RunLog::new();
+            filter_all(
+                &mut module,
+                &rel,
+                &layout,
+                &loaded,
+                vec![Atom::Lt { attr: "lo_price".into(), value: 100u64.into() }],
+                &mut log,
+            );
+            let input = materialize_expr(
+                &mut module,
+                &layout,
+                &loaded,
+                &AggExpr::Attr("lo_price".into()),
+                &mut log,
+            )
+            .unwrap();
+            let total = aggregate_masked(
+                &mut module, &layout, &loaded, mode, &input, MASK_COL, AggFunc::Sum, &mut log,
+            )
+            .unwrap();
+            let expected: u64 = rel
+                .column_by_name("lo_price")
+                .unwrap()
+                .values()
+                .iter()
+                .filter(|v| **v < 100)
+                .sum();
+            assert_eq!(total, expected, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn mul_expression_matches_oracle() {
+        let (mut module, rel, layout, loaded) = setup(EngineMode::OneXb);
+        let mut log = RunLog::new();
+        filter_all(&mut module, &rel, &layout, &loaded, vec![], &mut log);
+        let expr = AggExpr::Mul("lo_price".into(), "lo_disc".into());
+        let input =
+            materialize_expr(&mut module, &layout, &loaded, &expr, &mut log).unwrap();
+        assert_eq!(input.value.width, 12);
+        let total = aggregate_masked(
+            &mut module,
+            &layout,
+            &loaded,
+            EngineMode::OneXb,
+            &input,
+            MASK_COL,
+            AggFunc::Sum,
+            &mut log,
+        )
+        .unwrap();
+        let expected: u64 =
+            (0..rel.len()).map(|r| rel.value(r, 0) * rel.value(r, 1)).sum();
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn sub_expression_matches_oracle() {
+        let (mut module, rel, layout, loaded) = setup(EngineMode::OneXb);
+        // price >= disc always here (disc ≤ 10 < price except small ones);
+        // restrict to rows where price ≥ disc to stay in unsigned range.
+        let mut log = RunLog::new();
+        filter_all(
+            &mut module,
+            &rel,
+            &layout,
+            &loaded,
+            vec![Atom::Gt { attr: "lo_price".into(), value: 15u64.into() }],
+            &mut log,
+        );
+        let expr = AggExpr::Sub("lo_price".into(), "lo_disc".into());
+        let input =
+            materialize_expr(&mut module, &layout, &loaded, &expr, &mut log).unwrap();
+        let total = aggregate_masked(
+            &mut module,
+            &layout,
+            &loaded,
+            EngineMode::OneXb,
+            &input,
+            MASK_COL,
+            AggFunc::Sum,
+            &mut log,
+        )
+        .unwrap();
+        let expected: u64 = (0..rel.len())
+            .filter(|&r| rel.value(r, 0) > 15)
+            .map(|r| rel.value(r, 0) - rel.value(r, 1))
+            .sum();
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn min_max_aggregation() {
+        let (mut module, rel, layout, loaded) = setup(EngineMode::OneXb);
+        let mut log = RunLog::new();
+        filter_all(&mut module, &rel, &layout, &loaded, vec![], &mut log);
+        let input = materialize_expr(
+            &mut module,
+            &layout,
+            &loaded,
+            &AggExpr::Attr("lo_price".into()),
+            &mut log,
+        )
+        .unwrap();
+        let min = aggregate_masked(
+            &mut module, &layout, &loaded, EngineMode::OneXb, &input, MASK_COL, AggFunc::Min,
+            &mut log,
+        )
+        .unwrap();
+        let max = aggregate_masked(
+            &mut module, &layout, &loaded, EngineMode::OneXb, &input, MASK_COL, AggFunc::Max,
+            &mut log,
+        )
+        .unwrap();
+        let col = rel.column_by_name("lo_price").unwrap();
+        assert_eq!(min, *col.values().iter().min().unwrap());
+        assert_eq!(max, *col.values().iter().max().unwrap());
+    }
+
+    #[test]
+    fn pimdb_aggregation_costs_more_time_and_energy() {
+        let (mut m1, rel1, l1, ld1) = setup(EngineMode::OneXb);
+        let (mut m2, _rel2, l2, ld2) = setup(EngineMode::PimDb);
+        let mut log1 = RunLog::new();
+        let mut log2 = RunLog::new();
+        filter_all(&mut m1, &rel1, &l1, &ld1, vec![], &mut log1);
+        filter_all(&mut m2, &rel1, &l2, &ld2, vec![], &mut log2);
+        let i1 = materialize_expr(&mut m1, &l1, &ld1, &AggExpr::Attr("lo_price".into()), &mut log1)
+            .unwrap();
+        let i2 = materialize_expr(&mut m2, &l2, &ld2, &AggExpr::Attr("lo_price".into()), &mut log2)
+            .unwrap();
+        let mut a1 = RunLog::new();
+        let mut a2 = RunLog::new();
+        let v1 = aggregate_masked(
+            &mut m1, &l1, &ld1, EngineMode::OneXb, &i1, MASK_COL, AggFunc::Sum, &mut a1,
+        )
+        .unwrap();
+        let v2 = aggregate_masked(
+            &mut m2, &l2, &ld2, EngineMode::PimDb, &i2, MASK_COL, AggFunc::Sum, &mut a2,
+        )
+        .unwrap();
+        assert_eq!(v1, v2);
+        assert!(a2.total_time_ns() > a1.total_time_ns());
+        assert!(a2.total_energy_pj() > a1.total_energy_pj());
+    }
+
+    #[test]
+    fn scratch_reservation_leaves_room_for_more_programs() {
+        let (mut module, _rel, layout, loaded) = setup(EngineMode::OneXb);
+        let mut log = RunLog::new();
+        let expr = AggExpr::Mul("lo_price".into(), "lo_disc".into());
+        let input =
+            materialize_expr(&mut module, &layout, &loaded, &expr, &mut log).unwrap();
+        // A follow-up mask program must compile inside the remaining
+        // scratch without touching the materialised product.
+        let prog = crate::filter_exec::build_mask_program_in(
+            input.scratch_left,
+            &[],
+            &[crate::layout::VALID_COL],
+            MASK_COL,
+        );
+        assert!(prog.is_ok());
+        assert!(input.scratch_left.width >= crate::layout::MIN_SCRATCH_COLS);
+        assert!(input.scratch_left.lo >= input.value.end());
+    }
+}

@@ -1,0 +1,474 @@
+//! The end-to-end PIM query engine.
+//!
+//! [`PimQueryEngine`] owns the PIM module with the pre-joined relation
+//! loaded, plus the host-side catalog copy. `run` executes one logical
+//! query exactly as Section IV describes: bulk-bitwise filter → (for
+//! GROUP BY) one-page sampling and the Eq. (3) decision → pim-gb /
+//! host-gb → report. Queries without GROUP BY (SSB Q1.x) aggregate the
+//! whole selection in PIM directly.
+
+use bbpim_db::plan::Query;
+use bbpim_db::stats::{self, GroupedResult};
+use bbpim_db::Relation;
+use bbpim_sim::config::SimConfig;
+use bbpim_sim::module::PimModule;
+use bbpim_sim::timeline::RunLog;
+
+use crate::agg_exec::{aggregate_masked, materialize_expr};
+use crate::error::CoreError;
+use crate::filter_exec::run_filter;
+use crate::groupby::calibration::{run_calibration, CalibrationConfig, CalibrationData};
+use crate::groupby::cost_model::GroupByModel;
+use crate::groupby::run_group_by;
+use crate::layout::{RecordLayout, MASK_COL};
+use crate::loader::{load_relation, LoadedRelation};
+use crate::modes::EngineMode;
+use crate::result::{QueryExecution, QueryReport};
+use crate::update::{run_update, UpdateOp, UpdateReport};
+
+/// A PIM-resident OLAP engine over one (pre-joined) relation.
+pub struct PimQueryEngine {
+    module: PimModule,
+    relation: Relation,
+    layout: RecordLayout,
+    loaded: LoadedRelation,
+    mode: EngineMode,
+    model: Option<GroupByModel>,
+}
+
+impl std::fmt::Debug for PimQueryEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PimQueryEngine")
+            .field("relation", &self.relation.schema().name)
+            .field("records", &self.loaded.records())
+            .field("pages", &self.loaded.page_count())
+            .field("mode", &self.mode)
+            .field("calibrated", &self.model.is_some())
+            .finish()
+    }
+}
+
+impl PimQueryEngine {
+    /// Build the layout, allocate pages, and load `relation`.
+    ///
+    /// # Errors
+    ///
+    /// Layout failures (record too wide) and module capacity failures.
+    pub fn new(cfg: SimConfig, relation: Relation, mode: EngineMode) -> Result<Self, CoreError> {
+        let layout = RecordLayout::build(relation.schema(), &cfg, mode, &[])?;
+        Self::with_layout(cfg, relation, mode, layout)
+    }
+
+    /// Like [`PimQueryEngine::new`] but with a caller-supplied layout —
+    /// e.g. a [`RecordLayout::build_custom`] placement that co-locates
+    /// hot subgroup identifiers with the fact attributes (the paper's
+    /// Section V-A placement optimisation).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Layout`] when the layout's partition count does not
+    /// match the mode; loader failures otherwise.
+    pub fn with_layout(
+        cfg: SimConfig,
+        relation: Relation,
+        mode: EngineMode,
+        layout: RecordLayout,
+    ) -> Result<Self, CoreError> {
+        if layout.partitions() != mode.partitions() {
+            return Err(CoreError::Layout(format!(
+                "layout has {} partitions but mode {} needs {}",
+                layout.partitions(),
+                mode.label(),
+                mode.partitions()
+            )));
+        }
+        let mut module = PimModule::new(cfg);
+        let loaded = load_relation(&mut module, &relation, &layout)?;
+        Ok(PimQueryEngine { module, relation, layout, loaded, mode, model: None })
+    }
+
+    /// The engine mode.
+    pub fn mode(&self) -> EngineMode {
+        self.mode
+    }
+
+    /// The simulator configuration.
+    pub fn config(&self) -> &SimConfig {
+        self.module.config()
+    }
+
+    /// The host-side catalog copy of the relation.
+    pub fn relation(&self) -> &Relation {
+        &self.relation
+    }
+
+    /// The record layout.
+    pub fn layout(&self) -> &RecordLayout {
+        &self.layout
+    }
+
+    /// Pages per partition (`M`).
+    pub fn page_count(&self) -> usize {
+        self.loaded.page_count()
+    }
+
+    /// The fitted GROUP-BY model, if calibrated.
+    pub fn model(&self) -> Option<&GroupByModel> {
+        self.model.as_ref()
+    }
+
+    /// Install a pre-fitted model (e.g. shared across engines).
+    pub fn set_model(&mut self, model: GroupByModel) {
+        self.model = Some(model);
+    }
+
+    /// Run the Section IV calibration and install the fitted model.
+    /// Returns the raw measurements (the data behind Fig. 4).
+    ///
+    /// # Errors
+    ///
+    /// Propagates calibration failures.
+    pub fn calibrate(&mut self, cal: &CalibrationConfig) -> Result<CalibrationData, CoreError> {
+        let (data, model) = run_calibration(self.module.config(), self.mode, cal)?;
+        self.model = Some(model);
+        Ok(data)
+    }
+
+    /// Execute one query.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotCalibrated`] for GROUP BY queries before
+    /// [`PimQueryEngine::calibrate`]; substrate failures otherwise.
+    pub fn run(&mut self, query: &Query) -> Result<QueryExecution, CoreError> {
+        let atoms: Vec<_> = query
+            .resolve_filter(self.relation.schema())?
+            .into_iter()
+            .zip(query.filter.iter())
+            .map(|(a, raw)| Ok((a, self.layout.placement(raw.attr())?)))
+            .collect::<Result<_, CoreError>>()?;
+
+        let all_pages = self.loaded.all_pages();
+        self.module.reset_endurance(&all_pages);
+        let mut log = RunLog::new();
+
+        let outcome = run_filter(&mut self.module, &self.layout, &self.loaded, &atoms, &mut log)?;
+
+        let mut groups = GroupedResult::new();
+        let (mut k, mut kmax, mut sampled) = (0usize, 0usize, 0usize);
+        if query.has_group_by() {
+            let model = self.model.as_ref().ok_or(CoreError::NotCalibrated)?;
+            let gb = run_group_by(
+                &mut self.module,
+                &self.layout,
+                &self.loaded,
+                &self.relation,
+                self.mode,
+                query,
+                model,
+                &mut log,
+            )?;
+            groups = gb.groups;
+            k = gb.k;
+            kmax = gb.kmax;
+            sampled = gb.sampled;
+        } else if outcome.selected > 0 {
+            // Q1-style: one PIM aggregation over the whole selection.
+            let input = materialize_expr(
+                &mut self.module,
+                &self.layout,
+                &self.loaded,
+                &query.agg_expr,
+                &mut log,
+            )?;
+            let value = aggregate_masked(
+                &mut self.module,
+                &self.layout,
+                &self.loaded,
+                self.mode,
+                &input,
+                MASK_COL,
+                query.agg_func,
+                &mut log,
+            )?;
+            groups.insert(Vec::new(), value);
+            k = 1;
+            kmax = 1;
+        }
+
+        let report = QueryReport {
+            query_id: query.id.clone(),
+            mode: self.mode,
+            time_ns: log.total_time_ns(),
+            energy_pj: log.total_energy_pj(),
+            peak_chip_power_w: log.peak_chip_power_w(),
+            max_row_cell_writes: self.module.max_row_cell_writes(&all_pages),
+            row_cells: self.module.config().crossbar_cols,
+            records: self.loaded.records(),
+            pages: self.loaded.page_count(),
+            selected: outcome.selected,
+            selectivity: outcome.selectivity,
+            total_subgroups: kmax as u64,
+            subgroups_in_sample: sampled as u64,
+            pim_agg_subgroups: k as u64,
+            phases: log,
+        };
+        Ok(QueryExecution { groups, report })
+    }
+
+    /// Execute an UPDATE via the PIM multiplexer (Algorithm 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate failures.
+    pub fn update(&mut self, op: &UpdateOp) -> Result<UpdateReport, CoreError> {
+        run_update(&mut self.module, &self.layout, &self.loaded, &mut self.relation, op)
+    }
+
+    /// Direct access to the module (inspection in tests and examples).
+    pub fn module(&self) -> &PimModule {
+        &self.module
+    }
+
+    /// Table II helper: run a query and compare against the row-at-a-time
+    /// oracle, returning the execution if they agree.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Unsupported`] if results diverge (indicates an engine
+    /// bug — used by integration tests).
+    pub fn run_checked(&mut self, query: &Query) -> Result<QueryExecution, CoreError> {
+        let out = self.run(query)?;
+        let oracle = stats::run_oracle(query, &self.relation)?;
+        if out.groups != oracle {
+            return Err(CoreError::Unsupported(format!(
+                "engine/oracle mismatch on {}: {} vs {} groups",
+                query.id,
+                out.groups.len(),
+                oracle.len()
+            )));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbpim_db::plan::{AggExpr, AggFunc, Atom};
+    use bbpim_db::schema::{Attribute, Schema};
+
+    fn relation(rows: u64) -> Relation {
+        let schema = Schema::new(
+            "t",
+            vec![
+                Attribute::numeric("lo_price", 8),
+                Attribute::numeric("lo_disc", 4),
+                Attribute::numeric("d_year", 3),
+                Attribute::numeric("d_brand", 5),
+            ],
+        );
+        let mut rel = Relation::new(schema);
+        for i in 0..rows {
+            rel.push_row(&[(3 * i + 1) % 251, i % 11, i % 7, (i * i) % 30]).unwrap();
+        }
+        rel
+    }
+
+    fn engine(mode: EngineMode) -> PimQueryEngine {
+        let mut e =
+            PimQueryEngine::new(SimConfig::small_for_tests(), relation(1500), mode).unwrap();
+        e.calibrate(&CalibrationConfig::tiny_for_tests()).unwrap();
+        e
+    }
+
+    fn q1_like() -> Query {
+        Query {
+            id: "q1".into(),
+            filter: vec![
+                Atom::Eq { attr: "d_year".into(), value: 3u64.into() },
+                Atom::Between { attr: "lo_disc".into(), lo: 1u64.into(), hi: 3u64.into() },
+            ],
+            group_by: vec![],
+            agg_func: AggFunc::Sum,
+            agg_expr: AggExpr::Mul("lo_price".into(), "lo_disc".into()),
+        }
+    }
+
+    fn q2_like() -> Query {
+        Query {
+            id: "q2".into(),
+            filter: vec![Atom::Gt { attr: "lo_price".into(), value: 60u64.into() }],
+            group_by: vec!["d_year".into(), "d_brand".into()],
+            agg_func: AggFunc::Sum,
+            agg_expr: AggExpr::Attr("lo_price".into()),
+        }
+    }
+
+    #[test]
+    fn q1_like_matches_oracle_all_modes() {
+        for mode in EngineMode::all() {
+            let mut e = engine(mode);
+            let out = e.run_checked(&q1_like()).unwrap();
+            assert_eq!(out.report.pim_agg_subgroups, 1, "{mode:?}");
+            assert!(out.report.time_ns > 0.0);
+            assert!(out.report.energy_pj > 0.0);
+        }
+    }
+
+    #[test]
+    fn group_by_matches_oracle_all_modes() {
+        for mode in EngineMode::all() {
+            let mut e = engine(mode);
+            let out = e.run_checked(&q2_like()).unwrap();
+            assert!(!out.groups.is_empty(), "{mode:?}");
+            assert!(out.report.total_subgroups >= out.groups.len() as u64);
+        }
+    }
+
+    #[test]
+    fn group_by_requires_calibration() {
+        let mut e =
+            PimQueryEngine::new(SimConfig::small_for_tests(), relation(500), EngineMode::OneXb)
+                .unwrap();
+        assert!(matches!(e.run(&q2_like()), Err(CoreError::NotCalibrated)));
+        // Q1-style works uncalibrated
+        assert!(e.run(&q1_like()).is_ok());
+    }
+
+    #[test]
+    fn empty_selection_returns_empty_groups() {
+        let mut e = engine(EngineMode::OneXb);
+        let mut q = q1_like();
+        q.filter = vec![Atom::Gt { attr: "lo_price".into(), value: 254u64.into() }];
+        let out = e.run(&q).unwrap();
+        assert!(out.groups.is_empty());
+        assert_eq!(out.report.selected, 0);
+    }
+
+    #[test]
+    fn report_counts_are_consistent() {
+        let mut e = engine(EngineMode::OneXb);
+        let out = e.run(&q2_like()).unwrap();
+        let r = &out.report;
+        assert_eq!(r.records, 1500);
+        assert_eq!(r.pages, e.page_count());
+        assert!(r.selectivity > 0.0 && r.selectivity <= 1.0);
+        assert!(r.max_row_cell_writes > 0);
+        assert!(r.peak_chip_power_w > 0.0);
+        assert!(r.required_endurance(10.0) > 0.0);
+    }
+
+    #[test]
+    fn filter_on_host_only_attribute_is_rejected() {
+        let schema = Schema::new(
+            "t",
+            vec![Attribute::numeric("lo_v", 8), Attribute::numeric("c_phone", 30)],
+        );
+        let mut rel = Relation::new(schema);
+        rel.push_row(&[1, 123_456_789]).unwrap();
+        let mut e =
+            PimQueryEngine::new(SimConfig::small_for_tests(), rel, EngineMode::OneXb).unwrap();
+        let q = Query {
+            id: "t".into(),
+            filter: vec![Atom::Eq { attr: "c_phone".into(), value: 123_456_789u64.into() }],
+            group_by: vec![],
+            agg_func: AggFunc::Sum,
+            agg_expr: AggExpr::Attr("lo_v".into()),
+        };
+        assert!(matches!(e.run(&q), Err(CoreError::Unsupported(_))));
+    }
+
+    #[test]
+    fn unknown_attribute_is_a_db_error() {
+        let mut e = engine(EngineMode::OneXb);
+        let q = Query {
+            id: "t".into(),
+            filter: vec![Atom::Eq { attr: "nope".into(), value: 1u64.into() }],
+            group_by: vec![],
+            agg_func: AggFunc::Sum,
+            agg_expr: AggExpr::Attr("lo_price".into()),
+        };
+        assert!(matches!(e.run(&q), Err(CoreError::Db(_))));
+    }
+
+    #[test]
+    fn with_layout_rejects_partition_mismatch() {
+        let rel = relation(100);
+        let layout = crate::layout::RecordLayout::build(
+            rel.schema(),
+            &SimConfig::small_for_tests(),
+            EngineMode::TwoXb,
+            &[],
+        )
+        .unwrap();
+        let r = PimQueryEngine::with_layout(
+            SimConfig::small_for_tests(),
+            rel,
+            EngineMode::OneXb,
+            layout,
+        );
+        assert!(matches!(r, Err(CoreError::Layout(_))));
+    }
+
+    #[test]
+    fn custom_placement_engine_matches_oracle() {
+        // hot dimension key co-located with the fact: pim-gb without
+        // transfers, results unchanged
+        let rel = relation(1200);
+        let cfg = SimConfig::small_for_tests();
+        let layout = crate::layout::RecordLayout::build_custom(
+            rel.schema(),
+            &cfg,
+            2,
+            |name| if name.starts_with("lo_") || name == "d_brand" { 0 } else { 1 },
+            &[],
+        )
+        .unwrap();
+        let mut e =
+            PimQueryEngine::with_layout(cfg, rel, EngineMode::TwoXb, layout).unwrap();
+        e.calibrate(&CalibrationConfig::tiny_for_tests()).unwrap();
+        let q = Query {
+            id: "t".into(),
+            filter: vec![Atom::Gt { attr: "lo_price".into(), value: 40u64.into() }],
+            group_by: vec!["d_brand".into()],
+            agg_func: AggFunc::Sum,
+            agg_expr: AggExpr::Attr("lo_price".into()),
+        };
+        let out = e.run_checked(&q).unwrap();
+        assert!(!out.groups.is_empty());
+    }
+
+    #[test]
+    fn update_then_query_sees_new_values() {
+        let mut e = engine(EngineMode::OneXb);
+        // move every year-3 record to brand 29, then group by brand
+        let op = UpdateOp {
+            filter: vec![Atom::Eq { attr: "d_year".into(), value: 3u64.into() }],
+            set_attr: "d_brand".into(),
+            set_value: 29u64.into(),
+        };
+        let rep = e.update(&op).unwrap();
+        assert!(rep.records_updated > 0);
+        let out = e.run_checked(&q2_like()).unwrap();
+        // all year-3 groups now carry brand 29
+        for key in out.groups.keys() {
+            if key[0] == 3 {
+                assert_eq!(key[1], 29);
+            }
+        }
+    }
+
+    #[test]
+    fn two_xb_slower_than_one_xb_when_dimensions_filtered() {
+        // Q1-style query with a dimension atom: two-xb must pay the mask
+        // transfer through the host, one-xb must not. (For GROUP BY
+        // queries the modes may legitimately pick different k, so the
+        // clean comparison is the fixed-plan query.)
+        let mut e1 = engine(EngineMode::OneXb);
+        let mut e2 = engine(EngineMode::TwoXb);
+        let t1 = e1.run_checked(&q1_like()).unwrap().report.time_ns;
+        let t2 = e2.run_checked(&q1_like()).unwrap().report.time_ns;
+        assert!(t2 > t1, "two-xb {t2} must pay the transfer over one-xb {t1}");
+    }
+}

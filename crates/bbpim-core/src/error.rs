@@ -1,0 +1,78 @@
+//! Error type for the PIM OLAP engine.
+
+use std::error::Error;
+use std::fmt;
+
+use bbpim_db::DbError;
+use bbpim_sim::SimError;
+
+/// Errors produced by the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Hardware-simulator failure.
+    Sim(SimError),
+    /// Relational-layer failure.
+    Db(DbError),
+    /// The relation does not fit the PIM layout (record too wide, too
+    /// little scratch, module out of pages…).
+    Layout(String),
+    /// A query touched something the PIM engine cannot execute (e.g. an
+    /// aggregate expression spanning partitions).
+    Unsupported(String),
+    /// GROUP-BY cost models were needed but not calibrated.
+    NotCalibrated,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Sim(e) => write!(f, "simulator: {e}"),
+            CoreError::Db(e) => write!(f, "database: {e}"),
+            CoreError::Layout(msg) => write!(f, "layout: {msg}"),
+            CoreError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+            CoreError::NotCalibrated => {
+                write!(f, "group-by cost model missing: call calibrate() first")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Sim(e) => Some(e),
+            CoreError::Db(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for CoreError {
+    fn from(e: SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+impl From<DbError> for CoreError {
+    fn from(e: DbError) -> Self {
+        CoreError::Db(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_substrate_errors() {
+        let e: CoreError = SimError::NoSuchPage(3).into();
+        assert!(e.to_string().contains("simulator"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Error + Send + Sync>() {}
+        check::<CoreError>();
+    }
+}

@@ -1,0 +1,370 @@
+//! Filter execution: compile the query's conjunction to bulk-bitwise
+//! microprograms and leave a one-bit mask per record.
+//!
+//! In `one-xb` mode a single program evaluates every atom and ANDs in
+//! the validity bit. In `two-xb` mode each partition evaluates its own
+//! atoms; the dimension-side mask is then *transferred through the
+//! host* — read as cache lines, rewritten into the fact partition's
+//! transfer chunk — before the fact-side program combines everything
+//! into the final mask (the inter-partition traffic Section III
+//! predicts vertical partitioning will pay).
+
+use bbpim_db::plan::ResolvedAtom;
+use bbpim_sim::compiler::predicate;
+use bbpim_sim::compiler::{CodeBuilder, ColRange, ScratchPool};
+use bbpim_sim::isa::Microprogram;
+use bbpim_sim::module::{PageId, PimModule};
+use bbpim_sim::timeline::RunLog;
+
+use crate::error::CoreError;
+use crate::layout::{RecordLayout, MASK_COL, TRANSFER_COL, VALID_COL};
+use crate::loader::LoadedRelation;
+
+/// Result of the filter phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FilterOutcome {
+    /// Records whose mask bit is set.
+    pub selected: u64,
+    /// `selected / records`.
+    pub selectivity: f64,
+}
+
+/// Emit one atom's predicate program; returns the result column.
+///
+/// # Errors
+///
+/// Propagates compiler failures (scratch exhaustion, bad constants).
+pub fn compile_atom(
+    b: &mut CodeBuilder<'_>,
+    atom: &ResolvedAtom,
+    range: ColRange,
+) -> Result<usize, CoreError> {
+    let col = match atom {
+        ResolvedAtom::Eq { value, .. } => predicate::compile_eq_const(b, range, *value)?,
+        ResolvedAtom::Between { lo, hi, .. } => {
+            predicate::compile_between_const(b, range, *lo, *hi)?
+        }
+        ResolvedAtom::Lt { value, .. } => predicate::compile_lt_const(b, range, *value)?,
+        ResolvedAtom::Gt { value, .. } => predicate::compile_gt_const(b, range, *value)?,
+        ResolvedAtom::In { values, .. } => predicate::compile_in_set(b, range, values)?,
+    };
+    Ok(col)
+}
+
+/// Copy a one-bit column into `dst` (INIT + double NOT, 4 cycles).
+pub fn copy_col(b: &mut CodeBuilder<'_>, src: usize, dst: usize) -> Result<(), CoreError> {
+    let t = b.emit_not(src)?;
+    b.program_mut().gate_nor(t, t, dst);
+    b.release(t);
+    Ok(())
+}
+
+/// Build the program that evaluates `atoms` (pre-resolved to column
+/// ranges of this partition), ANDs in `and_cols` (validity, transferred
+/// masks…), and writes the result to `dst_col`. Uses the partition's
+/// whole scratch region — see [`build_mask_program_in`] when part of the
+/// scratch is reserved (e.g. by a materialised aggregate expression).
+///
+/// # Errors
+///
+/// Propagates compiler failures.
+pub fn build_mask_program(
+    layout: &RecordLayout,
+    partition: usize,
+    atoms: &[(ResolvedAtom, ColRange)],
+    and_cols: &[usize],
+    dst_col: usize,
+) -> Result<Microprogram, CoreError> {
+    build_mask_program_in(layout.scratch(partition), atoms, and_cols, dst_col)
+}
+
+/// [`build_mask_program`] with an explicit scratch region.
+///
+/// # Errors
+///
+/// Propagates compiler failures.
+pub fn build_mask_program_in(
+    scratch: ColRange,
+    atoms: &[(ResolvedAtom, ColRange)],
+    and_cols: &[usize],
+    dst_col: usize,
+) -> Result<Microprogram, CoreError> {
+    let mut pool = ScratchPool::new(scratch);
+    let mut b = CodeBuilder::new(&mut pool);
+    let mut terms: Vec<usize> = Vec::with_capacity(atoms.len() + and_cols.len());
+    for (atom, range) in atoms {
+        terms.push(compile_atom(&mut b, atom, *range)?);
+    }
+    terms.extend_from_slice(and_cols);
+    let combined = b.emit_and_many(&terms)?;
+    copy_col(&mut b, combined, dst_col)?;
+    b.release(combined);
+    Ok(b.finish())
+}
+
+/// Count the set bits of a one-bit column over a partition's pages.
+pub fn count_mask_bits(module: &PimModule, pages: &[PageId], col: usize) -> u64 {
+    pages
+        .iter()
+        .map(|&p| {
+            module
+                .page(p)
+                .crossbars()
+                .map(|xb| xb.bits().popcount_col(col) as u64)
+                .sum::<u64>()
+        })
+        .sum()
+}
+
+/// Read a one-bit column of a partition into a per-record vector
+/// (engine-internal view of the real bits; charging for the host read
+/// is the caller's decision via [`mask_read_lines`]).
+pub fn mask_bits(
+    module: &PimModule,
+    loaded: &LoadedRelation,
+    pages: &[PageId],
+    col: usize,
+) -> Vec<bool> {
+    let mut out = vec![false; loaded.records()];
+    for (pg_idx, &pid) in pages.iter().enumerate() {
+        let page = module.page(pid);
+        for slot in 0..loaded.records_per_page() {
+            let record = loaded.record_at(pg_idx, slot);
+            if record >= loaded.records() {
+                break;
+            }
+            let s = page.record_slot(slot).expect("slot within page");
+            out[record] = page.crossbar(s.crossbar).bits().get(s.row, col);
+        }
+    }
+    out
+}
+
+/// Cache lines needed to read a page-run's one-bit mask column: one line
+/// per (page, row) — 1024 lines per 2 MB page, the paper's 32× read
+/// reduction.
+pub fn mask_read_lines(module: &PimModule, pages: &[PageId]) -> u64 {
+    pages.len() as u64 * module.config().crossbar_rows as u64
+}
+
+/// Execute the query filter, leaving the final mask in partition 0's
+/// [`MASK_COL`]. Pushes every phase (PIM programs, transfer reads and
+/// writes) to `log`.
+///
+/// # Errors
+///
+/// Propagates compiler/simulator failures; unknown attributes have been
+/// resolved by the caller.
+pub fn run_filter(
+    module: &mut PimModule,
+    layout: &RecordLayout,
+    loaded: &LoadedRelation,
+    atoms: &[(ResolvedAtom, crate::layout::AttrPlacement)],
+    log: &mut RunLog,
+) -> Result<FilterOutcome, CoreError> {
+    let mut per_partition: Vec<Vec<(ResolvedAtom, ColRange)>> =
+        vec![Vec::new(); layout.partitions()];
+    for (atom, placement) in atoms {
+        per_partition[placement.partition].push((atom.clone(), placement.range));
+    }
+
+    if layout.partitions() == 1 {
+        let prog = build_mask_program(layout, 0, &per_partition[0], &[VALID_COL], MASK_COL)?;
+        let phase = module.exec_program(loaded.pages(0), &prog)?;
+        log.push(phase);
+    } else {
+        let dim_atoms = &per_partition[1];
+        let mut fact_and = vec![VALID_COL];
+        if !dim_atoms.is_empty() {
+            // Dimension-side mask…
+            let prog = build_mask_program(layout, 1, dim_atoms, &[VALID_COL], MASK_COL)?;
+            let phase = module.exec_program(loaded.pages(1), &prog)?;
+            log.push(phase);
+            // …travels through the host into the fact partition.
+            let bits = mask_bits(module, loaded, loaded.pages(1), MASK_COL);
+            let lines = mask_read_lines(module, loaded.pages(1));
+            log.push(module.host_read_phase(lines));
+            write_transfer_bits(module, loaded, &bits)?;
+            log.push(module.host_write_phase(lines));
+            fact_and.push(TRANSFER_COL);
+        }
+        let prog = build_mask_program(layout, 0, &per_partition[0], &fact_and, MASK_COL)?;
+        let phase = module.exec_program(loaded.pages(0), &prog)?;
+        log.push(phase);
+    }
+
+    let selected = count_mask_bits(module, loaded.pages(0), MASK_COL);
+    let selectivity =
+        if loaded.records() == 0 { 0.0 } else { selected as f64 / loaded.records() as f64 };
+    Ok(FilterOutcome { selected, selectivity })
+}
+
+/// Write a per-record bit vector into a partition's transfer chunk (the
+/// host writes whole 16-bit chunks, so each record's row takes a 16-cell
+/// write).
+///
+/// # Errors
+///
+/// Propagates page-slot failures.
+pub fn write_transfer_bits_to(
+    module: &mut PimModule,
+    loaded: &LoadedRelation,
+    bits: &[bool],
+    partition: usize,
+) -> Result<(), CoreError> {
+    let pages: Vec<PageId> = loaded.pages(partition).to_vec();
+    for (pg_idx, pid) in pages.iter().enumerate() {
+        let page = module.page_mut(*pid);
+        for slot in 0..loaded.records_per_page() {
+            let record = loaded.record_at(pg_idx, slot);
+            if record >= bits.len() {
+                break;
+            }
+            page.write_record_bits(slot, TRANSFER_COL, 16, bits[record] as u64)?;
+        }
+    }
+    Ok(())
+}
+
+/// [`write_transfer_bits_to`] targeting partition 0 (the common case:
+/// dimension masks travel to the fact partition).
+///
+/// # Errors
+///
+/// Propagates page-slot failures.
+pub fn write_transfer_bits(
+    module: &mut PimModule,
+    loaded: &LoadedRelation,
+    bits: &[bool],
+) -> Result<(), CoreError> {
+    write_transfer_bits_to(module, loaded, bits, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::RecordLayout;
+    use crate::loader::load_relation;
+    use crate::modes::EngineMode;
+    use bbpim_db::plan::{Atom, Query};
+    use bbpim_db::schema::{Attribute, Schema};
+    use bbpim_db::Relation;
+    use bbpim_sim::SimConfig;
+
+    fn setup(mode: EngineMode) -> (PimModule, Relation, RecordLayout, LoadedRelation) {
+        let cfg = SimConfig::small_for_tests();
+        let schema = Schema::new(
+            "t",
+            vec![Attribute::numeric("lo_v", 8), Attribute::numeric("d_g", 4)],
+        );
+        let mut rel = Relation::new(schema);
+        for i in 0..600u64 {
+            rel.push_row(&[i % 200, i % 10]).unwrap();
+        }
+        let layout = RecordLayout::build(rel.schema(), &cfg, mode, &[]).unwrap();
+        let mut module = PimModule::new(cfg);
+        let loaded = load_relation(&mut module, &rel, &layout).unwrap();
+        (module, rel, layout, loaded)
+    }
+
+    fn resolved(query: &Query, rel: &Relation, layout: &RecordLayout) -> Vec<(ResolvedAtom, crate::layout::AttrPlacement)> {
+        query
+            .resolve_filter(rel.schema())
+            .unwrap()
+            .into_iter()
+            .zip(query.filter.iter())
+            .map(|(atom, raw)| (atom, layout.placement(raw.attr()).unwrap()))
+            .collect()
+    }
+
+    fn query(filter: Vec<Atom>) -> Query {
+        Query {
+            id: "t".into(),
+            filter,
+            group_by: vec![],
+            agg_func: bbpim_db::plan::AggFunc::Sum,
+            agg_expr: bbpim_db::plan::AggExpr::Attr("lo_v".into()),
+        }
+    }
+
+    #[test]
+    fn one_xb_filter_matches_oracle() {
+        let (mut module, rel, layout, loaded) = setup(EngineMode::OneXb);
+        let q = query(vec![
+            Atom::Lt { attr: "lo_v".into(), value: 50u64.into() },
+            Atom::Eq { attr: "d_g".into(), value: 3u64.into() },
+        ]);
+        let atoms = resolved(&q, &rel, &layout);
+        let mut log = RunLog::new();
+        let out = run_filter(&mut module, &layout, &loaded, &atoms, &mut log).unwrap();
+        let expected = bbpim_db::stats::filter_bitvec(&q, &rel).unwrap();
+        assert_eq!(out.selected, expected.iter().filter(|b| **b).count() as u64);
+        // per-record mask identical to the oracle
+        let mask = mask_bits(&module, &loaded, loaded.pages(0), MASK_COL);
+        assert_eq!(mask, expected);
+        assert!(log.total_time_ns() > 0.0);
+    }
+
+    #[test]
+    fn two_xb_filter_matches_oracle_and_charges_transfer() {
+        let (mut module, rel, layout, loaded) = setup(EngineMode::TwoXb);
+        let q = query(vec![
+            Atom::Lt { attr: "lo_v".into(), value: 120u64.into() },
+            Atom::In { attr: "d_g".into(), values: vec![2u64.into(), 7u64.into()] },
+        ]);
+        let atoms = resolved(&q, &rel, &layout);
+        let mut log = RunLog::new();
+        let out = run_filter(&mut module, &layout, &loaded, &atoms, &mut log).unwrap();
+        let expected = bbpim_db::stats::filter_bitvec(&q, &rel).unwrap();
+        assert_eq!(out.selected, expected.iter().filter(|b| **b).count() as u64);
+        let mask = mask_bits(&module, &loaded, loaded.pages(0), MASK_COL);
+        assert_eq!(mask, expected);
+        // transfer phases present: at least one host read + one host write
+        use bbpim_sim::timeline::PhaseKind;
+        assert!(log.time_in(PhaseKind::HostRead) > 0.0);
+        assert!(log.time_in(PhaseKind::HostWrite) > 0.0);
+    }
+
+    #[test]
+    fn two_xb_without_dim_atoms_skips_transfer() {
+        let (mut module, rel, layout, loaded) = setup(EngineMode::TwoXb);
+        let q = query(vec![Atom::Gt { attr: "lo_v".into(), value: 150u64.into() }]);
+        let atoms = resolved(&q, &rel, &layout);
+        let mut log = RunLog::new();
+        run_filter(&mut module, &layout, &loaded, &atoms, &mut log).unwrap();
+        use bbpim_sim::timeline::PhaseKind;
+        assert_eq!(log.time_in(PhaseKind::HostRead), 0.0);
+    }
+
+    #[test]
+    fn padding_rows_never_selected() {
+        let (mut module, rel, layout, loaded) = setup(EngineMode::OneXb);
+        // trivially-true filter: v < 256 selects every *valid* record
+        let q = query(vec![Atom::Lt { attr: "lo_v".into(), value: 255u64.into() }]);
+        let atoms = resolved(&q, &rel, &layout);
+        let mut log = RunLog::new();
+        let out = run_filter(&mut module, &layout, &loaded, &atoms, &mut log).unwrap();
+        // 600 records, none of the padding slots counted
+        let expected =
+            rel.column_by_name("lo_v").unwrap().values().iter().filter(|v| **v < 255).count();
+        assert_eq!(out.selected, expected as u64);
+    }
+
+    #[test]
+    fn empty_filter_selects_all_valid() {
+        let (mut module, rel, layout, loaded) = setup(EngineMode::OneXb);
+        let q = query(vec![]);
+        let atoms = resolved(&q, &rel, &layout);
+        let mut log = RunLog::new();
+        let out = run_filter(&mut module, &layout, &loaded, &atoms, &mut log).unwrap();
+        assert_eq!(out.selected, rel.len() as u64);
+        assert!((out.selectivity - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mask_read_lines_is_rows_times_pages() {
+        let (module, _rel, _layout, loaded) = setup(EngineMode::OneXb);
+        let lines = mask_read_lines(&module, loaded.pages(0));
+        assert_eq!(lines, (loaded.page_count() * module.config().crossbar_rows) as u64);
+    }
+}

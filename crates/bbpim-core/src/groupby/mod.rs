@@ -1,0 +1,337 @@
+//! The hybrid GROUP-BY of Section IV.
+//!
+//! Flow: filter (done by the caller) → [`sampling`] one page →
+//! [`cost_model`] evaluation of Eqs. (1)–(3) with tables fitted by
+//! [`calibration`] → the k largest subgroups to [`pim_gb`], the tail to
+//! [`host_gb`] → merge.
+//!
+//! Candidate subgroups are ordered: keys seen in the sample (estimated
+//! size, descending), then all remaining *potential* keys (the cross
+//! product of the constrained per-attribute domains) — so choosing
+//! `k = k_MAX` covers subgroups the sample never saw, exactly like the
+//! paper's Q3.4, where 4 subgroups go to PIM with 0 seen in the sample.
+
+pub mod calibration;
+pub mod cost_model;
+pub mod fitting;
+pub mod host_gb;
+pub mod pim_gb;
+pub mod sampling;
+
+use std::collections::HashSet;
+
+use bbpim_db::plan::Query;
+use bbpim_db::stats::{self, GroupedResult};
+use bbpim_db::Relation;
+use bbpim_sim::module::PimModule;
+use bbpim_sim::timeline::RunLog;
+
+use crate::agg_exec::{materialize_expr, reads_per_value, AggInput};
+use crate::error::CoreError;
+use crate::layout::{AttrPlacement, RecordLayout};
+use crate::loader::LoadedRelation;
+use crate::modes::EngineMode;
+use cost_model::{GbParams, GroupByModel};
+
+/// GROUP-BY execution summary (feeds Table II).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupByOutcome {
+    /// Aggregated groups.
+    pub groups: GroupedResult,
+    /// Subgroups aggregated in PIM (`k`).
+    pub k: usize,
+    /// Total potential subgroups (`k_MAX`).
+    pub kmax: usize,
+    /// Subgroups seen in the sample.
+    pub sampled: usize,
+}
+
+/// The `n` parameter (aggregation-value reads per crossbar) a query will
+/// have, without materialising anything.
+///
+/// # Errors
+///
+/// Propagates placement failures.
+pub fn plan_n(
+    layout: &RecordLayout,
+    cfg: &bbpim_sim::config::SimConfig,
+    expr: &bbpim_db::plan::AggExpr,
+) -> Result<usize, CoreError> {
+    use bbpim_db::plan::AggExpr;
+    let range = match expr {
+        AggExpr::Attr(a) => layout.placement(a)?.range,
+        AggExpr::Mul(a, b) => {
+            let pa = layout.placement(a)?;
+            let pb = layout.placement(b)?;
+            let scratch = layout.scratch(pa.partition);
+            bbpim_sim::compiler::ColRange::new(scratch.lo, pa.range.width + pb.range.width)
+        }
+        AggExpr::Sub(a, b) => {
+            let pa = layout.placement(a)?;
+            let pb = layout.placement(b)?;
+            let scratch = layout.scratch(pa.partition);
+            bbpim_sim::compiler::ColRange::new(
+                scratch.lo,
+                pa.range.width.max(pb.range.width),
+            )
+        }
+    };
+    Ok(reads_per_value(cfg.read_width_bits, range))
+}
+
+/// Execute the hybrid GROUP-BY. The filter must already have produced
+/// the mask in partition 0. `relation` serves as the catalog for the
+/// potential-subgroup enumeration (`k_MAX`).
+///
+/// # Errors
+///
+/// Propagates substrate failures; [`CoreError::NotCalibrated`] never
+/// arises here (the caller passes a fitted model).
+#[allow(clippy::too_many_arguments)]
+pub fn run_group_by(
+    module: &mut PimModule,
+    layout: &RecordLayout,
+    loaded: &LoadedRelation,
+    relation: &Relation,
+    mode: EngineMode,
+    query: &Query,
+    model: &GroupByModel,
+    log: &mut RunLog,
+) -> Result<GroupByOutcome, CoreError> {
+    let group_placements: Vec<(String, AttrPlacement)> = query
+        .group_by
+        .iter()
+        .map(|g| Ok((g.clone(), layout.placement(g)?)))
+        .collect::<Result<_, CoreError>>()?;
+
+    // 1. Sample one page, estimate subgroup sizes.
+    let estimate = sampling::sample_page(module, layout, loaded, &group_placements, log)?;
+
+    // 2. Candidate ordering: sampled keys by size, then unseen potential
+    //    keys from the catalog.
+    let domains = stats::group_domains(query, relation)?;
+    let kmax: usize =
+        domains.iter().fold(1usize, |acc, d| acc.saturating_mul(d.len().max(1)));
+    let mut candidates: Vec<Vec<u64>> = estimate.groups.iter().map(|(k, _)| k.clone()).collect();
+    let sampled_set: HashSet<Vec<u64>> = candidates.iter().cloned().collect();
+    for key in cross_product(&domains) {
+        if !sampled_set.contains(&key) {
+            candidates.push(key);
+        }
+    }
+    // The catalog may enumerate fewer combinations than the sample saw
+    // keys (never in practice); clamp kmax to the candidate count.
+    let kmax = kmax.max(candidates.len().min(kmax)).min(candidates.len());
+
+    // 3. Decide k (Eq. 3).
+    let cfg = module.config().clone();
+    let s = layout.reads_per_record(
+        query.group_by.iter().map(String::as_str).chain(query.agg_expr.attrs()),
+    )?;
+    let n = plan_n(layout, &cfg, &query.agg_expr)?;
+    let params = GbParams { m: loaded.page_count(), n, s, kmax };
+    let k = model.choose_k(&params, &|k| estimate.r_of_k(k));
+
+    // 4. pim-gb for the k largest candidates.
+    let mut groups = GroupedResult::new();
+    let mut skip: HashSet<Vec<u64>> = HashSet::new();
+    if k > 0 {
+        let input: AggInput =
+            materialize_expr(module, layout, loaded, &query.agg_expr, log)?;
+        let keys: Vec<Vec<u64>> = candidates[..k].to_vec();
+        let entries = pim_gb::run_pim_gb(
+            module,
+            layout,
+            loaded,
+            mode,
+            &group_placements,
+            &keys,
+            &input,
+            query.agg_func,
+            log,
+        )?;
+        for e in entries {
+            skip.insert(e.key.clone());
+            if e.count > 0 {
+                groups.insert(e.key, e.value);
+            }
+        }
+    }
+
+    // 5. host-gb for the tail.
+    if k < kmax {
+        let req = host_gb::HostGbRequest {
+            group_placements: &group_placements,
+            expr: &query.agg_expr,
+            func: query.agg_func,
+            skip: &skip,
+        };
+        let tail = host_gb::run_host_gb(module, layout, loaded, &req, log)?;
+        groups.extend(tail);
+    }
+
+    Ok(GroupByOutcome { groups, k, kmax, sampled: estimate.seen() })
+}
+
+/// Cross product of per-attribute domains, deterministic order.
+fn cross_product(domains: &[Vec<u64>]) -> Vec<Vec<u64>> {
+    let mut out: Vec<Vec<u64>> = vec![Vec::new()];
+    for domain in domains {
+        let mut next = Vec::with_capacity(out.len() * domain.len().max(1));
+        for prefix in &out {
+            for &v in domain {
+                let mut key = prefix.clone();
+                key.push(v);
+                next.push(key);
+            }
+        }
+        out = next;
+    }
+    if domains.is_empty() {
+        Vec::new()
+    } else {
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter_exec::run_filter;
+    use crate::groupby::calibration::{run_calibration, CalibrationConfig};
+    use crate::layout::RecordLayout;
+    use crate::loader::load_relation;
+    use bbpim_db::plan::{AggExpr, AggFunc, Atom};
+    use bbpim_db::schema::{Attribute, Schema};
+    use bbpim_sim::SimConfig;
+
+    fn setup(
+        mode: EngineMode,
+    ) -> (PimModule, Relation, RecordLayout, LoadedRelation, Query, GroupByModel) {
+        let cfg = SimConfig::small_for_tests();
+        let schema = Schema::new(
+            "t",
+            vec![Attribute::numeric("lo_v", 8), Attribute::numeric("d_g", 4)],
+        );
+        let mut rel = Relation::new(schema);
+        // Zipf-ish groups: group 0 huge, tail small.
+        for i in 0..2000u64 {
+            let g = match i % 10 {
+                0..=5 => 0,
+                6..=7 => 1,
+                8 => 2,
+                _ => 3 + (i % 5),
+            };
+            rel.push_row(&[(7 * i) % 251, g]).unwrap();
+        }
+        let q = Query {
+            id: "t".into(),
+            filter: vec![Atom::Lt { attr: "lo_v".into(), value: 240u64.into() }],
+            group_by: vec!["d_g".into()],
+            agg_func: AggFunc::Sum,
+            agg_expr: AggExpr::Attr("lo_v".into()),
+        };
+        let layout = RecordLayout::build(rel.schema(), &cfg, mode, &[]).unwrap();
+        let mut module = PimModule::new(cfg.clone());
+        let loaded = load_relation(&mut module, &rel, &layout).unwrap();
+        let atoms: Vec<_> = q
+            .resolve_filter(rel.schema())
+            .unwrap()
+            .into_iter()
+            .zip(q.filter.iter())
+            .map(|(a, raw)| (a, layout.placement(raw.attr()).unwrap()))
+            .collect();
+        let mut log = RunLog::new();
+        run_filter(&mut module, &layout, &loaded, &atoms, &mut log).unwrap();
+        let (_, model) =
+            run_calibration(&cfg, mode, &CalibrationConfig::tiny_for_tests()).unwrap();
+        (module, rel, layout, loaded, q, model)
+    }
+
+    #[test]
+    fn hybrid_group_by_matches_oracle_all_modes() {
+        for mode in [EngineMode::OneXb, EngineMode::TwoXb, EngineMode::PimDb] {
+            let (mut module, rel, layout, loaded, q, model) = setup(mode);
+            let mut log = RunLog::new();
+            let out = run_group_by(
+                &mut module, &layout, &loaded, &rel, mode, &q, &model, &mut log,
+            )
+            .unwrap();
+            let expected = stats::run_oracle(&q, &rel).unwrap();
+            assert_eq!(out.groups, expected, "{mode:?} (k={})", out.k);
+            assert!(out.kmax >= out.groups.len());
+            assert!(out.k <= out.kmax);
+        }
+    }
+
+    #[test]
+    fn forced_all_pim_still_matches_oracle() {
+        // A model with free PIM and absurdly expensive host forces k=kmax.
+        use crate::groupby::cost_model::{HostGbModel, PimGbModel};
+        use crate::groupby::fitting::{LinFit, SqrtFit};
+        use std::collections::BTreeMap;
+        let (mut module, rel, layout, loaded, q, _) = setup(EngineMode::OneXb);
+        let mut per_s = BTreeMap::new();
+        per_s.insert(2, SqrtFit { a: 1e12, b: 1e12, r2: 1.0 });
+        let mut per_n = BTreeMap::new();
+        per_n.insert(1, LinFit { slope: 0.0, intercept: 1.0, r2: 1.0 });
+        let model =
+            GroupByModel { host: HostGbModel::new(per_s), pim: PimGbModel::new(per_n) };
+        let mut log = RunLog::new();
+        let out =
+            run_group_by(&mut module, &layout, &loaded, &rel, EngineMode::OneXb, &q, &model, &mut log)
+                .unwrap();
+        assert_eq!(out.k, out.kmax, "everything must go to PIM");
+        assert_eq!(out.groups, stats::run_oracle(&q, &rel).unwrap());
+    }
+
+    #[test]
+    fn forced_all_host_still_matches_oracle() {
+        use crate::groupby::cost_model::{HostGbModel, PimGbModel};
+        use crate::groupby::fitting::{LinFit, SqrtFit};
+        use std::collections::BTreeMap;
+        let (mut module, rel, layout, loaded, q, _) = setup(EngineMode::OneXb);
+        let mut per_s = BTreeMap::new();
+        per_s.insert(2, SqrtFit { a: 1.0, b: 1.0, r2: 1.0 });
+        let mut per_n = BTreeMap::new();
+        per_n.insert(1, LinFit { slope: 0.0, intercept: 1e12, r2: 1.0 });
+        let model =
+            GroupByModel { host: HostGbModel::new(per_s), pim: PimGbModel::new(per_n) };
+        let mut log = RunLog::new();
+        let out =
+            run_group_by(&mut module, &layout, &loaded, &rel, EngineMode::OneXb, &q, &model, &mut log)
+                .unwrap();
+        assert_eq!(out.k, 0);
+        assert_eq!(out.groups, stats::run_oracle(&q, &rel).unwrap());
+    }
+
+    #[test]
+    fn cross_product_enumerates_in_order() {
+        let d = vec![vec![1u64, 2], vec![10u64, 20]];
+        let keys = cross_product(&d);
+        assert_eq!(
+            keys,
+            vec![vec![1, 10], vec![1, 20], vec![2, 10], vec![2, 20]]
+        );
+        assert!(cross_product(&[]).is_empty());
+    }
+
+    #[test]
+    fn empty_selection_yields_empty_groups() {
+        let (mut module, rel, layout, loaded, mut q, model) = setup(EngineMode::OneXb);
+        q.filter = vec![Atom::Lt { attr: "lo_v".into(), value: 0u64.into() }];
+        let atoms: Vec<_> = q
+            .resolve_filter(rel.schema())
+            .unwrap()
+            .into_iter()
+            .zip(q.filter.iter())
+            .map(|(a, raw)| (a, layout.placement(raw.attr()).unwrap()))
+            .collect();
+        let mut log = RunLog::new();
+        run_filter(&mut module, &layout, &loaded, &atoms, &mut log).unwrap();
+        let out =
+            run_group_by(&mut module, &layout, &loaded, &rel, EngineMode::OneXb, &q, &model, &mut log)
+                .unwrap();
+        assert!(out.groups.is_empty());
+    }
+}

@@ -1,0 +1,268 @@
+//! pim-gb: aggregate one subgroup entirely in PIM.
+//!
+//! For each assigned subgroup key, a bulk-bitwise program ANDs the
+//! group-key equality with the saved query mask into the group-mask
+//! column, then the aggregation path of the current mode reduces the
+//! value under that mask. The latency is independent of the subgroup's
+//! record count — the property the hybrid GROUP-BY exploits for large
+//! subgroups.
+//!
+//! Under `two-xb` the group keys live in the dimension partition while
+//! the aggregated value lives in the fact partition, so *every subgroup*
+//! pays a mask transfer through the host — the worst-case-partitioning
+//! overhead of Section V-A.
+
+use bbpim_db::plan::{AggFunc, ResolvedAtom};
+use bbpim_sim::compiler::ColRange;
+use bbpim_sim::module::PimModule;
+use bbpim_sim::timeline::RunLog;
+
+use crate::agg_exec::{aggregate_masked_counted, AggInput};
+use crate::error::CoreError;
+use crate::filter_exec::{
+    build_mask_program_in, mask_bits, mask_read_lines, write_transfer_bits,
+};
+use crate::layout::{AttrPlacement, RecordLayout, GROUP_MASK_COL, MASK_COL, TRANSFER_COL, VALID_COL};
+use crate::loader::LoadedRelation;
+use crate::modes::EngineMode;
+
+/// One PIM-aggregated subgroup: key, aggregate, matching records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PimGbEntry {
+    /// Group key (plan order).
+    pub key: Vec<u64>,
+    /// Aggregate value.
+    pub value: u64,
+    /// Records that matched — produced by the aggregation pass's count
+    /// register (SQL needs to distinguish an empty subgroup from a zero
+    /// sum), charged as part of the same PIM request.
+    pub count: u64,
+}
+
+/// Aggregate each `key` in PIM; returns one entry per key.
+///
+/// # Errors
+///
+/// Propagates compiler/simulator failures;
+/// [`CoreError::Unsupported`] when group attributes span partitions.
+#[allow(clippy::too_many_arguments)] // engine plumbing: module + layout + log threading
+pub fn run_pim_gb(
+    module: &mut PimModule,
+    layout: &RecordLayout,
+    loaded: &LoadedRelation,
+    mode: EngineMode,
+    group_placements: &[(String, AttrPlacement)],
+    keys: &[Vec<u64>],
+    input: &AggInput,
+    func: AggFunc,
+    log: &mut RunLog,
+) -> Result<Vec<PimGbEntry>, CoreError> {
+    let key_partition = match group_placements.first() {
+        Some((_, p)) => p.partition,
+        None => input.partition,
+    };
+    if group_placements.iter().any(|(_, p)| p.partition != key_partition) {
+        return Err(CoreError::Unsupported(
+            "GROUP BY attributes spanning partitions".into(),
+        ));
+    }
+
+    let mut out = Vec::with_capacity(keys.len());
+    for key in keys {
+        let eq_atoms: Vec<(ResolvedAtom, ColRange)> = group_placements
+            .iter()
+            .zip(key)
+            .map(|((_, p), v)| (ResolvedAtom::Eq { idx: 0, value: *v }, p.range))
+            .collect();
+
+        if key_partition == input.partition {
+            // Same crossbar: one program forms the group mask.
+            let prog = build_mask_program_in(
+                input.scratch_left,
+                &eq_atoms,
+                &[MASK_COL],
+                GROUP_MASK_COL,
+            )?;
+            log.push(module.exec_program(loaded.pages(input.partition), &prog)?);
+        } else {
+            // two-xb: key equality in the dimension partition…
+            let prog = build_mask_program_in(
+                layout.scratch(key_partition),
+                &eq_atoms,
+                &[VALID_COL],
+                GROUP_MASK_COL,
+            )?;
+            log.push(module.exec_program(loaded.pages(key_partition), &prog)?);
+            // …travels through the host per subgroup…
+            let bits = mask_bits(module, loaded, loaded.pages(key_partition), GROUP_MASK_COL);
+            let lines = mask_read_lines(module, loaded.pages(key_partition));
+            log.push(module.host_read_phase(lines));
+            write_transfer_bits(module, loaded, &bits)?;
+            log.push(module.host_write_phase(lines));
+            // …and combines with the query mask in the fact partition.
+            let prog = build_mask_program_in(
+                input.scratch_left,
+                &[],
+                &[MASK_COL, TRANSFER_COL],
+                GROUP_MASK_COL,
+            )?;
+            log.push(module.exec_program(loaded.pages(input.partition), &prog)?);
+        }
+
+        let (value, count) = aggregate_masked_counted(
+            module,
+            layout,
+            loaded,
+            mode,
+            input,
+            GROUP_MASK_COL,
+            func,
+            log,
+        )?;
+        out.push(PimGbEntry { key: key.clone(), value, count });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg_exec::materialize_expr;
+    use crate::filter_exec::run_filter;
+    use crate::layout::RecordLayout;
+    use crate::loader::load_relation;
+    use bbpim_db::plan::{AggExpr, Atom, Query};
+    use bbpim_db::schema::{Attribute, Schema};
+    use bbpim_db::stats;
+    use bbpim_db::Relation;
+    use bbpim_sim::SimConfig;
+
+    fn setup(
+        mode: EngineMode,
+    ) -> (PimModule, Relation, RecordLayout, LoadedRelation, Query, AggInput, RunLog) {
+        let cfg = SimConfig::small_for_tests();
+        let schema = Schema::new(
+            "t",
+            vec![Attribute::numeric("lo_v", 8), Attribute::numeric("d_g", 4)],
+        );
+        let mut rel = Relation::new(schema);
+        for i in 0..700u64 {
+            rel.push_row(&[(5 * i) % 241, i % 6]).unwrap();
+        }
+        let q = Query {
+            id: "t".into(),
+            filter: vec![Atom::Lt { attr: "lo_v".into(), value: 200u64.into() }],
+            group_by: vec!["d_g".into()],
+            agg_func: AggFunc::Sum,
+            agg_expr: AggExpr::Attr("lo_v".into()),
+        };
+        let layout = RecordLayout::build(rel.schema(), &cfg, mode, &[]).unwrap();
+        let mut module = PimModule::new(cfg);
+        let loaded = load_relation(&mut module, &rel, &layout).unwrap();
+        let atoms: Vec<_> = q
+            .resolve_filter(rel.schema())
+            .unwrap()
+            .into_iter()
+            .zip(q.filter.iter())
+            .map(|(a, raw)| (a, layout.placement(raw.attr()).unwrap()))
+            .collect();
+        let mut log = RunLog::new();
+        run_filter(&mut module, &layout, &loaded, &atoms, &mut log).unwrap();
+        let input =
+            materialize_expr(&mut module, &layout, &loaded, &q.agg_expr, &mut log).unwrap();
+        (module, rel, layout, loaded, q, input, log)
+    }
+
+    fn oracle(q: &Query, rel: &Relation) -> bbpim_db::stats::GroupedResult {
+        stats::run_oracle(q, rel).unwrap()
+    }
+
+    #[test]
+    fn per_group_aggregates_match_oracle() {
+        for mode in [EngineMode::OneXb, EngineMode::TwoXb, EngineMode::PimDb] {
+            let (mut module, rel, layout, loaded, q, input, mut log) = setup(mode);
+            let gp: Vec<_> =
+                q.group_by.iter().map(|g| (g.clone(), layout.placement(g).unwrap())).collect();
+            let keys: Vec<Vec<u64>> = (0..6u64).map(|g| vec![g]).collect();
+            let entries = run_pim_gb(
+                &mut module, &layout, &loaded, mode, &gp, &keys, &input, q.agg_func, &mut log,
+            )
+            .unwrap();
+            let expected = oracle(&q, &rel);
+            for e in &entries {
+                assert_eq!(Some(&e.value), expected.get(&e.key), "{mode:?} key {:?}", e.key);
+                assert!(e.count > 0);
+            }
+            assert_eq!(entries.len(), 6);
+        }
+    }
+
+    #[test]
+    fn empty_subgroup_reports_zero_count() {
+        let (mut module, _rel, layout, loaded, q, input, mut log) = setup(EngineMode::OneXb);
+        let gp: Vec<_> =
+            q.group_by.iter().map(|g| (g.clone(), layout.placement(g).unwrap())).collect();
+        // group 15 never occurs (d_g < 6)
+        let entries = run_pim_gb(
+            &mut module,
+            &layout,
+            &loaded,
+            EngineMode::OneXb,
+            &gp,
+            &[vec![15u64]],
+            &input,
+            q.agg_func,
+            &mut log,
+        )
+        .unwrap();
+        assert_eq!(entries[0].count, 0);
+        assert_eq!(entries[0].value, 0);
+    }
+
+    #[test]
+    fn two_xb_charges_transfer_per_subgroup() {
+        use bbpim_sim::timeline::PhaseKind;
+        let (mut m1, _r1, l1, ld1, q1, i1, _) = setup(EngineMode::OneXb);
+        let (mut m2, _r2, l2, ld2, q2, i2, _) = setup(EngineMode::TwoXb);
+        let gp1: Vec<_> =
+            q1.group_by.iter().map(|g| (g.clone(), l1.placement(g).unwrap())).collect();
+        let gp2: Vec<_> =
+            q2.group_by.iter().map(|g| (g.clone(), l2.placement(g).unwrap())).collect();
+        let keys: Vec<Vec<u64>> = (0..4u64).map(|g| vec![g]).collect();
+        let mut log1 = RunLog::new();
+        let mut log2 = RunLog::new();
+        run_pim_gb(&mut m1, &l1, &ld1, EngineMode::OneXb, &gp1, &keys, &i1, q1.agg_func, &mut log1)
+            .unwrap();
+        run_pim_gb(&mut m2, &l2, &ld2, EngineMode::TwoXb, &gp2, &keys, &i2, q2.agg_func, &mut log2)
+            .unwrap();
+        assert_eq!(log1.time_in(PhaseKind::HostWrite), 0.0);
+        assert!(log2.time_in(PhaseKind::HostWrite) > 0.0);
+        assert!(log2.total_time_ns() > log1.total_time_ns());
+    }
+
+    #[test]
+    fn latency_independent_of_group_size() {
+        // Two keys with the same bit pattern cost (equal popcount) but
+        // wildly different group sizes: key 1 is populated (d_g ∈ 0..6),
+        // key 8 is empty. The equality program's cycle count depends on
+        // the key's set bits, so popcount must match for the comparison.
+        let (mut module, _rel, layout, loaded, q, input, _) = setup(EngineMode::OneXb);
+        let gp: Vec<_> =
+            q.group_by.iter().map(|g| (g.clone(), layout.placement(g).unwrap())).collect();
+        let mut log_a = RunLog::new();
+        let mut log_b = RunLog::new();
+        let a = run_pim_gb(
+            &mut module, &layout, &loaded, EngineMode::OneXb, &gp, &[vec![1u64]], &input,
+            q.agg_func, &mut log_a,
+        )
+        .unwrap();
+        let b = run_pim_gb(
+            &mut module, &layout, &loaded, EngineMode::OneXb, &gp, &[vec![8u64]], &input,
+            q.agg_func, &mut log_b,
+        )
+        .unwrap();
+        assert!(a[0].count > 0);
+        assert_eq!(b[0].count, 0);
+        assert!((log_a.total_time_ns() - log_b.total_time_ns()).abs() < 1e-6);
+    }
+}

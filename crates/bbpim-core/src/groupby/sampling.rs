@@ -1,0 +1,228 @@
+//! One-page sampling for subgroup-size estimation (Section IV).
+//!
+//! After the filter, the host reads the mask and the group-key chunks of
+//! *one* 2 MB page (32 K records in the paper's geometry) and scales the
+//! per-key counts up to the whole relation. The estimate drives both
+//! `r(k)` in Eq. (3) and the ordering of subgroups by size.
+
+use std::collections::HashMap;
+
+use bbpim_sim::hostmem::LineSet;
+use bbpim_sim::module::PimModule;
+use bbpim_sim::timeline::RunLog;
+
+use crate::error::CoreError;
+use crate::layout::{AttrPlacement, RecordLayout, MASK_COL};
+use crate::loader::LoadedRelation;
+
+/// Subgroup-size estimate from one sampled page.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleEstimate {
+    /// Records in the sample (≤ one page).
+    pub sample_records: usize,
+    /// Sampled records passing the filter.
+    pub sample_selected: usize,
+    /// Estimated selectivity of the query.
+    pub est_selectivity: f64,
+    /// Keys seen in the sample with their estimated *total* record
+    /// counts, largest first (deterministic tie-break by key).
+    pub groups: Vec<(Vec<u64>, f64)>,
+    /// Estimated total selected records in the relation.
+    pub est_selected_total: f64,
+}
+
+impl SampleEstimate {
+    /// Estimated share of selected records belonging to the i-th
+    /// largest sampled subgroup (0 for indices past the sample).
+    pub fn share(&self, i: usize) -> f64 {
+        if self.est_selected_total <= 0.0 {
+            return 0.0;
+        }
+        self.groups.get(i).map(|(_, est)| est / self.est_selected_total).unwrap_or(0.0)
+    }
+
+    /// `r(k)` of Eq. (3): estimated ratio of records (to the whole
+    /// relation) left for host-gb after the `k` largest subgroups go to
+    /// PIM.
+    pub fn r_of_k(&self, k: usize) -> f64 {
+        let covered: f64 = (0..k).map(|i| self.share(i)).sum();
+        (self.est_selectivity * (1.0 - covered)).max(0.0)
+    }
+
+    /// Subgroups observed in the sample (Table II's "subgroups in
+    /// sample").
+    pub fn seen(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+/// Read one page's mask and group keys, estimate subgroup sizes.
+///
+/// Charges the mask lines (one per row) and the key-chunk lines of the
+/// selected sampled records to `log`.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn sample_page(
+    module: &mut PimModule,
+    _layout: &RecordLayout,
+    loaded: &LoadedRelation,
+    group_placements: &[(String, AttrPlacement)],
+    log: &mut RunLog,
+) -> Result<SampleEstimate, CoreError> {
+    let sample_records = loaded.records_per_page().min(loaded.records());
+
+    // Mask of page 0 (partition 0): one line per occupied row index.
+    let rows_used = sample_records.div_ceil(module.config().crossbars_per_page());
+    log.push(module.host_read_phase(rows_used as u64));
+
+    let mask_page = module.page(loaded.pages(0)[0]);
+    let mut selected_slots = Vec::new();
+    for slot in 0..sample_records {
+        let s = mask_page.record_slot(slot)?;
+        if mask_page.crossbar(s.crossbar).bits().get(s.row, MASK_COL) {
+            selected_slots.push(slot);
+        }
+    }
+
+    // Group-key chunks of the selected sampled records.
+    let mut lines = LineSet::new();
+    let mut counts: HashMap<Vec<u64>, u64> = HashMap::new();
+    for &slot in &selected_slots {
+        let mut key = Vec::with_capacity(group_placements.len());
+        for (_, placement) in group_placements {
+            let page_id = loaded.pages(placement.partition)[0];
+            let page = module.page(page_id);
+            let s = page.record_slot(slot)?;
+            lines.touch_bit_range(
+                module.config(),
+                page_id.0,
+                s.row,
+                placement.range.lo,
+                placement.range.width,
+            );
+            key.push(page.crossbar(s.crossbar).read_row_bits(
+                s.row,
+                placement.range.lo,
+                placement.range.width,
+            ));
+        }
+        *counts.entry(key).or_default() += 1;
+    }
+    log.push(module.host_read_scattered_phase(lines.len()));
+
+    let scale = loaded.records() as f64 / sample_records as f64;
+    let mut groups: Vec<(Vec<u64>, f64)> =
+        counts.into_iter().map(|(k, c)| (k, c as f64 * scale)).collect();
+    groups.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    let sample_selected = selected_slots.len();
+    Ok(SampleEstimate {
+        sample_records,
+        sample_selected,
+        est_selectivity: sample_selected as f64 / sample_records as f64,
+        groups,
+        est_selected_total: sample_selected as f64 * scale,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter_exec::run_filter;
+    use crate::layout::RecordLayout;
+    use crate::loader::load_relation;
+    use crate::modes::EngineMode;
+    use bbpim_db::plan::{AggExpr, AggFunc, Atom, Query};
+    use bbpim_db::schema::{Attribute, Schema};
+    use bbpim_db::Relation;
+    use bbpim_sim::SimConfig;
+
+    fn setup() -> (PimModule, Relation, RecordLayout, LoadedRelation) {
+        let cfg = SimConfig::small_for_tests();
+        let schema = Schema::new(
+            "t",
+            vec![Attribute::numeric("lo_v", 8), Attribute::numeric("d_g", 4)],
+        );
+        let mut rel = Relation::new(schema);
+        // skewed groups: group 0 gets half the rows
+        for i in 0..1000u64 {
+            let g = if i % 2 == 0 { 0 } else { 1 + (i % 7) };
+            rel.push_row(&[i % 250, g]).unwrap();
+        }
+        let layout = RecordLayout::build(rel.schema(), &cfg, EngineMode::OneXb, &[]).unwrap();
+        let mut module = PimModule::new(cfg);
+        let loaded = load_relation(&mut module, &rel, &layout).unwrap();
+        (module, rel, layout, loaded)
+    }
+
+    fn filter_and_sample(selectivity_filter: Vec<Atom>) -> SampleEstimate {
+        let (mut module, rel, layout, loaded) = setup();
+        let q = Query {
+            id: "t".into(),
+            filter: selectivity_filter,
+            group_by: vec!["d_g".into()],
+            agg_func: AggFunc::Sum,
+            agg_expr: AggExpr::Attr("lo_v".into()),
+        };
+        let atoms: Vec<_> = q
+            .resolve_filter(rel.schema())
+            .unwrap()
+            .into_iter()
+            .zip(q.filter.iter())
+            .map(|(a, raw)| (a, layout.placement(raw.attr()).unwrap()))
+            .collect();
+        let mut log = RunLog::new();
+        run_filter(&mut module, &layout, &loaded, &atoms, &mut log).unwrap();
+        let placements =
+            vec![("d_g".to_string(), layout.placement("d_g").unwrap())];
+        sample_page(&mut module, &layout, &loaded, &placements, &mut log).unwrap()
+    }
+
+    #[test]
+    fn estimates_ordered_and_head_heavy() {
+        let est = filter_and_sample(vec![]);
+        assert!(est.sample_selected > 0);
+        assert!((est.est_selectivity - 1.0).abs() < 1e-9);
+        // group 0 holds ~half the records and must rank first
+        assert_eq!(est.groups[0].0, vec![0u64]);
+        assert!(est.share(0) > 0.3);
+        for w in est.groups.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn r_of_k_decreases_and_respects_selectivity() {
+        let est = filter_and_sample(vec![Atom::Lt { attr: "lo_v".into(), value: 125u64.into() }]);
+        let r0 = est.r_of_k(0);
+        assert!((r0 - est.est_selectivity).abs() < 1e-9);
+        let mut prev = r0;
+        for k in 1..=est.seen() {
+            let rk = est.r_of_k(k);
+            assert!(rk <= prev + 1e-12, "r(k) must be non-increasing");
+            prev = rk;
+        }
+        // past the sampled groups r stays flat
+        assert!((est.r_of_k(est.seen() + 5) - est.r_of_k(est.seen())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_selection_gives_zero_estimates() {
+        // lo_v < 0 is impossible
+        let est = filter_and_sample(vec![Atom::Lt { attr: "lo_v".into(), value: 0u64.into() }]);
+        assert_eq!(est.sample_selected, 0);
+        assert_eq!(est.seen(), 0);
+        assert_eq!(est.r_of_k(0), 0.0);
+        assert_eq!(est.share(0), 0.0);
+    }
+
+    #[test]
+    fn estimated_counts_scale_to_relation() {
+        let est = filter_and_sample(vec![]);
+        // sample is the full first page; totals scale by records/sample
+        let total_est: f64 = est.groups.iter().map(|(_, c)| c).sum();
+        assert!((total_est - 1000.0).abs() / 1000.0 < 0.25, "total {total_est}");
+    }
+}

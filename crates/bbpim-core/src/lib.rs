@@ -1,0 +1,53 @@
+//! # bbpim-core — the bulk-bitwise PIM OLAP engine
+//!
+//! This crate implements the contribution of *"Enabling Relational
+//! Database Analytical Processing in Bulk-Bitwise Processing-In-Memory"*
+//! (Perach, Ronen, Kvatinsky — SOCC 2023) on top of the
+//! [`bbpim_sim`] hardware substrate and the [`bbpim_db`] relational
+//! substrate:
+//!
+//! * **Pre-joined relations in PIM** — [`layout`] maps the wide
+//!   (denormalised) relation onto crossbar rows, either whole
+//!   (`one-xb`) or vertically partitioned fact/dimension (`two-xb`,
+//!   Section III), and [`loader`] installs it bit-exactly.
+//! * **Full-query execution** — [`engine::PimQueryEngine`] runs SSB-style
+//!   queries end to end: compiled bulk-bitwise filters
+//!   ([`filter_exec`]), in-crossbar arithmetic for aggregate
+//!   expressions, and aggregation through the peripheral circuit or the
+//!   pure bulk-bitwise PIMDB baseline ([`agg_exec`], [`modes`]).
+//! * **Hybrid GROUP-BY** (Section IV) — [`groupby`] samples one 2 MB
+//!   page, estimates subgroup sizes, fits/evaluates the empirical
+//!   latency model (Eqs. 1–3), assigns the k largest subgroups to
+//!   *pim-gb* and the tail to *host-gb*.
+//! * **UPDATE via the PIM multiplexer** (Algorithm 1) — [`update`]
+//!   maintains pre-joined data with zero reads.
+//!
+//! ```no_run
+//! use bbpim_core::engine::PimQueryEngine;
+//! use bbpim_core::modes::EngineMode;
+//! use bbpim_db::ssb::{queries, SsbDb, SsbParams};
+//! use bbpim_sim::SimConfig;
+//!
+//! let db = SsbDb::generate(&SsbParams::uniform(0.01));
+//! let wide = db.prejoin();
+//! let mut engine = PimQueryEngine::new(SimConfig::default(), wide, EngineMode::OneXb)?;
+//! let q = bbpim_db::ssb::queries::standard_query("Q1.1").unwrap();
+//! let out = engine.run(&q)?;
+//! println!("{} in {:.3} ms", q.id, out.report.time_ns / 1e6);
+//! # Ok::<(), bbpim_core::CoreError>(())
+//! ```
+
+pub mod agg_exec;
+pub mod engine;
+pub mod error;
+pub mod filter_exec;
+pub mod groupby;
+pub mod layout;
+pub mod loader;
+pub mod modes;
+pub mod result;
+pub mod update;
+
+pub use engine::PimQueryEngine;
+pub use error::CoreError;
+pub use modes::EngineMode;

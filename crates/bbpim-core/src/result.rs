@@ -1,0 +1,121 @@
+//! Query execution results and per-query reports.
+
+use bbpim_db::stats::GroupedResult;
+use bbpim_sim::endurance;
+use bbpim_sim::timeline::RunLog;
+use serde::Serialize;
+
+use crate::modes::EngineMode;
+
+/// Everything the paper reports per query (Figs. 6–9, Table II).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct QueryReport {
+    /// Query identifier.
+    pub query_id: String,
+    /// Engine mode that produced this report.
+    pub mode: EngineMode,
+    /// Execution latency, nanoseconds (Fig. 6).
+    pub time_ns: f64,
+    /// PIM-module energy, picojoules (Fig. 7).
+    pub energy_pj: f64,
+    /// Peak power of one PIM chip, watts (Fig. 8).
+    pub peak_chip_power_w: f64,
+    /// Worst per-row cell writes (input to Fig. 9).
+    pub max_row_cell_writes: u64,
+    /// Crossbar row width (for the endurance metric's wear-leveling).
+    pub row_cells: usize,
+    /// Records in the relation.
+    pub records: usize,
+    /// Pages per partition (`M`).
+    pub pages: usize,
+    /// Records passing the filter.
+    pub selected: u64,
+    /// Measured selectivity (Table II).
+    pub selectivity: f64,
+    /// Potential subgroups (`k_MAX`, Table II; 0 when no GROUP BY).
+    pub total_subgroups: u64,
+    /// Subgroups seen in the one-page sample (Table II).
+    pub subgroups_in_sample: u64,
+    /// Subgroups aggregated in PIM (`k`, Table II; Q1.x report 1).
+    pub pim_agg_subgroups: u64,
+    /// Full phase log.
+    pub phases: RunLog,
+}
+
+impl QueryReport {
+    /// Required cell endurance to run this query back-to-back for
+    /// `years` (Fig. 9's metric).
+    pub fn required_endurance(&self, years: f64) -> f64 {
+        if self.time_ns <= 0.0 {
+            return 0.0;
+        }
+        endurance::required_endurance(
+            self.max_row_cell_writes,
+            self.row_cells,
+            self.time_ns,
+            years,
+        )
+    }
+
+    /// Lifetime in years at the RRAM endurance of the paper's ref. \[22\].
+    pub fn lifetime_years(&self) -> f64 {
+        if self.time_ns <= 0.0 {
+            return f64::INFINITY;
+        }
+        endurance::lifetime_years(
+            self.max_row_cell_writes,
+            self.row_cells,
+            self.time_ns,
+            endurance::RRAM_ENDURANCE_WRITES,
+        )
+    }
+}
+
+/// A query's answer plus its report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryExecution {
+    /// Grouped aggregates (single entry with an empty key when the query
+    /// has no GROUP BY; empty map when nothing matched).
+    pub groups: GroupedResult,
+    /// The report.
+    pub report: QueryReport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(time_ns: f64, writes: u64) -> QueryReport {
+        QueryReport {
+            query_id: "t".into(),
+            mode: EngineMode::OneXb,
+            time_ns,
+            energy_pj: 0.0,
+            peak_chip_power_w: 0.0,
+            max_row_cell_writes: writes,
+            row_cells: 512,
+            records: 0,
+            pages: 0,
+            selected: 0,
+            selectivity: 0.0,
+            total_subgroups: 0,
+            subgroups_in_sample: 0,
+            pim_agg_subgroups: 0,
+            phases: RunLog::new(),
+        }
+    }
+
+    #[test]
+    fn endurance_matches_sim_formula() {
+        let r = report(1e6, 512);
+        let direct = bbpim_sim::endurance::required_endurance(512, 512, 1e6, 10.0);
+        assert!((r.required_endurance(10.0) - direct).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_writes_means_infinite_lifetime() {
+        let r = report(1e6, 0);
+        assert!(r.lifetime_years().is_infinite());
+        assert_eq!(r.required_endurance(10.0), 0.0);
+    }
+}

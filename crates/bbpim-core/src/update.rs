@@ -1,0 +1,251 @@
+//! UPDATE on pre-joined relations via the PIM multiplexer (Algorithm 1).
+//!
+//! Section III: with pre-joined relations an UPDATE duplicates one datum
+//! into many records (a customer's city appears in every one of their
+//! purchases). In bulk-bitwise PIM the maintenance is cheap: a filter
+//! selects the affected records, and the Algorithm 1 MUX overwrites the
+//! attribute wherever the select bit is set — *PIM operations only, no
+//! reads*, eliminating data movement almost entirely.
+
+use bbpim_db::plan::{Atom, Const, Query};
+use bbpim_db::Relation;
+use bbpim_sim::compiler::{mux, CodeBuilder, ScratchPool};
+use bbpim_sim::module::PimModule;
+use bbpim_sim::timeline::RunLog;
+
+use crate::error::CoreError;
+use crate::filter_exec::{
+    count_mask_bits, mask_bits, mask_read_lines, run_filter, write_transfer_bits_to,
+};
+use crate::layout::{RecordLayout, MASK_COL, TRANSFER_COL};
+use crate::loader::LoadedRelation;
+
+/// One UPDATE statement: `UPDATE wide SET set_attr = set_value WHERE
+/// filter`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateOp {
+    /// Conjunctive WHERE clause.
+    pub filter: Vec<Atom>,
+    /// Attribute to overwrite.
+    pub set_attr: String,
+    /// New value (string constants resolved through the dictionary).
+    pub set_value: Const,
+}
+
+/// Outcome of an UPDATE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateReport {
+    /// Records rewritten.
+    pub records_updated: u64,
+    /// Simulated time, nanoseconds.
+    pub time_ns: f64,
+    /// PIM energy, picojoules.
+    pub energy_pj: f64,
+    /// Phase log.
+    pub phases: RunLog,
+}
+
+/// Execute an UPDATE: filter → Algorithm 1 MUX.
+///
+/// Also patches `relation` (the host-side catalog copy) so later
+/// catalog-derived statistics stay consistent with the PIM contents.
+///
+/// # Errors
+///
+/// Propagates resolution/compiler/simulator failures.
+pub fn run_update(
+    module: &mut PimModule,
+    layout: &RecordLayout,
+    loaded: &LoadedRelation,
+    relation: &mut Relation,
+    op: &UpdateOp,
+) -> Result<UpdateReport, CoreError> {
+    let mut log = RunLog::new();
+
+    // Filter (reusing the query path).
+    let probe = Query {
+        id: "update".into(),
+        filter: op.filter.clone(),
+        group_by: vec![],
+        agg_func: bbpim_db::plan::AggFunc::Sum,
+        agg_expr: bbpim_db::plan::AggExpr::Attr(op.set_attr.clone()),
+    };
+    let atoms: Vec<_> = probe
+        .resolve_filter(relation.schema())?
+        .into_iter()
+        .zip(probe.filter.iter())
+        .map(|(a, raw)| Ok((a, layout.placement(raw.attr())?)))
+        .collect::<Result<_, CoreError>>()?;
+    run_filter(module, layout, loaded, &atoms, &mut log)?;
+
+    // Resolve destination attribute and immediate.
+    let target = layout.placement(&op.set_attr)?;
+    let attr_idx = relation.schema().index_of(&op.set_attr)?;
+    let imm = match &op.set_value {
+        Const::Num(v) => *v,
+        Const::Str(s) => relation.schema().attrs()[attr_idx].encode_str(s)?,
+    };
+
+    // The select bit: partition 0's mask, transferred if the target
+    // attribute lives elsewhere.
+    let select_col = if target.partition == 0 {
+        MASK_COL
+    } else {
+        let bits = mask_bits(module, loaded, loaded.pages(0), MASK_COL);
+        let lines = mask_read_lines(module, loaded.pages(0));
+        log.push(module.host_read_phase(lines));
+        write_transfer_bits_to(module, loaded, &bits, target.partition)?;
+        log.push(module.host_write_phase(lines));
+        TRANSFER_COL
+    };
+
+    // Algorithm 1.
+    let mut pool = ScratchPool::new(layout.scratch(target.partition));
+    let mut b = CodeBuilder::new(&mut pool);
+    mux::compile_mux_update(&mut b, target.range, imm, select_col)?;
+    let prog = b.finish();
+    let phase = module.exec_program(loaded.pages(target.partition), &prog)?;
+    log.push(phase);
+
+    let updated = count_mask_bits(module, loaded.pages(0), MASK_COL);
+
+    // Keep the host-side catalog copy in sync.
+    let selected = bbpim_db::stats::filter_bitvec(&probe, relation)?;
+    for (row, hit) in selected.into_iter().enumerate() {
+        if hit {
+            relation.set_value(row, attr_idx, imm)?;
+        }
+    }
+
+    Ok(UpdateReport {
+        records_updated: updated,
+        time_ns: log.total_time_ns(),
+        energy_pj: log.total_energy_pj(),
+        phases: log,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::RecordLayout;
+    use crate::loader::load_relation;
+    use crate::modes::EngineMode;
+    use bbpim_db::schema::{Attribute, Schema};
+    use bbpim_sim::timeline::PhaseKind;
+    use bbpim_sim::SimConfig;
+
+    fn setup(mode: EngineMode) -> (PimModule, Relation, RecordLayout, LoadedRelation) {
+        let cfg = SimConfig::small_for_tests();
+        let schema = Schema::new(
+            "t",
+            vec![Attribute::numeric("lo_v", 8), Attribute::numeric("d_city", 6)],
+        );
+        let mut rel = Relation::new(schema);
+        for i in 0..500u64 {
+            rel.push_row(&[i % 256, i % 40]).unwrap();
+        }
+        let layout = RecordLayout::build(rel.schema(), &cfg, mode, &[]).unwrap();
+        let mut module = PimModule::new(cfg);
+        let loaded = load_relation(&mut module, &rel, &layout).unwrap();
+        (module, rel, layout, loaded)
+    }
+
+    fn read_attr(
+        module: &PimModule,
+        layout: &RecordLayout,
+        loaded: &LoadedRelation,
+        record: usize,
+        name: &str,
+    ) -> u64 {
+        crate::groupby::host_gb::read_attr_value(module, layout, loaded, record, name).unwrap()
+    }
+
+    #[test]
+    fn update_rewrites_only_matching_records() {
+        let (mut module, mut rel, layout, loaded) = setup(EngineMode::OneXb);
+        let op = UpdateOp {
+            filter: vec![Atom::Eq { attr: "d_city".into(), value: 7u64.into() }],
+            set_attr: "d_city".into(),
+            set_value: 39u64.into(),
+        };
+        let before: Vec<u64> = (0..rel.len()).map(|r| rel.value(r, 1)).collect();
+        let report = run_update(&mut module, &layout, &loaded, &mut rel, &op).unwrap();
+        assert_eq!(report.records_updated, before.iter().filter(|v| **v == 7).count() as u64);
+        for (record, prior) in before.iter().enumerate() {
+            let got = read_attr(&module, &layout, &loaded, record, "d_city");
+            let expected = if *prior == 7 { 39 } else { *prior };
+            assert_eq!(got, expected, "record {record}");
+            // catalog copy matches PIM contents
+            assert_eq!(rel.value(record, 1), expected);
+        }
+    }
+
+    #[test]
+    fn update_in_one_xb_needs_no_host_reads() {
+        let (mut module, mut rel, layout, loaded) = setup(EngineMode::OneXb);
+        let op = UpdateOp {
+            filter: vec![Atom::Lt { attr: "lo_v".into(), value: 10u64.into() }],
+            set_attr: "lo_v".into(),
+            set_value: 255u64.into(),
+        };
+        let report = run_update(&mut module, &layout, &loaded, &mut rel, &op).unwrap();
+        // the paper's point: UPDATE uses PIM ops only — no data movement
+        assert_eq!(report.phases.time_in(PhaseKind::HostRead), 0.0);
+        assert_eq!(report.phases.time_in(PhaseKind::HostWrite), 0.0);
+        assert!(report.records_updated > 0);
+    }
+
+    #[test]
+    fn two_xb_update_of_dimension_attr_transfers_mask() {
+        let (mut module, mut rel, layout, loaded) = setup(EngineMode::TwoXb);
+        let op = UpdateOp {
+            // fact-side filter, dimension-side target: mask must travel
+            filter: vec![Atom::Lt { attr: "lo_v".into(), value: 50u64.into() }],
+            set_attr: "d_city".into(),
+            set_value: 1u64.into(),
+        };
+        let report = run_update(&mut module, &layout, &loaded, &mut rel, &op).unwrap();
+        assert!(report.phases.time_in(PhaseKind::HostWrite) > 0.0);
+        for record in 0..rel.len() {
+            let v = read_attr(&module, &layout, &loaded, record, "lo_v");
+            let city = read_attr(&module, &layout, &loaded, record, "d_city");
+            if v < 50 {
+                assert_eq!(city, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn update_cost_independent_of_matched_count() {
+        let (mut m1, mut r1, l1, ld1) = setup(EngineMode::OneXb);
+        let (mut m2, mut r2, l2, ld2) = setup(EngineMode::OneXb);
+        let narrow = UpdateOp {
+            filter: vec![Atom::Eq { attr: "lo_v".into(), value: 3u64.into() }],
+            set_attr: "d_city".into(),
+            set_value: 0u64.into(),
+        };
+        let wide = UpdateOp {
+            filter: vec![Atom::Lt { attr: "lo_v".into(), value: 250u64.into() }],
+            set_attr: "d_city".into(),
+            set_value: 0u64.into(),
+        };
+        let t1 = run_update(&mut m1, &l1, &ld1, &mut r1, &narrow).unwrap();
+        let t2 = run_update(&mut m2, &l2, &ld2, &mut r2, &wide).unwrap();
+        assert!(t2.records_updated > 50 * t1.records_updated.max(1));
+        // The MUX pass itself is selection-size independent: the last
+        // PIM-logic phase (the rewrite) takes identical time for 2 and
+        // for 480 matched records. (Total times differ only because the
+        // two filter *programs* compile to different cycle counts.)
+        let mux_time = |rep: &UpdateReport| {
+            rep.phases
+                .phases()
+                .iter()
+                .rev()
+                .find(|p| p.kind == PhaseKind::PimLogic)
+                .map(|p| p.time_ns)
+                .unwrap()
+        };
+        assert!((mux_time(&t1) - mux_time(&t2)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,43 @@
+//! # bbpim-db — relational substrate for bulk-bitwise PIM OLAP
+//!
+//! This crate supplies everything the PIM engine and the column-store
+//! baseline consume:
+//!
+//! * [`schema`] / [`relation`] / [`column`](mod@column) / [`dict`] — a minimal
+//!   columnar relational model. Every attribute is a bit-width-minimal
+//!   unsigned integer; strings are dictionary-encoded with order
+//!   chosen so that lexicographic predicates (`BETWEEN 'MFGR#2221' AND
+//!   'MFGR#2228'`) become integer range predicates.
+//! * [`ssb`] — a deterministic, scale-factor-parameterised Star Schema
+//!   Benchmark generator (O'Neil et al.), with the data-skew variant of
+//!   Rabl et al. the paper evaluates, pre-joining (denormalisation) of
+//!   the fact relation with all four dimensions, and the 13 SSB queries
+//!   as logical plans.
+//! * [`plan`] — the logical query form shared by both engines:
+//!   conjunctive filters, GROUP BY keys, and a single aggregate over an
+//!   attribute or a two-attribute expression.
+//! * [`stats`] — oracles for selectivity and subgroup counts (Table II).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use bbpim_db::ssb::{SsbDb, SsbParams};
+//!
+//! let db = SsbDb::generate(&SsbParams::tiny_for_tests());
+//! assert!(db.lineorder.len() > 0);
+//! let wide = db.prejoin();
+//! assert_eq!(wide.len(), db.lineorder.len()); // keys are unique: no fan-out
+//! ```
+
+pub mod column;
+pub mod dict;
+pub mod error;
+pub mod plan;
+pub mod relation;
+pub mod schema;
+pub mod ssb;
+pub mod stats;
+
+pub use error::DbError;
+pub use relation::Relation;
+pub use schema::{Attribute, Schema};

@@ -1,0 +1,383 @@
+//! Logical query plans.
+//!
+//! The analytical queries this system runs (all 13 SSB queries among
+//! them) share one shape — `SELECT agg(expr) FROM wide WHERE conj
+//! [GROUP BY keys]` — captured by [`Query`]. Filters are conjunctions of
+//! per-attribute atoms; the aggregate input is an attribute or a
+//! two-attribute expression (`extendedprice · discount`,
+//! `revenue − supplycost`). String constants are written as strings and
+//! resolved to dictionary codes against a concrete schema.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::DbError;
+use crate::relation::Relation;
+use crate::schema::Schema;
+
+/// A query constant: numeric, or a string to be dictionary-encoded.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Const {
+    /// Plain number.
+    Num(u64),
+    /// Dictionary string (resolved at plan time).
+    Str(String),
+}
+
+impl From<u64> for Const {
+    fn from(v: u64) -> Self {
+        Const::Num(v)
+    }
+}
+
+impl From<&str> for Const {
+    fn from(v: &str) -> Self {
+        Const::Str(v.into())
+    }
+}
+
+/// One conjunct of a filter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Atom {
+    /// `attr = c`
+    Eq {
+        /// Attribute name.
+        attr: String,
+        /// Constant.
+        value: Const,
+    },
+    /// `lo <= attr <= hi` (inclusive)
+    Between {
+        /// Attribute name.
+        attr: String,
+        /// Lower bound.
+        lo: Const,
+        /// Upper bound.
+        hi: Const,
+    },
+    /// `attr < c`
+    Lt {
+        /// Attribute name.
+        attr: String,
+        /// Constant.
+        value: Const,
+    },
+    /// `attr > c`
+    Gt {
+        /// Attribute name.
+        attr: String,
+        /// Constant.
+        value: Const,
+    },
+    /// `attr IN (c…)`
+    In {
+        /// Attribute name.
+        attr: String,
+        /// Members.
+        values: Vec<Const>,
+    },
+}
+
+impl Atom {
+    /// The attribute this atom constrains.
+    pub fn attr(&self) -> &str {
+        match self {
+            Atom::Eq { attr, .. }
+            | Atom::Between { attr, .. }
+            | Atom::Lt { attr, .. }
+            | Atom::Gt { attr, .. }
+            | Atom::In { attr, .. } => attr,
+        }
+    }
+
+    /// Resolve against a schema: attribute index + encoded constants.
+    ///
+    /// # Errors
+    ///
+    /// Unknown attribute, unknown dictionary string, empty `IN`, or
+    /// inverted `BETWEEN` bounds.
+    pub fn resolve(&self, schema: &Schema) -> Result<ResolvedAtom, DbError> {
+        let idx = schema.index_of(self.attr())?;
+        let enc = |c: &Const| -> Result<u64, DbError> {
+            match c {
+                Const::Num(v) => Ok(*v),
+                Const::Str(s) => schema.attrs()[idx].encode_str(s),
+            }
+        };
+        Ok(match self {
+            Atom::Eq { value, .. } => ResolvedAtom::Eq { idx, value: enc(value)? },
+            Atom::Between { lo, hi, .. } => {
+                let (lo, hi) = (enc(lo)?, enc(hi)?);
+                if lo > hi {
+                    return Err(DbError::InvalidQuery(format!(
+                        "BETWEEN bounds inverted on `{}`",
+                        self.attr()
+                    )));
+                }
+                ResolvedAtom::Between { idx, lo, hi }
+            }
+            Atom::Lt { value, .. } => ResolvedAtom::Lt { idx, value: enc(value)? },
+            Atom::Gt { value, .. } => ResolvedAtom::Gt { idx, value: enc(value)? },
+            Atom::In { values, .. } => {
+                if values.is_empty() {
+                    return Err(DbError::InvalidQuery(format!(
+                        "empty IN on `{}`",
+                        self.attr()
+                    )));
+                }
+                let mut vs = values.iter().map(enc).collect::<Result<Vec<_>, _>>()?;
+                vs.sort_unstable();
+                vs.dedup();
+                ResolvedAtom::In { idx, values: vs }
+            }
+        })
+    }
+}
+
+/// An atom with the attribute index and constants resolved.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResolvedAtom {
+    /// `attr = value`
+    Eq {
+        /// Attribute index in the schema.
+        idx: usize,
+        /// Encoded constant.
+        value: u64,
+    },
+    /// `lo <= attr <= hi`
+    Between {
+        /// Attribute index.
+        idx: usize,
+        /// Encoded lower bound.
+        lo: u64,
+        /// Encoded upper bound.
+        hi: u64,
+    },
+    /// `attr < value`
+    Lt {
+        /// Attribute index.
+        idx: usize,
+        /// Encoded constant.
+        value: u64,
+    },
+    /// `attr > value`
+    Gt {
+        /// Attribute index.
+        idx: usize,
+        /// Encoded constant.
+        value: u64,
+    },
+    /// `attr IN values` (sorted, deduplicated)
+    In {
+        /// Attribute index.
+        idx: usize,
+        /// Encoded members.
+        values: Vec<u64>,
+    },
+}
+
+impl ResolvedAtom {
+    /// The constrained attribute's index.
+    pub fn attr_index(&self) -> usize {
+        match self {
+            ResolvedAtom::Eq { idx, .. }
+            | ResolvedAtom::Between { idx, .. }
+            | ResolvedAtom::Lt { idx, .. }
+            | ResolvedAtom::Gt { idx, .. }
+            | ResolvedAtom::In { idx, .. } => *idx,
+        }
+    }
+
+    /// Does `value` satisfy this atom?
+    pub fn matches_value(&self, v: u64) -> bool {
+        match self {
+            ResolvedAtom::Eq { value, .. } => v == *value,
+            ResolvedAtom::Between { lo, hi, .. } => (*lo..=*hi).contains(&v),
+            ResolvedAtom::Lt { value, .. } => v < *value,
+            ResolvedAtom::Gt { value, .. } => v > *value,
+            ResolvedAtom::In { values, .. } => values.binary_search(&v).is_ok(),
+        }
+    }
+
+    /// Does row `row` of `rel` satisfy this atom?
+    pub fn matches(&self, rel: &Relation, row: usize) -> bool {
+        self.matches_value(rel.value(row, self.attr_index()))
+    }
+}
+
+/// The aggregate's input expression.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggExpr {
+    /// A single attribute.
+    Attr(String),
+    /// Product of two attributes (e.g. `lo_extendedprice * lo_discount`).
+    Mul(String, String),
+    /// Difference of two attributes (e.g. `lo_revenue - lo_supplycost`).
+    Sub(String, String),
+}
+
+impl AggExpr {
+    /// The attribute names the expression reads.
+    pub fn attrs(&self) -> Vec<&str> {
+        match self {
+            AggExpr::Attr(a) => vec![a],
+            AggExpr::Mul(a, b) | AggExpr::Sub(a, b) => vec![a, b],
+        }
+    }
+
+    /// Evaluate on one row (used by oracles and host-side aggregation).
+    ///
+    /// # Errors
+    ///
+    /// Unknown attribute names.
+    pub fn eval(&self, rel: &Relation, row: usize) -> Result<u64, DbError> {
+        Ok(match self {
+            AggExpr::Attr(a) => rel.value_by_name(row, a)?,
+            AggExpr::Mul(a, b) => {
+                rel.value_by_name(row, a)?.wrapping_mul(rel.value_by_name(row, b)?)
+            }
+            AggExpr::Sub(a, b) => {
+                rel.value_by_name(row, a)?.wrapping_sub(rel.value_by_name(row, b)?)
+            }
+        })
+    }
+}
+
+/// The aggregate function (the set the aggregation circuit supports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggFunc {
+    /// Sum.
+    Sum,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+/// A complete analytical query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// Identifier (e.g. `"Q2.1"`).
+    pub id: String,
+    /// Conjunctive filter.
+    pub filter: Vec<Atom>,
+    /// GROUP BY attribute names (empty = single aggregate).
+    pub group_by: Vec<String>,
+    /// Aggregate function.
+    pub agg_func: AggFunc,
+    /// Aggregate input expression.
+    pub agg_expr: AggExpr,
+}
+
+impl Query {
+    /// Resolve the filter against a schema.
+    ///
+    /// # Errors
+    ///
+    /// Propagates atom resolution failures.
+    pub fn resolve_filter(&self, schema: &Schema) -> Result<Vec<ResolvedAtom>, DbError> {
+        self.filter.iter().map(|a| a.resolve(schema)).collect()
+    }
+
+    /// Does this query have a GROUP BY?
+    pub fn has_group_by(&self) -> bool {
+        !self.group_by.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dict::Dictionary;
+    use crate::schema::Attribute;
+
+    fn schema_and_rel() -> Relation {
+        let d = Dictionary::from_sorted(vec!["AFRICA".into(), "ASIA".into()]).unwrap();
+        let schema = Schema::new(
+            "t",
+            vec![Attribute::numeric("q", 8), Attribute::dict("region", d)],
+        );
+        let mut rel = Relation::new(schema);
+        for (q, r) in [(5u64, 0u64), (20, 1), (30, 1), (40, 0)] {
+            rel.push_row(&[q, r]).unwrap();
+        }
+        rel
+    }
+
+    #[test]
+    fn atom_resolution_encodes_strings() {
+        let rel = schema_and_rel();
+        let atom = Atom::Eq { attr: "region".into(), value: "ASIA".into() };
+        let r = atom.resolve(rel.schema()).unwrap();
+        assert!(matches!(r, ResolvedAtom::Eq { idx: 1, value: 1 }));
+        assert!(!r.matches(&rel, 0));
+        assert!(r.matches(&rel, 1));
+    }
+
+    #[test]
+    fn between_atom_inclusive() {
+        let rel = schema_and_rel();
+        let atom = Atom::Between { attr: "q".into(), lo: 20u64.into(), hi: 30u64.into() };
+        let r = atom.resolve(rel.schema()).unwrap();
+        let hits: Vec<bool> = (0..4).map(|i| r.matches(&rel, i)).collect();
+        assert_eq!(hits, vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn in_atom_sorted_and_deduped() {
+        let rel = schema_and_rel();
+        let atom = Atom::In {
+            attr: "q".into(),
+            values: vec![40u64.into(), 5u64.into(), 40u64.into()],
+        };
+        match atom.resolve(rel.schema()).unwrap() {
+            ResolvedAtom::In { values, .. } => assert_eq!(values, vec![5, 40]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_in_rejected() {
+        let rel = schema_and_rel();
+        let atom = Atom::In { attr: "q".into(), values: vec![] };
+        assert!(atom.resolve(rel.schema()).is_err());
+    }
+
+    #[test]
+    fn inverted_between_rejected() {
+        let rel = schema_and_rel();
+        let atom = Atom::Between { attr: "q".into(), lo: 30u64.into(), hi: 20u64.into() };
+        assert!(atom.resolve(rel.schema()).is_err());
+    }
+
+    #[test]
+    fn unknown_string_rejected() {
+        let rel = schema_and_rel();
+        let atom = Atom::Eq { attr: "region".into(), value: "MARS".into() };
+        assert!(matches!(atom.resolve(rel.schema()), Err(DbError::NotInDictionary { .. })));
+    }
+
+    #[test]
+    fn agg_expr_eval() {
+        let rel = schema_and_rel();
+        assert_eq!(AggExpr::Attr("q".into()).eval(&rel, 1).unwrap(), 20);
+        assert_eq!(AggExpr::Mul("q".into(), "region".into()).eval(&rel, 2).unwrap(), 30);
+        assert_eq!(AggExpr::Sub("q".into(), "region".into()).eval(&rel, 3).unwrap(), 40);
+    }
+
+    #[test]
+    fn query_resolution() {
+        let rel = schema_and_rel();
+        let q = Query {
+            id: "t1".into(),
+            filter: vec![
+                Atom::Gt { attr: "q".into(), value: 10u64.into() },
+                Atom::Eq { attr: "region".into(), value: "ASIA".into() },
+            ],
+            group_by: vec!["region".into()],
+            agg_func: AggFunc::Sum,
+            agg_expr: AggExpr::Attr("q".into()),
+        };
+        assert!(q.has_group_by());
+        assert_eq!(q.resolve_filter(rel.schema()).unwrap().len(), 2);
+    }
+}

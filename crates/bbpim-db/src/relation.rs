@@ -1,0 +1,215 @@
+//! Columnar relations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::column::Column;
+use crate::error::DbError;
+use crate::schema::Schema;
+
+/// A columnar relation: a [`Schema`] plus one [`Column`] per attribute.
+///
+/// ```
+/// use bbpim_db::relation::Relation;
+/// use bbpim_db::schema::{Attribute, Schema};
+///
+/// let schema = Schema::new("t", vec![Attribute::numeric("x", 8), Attribute::numeric("y", 4)]);
+/// let mut rel = Relation::new(schema);
+/// rel.push_row(&[7, 3])?;
+/// assert_eq!(rel.len(), 1);
+/// assert_eq!(rel.value(0, rel.schema().index_of("y")?), 3);
+/// # Ok::<(), bbpim_db::DbError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Relation {
+    schema: Schema,
+    columns: Vec<Column>,
+}
+
+impl Relation {
+    /// Empty relation for a schema.
+    pub fn new(schema: Schema) -> Self {
+        let columns = schema.attrs().iter().map(|a| Column::new(a.bits)).collect();
+        Relation { schema, columns }
+    }
+
+    /// Empty relation with row capacity reserved.
+    pub fn with_capacity(schema: Schema, rows: usize) -> Self {
+        let columns =
+            schema.attrs().iter().map(|a| Column::with_capacity(a.bits, rows)).collect();
+        Relation { schema, columns }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.columns.first().map(Column::len).unwrap_or(0)
+    }
+
+    /// True when the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append a row given values in schema order.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::ArityMismatch`] on wrong arity;
+    /// [`DbError::ValueOutOfRange`] (with the attribute name filled in)
+    /// when a value exceeds its width. The row is either fully appended
+    /// or not at all.
+    pub fn push_row(&mut self, values: &[u64]) -> Result<(), DbError> {
+        if values.len() != self.schema.arity() {
+            return Err(DbError::ArityMismatch {
+                got: values.len(),
+                expected: self.schema.arity(),
+            });
+        }
+        // Validate first so a failure cannot leave ragged columns.
+        for (attr, &v) in self.schema.attrs().iter().zip(values) {
+            if attr.bits < 64 && v >> attr.bits != 0 {
+                return Err(DbError::ValueOutOfRange {
+                    attr: attr.name.clone(),
+                    value: v,
+                    bits: attr.bits,
+                });
+            }
+        }
+        for (col, &v) in self.columns.iter_mut().zip(values) {
+            col.push(v).expect("validated above");
+        }
+        Ok(())
+    }
+
+    /// Value at `(row, attr_index)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either index is out of bounds.
+    pub fn value(&self, row: usize, attr_index: usize) -> u64 {
+        self.columns[attr_index].get(row)
+    }
+
+    /// Value at `row` of the attribute called `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NoSuchAttribute`] when the name is unknown.
+    pub fn value_by_name(&self, row: usize, name: &str) -> Result<u64, DbError> {
+        Ok(self.value(row, self.schema.index_of(name)?))
+    }
+
+    /// Overwrite one value (UPDATE maintenance).
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::ValueOutOfRange`] (with the attribute named) when the
+    /// value exceeds the attribute width.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either index is out of bounds.
+    pub fn set_value(&mut self, row: usize, attr_index: usize, value: u64) -> Result<(), DbError> {
+        self.columns[attr_index].set(row, value).map_err(|e| match e {
+            DbError::ValueOutOfRange { value, bits, .. } => DbError::ValueOutOfRange {
+                attr: self.schema.attrs()[attr_index].name.clone(),
+                value,
+                bits,
+            },
+            other => other,
+        })
+    }
+
+    /// Borrow a column by attribute index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the index is out of bounds.
+    pub fn column(&self, attr_index: usize) -> &Column {
+        &self.columns[attr_index]
+    }
+
+    /// Borrow a column by attribute name.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NoSuchAttribute`] when the name is unknown.
+    pub fn column_by_name(&self, name: &str) -> Result<&Column, DbError> {
+        Ok(&self.columns[self.schema.index_of(name)?])
+    }
+
+    /// Materialise one row in schema order.
+    pub fn row(&self, row: usize) -> Vec<u64> {
+        self.columns.iter().map(|c| c.get(row)).collect()
+    }
+
+    /// Decode a row for display: dictionary attributes as strings.
+    pub fn row_display(&self, row: usize) -> Vec<String> {
+        self.schema
+            .attrs()
+            .iter()
+            .zip(self.columns.iter())
+            .map(|(attr, col)| {
+                let v = col.get(row);
+                match attr.dictionary().and_then(|d| d.decode(v)) {
+                    Some(s) => s.to_owned(),
+                    None => v.to_string(),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dict::Dictionary;
+    use crate::schema::Attribute;
+
+    fn rel() -> Relation {
+        let d = Dictionary::from_sorted(vec!["lo".into(), "hi".into()]).unwrap();
+        let schema = Schema::new(
+            "t",
+            vec![Attribute::numeric("n", 8), Attribute::dict("s", d)],
+        );
+        Relation::new(schema)
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let mut r = rel();
+        r.push_row(&[42, 1]).unwrap();
+        r.push_row(&[7, 0]).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.row(0), vec![42, 1]);
+        assert_eq!(r.value_by_name(1, "n").unwrap(), 7);
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut r = rel();
+        assert!(matches!(r.push_row(&[1]), Err(DbError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn width_violation_names_attribute_and_keeps_columns_aligned() {
+        let mut r = rel();
+        let err = r.push_row(&[256, 0]).unwrap_err();
+        match err {
+            DbError::ValueOutOfRange { attr, .. } => assert_eq!(attr, "n"),
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn row_display_decodes_dictionary() {
+        let mut r = rel();
+        r.push_row(&[3, 1]).unwrap();
+        assert_eq!(r.row_display(0), vec!["3".to_string(), "hi".to_string()]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Schemas: named, bit-width-minimal attributes.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::dict::Dictionary;
+use crate::error::DbError;
+
+/// How an attribute's integer codes should be interpreted.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum AttrKind {
+    /// A plain unsigned integer.
+    Numeric,
+    /// Codes into an order-preserving string dictionary.
+    Dict(#[serde(skip)] Option<Arc<Dictionary>>),
+}
+
+impl PartialEq for AttrKind {
+    fn eq(&self, other: &Self) -> bool {
+        matches!(
+            (self, other),
+            (AttrKind::Numeric, AttrKind::Numeric) | (AttrKind::Dict(_), AttrKind::Dict(_))
+        )
+    }
+}
+
+/// One attribute: a name, a width in bits, and an interpretation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Attribute name (prefixed by relation: `lo_quantity`, `d_year`…).
+    pub name: String,
+    /// Storage width in bits (1..=64).
+    pub bits: usize,
+    /// Interpretation of the stored codes.
+    pub kind: AttrKind,
+}
+
+impl Attribute {
+    /// A numeric attribute.
+    pub fn numeric(name: impl Into<String>, bits: usize) -> Self {
+        Attribute { name: name.into(), bits, kind: AttrKind::Numeric }
+    }
+
+    /// A dictionary-encoded attribute; width follows the dictionary.
+    pub fn dict(name: impl Into<String>, dict: Arc<Dictionary>) -> Self {
+        let bits = dict.code_bits();
+        Attribute { name: name.into(), bits, kind: AttrKind::Dict(Some(dict)) }
+    }
+
+    /// The dictionary, when this attribute has one.
+    pub fn dictionary(&self) -> Option<&Arc<Dictionary>> {
+        match &self.kind {
+            AttrKind::Dict(d) => d.as_ref(),
+            AttrKind::Numeric => None,
+        }
+    }
+
+    /// Encode a string through this attribute's dictionary.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::KindMismatch`] for numeric attributes,
+    /// [`DbError::NotInDictionary`] for unknown strings.
+    pub fn encode_str(&self, value: &str) -> Result<u64, DbError> {
+        let dict = self.dictionary().ok_or_else(|| DbError::KindMismatch {
+            attr: self.name.clone(),
+            detail: "string constant on a numeric attribute".into(),
+        })?;
+        dict.encode(value).ok_or_else(|| DbError::NotInDictionary {
+            attr: self.name.clone(),
+            value: value.into(),
+        })
+    }
+}
+
+/// An ordered set of attributes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schema {
+    /// Relation name.
+    pub name: String,
+    attrs: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Build a schema.
+    pub fn new(name: impl Into<String>, attrs: Vec<Attribute>) -> Self {
+        Schema { name: name.into(), attrs }
+    }
+
+    /// The attributes in declaration order.
+    pub fn attrs(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Index of an attribute by name.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NoSuchAttribute`] when absent.
+    pub fn index_of(&self, name: &str) -> Result<usize, DbError> {
+        self.attrs.iter().position(|a| a.name == name).ok_or_else(|| DbError::NoSuchAttribute {
+            name: name.into(),
+            schema: self.name.clone(),
+        })
+    }
+
+    /// Attribute by name.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NoSuchAttribute`] when absent.
+    pub fn attr(&self, name: &str) -> Result<&Attribute, DbError> {
+        Ok(&self.attrs[self.index_of(name)?])
+    }
+
+    /// Total record width in bits.
+    pub fn record_bits(&self) -> usize {
+        self.attrs.iter().map(|a| a.bits).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(
+            "t",
+            vec![
+                Attribute::numeric("a", 8),
+                Attribute::dict(
+                    "b",
+                    Dictionary::from_sorted(vec!["x".into(), "y".into(), "z".into()]).unwrap(),
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = schema();
+        assert_eq!(s.index_of("a").unwrap(), 0);
+        assert_eq!(s.attr("b").unwrap().bits, 2);
+        assert!(matches!(s.index_of("zzz"), Err(DbError::NoSuchAttribute { .. })));
+    }
+
+    #[test]
+    fn record_bits_sums_widths() {
+        assert_eq!(schema().record_bits(), 10);
+    }
+
+    #[test]
+    fn encode_str_through_dictionary() {
+        let s = schema();
+        assert_eq!(s.attr("b").unwrap().encode_str("y").unwrap(), 1);
+        assert!(matches!(
+            s.attr("b").unwrap().encode_str("nope"),
+            Err(DbError::NotInDictionary { .. })
+        ));
+        assert!(matches!(s.attr("a").unwrap().encode_str("y"), Err(DbError::KindMismatch { .. })));
+    }
+
+    #[test]
+    fn dict_attr_width_follows_dictionary() {
+        let d = Dictionary::from_sorted((0..100).map(|i| format!("v{i:03}")).collect()).unwrap();
+        let a = Attribute::dict("big", d);
+        assert_eq!(a.bits, 7);
+    }
+}

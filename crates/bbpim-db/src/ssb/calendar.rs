@@ -1,0 +1,182 @@
+//! Calendar arithmetic for the SSB date dimension.
+//!
+//! SSB specifies 2,556 rows for "7 years of days". The literal span
+//! 1992-01-01..1998-12-31 is 2,557 days (1992 and 1996 are leap years);
+//! we keep the benchmark's 2,556 count, so the last covered day is
+//! 1998-12-30. No SSB query touches that final day.
+
+/// First year covered by the date dimension.
+pub const FIRST_YEAR: u64 = 1992;
+/// Last year covered.
+pub const LAST_YEAR: u64 = 1998;
+/// Total days in the dimension.
+pub const TOTAL_DAYS: usize = 2556;
+/// 1992-01-01 was a Wednesday (day-of-week index 3 with Sunday = 0).
+const FIRST_DOW: u64 = 3;
+
+/// Gregorian leap year test (the range contains 1992 and 1996).
+pub fn is_leap(year: u64) -> bool {
+    (year.is_multiple_of(4) && !year.is_multiple_of(100)) || year.is_multiple_of(400)
+}
+
+/// Days in a month (1-based month).
+pub fn days_in_month(year: u64, month: u64) -> u64 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => panic!("month {month} out of range"),
+    }
+}
+
+/// Days in a year.
+pub fn days_in_year(year: u64) -> u64 {
+    if is_leap(year) {
+        366
+    } else {
+        365
+    }
+}
+
+/// Calendar date of a day index (0 = 1992-01-01).
+///
+/// Returns `(year, month 1..=12, day 1..=31)`.
+///
+/// # Panics
+///
+/// Panics if `day_index >= TOTAL_DAYS`.
+pub fn day_to_ymd(day_index: usize) -> (u64, u64, u64) {
+    assert!(day_index < TOTAL_DAYS, "day index {day_index} out of dimension");
+    let mut remaining = day_index as u64;
+    let mut year = FIRST_YEAR;
+    while remaining >= days_in_year(year) {
+        remaining -= days_in_year(year);
+        year += 1;
+    }
+    let mut month = 1;
+    while remaining >= days_in_month(year, month) {
+        remaining -= days_in_month(year, month);
+        month += 1;
+    }
+    (year, month, remaining + 1)
+}
+
+/// Day-of-week index of a day index (0 = Sunday).
+pub fn day_of_week(day_index: usize) -> u64 {
+    (FIRST_DOW + day_index as u64) % 7
+}
+
+/// 1-based day number within its year.
+pub fn day_num_in_year(day_index: usize) -> u64 {
+    let (year, _, _) = day_to_ymd(day_index);
+    let mut idx = day_index as u64;
+    let mut y = FIRST_YEAR;
+    while y < year {
+        idx -= days_in_year(y);
+        y += 1;
+    }
+    idx + 1
+}
+
+/// 1-based week number within the year (`(daynum−1)/7 + 1`, 1..=53).
+pub fn week_num_in_year(day_index: usize) -> u64 {
+    (day_num_in_year(day_index) - 1) / 7 + 1
+}
+
+/// Selling-season index into [`super::names::SEASONS`]
+/// (Christmas, Fall, Spring, Summer, Winter).
+pub fn season_index(month: u64) -> u64 {
+    match month {
+        11 | 12 => 0, // Christmas
+        9 | 10 => 1,  // Fall
+        3..=5 => 2,   // Spring
+        6..=8 => 3,   // Summer
+        _ => 4,       // Winter (Jan, Feb)
+    }
+}
+
+/// Fixed-date holiday flag (ten holidays a year, as in SSB dbgen's
+/// spirit: enough days to make `d_holidayfl` selective but non-trivial).
+pub fn is_holiday(month: u64, day: u64) -> bool {
+    matches!(
+        (month, day),
+        (1, 1) | (2, 14) | (3, 17) | (5, 1) | (7, 4) | (9, 2) | (10, 31) | (11, 28) | (12, 25) | (12, 31)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leap_years_in_range() {
+        assert!(is_leap(1992));
+        assert!(is_leap(1996));
+        assert!(!is_leap(1993));
+        assert!(!is_leap(1900));
+        assert!(is_leap(2000));
+    }
+
+    #[test]
+    fn total_days_is_ssb_count() {
+        // The literal 7-year span has 2557 days; SSB says 2556.
+        let sum: u64 = (FIRST_YEAR..=LAST_YEAR).map(days_in_year).sum();
+        assert_eq!(sum as usize, TOTAL_DAYS + 1);
+    }
+
+    #[test]
+    fn first_and_last_day() {
+        assert_eq!(day_to_ymd(0), (1992, 1, 1));
+        assert_eq!(day_to_ymd(TOTAL_DAYS - 1), (1998, 12, 30));
+    }
+
+    #[test]
+    fn leap_day_exists() {
+        // 1992-02-29 is day 31 + 28 = 59
+        assert_eq!(day_to_ymd(59), (1992, 2, 29));
+        assert_eq!(day_to_ymd(60), (1992, 3, 1));
+    }
+
+    #[test]
+    fn day_of_week_anchored() {
+        assert_eq!(day_of_week(0), 3); // Wednesday
+        assert_eq!(day_of_week(4), 0); // Sunday 1992-01-05
+        assert_eq!(day_of_week(7), 3);
+    }
+
+    #[test]
+    fn day_and_week_numbers() {
+        assert_eq!(day_num_in_year(0), 1);
+        assert_eq!(week_num_in_year(0), 1);
+        assert_eq!(day_num_in_year(366), 1); // 1993-01-01 after leap 1992
+        assert_eq!(day_to_ymd(366), (1993, 1, 1));
+        assert_eq!(week_num_in_year(365), 53); // 1992-12-31, day 366
+    }
+
+    #[test]
+    fn seasons_cover_all_months() {
+        for m in 1..=12 {
+            assert!(season_index(m) < 5);
+        }
+        assert_eq!(season_index(12), 0);
+        assert_eq!(season_index(7), 3);
+    }
+
+    #[test]
+    fn holidays() {
+        assert!(is_holiday(12, 25));
+        assert!(!is_holiday(12, 26));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of dimension")]
+    fn day_index_bound_checked() {
+        let _ = day_to_ymd(TOTAL_DAYS);
+    }
+}

@@ -1,0 +1,341 @@
+//! Domain value tables for the Star Schema Benchmark (TPC-H heritage).
+//!
+//! Nations/regions follow the TPC-H assignment; SSB cities are the
+//! nation name truncated to nine characters plus a digit 0–9 (so
+//! `UNITED KINGDOM` yields `UNITED KI0`…`UNITED KI9` — the cities SSB
+//! Q3.3/Q3.4 name). Brand strings zero-pad the brand number
+//! (`MFGR#2201`…`MFGR#2240`) so lexicographic order equals code order,
+//! which the order-preserving dictionaries require; the paper's query
+//! constants (`MFGR#2221`…) are unaffected.
+
+use std::sync::Arc;
+
+use crate::dict::Dictionary;
+use crate::error::DbError;
+
+/// The five TPC-H regions, alphabetical.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// The 25 TPC-H nations with their region index into [`REGIONS`].
+pub const NATIONS: [(&str, usize); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("CHINA", 2),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("ROMANIA", 3),
+    ("RUSSIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+    ("VIETNAM", 2),
+];
+
+/// Customer market segments.
+pub const MKTSEGMENTS: [&str; 5] =
+    ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+
+/// Order priorities.
+pub const ORDER_PRIORITIES: [&str; 5] =
+    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+/// Ship modes.
+pub const SHIP_MODES: [&str; 7] = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"];
+
+/// Part colors (TPC-H color list head; 92 entries as in dbgen).
+pub const COLORS: [&str; 92] = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
+    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
+    "cornflower", "cornsilk", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
+    "floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+    "hot", "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon", "light", "lime",
+    "linen", "magenta", "maroon", "medium", "metallic", "midnight", "mint", "misty", "moccasin",
+    "navajo", "navy", "olive", "orange", "orchid", "pale", "papaya", "peach", "peru", "pink",
+    "plum", "powder", "puff", "purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
+    "sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring", "steel", "tan",
+    "thistle", "tomato", "turquoise", "violet", "wheat", "white", "yellow",
+];
+
+/// Part type syllables (6 × 5 × 5 = 150 combinations, as in TPC-H).
+pub const TYPE_S1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+/// Second syllable.
+pub const TYPE_S2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+/// Third syllable.
+pub const TYPE_S3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+
+/// Container size words.
+pub const CONTAINER_S1: [&str; 5] = ["SM", "LG", "MED", "JUMBO", "WRAP"];
+/// Container kind words (5 × 8 = 40 containers).
+pub const CONTAINER_S2: [&str; 8] =
+    ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+
+/// Selling seasons of the SSB date dimension.
+pub const SEASONS: [&str; 5] = ["Christmas", "Fall", "Spring", "Summer", "Winter"];
+
+/// Weekday names (d_dayofweek).
+pub const WEEKDAYS: [&str; 7] =
+    ["Sunday", "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday"];
+
+/// Month names (d_month).
+pub const MONTHS: [&str; 12] = [
+    "January", "February", "March", "April", "May", "June", "July", "August", "September",
+    "October", "November", "December",
+];
+
+/// Short month names used in d_yearmonth ("Jan1992").
+pub const MONTHS_SHORT: [&str; 12] =
+    ["Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"];
+
+/// SSB city name: nation truncated/padded to 9 chars + digit.
+pub fn city_name(nation: &str, digit: usize) -> String {
+    let mut base: String = nation.chars().take(9).collect();
+    while base.len() < 9 {
+        base.push(' ');
+    }
+    format!("{base}{digit}")
+}
+
+/// Dictionary of the five regions.
+///
+/// # Errors
+///
+/// Never fails for the built-in tables; the `Result` mirrors
+/// [`Dictionary::from_sorted`].
+pub fn region_dict() -> Result<Arc<Dictionary>, DbError> {
+    Dictionary::from_sorted(REGIONS.iter().map(|s| s.to_string()).collect())
+}
+
+/// Dictionary of the 25 nations (alphabetical, as listed).
+///
+/// # Errors
+///
+/// Never fails for the built-in tables.
+pub fn nation_dict() -> Result<Arc<Dictionary>, DbError> {
+    Dictionary::from_sorted(NATIONS.iter().map(|(n, _)| n.to_string()).collect())
+}
+
+/// Dictionary of the 250 cities, ordered by (nation index, digit) —
+/// which is also lexicographic because nation names are sorted.
+///
+/// # Errors
+///
+/// Never fails for the built-in tables.
+pub fn city_dict() -> Result<Arc<Dictionary>, DbError> {
+    let mut cities = Vec::with_capacity(250);
+    for (nation, _) in NATIONS.iter() {
+        for d in 0..10 {
+            cities.push(city_name(nation, d));
+        }
+    }
+    Dictionary::from_sorted(cities)
+}
+
+/// Region index of a nation index.
+pub fn nation_region(nation_idx: usize) -> usize {
+    NATIONS[nation_idx].1
+}
+
+/// Manufacturer dictionary: `MFGR#1`…`MFGR#5`.
+///
+/// # Errors
+///
+/// Never fails for the built-in tables.
+pub fn mfgr_dict() -> Result<Arc<Dictionary>, DbError> {
+    Dictionary::from_sorted((1..=5).map(|i| format!("MFGR#{i}")).collect())
+}
+
+/// Category dictionary: `MFGR#11`…`MFGR#55` (25 entries; code =
+/// (mfgr−1)·5 + (cat−1)).
+///
+/// # Errors
+///
+/// Never fails for the built-in tables.
+pub fn category_dict() -> Result<Arc<Dictionary>, DbError> {
+    let mut v = Vec::with_capacity(25);
+    for m in 1..=5 {
+        for c in 1..=5 {
+            v.push(format!("MFGR#{m}{c}"));
+        }
+    }
+    Dictionary::from_sorted(v)
+}
+
+/// Brand dictionary: `MFGR#CC` + zero-padded brand number `01`…`40`
+/// (1000 entries; code = category·40 + (brand−1), lexicographic).
+///
+/// # Errors
+///
+/// Never fails for the built-in tables.
+pub fn brand_dict() -> Result<Arc<Dictionary>, DbError> {
+    let mut v = Vec::with_capacity(1000);
+    for m in 1..=5 {
+        for c in 1..=5 {
+            for b in 1..=40 {
+                v.push(format!("MFGR#{m}{c}{b:02}"));
+            }
+        }
+    }
+    Dictionary::from_sorted(v)
+}
+
+/// Part-name dictionary: two color words (ordered pairs of distinct
+/// colors would be 92×91; SSB uses "color color" — we use the 92×92
+/// ordered pairs with repetition excluded when equal → keep it simple
+/// and allow repetition-free pairs ordered by code).
+///
+/// # Errors
+///
+/// Never fails for the built-in tables.
+pub fn part_name_dict() -> Result<Arc<Dictionary>, DbError> {
+    let mut v = Vec::with_capacity(92 * 91);
+    for a in COLORS.iter() {
+        for b in COLORS.iter() {
+            if a != b {
+                v.push(format!("{a} {b}"));
+            }
+        }
+    }
+    Dictionary::from_sorted(v)
+}
+
+/// Part-type dictionary (150 entries).
+///
+/// # Errors
+///
+/// Never fails for the built-in tables.
+pub fn part_type_dict() -> Result<Arc<Dictionary>, DbError> {
+    let mut v = Vec::with_capacity(150);
+    for a in TYPE_S1.iter() {
+        for b in TYPE_S2.iter() {
+            for c in TYPE_S3.iter() {
+                v.push(format!("{a} {b} {c}"));
+            }
+        }
+    }
+    v.sort();
+    Dictionary::from_sorted(v)
+}
+
+/// Container dictionary (40 entries).
+///
+/// # Errors
+///
+/// Never fails for the built-in tables.
+pub fn container_dict() -> Result<Arc<Dictionary>, DbError> {
+    let mut v = Vec::with_capacity(40);
+    for a in CONTAINER_S1.iter() {
+        for b in CONTAINER_S2.iter() {
+            v.push(format!("{a} {b}"));
+        }
+    }
+    v.sort();
+    Dictionary::from_sorted(v)
+}
+
+/// Simple-list dictionary helper.
+///
+/// # Errors
+///
+/// Never fails for deduplicated inputs.
+pub fn list_dict(values: &[&str]) -> Result<Arc<Dictionary>, DbError> {
+    Dictionary::from_sorted(values.iter().map(|s| s.to_string()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nations_are_sorted_and_complete() {
+        let names: Vec<&str> = NATIONS.iter().map(|(n, _)| *n).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        assert_eq!(names.len(), 25);
+        assert!(NATIONS.iter().all(|(_, r)| *r < 5));
+    }
+
+    #[test]
+    fn city_names_match_ssb_queries() {
+        assert_eq!(city_name("UNITED KINGDOM", 1), "UNITED KI1");
+        assert_eq!(city_name("UNITED STATES", 5), "UNITED ST5");
+        assert_eq!(city_name("PERU", 0), "PERU     0");
+    }
+
+    #[test]
+    fn city_dict_has_250_entries_and_knows_q3_cities() {
+        let d = city_dict().unwrap();
+        assert_eq!(d.len(), 250);
+        assert!(d.encode("UNITED KI1").is_some());
+        assert!(d.encode("UNITED KI5").is_some());
+    }
+
+    #[test]
+    fn us_has_exactly_ten_cities() {
+        let d = city_dict().unwrap();
+        let count = d.iter().filter(|(_, name)| name.starts_with("UNITED ST")).count();
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn brand_dict_lexicographic_equals_code_order() {
+        let d = brand_dict().unwrap();
+        assert_eq!(d.len(), 1000);
+        let lo = d.encode("MFGR#2221").unwrap();
+        let hi = d.encode("MFGR#2228").unwrap();
+        assert_eq!(hi - lo, 7);
+        // all 8 brands in the lexicographic range are in the code range
+        let in_range = d
+            .iter()
+            .filter(|(_, n)| ("MFGR#2221"..="MFGR#2228").contains(n))
+            .count();
+        assert_eq!(in_range, 8);
+        // MFGR#2239 (Q2.3) exists
+        assert!(d.encode("MFGR#2239").is_some());
+    }
+
+    #[test]
+    fn brand_code_embeds_category() {
+        let d = brand_dict().unwrap();
+        let cat = category_dict().unwrap();
+        // every brand of category MFGR#12 has code in [cat_code*40, +40)
+        let c = cat.encode("MFGR#12").unwrap();
+        for b in 1..=40 {
+            let code = d.encode(&format!("MFGR#12{b:02}")).unwrap();
+            assert_eq!(code / 40, c);
+        }
+    }
+
+    #[test]
+    fn category_dict_25_entries() {
+        assert_eq!(category_dict().unwrap().len(), 25);
+    }
+
+    #[test]
+    fn type_and_container_cardinalities() {
+        assert_eq!(part_type_dict().unwrap().len(), 150);
+        assert_eq!(container_dict().unwrap().len(), 40);
+    }
+
+    #[test]
+    fn nation_region_mapping() {
+        let idx = NATIONS.iter().position(|(n, _)| *n == "UNITED STATES").unwrap();
+        assert_eq!(REGIONS[nation_region(idx)], "AMERICA");
+        let idx = NATIONS.iter().position(|(n, _)| *n == "CHINA").unwrap();
+        assert_eq!(REGIONS[nation_region(idx)], "ASIA");
+    }
+}

@@ -1,0 +1,447 @@
+//! The 13 SSB queries as logical plans over the pre-joined relation.
+//!
+//! [`standard_queries`] uses the benchmark's published constants.
+//! [`adjusted_queries`] re-picks filter constants against a concrete
+//! (skewed) instance so each query retains a selectivity similar to the
+//! uniform benchmark — the paper: "When required, we change the
+//! parameters of the queries to retain similar query selectivity … as
+//! in the original uniform data".
+//!
+//! Q1.x aggregate `extendedprice · discount` and Q4.x aggregate
+//! `revenue − supplycost`; both are computed *inside* the crossbars by
+//! the PIM engine ([`crate::plan::AggExpr`]).
+
+use std::collections::HashMap;
+
+use crate::error::DbError;
+use crate::plan::{AggExpr, AggFunc, Atom, Const, Query};
+use crate::relation::Relation;
+
+fn sum(expr: AggExpr) -> (AggFunc, AggExpr) {
+    (AggFunc::Sum, expr)
+}
+
+fn q(id: &str, filter: Vec<Atom>, group_by: &[&str], agg: (AggFunc, AggExpr)) -> Query {
+    Query {
+        id: id.into(),
+        filter,
+        group_by: group_by.iter().map(|s| s.to_string()).collect(),
+        agg_func: agg.0,
+        agg_expr: agg.1,
+    }
+}
+
+/// The 13 SSB queries with the benchmark's standard constants.
+pub fn standard_queries() -> Vec<Query> {
+    let revenue = AggExpr::Attr("lo_revenue".into());
+    let price_disc = AggExpr::Mul("lo_extendedprice".into(), "lo_discount".into());
+    let profit = AggExpr::Sub("lo_revenue".into(), "lo_supplycost".into());
+    vec![
+        q(
+            "Q1.1",
+            vec![
+                Atom::Eq { attr: "d_year".into(), value: 1993u64.into() },
+                Atom::Between { attr: "lo_discount".into(), lo: 1u64.into(), hi: 3u64.into() },
+                Atom::Lt { attr: "lo_quantity".into(), value: 25u64.into() },
+            ],
+            &[],
+            sum(price_disc.clone()),
+        ),
+        q(
+            "Q1.2",
+            vec![
+                Atom::Eq { attr: "d_yearmonthnum".into(), value: 199_401u64.into() },
+                Atom::Between { attr: "lo_discount".into(), lo: 4u64.into(), hi: 6u64.into() },
+                Atom::Between { attr: "lo_quantity".into(), lo: 26u64.into(), hi: 35u64.into() },
+            ],
+            &[],
+            sum(price_disc.clone()),
+        ),
+        q(
+            "Q1.3",
+            vec![
+                Atom::Eq { attr: "d_weeknuminyear".into(), value: 6u64.into() },
+                Atom::Eq { attr: "d_year".into(), value: 1994u64.into() },
+                Atom::Between { attr: "lo_discount".into(), lo: 5u64.into(), hi: 7u64.into() },
+                Atom::Between { attr: "lo_quantity".into(), lo: 26u64.into(), hi: 35u64.into() },
+            ],
+            &[],
+            sum(price_disc),
+        ),
+        q(
+            "Q2.1",
+            vec![
+                Atom::Eq { attr: "p_category".into(), value: "MFGR#12".into() },
+                Atom::Eq { attr: "s_region".into(), value: "AMERICA".into() },
+            ],
+            &["d_year", "p_brand1"],
+            sum(revenue.clone()),
+        ),
+        q(
+            "Q2.2",
+            vec![
+                Atom::Between {
+                    attr: "p_brand1".into(),
+                    lo: "MFGR#2221".into(),
+                    hi: "MFGR#2228".into(),
+                },
+                Atom::Eq { attr: "s_region".into(), value: "ASIA".into() },
+            ],
+            &["d_year", "p_brand1"],
+            sum(revenue.clone()),
+        ),
+        q(
+            "Q2.3",
+            vec![
+                Atom::Eq { attr: "p_brand1".into(), value: "MFGR#2239".into() },
+                Atom::Eq { attr: "s_region".into(), value: "EUROPE".into() },
+            ],
+            &["d_year", "p_brand1"],
+            sum(revenue.clone()),
+        ),
+        q(
+            "Q3.1",
+            vec![
+                Atom::Eq { attr: "c_region".into(), value: "ASIA".into() },
+                Atom::Eq { attr: "s_region".into(), value: "ASIA".into() },
+                Atom::Between { attr: "d_year".into(), lo: 1992u64.into(), hi: 1997u64.into() },
+            ],
+            &["c_nation", "s_nation", "d_year"],
+            sum(revenue.clone()),
+        ),
+        q(
+            "Q3.2",
+            vec![
+                Atom::Eq { attr: "c_nation".into(), value: "UNITED STATES".into() },
+                Atom::Eq { attr: "s_nation".into(), value: "UNITED STATES".into() },
+                Atom::Between { attr: "d_year".into(), lo: 1992u64.into(), hi: 1997u64.into() },
+            ],
+            &["c_city", "s_city", "d_year"],
+            sum(revenue.clone()),
+        ),
+        q(
+            "Q3.3",
+            vec![
+                Atom::In {
+                    attr: "c_city".into(),
+                    values: vec!["UNITED KI1".into(), "UNITED KI5".into()],
+                },
+                Atom::In {
+                    attr: "s_city".into(),
+                    values: vec!["UNITED KI1".into(), "UNITED KI5".into()],
+                },
+                Atom::Between { attr: "d_year".into(), lo: 1992u64.into(), hi: 1997u64.into() },
+            ],
+            &["c_city", "s_city", "d_year"],
+            sum(revenue.clone()),
+        ),
+        q(
+            "Q3.4",
+            vec![
+                Atom::In {
+                    attr: "c_city".into(),
+                    values: vec!["UNITED KI1".into(), "UNITED KI5".into()],
+                },
+                Atom::In {
+                    attr: "s_city".into(),
+                    values: vec!["UNITED KI1".into(), "UNITED KI5".into()],
+                },
+                Atom::Eq { attr: "d_yearmonth".into(), value: "Dec1997".into() },
+                // implied by Dec1997; spelled out so the potential-subgroup
+                // count matches the paper's 2 × 2 × 1
+                Atom::Eq { attr: "d_year".into(), value: 1997u64.into() },
+            ],
+            &["c_city", "s_city", "d_year"],
+            sum(revenue),
+        ),
+        q(
+            "Q4.1",
+            vec![
+                Atom::Eq { attr: "c_region".into(), value: "AMERICA".into() },
+                Atom::Eq { attr: "s_region".into(), value: "AMERICA".into() },
+                Atom::In { attr: "p_mfgr".into(), values: vec!["MFGR#1".into(), "MFGR#2".into()] },
+            ],
+            &["d_year", "c_nation"],
+            sum(profit.clone()),
+        ),
+        q(
+            "Q4.2",
+            vec![
+                Atom::In { attr: "d_year".into(), values: vec![1997u64.into(), 1998u64.into()] },
+                Atom::Eq { attr: "c_region".into(), value: "AMERICA".into() },
+                Atom::Eq { attr: "s_region".into(), value: "AMERICA".into() },
+                Atom::In { attr: "p_mfgr".into(), values: vec!["MFGR#1".into(), "MFGR#2".into()] },
+            ],
+            &["d_year", "s_nation", "p_category"],
+            sum(profit.clone()),
+        ),
+        q(
+            "Q4.3",
+            vec![
+                Atom::In { attr: "d_year".into(), values: vec![1997u64.into(), 1998u64.into()] },
+                Atom::Eq { attr: "c_region".into(), value: "AMERICA".into() },
+                Atom::Eq { attr: "s_nation".into(), value: "UNITED STATES".into() },
+                Atom::Eq { attr: "p_category".into(), value: "MFGR#14".into() },
+            ],
+            &["d_year", "s_city", "p_brand1"],
+            sum(profit),
+        ),
+    ]
+}
+
+/// Look up one standard query by id (`"Q2.1"`…).
+pub fn standard_query(id: &str) -> Option<Query> {
+    standard_queries().into_iter().find(|q| q.id == id)
+}
+
+/// Attributes whose equality constants [`adjusted_queries`] may re-pick.
+const ADJUSTABLE: [&str; 9] = [
+    "c_region",
+    "s_region",
+    "c_nation",
+    "s_nation",
+    "c_city",
+    "s_city",
+    "p_category",
+    "p_brand1",
+    "p_mfgr",
+];
+
+/// Re-pick filter constants against a concrete instance so selectivity
+/// stays near the uniform benchmark's.
+///
+/// * `Eq` on an adjustable dimension attribute → the domain value whose
+///   observed frequency is closest to `1 / |distinct values|`.
+/// * `In` over adjustable attributes → the k distinct values closest to
+///   the uniform share.
+/// * `Between` on `p_brand1` → the window of equal width whose total
+///   frequency is closest to uniform.
+///
+/// Other atoms (dates, discounts, quantities) are left untouched.
+///
+/// # Errors
+///
+/// Propagates schema resolution failures.
+pub fn adjusted_queries(rel: &Relation) -> Result<Vec<Query>, DbError> {
+    standard_queries().into_iter().map(|query| adjust_query(query, rel)).collect()
+}
+
+fn adjust_query(mut query: Query, rel: &Relation) -> Result<Query, DbError> {
+    for atom in query.filter.iter_mut() {
+        if !ADJUSTABLE.contains(&atom.attr()) {
+            continue;
+        }
+        let idx = rel.schema().index_of(atom.attr())?;
+        let freqs = frequency_map(rel, idx);
+        let distinct = freqs.len().max(1);
+        let target = 1.0 / distinct as f64;
+        match atom {
+            Atom::Eq { value, .. } => {
+                if let Some(best) = closest_values(&freqs, target, 1).first() {
+                    *value = recode(rel, idx, *best)?;
+                }
+            }
+            Atom::In { values, .. } => {
+                let k = values.len();
+                let picks = closest_values(&freqs, target, k);
+                if picks.len() == k {
+                    *values = picks
+                        .into_iter()
+                        .map(|v| recode(rel, idx, v))
+                        .collect::<Result<Vec<_>, _>>()?;
+                }
+            }
+            Atom::Between { lo, hi, .. } => {
+                let (lo_code, hi_code) = resolve_bounds(rel, idx, lo, hi)?;
+                let width = (hi_code - lo_code + 1) as usize;
+                if let Some((new_lo, new_hi)) = best_window(&freqs, width, target) {
+                    *lo = recode(rel, idx, new_lo)?;
+                    *hi = recode(rel, idx, new_hi)?;
+                }
+            }
+            Atom::Lt { .. } | Atom::Gt { .. } => {}
+        }
+    }
+    Ok(query)
+}
+
+fn frequency_map(rel: &Relation, idx: usize) -> HashMap<u64, f64> {
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for &v in rel.column(idx).values() {
+        *counts.entry(v).or_default() += 1;
+    }
+    let n = rel.len().max(1) as f64;
+    counts.into_iter().map(|(v, c)| (v, c as f64 / n)).collect()
+}
+
+/// The k codes whose frequency is closest to `target`, deterministic
+/// tie-break by code.
+fn closest_values(freqs: &HashMap<u64, f64>, target: f64, k: usize) -> Vec<u64> {
+    let mut items: Vec<(u64, f64)> = freqs.iter().map(|(v, f)| (*v, *f)).collect();
+    items.sort_by(|a, b| {
+        let da = (a.1 - target).abs();
+        let db = (b.1 - target).abs();
+        da.total_cmp(&db).then(a.0.cmp(&b.0))
+    });
+    items.into_iter().take(k).map(|(v, _)| v).collect()
+}
+
+/// Best `width`-code window `[lo, lo+width)` by total frequency vs
+/// `width × target`.
+fn best_window(freqs: &HashMap<u64, f64>, width: usize, target: f64) -> Option<(u64, u64)> {
+    let max_code = *freqs.keys().max()?;
+    let goal = width as f64 * target;
+    let mut best: Option<(u64, f64)> = None;
+    for lo in 0..=max_code.saturating_sub(width as u64 - 1) {
+        let total: f64 =
+            (lo..lo + width as u64).map(|c| freqs.get(&c).copied().unwrap_or(0.0)).sum();
+        let d = (total - goal).abs();
+        if best.map(|(_, bd)| d < bd).unwrap_or(true) {
+            best = Some((lo, d));
+        }
+    }
+    best.map(|(lo, _)| (lo, lo + width as u64 - 1))
+}
+
+fn resolve_bounds(
+    rel: &Relation,
+    idx: usize,
+    lo: &Const,
+    hi: &Const,
+) -> Result<(u64, u64), DbError> {
+    let attr = &rel.schema().attrs()[idx];
+    let enc = |c: &Const| match c {
+        Const::Num(v) => Ok(*v),
+        Const::Str(s) => attr.encode_str(s),
+    };
+    Ok((enc(lo)?, enc(hi)?))
+}
+
+/// Turn a code back into the constant form the attribute expects.
+fn recode(rel: &Relation, idx: usize, code: u64) -> Result<Const, DbError> {
+    let attr = &rel.schema().attrs()[idx];
+    Ok(match attr.dictionary() {
+        Some(d) => Const::Str(
+            d.decode(code)
+                .ok_or_else(|| DbError::InvalidQuery(format!(
+                    "code {code} outside dictionary of `{}`",
+                    attr.name
+                )))?
+                .to_owned(),
+        ),
+        None => Const::Num(code),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ssb::{SsbDb, SsbParams};
+    use crate::stats;
+
+    #[test]
+    fn thirteen_queries_with_paper_ids() {
+        let qs = standard_queries();
+        assert_eq!(qs.len(), 13);
+        let ids: Vec<&str> = qs.iter().map(|q| q.id.as_str()).collect();
+        assert_eq!(
+            ids,
+            vec![
+                "Q1.1", "Q1.2", "Q1.3", "Q2.1", "Q2.2", "Q2.3", "Q3.1", "Q3.2", "Q3.3", "Q3.4",
+                "Q4.1", "Q4.2", "Q4.3"
+            ]
+        );
+    }
+
+    #[test]
+    fn q1_queries_have_no_group_by() {
+        for id in ["Q1.1", "Q1.2", "Q1.3"] {
+            assert!(!standard_query(id).unwrap().has_group_by(), "{id}");
+        }
+    }
+
+    #[test]
+    fn all_queries_resolve_against_prejoined_schema() {
+        let db = SsbDb::generate(&SsbParams::tiny_for_tests());
+        let wide = db.prejoin();
+        for query in standard_queries() {
+            query.resolve_filter(wide.schema()).unwrap_or_else(|e| {
+                panic!("{} failed to resolve: {e}", query.id);
+            });
+        }
+    }
+
+    #[test]
+    fn potential_subgroups_match_paper_table2() {
+        // Paper values (Table II) require the dimension value space to be
+        // covered by the generated data; at SF 0.05 the nation/brand
+        // hierarchies are fully covered, the 250-city space is not (the
+        // paper runs SF 10 with 20 K suppliers — 80 per city).
+        let db = SsbDb::generate(&SsbParams::uniform(0.05));
+        let wide = db.prejoin();
+        let exact: &[(&str, u64)] = &[
+            ("Q2.1", 280), // 7 years × 40 brands of the category
+            ("Q2.2", 56),  // 7 × 8 brands
+            ("Q2.3", 7),   // 7 × 1 brand
+            ("Q3.1", 150), // 5 × 5 nations × 6 years
+            ("Q4.1", 35),  // 7 years × 5 nations
+        ];
+        for (id, want) in exact {
+            let query = standard_query(id).unwrap();
+            let got = stats::potential_subgroups(&query, &wide).unwrap();
+            assert_eq!(got, *want, "{id}");
+        }
+        // City-level queries: bounded by the paper value, scaled-down
+        // coverage allows fewer.
+        let bounded: &[(&str, u64)] = &[("Q3.2", 600), ("Q3.3", 24), ("Q3.4", 4), ("Q4.3", 800)];
+        for (id, cap) in bounded {
+            let query = standard_query(id).unwrap();
+            let got = stats::potential_subgroups(&query, &wide).unwrap();
+            assert!(got >= 1 && got <= *cap, "{id}: {got} not in 1..={cap}");
+        }
+    }
+
+    #[test]
+    fn adjustment_improves_selectivity_on_skewed_data() {
+        let db = SsbDb::generate(&SsbParams::skewed(0.01));
+        let wide = db.prejoin();
+        let standard = standard_query("Q2.1").unwrap();
+        let adjusted = adjust_query(standard.clone(), &wide).unwrap();
+        let uniform_expectation = 1.0 / 25.0 / 5.0; // category × region
+        let sel_std = stats::selectivity(&standard, &wide).unwrap();
+        let sel_adj = stats::selectivity(&adjusted, &wide).unwrap();
+        let err_std = (sel_std - uniform_expectation).abs();
+        let err_adj = (sel_adj - uniform_expectation).abs();
+        assert!(
+            err_adj <= err_std + 1e-9,
+            "adjusted {sel_adj} should be at least as close to {uniform_expectation} as {sel_std}"
+        );
+    }
+
+    #[test]
+    fn adjustment_keeps_query_shape() {
+        let db = SsbDb::generate(&SsbParams::skewed(0.01));
+        let wide = db.prejoin();
+        for (std_q, adj_q) in
+            standard_queries().into_iter().zip(adjusted_queries(&wide).unwrap())
+        {
+            assert_eq!(std_q.id, adj_q.id);
+            assert_eq!(std_q.filter.len(), adj_q.filter.len());
+            assert_eq!(std_q.group_by, adj_q.group_by);
+            adj_q.resolve_filter(wide.schema()).unwrap();
+        }
+    }
+
+    #[test]
+    fn uniform_selectivities_in_paper_ballpark() {
+        // Table II: Q1.1 ≈ 2.3e-2, Q2.1 ≈ 1.2e-2 (skewed); on uniform
+        // data the analytic expectations are 1/7·3/11·24/50 ≈ 1.9e-2 and
+        // 1/25·1/5 = 8e-3. Accept the right order of magnitude.
+        let db = SsbDb::generate(&SsbParams::uniform(0.02));
+        let wide = db.prejoin();
+        let s11 = stats::selectivity(&standard_query("Q1.1").unwrap(), &wide).unwrap();
+        assert!((0.005..0.06).contains(&s11), "Q1.1 selectivity {s11}");
+        let s21 = stats::selectivity(&standard_query("Q2.1").unwrap(), &wide).unwrap();
+        assert!((0.002..0.03).contains(&s21), "Q2.1 selectivity {s21}");
+    }
+}

@@ -1,0 +1,247 @@
+//! Query oracles: reference execution, selectivity, subgroup counts.
+//!
+//! These row-at-a-time evaluators are the ground truth the PIM engine
+//! and the column-store baseline are tested against, and they produce
+//! the per-query statistics of the paper's Table II (selectivity, total
+//! potential subgroups).
+
+use std::collections::BTreeMap;
+
+use crate::error::DbError;
+use crate::plan::{Query, ResolvedAtom};
+use crate::relation::Relation;
+
+/// Result of a (group-by) aggregation: group key values → aggregate.
+pub type GroupedResult = BTreeMap<Vec<u64>, u64>;
+
+/// Evaluate the resolved conjunction on one row.
+pub fn row_matches(atoms: &[ResolvedAtom], rel: &Relation, row: usize) -> bool {
+    atoms.iter().all(|a| a.matches(rel, row))
+}
+
+/// The selection bit-vector of a query's filter.
+///
+/// # Errors
+///
+/// Propagates resolution failures.
+pub fn filter_bitvec(query: &Query, rel: &Relation) -> Result<Vec<bool>, DbError> {
+    let atoms = query.resolve_filter(rel.schema())?;
+    Ok((0..rel.len()).map(|r| row_matches(&atoms, rel, r)).collect())
+}
+
+/// Selectivity: fraction of rows passing the filter.
+///
+/// # Errors
+///
+/// Propagates resolution failures.
+pub fn selectivity(query: &Query, rel: &Relation) -> Result<f64, DbError> {
+    if rel.is_empty() {
+        return Ok(0.0);
+    }
+    let bits = filter_bitvec(query, rel)?;
+    Ok(bits.iter().filter(|b| **b).count() as f64 / rel.len() as f64)
+}
+
+/// Reference (row-at-a-time) execution of a query.
+///
+/// Returns the grouped aggregates; a query without GROUP BY yields one
+/// entry keyed by the empty vector. Groups with no matching rows are
+/// absent (matching SQL semantics).
+///
+/// # Errors
+///
+/// Propagates resolution and evaluation failures.
+pub fn run_oracle(query: &Query, rel: &Relation) -> Result<GroupedResult, DbError> {
+    let atoms = query.resolve_filter(rel.schema())?;
+    let group_idx: Vec<usize> = query
+        .group_by
+        .iter()
+        .map(|name| rel.schema().index_of(name))
+        .collect::<Result<_, _>>()?;
+    let mut out = GroupedResult::new();
+    for row in 0..rel.len() {
+        if !row_matches(&atoms, rel, row) {
+            continue;
+        }
+        let key: Vec<u64> = group_idx.iter().map(|&i| rel.value(row, i)).collect();
+        let v = query.agg_expr.eval(rel, row)?;
+        out.entry(key)
+            .and_modify(|acc| {
+                *acc = match query.agg_func {
+                    crate::plan::AggFunc::Sum => acc.wrapping_add(v),
+                    crate::plan::AggFunc::Min => (*acc).min(v),
+                    crate::plan::AggFunc::Max => (*acc).max(v),
+                }
+            })
+            .or_insert(v);
+    }
+    Ok(out)
+}
+
+/// The paper's "total subgroups" (Table II): how many subgroups could
+/// potentially exist given the query and database contents.
+///
+/// For each GROUP BY attribute, count the distinct values it takes among
+/// rows satisfying the filter atoms *of the same dimension* (attributes
+/// share a dimension when their names share the relation prefix before
+/// the first `_`: `p_category` constrains `p_brand1`, but not `d_year`);
+/// the result is the product across GROUP BY attributes. This captures
+/// hierarchy implications — SSB Q2.1's `p_category = 'MFGR#12'` leaves
+/// 40 potential brands, giving the paper's 7 × 40 = 280.
+///
+/// Returns 0 for a query without GROUP BY.
+///
+/// # Errors
+///
+/// Propagates resolution failures.
+pub fn potential_subgroups(query: &Query, rel: &Relation) -> Result<u64, DbError> {
+    if !query.has_group_by() {
+        return Ok(0);
+    }
+    Ok(group_domains(query, rel)?
+        .iter()
+        .fold(1u64, |acc, d| acc.saturating_mul(d.len().max(1) as u64)))
+}
+
+/// Per GROUP BY attribute, the distinct values it can take under the
+/// query's same-dimension constraints (see [`potential_subgroups`]);
+/// their cross product enumerates every potential subgroup key — which
+/// the PIM engine needs when it decides to aggregate *all* subgroups in
+/// PIM, including ones the sample never saw.
+///
+/// # Errors
+///
+/// Propagates resolution failures.
+pub fn group_domains(query: &Query, rel: &Relation) -> Result<Vec<Vec<u64>>, DbError> {
+    let prefix = |name: &str| name.split('_').next().unwrap_or("").to_owned();
+    let atoms = query.resolve_filter(rel.schema())?;
+    let atom_prefixes: Vec<String> = query.filter.iter().map(|a| prefix(a.attr())).collect();
+    let mut out = Vec::with_capacity(query.group_by.len());
+    for name in &query.group_by {
+        let idx = rel.schema().index_of(name)?;
+        let dim = prefix(name);
+        let constraints: Vec<&ResolvedAtom> = atoms
+            .iter()
+            .zip(&atom_prefixes)
+            .filter(|(_, p)| **p == dim)
+            .map(|(a, _)| a)
+            .collect();
+        let mut seen = std::collections::BTreeSet::new();
+        for row in 0..rel.len() {
+            if constraints.iter().all(|a| a.matches(rel, row)) {
+                seen.insert(rel.value(row, idx));
+            }
+        }
+        out.push(seen.into_iter().collect());
+    }
+    Ok(out)
+}
+
+/// Number of distinct group keys among rows matching the filter (the
+/// non-empty subgroups; `run_oracle(..).len()` without the aggregates).
+///
+/// # Errors
+///
+/// Propagates resolution failures.
+pub fn occupied_subgroups(query: &Query, rel: &Relation) -> Result<u64, DbError> {
+    Ok(run_oracle(query, rel)?.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{AggExpr, AggFunc, Atom};
+    use crate::schema::{Attribute, Schema};
+
+    fn rel() -> Relation {
+        let schema = Schema::new(
+            "t",
+            vec![
+                Attribute::numeric("g", 4),
+                Attribute::numeric("h", 4),
+                Attribute::numeric("v", 8),
+            ],
+        );
+        let mut rel = Relation::new(schema);
+        // g in {0,1,2}, h in {0,1}, v = 10*row
+        for row in 0..12u64 {
+            rel.push_row(&[row % 3, row % 2, row * 10]).unwrap();
+        }
+        rel
+    }
+
+    fn query(filter: Vec<Atom>, group_by: Vec<&str>) -> Query {
+        Query {
+            id: "t".into(),
+            filter,
+            group_by: group_by.into_iter().map(String::from).collect(),
+            agg_func: AggFunc::Sum,
+            agg_expr: AggExpr::Attr("v".into()),
+        }
+    }
+
+    #[test]
+    fn oracle_groups_and_sums() {
+        let rel = rel();
+        let q = query(vec![], vec!["g"]);
+        let out = run_oracle(&q, &rel).unwrap();
+        assert_eq!(out.len(), 3);
+        // rows with g=0: 0,3,6,9 → v = 0+30+60+90
+        assert_eq!(out[&vec![0u64]], 180);
+    }
+
+    #[test]
+    fn oracle_without_group_by_uses_empty_key() {
+        let rel = rel();
+        let q = query(vec![Atom::Lt { attr: "v".into(), value: 30u64.into() }], vec![]);
+        let out = run_oracle(&q, &rel).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[&Vec::<u64>::new()], 10 + 20);
+    }
+
+    #[test]
+    fn selectivity_fraction() {
+        let rel = rel();
+        let q = query(vec![Atom::Eq { attr: "h".into(), value: 0u64.into() }], vec![]);
+        assert!((selectivity(&q, &rel).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn potential_subgroups_product_of_constrained_domains() {
+        let rel = rel();
+        // unconstrained: 3 g-values × 2 h-values
+        assert_eq!(potential_subgroups(&query(vec![], vec!["g", "h"]), &rel).unwrap(), 6);
+        // constrain g to {0,1}: 2 × 2
+        let q = query(
+            vec![Atom::In { attr: "g".into(), values: vec![0u64.into(), 1u64.into()] }],
+            vec!["g", "h"],
+        );
+        assert_eq!(potential_subgroups(&q, &rel).unwrap(), 4);
+        // no group-by → 0
+        assert_eq!(potential_subgroups(&query(vec![], vec![]), &rel).unwrap(), 0);
+    }
+
+    #[test]
+    fn occupied_can_be_less_than_potential() {
+        let rel = rel();
+        // filter keeps only rows 0..2 → g keys {0,1,2}, h keys {0,1} but
+        // only 3 (g,h) combos occupied
+        let q = query(vec![Atom::Lt { attr: "v".into(), value: 30u64.into() }], vec!["g", "h"]);
+        assert_eq!(occupied_subgroups(&q, &rel).unwrap(), 3);
+        assert_eq!(potential_subgroups(&q, &rel).unwrap(), 6);
+    }
+
+    #[test]
+    fn min_max_oracle() {
+        let rel = rel();
+        let mut q = query(vec![], vec!["h"]);
+        q.agg_func = AggFunc::Min;
+        let out = run_oracle(&q, &rel).unwrap();
+        assert_eq!(out[&vec![0u64]], 0);
+        assert_eq!(out[&vec![1u64]], 10);
+        q.agg_func = AggFunc::Max;
+        let out = run_oracle(&q, &rel).unwrap();
+        assert_eq!(out[&vec![0u64]], 100);
+        assert_eq!(out[&vec![1u64]], 110);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests on the relational substrate: dictionary round-trips,
+//! width enforcement, oracle algebra, and generator invariants.
+
+use bbpim_db::column::Column;
+use bbpim_db::dict::{bits_for, Dictionary};
+use bbpim_db::plan::{AggExpr, AggFunc, Atom, Query};
+use bbpim_db::relation::Relation;
+use bbpim_db::schema::{Attribute, Schema};
+use bbpim_db::ssb::skew::Zipf;
+use bbpim_db::stats;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn dictionary_roundtrips(words in proptest::collection::btree_set("[a-z]{1,8}", 1..50)) {
+        let values: Vec<String> = words.into_iter().collect(); // sorted, unique
+        let dict = Dictionary::from_sorted(values.clone()).unwrap();
+        for (code, value) in dict.iter() {
+            prop_assert_eq!(dict.encode(value), Some(code));
+            prop_assert_eq!(dict.decode(code), Some(value));
+        }
+        prop_assert!(dict.code_bits() <= 6);
+        prop_assert_eq!(dict.len(), values.len());
+    }
+
+    #[test]
+    fn bits_for_is_minimal(v in any::<u64>()) {
+        let bits = bits_for(v);
+        prop_assert!((1..=64).contains(&bits));
+        if bits < 64 {
+            prop_assert!(v < (1u64 << bits));
+        }
+        if bits > 1 {
+            prop_assert!(v >= (1u64 << (bits - 1)));
+        }
+    }
+
+    #[test]
+    fn column_width_is_enforced(width in 1usize..=63, values in proptest::collection::vec(any::<u64>(), 1..100)) {
+        let mut col = Column::new(width);
+        let limit = 1u64 << width;
+        for v in &values {
+            let result = col.push(*v);
+            prop_assert_eq!(result.is_ok(), *v < limit);
+        }
+    }
+
+    #[test]
+    fn oracle_total_equals_sum_of_groups(
+        rows in proptest::collection::vec((0u64..8, 0u64..100), 10..200),
+    ) {
+        let schema = Schema::new(
+            "t",
+            vec![Attribute::numeric("g", 3), Attribute::numeric("v", 7)],
+        );
+        let mut rel = Relation::new(schema);
+        for (g, v) in &rows {
+            rel.push_row(&[*g, *v]).unwrap();
+        }
+        let grouped = Query {
+            id: "g".into(),
+            filter: vec![],
+            group_by: vec!["g".into()],
+            agg_func: AggFunc::Sum,
+            agg_expr: AggExpr::Attr("v".into()),
+        };
+        let total = Query { group_by: vec![], ..grouped.clone() };
+        let by_group = stats::run_oracle(&grouped, &rel).unwrap();
+        let overall = stats::run_oracle(&total, &rel).unwrap();
+        let sum_of_groups: u64 = by_group.values().copied().sum();
+        prop_assert_eq!(overall[&Vec::<u64>::new()], sum_of_groups);
+    }
+
+    #[test]
+    fn filter_monotone_under_conjunction(
+        rows in proptest::collection::vec((0u64..8, 0u64..100), 10..200),
+        threshold in 0u64..100,
+    ) {
+        let schema = Schema::new(
+            "t",
+            vec![Attribute::numeric("g", 3), Attribute::numeric("v", 7)],
+        );
+        let mut rel = Relation::new(schema);
+        for (g, v) in &rows {
+            rel.push_row(&[*g, *v]).unwrap();
+        }
+        let one = Query {
+            id: "one".into(),
+            filter: vec![Atom::Lt { attr: "v".into(), value: threshold.into() }],
+            group_by: vec![],
+            agg_func: AggFunc::Sum,
+            agg_expr: AggExpr::Attr("v".into()),
+        };
+        let two = Query {
+            filter: vec![
+                Atom::Lt { attr: "v".into(), value: threshold.into() },
+                Atom::Eq { attr: "g".into(), value: 3u64.into() },
+            ],
+            ..one.clone()
+        };
+        let s1 = stats::selectivity(&one, &rel).unwrap();
+        let s2 = stats::selectivity(&two, &rel).unwrap();
+        prop_assert!(s2 <= s1 + 1e-12, "adding a conjunct cannot select more");
+    }
+
+    #[test]
+    fn zipf_samples_in_range(n in 1usize..1000, theta in 0.0f64..1.5, seed in any::<u64>()) {
+        let z = Zipf::new(n, theta);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let v = z.sample(&mut rng);
+            prop_assert!(v >= 1 && v <= n as u64);
+        }
+    }
+
+    #[test]
+    fn potential_subgroups_bounds_occupied(
+        rows in proptest::collection::vec((0u64..6, 0u64..4, 0u64..50), 20..200),
+    ) {
+        let schema = Schema::new(
+            "t",
+            vec![
+                Attribute::numeric("d_g", 3),
+                Attribute::numeric("d_h", 2),
+                Attribute::numeric("lo_v", 6),
+            ],
+        );
+        let mut rel = Relation::new(schema);
+        for (g, h, v) in &rows {
+            rel.push_row(&[*g, *h, *v]).unwrap();
+        }
+        let q = Query {
+            id: "t".into(),
+            filter: vec![Atom::Lt { attr: "lo_v".into(), value: 25u64.into() }],
+            group_by: vec!["d_g".into(), "d_h".into()],
+            agg_func: AggFunc::Sum,
+            agg_expr: AggExpr::Attr("lo_v".into()),
+        };
+        let potential = stats::potential_subgroups(&q, &rel).unwrap();
+        let occupied = stats::occupied_subgroups(&q, &rel).unwrap();
+        prop_assert!(occupied <= potential, "occupied {} > potential {}", occupied, potential);
+    }
+}

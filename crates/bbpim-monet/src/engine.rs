@@ -1,0 +1,372 @@
+//! The two MonetDB-stand-in configurations: `mnt_join` and `mnt_reg`.
+//!
+//! Queries arrive in the same logical form the PIM engine consumes
+//! (attribute names of the *wide* schema). `mnt_join` executes them
+//! directly on the pre-joined relation. `mnt_reg` runs on the normalised
+//! star schema: dimension predicates filter their dimension first,
+//! producing dense-key bitmaps; the fact scan probes the bitmaps through
+//! the foreign keys and fetches dimension group keys positionally (the
+//! invisible-join plan a column store uses for star schemas — dimension
+//! keys are dense, so the "hash" lookup is an array index).
+//!
+//! Latencies are wall-clock (`std::time::Instant`), measured around
+//! execution only — plan resolution (the optimizer's job) is excluded,
+//! matching the paper's "without SQL parsing and optimization".
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use bbpim_db::plan::{AggFunc, Query, ResolvedAtom};
+use bbpim_db::ssb::SsbDb;
+use bbpim_db::stats::GroupedResult;
+use bbpim_db::{DbError, Relation};
+
+use crate::exec::{eval_expr, fold, merge, ExprCols};
+use crate::selection::{refine, KeyBitmap};
+
+/// Result of one baseline query.
+#[derive(Debug, Clone)]
+pub struct MonetResult {
+    /// Grouped aggregates (empty-key entry for global aggregates).
+    pub groups: GroupedResult,
+    /// Wall-clock execution time.
+    pub wall: Duration,
+}
+
+/// Which physical database the engine runs on.
+enum PlanKind<'a> {
+    Prejoined(&'a Relation),
+    Star(&'a SsbDb),
+}
+
+/// The baseline engine.
+pub struct MonetEngine<'a> {
+    plan: PlanKind<'a>,
+    threads: usize,
+}
+
+/// The four dimensions of the star schema, with their fact foreign key
+/// and key base (date keys are 0-based day indices).
+const DIMS: [(&str, &str, u64); 4] = [
+    ("c_", "lo_custkey", 1),
+    ("s_", "lo_suppkey", 1),
+    ("p_", "lo_partkey", 1),
+    ("d_", "lo_orderdate", 0),
+];
+
+impl<'a> MonetEngine<'a> {
+    /// `mnt_join`: run on the pre-joined relation.
+    pub fn prejoined(wide: &'a Relation, threads: usize) -> Self {
+        MonetEngine { plan: PlanKind::Prejoined(wide), threads: threads.max(1) }
+    }
+
+    /// `mnt_reg`: run on the normalised star schema.
+    pub fn star(db: &'a SsbDb, threads: usize) -> Self {
+        MonetEngine { plan: PlanKind::Star(db), threads: threads.max(1) }
+    }
+
+    /// Label as used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self.plan {
+            PlanKind::Prejoined(_) => "mnt_join",
+            PlanKind::Star(_) => "mnt_reg",
+        }
+    }
+
+    /// Execute a query.
+    ///
+    /// # Errors
+    ///
+    /// Resolution failures (unknown attributes/constants).
+    pub fn run(&self, query: &Query) -> Result<MonetResult, DbError> {
+        match self.plan {
+            PlanKind::Prejoined(rel) => self.run_prejoined(rel, query),
+            PlanKind::Star(db) => self.run_star(db, query),
+        }
+    }
+
+    fn run_prejoined(&self, rel: &Relation, query: &Query) -> Result<MonetResult, DbError> {
+        let atoms = query.resolve_filter(rel.schema())?;
+        let key_cols: Vec<usize> = query
+            .group_by
+            .iter()
+            .map(|g| rel.schema().index_of(g))
+            .collect::<Result<_, _>>()?;
+        let expr = ExprCols::resolve(&query.agg_expr, rel)?;
+        let func = query.agg_func;
+
+        let start = Instant::now();
+        let groups = scan_partitions(rel.len(), self.threads, func, |lo, hi| {
+            let mut sel: Vec<u32> = (lo as u32..hi as u32).collect();
+            for atom in &atoms {
+                sel = refine(rel.column(atom.attr_index()), atom, &sel);
+                if sel.is_empty() {
+                    break;
+                }
+            }
+            let mut table: HashMap<Vec<u64>, u64> = HashMap::new();
+            for &row in &sel {
+                let row = row as usize;
+                let key: Vec<u64> = key_cols.iter().map(|&c| rel.value(row, c)).collect();
+                fold(&mut table, key, eval_expr(rel, &expr, row), func);
+            }
+            table
+        });
+        let wall = start.elapsed();
+        Ok(MonetResult { groups, wall })
+    }
+
+    fn run_star(&self, db: &'a SsbDb, query: &Query) -> Result<MonetResult, DbError> {
+        let fact = &db.lineorder;
+
+        // Split atoms: fact-side stay on the scan; dimension-side filter
+        // their dimension into a key bitmap.
+        let mut fact_atoms: Vec<ResolvedAtom> = Vec::new();
+        let mut dim_atoms: Vec<Vec<ResolvedAtom>> = vec![Vec::new(); 4];
+        for atom in &query.filter {
+            match dim_index(atom.attr()) {
+                None => fact_atoms.push(atom.resolve(fact.schema())?),
+                Some(d) => dim_atoms[d].push(atom.resolve(dim_relation(db, d).schema())?),
+            }
+        }
+
+        // Group-key sources: fact column or positional dimension fetch.
+        enum KeySource {
+            Fact(usize),
+            Dim { dim: usize, col: usize, fk_col: usize, base: u64 },
+        }
+        let mut key_sources = Vec::with_capacity(query.group_by.len());
+        for g in &query.group_by {
+            match dim_index(g) {
+                None => key_sources.push(KeySource::Fact(fact.schema().index_of(g)?)),
+                Some(d) => key_sources.push(KeySource::Dim {
+                    dim: d,
+                    col: dim_relation(db, d).schema().index_of(g)?,
+                    fk_col: fact.schema().index_of(DIMS[d].1)?,
+                    base: DIMS[d].2,
+                }),
+            }
+        }
+        let expr = ExprCols::resolve(&query.agg_expr, fact)?;
+        let func = query.agg_func;
+
+        let start = Instant::now();
+
+        // Dimension phase: filter dimensions that carry predicates.
+        let mut bitmaps: Vec<Option<KeyBitmap>> = vec![None; 4];
+        let mut probe_cols: Vec<Option<usize>> = vec![None; 4];
+        for d in 0..4 {
+            if dim_atoms[d].is_empty() {
+                continue;
+            }
+            let dim = dim_relation(db, d);
+            let sel = crate::exec::filter(dim, &dim_atoms[d]);
+            let key_col_idx = dim_key_index(dim)?;
+            bitmaps[d] = Some(KeyBitmap::from_selection(
+                dim.column(key_col_idx),
+                &sel,
+                dim.len(),
+                DIMS[d].2,
+            ));
+            probe_cols[d] = Some(fact.schema().index_of(DIMS[d].1)?);
+        }
+
+        // Fact scan.
+        let groups = scan_partitions(fact.len(), self.threads, func, |lo, hi| {
+            let mut sel: Vec<u32> = (lo as u32..hi as u32).collect();
+            for atom in &fact_atoms {
+                sel = refine(fact.column(atom.attr_index()), atom, &sel);
+                if sel.is_empty() {
+                    break;
+                }
+            }
+            // probe the dimension bitmaps
+            for d in 0..4 {
+                if let (Some(bm), Some(fk_col)) = (&bitmaps[d], probe_cols[d]) {
+                    let col = fact.column(fk_col);
+                    sel.retain(|&row| bm.contains(col.get(row as usize)));
+                }
+            }
+            let mut table: HashMap<Vec<u64>, u64> = HashMap::new();
+            for &row in &sel {
+                let row = row as usize;
+                let key: Vec<u64> = key_sources
+                    .iter()
+                    .map(|src| match src {
+                        KeySource::Fact(c) => fact.value(row, *c),
+                        KeySource::Dim { dim, col, fk_col, base } => {
+                            let fk = fact.value(row, *fk_col);
+                            dim_relation(db, *dim).value((fk - base) as usize, *col)
+                        }
+                    })
+                    .collect();
+                fold(&mut table, key, eval_expr(fact, &expr, row), func);
+            }
+            table
+        });
+        let wall = start.elapsed();
+        Ok(MonetResult { groups, wall })
+    }
+}
+
+impl std::fmt::Debug for MonetEngine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MonetEngine")
+            .field("plan", &self.label())
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+/// Which dimension an attribute belongs to (None = fact).
+fn dim_index(attr: &str) -> Option<usize> {
+    if attr.starts_with("lo_") {
+        return None;
+    }
+    DIMS.iter().position(|(p, _, _)| attr.starts_with(p))
+}
+
+fn dim_relation(db: &SsbDb, d: usize) -> &Relation {
+    match d {
+        0 => &db.customer,
+        1 => &db.supplier,
+        2 => &db.part,
+        3 => &db.date,
+        _ => unreachable!("only four dimensions"),
+    }
+}
+
+fn dim_key_index(dim: &Relation) -> Result<usize, DbError> {
+    for key in ["c_custkey", "s_suppkey", "p_partkey", "d_datekey"] {
+        if let Ok(idx) = dim.schema().index_of(key) {
+            return Ok(idx);
+        }
+    }
+    Err(DbError::InvalidQuery(format!(
+        "relation `{}` has no recognised dimension key",
+        dim.schema().name
+    )))
+}
+
+/// Run `work(lo, hi)` over `threads` row partitions and merge the
+/// thread-local tables with the query's aggregate function (this is the
+/// engine's parallel scan driver).
+fn scan_partitions(
+    len: usize,
+    threads: usize,
+    func: AggFunc,
+    work: impl Fn(usize, usize) -> HashMap<Vec<u64>, u64> + Sync,
+) -> GroupedResult {
+    let mut out = GroupedResult::new();
+    if len == 0 {
+        return out;
+    }
+    let threads = threads.min(len).max(1);
+    let chunk = len.div_ceil(threads);
+    let tables: Vec<HashMap<Vec<u64>, u64>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(len);
+                let work = &work;
+                scope.spawn(move |_| work(lo, hi))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("scan worker panicked")).collect()
+    })
+    .expect("scan scope");
+    for table in tables {
+        merge(&mut out, table, func);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbpim_db::plan::{AggExpr, Atom};
+    use bbpim_db::ssb::{queries, SsbParams};
+    use bbpim_db::stats;
+
+    fn db() -> SsbDb {
+        SsbDb::generate(&SsbParams::tiny_for_tests())
+    }
+
+    #[test]
+    fn both_modes_match_oracle_on_all_13_queries() {
+        let db = db();
+        let wide = db.prejoin();
+        let join_engine = MonetEngine::prejoined(&wide, 2);
+        let star_engine = MonetEngine::star(&db, 2);
+        for q in queries::standard_queries() {
+            let expected = stats::run_oracle(&q, &wide).unwrap();
+            let a = join_engine.run(&q).unwrap();
+            let b = star_engine.run(&q).unwrap();
+            assert_eq!(a.groups, expected, "mnt_join {}", q.id);
+            assert_eq!(b.groups, expected, "mnt_reg {}", q.id);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let db = db();
+        let wide = db.prejoin();
+        let q = queries::standard_query("Q3.1").unwrap();
+        let r1 = MonetEngine::prejoined(&wide, 1).run(&q).unwrap();
+        let r8 = MonetEngine::prejoined(&wide, 8).run(&q).unwrap();
+        assert_eq!(r1.groups, r8.groups);
+        let s1 = MonetEngine::star(&db, 1).run(&q).unwrap();
+        let s8 = MonetEngine::star(&db, 8).run(&q).unwrap();
+        assert_eq!(s1.groups, s8.groups);
+    }
+
+    #[test]
+    fn min_max_queries_merge_correctly_across_threads() {
+        let db = db();
+        let wide = db.prejoin();
+        for func in [AggFunc::Min, AggFunc::Max] {
+            let q = Query {
+                id: "t".into(),
+                filter: vec![Atom::Eq { attr: "c_region".into(), value: "ASIA".into() }],
+                group_by: vec!["d_year".into()],
+                agg_func: func,
+                agg_expr: AggExpr::Attr("lo_revenue".into()),
+            };
+            let expected = stats::run_oracle(&q, &wide).unwrap();
+            assert_eq!(MonetEngine::prejoined(&wide, 4).run(&q).unwrap().groups, expected);
+            assert_eq!(MonetEngine::star(&db, 4).run(&q).unwrap().groups, expected);
+        }
+    }
+
+    #[test]
+    fn labels() {
+        let db = db();
+        let wide = db.prejoin();
+        assert_eq!(MonetEngine::prejoined(&wide, 1).label(), "mnt_join");
+        assert_eq!(MonetEngine::star(&db, 1).label(), "mnt_reg");
+    }
+
+    #[test]
+    fn wall_clock_is_positive() {
+        let db = db();
+        let wide = db.prejoin();
+        let q = queries::standard_query("Q1.1").unwrap();
+        let r = MonetEngine::prejoined(&wide, 2).run(&q).unwrap();
+        assert!(r.wall.as_nanos() > 0);
+    }
+
+    #[test]
+    fn empty_relation_yields_empty_groups() {
+        let db = db();
+        let wide = db.prejoin();
+        let q = Query {
+            id: "t".into(),
+            filter: vec![Atom::Gt { attr: "lo_quantity".into(), value: 63u64.into() }],
+            group_by: vec!["d_year".into()],
+            agg_func: AggFunc::Sum,
+            agg_expr: AggExpr::Attr("lo_revenue".into()),
+        };
+        assert!(MonetEngine::prejoined(&wide, 2).run(&q).unwrap().groups.is_empty());
+        assert!(MonetEngine::star(&db, 2).run(&q).unwrap().groups.is_empty());
+    }
+}

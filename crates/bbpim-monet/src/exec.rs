@@ -1,0 +1,204 @@
+//! Physical operators: filter, positional star join, hash GROUP-BY.
+
+use std::collections::HashMap;
+
+use bbpim_db::plan::{AggExpr, AggFunc, Query, ResolvedAtom};
+use bbpim_db::stats::GroupedResult;
+use bbpim_db::{DbError, Relation};
+
+use crate::selection::{refine, select_all, SelectionVector};
+
+/// Filter a relation with resolved atoms, producing a selection vector.
+pub fn filter(rel: &Relation, atoms: &[ResolvedAtom]) -> SelectionVector {
+    let mut sel = select_all(rel.len());
+    for atom in atoms {
+        sel = refine(rel.column(atom.attr_index()), atom, &sel);
+        if sel.is_empty() {
+            break;
+        }
+    }
+    sel
+}
+
+/// Fold one value into a hash-aggregation table.
+#[inline]
+pub fn fold(table: &mut HashMap<Vec<u64>, u64>, key: Vec<u64>, v: u64, func: AggFunc) {
+    table
+        .entry(key)
+        .and_modify(|acc| {
+            *acc = match func {
+                AggFunc::Sum => acc.wrapping_add(v),
+                AggFunc::Min => (*acc).min(v),
+                AggFunc::Max => (*acc).max(v),
+            }
+        })
+        .or_insert(v);
+}
+
+/// Merge a thread-local table into the global result.
+pub fn merge(into: &mut GroupedResult, from: HashMap<Vec<u64>, u64>, func: AggFunc) {
+    for (key, v) in from {
+        into.entry(key)
+            .and_modify(|acc| {
+                *acc = match func {
+                    AggFunc::Sum => acc.wrapping_add(v),
+                    AggFunc::Min => (*acc).min(v),
+                    AggFunc::Max => (*acc).max(v),
+                }
+            })
+            .or_insert(v);
+    }
+}
+
+/// Evaluate an aggregate expression for one row (columns pre-resolved).
+#[inline]
+pub fn eval_expr(rel: &Relation, expr_cols: &ExprCols, row: usize) -> u64 {
+    match expr_cols {
+        ExprCols::Attr(a) => rel.value(row, *a),
+        ExprCols::Mul(a, b) => rel.value(row, *a).wrapping_mul(rel.value(row, *b)),
+        ExprCols::Sub(a, b) => rel.value(row, *a).wrapping_sub(rel.value(row, *b)),
+    }
+}
+
+/// Column-index-resolved aggregate expression.
+#[derive(Debug, Clone, Copy)]
+pub enum ExprCols {
+    /// Single attribute.
+    Attr(usize),
+    /// Product.
+    Mul(usize, usize),
+    /// Difference.
+    Sub(usize, usize),
+}
+
+impl ExprCols {
+    /// Resolve names against a schema.
+    ///
+    /// # Errors
+    ///
+    /// Unknown attribute names.
+    pub fn resolve(expr: &AggExpr, rel: &Relation) -> Result<Self, DbError> {
+        Ok(match expr {
+            AggExpr::Attr(a) => ExprCols::Attr(rel.schema().index_of(a)?),
+            AggExpr::Mul(a, b) => {
+                ExprCols::Mul(rel.schema().index_of(a)?, rel.schema().index_of(b)?)
+            }
+            AggExpr::Sub(a, b) => {
+                ExprCols::Sub(rel.schema().index_of(a)?, rel.schema().index_of(b)?)
+            }
+        })
+    }
+}
+
+/// Hash GROUP-BY over a selection of a single (wide) relation.
+///
+/// # Errors
+///
+/// Unknown attribute names.
+pub fn group_aggregate(
+    rel: &Relation,
+    query: &Query,
+    sel: &SelectionVector,
+) -> Result<GroupedResult, DbError> {
+    let key_cols: Vec<usize> = query
+        .group_by
+        .iter()
+        .map(|g| rel.schema().index_of(g))
+        .collect::<Result<_, _>>()?;
+    let expr = ExprCols::resolve(&query.agg_expr, rel)?;
+    let mut table: HashMap<Vec<u64>, u64> = HashMap::new();
+    for &row in sel {
+        let row = row as usize;
+        let key: Vec<u64> = key_cols.iter().map(|&c| rel.value(row, c)).collect();
+        fold(&mut table, key, eval_expr(rel, &expr, row), query.agg_func);
+    }
+    let mut out = GroupedResult::new();
+    merge(&mut out, table, query.agg_func);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbpim_db::plan::Atom;
+    use bbpim_db::schema::{Attribute, Schema};
+
+    fn rel() -> Relation {
+        let schema = Schema::new(
+            "t",
+            vec![
+                Attribute::numeric("g", 4),
+                Attribute::numeric("v", 8),
+                Attribute::numeric("w", 8),
+            ],
+        );
+        let mut rel = Relation::new(schema);
+        for i in 0..40u64 {
+            rel.push_row(&[i % 4, i % 100, (i * 2) % 100]).unwrap();
+        }
+        rel
+    }
+
+    fn query(filter: Vec<Atom>, group: Vec<&str>, expr: AggExpr) -> Query {
+        Query {
+            id: "t".into(),
+            filter,
+            group_by: group.into_iter().map(String::from).collect(),
+            agg_func: AggFunc::Sum,
+            agg_expr: expr,
+        }
+    }
+
+    #[test]
+    fn filter_then_group_matches_oracle() {
+        let rel = rel();
+        let q = query(
+            vec![Atom::Lt { attr: "v".into(), value: 30u64.into() }],
+            vec!["g"],
+            AggExpr::Attr("v".into()),
+        );
+        let atoms = q.resolve_filter(rel.schema()).unwrap();
+        let sel = filter(&rel, &atoms);
+        let got = group_aggregate(&rel, &q, &sel).unwrap();
+        assert_eq!(got, bbpim_db::stats::run_oracle(&q, &rel).unwrap());
+    }
+
+    #[test]
+    fn empty_filter_short_circuits() {
+        let rel = rel();
+        let q = query(
+            vec![Atom::Gt { attr: "v".into(), value: 200u64.into() }],
+            vec!["g"],
+            AggExpr::Attr("v".into()),
+        );
+        let atoms = q.resolve_filter(rel.schema()).unwrap();
+        assert!(filter(&rel, &atoms).is_empty());
+    }
+
+    #[test]
+    fn expression_aggregates() {
+        let rel = rel();
+        for expr in
+            [AggExpr::Mul("v".into(), "w".into()), AggExpr::Sub("w".into(), "g".into())]
+        {
+            let q = query(vec![], vec!["g"], expr);
+            let sel = select_all(rel.len());
+            let got = group_aggregate(&rel, &q, &sel).unwrap();
+            assert_eq!(got, bbpim_db::stats::run_oracle(&q, &rel).unwrap(), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn merge_combines_thread_locals() {
+        let mut a = GroupedResult::new();
+        let mut t1 = HashMap::new();
+        fold(&mut t1, vec![1], 10, AggFunc::Sum);
+        let mut t2 = HashMap::new();
+        fold(&mut t2, vec![1], 5, AggFunc::Sum);
+        fold(&mut t2, vec![2], 7, AggFunc::Sum);
+        merge(&mut a, t1, AggFunc::Sum);
+        merge(&mut a, t2, AggFunc::Sum);
+        assert_eq!(a[&vec![1u64]], 15);
+        assert_eq!(a[&vec![2u64]], 7);
+    }
+}

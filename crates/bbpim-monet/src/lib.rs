@@ -1,0 +1,35 @@
+//! # bbpim-monet — the in-memory column-store baseline
+//!
+//! A compact vectorized analytical engine standing in for MonetDB in the
+//! paper's comparison (Section V-A): selection vectors over columnar
+//! storage, positional (invisible-join style) star joins against dense
+//! dimension keys, hash GROUP-BY aggregation, and multi-threaded scans.
+//! Its latencies are **real wall-clock** measurements on the build
+//! machine, mirroring the paper's methodology of comparing simulated PIM
+//! time against a real DBMS.
+//!
+//! Two configurations, as in Fig. 6:
+//!
+//! * [`engine::MonetEngine::prejoined`] — `mnt_join`: scans the wide
+//!   pre-joined relation.
+//! * [`engine::MonetEngine::star`] — `mnt_reg`: the normalised star
+//!   schema; dimension filters run first, fact rows probe the dimension
+//!   bitmaps and fetch group keys positionally.
+//!
+//! ```
+//! use bbpim_db::ssb::{queries, SsbDb, SsbParams};
+//! use bbpim_monet::engine::MonetEngine;
+//!
+//! let db = SsbDb::generate(&SsbParams::tiny_for_tests());
+//! let engine = MonetEngine::star(&db, 2);
+//! let q = queries::standard_query("Q2.1").unwrap();
+//! let out = engine.run(&q)?;
+//! println!("{} groups in {:?}", out.groups.len(), out.wall);
+//! # Ok::<(), bbpim_db::DbError>(())
+//! ```
+
+pub mod engine;
+pub mod exec;
+pub mod selection;
+
+pub use engine::{MonetEngine, MonetResult};

@@ -1,0 +1,283 @@
+//! In-crossbar arithmetic: ripple-carry add/sub and shift-add multiply.
+//!
+//! These materialise aggregate *expressions* inside the crossbar before
+//! aggregation — e.g. SSB Q1's `extendedprice · discount` and Q4's
+//! `revenue − supplycost` are computed into the scratch region by one
+//! column-parallel program, for all records of a page at once.
+//!
+//! All arithmetic is unsigned with wrap-around at the destination width
+//! (callers size destinations so overflow cannot occur; `compile_sub`
+//! documents the borrow semantics).
+
+use crate::compiler::{CodeBuilder, ColRange};
+use crate::error::SimError;
+
+/// Compile `dst := (a + b) mod 2^dst.width`.
+///
+/// `a` and `b` may be narrower than `dst`; missing bits are treated as 0.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidProgram`] if `dst` overlaps an input or has
+/// zero width, or on scratch exhaustion.
+pub fn compile_add(
+    b: &mut CodeBuilder<'_>,
+    lhs: ColRange,
+    rhs: ColRange,
+    dst: ColRange,
+) -> Result<(), SimError> {
+    check_disjoint(lhs, dst)?;
+    check_disjoint(rhs, dst)?;
+    if dst.width == 0 {
+        return Err(SimError::InvalidProgram("zero-width add destination".into()));
+    }
+    let zero = b.zero()?;
+    let mut carry = zero; // carry-in 0
+    for i in 0..dst.width {
+        let abit = if i < lhs.width { lhs.bit(i) } else { zero };
+        let bbit = if i < rhs.width { rhs.bit(i) } else { zero };
+        let (sum, cout) = b.emit_full_adder(abit, bbit, carry)?;
+        if carry != zero {
+            b.release(carry);
+        }
+        carry = cout;
+        copy_into(b, sum, dst.bit(i))?;
+        b.release(sum);
+    }
+    if carry != zero {
+        b.release(carry);
+    }
+    Ok(())
+}
+
+/// Compile `dst := (a − b) mod 2^dst.width` (two's complement:
+/// `a + ¬b + 1`). When `a ≥ b` and the result fits, this is the plain
+/// difference; otherwise it wraps.
+///
+/// # Errors
+///
+/// Same conditions as [`compile_add`].
+pub fn compile_sub(
+    b: &mut CodeBuilder<'_>,
+    lhs: ColRange,
+    rhs: ColRange,
+    dst: ColRange,
+) -> Result<(), SimError> {
+    check_disjoint(lhs, dst)?;
+    check_disjoint(rhs, dst)?;
+    if dst.width == 0 {
+        return Err(SimError::InvalidProgram("zero-width sub destination".into()));
+    }
+    let zero = b.zero()?;
+    let one = b.one()?;
+    let mut carry = one; // +1 of the two's complement
+    for i in 0..dst.width {
+        let abit = if i < lhs.width { lhs.bit(i) } else { zero };
+        // ¬b_i; beyond rhs.width the complement of 0 is 1.
+        let nb = if i < rhs.width { b.emit_not(rhs.bit(i))? } else { one };
+        let (sum, cout) = b.emit_full_adder(abit, nb, carry)?;
+        if nb != one {
+            b.release(nb);
+        }
+        if carry != one {
+            b.release(carry);
+        }
+        carry = cout;
+        copy_into(b, sum, dst.bit(i))?;
+        b.release(sum);
+    }
+    if carry != one {
+        b.release(carry);
+    }
+    Ok(())
+}
+
+/// Compile `dst := (a · b) mod 2^dst.width` by shift-add over the bits of
+/// `rhs` (cheapest when `rhs` is the narrow operand, e.g. a 4-bit
+/// discount).
+///
+/// Internally accumulates into `dst`: partial product
+/// `p_j = a AND b_j` is added at offset `j`.
+///
+/// # Errors
+///
+/// Same conditions as [`compile_add`].
+pub fn compile_mul(
+    b: &mut CodeBuilder<'_>,
+    lhs: ColRange,
+    rhs: ColRange,
+    dst: ColRange,
+) -> Result<(), SimError> {
+    check_disjoint(lhs, dst)?;
+    check_disjoint(rhs, dst)?;
+    if dst.width == 0 {
+        return Err(SimError::InvalidProgram("zero-width mul destination".into()));
+    }
+    let zero = b.zero()?;
+    // dst := 0
+    for i in 0..dst.width {
+        copy_into(b, zero, dst.bit(i))?;
+    }
+    // For each multiplier bit j: dst[j..] += (a AND b_j)
+    for j in 0..rhs.width.min(dst.width) {
+        let bj = rhs.bit(j);
+        let mut carry = zero;
+        for i in 0..(dst.width - j) {
+            let pbit = if i < lhs.width {
+                b.emit_and(lhs.bit(i), bj)?
+            } else {
+                zero
+            };
+            let (sum, cout) = b.emit_full_adder(dst.bit(i + j), pbit, carry)?;
+            if pbit != zero {
+                b.release(pbit);
+            }
+            if carry != zero {
+                b.release(carry);
+            }
+            carry = cout;
+            copy_into(b, sum, dst.bit(i + j))?;
+            b.release(sum);
+        }
+        if carry != zero {
+            b.release(carry);
+        }
+    }
+    Ok(())
+}
+
+/// Copy one column into another (INIT + double-NOT through a temp when
+/// writing in place would alias; here src ≠ dst always holds).
+fn copy_into(b: &mut CodeBuilder<'_>, src: usize, dst: usize) -> Result<(), SimError> {
+    let n = b.emit_not(src)?;
+    b.program_mut().gate_nor(n, n, dst);
+    b.release(n);
+    Ok(())
+}
+
+fn check_disjoint(a: ColRange, bb: ColRange) -> Result<(), SimError> {
+    if a.lo < bb.end() && bb.lo < a.end() && a.width > 0 && bb.width > 0 {
+        return Err(SimError::InvalidProgram(format!(
+            "column ranges overlap: [{}..{}) and [{}..{})",
+            a.lo,
+            a.end(),
+            bb.lo,
+            bb.end()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::ScratchPool;
+    use crate::crossbar::Crossbar;
+
+    const A: ColRange = ColRange { lo: 0, width: 8 };
+    const B: ColRange = ColRange { lo: 8, width: 8 };
+    const DST: ColRange = ColRange { lo: 16, width: 16 };
+    const SCRATCH: ColRange = ColRange { lo: 40, width: 88 };
+
+    fn crossbar_with(values: &[(u64, u64)]) -> Crossbar {
+        let mut xb = Crossbar::new(64, 128);
+        for (r, (a, b)) in values.iter().enumerate() {
+            xb.write_row_bits(r, A.lo, A.width, *a);
+            xb.write_row_bits(r, B.lo, B.width, *b);
+        }
+        xb
+    }
+
+    fn run(xb: &mut Crossbar, emit: impl FnOnce(&mut CodeBuilder<'_>) -> Result<(), SimError>) {
+        let mut pool = ScratchPool::new(SCRATCH);
+        let mut b = CodeBuilder::new(&mut pool);
+        emit(&mut b).unwrap();
+        let prog = b.finish();
+        prog.validate(xb.rows(), xb.cols()).unwrap();
+        xb.execute(&prog).unwrap();
+    }
+
+    #[test]
+    fn add_matches_integer_semantics() {
+        let pairs: Vec<(u64, u64)> =
+            vec![(0, 0), (1, 1), (255, 255), (200, 100), (13, 29), (128, 127)];
+        let mut xb = crossbar_with(&pairs);
+        run(&mut xb, |b| compile_add(b, A, B, DST));
+        for (r, (a, bb)) in pairs.iter().enumerate() {
+            assert_eq!(xb.read_row_bits(r, DST.lo, DST.width), a + bb, "row {r}");
+        }
+    }
+
+    #[test]
+    fn add_wraps_at_destination_width() {
+        let narrow = ColRange { lo: 16, width: 8 };
+        let pairs = vec![(200u64, 100u64)];
+        let mut xb = crossbar_with(&pairs);
+        run(&mut xb, |b| compile_add(b, A, B, narrow));
+        assert_eq!(xb.read_row_bits(0, narrow.lo, narrow.width), (200 + 100) % 256);
+    }
+
+    #[test]
+    fn sub_matches_integer_semantics_when_no_borrow() {
+        let pairs: Vec<(u64, u64)> = vec![(10, 3), (255, 0), (100, 100), (77, 76)];
+        let mut xb = crossbar_with(&pairs);
+        run(&mut xb, |b| compile_sub(b, A, B, DST));
+        for (r, (a, bb)) in pairs.iter().enumerate() {
+            assert_eq!(xb.read_row_bits(r, DST.lo, DST.width), (a - bb), "row {r}");
+        }
+    }
+
+    #[test]
+    fn sub_wraps_two_complement() {
+        let narrow = ColRange { lo: 16, width: 8 };
+        let pairs = vec![(3u64, 10u64)];
+        let mut xb = crossbar_with(&pairs);
+        run(&mut xb, |b| compile_sub(b, A, B, narrow));
+        assert_eq!(xb.read_row_bits(0, narrow.lo, narrow.width), (256 + 3 - 10));
+    }
+
+    #[test]
+    fn mul_matches_integer_semantics() {
+        let pairs: Vec<(u64, u64)> = vec![(0, 7), (7, 0), (1, 255), (15, 15), (255, 255), (12, 10)];
+        let mut xb = crossbar_with(&pairs);
+        run(&mut xb, |b| compile_mul(b, A, B, DST));
+        for (r, (a, bb)) in pairs.iter().enumerate() {
+            assert_eq!(xb.read_row_bits(r, DST.lo, DST.width), a * bb, "row {r}");
+        }
+    }
+
+    #[test]
+    fn mul_all_rows_in_parallel() {
+        // every row gets a distinct pair; one program computes them all
+        let pairs: Vec<(u64, u64)> = (0..64).map(|r| (r as u64, (63 - r) as u64)).collect();
+        let mut xb = crossbar_with(&pairs);
+        run(&mut xb, |b| compile_mul(b, A, B, DST));
+        for (r, (a, bb)) in pairs.iter().enumerate() {
+            assert_eq!(xb.read_row_bits(r, DST.lo, DST.width), a * bb, "row {r}");
+        }
+    }
+
+    #[test]
+    fn overlapping_destination_rejected() {
+        let overlap = ColRange { lo: 4, width: 16 };
+        let mut pool = ScratchPool::new(SCRATCH);
+        let mut b = CodeBuilder::new(&mut pool);
+        assert!(compile_add(&mut b, A, B, overlap).is_err());
+    }
+
+    #[test]
+    fn narrow_rhs_multiply_is_cheap() {
+        // 8×2-bit multiply must cost far less than 8×8.
+        let rhs2 = ColRange { lo: 8, width: 2 };
+        let mut pool = ScratchPool::new(SCRATCH);
+        let mut b = CodeBuilder::new(&mut pool);
+        compile_mul(&mut b, A, rhs2, DST).unwrap();
+        let cheap = b.finish().cycles();
+
+        let mut pool = ScratchPool::new(SCRATCH);
+        let mut b = CodeBuilder::new(&mut pool);
+        compile_mul(&mut b, A, B, DST).unwrap();
+        let full = b.finish().cycles();
+        assert!(cheap * 2 < full, "2-bit rhs {cheap} vs 8-bit rhs {full}");
+    }
+}

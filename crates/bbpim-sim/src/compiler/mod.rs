@@ -1,0 +1,490 @@
+//! Compilers that lower database operations to NOR-only microprograms.
+//!
+//! Everything a query needs inside the crossbar — equality and range
+//! predicates, the Algorithm 1 multiplexer for UPDATE, and the
+//! arithmetic that materialises aggregate expressions such as
+//! `extendedprice · discount` — is compiled down to `INIT`/`NOR`
+//! micro-ops and *executed on the stored bits*, so cycle counts, energy
+//! and endurance are those of the real gate sequence, not an estimate.
+//!
+//! * [`CodeBuilder`] — gate-level emission with scratch-column
+//!   allocation (NOT/OR/AND/XOR built from MAGIC NOR).
+//! * [`predicate`] — `=`, `<`, `>`, `BETWEEN`, `IN` against constants,
+//!   plus conjunction/disjunction of result columns.
+//! * [`arith`] — ripple-carry add/sub and shift-add multiply between
+//!   attribute column ranges.
+//! * [`mux`] — the paper's Algorithm 1: select-bit-controlled overwrite
+//!   of an attribute with an immediate.
+//! * [`reduce`] — the cost model of *pure bulk-bitwise* aggregation
+//!   (reduction trees), used by the PIMDB baseline.
+
+pub mod arith;
+pub mod mux;
+pub mod predicate;
+pub mod reduce;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+use crate::isa::Microprogram;
+
+/// A contiguous range of crossbar columns holding one attribute,
+/// LSB at `lo`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ColRange {
+    /// First (least significant) column.
+    pub lo: usize,
+    /// Width in bits.
+    pub width: usize,
+}
+
+impl ColRange {
+    /// Create a range; `width` may be 0 for a placeholder.
+    pub fn new(lo: usize, width: usize) -> Self {
+        ColRange { lo, width }
+    }
+
+    /// Column of bit `i` (LSB = bit 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn bit(&self, i: usize) -> usize {
+        assert!(i < self.width, "bit {i} out of {}-bit attribute", self.width);
+        self.lo + i
+    }
+
+    /// One-past-the-end column.
+    pub fn end(&self) -> usize {
+        self.lo + self.width
+    }
+
+    /// Iterate the columns, LSB first.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.lo..self.end()
+    }
+}
+
+/// Allocator for scratch columns inside the crossbar's reserved compute
+/// region.
+///
+/// Gates always `INIT` their output before evaluating, so freed columns
+/// can be reused without explicit clearing.
+#[derive(Debug, Clone)]
+pub struct ScratchPool {
+    region: ColRange,
+    free: Vec<usize>,
+    high_water: usize,
+}
+
+impl ScratchPool {
+    /// A pool over the given column region.
+    pub fn new(region: ColRange) -> Self {
+        ScratchPool { region, free: (region.lo..region.end()).rev().collect(), high_water: 0 }
+    }
+
+    /// Allocate one scratch column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidProgram`] when the compute region is
+    /// exhausted — the relation layout must reserve more scratch space.
+    pub fn alloc(&mut self) -> Result<usize, SimError> {
+        let col = self.free.pop().ok_or_else(|| {
+            SimError::InvalidProgram(format!(
+                "scratch region exhausted ({} columns at {})",
+                self.region.width, self.region.lo
+            ))
+        })?;
+        self.high_water = self.high_water.max(self.region.width - self.free.len());
+        Ok(col)
+    }
+
+    /// Return a column to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `col` is outside the region.
+    pub fn release(&mut self, col: usize) {
+        debug_assert!(col >= self.region.lo && col < self.region.end());
+        self.free.push(col);
+    }
+
+    /// Columns currently available.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Most columns ever simultaneously allocated.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// The managed region.
+    pub fn region(&self) -> ColRange {
+        self.region
+    }
+}
+
+/// Emits NOR-only gate sequences into a [`Microprogram`], allocating
+/// scratch columns on demand.
+///
+/// All `emit_*` methods return the column holding the result (freshly
+/// allocated unless documented otherwise); call [`CodeBuilder::release`]
+/// when a temporary is dead.
+///
+/// ```
+/// use bbpim_sim::compiler::{CodeBuilder, ColRange, ScratchPool};
+/// # use bbpim_sim::crossbar::Crossbar;
+/// let mut pool = ScratchPool::new(ColRange::new(32, 16));
+/// let mut b = CodeBuilder::new(&mut pool);
+/// let na = b.emit_not(0)?; // column 32 := NOT column 0
+/// let prog = b.finish();
+/// assert_eq!(prog.cycles(), 2);
+/// # Ok::<(), bbpim_sim::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct CodeBuilder<'a> {
+    prog: Microprogram,
+    pool: &'a mut ScratchPool,
+    const_one: Option<usize>,
+    const_zero: Option<usize>,
+}
+
+impl<'a> CodeBuilder<'a> {
+    /// Start a builder over a scratch pool.
+    pub fn new(pool: &'a mut ScratchPool) -> Self {
+        CodeBuilder { prog: Microprogram::new(), pool, const_one: None, const_zero: None }
+    }
+
+    /// Finish and take the program.
+    pub fn finish(self) -> Microprogram {
+        self.prog
+    }
+
+    /// Direct access to the underlying program (for raw ops).
+    pub fn program_mut(&mut self) -> &mut Microprogram {
+        &mut self.prog
+    }
+
+    /// Allocate a scratch column (uninitialised).
+    ///
+    /// # Errors
+    ///
+    /// Propagates scratch exhaustion.
+    pub fn alloc(&mut self) -> Result<usize, SimError> {
+        self.pool.alloc()
+    }
+
+    /// Release a scratch column. Constants are never released.
+    pub fn release(&mut self, col: usize) {
+        if Some(col) == self.const_one || Some(col) == self.const_zero {
+            return;
+        }
+        self.pool.release(col);
+    }
+
+    /// A column holding constant `1` in every row (created on first use).
+    ///
+    /// # Errors
+    ///
+    /// Propagates scratch exhaustion.
+    pub fn one(&mut self) -> Result<usize, SimError> {
+        if let Some(c) = self.const_one {
+            return Ok(c);
+        }
+        let c = self.alloc()?;
+        self.prog.init_col(c);
+        self.const_one = Some(c);
+        Ok(c)
+    }
+
+    /// A column holding constant `0` in every row (created on first use).
+    ///
+    /// # Errors
+    ///
+    /// Propagates scratch exhaustion.
+    pub fn zero(&mut self) -> Result<usize, SimError> {
+        if let Some(c) = self.const_zero {
+            return Ok(c);
+        }
+        let one = self.one()?;
+        let c = self.alloc()?;
+        self.prog.gate_nor(one, one, c); // NOR(1,1) = 0
+        self.const_zero = Some(c);
+        Ok(c)
+    }
+
+    /// `dst := NOR(a, b)` into a fresh column.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scratch exhaustion.
+    pub fn emit_nor(&mut self, a: usize, b: usize) -> Result<usize, SimError> {
+        let dst = self.alloc()?;
+        self.prog.gate_nor(a, b, dst);
+        Ok(dst)
+    }
+
+    /// `dst := NOT a` into a fresh column.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scratch exhaustion.
+    pub fn emit_not(&mut self, a: usize) -> Result<usize, SimError> {
+        self.emit_nor(a, a)
+    }
+
+    /// `dst := a OR b` into a fresh column (NOR + NOT, 4 cycles).
+    ///
+    /// # Errors
+    ///
+    /// Propagates scratch exhaustion.
+    pub fn emit_or(&mut self, a: usize, b: usize) -> Result<usize, SimError> {
+        let n = self.emit_nor(a, b)?;
+        let dst = self.emit_not(n)?;
+        self.release(n);
+        Ok(dst)
+    }
+
+    /// `dst := a AND b` into a fresh column (`NOR(¬a, ¬b)`, 6 cycles).
+    ///
+    /// # Errors
+    ///
+    /// Propagates scratch exhaustion.
+    pub fn emit_and(&mut self, a: usize, b: usize) -> Result<usize, SimError> {
+        let na = self.emit_not(a)?;
+        let nb = self.emit_not(b)?;
+        let dst = self.emit_nor(na, nb)?;
+        self.release(na);
+        self.release(nb);
+        Ok(dst)
+    }
+
+    /// `dst := a XOR b` into a fresh column
+    /// (`NOR(NOR(a,b), AND(a,b))`, 10 cycles).
+    ///
+    /// # Errors
+    ///
+    /// Propagates scratch exhaustion.
+    pub fn emit_xor(&mut self, a: usize, b: usize) -> Result<usize, SimError> {
+        let nor_ab = self.emit_nor(a, b)?;
+        let and_ab = self.emit_and(a, b)?;
+        let dst = self.emit_nor(nor_ab, and_ab)?;
+        self.release(nor_ab);
+        self.release(and_ab);
+        Ok(dst)
+    }
+
+    /// Multi-input `dst := NOR(inputs…)` into a fresh column (2 cycles).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidProgram`] on an empty input list, or
+    /// scratch exhaustion.
+    pub fn emit_nor_many(&mut self, inputs: Vec<usize>) -> Result<usize, SimError> {
+        if inputs.is_empty() {
+            return Err(SimError::InvalidProgram("NOR of zero inputs".into()));
+        }
+        let dst = self.alloc()?;
+        self.prog.init_col(dst);
+        self.prog.nor_many_cols(inputs, dst);
+        Ok(dst)
+    }
+
+    /// Multi-input AND: `dst := AND(inputs…) = NOR(¬input…)` into a fresh
+    /// column.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scratch exhaustion; empty input rejected.
+    pub fn emit_and_many(&mut self, inputs: &[usize]) -> Result<usize, SimError> {
+        if inputs.is_empty() {
+            return Err(SimError::InvalidProgram("AND of zero inputs".into()));
+        }
+        let mut nots = Vec::with_capacity(inputs.len());
+        for &c in inputs {
+            nots.push(self.emit_not(c)?);
+        }
+        let dst = self.emit_nor_many(nots.clone())?;
+        for c in nots {
+            self.release(c);
+        }
+        Ok(dst)
+    }
+
+    /// Multi-input OR: `dst := OR(inputs…) = ¬NOR(inputs…)` into a fresh
+    /// column.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scratch exhaustion; empty input rejected.
+    pub fn emit_or_many(&mut self, inputs: Vec<usize>) -> Result<usize, SimError> {
+        let n = self.emit_nor_many(inputs)?;
+        let dst = self.emit_not(n)?;
+        self.release(n);
+        Ok(dst)
+    }
+
+    /// Full adder on columns: returns `(sum, carry_out)` in fresh columns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scratch exhaustion.
+    pub fn emit_full_adder(
+        &mut self,
+        a: usize,
+        b: usize,
+        cin: usize,
+    ) -> Result<(usize, usize), SimError> {
+        let nor_ab = self.emit_nor(a, b)?;
+        let and_ab = self.emit_and(a, b)?;
+        let xor_ab = self.emit_nor(nor_ab, and_ab)?; // a XOR b
+        self.release(nor_ab);
+
+        // sum = xor_ab XOR cin
+        let sum = self.emit_xor(xor_ab, cin)?;
+
+        // cout = and_ab OR (cin AND xor_ab)
+        let cin_and_x = self.emit_and(cin, xor_ab)?;
+        let cout = self.emit_or(and_ab, cin_and_x)?;
+        self.release(and_ab);
+        self.release(xor_ab);
+        self.release(cin_and_x);
+        Ok((sum, cout))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crossbar::Crossbar;
+
+    /// Run a builder-produced program on a crossbar whose columns 0 and 1
+    /// enumerate all (a, b) combinations, then check `check(a, b, out)`.
+    fn exercise_two_input(
+        emit: impl FnOnce(&mut CodeBuilder<'_>) -> usize,
+        reference: impl Fn(bool, bool) -> bool,
+    ) {
+        let mut xb = Crossbar::new(64, 32);
+        for r in 0..64 {
+            xb.bits_mut_unaccounted().set(r, 0, r & 1 == 1);
+            xb.bits_mut_unaccounted().set(r, 1, r & 2 == 2);
+        }
+        let mut pool = ScratchPool::new(ColRange::new(8, 24));
+        let mut b = CodeBuilder::new(&mut pool);
+        let out = emit(&mut b);
+        let prog = b.finish();
+        xb.execute(&prog).unwrap();
+        for r in 0..64 {
+            let a = r & 1 == 1;
+            let bb = r & 2 == 2;
+            assert_eq!(xb.bits().get(r, out), reference(a, bb), "row {r}");
+        }
+    }
+
+    #[test]
+    fn emit_not_truth_table() {
+        exercise_two_input(|b| b.emit_not(0).unwrap(), |a, _| !a);
+    }
+
+    #[test]
+    fn emit_and_truth_table() {
+        exercise_two_input(|b| b.emit_and(0, 1).unwrap(), |a, b| a && b);
+    }
+
+    #[test]
+    fn emit_or_truth_table() {
+        exercise_two_input(|b| b.emit_or(0, 1).unwrap(), |a, b| a || b);
+    }
+
+    #[test]
+    fn emit_xor_truth_table() {
+        exercise_two_input(|b| b.emit_xor(0, 1).unwrap(), |a, b| a ^ b);
+    }
+
+    #[test]
+    fn emit_nor_many_truth_table() {
+        exercise_two_input(|b| b.emit_nor_many(vec![0, 1]).unwrap(), |a, b| !(a || b));
+    }
+
+    #[test]
+    fn constants_hold_their_value() {
+        let mut xb = Crossbar::new(64, 16);
+        let mut pool = ScratchPool::new(ColRange::new(4, 12));
+        let mut b = CodeBuilder::new(&mut pool);
+        let one = b.one().unwrap();
+        let zero = b.zero().unwrap();
+        let prog = b.finish();
+        xb.execute(&prog).unwrap();
+        for r in 0..64 {
+            assert!(xb.bits().get(r, one));
+            assert!(!xb.bits().get(r, zero));
+        }
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        // columns 0,1,2 enumerate (a, b, cin)
+        let mut xb = Crossbar::new(64, 40);
+        for r in 0..64 {
+            xb.bits_mut_unaccounted().set(r, 0, r & 1 == 1);
+            xb.bits_mut_unaccounted().set(r, 1, r & 2 == 2);
+            xb.bits_mut_unaccounted().set(r, 2, r & 4 == 4);
+        }
+        let mut pool = ScratchPool::new(ColRange::new(8, 32));
+        let mut b = CodeBuilder::new(&mut pool);
+        let (sum, cout) = b.emit_full_adder(0, 1, 2).unwrap();
+        let prog = b.finish();
+        xb.execute(&prog).unwrap();
+        for r in 0..64 {
+            let a = (r & 1 == 1) as u8;
+            let bb = (r & 2 == 2) as u8;
+            let c = (r & 4 == 4) as u8;
+            let total = a + bb + c;
+            assert_eq!(xb.bits().get(r, sum), total & 1 == 1, "sum row {r}");
+            assert_eq!(xb.bits().get(r, cout), total >= 2, "cout row {r}");
+        }
+    }
+
+    #[test]
+    fn scratch_pool_exhausts_cleanly() {
+        let mut pool = ScratchPool::new(ColRange::new(0, 2));
+        let a = pool.alloc().unwrap();
+        let _b = pool.alloc().unwrap();
+        assert!(pool.alloc().is_err());
+        pool.release(a);
+        assert_eq!(pool.available(), 1);
+        assert_eq!(pool.high_water(), 2);
+    }
+
+    #[test]
+    fn release_ignores_constants() {
+        let mut pool = ScratchPool::new(ColRange::new(0, 4));
+        let mut b = CodeBuilder::new(&mut pool);
+        let one = b.one().unwrap();
+        b.release(one);
+        // `one` is still reserved: allocating the rest never hands it out.
+        let mut seen = Vec::new();
+        while let Ok(c) = b.alloc() {
+            seen.push(c);
+        }
+        assert!(!seen.contains(&one));
+    }
+
+    #[test]
+    fn col_range_bits() {
+        let r = ColRange::new(10, 4);
+        assert_eq!(r.bit(0), 10);
+        assert_eq!(r.bit(3), 13);
+        assert_eq!(r.end(), 14);
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn col_range_bit_out_of_range_panics() {
+        let r = ColRange::new(10, 4);
+        let _ = r.bit(4);
+    }
+}

@@ -1,0 +1,186 @@
+//! Pure bulk-bitwise aggregation — the PIMDB baseline.
+//!
+//! PIMDB (the system the paper extends) aggregates *inside* the crossbar
+//! with logic operations only: the selected values are masked, then a
+//! binary reduction tree folds the upper half of the live rows into the
+//! lower half — a row-parallel copy into scratch rows followed by a
+//! column-parallel ripple add (or compare-and-select for MIN/MAX) — for
+//! `log₂(rows)` levels. This is exactly the cost the paper's aggregation
+//! circuit removes (Section IV: aggregation is "expensive in terms of
+//! execution time, power, and cell endurance").
+//!
+//! Executing ~13 k micro-ops per crossbar gate-by-gate adds nothing over
+//! the closed-form count (the sequence is data-independent), so this
+//! module provides a **modeled** operation: [`reduce_cost`] charges the
+//! exact op counts of the sequence described above, and
+//! [`masked_reduce`] computes the functionally identical result that the
+//! tree would leave in the result slot. Unit tests pin the cost formula;
+//! the result path is verified against plain iterator folds.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregation operator supported in-memory (paper: SUM, MIN, MAX).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReduceOp {
+    /// Wrapping sum at the result width.
+    Sum,
+    /// Minimum of the selected values (identity: all-ones).
+    Min,
+    /// Maximum of the selected values (identity: zero).
+    Max,
+}
+
+/// Cost of one pure-bitwise reduction over a crossbar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReduceCost {
+    /// Total logic cycles (one per micro-op).
+    pub cycles: u64,
+    /// Column-parallel micro-ops (each writes one cell in every row).
+    pub col_ops: u64,
+    /// Row-parallel micro-ops (each writes `cols` cells of one row).
+    pub row_ops: u64,
+    /// Worst-case cell writes experienced by a single row.
+    pub max_row_cell_writes: u64,
+}
+
+/// Micro-ops for one column-parallel AND gate (INIT+NOR ×3: two NOTs and
+/// the NOR that combines them).
+const AND_OPS_PER_BIT: u64 = 6;
+/// Micro-ops per bit of a column-parallel ripple-carry add, including the
+/// copy-back into the accumulator columns (full adder ≈ 13 gates).
+const ADD_OPS_PER_BIT: u64 = 30;
+/// Micro-ops per bit of a column-parallel compare-and-select (MIN/MAX).
+const CMP_SEL_OPS_PER_BIT: u64 = 18;
+/// Row-parallel micro-ops per row copy (init temp, NOR to temp, init
+/// destination, NOR back).
+const ROW_COPY_OPS: u64 = 4;
+
+/// Closed-form cost of a masked reduction of `width`-bit values over a
+/// `rows × cols` crossbar.
+///
+/// The sequence: one masking pass (`AND` of every value bit with the
+/// selection bit), then `log₂ rows` fold levels, level ℓ copying
+/// `rows/2^ℓ` rows (4 row-ops each) and running one column-parallel
+/// combine across the folded pairs.
+///
+/// # Panics
+///
+/// Panics if `rows` is not a power of two (crossbars always are).
+pub fn reduce_cost(rows: usize, cols: usize, width: usize, op: ReduceOp) -> ReduceCost {
+    assert!(rows.is_power_of_two(), "crossbar rows must be a power of two");
+    let levels = rows.trailing_zeros() as u64;
+    let combine_per_bit = match op {
+        ReduceOp::Sum => ADD_OPS_PER_BIT,
+        ReduceOp::Min | ReduceOp::Max => CMP_SEL_OPS_PER_BIT,
+    };
+    let w = width as u64;
+    let col_ops = AND_OPS_PER_BIT * w + levels * combine_per_bit * w;
+    let row_ops = ROW_COPY_OPS * (rows as u64 - 1);
+    ReduceCost {
+        cycles: col_ops + row_ops,
+        col_ops,
+        row_ops,
+        // Column ops hit every row once each; the worst row additionally
+        // serves as a copy destination once per level (4 row-ops × cols
+        // cells each).
+        max_row_cell_writes: col_ops + ROW_COPY_OPS * levels * cols as u64,
+    }
+}
+
+/// The value the reduction tree leaves behind: fold of `values[i]` for
+/// rows with `mask[i]` set, wrapped to `width` bits for SUM.
+///
+/// Identities follow the hardware: SUM starts at 0, MIN at all-ones
+/// (`2^width − 1`), MAX at 0 — so an empty selection yields the
+/// identity, exactly as the masked tree would.
+///
+/// # Panics
+///
+/// Panics if `values` and `mask` lengths differ or `width` is 0 or > 64.
+pub fn masked_reduce(values: &[u64], mask: &[bool], width: usize, op: ReduceOp) -> u64 {
+    assert_eq!(values.len(), mask.len(), "values/mask length mismatch");
+    assert!(width > 0 && width <= 64, "width must be in 1..=64");
+    let modulus_mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let selected = values.iter().zip(mask).filter(|(_, &m)| m).map(|(&v, _)| v & modulus_mask);
+    match op {
+        ReduceOp::Sum => selected.fold(0u64, |acc, v| acc.wrapping_add(v)) & modulus_mask,
+        ReduceOp::Min => selected.fold(modulus_mask, u64::min),
+        ReduceOp::Max => selected.fold(0, u64::max),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_grows_with_width() {
+        let narrow = reduce_cost(1024, 512, 16, ReduceOp::Sum);
+        let wide = reduce_cost(1024, 512, 32, ReduceOp::Sum);
+        assert!(wide.cycles > narrow.cycles);
+        assert_eq!(wide.row_ops, narrow.row_ops); // copies are width-independent
+    }
+
+    #[test]
+    fn cost_formula_pinned_for_paper_geometry() {
+        // 1024 rows, 32-bit sum: 10 levels.
+        let c = reduce_cost(1024, 512, 32, ReduceOp::Sum);
+        assert_eq!(c.col_ops, 6 * 32 + 10 * 30 * 32);
+        assert_eq!(c.row_ops, 4 * 1023);
+        assert_eq!(c.cycles, c.col_ops + c.row_ops);
+        // ≈ 13.9 k cycles → ~417 µs at 30 ns: the expense the aggregation
+        // circuit eliminates.
+        assert!(c.cycles > 13_000 && c.cycles < 15_000);
+    }
+
+    #[test]
+    fn min_max_cheaper_than_sum() {
+        let sum = reduce_cost(1024, 512, 32, ReduceOp::Sum);
+        let min = reduce_cost(1024, 512, 32, ReduceOp::Min);
+        assert!(min.cycles < sum.cycles);
+    }
+
+    #[test]
+    fn endurance_dominated_by_row_copies() {
+        let c = reduce_cost(1024, 512, 32, ReduceOp::Sum);
+        // 10 levels × 4 ops × 512 cells ≫ col op share
+        assert!(c.max_row_cell_writes > 10 * 4 * 512);
+    }
+
+    #[test]
+    fn masked_sum_matches_fold() {
+        let values = [5u64, 10, 20, 40];
+        let mask = [true, false, true, true];
+        assert_eq!(masked_reduce(&values, &mask, 16, ReduceOp::Sum), 65);
+    }
+
+    #[test]
+    fn masked_sum_wraps_at_width() {
+        let values = [200u64, 100];
+        let mask = [true, true];
+        assert_eq!(masked_reduce(&values, &mask, 8, ReduceOp::Sum), (200 + 100) % 256);
+    }
+
+    #[test]
+    fn empty_selection_yields_identity() {
+        let values = [5u64, 6];
+        let mask = [false, false];
+        assert_eq!(masked_reduce(&values, &mask, 8, ReduceOp::Sum), 0);
+        assert_eq!(masked_reduce(&values, &mask, 8, ReduceOp::Min), 255);
+        assert_eq!(masked_reduce(&values, &mask, 8, ReduceOp::Max), 0);
+    }
+
+    #[test]
+    fn min_max_respect_mask() {
+        let values = [9u64, 1, 250, 17];
+        let mask = [true, false, false, true];
+        assert_eq!(masked_reduce(&values, &mask, 8, ReduceOp::Min), 9);
+        assert_eq!(masked_reduce(&values, &mask, 8, ReduceOp::Max), 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn cost_rejects_non_pow2_rows() {
+        let _ = reduce_cost(1000, 512, 16, ReduceOp::Sum);
+    }
+}

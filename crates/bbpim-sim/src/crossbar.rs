@@ -1,0 +1,251 @@
+//! A single memory crossbar: cells, MAGIC execution, reads/writes, and
+//! per-row endurance counters.
+//!
+//! Records are stored one per crossbar row; attributes occupy fixed
+//! column ranges (managed by higher layers). The crossbar executes
+//! [`Microprogram`]s gate-by-gate on its real bits and keeps count of the
+//! cell writes each row has experienced, which feeds the paper's
+//! endurance analysis (Fig. 9).
+
+use crate::bitmat::BitMatrix;
+use crate::error::SimError;
+use crate::isa::{MicroOp, Microprogram};
+
+/// Outcome of running a microprogram on one crossbar (identical across
+/// the crossbars of a page, since they execute in lock-step).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecSummary {
+    /// Logic cycles consumed (one per micro-op).
+    pub cycles: u64,
+    /// Cells written on this crossbar.
+    pub cells_written: u64,
+}
+
+/// A `rows × cols` RRAM crossbar with endurance bookkeeping.
+///
+/// ```
+/// use bbpim_sim::crossbar::Crossbar;
+/// use bbpim_sim::isa::Microprogram;
+///
+/// let mut xb = Crossbar::new(64, 32);
+/// xb.write_row_bits(0, 0, 8, 0b1010_0110);
+/// assert_eq!(xb.read_row_bits(0, 0, 8), 0b1010_0110);
+///
+/// let mut p = Microprogram::new();
+/// p.gate_not(0, 8); // col 8 := NOT col 0
+/// p.validate(64, 32)?;
+/// xb.execute(&p)?;
+/// // row 0's col 0 held the value's LSB (0), so its NOT is 1:
+/// assert!(xb.bits().get(0, 8));
+/// # Ok::<(), bbpim_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crossbar {
+    bits: BitMatrix,
+    /// Cumulative cell writes per row (wear-leveling spreads them over
+    /// the row's cells, per the paper's endurance assumption).
+    row_cell_writes: Vec<u64>,
+}
+
+impl Crossbar {
+    /// Create a zeroed crossbar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is not a positive multiple of 64 or `cols` is 0
+    /// (see [`BitMatrix::new`]).
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Crossbar { bits: BitMatrix::new(rows, cols), row_cell_writes: vec![0; rows] }
+    }
+
+    /// Rows (records) in this crossbar.
+    pub fn rows(&self) -> usize {
+        self.bits.rows()
+    }
+
+    /// Columns (bits per record slot).
+    pub fn cols(&self) -> usize {
+        self.bits.cols()
+    }
+
+    /// Read-only view of the raw cells.
+    pub fn bits(&self) -> &BitMatrix {
+        &self.bits
+    }
+
+    /// Mutable view of the raw cells *without* endurance accounting.
+    ///
+    /// Intended for test setup and for modeled operations that do their
+    /// own accounting (the bulk-bitwise reduction fast path and the
+    /// aggregation circuit).
+    pub fn bits_mut_unaccounted(&mut self) -> &mut BitMatrix {
+        &mut self.bits
+    }
+
+    /// Execute a microprogram gate-by-gate on the stored bits.
+    ///
+    /// Updates per-row endurance counters: a column op writes one cell in
+    /// every row, a row op writes `cols` cells of its destination row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidProgram`] if the program references
+    /// cells outside this crossbar.
+    pub fn execute(&mut self, program: &Microprogram) -> Result<ExecSummary, SimError> {
+        program.validate(self.rows(), self.cols())?;
+        let mut cells = 0u64;
+        for op in program.ops() {
+            match *op {
+                MicroOp::InitCol { dst } => {
+                    self.bits.fill_col(dst, true);
+                    for w in self.row_cell_writes.iter_mut() {
+                        *w += 1;
+                    }
+                    cells += self.rows() as u64;
+                }
+                MicroOp::NorCols { a, b, dst } => {
+                    self.bits.magic_nor_cols(a, b, dst);
+                    for w in self.row_cell_writes.iter_mut() {
+                        *w += 1;
+                    }
+                    cells += self.rows() as u64;
+                }
+                MicroOp::NorManyCols { ref inputs, dst } => {
+                    self.bits.magic_nor_many_cols(inputs, dst);
+                    for w in self.row_cell_writes.iter_mut() {
+                        *w += 1;
+                    }
+                    cells += self.rows() as u64;
+                }
+                MicroOp::InitRow { dst } => {
+                    self.bits.fill_row(dst, true);
+                    self.row_cell_writes[dst] += self.cols() as u64;
+                    cells += self.cols() as u64;
+                }
+                MicroOp::NorRows { a, b, dst } => {
+                    self.bits.magic_nor_rows(a, b, dst);
+                    self.row_cell_writes[dst] += self.cols() as u64;
+                    cells += self.cols() as u64;
+                }
+            }
+        }
+        Ok(ExecSummary { cycles: program.cycles(), cells_written: cells })
+    }
+
+    /// Host/loader write of `width` bits into a row (endurance-counted).
+    pub fn write_row_bits(&mut self, row: usize, col_lo: usize, width: usize, value: u64) {
+        self.bits.write_row_bits(row, col_lo, width, value);
+        self.row_cell_writes[row] += width as u64;
+    }
+
+    /// Read `width ≤ 64` bits of a row (no endurance impact).
+    pub fn read_row_bits(&self, row: usize, col_lo: usize, width: usize) -> u64 {
+        self.bits.read_row_bits(row, col_lo, width)
+    }
+
+    /// Record `width` cell writes against `row` without touching bits —
+    /// used by modeled operations (aggregation-circuit write-back,
+    /// reduction trees) that mutate bits through
+    /// [`Crossbar::bits_mut_unaccounted`].
+    pub fn note_row_writes(&mut self, row: usize, width: u64) {
+        self.row_cell_writes[row] += width;
+    }
+
+    /// Record `per_row` cell writes against *every* row (modeled
+    /// column-parallel work).
+    pub fn note_all_rows_writes(&mut self, per_row: u64) {
+        for w in self.row_cell_writes.iter_mut() {
+            *w += per_row;
+        }
+    }
+
+    /// The largest cell-write count any row has accumulated.
+    pub fn max_row_cell_writes(&self) -> u64 {
+        self.row_cell_writes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Reset endurance counters (e.g. after load, before measuring a query).
+    pub fn reset_endurance(&mut self) {
+        self.row_cell_writes.iter_mut().for_each(|w| *w = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nor_reference(a: bool, b: bool) -> bool {
+        !(a | b)
+    }
+
+    #[test]
+    fn execute_not_gate_matches_reference() {
+        let mut xb = Crossbar::new(64, 8);
+        for r in 0..64 {
+            xb.bits_mut_unaccounted().set(r, 0, r % 3 == 0);
+        }
+        let mut p = Microprogram::new();
+        p.gate_not(0, 1);
+        xb.execute(&p).unwrap();
+        for r in 0..64 {
+            assert_eq!(xb.bits().get(r, 1), !xb.bits().get(r, 0), "row {r}");
+        }
+    }
+
+    #[test]
+    fn execute_nor_gate_matches_reference() {
+        let mut xb = Crossbar::new(64, 8);
+        for r in 0..64 {
+            xb.bits_mut_unaccounted().set(r, 0, r & 1 == 1);
+            xb.bits_mut_unaccounted().set(r, 1, r & 2 == 2);
+        }
+        let mut p = Microprogram::new();
+        p.gate_nor(0, 1, 2);
+        let s = xb.execute(&p).unwrap();
+        assert_eq!(s.cycles, 2);
+        for r in 0..64 {
+            assert_eq!(
+                xb.bits().get(r, 2),
+                nor_reference(xb.bits().get(r, 0), xb.bits().get(r, 1)),
+                "row {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn endurance_counts_column_ops_per_row() {
+        let mut xb = Crossbar::new(64, 8);
+        let mut p = Microprogram::new();
+        p.gate_nor(0, 1, 2); // 2 column ops
+        p.gate_not(2, 3); // 2 more
+        xb.execute(&p).unwrap();
+        assert_eq!(xb.max_row_cell_writes(), 4);
+    }
+
+    #[test]
+    fn endurance_counts_host_writes() {
+        let mut xb = Crossbar::new(64, 32);
+        xb.write_row_bits(5, 0, 16, 0xffff);
+        xb.write_row_bits(5, 16, 16, 0x0);
+        assert_eq!(xb.max_row_cell_writes(), 32);
+        xb.reset_endurance();
+        assert_eq!(xb.max_row_cell_writes(), 0);
+    }
+
+    #[test]
+    fn execute_rejects_invalid_program() {
+        let mut xb = Crossbar::new(64, 8);
+        let mut p = Microprogram::new();
+        p.nor_cols(0, 1, 9);
+        assert!(xb.execute(&p).is_err());
+    }
+
+    #[test]
+    fn row_op_endurance_hits_destination_row_only() {
+        let mut xb = Crossbar::new(64, 8);
+        let mut p = Microprogram::new();
+        p.push(MicroOp::InitRow { dst: 7 });
+        xb.execute(&p).unwrap();
+        assert_eq!(xb.max_row_cell_writes(), 8);
+    }
+}

@@ -1,0 +1,61 @@
+//! Energy unit helpers.
+//!
+//! The simulator accounts internally in picojoules and nanoseconds;
+//! reports use millijoules and watts (Figs. 7 and 8). These helpers keep
+//! unit conversions in one place.
+
+/// Picojoules → millijoules.
+pub fn pj_to_mj(pj: f64) -> f64 {
+    pj * 1e-9
+}
+
+/// Picojoules → joules.
+pub fn pj_to_j(pj: f64) -> f64 {
+    pj * 1e-12
+}
+
+/// Energy (pJ) over a duration (ns) → average power in watts.
+/// Returns 0 for a zero-length interval.
+pub fn pj_per_ns_to_w(energy_pj: f64, time_ns: f64) -> f64 {
+    if time_ns <= 0.0 {
+        0.0
+    } else {
+        energy_pj / time_ns * 1e-3
+    }
+}
+
+/// Microwatts → watts.
+pub fn uw_to_w(uw: f64) -> f64 {
+    uw * 1e-6
+}
+
+/// Nanoseconds → seconds.
+pub fn ns_to_s(ns: f64) -> f64 {
+    ns * 1e-9
+}
+
+/// Nanoseconds → milliseconds.
+pub fn ns_to_ms(ns: f64) -> f64 {
+    ns * 1e-6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert!((pj_to_mj(1e9) - 1.0).abs() < 1e-12);
+        assert!((pj_to_j(1e12) - 1.0).abs() < 1e-12);
+        assert!((uw_to_w(1e6) - 1.0).abs() < 1e-12);
+        assert!((ns_to_s(1e9) - 1.0).abs() < 1e-12);
+        assert!((ns_to_ms(1e6) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_conversion() {
+        // 1000 pJ over 1 ns = 1 µJ/µs = 1 W
+        assert!((pj_per_ns_to_w(1000.0, 1.0) - 1.0).abs() < 1e-12);
+        assert_eq!(pj_per_ns_to_w(1000.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,238 @@
+//! A huge page: the unit of PIM execution.
+//!
+//! A 2 MB page consists of 32 crossbars that its PIM controller drives
+//! in lock-step — one PIM request executes the same microprogram on all
+//! of them concurrently (Section II-B). Records fill a page
+//! *interleaved*: record `r` lives in crossbar `r mod 32` at row
+//! `r div 32`, so 32 consecutive records share one row index and hence
+//! one cache line per chunk — the layout behind both the read
+//! amplification and the dense-scan amortisation the paper describes.
+
+use crate::config::SimConfig;
+use crate::crossbar::{Crossbar, ExecSummary};
+use crate::error::SimError;
+use crate::isa::Microprogram;
+
+/// A record's physical slot inside a page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RecordSlot {
+    /// Crossbar index within the page.
+    pub crossbar: usize,
+    /// Row within the crossbar.
+    pub row: usize,
+}
+
+/// One huge page: `crossbars_per_page` crossbars driven in lock-step.
+#[derive(Debug, Clone)]
+pub struct PimPage {
+    crossbars: Vec<Crossbar>,
+    rows: usize,
+}
+
+impl PimPage {
+    /// Create a zeroed page for a configuration.
+    pub fn new(cfg: &SimConfig) -> Self {
+        let n = cfg.crossbars_per_page();
+        let crossbars =
+            (0..n).map(|_| Crossbar::new(cfg.crossbar_rows, cfg.crossbar_cols)).collect();
+        PimPage { crossbars, rows: cfg.crossbar_rows }
+    }
+
+    /// Crossbars in this page.
+    pub fn crossbar_count(&self) -> usize {
+        self.crossbars.len()
+    }
+
+    /// Records this page can hold.
+    pub fn record_capacity(&self) -> usize {
+        self.crossbars.len() * self.rows
+    }
+
+    /// Borrow a crossbar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn crossbar(&self, i: usize) -> &Crossbar {
+        &self.crossbars[i]
+    }
+
+    /// Mutably borrow a crossbar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn crossbar_mut(&mut self, i: usize) -> &mut Crossbar {
+        &mut self.crossbars[i]
+    }
+
+    /// Iterate the crossbars.
+    pub fn crossbars(&self) -> impl Iterator<Item = &Crossbar> {
+        self.crossbars.iter()
+    }
+
+    /// Mutably iterate the crossbars.
+    pub fn crossbars_mut(&mut self) -> impl Iterator<Item = &mut Crossbar> {
+        self.crossbars.iter_mut()
+    }
+
+    /// Physical slot of record `r` (interleaved mapping).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::RowOutOfRange`] past the page capacity.
+    pub fn record_slot(&self, r: usize) -> Result<RecordSlot, SimError> {
+        if r >= self.record_capacity() {
+            return Err(SimError::RowOutOfRange { row: r, rows: self.record_capacity() });
+        }
+        Ok(RecordSlot { crossbar: r % self.crossbars.len(), row: r / self.crossbars.len() })
+    }
+
+    /// Inverse of [`PimPage::record_slot`].
+    pub fn slot_record(&self, slot: RecordSlot) -> usize {
+        slot.row * self.crossbars.len() + slot.crossbar
+    }
+
+    /// Execute one microprogram on every crossbar (lock-step).
+    ///
+    /// Returns the per-crossbar summary (identical for all of them) and
+    /// the page's crossbar count for energy scaling.
+    ///
+    /// # Errors
+    ///
+    /// Propagates program validation failures.
+    pub fn execute(&mut self, program: &Microprogram) -> Result<ExecSummary, SimError> {
+        let mut summary = ExecSummary::default();
+        for xb in self.crossbars.iter_mut() {
+            summary = xb.execute(program)?;
+        }
+        Ok(summary)
+    }
+
+    /// Write `width` bits of a record's row at bit offset `col_lo`
+    /// (endurance-counted; used by the loader and host-side writes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates slot errors.
+    pub fn write_record_bits(
+        &mut self,
+        record: usize,
+        col_lo: usize,
+        width: usize,
+        value: u64,
+    ) -> Result<(), SimError> {
+        let slot = self.record_slot(record)?;
+        self.crossbars[slot.crossbar].write_row_bits(slot.row, col_lo, width, value);
+        Ok(())
+    }
+
+    /// Read `width` bits of a record's row at bit offset `col_lo`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates slot errors.
+    pub fn read_record_bits(
+        &self,
+        record: usize,
+        col_lo: usize,
+        width: usize,
+    ) -> Result<u64, SimError> {
+        let slot = self.record_slot(record)?;
+        Ok(self.crossbars[slot.crossbar].read_row_bits(slot.row, col_lo, width))
+    }
+
+    /// The worst per-row cell-write count over all crossbars.
+    pub fn max_row_cell_writes(&self) -> u64 {
+        self.crossbars.iter().map(Crossbar::max_row_cell_writes).max().unwrap_or(0)
+    }
+
+    /// Reset endurance counters on every crossbar.
+    pub fn reset_endurance(&mut self) {
+        for xb in self.crossbars.iter_mut() {
+            xb.reset_endurance();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page() -> PimPage {
+        PimPage::new(&SimConfig::small_for_tests())
+    }
+
+    #[test]
+    fn geometry_from_config() {
+        let p = page();
+        assert_eq!(p.crossbar_count(), 4);
+        assert_eq!(p.record_capacity(), 4 * 64);
+    }
+
+    #[test]
+    fn interleaved_slot_mapping() {
+        let p = page();
+        assert_eq!(p.record_slot(0).unwrap(), RecordSlot { crossbar: 0, row: 0 });
+        assert_eq!(p.record_slot(1).unwrap(), RecordSlot { crossbar: 1, row: 0 });
+        assert_eq!(p.record_slot(4).unwrap(), RecordSlot { crossbar: 0, row: 1 });
+        assert_eq!(p.record_slot(255).unwrap(), RecordSlot { crossbar: 3, row: 63 });
+    }
+
+    #[test]
+    fn slot_roundtrip() {
+        let p = page();
+        for r in [0usize, 1, 5, 100, 255] {
+            assert_eq!(p.slot_record(p.record_slot(r).unwrap()), r);
+        }
+    }
+
+    #[test]
+    fn slot_out_of_capacity_errors() {
+        assert!(page().record_slot(256).is_err());
+    }
+
+    #[test]
+    fn consecutive_records_share_row_index() {
+        // 32-consecutive-record amortisation (here 4 per row): records
+        // 0..4 are at row 0 of the 4 crossbars.
+        let p = page();
+        for r in 0..4 {
+            assert_eq!(p.record_slot(r).unwrap().row, 0);
+        }
+    }
+
+    #[test]
+    fn record_bits_roundtrip() {
+        let mut p = page();
+        p.write_record_bits(37, 8, 16, 0xBEEF).unwrap();
+        assert_eq!(p.read_record_bits(37, 8, 16).unwrap(), 0xBEEF);
+        // sibling record untouched
+        assert_eq!(p.read_record_bits(36, 8, 16).unwrap(), 0);
+    }
+
+    #[test]
+    fn execute_runs_on_all_crossbars() {
+        let mut p = page();
+        // set column 0 of every record, derive NOT into column 1
+        for r in 0..p.record_capacity() {
+            p.write_record_bits(r, 0, 1, 1).unwrap();
+        }
+        let mut prog = Microprogram::new();
+        prog.gate_not(0, 1);
+        p.execute(&prog).unwrap();
+        for r in 0..p.record_capacity() {
+            assert_eq!(p.read_record_bits(r, 1, 1).unwrap(), 0, "record {r}");
+        }
+    }
+
+    #[test]
+    fn endurance_rollup_is_max_over_crossbars() {
+        let mut p = page();
+        p.write_record_bits(0, 0, 8, 0xFF).unwrap(); // crossbar 0, row 0: 8 writes
+        p.write_record_bits(1, 0, 4, 0xF).unwrap(); // crossbar 1: 4 writes
+        assert_eq!(p.max_row_cell_writes(), 8);
+        p.reset_endurance();
+        assert_eq!(p.max_row_cell_writes(), 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Phase-based time / energy / power accounting.
+//!
+//! Query execution decomposes into sequential *phases* (issue + PIM
+//! logic, aggregation-circuit runs, host line reads, host compute…).
+//! Each [`Phase`] carries its simulated duration, the PIM-module energy
+//! it consumed, and the instantaneous power one PIM chip draws while the
+//! phase runs. A [`RunLog`] accumulates phases and yields the three
+//! quantities the paper reports per query: execution latency (Fig. 6),
+//! PIM energy (Fig. 7) and peak per-chip power (Fig. 8).
+
+use serde::{Deserialize, Serialize};
+
+/// What a phase was doing (used for reporting breakdowns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PhaseKind {
+    /// Bulk-bitwise logic executing a microprogram (incl. request issue).
+    PimLogic,
+    /// The peripheral aggregation circuits are running.
+    PimAggCircuit,
+    /// Pure bulk-bitwise reduction (PIMDB-style aggregation).
+    PimReduce,
+    /// Host reading cache lines from the PIM rank.
+    HostRead,
+    /// Host writing cache lines into the PIM rank.
+    HostWrite,
+    /// Host-only computation (hash aggregation, model evaluation…).
+    HostCompute,
+}
+
+impl PhaseKind {
+    /// Stable lowercase label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PhaseKind::PimLogic => "pim-logic",
+            PhaseKind::PimAggCircuit => "pim-agg-circuit",
+            PhaseKind::PimReduce => "pim-reduce",
+            PhaseKind::HostRead => "host-read",
+            PhaseKind::HostWrite => "host-write",
+            PhaseKind::HostCompute => "host-compute",
+        }
+    }
+}
+
+/// One sequential slice of a query's execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// What was running.
+    pub kind: PhaseKind,
+    /// Simulated duration in nanoseconds.
+    pub time_ns: f64,
+    /// PIM-module energy consumed, picojoules (host-only phases: 0).
+    pub energy_pj: f64,
+    /// Power drawn by a single PIM chip during the phase, watts.
+    pub chip_power_w: f64,
+}
+
+impl Phase {
+    /// A host-compute phase: time passes, the PIM module idles.
+    pub fn host_compute(time_ns: f64) -> Self {
+        Phase { kind: PhaseKind::HostCompute, time_ns, energy_pj: 0.0, chip_power_w: 0.0 }
+    }
+}
+
+/// Accumulated phases of one query (or one calibration run).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunLog {
+    phases: Vec<Phase>,
+}
+
+impl RunLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        RunLog::default()
+    }
+
+    /// Append a phase.
+    pub fn push(&mut self, phase: Phase) {
+        self.phases.push(phase);
+    }
+
+    /// Append every phase of `other`.
+    pub fn extend(&mut self, other: &RunLog) {
+        self.phases.extend_from_slice(&other.phases);
+    }
+
+    /// The recorded phases, in order.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Total simulated time (phases are sequential), nanoseconds.
+    pub fn total_time_ns(&self) -> f64 {
+        self.phases.iter().map(|p| p.time_ns).sum()
+    }
+
+    /// Total PIM-module energy, picojoules.
+    pub fn total_energy_pj(&self) -> f64 {
+        self.phases.iter().map(|p| p.energy_pj).sum()
+    }
+
+    /// Peak instantaneous power of one PIM chip, watts (Fig. 8).
+    pub fn peak_chip_power_w(&self) -> f64 {
+        self.phases.iter().map(|p| p.chip_power_w).fold(0.0, f64::max)
+    }
+
+    /// Time spent in a given phase kind, nanoseconds.
+    pub fn time_in(&self, kind: PhaseKind) -> f64 {
+        self.phases.iter().filter(|p| p.kind == kind).map(|p| p.time_ns).sum()
+    }
+
+    /// Energy spent in a given phase kind, picojoules.
+    pub fn energy_in(&self, kind: PhaseKind) -> f64 {
+        self.phases.iter().filter(|p| p.kind == kind).map(|p| p.energy_pj).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phase(kind: PhaseKind, t: f64, e: f64, p: f64) -> Phase {
+        Phase { kind, time_ns: t, energy_pj: e, chip_power_w: p }
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let mut log = RunLog::new();
+        log.push(phase(PhaseKind::PimLogic, 100.0, 10.0, 2.0));
+        log.push(phase(PhaseKind::HostRead, 50.0, 5.0, 0.5));
+        assert!((log.total_time_ns() - 150.0).abs() < 1e-12);
+        assert!((log.total_energy_pj() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_power_is_max_over_phases() {
+        let mut log = RunLog::new();
+        log.push(phase(PhaseKind::PimLogic, 1.0, 0.0, 2.0));
+        log.push(phase(PhaseKind::PimAggCircuit, 1.0, 0.0, 7.5));
+        log.push(phase(PhaseKind::HostRead, 1.0, 0.0, 1.0));
+        assert!((log.peak_chip_power_w() - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_kind_breakdown() {
+        let mut log = RunLog::new();
+        log.push(phase(PhaseKind::PimLogic, 10.0, 1.0, 0.0));
+        log.push(phase(PhaseKind::PimLogic, 20.0, 2.0, 0.0));
+        log.push(phase(PhaseKind::HostRead, 5.0, 0.5, 0.0));
+        assert!((log.time_in(PhaseKind::PimLogic) - 30.0).abs() < 1e-12);
+        assert!((log.energy_in(PhaseKind::HostRead) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn host_compute_has_no_pim_energy() {
+        let p = Phase::host_compute(42.0);
+        assert_eq!(p.energy_pj, 0.0);
+        assert_eq!(p.kind, PhaseKind::HostCompute);
+    }
+
+    #[test]
+    fn empty_log_is_all_zero() {
+        let log = RunLog::new();
+        assert_eq!(log.total_time_ns(), 0.0);
+        assert_eq!(log.peak_chip_power_w(), 0.0);
+    }
+}

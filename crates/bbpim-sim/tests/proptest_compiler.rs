@@ -1,0 +1,178 @@
+//! Property tests: compiled NOR-only microprograms are semantically
+//! identical to integer arithmetic/comparison for arbitrary widths and
+//! values.
+
+use bbpim_sim::compiler::{arith, mux, predicate, CodeBuilder, ColRange, ScratchPool};
+use bbpim_sim::crossbar::Crossbar;
+use proptest::prelude::*;
+
+const ROWS: usize = 64;
+const COLS: usize = 256;
+
+/// Crossbar with `values` written into an attribute at column 0.
+fn crossbar_with(values: &[u64], width: usize) -> Crossbar {
+    let mut xb = Crossbar::new(ROWS, COLS);
+    for (r, v) in values.iter().enumerate() {
+        xb.write_row_bits(r, 0, width, *v);
+    }
+    xb
+}
+
+fn scratch() -> ScratchPool {
+    ScratchPool::new(ColRange::new(96, 160))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn eq_matches_semantics(
+        width in 1usize..=16,
+        constant_seed in any::<u64>(),
+        values in proptest::collection::vec(any::<u64>(), ROWS),
+    ) {
+        let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+        let constant = constant_seed & mask;
+        let values: Vec<u64> = values.into_iter().map(|v| v & mask).collect();
+        let mut xb = crossbar_with(&values, width);
+        let mut pool = scratch();
+        let mut b = CodeBuilder::new(&mut pool);
+        let out = predicate::compile_eq_const(&mut b, ColRange::new(0, width), constant).unwrap();
+        xb.execute(&b.finish()).unwrap();
+        for (r, v) in values.iter().enumerate() {
+            prop_assert_eq!(xb.bits().get(r, out), *v == constant);
+        }
+    }
+
+    #[test]
+    fn lt_gt_match_semantics(
+        width in 1usize..=12,
+        constant_seed in any::<u64>(),
+        values in proptest::collection::vec(any::<u64>(), ROWS),
+    ) {
+        let mask = (1u64 << width) - 1;
+        let constant = constant_seed & mask;
+        let values: Vec<u64> = values.into_iter().map(|v| v & mask).collect();
+
+        let mut xb = crossbar_with(&values, width);
+        let mut pool = scratch();
+        let mut b = CodeBuilder::new(&mut pool);
+        let lt = predicate::compile_lt_const(&mut b, ColRange::new(0, width), constant).unwrap();
+        let gt = predicate::compile_gt_const(&mut b, ColRange::new(0, width), constant).unwrap();
+        xb.execute(&b.finish()).unwrap();
+        for (r, v) in values.iter().enumerate() {
+            prop_assert_eq!(xb.bits().get(r, lt), *v < constant, "lt row {}", r);
+            prop_assert_eq!(xb.bits().get(r, gt), *v > constant, "gt row {}", r);
+        }
+    }
+
+    #[test]
+    fn add_sub_match_semantics(
+        wa in 1usize..=10,
+        wb in 1usize..=10,
+        pairs in proptest::collection::vec((any::<u64>(), any::<u64>()), ROWS),
+    ) {
+        let ma = (1u64 << wa) - 1;
+        let mb = (1u64 << wb) - 1;
+        let wdst = wa.max(wb) + 1;
+        let mut xb = Crossbar::new(ROWS, COLS);
+        for (r, (a, b)) in pairs.iter().enumerate() {
+            xb.write_row_bits(r, 0, wa, a & ma);
+            xb.write_row_bits(r, 16, wb, b & mb);
+        }
+        let mut pool = scratch();
+        let mut builder = CodeBuilder::new(&mut pool);
+        arith::compile_add(
+            &mut builder, ColRange::new(0, wa), ColRange::new(16, wb), ColRange::new(32, wdst),
+        ).unwrap();
+        arith::compile_sub(
+            &mut builder, ColRange::new(0, wa), ColRange::new(16, wb), ColRange::new(64, wdst),
+        ).unwrap();
+        xb.execute(&builder.finish()).unwrap();
+        let modulus = 1u64 << wdst;
+        for (r, (a, b)) in pairs.iter().enumerate() {
+            let (a, b) = (a & ma, b & mb);
+            prop_assert_eq!(xb.read_row_bits(r, 32, wdst), (a + b) % modulus, "add row {}", r);
+            prop_assert_eq!(
+                xb.read_row_bits(r, 64, wdst),
+                a.wrapping_sub(b) % modulus,
+                "sub row {}", r
+            );
+        }
+    }
+
+    #[test]
+    fn mul_matches_semantics(
+        wa in 1usize..=8,
+        wb in 1usize..=5,
+        pairs in proptest::collection::vec((any::<u64>(), any::<u64>()), ROWS),
+    ) {
+        let ma = (1u64 << wa) - 1;
+        let mb = (1u64 << wb) - 1;
+        let wdst = wa + wb;
+        let mut xb = Crossbar::new(ROWS, COLS);
+        for (r, (a, b)) in pairs.iter().enumerate() {
+            xb.write_row_bits(r, 0, wa, a & ma);
+            xb.write_row_bits(r, 16, wb, b & mb);
+        }
+        let mut pool = scratch();
+        let mut builder = CodeBuilder::new(&mut pool);
+        arith::compile_mul(
+            &mut builder, ColRange::new(0, wa), ColRange::new(16, wb), ColRange::new(32, wdst),
+        ).unwrap();
+        xb.execute(&builder.finish()).unwrap();
+        for (r, (a, b)) in pairs.iter().enumerate() {
+            prop_assert_eq!(xb.read_row_bits(r, 32, wdst), (a & ma) * (b & mb), "row {}", r);
+        }
+    }
+
+    #[test]
+    fn mux_update_matches_select_semantics(
+        width in 1usize..=12,
+        imm_seed in any::<u64>(),
+        rows in proptest::collection::vec((any::<u64>(), any::<bool>()), ROWS),
+    ) {
+        let mask = (1u64 << width) - 1;
+        let imm = imm_seed & mask;
+        let mut xb = Crossbar::new(ROWS, COLS);
+        for (r, (v, sel)) in rows.iter().enumerate() {
+            xb.write_row_bits(r, 0, width, v & mask);
+            xb.bits_mut_unaccounted().set(r, 90, *sel);
+        }
+        let mut pool = scratch();
+        let mut b = CodeBuilder::new(&mut pool);
+        mux::compile_mux_update(&mut b, ColRange::new(0, width), imm, 90).unwrap();
+        xb.execute(&b.finish()).unwrap();
+        for (r, (v, sel)) in rows.iter().enumerate() {
+            let expected = if *sel { imm } else { v & mask };
+            prop_assert_eq!(xb.read_row_bits(r, 0, width), expected, "row {}", r);
+        }
+    }
+
+    #[test]
+    fn between_and_in_match_semantics(
+        width in 1usize..=10,
+        bounds in (any::<u64>(), any::<u64>()),
+        members in proptest::collection::vec(any::<u64>(), 1..5),
+        values in proptest::collection::vec(any::<u64>(), ROWS),
+    ) {
+        let mask = (1u64 << width) - 1;
+        let (lo, hi) = {
+            let a = bounds.0 & mask;
+            let b = bounds.1 & mask;
+            (a.min(b), a.max(b))
+        };
+        let members: Vec<u64> = members.into_iter().map(|v| v & mask).collect();
+        let values: Vec<u64> = values.into_iter().map(|v| v & mask).collect();
+        let mut xb = crossbar_with(&values, width);
+        let mut pool = scratch();
+        let mut b = CodeBuilder::new(&mut pool);
+        let bw = predicate::compile_between_const(&mut b, ColRange::new(0, width), lo, hi).unwrap();
+        let inn = predicate::compile_in_set(&mut b, ColRange::new(0, width), &members).unwrap();
+        xb.execute(&b.finish()).unwrap();
+        for (r, v) in values.iter().enumerate() {
+            prop_assert_eq!(xb.bits().get(r, bw), (lo..=hi).contains(v), "between row {}", r);
+            prop_assert_eq!(xb.bits().get(r, inn), members.contains(v), "in row {}", r);
+        }
+    }
+}

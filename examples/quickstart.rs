@@ -1,0 +1,62 @@
+//! Quickstart: generate a small SSB database, pre-join it, load it into
+//! the simulated PIM module, and run one query end to end.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use bbpim::db::ssb::{queries, SsbDb, SsbParams};
+use bbpim::engine::engine::PimQueryEngine;
+use bbpim::engine::modes::EngineMode;
+use bbpim::sim::SimConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A small Star Schema Benchmark instance (SF 0.01 ≈ 60 K facts).
+    let db = SsbDb::generate(&SsbParams::uniform(0.01));
+    println!(
+        "generated SSB SF=0.01: {} lineorders, {} customers, {} parts",
+        db.lineorder.len(),
+        db.customer.len(),
+        db.part.len()
+    );
+
+    // 2. Pre-join fact and dimensions (Section III of the paper): same
+    //    record count, wider records.
+    let wide = db.prejoin();
+    println!(
+        "pre-joined relation: {} records x {} attributes ({} bits/record)",
+        wide.len(),
+        wide.schema().arity(),
+        wide.schema().record_bits()
+    );
+
+    // 3. Load into the PIM module (Table I geometry) in one-crossbar
+    //    layout: every record in a single 512-bit crossbar row.
+    let mut engine = PimQueryEngine::new(SimConfig::default(), wide, EngineMode::OneXb)?;
+    println!("loaded into {} huge pages (M)", engine.page_count());
+
+    // 4. Run SSB Q1.1: a filter over three attributes plus an in-PIM
+    //    product (extendedprice x discount) and one PIM aggregation.
+    let q = queries::standard_query("Q1.1").expect("Q1.1 exists");
+    let out = engine.run(&q)?;
+    let revenue = out.groups.get(&Vec::new()).copied().unwrap_or(0);
+    let r = &out.report;
+    println!("\nQ1.1: SUM(lo_extendedprice * lo_discount) = {revenue}");
+    println!("  selected          : {} records ({:.3}% selectivity)", r.selected, r.selectivity * 100.0);
+    println!("  simulated latency : {:.3} ms", r.time_ns / 1e6);
+    println!("  PIM energy        : {:.3} mJ", r.energy_pj * 1e-9);
+    println!("  peak chip power   : {:.3} W", r.peak_chip_power_w);
+    println!("  10-year endurance : {:.2e} writes/cell", r.required_endurance(10.0));
+
+    // 5. Every phase of the execution is recorded.
+    println!("\nphase breakdown:");
+    for phase in r.phases.phases() {
+        println!(
+            "  {:<16} {:>10.3} us  {:>10.3} uJ",
+            phase.kind.label(),
+            phase.time_ns / 1e3,
+            phase.energy_pj * 1e-6
+        );
+    }
+    Ok(())
+}

