@@ -25,9 +25,7 @@ fn bench_between(c: &mut Criterion) {
         b.iter(|| {
             let mut pool = ScratchPool::new(SCRATCH);
             let mut builder = CodeBuilder::new(&mut pool);
-            black_box(
-                predicate::compile_between_const(&mut builder, ATTR, 1000, 200_000).unwrap(),
-            );
+            black_box(predicate::compile_between_const(&mut builder, ATTR, 1000, 200_000).unwrap());
             black_box(builder.finish())
         })
     });

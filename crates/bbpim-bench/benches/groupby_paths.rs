@@ -18,12 +18,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::collections::HashSet;
 use std::hint::black_box;
 
-type Setup = (
-    PimModule,
-    RecordLayout,
-    bbpim_core::loader::LoadedRelation,
-    bbpim_core::agg_exec::AggInput,
-);
+type Setup =
+    (PimModule, RecordLayout, bbpim_core::loader::LoadedRelation, bbpim_core::agg_exec::AggInput);
 
 fn setup() -> Setup {
     let cfg = SimConfig::small_for_tests();

@@ -18,9 +18,7 @@ fn bench_q11_one_xb(c: &mut Criterion) {
     let q = s.queries[0].clone(); // Q1.1
     let mut group = c.benchmark_group("pim_query");
     group.sample_size(10);
-    group.bench_function("q1.1_one_xb_sf0.005", |b| {
-        b.iter(|| black_box(engine.run(&q).unwrap()))
-    });
+    group.bench_function("q1.1_one_xb_sf0.005", |b| b.iter(|| black_box(engine.run(&q).unwrap())));
     group.finish();
 }
 
@@ -33,9 +31,7 @@ fn bench_q21_groupby(c: &mut Criterion) {
     let q = s.queries[3].clone(); // Q2.1
     let mut group = c.benchmark_group("pim_query");
     group.sample_size(10);
-    group.bench_function("q2.1_one_xb_sf0.005", |b| {
-        b.iter(|| black_box(engine.run(&q).unwrap()))
-    });
+    group.bench_function("q2.1_one_xb_sf0.005", |b| b.iter(|| black_box(engine.run(&q).unwrap())));
     group.finish();
 }
 

@@ -117,7 +117,13 @@ fn ablation_placement(bench_cfg: &BenchConfig) {
         s.wide.schema(),
         &sim,
         2,
-        |name| if name.starts_with("lo_") || hot.contains(&name) { 0 } else { 1 },
+        |name| {
+            if name.starts_with("lo_") || hot.contains(&name) {
+                0
+            } else {
+                1
+            }
+        },
         &[],
     )
     .expect("layout");

@@ -6,13 +6,14 @@ use bbpim_bench::{cross_validate, pim_runs, run_monet, setup, BenchConfig};
 fn main() {
     let cfg = BenchConfig::from_args();
     println!("=== bbpim full experiment run ===");
-    println!(
-        "sf={} skewed={} seed={:#x} threads={}\n",
-        cfg.sf, cfg.skewed, cfg.seed, cfg.threads
-    );
+    println!("sf={} skewed={} seed={:#x} threads={}\n", cfg.sf, cfg.skewed, cfg.seed, cfg.threads);
 
     let s = setup(cfg);
-    eprintln!("data generated: {} lineorders, wide arity {}", s.wide.len(), s.wide.schema().arity());
+    eprintln!(
+        "data generated: {} lineorders, wide arity {}",
+        s.wide.len(),
+        s.wide.schema().arity()
+    );
     eprintln!("running PIM modes…");
     let pim = pim_runs(&s);
     eprintln!("running baselines…");
@@ -23,7 +24,11 @@ fn main() {
     let bad = cross_validate(&s.queries, &refs, &[&mnt_join, &mnt_reg]);
     println!(
         "cross-validation: {}\n",
-        if bad.is_empty() { "all 5 systems agree on all 13 queries".to_string() } else { format!("MISMATCH on {bad:?}") }
+        if bad.is_empty() {
+            "all 5 systems agree on all 13 queries".to_string()
+        } else {
+            format!("MISMATCH on {bad:?}")
+        }
     );
 
     // optional machine-readable output: --csv <dir>

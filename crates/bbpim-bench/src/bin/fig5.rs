@@ -8,7 +8,10 @@ fn main() {
     let cfg = SimConfig::default();
     let model = AreaModel::default();
     let breakdown = model.breakdown();
-    println!("Fig. 5 — PIM chip area breakdown (chip = {:.0} mm², 8 chips/module)\n", breakdown.total_mm2);
+    println!(
+        "Fig. 5 — PIM chip area breakdown (chip = {:.0} mm², 8 chips/module)\n",
+        breakdown.total_mm2
+    );
     let rows: Vec<Vec<String>> = breakdown
         .components
         .iter()

@@ -1,0 +1,59 @@
+//! Cluster scaling study: the 13 SSB queries on a sharded multi-module
+//! cluster at 1 / 2 / 4 / 8 shards, round-robin partitioned, plus a
+//! hash-by-group-key comparison at 4 shards.
+//!
+//! Every merged answer is cross-checked against the row-at-a-time
+//! oracle before it is reported. Flags: `--sf`, `--seed`, `--uniform`
+//! (see `bbpim_bench::BenchConfig`).
+
+use bbpim_bench::{reports, run_cluster_scaling, setup, BenchConfig};
+use bbpim_cluster::{ClusterEngine, Partitioner};
+use bbpim_core::groupby::calibration::CalibrationConfig;
+use bbpim_core::modes::EngineMode;
+use bbpim_sim::SimConfig;
+
+const HASH_SHARDS: usize = 4;
+
+fn main() {
+    let s = setup(BenchConfig::from_args());
+    let points =
+        run_cluster_scaling(&s, EngineMode::OneXb, &[1, 2, 4, 8], &Partitioner::RoundRobin);
+    reports::print_scaling(&s, &points);
+
+    // Hash partitioning keeps every subgroup on one shard: the merge is
+    // a disjoint union and each shard's GROUP BY sees k/n subgroups.
+    // One hash cluster per GROUP BY query (the key set differs), each
+    // running only its own query.
+    println!("\nhash-by-group-key vs round-robin at {HASH_SHARDS} shards (GROUP BY queries):\n");
+    let rr_point = points.iter().find(|p| p.shards == HASH_SHARDS).expect("4-shard point");
+    let mut rows = Vec::new();
+    for (i, q) in s.queries.iter().enumerate() {
+        if !q.has_group_by() {
+            continue;
+        }
+        let mut cluster = ClusterEngine::new(
+            SimConfig::default(),
+            s.wide.clone(),
+            EngineMode::OneXb,
+            HASH_SHARDS,
+            Partitioner::hash_by_group_keys(&q.group_by),
+        )
+        .expect("hash cluster construction");
+        cluster.calibrate(&CalibrationConfig::default()).expect("calibration");
+        let out = cluster.run(q).unwrap_or_else(|e| panic!("hash shards on {}: {e}", q.id));
+        assert_eq!(
+            out.groups, rr_point.executions[i].groups,
+            "hash/round-robin mismatch on {}",
+            q.id
+        );
+        let rr_ns = rr_point.executions[i].report.time_ns;
+        let hash_ns = out.report.time_ns;
+        rows.push(vec![
+            q.id.clone(),
+            bbpim_bench::fmt_ms(rr_ns),
+            bbpim_bench::fmt_ms(hash_ns),
+            format!("{:.2}", rr_ns / hash_ns),
+        ]);
+    }
+    bbpim_bench::print_table(&["query", "round-robin", "hash-by-key", "rr/hash"], &rows);
+}

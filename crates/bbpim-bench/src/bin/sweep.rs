@@ -21,14 +21,10 @@ fn main() {
         let pim = pim_runs(&s);
         let mnt_join = run_monet(&s, true, 3);
 
-        let one: Vec<f64> =
-            pim[0].executions.iter().map(|e| e.report.time_ns).collect();
-        let pdb: Vec<f64> =
-            pim[2].executions.iter().map(|e| e.report.time_ns).collect();
-        let mj: Vec<f64> =
-            mnt_join.results.iter().map(|(d, _)| d.as_nanos() as f64).collect();
-        let total_k: u64 =
-            pim[0].executions.iter().map(|e| e.report.pim_agg_subgroups).sum();
+        let one: Vec<f64> = pim[0].executions.iter().map(|e| e.report.time_ns).collect();
+        let pdb: Vec<f64> = pim[2].executions.iter().map(|e| e.report.time_ns).collect();
+        let mj: Vec<f64> = mnt_join.results.iter().map(|(d, _)| d.as_nanos() as f64).collect();
+        let total_k: u64 = pim[0].executions.iter().map(|e| e.report.pim_agg_subgroups).sum();
         let pages = pim[0].executions[0].report.pages;
         rows.push(vec![
             format!("{sf}"),

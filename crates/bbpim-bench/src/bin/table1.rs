@@ -20,10 +20,7 @@ fn main() {
             vec!["bulk-bitwise logic cycle".into(), format!("{} ns", cfg.logic_cycle_ns)],
             vec![
                 "crossbar read/write energy".into(),
-                format!(
-                    "{}\\{} pJ/bit",
-                    cfg.read_energy_pj_per_bit, cfg.write_energy_pj_per_bit
-                ),
+                format!("{}\\{} pJ/bit", cfg.read_energy_pj_per_bit, cfg.write_energy_pj_per_bit),
             ],
             vec![
                 "bulk-bitwise logic energy".into(),

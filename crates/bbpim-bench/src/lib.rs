@@ -23,6 +23,7 @@ pub mod reports;
 use std::collections::BTreeMap;
 use std::time::Duration;
 
+use bbpim_cluster::{ClusterEngine, ClusterExecution, Partitioner};
 use bbpim_core::engine::PimQueryEngine;
 use bbpim_core::groupby::calibration::CalibrationConfig;
 use bbpim_core::modes::EngineMode;
@@ -150,6 +151,70 @@ pub fn run_pim_mode(setup: &SsbSetup, mode: EngineMode) -> PimModeRun {
         .map(|q| engine.run(q).unwrap_or_else(|e| panic!("{} on {}: {e}", mode.label(), q.id)))
         .collect();
     PimModeRun { mode, executions }
+}
+
+/// One shard count's executions in the cluster scaling study.
+pub struct ClusterScalePoint {
+    /// Shard count.
+    pub shards: usize,
+    /// Partitioning strategy label.
+    pub partitioner: &'static str,
+    /// Per-query cluster executions, in query order.
+    pub executions: Vec<ClusterExecution>,
+}
+
+/// Run every query through a `ClusterEngine` at each shard count
+/// (full-capacity module per shard; engines constructed, calibrated and
+/// dropped per point), cross-checking each merged answer against the
+/// oracle.
+///
+/// # Panics
+///
+/// Panics on engine errors or a cluster/oracle mismatch (the harness
+/// runs known-good inputs).
+pub fn run_cluster_scaling(
+    setup: &SsbSetup,
+    mode: EngineMode,
+    shard_counts: &[usize],
+    partitioner: &Partitioner,
+) -> Vec<ClusterScalePoint> {
+    // The oracle answer is shard-count independent: compute it once.
+    let oracles: Vec<GroupedResult> = setup
+        .queries
+        .iter()
+        .map(|q| bbpim_db::stats::run_oracle(q, &setup.wide).expect("oracle"))
+        .collect();
+    shard_counts
+        .iter()
+        .map(|&shards| {
+            let mut cluster = ClusterEngine::new(
+                SimConfig::default(),
+                setup.wide.clone(),
+                mode,
+                shards,
+                partitioner.clone(),
+            )
+            .expect("cluster construction");
+            cluster.calibrate(&CalibrationConfig::default()).expect("calibration");
+            let executions: Vec<ClusterExecution> = setup
+                .queries
+                .iter()
+                .zip(&oracles)
+                .map(|(q, oracle)| {
+                    let out = cluster
+                        .run(q)
+                        .unwrap_or_else(|e| panic!("{shards} shards on {}: {e}", q.id));
+                    assert_eq!(
+                        &out.groups, oracle,
+                        "cluster/oracle mismatch on {} at {shards} shards",
+                        q.id
+                    );
+                    out
+                })
+                .collect();
+            ClusterScalePoint { shards, partitioner: partitioner.label(), executions }
+        })
+        .collect()
 }
 
 /// One baseline measurement.

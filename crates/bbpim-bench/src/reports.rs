@@ -1,16 +1,11 @@
 //! Shared report printers for the figure binaries (`fig6`–`fig9`,
-//! `table2`, `all`).
+//! `table2`, `all`) and the cluster scaling study (`scaling`).
 
-use crate::{fmt_ms, geomean, print_table, MonetRun, PimModeRun, SsbSetup};
+use crate::{fmt_ms, geomean, print_table, ClusterScalePoint, MonetRun, PimModeRun, SsbSetup};
 
 /// Fig. 6: execution latency of all five systems plus the paper's
 /// headline geo-means.
-pub fn print_fig6(
-    setup: &SsbSetup,
-    pim: &[PimModeRun],
-    mnt_join: &MonetRun,
-    mnt_reg: &MonetRun,
-) {
+pub fn print_fig6(setup: &SsbSetup, pim: &[PimModeRun], mnt_join: &MonetRun, mnt_reg: &MonetRun) {
     println!(
         "Fig. 6 — SSB execution latency [ms] (SF={}, {} data, {} records, {} pages)\n",
         setup.cfg.sf,
@@ -102,12 +97,9 @@ pub fn print_fig7(setup: &SsbSetup, pim: &[PimModeRun]) {
     if !both_pim_agg.is_empty() {
         let ratios: Vec<f64> = both_pim_agg
             .iter()
-            .map(|&i| {
-                pim[2].executions[i].report.energy_pj / pim[0].executions[i].report.energy_pj
-            })
+            .map(|&i| pim[2].executions[i].report.energy_pj / pim[0].executions[i].report.energy_pj)
             .collect();
-        let ids: Vec<&str> =
-            both_pim_agg.iter().map(|&i| setup.queries[i].id.as_str()).collect();
+        let ids: Vec<&str> = both_pim_agg.iter().map(|&i| setup.queries[i].id.as_str()).collect();
         println!(
             "\npimdb / one_xb energy on PIM-aggregating queries {:?}: {:.2}x geo-mean (paper: 4.31x)",
             ids,
@@ -292,4 +284,68 @@ pub fn print_table2(setup: &SsbSetup, pim: &[PimModeRun]) {
     );
     println!("\npaper (SF=10): Q1.x always aggregate once in PIM; one_xb assigns many");
     println!("subgroups to PIM (e.g. Q2.2: 56, Q3.1: 150), two_xb assigns none, pimdb few.");
+}
+
+/// Cluster scaling study: simulated latency and speedup per shard
+/// count, per query. `points[0]` is the baseline (normally 1 shard).
+pub fn print_scaling(setup: &SsbSetup, points: &[ClusterScalePoint]) {
+    let base = &points[0];
+    println!(
+        "Cluster scaling — simulated latency [ms] (SF={}, {} data, {} records, {} partitioning)\n",
+        setup.cfg.sf,
+        if setup.cfg.skewed { "skewed" } else { "uniform" },
+        setup.wide.len(),
+        base.partitioner,
+    );
+
+    let mut headers: Vec<String> = vec!["query".into()];
+    for p in points {
+        headers.push(format!("{}-shard", p.shards));
+    }
+    for p in points.iter().skip(1) {
+        headers.push(format!("x{}", p.shards));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+
+    let mut rows = Vec::new();
+    for (i, q) in setup.queries.iter().enumerate() {
+        let mut row = vec![q.id.clone()];
+        for p in points {
+            row.push(fmt_ms(p.executions[i].report.time_ns));
+        }
+        let t0 = base.executions[i].report.time_ns;
+        for p in points.iter().skip(1) {
+            row.push(format!("{:.2}", t0 / p.executions[i].report.time_ns));
+        }
+        rows.push(row);
+    }
+    print_table(&header_refs, &rows);
+
+    println!("\ngeo-mean speedup over {}-shard:", base.shards);
+    for p in points.iter().skip(1) {
+        let ratios: Vec<f64> = (0..setup.queries.len())
+            .map(|i| base.executions[i].report.time_ns / p.executions[i].report.time_ns)
+            .collect();
+        println!("  {} shards: {:>6.2}x", p.shards, geomean(&ratios));
+    }
+
+    // The headline check: module-level parallelism must pay off on at
+    // least one GROUP BY query by 4 shards.
+    if let Some(p4) = points.iter().find(|p| p.shards == 4) {
+        let best = setup
+            .queries
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| q.has_group_by())
+            .map(|(i, q)| {
+                (base.executions[i].report.time_ns / p4.executions[i].report.time_ns, q.id.clone())
+            })
+            .max_by(|a, b| a.0.total_cmp(&b.0));
+        if let Some((speedup, id)) = best {
+            println!(
+                "\nshape check:\n  [{}] best GROUP BY speedup at 4 shards: {speedup:.2}x on {id} (target > 1.5x)",
+                if speedup > 1.5 { "PASS" } else { "FAIL" },
+            );
+        }
+    }
 }

@@ -1,0 +1,593 @@
+//! The sharded cluster engine: scatter a query to per-shard
+//! [`PimQueryEngine`]s on OS threads, gather and merge the partials.
+//!
+//! The paper evaluates one PIM module, but its memory system is built
+//! from many independent modules; this layer models a rank of `n` such
+//! modules. Each shard owns a horizontal slice of the wide pre-joined
+//! relation (see [`crate::partition`]) inside its own `PimModule`.
+//! Because real modules execute concurrently, the cluster's simulated
+//! wall clock for one query is the *maximum* over shards of the
+//! per-shard [`RunLog`] time (plus a small host-side gather cost),
+//! while energy — drawn by every module — is the *sum*.
+
+use bbpim_core::engine::PimQueryEngine;
+use bbpim_core::groupby::calibration::CalibrationConfig;
+use bbpim_core::modes::EngineMode;
+use bbpim_core::result::{PartialGroups, QueryExecution, QueryReport};
+use bbpim_core::update::{UpdateOp, UpdateReport};
+use bbpim_core::CoreError;
+use bbpim_db::plan::Query;
+use bbpim_db::stats::GroupedResult;
+use bbpim_db::Relation;
+use bbpim_sim::config::SimConfig;
+
+use crate::error::ClusterError;
+use crate::partition::Partitioner;
+
+/// One shard: its position in the cluster plus its engine.
+struct Shard {
+    /// Shard index in `0..shard_count` (empty shards have no entry).
+    index: usize,
+    engine: PimQueryEngine,
+}
+
+/// A sharded PIM OLAP engine over one (pre-joined) relation.
+///
+/// Presents the same `run(&Query)` surface as the single-module
+/// [`PimQueryEngine`], returning bit-identical grouped results.
+pub struct ClusterEngine {
+    shards: Vec<Shard>,
+    shard_count: usize,
+    partitioner: Partitioner,
+    mode: EngineMode,
+    records: usize,
+}
+
+/// Everything the cluster reports per query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// Query identifier.
+    pub query_id: String,
+    /// Engine mode every shard ran.
+    pub mode: EngineMode,
+    /// Configured shard count (including shards that received no
+    /// records).
+    pub shards: usize,
+    /// Shards that hold records and actually executed.
+    pub active_shards: usize,
+    /// Partitioning strategy label.
+    pub partitioner: &'static str,
+    /// Simulated wall clock: max over shards plus the host-side merge,
+    /// nanoseconds (modules run concurrently).
+    pub time_ns: f64,
+    /// Host-side gather/merge slice of `time_ns`.
+    pub merge_time_ns: f64,
+    /// Total busy time summed over shards (the work the cluster did).
+    pub total_shard_time_ns: f64,
+    /// Total PIM energy over all modules, picojoules.
+    pub energy_pj: f64,
+    /// Peak per-chip power over all modules, watts.
+    pub peak_chip_power_w: f64,
+    /// Records across the cluster.
+    pub records: usize,
+    /// Records passing the filter across the cluster.
+    pub selected: u64,
+    /// Cluster-wide selectivity.
+    pub selectivity: f64,
+    /// Largest per-shard potential-subgroup count (`k_MAX` of the
+    /// busiest shard).
+    pub max_shard_subgroups: u64,
+    /// Full per-shard reports, in shard order.
+    pub per_shard: Vec<QueryReport>,
+}
+
+impl ClusterReport {
+    /// Speedup of this cluster run over a single-module time.
+    pub fn speedup_over(&self, single_time_ns: f64) -> f64 {
+        if self.time_ns <= 0.0 {
+            return f64::INFINITY;
+        }
+        single_time_ns / self.time_ns
+    }
+}
+
+/// A cluster query's merged answer plus its report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterExecution {
+    /// Merged grouped aggregates (same shape as the single-module
+    /// engine's answer).
+    pub groups: GroupedResult,
+    /// The cluster report.
+    pub report: ClusterReport,
+}
+
+/// Outcome of [`ClusterEngine::run_batch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchExecution {
+    /// Per-query merged executions, in admission order.
+    pub executions: Vec<ClusterExecution>,
+    /// Pipelined wall clock: every shard drains the whole queue without
+    /// waiting for stragglers on other shards, so the batch finishes at
+    /// max-over-shards of the per-shard queue time (plus merges).
+    pub wall_time_ns: f64,
+    /// Reference wall clock if queries ran one at a time with a
+    /// cluster-wide barrier between them (sum of per-query maxima).
+    pub serial_time_ns: f64,
+}
+
+impl BatchExecution {
+    /// How much the pipelined schedule saves over per-query barriers.
+    pub fn pipelining_speedup(&self) -> f64 {
+        if self.wall_time_ns <= 0.0 {
+            return 1.0;
+        }
+        self.serial_time_ns / self.wall_time_ns
+    }
+}
+
+/// Outcome of a cluster-wide UPDATE fan-out.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterUpdateReport {
+    /// Records rewritten across all shards.
+    pub records_updated: u64,
+    /// Simulated wall clock (max over shards), nanoseconds.
+    pub time_ns: f64,
+    /// Total busy time summed over shards.
+    pub total_shard_time_ns: f64,
+    /// Total PIM energy over all modules, picojoules.
+    pub energy_pj: f64,
+    /// Full per-shard reports, in shard order.
+    pub per_shard: Vec<UpdateReport>,
+}
+
+impl ClusterEngine {
+    /// Partition `relation` with `partitioner` into `shards` slices and
+    /// build one [`PimQueryEngine`] (its own `PimModule`, same `cfg`)
+    /// per non-empty slice.
+    ///
+    /// Use [`SimConfig::per_module_of`] on `cfg` first for iso-capacity
+    /// scaling experiments; pass `cfg` unchanged to model a cluster of
+    /// full-size modules.
+    ///
+    /// # Errors
+    ///
+    /// Partitioning failures and per-shard engine construction
+    /// failures.
+    pub fn new(
+        cfg: SimConfig,
+        relation: Relation,
+        mode: EngineMode,
+        shards: usize,
+        partitioner: Partitioner,
+    ) -> Result<Self, ClusterError> {
+        let records = relation.len();
+        let parts = partitioner.split(&relation, shards)?;
+        let mut built = Vec::with_capacity(shards);
+        for (index, part) in parts.into_iter().enumerate() {
+            if part.is_empty() {
+                continue;
+            }
+            let engine = PimQueryEngine::new(cfg.clone(), part, mode)?;
+            built.push(Shard { index, engine });
+        }
+        Ok(ClusterEngine { shards: built, shard_count: shards, partitioner, mode, records })
+    }
+
+    /// Configured shard count (including empty shards).
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// Shards actually holding records.
+    pub fn active_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Configured indices of the shards that hold records (hash
+    /// partitioning can leave some of `0..shard_count` empty).
+    pub fn active_shard_indices(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.index).collect()
+    }
+
+    /// Records across the cluster.
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// The engine mode.
+    pub fn mode(&self) -> EngineMode {
+        self.mode
+    }
+
+    /// The partitioning strategy.
+    pub fn partitioner(&self) -> &Partitioner {
+        &self.partitioner
+    }
+
+    /// Borrow an active shard's engine (inspection in tests/benches);
+    /// `i` indexes active shards, not configured slots.
+    pub fn shard_engine(&self, i: usize) -> Option<&PimQueryEngine> {
+        self.shards.get(i).map(|s| &s.engine)
+    }
+
+    /// Run the GROUP-BY calibration once and share the fitted model
+    /// with every shard (all shards have identical hardware, so one
+    /// sweep suffices — this is `n`× cheaper than calibrating each).
+    ///
+    /// # Errors
+    ///
+    /// Propagates calibration failures.
+    pub fn calibrate(&mut self, cal: &CalibrationConfig) -> Result<(), ClusterError> {
+        let Some(first) = self.shards.first_mut() else {
+            return Ok(());
+        };
+        first.engine.calibrate(cal)?;
+        let model = first.engine.model().cloned().expect("calibrate() installs a model");
+        for shard in self.shards.iter_mut().skip(1) {
+            shard.engine.set_model(model.clone());
+        }
+        Ok(())
+    }
+
+    /// Run `f` on every shard engine concurrently (one OS thread per
+    /// shard — the scatter phase) and gather the results in shard
+    /// order. The first shard error aborts the cluster operation.
+    fn scatter<T, F>(&mut self, f: F) -> Result<Vec<T>, ClusterError>
+    where
+        T: Send,
+        F: Fn(&mut PimQueryEngine) -> Result<T, CoreError> + Sync,
+    {
+        let results: Vec<Result<T, CoreError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .map(|shard| {
+                    let f = &f;
+                    scope.spawn(move || f(&mut shard.engine))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
+        });
+        results.into_iter().map(|r| r.map_err(ClusterError::from)).collect()
+    }
+
+    /// Execute one query on all shards in parallel and merge the
+    /// per-shard partial aggregates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard failure.
+    pub fn run(&mut self, query: &Query) -> Result<ClusterExecution, ClusterError> {
+        let executions = self.scatter(|engine| engine.run(query))?;
+        let refs: Vec<&QueryExecution> = executions.iter().collect();
+        Ok(self.merge(query, &refs))
+    }
+
+    /// Admit a queue of queries: every shard drains the whole queue on
+    /// its own module without cluster-wide barriers between queries
+    /// (shard `a` may be on query 3 while shard `b` is still on query
+    /// 1), so the batch's wall clock is max-over-shards of the queue
+    /// time rather than the sum of per-query maxima.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard failure.
+    pub fn run_batch(&mut self, queries: &[Query]) -> Result<BatchExecution, ClusterError> {
+        let per_shard: Vec<Vec<QueryExecution>> = self.scatter(|engine| {
+            queries.iter().map(|q| engine.run(q)).collect::<Result<Vec<_>, _>>()
+        })?;
+
+        let mut executions = Vec::with_capacity(queries.len());
+        for (qi, query) in queries.iter().enumerate() {
+            let row: Vec<&QueryExecution> =
+                per_shard.iter().map(|shard_execs| &shard_execs[qi]).collect();
+            executions.push(self.merge(query, &row));
+        }
+
+        let queue_time = |shard_execs: &Vec<QueryExecution>| -> f64 {
+            shard_execs.iter().map(|e| e.report.time_ns).sum()
+        };
+        let merge_time: f64 = executions.iter().map(|e| e.report.merge_time_ns).sum();
+        let wall_time_ns = per_shard.iter().map(queue_time).fold(0.0, f64::max) + merge_time;
+        let serial_time_ns = executions.iter().map(|e| e.report.time_ns).sum();
+        Ok(BatchExecution { executions, wall_time_ns, serial_time_ns })
+    }
+
+    /// Fan an UPDATE out to every shard (each shard's filter selects
+    /// the records it owns; shards run concurrently).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard failure.
+    pub fn update(&mut self, op: &UpdateOp) -> Result<ClusterUpdateReport, ClusterError> {
+        let reports = self.scatter(|engine| engine.update(op))?;
+        let time_ns = reports.iter().map(|r| r.time_ns).fold(0.0, f64::max);
+        Ok(ClusterUpdateReport {
+            records_updated: reports.iter().map(|r| r.records_updated).sum(),
+            time_ns,
+            total_shard_time_ns: reports.iter().map(|r| r.time_ns).sum(),
+            energy_pj: reports.iter().map(|r| r.energy_pj).sum(),
+            per_shard: reports,
+        })
+    }
+
+    /// Gather: merge per-shard executions into one cluster execution.
+    fn merge(&self, query: &Query, executions: &[&QueryExecution]) -> ClusterExecution {
+        let mut partial = PartialGroups::new(query.agg_func);
+        let mut merged_entries = 0u64;
+        for exec in executions {
+            merged_entries += exec.groups.len() as u64;
+            partial.absorb(PartialGroups::from_execution(query.agg_func, exec));
+        }
+
+        // Host-side gather cost: the host folds every (shard, group)
+        // partial into the final table, at its hash-aggregation rate.
+        let merge_ns_per_entry = self
+            .shards
+            .first()
+            .map(|s| s.engine.config().host.host_agg_ns_per_record)
+            .unwrap_or(0.0);
+        let merge_time_ns = merged_entries as f64 * merge_ns_per_entry;
+
+        let shard_max = executions.iter().map(|e| e.report.time_ns).fold(0.0, f64::max);
+        let selected: u64 = executions.iter().map(|e| e.report.selected).sum();
+        let report = ClusterReport {
+            query_id: query.id.clone(),
+            mode: self.mode,
+            shards: self.shard_count,
+            active_shards: self.shards.len(),
+            partitioner: self.partitioner.label(),
+            time_ns: shard_max + merge_time_ns,
+            merge_time_ns,
+            total_shard_time_ns: executions.iter().map(|e| e.report.time_ns).sum(),
+            energy_pj: executions.iter().map(|e| e.report.energy_pj).sum(),
+            peak_chip_power_w: executions
+                .iter()
+                .map(|e| e.report.peak_chip_power_w)
+                .fold(0.0, f64::max),
+            records: self.records,
+            selected,
+            selectivity: if self.records == 0 {
+                0.0
+            } else {
+                selected as f64 / self.records as f64
+            },
+            max_shard_subgroups: executions
+                .iter()
+                .map(|e| e.report.total_subgroups)
+                .max()
+                .unwrap_or(0),
+            per_shard: executions.iter().map(|e| e.report.clone()).collect(),
+        };
+        ClusterExecution { groups: partial.into_groups(), report }
+    }
+}
+
+impl std::fmt::Debug for ClusterEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterEngine")
+            .field("shards", &self.shard_count)
+            .field("active", &self.shards.len())
+            .field("partitioner", &self.partitioner.label())
+            .field("mode", &self.mode)
+            .field("records", &self.records)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbpim_db::plan::{AggExpr, AggFunc, Atom};
+    use bbpim_db::schema::{Attribute, Schema};
+    use bbpim_db::stats;
+
+    fn relation(rows: u64) -> Relation {
+        let schema = Schema::new(
+            "t",
+            vec![
+                Attribute::numeric("lo_price", 8),
+                Attribute::numeric("lo_disc", 4),
+                Attribute::numeric("d_year", 3),
+                Attribute::numeric("d_brand", 5),
+            ],
+        );
+        let mut rel = Relation::new(schema);
+        for i in 0..rows {
+            rel.push_row(&[(3 * i + 1) % 251, i % 11, i % 7, (i * i) % 30]).unwrap();
+        }
+        rel
+    }
+
+    fn q1_like() -> Query {
+        Query {
+            id: "q1".into(),
+            filter: vec![
+                Atom::Eq { attr: "d_year".into(), value: 3u64.into() },
+                Atom::Between { attr: "lo_disc".into(), lo: 1u64.into(), hi: 3u64.into() },
+            ],
+            group_by: vec![],
+            agg_func: AggFunc::Sum,
+            agg_expr: AggExpr::Mul("lo_price".into(), "lo_disc".into()),
+        }
+    }
+
+    fn q2_like(func: AggFunc) -> Query {
+        Query {
+            id: "q2".into(),
+            filter: vec![Atom::Gt { attr: "lo_price".into(), value: 60u64.into() }],
+            group_by: vec!["d_year".into(), "d_brand".into()],
+            agg_func: func,
+            agg_expr: AggExpr::Attr("lo_price".into()),
+        }
+    }
+
+    fn cluster(shards: usize, p: Partitioner) -> ClusterEngine {
+        let mut c = ClusterEngine::new(
+            SimConfig::small_for_tests(),
+            relation(1500),
+            EngineMode::OneXb,
+            shards,
+            p,
+        )
+        .unwrap();
+        c.calibrate(&CalibrationConfig::tiny_for_tests()).unwrap();
+        c
+    }
+
+    #[test]
+    fn matches_oracle_both_partitioners_all_funcs() {
+        let rel = relation(1500);
+        for p in [
+            Partitioner::RoundRobin,
+            Partitioner::hash_by_group_keys(&["d_year".into(), "d_brand".into()]),
+        ] {
+            for func in [AggFunc::Sum, AggFunc::Min, AggFunc::Max] {
+                let q = q2_like(func);
+                let mut c = cluster(3, p.clone());
+                let out = c.run(&q).unwrap();
+                let oracle = stats::run_oracle(&q, &rel).unwrap();
+                assert_eq!(out.groups, oracle, "{} {func:?}", p.label());
+                assert_eq!(out.report.active_shards, 3);
+            }
+        }
+    }
+
+    #[test]
+    fn q1_style_partial_sums_merge() {
+        let rel = relation(1500);
+        let q = q1_like();
+        let mut c = cluster(4, Partitioner::RoundRobin);
+        let out = c.run(&q).unwrap();
+        assert_eq!(out.groups, stats::run_oracle(&q, &rel).unwrap());
+        assert_eq!(out.report.selected, out.report.per_shard.iter().map(|r| r.selected).sum());
+    }
+
+    #[test]
+    fn wall_clock_is_max_plus_merge_energy_is_sum() {
+        let mut c = cluster(3, Partitioner::RoundRobin);
+        let out = c.run(&q2_like(AggFunc::Sum)).unwrap();
+        let max = out.report.per_shard.iter().map(|r| r.time_ns).fold(0.0, f64::max);
+        let sum_t: f64 = out.report.per_shard.iter().map(|r| r.time_ns).sum();
+        let sum_e: f64 = out.report.per_shard.iter().map(|r| r.energy_pj).sum();
+        assert!((out.report.time_ns - (max + out.report.merge_time_ns)).abs() < 1e-9);
+        assert!((out.report.total_shard_time_ns - sum_t).abs() < 1e-9);
+        assert!((out.report.energy_pj - sum_e).abs() < 1e-9);
+        assert!(out.report.merge_time_ns > 0.0);
+        assert!(out.report.time_ns < sum_t, "parallel shards must beat serial execution");
+    }
+
+    #[test]
+    fn empty_shards_are_skipped_but_counted() {
+        // 7 hash shards over a key with few distinct values: some
+        // shards receive nothing and must not break execution.
+        let rel = relation(200);
+        let q = q2_like(AggFunc::Sum);
+        let mut c = ClusterEngine::new(
+            SimConfig::small_for_tests(),
+            rel.clone(),
+            EngineMode::OneXb,
+            7,
+            Partitioner::hash_by_group_keys(&["d_year".into()]),
+        )
+        .unwrap();
+        c.calibrate(&CalibrationConfig::tiny_for_tests()).unwrap();
+        assert!(c.active_shards() <= 7);
+        assert_eq!(c.shard_count(), 7);
+        let indices = c.active_shard_indices();
+        assert_eq!(indices.len(), c.active_shards());
+        assert!(indices.iter().all(|&i| i < 7));
+        let out = c.run(&q).unwrap();
+        assert_eq!(out.groups, stats::run_oracle(&q, &rel).unwrap());
+        assert_eq!(out.report.shards, 7);
+    }
+
+    #[test]
+    fn update_fans_out_to_every_shard() {
+        let rel = relation(1500);
+        let op = UpdateOp {
+            filter: vec![Atom::Eq { attr: "d_year".into(), value: 3u64.into() }],
+            set_attr: "d_brand".into(),
+            set_value: 29u64.into(),
+        };
+        let mut c = cluster(4, Partitioner::RoundRobin);
+        let rep = c.update(&op).unwrap();
+        // reference: host-side rewrite of the unsharded relation
+        let mut reference = rel.clone();
+        let (b, y) = (
+            reference.schema().index_of("d_brand").unwrap(),
+            reference.schema().index_of("d_year").unwrap(),
+        );
+        let mut expected = 0u64;
+        for row in 0..reference.len() {
+            if reference.value(row, y) == 3 {
+                reference.set_value(row, b, 29).unwrap();
+                expected += 1;
+            }
+        }
+        assert_eq!(rep.records_updated, expected);
+        assert!(rep.time_ns < rep.total_shard_time_ns);
+        // post-update queries reflect the write on every shard
+        let q = q2_like(AggFunc::Sum);
+        let out = c.run(&q).unwrap();
+        assert_eq!(out.groups, stats::run_oracle(&q, &reference).unwrap());
+    }
+
+    #[test]
+    fn batch_pipelines_across_shards() {
+        let mut c = cluster(3, Partitioner::RoundRobin);
+        let queries = vec![q1_like(), q2_like(AggFunc::Sum), q2_like(AggFunc::Max)];
+        let batch = c.run_batch(&queries).unwrap();
+        assert_eq!(batch.executions.len(), 3);
+        // pipelined wall clock can never exceed the barrier schedule
+        assert!(batch.wall_time_ns <= batch.serial_time_ns + 1e-9);
+        assert!(batch.pipelining_speedup() >= 1.0);
+        // answers identical to one-at-a-time runs
+        let rel = relation(1500);
+        for (q, e) in queries.iter().zip(&batch.executions) {
+            assert_eq!(e.groups, stats::run_oracle(q, &rel).unwrap(), "{}", q.id);
+        }
+    }
+
+    #[test]
+    fn single_shard_cluster_equals_single_engine() {
+        let rel = relation(900);
+        let q = q2_like(AggFunc::Sum);
+        let mut single =
+            PimQueryEngine::new(SimConfig::small_for_tests(), rel.clone(), EngineMode::OneXb)
+                .unwrap();
+        single.calibrate(&CalibrationConfig::tiny_for_tests()).unwrap();
+        let s = single.run(&q).unwrap();
+        let mut c = ClusterEngine::new(
+            SimConfig::small_for_tests(),
+            rel,
+            EngineMode::OneXb,
+            1,
+            Partitioner::RoundRobin,
+        )
+        .unwrap();
+        c.calibrate(&CalibrationConfig::tiny_for_tests()).unwrap();
+        let out = c.run(&q).unwrap();
+        assert_eq!(out.groups, s.groups);
+        // one shard: wall clock is that shard plus the merge pass
+        assert!((out.report.time_ns - out.report.merge_time_ns - s.report.time_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn group_by_needs_calibration_like_single_engine() {
+        let mut c = ClusterEngine::new(
+            SimConfig::small_for_tests(),
+            relation(300),
+            EngineMode::OneXb,
+            2,
+            Partitioner::RoundRobin,
+        )
+        .unwrap();
+        assert!(matches!(
+            c.run(&q2_like(AggFunc::Sum)),
+            Err(ClusterError::Core(CoreError::NotCalibrated))
+        ));
+        // Q1-style works uncalibrated
+        assert!(c.run(&q1_like()).is_ok());
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for the cluster layer.
+
+use std::error::Error;
+use std::fmt;
+
+use bbpim_core::CoreError;
+use bbpim_db::DbError;
+
+/// Errors produced by the sharded execution layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// A shard's engine failed.
+    Core(CoreError),
+    /// Relational-layer failure (partitioning, key resolution…).
+    Db(DbError),
+    /// The cluster was configured inconsistently (zero shards, unknown
+    /// partition key…).
+    InvalidCluster(String),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Core(e) => write!(f, "shard engine: {e}"),
+            ClusterError::Db(e) => write!(f, "database: {e}"),
+            ClusterError::InvalidCluster(msg) => write!(f, "invalid cluster: {msg}"),
+        }
+    }
+}
+
+impl Error for ClusterError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ClusterError::Core(e) => Some(e),
+            ClusterError::Db(e) => Some(e),
+            ClusterError::InvalidCluster(_) => None,
+        }
+    }
+}
+
+impl From<CoreError> for ClusterError {
+    fn from(e: CoreError) -> Self {
+        ClusterError::Core(e)
+    }
+}
+
+impl From<DbError> for ClusterError {
+    fn from(e: DbError) -> Self {
+        ClusterError::Db(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_substrate_errors() {
+        let e: ClusterError = CoreError::NotCalibrated.into();
+        assert!(e.to_string().contains("shard engine"));
+        assert!(e.source().is_some());
+        let e: ClusterError = DbError::ArityMismatch { got: 1, expected: 2 }.into();
+        assert!(e.to_string().contains("database"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Error + Send + Sync>() {}
+        check::<ClusterError>();
+    }
+}

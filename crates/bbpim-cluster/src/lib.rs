@@ -1,0 +1,47 @@
+//! # bbpim-cluster — sharded multi-module PIM execution
+//!
+//! The paper evaluates a single 32 GB PIM module, but its memory
+//! system is explicitly built from many independent modules, and
+//! bulk-bitwise PIM throughput comes from exploiting that module-level
+//! parallelism. This crate scales the single-module
+//! [`bbpim_core::PimQueryEngine`] horizontally:
+//!
+//! * [`partition::Partitioner`] — round-robin and hash-by-group-key
+//!   horizontal partitioning of the wide pre-joined relation into `n`
+//!   record-range shards.
+//! * [`engine::ClusterEngine`] — one `PimQueryEngine` (its own
+//!   `PimModule`) per shard; `run(&Query)` scatters the query to all
+//!   shards on scoped OS threads, gathers the per-shard
+//!   [`bbpim_core::result::PartialGroups`], and merges them — wrapping
+//!   SUM addition, MIN/MAX folding, and map union for GROUP BY — into
+//!   an answer bit-identical to the single-module engine's. Simulated
+//!   wall clock follows a max-of-shards model (real modules run
+//!   concurrently); energy sums over modules.
+//! * [`engine::ClusterEngine::run_batch`] — a small batch scheduler:
+//!   every shard drains the query queue without cluster-wide barriers,
+//!   so batch wall clock is max-over-shards of queue time.
+//! * [`engine::ClusterEngine::update`] — cluster-wide UPDATE fan-out;
+//!   each shard's PIM multiplexer rewrites the records it owns.
+//!
+//! ```
+//! use bbpim_cluster::{ClusterEngine, Partitioner};
+//! use bbpim_core::modes::EngineMode;
+//! use bbpim_db::ssb::{queries, SsbDb, SsbParams};
+//! use bbpim_sim::SimConfig;
+//!
+//! let wide = SsbDb::generate(&SsbParams::tiny_for_tests()).prejoin();
+//! let mut cluster = ClusterEngine::new(
+//!     SimConfig::default(), wide, EngineMode::OneXb, 4, Partitioner::RoundRobin)?;
+//! let q = queries::standard_query("Q1.1").unwrap();
+//! let out = cluster.run(&q)?;
+//! println!("{} on {} shards in {:.3} ms", q.id, out.report.shards, out.report.time_ns / 1e6);
+//! # Ok::<(), bbpim_cluster::ClusterError>(())
+//! ```
+
+pub mod engine;
+pub mod error;
+pub mod partition;
+
+pub use engine::{BatchExecution, ClusterEngine, ClusterExecution, ClusterReport};
+pub use error::ClusterError;
+pub use partition::Partitioner;

@@ -1,0 +1,169 @@
+//! Horizontal partitioning strategies for the cluster layer.
+//!
+//! A [`Partitioner`] maps every record of the wide pre-joined relation
+//! to one of `n` shards. Two strategies are provided:
+//!
+//! * [`Partitioner::RoundRobin`] — record *i* goes to shard `i % n`.
+//!   Shard sizes are balanced to within one record regardless of data
+//!   distribution, but every GROUP BY subgroup is spread over all
+//!   shards, so the gather phase merges `n` partials per subgroup.
+//! * [`Partitioner::HashByKey`] — records hash by the values of a set
+//!   of attributes (typically the GROUP BY keys). All records of one
+//!   subgroup land on one shard, making the merge a disjoint map union
+//!   and keeping each shard's subgroup count — the `k` of the paper's
+//!   Eq. (3) decision — `n`× smaller. Skewed keys can unbalance
+//!   shards, which the max-of-shards wall-clock model makes visible.
+
+use bbpim_db::relation::Relation;
+
+use crate::error::ClusterError;
+
+/// How records are assigned to shards.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Partitioner {
+    /// Record `i` → shard `i % n`.
+    RoundRobin,
+    /// Records hash on the named attributes' values (FNV-1a) → shard.
+    HashByKey(Vec<String>),
+}
+
+/// FNV-1a over a record's key attribute values: stable across runs and
+/// platforms, so shard assignment is deterministic.
+fn fnv1a(values: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for v in values {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+impl Partitioner {
+    /// A hash partitioner over a query's GROUP BY attributes.
+    pub fn hash_by_group_keys(keys: &[String]) -> Self {
+        Partitioner::HashByKey(keys.to_vec())
+    }
+
+    /// The shard each record of `rel` is assigned to, for `n` shards.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::InvalidCluster`] for zero shards or an empty
+    /// hash-key list; [`ClusterError::Db`] for unknown key attributes.
+    pub fn assignments(&self, rel: &Relation, n: usize) -> Result<Vec<usize>, ClusterError> {
+        if n == 0 {
+            return Err(ClusterError::InvalidCluster("cluster needs at least one shard".into()));
+        }
+        match self {
+            Partitioner::RoundRobin => Ok((0..rel.len()).map(|row| row % n).collect()),
+            Partitioner::HashByKey(keys) => {
+                if keys.is_empty() {
+                    return Err(ClusterError::InvalidCluster(
+                        "hash partitioner needs at least one key attribute".into(),
+                    ));
+                }
+                let idx: Vec<usize> = keys
+                    .iter()
+                    .map(|k| rel.schema().index_of(k))
+                    .collect::<Result<_, _>>()
+                    .map_err(ClusterError::Db)?;
+                Ok((0..rel.len())
+                    .map(|row| (fnv1a(idx.iter().map(|&i| rel.value(row, i))) % n as u64) as usize)
+                    .collect())
+            }
+        }
+    }
+
+    /// Split `rel` into `n` shard relations (empty shards allowed).
+    ///
+    /// # Errors
+    ///
+    /// See [`Partitioner::assignments`].
+    pub fn split(&self, rel: &Relation, n: usize) -> Result<Vec<Relation>, ClusterError> {
+        let assign = self.assignments(rel, n)?;
+        rel.partition_by(n, |row| assign[row]).map_err(ClusterError::Db)
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Partitioner::RoundRobin => "round-robin",
+            Partitioner::HashByKey(_) => "hash-by-key",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbpim_db::schema::{Attribute, Schema};
+
+    fn rel(rows: u64) -> Relation {
+        let schema =
+            Schema::new("t", vec![Attribute::numeric("lo_v", 8), Attribute::numeric("d_g", 4)]);
+        let mut r = Relation::new(schema);
+        for i in 0..rows {
+            r.push_row(&[i % 256, i % 13]).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn round_robin_balances_within_one() {
+        let r = rel(101);
+        let parts = Partitioner::RoundRobin.split(&r, 4).unwrap();
+        let sizes: Vec<usize> = parts.iter().map(Relation::len).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 101);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn hash_by_key_keeps_groups_together() {
+        let r = rel(300);
+        let p = Partitioner::hash_by_group_keys(&["d_g".to_string()]);
+        let assign = p.assignments(&r, 4).unwrap();
+        let g = r.schema().index_of("d_g").unwrap();
+        // every record with the same key value must share a shard
+        let mut seen = std::collections::BTreeMap::new();
+        for (row, &shard) in assign.iter().enumerate() {
+            let key = r.value(row, g);
+            assert_eq!(*seen.entry(key).or_insert(shard), shard, "key {key}");
+        }
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        let r = rel(64);
+        let p = Partitioner::HashByKey(vec!["d_g".into()]);
+        assert_eq!(p.assignments(&r, 7).unwrap(), p.assignments(&r, 7).unwrap());
+    }
+
+    #[test]
+    fn bad_configurations_are_rejected() {
+        let r = rel(10);
+        assert!(matches!(
+            Partitioner::RoundRobin.assignments(&r, 0),
+            Err(ClusterError::InvalidCluster(_))
+        ));
+        assert!(matches!(
+            Partitioner::HashByKey(vec![]).assignments(&r, 2),
+            Err(ClusterError::InvalidCluster(_))
+        ));
+        assert!(matches!(
+            Partitioner::HashByKey(vec!["nope".into()]).assignments(&r, 2),
+            Err(ClusterError::Db(_))
+        ));
+    }
+
+    #[test]
+    fn one_shard_is_identity() {
+        let r = rel(50);
+        for p in [Partitioner::RoundRobin, Partitioner::HashByKey(vec!["d_g".into()])] {
+            let parts = p.split(&r, 1).unwrap();
+            assert_eq!(parts.len(), 1);
+            assert_eq!(parts[0], r);
+        }
+    }
+}

@@ -110,9 +110,15 @@ pub fn materialize_expr(
 
 /// Result-slot width for a reduction: the value width plus carry room
 /// for `rows` addends, clamped to the slot.
-pub fn partial_width(layout: &RecordLayout, partition: usize, value: ColRange, rows: usize) -> ColRange {
+pub fn partial_width(
+    layout: &RecordLayout,
+    partition: usize,
+    value: ColRange,
+    rows: usize,
+) -> ColRange {
     let slot = layout.result_slot(partition);
-    let need = (value.width + (usize::BITS - (rows - 1).leading_zeros()) as usize).min(slot.width).min(64);
+    let need =
+        (value.width + (usize::BITS - (rows - 1).leading_zeros()) as usize).min(slot.width).min(64);
     ColRange::new(slot.lo, need)
 }
 
@@ -144,13 +150,7 @@ pub fn aggregate_masked(
 ) -> Result<u64, CoreError> {
     let rows = module.config().crossbar_rows;
     let dst = partial_width(layout, input.partition, input.value, rows);
-    let req = AggRequest {
-        op: reduce_op(func),
-        value: input.value,
-        mask_col,
-        dst_row: 0,
-        dst,
-    };
+    let req = AggRequest { op: reduce_op(func), value: input.value, mask_col, dst_row: 0, dst };
     let pages = loaded.pages(input.partition).to_vec();
     let (partials, phase) = if mode.uses_agg_circuit() {
         module.agg_circuit(&pages, &req)?
@@ -325,16 +325,18 @@ mod tests {
             )
             .unwrap();
             let total = aggregate_masked(
-                &mut module, &layout, &loaded, mode, &input, MASK_COL, AggFunc::Sum, &mut log,
+                &mut module,
+                &layout,
+                &loaded,
+                mode,
+                &input,
+                MASK_COL,
+                AggFunc::Sum,
+                &mut log,
             )
             .unwrap();
-            let expected: u64 = rel
-                .column_by_name("lo_price")
-                .unwrap()
-                .values()
-                .iter()
-                .filter(|v| **v < 100)
-                .sum();
+            let expected: u64 =
+                rel.column_by_name("lo_price").unwrap().values().iter().filter(|v| **v < 100).sum();
             assert_eq!(total, expected, "{mode:?}");
         }
     }
@@ -345,8 +347,7 @@ mod tests {
         let mut log = RunLog::new();
         filter_all(&mut module, &rel, &layout, &loaded, vec![], &mut log);
         let expr = AggExpr::Mul("lo_price".into(), "lo_disc".into());
-        let input =
-            materialize_expr(&mut module, &layout, &loaded, &expr, &mut log).unwrap();
+        let input = materialize_expr(&mut module, &layout, &loaded, &expr, &mut log).unwrap();
         assert_eq!(input.value.width, 12);
         let total = aggregate_masked(
             &mut module,
@@ -359,8 +360,7 @@ mod tests {
             &mut log,
         )
         .unwrap();
-        let expected: u64 =
-            (0..rel.len()).map(|r| rel.value(r, 0) * rel.value(r, 1)).sum();
+        let expected: u64 = (0..rel.len()).map(|r| rel.value(r, 0) * rel.value(r, 1)).sum();
         assert_eq!(total, expected);
     }
 
@@ -379,8 +379,7 @@ mod tests {
             &mut log,
         );
         let expr = AggExpr::Sub("lo_price".into(), "lo_disc".into());
-        let input =
-            materialize_expr(&mut module, &layout, &loaded, &expr, &mut log).unwrap();
+        let input = materialize_expr(&mut module, &layout, &loaded, &expr, &mut log).unwrap();
         let total = aggregate_masked(
             &mut module,
             &layout,
@@ -413,12 +412,24 @@ mod tests {
         )
         .unwrap();
         let min = aggregate_masked(
-            &mut module, &layout, &loaded, EngineMode::OneXb, &input, MASK_COL, AggFunc::Min,
+            &mut module,
+            &layout,
+            &loaded,
+            EngineMode::OneXb,
+            &input,
+            MASK_COL,
+            AggFunc::Min,
             &mut log,
         )
         .unwrap();
         let max = aggregate_masked(
-            &mut module, &layout, &loaded, EngineMode::OneXb, &input, MASK_COL, AggFunc::Max,
+            &mut module,
+            &layout,
+            &loaded,
+            EngineMode::OneXb,
+            &input,
+            MASK_COL,
+            AggFunc::Max,
             &mut log,
         )
         .unwrap();
@@ -442,11 +453,25 @@ mod tests {
         let mut a1 = RunLog::new();
         let mut a2 = RunLog::new();
         let v1 = aggregate_masked(
-            &mut m1, &l1, &ld1, EngineMode::OneXb, &i1, MASK_COL, AggFunc::Sum, &mut a1,
+            &mut m1,
+            &l1,
+            &ld1,
+            EngineMode::OneXb,
+            &i1,
+            MASK_COL,
+            AggFunc::Sum,
+            &mut a1,
         )
         .unwrap();
         let v2 = aggregate_masked(
-            &mut m2, &l2, &ld2, EngineMode::PimDb, &i2, MASK_COL, AggFunc::Sum, &mut a2,
+            &mut m2,
+            &l2,
+            &ld2,
+            EngineMode::PimDb,
+            &i2,
+            MASK_COL,
+            AggFunc::Sum,
+            &mut a2,
         )
         .unwrap();
         assert_eq!(v1, v2);
@@ -459,8 +484,7 @@ mod tests {
         let (mut module, _rel, layout, loaded) = setup(EngineMode::OneXb);
         let mut log = RunLog::new();
         let expr = AggExpr::Mul("lo_price".into(), "lo_disc".into());
-        let input =
-            materialize_expr(&mut module, &layout, &loaded, &expr, &mut log).unwrap();
+        let input = materialize_expr(&mut module, &layout, &loaded, &expr, &mut log).unwrap();
         // A follow-up mask program must compile inside the remaining
         // scratch without touching the materialised product.
         let prog = crate::filter_exec::build_mask_program_in(

@@ -421,12 +421,17 @@ mod tests {
             rel.schema(),
             &cfg,
             2,
-            |name| if name.starts_with("lo_") || name == "d_brand" { 0 } else { 1 },
+            |name| {
+                if name.starts_with("lo_") || name == "d_brand" {
+                    0
+                } else {
+                    1
+                }
+            },
             &[],
         )
         .unwrap();
-        let mut e =
-            PimQueryEngine::with_layout(cfg, rel, EngineMode::TwoXb, layout).unwrap();
+        let mut e = PimQueryEngine::with_layout(cfg, rel, EngineMode::TwoXb, layout).unwrap();
         e.calibrate(&CalibrationConfig::tiny_for_tests()).unwrap();
         let q = Query {
             id: "t".into(),

@@ -107,11 +107,7 @@ pub fn count_mask_bits(module: &PimModule, pages: &[PageId], col: usize) -> u64 
     pages
         .iter()
         .map(|&p| {
-            module
-                .page(p)
-                .crossbars()
-                .map(|xb| xb.bits().popcount_col(col) as u64)
-                .sum::<u64>()
+            module.page(p).crossbars().map(|xb| xb.bits().popcount_col(col) as u64).sum::<u64>()
         })
         .sum()
 }
@@ -253,10 +249,8 @@ mod tests {
 
     fn setup(mode: EngineMode) -> (PimModule, Relation, RecordLayout, LoadedRelation) {
         let cfg = SimConfig::small_for_tests();
-        let schema = Schema::new(
-            "t",
-            vec![Attribute::numeric("lo_v", 8), Attribute::numeric("d_g", 4)],
-        );
+        let schema =
+            Schema::new("t", vec![Attribute::numeric("lo_v", 8), Attribute::numeric("d_g", 4)]);
         let mut rel = Relation::new(schema);
         for i in 0..600u64 {
             rel.push_row(&[i % 200, i % 10]).unwrap();
@@ -267,7 +261,11 @@ mod tests {
         (module, rel, layout, loaded)
     }
 
-    fn resolved(query: &Query, rel: &Relation, layout: &RecordLayout) -> Vec<(ResolvedAtom, crate::layout::AttrPlacement)> {
+    fn resolved(
+        query: &Query,
+        rel: &Relation,
+        layout: &RecordLayout,
+    ) -> Vec<(ResolvedAtom, crate::layout::AttrPlacement)> {
         query
             .resolve_filter(rel.schema())
             .unwrap()

@@ -141,7 +141,10 @@ pub fn run_calibration(
     mode: EngineMode,
     cal: &CalibrationConfig,
 ) -> Result<(CalibrationData, GroupByModel), CoreError> {
-    if cal.ms.len() < 2 || cal.r_values.len() < 2 || cal.s_values.is_empty() || cal.n_values.is_empty()
+    if cal.ms.len() < 2
+        || cal.r_values.len() < 2
+        || cal.s_values.is_empty()
+        || cal.n_values.is_empty()
     {
         return Err(CoreError::Unsupported(
             "calibration needs at least two page counts, two r values, and non-empty s/n grids"
@@ -192,17 +195,12 @@ pub fn run_calibration(
     }
     let mut per_n = BTreeMap::new();
     for &n in &cal.n_values {
-        let pts: Vec<(f64, f64)> = data
-            .pim_points
-            .iter()
-            .filter(|p| p.n == n)
-            .map(|p| (p.m as f64, p.time_ns))
-            .collect();
+        let pts: Vec<(f64, f64)> =
+            data.pim_points.iter().filter(|p| p.n == n).map(|p| (p.m as f64, p.time_ns)).collect();
         per_n.insert(n, fit_linear(&pts));
     }
 
-    let model =
-        GroupByModel { host: HostGbModel::new(per_s), pim: PimGbModel::new(per_n) };
+    let model = GroupByModel { host: HostGbModel::new(per_s), pim: PimGbModel::new(per_n) };
     Ok((data, model))
 }
 
@@ -217,10 +215,7 @@ fn measure_pim_point(
 ) -> Result<f64, CoreError> {
     let schema = Schema::new(
         "cal",
-        vec![
-            Attribute::numeric("lo_value", value_bits),
-            Attribute::numeric("d_key", 10),
-        ],
+        vec![Attribute::numeric("lo_value", value_bits), Attribute::numeric("d_key", 10)],
     );
     let records = m * cfg.records_per_page();
     let mut rel = Relation::with_capacity(schema, records);
@@ -271,10 +266,7 @@ mod tests {
     fn calibration_produces_full_grids() {
         let cal = CalibrationConfig::tiny_for_tests();
         let (data, model) = run_calibration(&cfg(), EngineMode::OneXb, &cal).unwrap();
-        assert_eq!(
-            data.host_points.len(),
-            cal.ms.len() * cal.s_values.len() * cal.r_values.len()
-        );
+        assert_eq!(data.host_points.len(), cal.ms.len() * cal.s_values.len() * cal.r_values.len());
         assert_eq!(data.pim_points.len(), cal.ms.len() * cal.n_values.len());
         assert_eq!(model.host.s_values().count(), cal.s_values.len());
         assert_eq!(model.pim.n_values().count(), cal.n_values.len());

@@ -35,10 +35,7 @@ impl HostGbModel {
     /// The fit for an `s` (nearest fitted value — `s` is discrete but a
     /// query may need an `s` outside the calibration grid).
     pub fn fit_for(&self, s: usize) -> Option<&SqrtFit> {
-        self.per_s
-            .iter()
-            .min_by_key(|(k, _)| k.abs_diff(s))
-            .map(|(_, f)| f)
+        self.per_s.iter().min_by_key(|(k, _)| k.abs_diff(s)).map(|(_, f)| f)
     }
 
     /// Eq. (1), nanoseconds.
@@ -71,10 +68,7 @@ impl PimGbModel {
 
     /// The fit for an `n` (nearest fitted value).
     pub fn fit_for(&self, n: usize) -> Option<&LinFit> {
-        self.per_n
-            .iter()
-            .min_by_key(|(k, _)| k.abs_diff(n))
-            .map(|(_, f)| f)
+        self.per_n.iter().min_by_key(|(k, _)| k.abs_diff(n)).map(|(_, f)| f)
     }
 
     /// Eq. (2), nanoseconds.
@@ -116,8 +110,7 @@ impl GroupByModel {
     /// `k` largest subgroups go to PIM.
     pub fn total_time_ns(&self, p: &GbParams, k: usize, r_k: f64) -> f64 {
         let pim = k as f64 * self.pim.time_ns(p.m, p.n);
-        let host =
-            if k >= p.kmax { 0.0 } else { self.host.time_ns(p.m, p.s, r_k) };
+        let host = if k >= p.kmax { 0.0 } else { self.host.time_ns(p.m, p.s, r_k) };
         pim + host
     }
 

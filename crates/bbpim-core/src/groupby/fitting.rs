@@ -63,8 +63,7 @@ pub fn least_squares(points: &[(f64, f64)]) -> (f64, f64, f64) {
     let intercept = (sy - slope * sx) / n;
     let mean_y = sy / n;
     let ss_tot: f64 = points.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
-    let ss_res: f64 =
-        points.iter().map(|(x, y)| (y - (slope * x + intercept)).powi(2)).sum();
+    let ss_res: f64 = points.iter().map(|(x, y)| (y - (slope * x + intercept)).powi(2)).sum();
     let r2 = if ss_tot <= 1e-12 { 1.0 } else { 1.0 - ss_res / ss_tot };
     (slope, intercept, r2)
 }

@@ -92,12 +92,8 @@ pub fn run_host_gb(
     log.push(module.host_read_phase(mask_read_lines(module, loaded.pages(0))));
 
     // 2. Which chunks must be read per record: group keys + operands.
-    let read_attrs: Vec<&str> = req
-        .group_placements
-        .iter()
-        .map(|(n, _)| n.as_str())
-        .chain(req.expr.attrs())
-        .collect();
+    let read_attrs: Vec<&str> =
+        req.group_placements.iter().map(|(n, _)| n.as_str()).chain(req.expr.attrs()).collect();
     let chunk_map = layout.chunks_for(read_attrs.iter().copied())?;
 
     // 3. Exact unique-line accounting over the selected records.
@@ -152,9 +148,7 @@ pub fn run_host_gb(
             .or_insert(v);
     }
     let per_record = cfg.host.host_agg_ns_per_record / cfg.host.threads as f64;
-    log.push(Phase::host_compute(
-        mask.iter().filter(|m| **m).count() as f64 * per_record,
-    ));
+    log.push(Phase::host_compute(mask.iter().filter(|m| **m).count() as f64 * per_record));
     Ok(out)
 }
 

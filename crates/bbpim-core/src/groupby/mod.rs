@@ -70,10 +70,7 @@ pub fn plan_n(
             let pa = layout.placement(a)?;
             let pb = layout.placement(b)?;
             let scratch = layout.scratch(pa.partition);
-            bbpim_sim::compiler::ColRange::new(
-                scratch.lo,
-                pa.range.width.max(pb.range.width),
-            )
+            bbpim_sim::compiler::ColRange::new(scratch.lo, pa.range.width.max(pb.range.width))
         }
     };
     Ok(reads_per_value(cfg.read_width_bits, range))
@@ -110,8 +107,7 @@ pub fn run_group_by(
     // 2. Candidate ordering: sampled keys by size, then unseen potential
     //    keys from the catalog.
     let domains = stats::group_domains(query, relation)?;
-    let kmax: usize =
-        domains.iter().fold(1usize, |acc, d| acc.saturating_mul(d.len().max(1)));
+    let kmax: usize = domains.iter().fold(1usize, |acc, d| acc.saturating_mul(d.len().max(1)));
     let mut candidates: Vec<Vec<u64>> = estimate.groups.iter().map(|(k, _)| k.clone()).collect();
     let sampled_set: HashSet<Vec<u64>> = candidates.iter().cloned().collect();
     for key in cross_product(&domains) {
@@ -136,8 +132,7 @@ pub fn run_group_by(
     let mut groups = GroupedResult::new();
     let mut skip: HashSet<Vec<u64>> = HashSet::new();
     if k > 0 {
-        let input: AggInput =
-            materialize_expr(module, layout, loaded, &query.agg_expr, log)?;
+        let input: AggInput = materialize_expr(module, layout, loaded, &query.agg_expr, log)?;
         let keys: Vec<Vec<u64>> = candidates[..k].to_vec();
         let entries = pim_gb::run_pim_gb(
             module,
@@ -209,10 +204,8 @@ mod tests {
         mode: EngineMode,
     ) -> (PimModule, Relation, RecordLayout, LoadedRelation, Query, GroupByModel) {
         let cfg = SimConfig::small_for_tests();
-        let schema = Schema::new(
-            "t",
-            vec![Attribute::numeric("lo_v", 8), Attribute::numeric("d_g", 4)],
-        );
+        let schema =
+            Schema::new("t", vec![Attribute::numeric("lo_v", 8), Attribute::numeric("d_g", 4)]);
         let mut rel = Relation::new(schema);
         // Zipf-ish groups: group 0 huge, tail small.
         for i in 0..2000u64 {
@@ -243,8 +236,7 @@ mod tests {
             .collect();
         let mut log = RunLog::new();
         run_filter(&mut module, &layout, &loaded, &atoms, &mut log).unwrap();
-        let (_, model) =
-            run_calibration(&cfg, mode, &CalibrationConfig::tiny_for_tests()).unwrap();
+        let (_, model) = run_calibration(&cfg, mode, &CalibrationConfig::tiny_for_tests()).unwrap();
         (module, rel, layout, loaded, q, model)
     }
 
@@ -253,10 +245,8 @@ mod tests {
         for mode in [EngineMode::OneXb, EngineMode::TwoXb, EngineMode::PimDb] {
             let (mut module, rel, layout, loaded, q, model) = setup(mode);
             let mut log = RunLog::new();
-            let out = run_group_by(
-                &mut module, &layout, &loaded, &rel, mode, &q, &model, &mut log,
-            )
-            .unwrap();
+            let out = run_group_by(&mut module, &layout, &loaded, &rel, mode, &q, &model, &mut log)
+                .unwrap();
             let expected = stats::run_oracle(&q, &rel).unwrap();
             assert_eq!(out.groups, expected, "{mode:?} (k={})", out.k);
             assert!(out.kmax >= out.groups.len());
@@ -275,12 +265,19 @@ mod tests {
         per_s.insert(2, SqrtFit { a: 1e12, b: 1e12, r2: 1.0 });
         let mut per_n = BTreeMap::new();
         per_n.insert(1, LinFit { slope: 0.0, intercept: 1.0, r2: 1.0 });
-        let model =
-            GroupByModel { host: HostGbModel::new(per_s), pim: PimGbModel::new(per_n) };
+        let model = GroupByModel { host: HostGbModel::new(per_s), pim: PimGbModel::new(per_n) };
         let mut log = RunLog::new();
-        let out =
-            run_group_by(&mut module, &layout, &loaded, &rel, EngineMode::OneXb, &q, &model, &mut log)
-                .unwrap();
+        let out = run_group_by(
+            &mut module,
+            &layout,
+            &loaded,
+            &rel,
+            EngineMode::OneXb,
+            &q,
+            &model,
+            &mut log,
+        )
+        .unwrap();
         assert_eq!(out.k, out.kmax, "everything must go to PIM");
         assert_eq!(out.groups, stats::run_oracle(&q, &rel).unwrap());
     }
@@ -295,12 +292,19 @@ mod tests {
         per_s.insert(2, SqrtFit { a: 1.0, b: 1.0, r2: 1.0 });
         let mut per_n = BTreeMap::new();
         per_n.insert(1, LinFit { slope: 0.0, intercept: 1e12, r2: 1.0 });
-        let model =
-            GroupByModel { host: HostGbModel::new(per_s), pim: PimGbModel::new(per_n) };
+        let model = GroupByModel { host: HostGbModel::new(per_s), pim: PimGbModel::new(per_n) };
         let mut log = RunLog::new();
-        let out =
-            run_group_by(&mut module, &layout, &loaded, &rel, EngineMode::OneXb, &q, &model, &mut log)
-                .unwrap();
+        let out = run_group_by(
+            &mut module,
+            &layout,
+            &loaded,
+            &rel,
+            EngineMode::OneXb,
+            &q,
+            &model,
+            &mut log,
+        )
+        .unwrap();
         assert_eq!(out.k, 0);
         assert_eq!(out.groups, stats::run_oracle(&q, &rel).unwrap());
     }
@@ -309,10 +313,7 @@ mod tests {
     fn cross_product_enumerates_in_order() {
         let d = vec![vec![1u64, 2], vec![10u64, 20]];
         let keys = cross_product(&d);
-        assert_eq!(
-            keys,
-            vec![vec![1, 10], vec![1, 20], vec![2, 10], vec![2, 20]]
-        );
+        assert_eq!(keys, vec![vec![1, 10], vec![1, 20], vec![2, 10], vec![2, 20]]);
         assert!(cross_product(&[]).is_empty());
     }
 
@@ -329,9 +330,17 @@ mod tests {
             .collect();
         let mut log = RunLog::new();
         run_filter(&mut module, &layout, &loaded, &atoms, &mut log).unwrap();
-        let out =
-            run_group_by(&mut module, &layout, &loaded, &rel, EngineMode::OneXb, &q, &model, &mut log)
-                .unwrap();
+        let out = run_group_by(
+            &mut module,
+            &layout,
+            &loaded,
+            &rel,
+            EngineMode::OneXb,
+            &q,
+            &model,
+            &mut log,
+        )
+        .unwrap();
         assert!(out.groups.is_empty());
     }
 }

@@ -19,10 +19,10 @@ use bbpim_sim::timeline::RunLog;
 
 use crate::agg_exec::{aggregate_masked_counted, AggInput};
 use crate::error::CoreError;
-use crate::filter_exec::{
-    build_mask_program_in, mask_bits, mask_read_lines, write_transfer_bits,
+use crate::filter_exec::{build_mask_program_in, mask_bits, mask_read_lines, write_transfer_bits};
+use crate::layout::{
+    AttrPlacement, RecordLayout, GROUP_MASK_COL, MASK_COL, TRANSFER_COL, VALID_COL,
 };
-use crate::layout::{AttrPlacement, RecordLayout, GROUP_MASK_COL, MASK_COL, TRANSFER_COL, VALID_COL};
 use crate::loader::LoadedRelation;
 use crate::modes::EngineMode;
 
@@ -62,9 +62,7 @@ pub fn run_pim_gb(
         None => input.partition,
     };
     if group_placements.iter().any(|(_, p)| p.partition != key_partition) {
-        return Err(CoreError::Unsupported(
-            "GROUP BY attributes spanning partitions".into(),
-        ));
+        return Err(CoreError::Unsupported("GROUP BY attributes spanning partitions".into()));
     }
 
     let mut out = Vec::with_capacity(keys.len());
@@ -77,12 +75,8 @@ pub fn run_pim_gb(
 
         if key_partition == input.partition {
             // Same crossbar: one program forms the group mask.
-            let prog = build_mask_program_in(
-                input.scratch_left,
-                &eq_atoms,
-                &[MASK_COL],
-                GROUP_MASK_COL,
-            )?;
+            let prog =
+                build_mask_program_in(input.scratch_left, &eq_atoms, &[MASK_COL], GROUP_MASK_COL)?;
             log.push(module.exec_program(loaded.pages(input.partition), &prog)?);
         } else {
             // two-xb: key equality in the dimension partition…
@@ -141,10 +135,8 @@ mod tests {
         mode: EngineMode,
     ) -> (PimModule, Relation, RecordLayout, LoadedRelation, Query, AggInput, RunLog) {
         let cfg = SimConfig::small_for_tests();
-        let schema = Schema::new(
-            "t",
-            vec![Attribute::numeric("lo_v", 8), Attribute::numeric("d_g", 4)],
-        );
+        let schema =
+            Schema::new("t", vec![Attribute::numeric("lo_v", 8), Attribute::numeric("d_g", 4)]);
         let mut rel = Relation::new(schema);
         for i in 0..700u64 {
             rel.push_row(&[(5 * i) % 241, i % 6]).unwrap();
@@ -168,8 +160,7 @@ mod tests {
             .collect();
         let mut log = RunLog::new();
         run_filter(&mut module, &layout, &loaded, &atoms, &mut log).unwrap();
-        let input =
-            materialize_expr(&mut module, &layout, &loaded, &q.agg_expr, &mut log).unwrap();
+        let input = materialize_expr(&mut module, &layout, &loaded, &q.agg_expr, &mut log).unwrap();
         (module, rel, layout, loaded, q, input, log)
     }
 
@@ -185,7 +176,15 @@ mod tests {
                 q.group_by.iter().map(|g| (g.clone(), layout.placement(g).unwrap())).collect();
             let keys: Vec<Vec<u64>> = (0..6u64).map(|g| vec![g]).collect();
             let entries = run_pim_gb(
-                &mut module, &layout, &loaded, mode, &gp, &keys, &input, q.agg_func, &mut log,
+                &mut module,
+                &layout,
+                &loaded,
+                mode,
+                &gp,
+                &keys,
+                &input,
+                q.agg_func,
+                &mut log,
             )
             .unwrap();
             let expected = oracle(&q, &rel);
@@ -252,13 +251,27 @@ mod tests {
         let mut log_a = RunLog::new();
         let mut log_b = RunLog::new();
         let a = run_pim_gb(
-            &mut module, &layout, &loaded, EngineMode::OneXb, &gp, &[vec![1u64]], &input,
-            q.agg_func, &mut log_a,
+            &mut module,
+            &layout,
+            &loaded,
+            EngineMode::OneXb,
+            &gp,
+            &[vec![1u64]],
+            &input,
+            q.agg_func,
+            &mut log_a,
         )
         .unwrap();
         let b = run_pim_gb(
-            &mut module, &layout, &loaded, EngineMode::OneXb, &gp, &[vec![8u64]], &input,
-            q.agg_func, &mut log_b,
+            &mut module,
+            &layout,
+            &loaded,
+            EngineMode::OneXb,
+            &gp,
+            &[vec![8u64]],
+            &input,
+            q.agg_func,
+            &mut log_b,
         )
         .unwrap();
         assert!(a[0].count > 0);

@@ -141,10 +141,8 @@ mod tests {
 
     fn setup() -> (PimModule, Relation, RecordLayout, LoadedRelation) {
         let cfg = SimConfig::small_for_tests();
-        let schema = Schema::new(
-            "t",
-            vec![Attribute::numeric("lo_v", 8), Attribute::numeric("d_g", 4)],
-        );
+        let schema =
+            Schema::new("t", vec![Attribute::numeric("lo_v", 8), Attribute::numeric("d_g", 4)]);
         let mut rel = Relation::new(schema);
         // skewed groups: group 0 gets half the rows
         for i in 0..1000u64 {
@@ -175,8 +173,7 @@ mod tests {
             .collect();
         let mut log = RunLog::new();
         run_filter(&mut module, &layout, &loaded, &atoms, &mut log).unwrap();
-        let placements =
-            vec![("d_g".to_string(), layout.placement("d_g").unwrap())];
+        let placements = vec![("d_g".to_string(), layout.placement("d_g").unwrap())];
         sample_page(&mut module, &layout, &loaded, &placements, &mut log).unwrap()
     }
 

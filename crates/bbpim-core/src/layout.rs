@@ -96,7 +96,13 @@ impl RecordLayout {
             schema,
             cfg,
             partitions,
-            |name| if partitions == 1 || name.starts_with("lo_") { 0 } else { 1 },
+            |name| {
+                if partitions == 1 || name.starts_with("lo_") {
+                    0
+                } else {
+                    1
+                }
+            },
             extra_exclude,
         )
     }
@@ -138,15 +144,17 @@ impl RecordLayout {
             }
             let lo = cursors[partition];
             cursors[partition] += attr.bits;
-            placements
-                .insert(attr.name.clone(), AttrPlacement { partition, range: ColRange::new(lo, attr.bits) });
+            placements.insert(
+                attr.name.clone(),
+                AttrPlacement { partition, range: ColRange::new(lo, attr.bits) },
+            );
         }
         let mut scratch = Vec::with_capacity(partitions);
         let mut result_slot = Vec::with_capacity(partitions);
         for (p, &data_end) in cursors.iter().enumerate() {
-            let result_lo = cols.checked_sub(RESULT_BITS).ok_or_else(|| {
-                CoreError::Layout(format!("crossbar has only {cols} columns"))
-            })?;
+            let result_lo = cols
+                .checked_sub(RESULT_BITS)
+                .ok_or_else(|| CoreError::Layout(format!("crossbar has only {cols} columns")))?;
             if data_end + MIN_SCRATCH_COLS > result_lo {
                 return Err(CoreError::Layout(format!(
                     "partition {p}: attributes end at column {data_end}, leaving fewer than \
@@ -359,13 +367,7 @@ mod tests {
 
     #[test]
     fn custom_placement_rejects_out_of_range_partition() {
-        let r = RecordLayout::build_custom(
-            &wide_schema(),
-            &SimConfig::default(),
-            2,
-            |_| 5,
-            &[],
-        );
+        let r = RecordLayout::build_custom(&wide_schema(), &SimConfig::default(), 2, |_| 5, &[]);
         assert!(matches!(r, Err(CoreError::Layout(_))));
     }
 

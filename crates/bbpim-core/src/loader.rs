@@ -121,10 +121,8 @@ mod tests {
 
     fn small_setup(records: usize) -> (PimModule, Relation, RecordLayout) {
         let cfg = SimConfig::small_for_tests();
-        let schema = Schema::new(
-            "t",
-            vec![Attribute::numeric("lo_a", 8), Attribute::numeric("d_b", 6)],
-        );
+        let schema =
+            Schema::new("t", vec![Attribute::numeric("lo_a", 8), Attribute::numeric("d_b", 6)]);
         let mut rel = Relation::new(schema);
         for i in 0..records {
             rel.push_row(&[(i % 251) as u64, (i % 61) as u64]).unwrap();
@@ -172,10 +170,8 @@ mod tests {
     #[test]
     fn two_partition_load_is_aligned() {
         let cfg = SimConfig::small_for_tests();
-        let schema = Schema::new(
-            "t",
-            vec![Attribute::numeric("lo_a", 8), Attribute::numeric("d_b", 6)],
-        );
+        let schema =
+            Schema::new("t", vec![Attribute::numeric("lo_a", 8), Attribute::numeric("d_b", 6)]);
         let mut rel = Relation::new(schema);
         for i in 0..100 {
             rel.push_row(&[i % 256, i % 60]).unwrap();

@@ -1,6 +1,7 @@
 //! Query execution results and per-query reports.
 
-use bbpim_db::stats::GroupedResult;
+use bbpim_db::plan::AggFunc;
+use bbpim_db::stats::{self, GroupedResult};
 use bbpim_sim::endurance;
 use bbpim_sim::timeline::RunLog;
 use serde::Serialize;
@@ -49,12 +50,7 @@ impl QueryReport {
         if self.time_ns <= 0.0 {
             return 0.0;
         }
-        endurance::required_endurance(
-            self.max_row_cell_writes,
-            self.row_cells,
-            self.time_ns,
-            years,
-        )
+        endurance::required_endurance(self.max_row_cell_writes, self.row_cells, self.time_ns, years)
     }
 
     /// Lifetime in years at the RRAM endurance of the paper's ref. \[22\].
@@ -79,6 +75,55 @@ pub struct QueryExecution {
     pub groups: GroupedResult,
     /// The report.
     pub report: QueryReport,
+}
+
+/// A partial (per-shard or per-module) grouped aggregate, tagged with
+/// the function it carries so merging cannot mix semantics.
+///
+/// Engines running over disjoint record slices each produce a
+/// `PartialGroups`; folding them with [`PartialGroups::absorb`]
+/// reproduces the whole-relation answer bit-exactly, because SUM
+/// (wrapping), MIN and MAX are commutative and associative. This is the
+/// gather half of the cluster layer's scatter–gather.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialGroups {
+    /// The aggregate the group values carry.
+    pub func: AggFunc,
+    /// Group key values → partial aggregate.
+    pub groups: GroupedResult,
+}
+
+impl PartialGroups {
+    /// An empty partial for a function.
+    pub fn new(func: AggFunc) -> Self {
+        PartialGroups { func, groups: GroupedResult::new() }
+    }
+
+    /// Wrap one engine's grouped answer as a partial.
+    pub fn from_execution(func: AggFunc, exec: &QueryExecution) -> Self {
+        PartialGroups { func, groups: exec.groups.clone() }
+    }
+
+    /// Merge another partial of the same function into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the functions differ — merging a MIN partial into a
+    /// SUM accumulator is always a caller bug.
+    pub fn absorb(&mut self, other: PartialGroups) {
+        assert_eq!(self.func, other.func, "cannot merge partials of different aggregates");
+        stats::merge_grouped_into(&mut self.groups, other.groups, self.func);
+    }
+
+    /// Merge a raw grouped result carrying the same function.
+    pub fn absorb_groups(&mut self, groups: GroupedResult) {
+        stats::merge_grouped_into(&mut self.groups, groups, self.func);
+    }
+
+    /// The merged grouped result.
+    pub fn into_groups(self) -> GroupedResult {
+        self.groups
+    }
 }
 
 #[cfg(test)]
@@ -117,5 +162,27 @@ mod tests {
         let r = report(1e6, 0);
         assert!(r.lifetime_years().is_infinite());
         assert_eq!(r.required_endurance(10.0), 0.0);
+    }
+
+    #[test]
+    fn partial_groups_fold_like_a_single_pass() {
+        let mut acc = PartialGroups::new(AggFunc::Sum);
+        let mut a = GroupedResult::new();
+        a.insert(vec![1], 4);
+        let mut b = GroupedResult::new();
+        b.insert(vec![1], 6);
+        b.insert(vec![2], 1);
+        acc.absorb(PartialGroups { func: AggFunc::Sum, groups: a });
+        acc.absorb_groups(b);
+        let merged = acc.into_groups();
+        assert_eq!(merged[&vec![1u64]], 10);
+        assert_eq!(merged[&vec![2u64]], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different aggregates")]
+    fn partial_groups_reject_mixed_functions() {
+        let mut acc = PartialGroups::new(AggFunc::Sum);
+        acc.absorb(PartialGroups::new(AggFunc::Min));
     }
 }

@@ -137,10 +137,8 @@ mod tests {
 
     fn setup(mode: EngineMode) -> (PimModule, Relation, RecordLayout, LoadedRelation) {
         let cfg = SimConfig::small_for_tests();
-        let schema = Schema::new(
-            "t",
-            vec![Attribute::numeric("lo_v", 8), Attribute::numeric("d_city", 6)],
-        );
+        let schema =
+            Schema::new("t", vec![Attribute::numeric("lo_v", 8), Attribute::numeric("d_city", 6)]);
         let mut rel = Relation::new(schema);
         for i in 0..500u64 {
             rel.push_row(&[i % 256, i % 40]).unwrap();

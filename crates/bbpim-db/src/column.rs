@@ -55,11 +55,7 @@ impl Column {
     /// [`DbError::ValueOutOfRange`] when the value exceeds the width.
     pub fn push(&mut self, value: u64) -> Result<(), DbError> {
         if self.bits < 64 && value >> self.bits != 0 {
-            return Err(DbError::ValueOutOfRange {
-                attr: String::new(),
-                value,
-                bits: self.bits,
-            });
+            return Err(DbError::ValueOutOfRange { attr: String::new(), value, bits: self.bits });
         }
         self.data.push(value);
         Ok(())

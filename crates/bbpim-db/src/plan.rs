@@ -119,10 +119,7 @@ impl Atom {
             Atom::Gt { value, .. } => ResolvedAtom::Gt { idx, value: enc(value)? },
             Atom::In { values, .. } => {
                 if values.is_empty() {
-                    return Err(DbError::InvalidQuery(format!(
-                        "empty IN on `{}`",
-                        self.attr()
-                    )));
+                    return Err(DbError::InvalidQuery(format!("empty IN on `{}`", self.attr())));
                 }
                 let mut vs = values.iter().map(enc).collect::<Result<Vec<_>, _>>()?;
                 vs.sort_unstable();
@@ -292,10 +289,8 @@ mod tests {
 
     fn schema_and_rel() -> Relation {
         let d = Dictionary::from_sorted(vec!["AFRICA".into(), "ASIA".into()]).unwrap();
-        let schema = Schema::new(
-            "t",
-            vec![Attribute::numeric("q", 8), Attribute::dict("region", d)],
-        );
+        let schema =
+            Schema::new("t", vec![Attribute::numeric("q", 8), Attribute::dict("region", d)]);
         let mut rel = Relation::new(schema);
         for (q, r) in [(5u64, 0u64), (20, 1), (30, 1), (40, 0)] {
             rel.push_row(&[q, r]).unwrap();
@@ -325,10 +320,8 @@ mod tests {
     #[test]
     fn in_atom_sorted_and_deduped() {
         let rel = schema_and_rel();
-        let atom = Atom::In {
-            attr: "q".into(),
-            values: vec![40u64.into(), 5u64.into(), 40u64.into()],
-        };
+        let atom =
+            Atom::In { attr: "q".into(), values: vec![40u64.into(), 5u64.into(), 40u64.into()] };
         match atom.resolve(rel.schema()).unwrap() {
             ResolvedAtom::In { values, .. } => assert_eq!(values, vec![5, 40]),
             other => panic!("unexpected {other:?}"),

@@ -34,8 +34,7 @@ impl Relation {
 
     /// Empty relation with row capacity reserved.
     pub fn with_capacity(schema: Schema, rows: usize) -> Self {
-        let columns =
-            schema.attrs().iter().map(|a| Column::with_capacity(a.bits, rows)).collect();
+        let columns = schema.attrs().iter().map(|a| Column::with_capacity(a.bits, rows)).collect();
         Relation { schema, columns }
     }
 
@@ -147,6 +146,42 @@ impl Relation {
         self.columns.iter().map(|c| c.get(row)).collect()
     }
 
+    /// Horizontally partition the relation into `n` relations by a
+    /// per-row assignment function (`assign(row) -> shard`), preserving
+    /// relative row order within each part. Rows assigned outside
+    /// `0..n` are rejected.
+    ///
+    /// This is the substrate for sharded (multi-module) execution: each
+    /// part keeps the full schema, so every shard can answer the same
+    /// logical queries over its slice of the records.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::InvalidQuery`] when `n` is zero or `assign` returns an
+    /// out-of-range shard.
+    pub fn partition_by<F>(&self, n: usize, mut assign: F) -> Result<Vec<Relation>, DbError>
+    where
+        F: FnMut(usize) -> usize,
+    {
+        if n == 0 {
+            return Err(DbError::InvalidQuery("cannot partition into 0 parts".into()));
+        }
+        let mut parts: Vec<Relation> = (0..n).map(|_| Relation::new(self.schema.clone())).collect();
+        let mut row_buf = Vec::with_capacity(self.schema.arity());
+        for row in 0..self.len() {
+            let shard = assign(row);
+            if shard >= n {
+                return Err(DbError::InvalidQuery(format!(
+                    "row {row} assigned to shard {shard}, but only {n} shards exist"
+                )));
+            }
+            row_buf.clear();
+            row_buf.extend(self.columns.iter().map(|c| c.get(row)));
+            parts[shard].push_row(&row_buf).expect("values came from a valid relation");
+        }
+        Ok(parts)
+    }
+
     /// Decode a row for display: dictionary attributes as strings.
     pub fn row_display(&self, row: usize) -> Vec<String> {
         self.schema
@@ -172,10 +207,7 @@ mod tests {
 
     fn rel() -> Relation {
         let d = Dictionary::from_sorted(vec!["lo".into(), "hi".into()]).unwrap();
-        let schema = Schema::new(
-            "t",
-            vec![Attribute::numeric("n", 8), Attribute::dict("s", d)],
-        );
+        let schema = Schema::new("t", vec![Attribute::numeric("n", 8), Attribute::dict("s", d)]);
         Relation::new(schema)
     }
 
@@ -204,6 +236,40 @@ mod tests {
             other => panic!("unexpected error {other:?}"),
         }
         assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn partition_by_round_robin_preserves_rows() {
+        let mut r = rel();
+        for i in 0..10u64 {
+            r.push_row(&[i, i % 2]).unwrap();
+        }
+        let parts = r.partition_by(3, |row| row % 3).unwrap();
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts.iter().map(Relation::len).sum::<usize>(), 10);
+        // shard 0 got rows 0,3,6,9 in order
+        assert_eq!(parts[0].row(0), vec![0, 0]);
+        assert_eq!(parts[0].row(3), vec![9, 1]);
+        for p in &parts {
+            assert_eq!(p.schema(), r.schema());
+        }
+    }
+
+    #[test]
+    fn partition_by_rejects_bad_arguments() {
+        let mut r = rel();
+        r.push_row(&[1, 0]).unwrap();
+        assert!(matches!(r.partition_by(0, |_| 0), Err(DbError::InvalidQuery(_))));
+        assert!(matches!(r.partition_by(2, |_| 5), Err(DbError::InvalidQuery(_))));
+    }
+
+    #[test]
+    fn partition_by_allows_empty_parts() {
+        let mut r = rel();
+        r.push_row(&[1, 0]).unwrap();
+        let parts = r.partition_by(4, |_| 2).unwrap();
+        assert_eq!(parts[2].len(), 1);
+        assert!(parts[0].is_empty() && parts[1].is_empty() && parts[3].is_empty());
     }
 
     #[test]

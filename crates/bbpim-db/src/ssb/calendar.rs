@@ -106,7 +106,16 @@ pub fn season_index(month: u64) -> u64 {
 pub fn is_holiday(month: u64, day: u64) -> bool {
     matches!(
         (month, day),
-        (1, 1) | (2, 14) | (3, 17) | (5, 1) | (7, 4) | (9, 2) | (10, 31) | (11, 28) | (12, 25) | (12, 31)
+        (1, 1)
+            | (2, 14)
+            | (3, 17)
+            | (5, 1)
+            | (7, 4)
+            | (9, 2)
+            | (10, 31)
+            | (11, 28)
+            | (12, 25)
+            | (12, 31)
     )
 }
 

@@ -238,7 +238,9 @@ mod tests {
             // city name starts with the truncated nation name
             let cn = city_dict.decode(city).unwrap();
             let nn = nation_dict.decode(nation).unwrap();
-            assert!(cn.trim_end_matches(|c: char| c.is_ascii_digit()).trim_end()
+            assert!(cn
+                .trim_end_matches(|c: char| c.is_ascii_digit())
+                .trim_end()
                 .starts_with(nn.chars().take(9).collect::<String>().trim_end()));
         }
     }

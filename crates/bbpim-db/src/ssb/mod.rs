@@ -102,10 +102,8 @@ impl SsbDb {
     /// impossible by construction for valid parameters).
     pub fn generate(params: &SsbParams) -> Self {
         let mut rng = StdRng::seed_from_u64(params.seed);
-        let customer =
-            dims::customer(params.customers(), &mut rng).expect("customer generation");
-        let supplier =
-            dims::supplier(params.suppliers(), &mut rng).expect("supplier generation");
+        let customer = dims::customer(params.customers(), &mut rng).expect("customer generation");
+        let supplier = dims::supplier(params.suppliers(), &mut rng).expect("supplier generation");
         let part = dims::part(params.parts(), &mut rng).expect("part generation");
         let date = dims::date().expect("date generation");
         let spec = lineorder::LineorderSpec {

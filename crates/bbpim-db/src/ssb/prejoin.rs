@@ -60,10 +60,12 @@ pub fn prejoin(fact: &Relation, dims: &[(&Relation, &str)]) -> Result<Relation, 
             .iter()
             .find(|a| DROPPED_KEYS.contains(&a.name.as_str()))
             .map(|a| a.name.clone())
-            .ok_or_else(|| DbError::InvalidQuery(format!(
-                "dimension `{}` has no recognised key column",
-                dim.schema().name
-            )))?;
+            .ok_or_else(|| {
+                DbError::InvalidQuery(format!(
+                    "dimension `{}` has no recognised key column",
+                    dim.schema().name
+                ))
+            })?;
         let key_idx = dim.schema().index_of(&key_name)?;
         let kept_cols: Vec<usize> = (0..dim.schema().arity()).filter(|i| *i != key_idx).collect();
         // The date dimension keys rows by 0-based day index.
@@ -136,8 +138,7 @@ mod tests {
         let wide = db.prejoin();
         for row in (0..wide.len()).step_by(97) {
             let custkey = wide.value_by_name(row, "lo_custkey").unwrap();
-            let expect_city =
-                db.customer.value_by_name(custkey as usize - 1, "c_city").unwrap();
+            let expect_city = db.customer.value_by_name(custkey as usize - 1, "c_city").unwrap();
             assert_eq!(wide.value_by_name(row, "c_city").unwrap(), expect_city);
 
             let day = wide.value_by_name(row, "lo_orderdate").unwrap();
@@ -145,8 +146,7 @@ mod tests {
             assert_eq!(wide.value_by_name(row, "d_year").unwrap(), expect_year);
 
             let partkey = wide.value_by_name(row, "lo_partkey").unwrap();
-            let expect_brand =
-                db.part.value_by_name(partkey as usize - 1, "p_brand1").unwrap();
+            let expect_brand = db.part.value_by_name(partkey as usize - 1, "p_brand1").unwrap();
             assert_eq!(wide.value_by_name(row, "p_brand1").unwrap(), expect_brand);
         }
     }

@@ -323,10 +323,12 @@ fn recode(rel: &Relation, idx: usize, code: u64) -> Result<Const, DbError> {
     Ok(match attr.dictionary() {
         Some(d) => Const::Str(
             d.decode(code)
-                .ok_or_else(|| DbError::InvalidQuery(format!(
-                    "code {code} outside dictionary of `{}`",
-                    attr.name
-                )))?
+                .ok_or_else(|| {
+                    DbError::InvalidQuery(format!(
+                        "code {code} outside dictionary of `{}`",
+                        attr.name
+                    ))
+                })?
                 .to_owned(),
         ),
         None => Const::Num(code),
@@ -374,10 +376,10 @@ mod tests {
     #[test]
     fn potential_subgroups_match_paper_table2() {
         // Paper values (Table II) require the dimension value space to be
-        // covered by the generated data; at SF 0.05 the nation/brand
+        // covered by the generated data; at SF 0.1 the nation/brand
         // hierarchies are fully covered, the 250-city space is not (the
         // paper runs SF 10 with 20 K suppliers — 80 per city).
-        let db = SsbDb::generate(&SsbParams::uniform(0.05));
+        let db = SsbDb::generate(&SsbParams::uniform(0.1));
         let wide = db.prejoin();
         let exact: &[(&str, u64)] = &[
             ("Q2.1", 280), // 7 years × 40 brands of the category
@@ -422,9 +424,7 @@ mod tests {
     fn adjustment_keeps_query_shape() {
         let db = SsbDb::generate(&SsbParams::skewed(0.01));
         let wide = db.prejoin();
-        for (std_q, adj_q) in
-            standard_queries().into_iter().zip(adjusted_queries(&wide).unwrap())
-        {
+        for (std_q, adj_q) in standard_queries().into_iter().zip(adjusted_queries(&wide).unwrap()) {
             assert_eq!(std_q.id, adj_q.id);
             assert_eq!(std_q.filter.len(), adj_q.filter.len());
             assert_eq!(std_q.group_by, adj_q.group_by);

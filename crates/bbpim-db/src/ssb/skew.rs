@@ -123,10 +123,8 @@ mod tests {
     #[test]
     fn deterministic_for_same_seed() {
         let z = Zipf::new(1000, 0.8);
-        let a: Vec<u64> =
-            (0..100).map(|_| z.sample(&mut StdRng::seed_from_u64(7))).collect();
-        let b: Vec<u64> =
-            (0..100).map(|_| z.sample(&mut StdRng::seed_from_u64(7))).collect();
+        let a: Vec<u64> = (0..100).map(|_| z.sample(&mut StdRng::seed_from_u64(7))).collect();
+        let b: Vec<u64> = (0..100).map(|_| z.sample(&mut StdRng::seed_from_u64(7))).collect();
         assert_eq!(a, b);
     }
 

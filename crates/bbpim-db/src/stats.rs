@@ -53,11 +53,8 @@ pub fn selectivity(query: &Query, rel: &Relation) -> Result<f64, DbError> {
 /// Propagates resolution and evaluation failures.
 pub fn run_oracle(query: &Query, rel: &Relation) -> Result<GroupedResult, DbError> {
     let atoms = query.resolve_filter(rel.schema())?;
-    let group_idx: Vec<usize> = query
-        .group_by
-        .iter()
-        .map(|name| rel.schema().index_of(name))
-        .collect::<Result<_, _>>()?;
+    let group_idx: Vec<usize> =
+        query.group_by.iter().map(|name| rel.schema().index_of(name)).collect::<Result<_, _>>()?;
     let mut out = GroupedResult::new();
     for row in 0..rel.len() {
         if !row_matches(&atoms, rel, row) {
@@ -120,12 +117,8 @@ pub fn group_domains(query: &Query, rel: &Relation) -> Result<Vec<Vec<u64>>, DbE
     for name in &query.group_by {
         let idx = rel.schema().index_of(name)?;
         let dim = prefix(name);
-        let constraints: Vec<&ResolvedAtom> = atoms
-            .iter()
-            .zip(&atom_prefixes)
-            .filter(|(_, p)| **p == dim)
-            .map(|(a, _)| a)
-            .collect();
+        let constraints: Vec<&ResolvedAtom> =
+            atoms.iter().zip(&atom_prefixes).filter(|(_, p)| **p == dim).map(|(a, _)| a).collect();
         let mut seen = std::collections::BTreeSet::new();
         for row in 0..rel.len() {
             if constraints.iter().all(|a| a.matches(rel, row)) {
@@ -135,6 +128,46 @@ pub fn group_domains(query: &Query, rel: &Relation) -> Result<Vec<Vec<u64>>, DbE
         out.push(seen.into_iter().collect());
     }
     Ok(out)
+}
+
+/// Merge one partial grouped result into an accumulator with the given
+/// aggregate function.
+///
+/// This is the reduce side of sharded (scatter–gather) execution: each
+/// shard aggregates its own disjoint slice of the records, and because
+/// SUM (wrapping), MIN and MAX are commutative and associative, folding
+/// the per-shard partials in any order reproduces the single-engine
+/// answer bit-exactly. COUNT partials (e.g. per-shard selected-record
+/// counts) merge by plain addition and need no helper.
+pub fn merge_grouped_into(
+    acc: &mut GroupedResult,
+    part: GroupedResult,
+    func: crate::plan::AggFunc,
+) {
+    for (key, v) in part {
+        acc.entry(key)
+            .and_modify(|a| {
+                *a = match func {
+                    crate::plan::AggFunc::Sum => a.wrapping_add(v),
+                    crate::plan::AggFunc::Min => (*a).min(v),
+                    crate::plan::AggFunc::Max => (*a).max(v),
+                }
+            })
+            .or_insert(v);
+    }
+}
+
+/// Fold any number of partial grouped results (see
+/// [`merge_grouped_into`]).
+pub fn merge_grouped<I>(parts: I, func: crate::plan::AggFunc) -> GroupedResult
+where
+    I: IntoIterator<Item = GroupedResult>,
+{
+    let mut acc = GroupedResult::new();
+    for part in parts {
+        merge_grouped_into(&mut acc, part, func);
+    }
+    acc
 }
 
 /// Number of distinct group keys among rows matching the filter (the
@@ -229,6 +262,35 @@ mod tests {
         let q = query(vec![Atom::Lt { attr: "v".into(), value: 30u64.into() }], vec!["g", "h"]);
         assert_eq!(occupied_subgroups(&q, &rel).unwrap(), 3);
         assert_eq!(potential_subgroups(&q, &rel).unwrap(), 6);
+    }
+
+    #[test]
+    fn merged_partitions_equal_whole() {
+        let rel = rel();
+        for func in [AggFunc::Sum, AggFunc::Min, AggFunc::Max] {
+            let mut q = query(vec![Atom::Gt { attr: "v".into(), value: 15u64.into() }], vec!["g"]);
+            q.agg_func = func;
+            let whole = run_oracle(&q, &rel).unwrap();
+            let parts = rel.partition_by(3, |row| row % 3).unwrap();
+            let partials: Vec<GroupedResult> =
+                parts.iter().map(|p| run_oracle(&q, p).unwrap()).collect();
+            assert_eq!(merge_grouped(partials, func), whole, "{func:?}");
+        }
+    }
+
+    #[test]
+    fn merge_into_is_commutative() {
+        let mut a = GroupedResult::new();
+        a.insert(vec![1], 10);
+        a.insert(vec![2], 5);
+        let mut b = GroupedResult::new();
+        b.insert(vec![2], 7);
+        b.insert(vec![3], 1);
+        let ab = merge_grouped([a.clone(), b.clone()], AggFunc::Sum);
+        let ba = merge_grouped([b, a], AggFunc::Sum);
+        assert_eq!(ab, ba);
+        assert_eq!(ab[&vec![2u64]], 12);
+        assert_eq!(ab.len(), 3);
     }
 
     #[test]

@@ -1,5 +1,12 @@
-//! Property tests on the relational substrate: dictionary round-trips,
-//! width enforcement, oracle algebra, and generator invariants.
+//! Randomized tests on the relational substrate: dictionary
+//! round-trips, width enforcement, oracle algebra, and generator
+//! invariants.
+//!
+//! Formerly written with `proptest`; rewritten as deterministic
+//! seed-driven loops (see `tests/properties.rs` at the workspace root
+//! for the rationale).
+
+use std::collections::BTreeSet;
 
 use bbpim_db::column::Column;
 use bbpim_db::dict::{bits_for, Dictionary};
@@ -8,59 +15,88 @@ use bbpim_db::relation::Relation;
 use bbpim_db::schema::{Attribute, Schema};
 use bbpim_db::ssb::skew::Zipf;
 use bbpim_db::stats;
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+const CASES: u64 = 64;
 
-    #[test]
-    fn dictionary_roundtrips(words in proptest::collection::btree_set("[a-z]{1,8}", 1..50)) {
+fn random_word(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(1usize..=8);
+    (0..len).map(|_| (b'a' + rng.gen_range(0u64..26) as u8) as char).collect()
+}
+
+#[test]
+fn dictionary_roundtrips() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x1D1C7 + case);
+        let mut words = BTreeSet::new();
+        for _ in 0..rng.gen_range(1usize..50) {
+            words.insert(random_word(&mut rng));
+        }
         let values: Vec<String> = words.into_iter().collect(); // sorted, unique
         let dict = Dictionary::from_sorted(values.clone()).unwrap();
         for (code, value) in dict.iter() {
-            prop_assert_eq!(dict.encode(value), Some(code));
-            prop_assert_eq!(dict.decode(code), Some(value));
+            assert_eq!(dict.encode(value), Some(code), "case {case}");
+            assert_eq!(dict.decode(code), Some(value), "case {case}");
         }
-        prop_assert!(dict.code_bits() <= 6);
-        prop_assert_eq!(dict.len(), values.len());
+        assert!(dict.code_bits() <= 6, "case {case}");
+        assert_eq!(dict.len(), values.len(), "case {case}");
     }
+}
 
-    #[test]
-    fn bits_for_is_minimal(v in any::<u64>()) {
+#[test]
+fn bits_for_is_minimal() {
+    let mut rng = StdRng::seed_from_u64(0xB175);
+    let check = |v: u64| {
         let bits = bits_for(v);
-        prop_assert!((1..=64).contains(&bits));
+        assert!((1..=64).contains(&bits), "v={v}");
         if bits < 64 {
-            prop_assert!(v < (1u64 << bits));
+            assert!(v < (1u64 << bits), "v={v}");
         }
         if bits > 1 {
-            prop_assert!(v >= (1u64 << (bits - 1)));
+            assert!(v >= (1u64 << (bits - 1)), "v={v}");
         }
+    };
+    check(0);
+    check(1);
+    check(u64::MAX);
+    for _ in 0..CASES {
+        check(rng.gen::<u64>());
+        // small values exercise the low-bit edge cases
+        check(rng.gen_range(0u64..1024));
     }
+}
 
-    #[test]
-    fn column_width_is_enforced(width in 1usize..=63, values in proptest::collection::vec(any::<u64>(), 1..100)) {
+#[test]
+fn column_width_is_enforced() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xC01 + case);
+        let width = rng.gen_range(1usize..=63);
         let mut col = Column::new(width);
         let limit = 1u64 << width;
-        for v in &values {
-            let result = col.push(*v);
-            prop_assert_eq!(result.is_ok(), *v < limit);
+        for _ in 0..rng.gen_range(1usize..100) {
+            // mix in-range and out-of-range values
+            let v = if rng.gen::<bool>() { rng.gen::<u64>() } else { rng.gen::<u64>() % limit };
+            let result = col.push(v);
+            assert_eq!(result.is_ok(), v < limit, "case {case}, width {width}, v {v}");
         }
     }
+}
 
-    #[test]
-    fn oracle_total_equals_sum_of_groups(
-        rows in proptest::collection::vec((0u64..8, 0u64..100), 10..200),
-    ) {
-        let schema = Schema::new(
-            "t",
-            vec![Attribute::numeric("g", 3), Attribute::numeric("v", 7)],
-        );
-        let mut rel = Relation::new(schema);
-        for (g, v) in &rows {
-            rel.push_row(&[*g, *v]).unwrap();
-        }
+fn two_attr_relation(rng: &mut StdRng) -> Relation {
+    let schema = Schema::new("t", vec![Attribute::numeric("g", 3), Attribute::numeric("v", 7)]);
+    let mut rel = Relation::new(schema);
+    for _ in 0..rng.gen_range(10usize..200) {
+        rel.push_row(&[rng.gen_range(0u64..8), rng.gen_range(0u64..100)]).unwrap();
+    }
+    rel
+}
+
+#[test]
+fn oracle_total_equals_sum_of_groups() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x04AC1E + case);
+        let rel = two_attr_relation(&mut rng);
         let grouped = Query {
             id: "g".into(),
             filter: vec![],
@@ -72,22 +108,16 @@ proptest! {
         let by_group = stats::run_oracle(&grouped, &rel).unwrap();
         let overall = stats::run_oracle(&total, &rel).unwrap();
         let sum_of_groups: u64 = by_group.values().copied().sum();
-        prop_assert_eq!(overall[&Vec::<u64>::new()], sum_of_groups);
+        assert_eq!(overall[&Vec::<u64>::new()], sum_of_groups, "case {case}");
     }
+}
 
-    #[test]
-    fn filter_monotone_under_conjunction(
-        rows in proptest::collection::vec((0u64..8, 0u64..100), 10..200),
-        threshold in 0u64..100,
-    ) {
-        let schema = Schema::new(
-            "t",
-            vec![Attribute::numeric("g", 3), Attribute::numeric("v", 7)],
-        );
-        let mut rel = Relation::new(schema);
-        for (g, v) in &rows {
-            rel.push_row(&[*g, *v]).unwrap();
-        }
+#[test]
+fn filter_monotone_under_conjunction() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xF117 + case);
+        let rel = two_attr_relation(&mut rng);
+        let threshold = rng.gen_range(0u64..100);
         let one = Query {
             id: "one".into(),
             filter: vec![Atom::Lt { attr: "v".into(), value: threshold.into() }],
@@ -104,23 +134,29 @@ proptest! {
         };
         let s1 = stats::selectivity(&one, &rel).unwrap();
         let s2 = stats::selectivity(&two, &rel).unwrap();
-        prop_assert!(s2 <= s1 + 1e-12, "adding a conjunct cannot select more");
+        assert!(s2 <= s1 + 1e-12, "case {case}: adding a conjunct cannot select more");
     }
+}
 
-    #[test]
-    fn zipf_samples_in_range(n in 1usize..1000, theta in 0.0f64..1.5, seed in any::<u64>()) {
+#[test]
+fn zipf_samples_in_range() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x21BF + case);
+        let n = rng.gen_range(1usize..1000);
+        let theta = rng.gen::<f64>() * 1.5;
         let z = Zipf::new(n, theta);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sample_rng = StdRng::seed_from_u64(rng.gen::<u64>());
         for _ in 0..100 {
-            let v = z.sample(&mut rng);
-            prop_assert!(v >= 1 && v <= n as u64);
+            let v = z.sample(&mut sample_rng);
+            assert!(v >= 1 && v <= n as u64, "case {case}: {v} outside 1..={n}");
         }
     }
+}
 
-    #[test]
-    fn potential_subgroups_bounds_occupied(
-        rows in proptest::collection::vec((0u64..6, 0u64..4, 0u64..50), 20..200),
-    ) {
+#[test]
+fn potential_subgroups_bounds_occupied() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5B6 + case);
         let schema = Schema::new(
             "t",
             vec![
@@ -130,8 +166,13 @@ proptest! {
             ],
         );
         let mut rel = Relation::new(schema);
-        for (g, h, v) in &rows {
-            rel.push_row(&[*g, *h, *v]).unwrap();
+        for _ in 0..rng.gen_range(20usize..200) {
+            rel.push_row(&[
+                rng.gen_range(0u64..6),
+                rng.gen_range(0u64..4),
+                rng.gen_range(0u64..50),
+            ])
+            .unwrap();
         }
         let q = Query {
             id: "t".into(),
@@ -142,6 +183,6 @@ proptest! {
         };
         let potential = stats::potential_subgroups(&q, &rel).unwrap();
         let occupied = stats::occupied_subgroups(&q, &rel).unwrap();
-        prop_assert!(occupied <= potential, "occupied {} > potential {}", occupied, potential);
+        assert!(occupied <= potential, "case {case}: occupied {occupied} > potential {potential}");
     }
 }

@@ -87,11 +87,8 @@ impl<'a> MonetEngine<'a> {
 
     fn run_prejoined(&self, rel: &Relation, query: &Query) -> Result<MonetResult, DbError> {
         let atoms = query.resolve_filter(rel.schema())?;
-        let key_cols: Vec<usize> = query
-            .group_by
-            .iter()
-            .map(|g| rel.schema().index_of(g))
-            .collect::<Result<_, _>>()?;
+        let key_cols: Vec<usize> =
+            query.group_by.iter().map(|g| rel.schema().index_of(g)).collect::<Result<_, _>>()?;
         let expr = ExprCols::resolve(&query.agg_expr, rel)?;
         let func = query.agg_func;
 
@@ -263,18 +260,17 @@ fn scan_partitions(
     }
     let threads = threads.min(len).max(1);
     let chunk = len.div_ceil(threads);
-    let tables: Vec<HashMap<Vec<u64>, u64>> = crossbeam::thread::scope(|scope| {
+    let tables: Vec<HashMap<Vec<u64>, u64>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let lo = t * chunk;
                 let hi = ((t + 1) * chunk).min(len);
                 let work = &work;
-                scope.spawn(move |_| work(lo, hi))
+                scope.spawn(move || work(lo, hi))
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("scan worker panicked")).collect()
-    })
-    .expect("scan scope");
+    });
     for table in tables {
         merge(&mut out, table, func);
     }

@@ -100,11 +100,8 @@ pub fn group_aggregate(
     query: &Query,
     sel: &SelectionVector,
 ) -> Result<GroupedResult, DbError> {
-    let key_cols: Vec<usize> = query
-        .group_by
-        .iter()
-        .map(|g| rel.schema().index_of(g))
-        .collect::<Result<_, _>>()?;
+    let key_cols: Vec<usize> =
+        query.group_by.iter().map(|g| rel.schema().index_of(g)).collect::<Result<_, _>>()?;
     let expr = ExprCols::resolve(&query.agg_expr, rel)?;
     let mut table: HashMap<Vec<u64>, u64> = HashMap::new();
     for &row in sel {
@@ -178,9 +175,7 @@ mod tests {
     #[test]
     fn expression_aggregates() {
         let rel = rel();
-        for expr in
-            [AggExpr::Mul("v".into(), "w".into()), AggExpr::Sub("w".into(), "g".into())]
-        {
+        for expr in [AggExpr::Mul("v".into(), "w".into()), AggExpr::Sub("w".into(), "g".into())] {
             let q = query(vec![], vec!["g"], expr);
             let sel = select_all(rel.len());
             let got = group_aggregate(&rel, &q, &sel).unwrap();

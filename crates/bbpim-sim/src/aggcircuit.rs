@@ -100,8 +100,8 @@ impl AggRequest {
         let bits_read = reads * cfg.read_width_bits as u64;
         let result_chunks = span_chunks(self.dst, cfg.read_width_bits);
         let bits_written = result_chunks * cfg.read_width_bits as u64;
-        let time_ns = reads as f64 * cfg.read_latency_ns
-            + result_chunks as f64 * cfg.write_latency_ns;
+        let time_ns =
+            reads as f64 * cfg.read_latency_ns + result_chunks as f64 * cfg.write_latency_ns;
         AggCost { reads, bits_read, bits_written, time_ns }
     }
 
@@ -121,9 +121,7 @@ impl AggRequest {
         count_dst: ColRange,
     ) -> Result<(u64, u64), SimError> {
         if count_dst.lo < self.dst.end() && self.dst.lo < count_dst.end() {
-            return Err(SimError::InvalidAggregation(
-                "count slot overlaps the value slot".into(),
-            ));
+            return Err(SimError::InvalidAggregation("count slot overlaps the value slot".into()));
         }
         if count_dst.width == 0 || count_dst.end() > xb.cols() {
             return Err(SimError::InvalidAggregation("bad count slot".into()));
@@ -135,7 +133,8 @@ impl AggRequest {
                 count += 1;
             }
         }
-        let wrapped = if count_dst.width >= 64 { count } else { count & ((1 << count_dst.width) - 1) };
+        let wrapped =
+            if count_dst.width >= 64 { count } else { count & ((1 << count_dst.width) - 1) };
         xb.bits_mut_unaccounted().write_row_bits(
             self.dst_row,
             count_dst.lo,
@@ -173,11 +172,8 @@ impl AggRequest {
         // The ALU register is dst.width wide; MIN's identity must match it.
         let wrapped: Vec<u64> = values.to_vec();
         let result = masked_reduce(&wrapped, &mask, self.dst.width.max(self.value.width), self.op);
-        let result = if self.dst.width == 64 {
-            result
-        } else {
-            result & ((1u64 << self.dst.width) - 1)
-        };
+        let result =
+            if self.dst.width == 64 { result } else { result & ((1u64 << self.dst.width) - 1) };
         xb.bits_mut_unaccounted().write_row_bits(self.dst_row, self.dst.lo, self.dst.width, result);
         xb.note_row_writes(self.dst_row, self.dst.width as u64);
         Ok(result)

@@ -114,17 +114,12 @@ impl AreaModel {
     /// (paper geometry: ≈ 0.139 × 346 mm² / 65536 ≈ 734 µm² — a credible
     /// 28 nm ALU-plus-register footprint).
     pub fn agg_circuit_um2(&self, cfg: &SimConfig) -> f64 {
-        self.chip_mm2 * self.agg_circuits_pct / 100.0 * 1e6
-            / self.crossbars_per_chip(cfg) as f64
+        self.chip_mm2 * self.agg_circuits_pct / 100.0 * 1e6 / self.crossbars_per_chip(cfg) as f64
     }
 
     /// First-principles crossbar-array area per chip (4F² RRAM cells at
     /// `feature_nm`), mm² — a sanity check on the calibrated share.
-    pub fn crossbar_array_mm2_first_principles(
-        &self,
-        cfg: &SimConfig,
-        feature_nm: f64,
-    ) -> f64 {
+    pub fn crossbar_array_mm2_first_principles(&self, cfg: &SimConfig, feature_nm: f64) -> f64 {
         let cell_mm2 = 4.0 * (feature_nm * 1e-6) * (feature_nm * 1e-6);
         let cells = cfg.crossbar_rows as f64 * cfg.crossbar_cols as f64;
         cell_mm2 * cells * self.crossbars_per_chip(cfg) as f64

@@ -123,11 +123,7 @@ pub fn compile_mul(
         let bj = rhs.bit(j);
         let mut carry = zero;
         for i in 0..(dst.width - j) {
-            let pbit = if i < lhs.width {
-                b.emit_and(lhs.bit(i), bj)?
-            } else {
-                zero
-            };
+            let pbit = if i < lhs.width { b.emit_and(lhs.bit(i), bj)? } else { zero };
             let (sum, cout) = b.emit_full_adder(dst.bit(i + j), pbit, carry)?;
             if pbit != zero {
                 b.release(pbit);

@@ -215,9 +215,7 @@ impl SimConfig {
         if self.host.threads == 0 {
             return Err(SimError::InvalidConfig("host.threads must be nonzero".into()));
         }
-        if self.host.line_bytes * 8
-            != self.crossbars_per_page() * self.read_width_bits
-        {
+        if self.host.line_bytes * 8 != self.crossbars_per_page() * self.read_width_bits {
             return Err(SimError::InvalidConfig(format!(
                 "one cache line ({} bits) must gather one {}-bit chunk from each of \
                  the {} crossbars of a page",
@@ -311,6 +309,32 @@ impl SimConfigBuilder {
 }
 
 impl SimConfig {
+    /// Configuration for one module of an `n`-module cluster.
+    ///
+    /// Geometry, latencies and energies are identical to `self` — every
+    /// module of a rank is physically the same part — and only the
+    /// capacity is divided, so an `n`-shard cluster holds the same
+    /// total data as the single module it is compared against
+    /// (iso-capacity scaling). Capacity is rounded down to whole pages
+    /// but never below one page.
+    ///
+    /// Use plain [`Clone`] instead when modeling a cluster of
+    /// full-capacity modules (capacity scaling *and* parallelism).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] when `n` is zero.
+    pub fn per_module_of(&self, n: usize) -> Result<SimConfig, SimError> {
+        if n == 0 {
+            return Err(SimError::InvalidConfig("cluster needs at least one module".into()));
+        }
+        let mut cfg = self.clone();
+        let pages = (self.module_pages() / n).max(1) as u64;
+        cfg.module_capacity_bytes = pages * self.page_bytes as u64;
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
     /// A fast geometry for unit tests: 64×256 crossbars, 4 per page, 2
     /// chips. Not representative of Table I — use only in tests.
     pub fn small_for_tests() -> SimConfig {
@@ -377,6 +401,20 @@ mod tests {
         let mut cfg = SimConfig::default();
         cfg.host.line_bytes = 32;
         assert!(matches!(cfg.validate(), Err(SimError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn per_module_divides_capacity_only() {
+        let cfg = SimConfig::default();
+        let shard = cfg.per_module_of(4).unwrap();
+        assert_eq!(shard.module_pages(), cfg.module_pages() / 4);
+        assert_eq!(shard.crossbar_rows, cfg.crossbar_rows);
+        assert_eq!(shard.page_bytes, cfg.page_bytes);
+        assert!((shard.logic_cycle_ns - cfg.logic_cycle_ns).abs() < 1e-12);
+        // never below one page, and zero shards is rejected
+        let tiny = cfg.per_module_of(usize::MAX).unwrap();
+        assert_eq!(tiny.module_pages(), 1);
+        assert!(cfg.per_module_of(0).is_err());
     }
 
     #[test]

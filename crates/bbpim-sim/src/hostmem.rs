@@ -118,8 +118,7 @@ pub fn scattered_read_time_ns(cfg: &SimConfig, lines: u64) -> f64 {
     if lines == 0 {
         return 0.0;
     }
-    let per_line =
-        cfg.host.dram_latency_ns / (cfg.host.threads as f64 * cfg.host.scatter_mlp);
+    let per_line = cfg.host.dram_latency_ns / (cfg.host.threads as f64 * cfg.host.scatter_mlp);
     (lines as f64 * per_line).max(transfer_time_ns(cfg, lines))
 }
 

@@ -135,8 +135,8 @@ impl PimModule {
             let summary = self.pages[id.0].execute(program)?;
             cells_total += summary.cells_written * self.pages[id.0].crossbar_count() as u64;
         }
-        let time_ns = self.issue_time_ns(pages.len())
-            + program.cycles() as f64 * self.cfg.logic_cycle_ns;
+        let time_ns =
+            self.issue_time_ns(pages.len()) + program.cycles() as f64 * self.cfg.logic_cycle_ns;
         let logic_pj = cells_total as f64 * self.cfg.logic_energy_fj_per_bit * 1e-3;
         let controller_pj = self.controller_energy_pj(pages.len(), time_ns);
         Ok(Phase {
@@ -224,9 +224,7 @@ impl PimModule {
             sums.push(page_sums);
             counts.push(page_counts);
         }
-        let time_ns = self.issue_time_ns(pages.len())
-            + cost.time_ns
-            + self.cfg.write_latency_ns; // the count write-back
+        let time_ns = self.issue_time_ns(pages.len()) + cost.time_ns + self.cfg.write_latency_ns; // the count write-back
         let per_xb_pj = cost.bits_read as f64 * self.cfg.read_energy_pj_per_bit
             + (cost.bits_written + extra_bits) as f64 * self.cfg.write_energy_pj_per_bit
             + self.cfg.agg_circuit_power_uw * cost.time_ns * 1e-3;
@@ -297,11 +295,12 @@ impl PimModule {
             crossbars_total += page_partials.len() as u64;
             partials.push(page_partials);
         }
-        let time_ns = self.issue_time_ns(pages.len()) + cost.cycles as f64 * self.cfg.logic_cycle_ns;
+        let time_ns =
+            self.issue_time_ns(pages.len()) + cost.cycles as f64 * self.cfg.logic_cycle_ns;
         let bits = cost.col_ops * rows as u64 + cost.row_ops * cols as u64;
-        let energy_pj = bits as f64 * crossbars_total as f64 * self.cfg.logic_energy_fj_per_bit
-            * 1e-3
-            + self.controller_energy_pj(pages.len(), time_ns);
+        let energy_pj =
+            bits as f64 * crossbars_total as f64 * self.cfg.logic_energy_fj_per_bit * 1e-3
+                + self.controller_energy_pj(pages.len(), time_ns);
         Ok((
             partials,
             Phase {
@@ -360,10 +359,8 @@ impl PimModule {
         let extra_time = extra.cycles as f64 * self.cfg.logic_cycle_ns;
         let extra_bits = extra.col_ops * rows as u64 + extra.row_ops * cols as u64;
         phase.time_ns += extra_time;
-        phase.energy_pj += extra_bits as f64
-            * crossbars_total as f64
-            * self.cfg.logic_energy_fj_per_bit
-            * 1e-3;
+        phase.energy_pj +=
+            extra_bits as f64 * crossbars_total as f64 * self.cfg.logic_energy_fj_per_bit * 1e-3;
         Ok(((sums, counts), phase))
     }
 

@@ -1,13 +1,19 @@
-//! Property tests: compiled NOR-only microprograms are semantically
+//! Randomized tests: compiled NOR-only microprograms are semantically
 //! identical to integer arithmetic/comparison for arbitrary widths and
 //! values.
+//!
+//! Formerly written with `proptest`; rewritten as deterministic
+//! seed-driven loops (see `tests/properties.rs` at the workspace root
+//! for the rationale).
 
 use bbpim_sim::compiler::{arith, mux, predicate, CodeBuilder, ColRange, ScratchPool};
 use bbpim_sim::crossbar::Crossbar;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 const ROWS: usize = 64;
 const COLS: usize = 256;
+const CASES: u64 = 64;
 
 /// Crossbar with `values` written into an attribute at column 0.
 fn crossbar_with(values: &[u64], width: usize) -> Crossbar {
@@ -22,37 +28,37 @@ fn scratch() -> ScratchPool {
     ScratchPool::new(ColRange::new(96, 160))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+fn random_values(rng: &mut StdRng, mask: u64) -> Vec<u64> {
+    (0..ROWS).map(|_| rng.gen::<u64>() & mask).collect()
+}
 
-    #[test]
-    fn eq_matches_semantics(
-        width in 1usize..=16,
-        constant_seed in any::<u64>(),
-        values in proptest::collection::vec(any::<u64>(), ROWS),
-    ) {
-        let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
-        let constant = constant_seed & mask;
-        let values: Vec<u64> = values.into_iter().map(|v| v & mask).collect();
+#[test]
+fn eq_matches_semantics() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xE0 + case);
+        let width = rng.gen_range(1usize..=16);
+        let mask = (1u64 << width) - 1;
+        let constant = rng.gen::<u64>() & mask;
+        let values = random_values(&mut rng, mask);
         let mut xb = crossbar_with(&values, width);
         let mut pool = scratch();
         let mut b = CodeBuilder::new(&mut pool);
         let out = predicate::compile_eq_const(&mut b, ColRange::new(0, width), constant).unwrap();
         xb.execute(&b.finish()).unwrap();
         for (r, v) in values.iter().enumerate() {
-            prop_assert_eq!(xb.bits().get(r, out), *v == constant);
+            assert_eq!(xb.bits().get(r, out), *v == constant, "case {case} row {r}");
         }
     }
+}
 
-    #[test]
-    fn lt_gt_match_semantics(
-        width in 1usize..=12,
-        constant_seed in any::<u64>(),
-        values in proptest::collection::vec(any::<u64>(), ROWS),
-    ) {
+#[test]
+fn lt_gt_match_semantics() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x17 + case);
+        let width = rng.gen_range(1usize..=12);
         let mask = (1u64 << width) - 1;
-        let constant = constant_seed & mask;
-        let values: Vec<u64> = values.into_iter().map(|v| v & mask).collect();
+        let constant = rng.gen::<u64>() & mask;
+        let values = random_values(&mut rng, mask);
 
         let mut xb = crossbar_with(&values, width);
         let mut pool = scratch();
@@ -61,82 +67,101 @@ proptest! {
         let gt = predicate::compile_gt_const(&mut b, ColRange::new(0, width), constant).unwrap();
         xb.execute(&b.finish()).unwrap();
         for (r, v) in values.iter().enumerate() {
-            prop_assert_eq!(xb.bits().get(r, lt), *v < constant, "lt row {}", r);
-            prop_assert_eq!(xb.bits().get(r, gt), *v > constant, "gt row {}", r);
+            assert_eq!(xb.bits().get(r, lt), *v < constant, "case {case} lt row {r}");
+            assert_eq!(xb.bits().get(r, gt), *v > constant, "case {case} gt row {r}");
         }
     }
+}
 
-    #[test]
-    fn add_sub_match_semantics(
-        wa in 1usize..=10,
-        wb in 1usize..=10,
-        pairs in proptest::collection::vec((any::<u64>(), any::<u64>()), ROWS),
-    ) {
+#[test]
+fn add_sub_match_semantics() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xADD + case);
+        let wa = rng.gen_range(1usize..=10);
+        let wb = rng.gen_range(1usize..=10);
         let ma = (1u64 << wa) - 1;
         let mb = (1u64 << wb) - 1;
         let wdst = wa.max(wb) + 1;
+        let pairs: Vec<(u64, u64)> =
+            (0..ROWS).map(|_| (rng.gen::<u64>() & ma, rng.gen::<u64>() & mb)).collect();
         let mut xb = Crossbar::new(ROWS, COLS);
         for (r, (a, b)) in pairs.iter().enumerate() {
-            xb.write_row_bits(r, 0, wa, a & ma);
-            xb.write_row_bits(r, 16, wb, b & mb);
+            xb.write_row_bits(r, 0, wa, *a);
+            xb.write_row_bits(r, 16, wb, *b);
         }
         let mut pool = scratch();
         let mut builder = CodeBuilder::new(&mut pool);
         arith::compile_add(
-            &mut builder, ColRange::new(0, wa), ColRange::new(16, wb), ColRange::new(32, wdst),
-        ).unwrap();
+            &mut builder,
+            ColRange::new(0, wa),
+            ColRange::new(16, wb),
+            ColRange::new(32, wdst),
+        )
+        .unwrap();
         arith::compile_sub(
-            &mut builder, ColRange::new(0, wa), ColRange::new(16, wb), ColRange::new(64, wdst),
-        ).unwrap();
+            &mut builder,
+            ColRange::new(0, wa),
+            ColRange::new(16, wb),
+            ColRange::new(64, wdst),
+        )
+        .unwrap();
         xb.execute(&builder.finish()).unwrap();
         let modulus = 1u64 << wdst;
         for (r, (a, b)) in pairs.iter().enumerate() {
-            let (a, b) = (a & ma, b & mb);
-            prop_assert_eq!(xb.read_row_bits(r, 32, wdst), (a + b) % modulus, "add row {}", r);
-            prop_assert_eq!(
+            assert_eq!(xb.read_row_bits(r, 32, wdst), (a + b) % modulus, "case {case} add row {r}");
+            assert_eq!(
                 xb.read_row_bits(r, 64, wdst),
-                a.wrapping_sub(b) % modulus,
-                "sub row {}", r
+                a.wrapping_sub(*b) % modulus,
+                "case {case} sub row {r}"
             );
         }
     }
+}
 
-    #[test]
-    fn mul_matches_semantics(
-        wa in 1usize..=8,
-        wb in 1usize..=5,
-        pairs in proptest::collection::vec((any::<u64>(), any::<u64>()), ROWS),
-    ) {
+#[test]
+fn mul_matches_semantics() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x301 + case);
+        let wa = rng.gen_range(1usize..=8);
+        let wb = rng.gen_range(1usize..=5);
         let ma = (1u64 << wa) - 1;
         let mb = (1u64 << wb) - 1;
         let wdst = wa + wb;
+        let pairs: Vec<(u64, u64)> =
+            (0..ROWS).map(|_| (rng.gen::<u64>() & ma, rng.gen::<u64>() & mb)).collect();
         let mut xb = Crossbar::new(ROWS, COLS);
         for (r, (a, b)) in pairs.iter().enumerate() {
-            xb.write_row_bits(r, 0, wa, a & ma);
-            xb.write_row_bits(r, 16, wb, b & mb);
+            xb.write_row_bits(r, 0, wa, *a);
+            xb.write_row_bits(r, 16, wb, *b);
         }
         let mut pool = scratch();
         let mut builder = CodeBuilder::new(&mut pool);
         arith::compile_mul(
-            &mut builder, ColRange::new(0, wa), ColRange::new(16, wb), ColRange::new(32, wdst),
-        ).unwrap();
+            &mut builder,
+            ColRange::new(0, wa),
+            ColRange::new(16, wb),
+            ColRange::new(32, wdst),
+        )
+        .unwrap();
         xb.execute(&builder.finish()).unwrap();
         for (r, (a, b)) in pairs.iter().enumerate() {
-            prop_assert_eq!(xb.read_row_bits(r, 32, wdst), (a & ma) * (b & mb), "row {}", r);
+            assert_eq!(xb.read_row_bits(r, 32, wdst), a * b, "case {case} row {r}");
         }
     }
+}
 
-    #[test]
-    fn mux_update_matches_select_semantics(
-        width in 1usize..=12,
-        imm_seed in any::<u64>(),
-        rows in proptest::collection::vec((any::<u64>(), any::<bool>()), ROWS),
-    ) {
+#[test]
+fn mux_update_matches_select_semantics() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x30C + case);
+        let width = rng.gen_range(1usize..=12);
         let mask = (1u64 << width) - 1;
-        let imm = imm_seed & mask;
+        let imm = rng.gen::<u64>() & mask;
+        let rows: Vec<(u64, bool)> =
+            (0..ROWS).map(|_| (rng.gen::<u64>() & mask, rng.gen::<bool>())).collect();
         let mut xb = Crossbar::new(ROWS, COLS);
         for (r, (v, sel)) in rows.iter().enumerate() {
-            xb.write_row_bits(r, 0, width, v & mask);
+            xb.write_row_bits(r, 0, width, *v);
             xb.bits_mut_unaccounted().set(r, 90, *sel);
         }
         let mut pool = scratch();
@@ -144,26 +169,26 @@ proptest! {
         mux::compile_mux_update(&mut b, ColRange::new(0, width), imm, 90).unwrap();
         xb.execute(&b.finish()).unwrap();
         for (r, (v, sel)) in rows.iter().enumerate() {
-            let expected = if *sel { imm } else { v & mask };
-            prop_assert_eq!(xb.read_row_bits(r, 0, width), expected, "row {}", r);
+            let expected = if *sel { imm } else { *v };
+            assert_eq!(xb.read_row_bits(r, 0, width), expected, "case {case} row {r}");
         }
     }
+}
 
-    #[test]
-    fn between_and_in_match_semantics(
-        width in 1usize..=10,
-        bounds in (any::<u64>(), any::<u64>()),
-        members in proptest::collection::vec(any::<u64>(), 1..5),
-        values in proptest::collection::vec(any::<u64>(), ROWS),
-    ) {
+#[test]
+fn between_and_in_match_semantics() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xB17 + case);
+        let width = rng.gen_range(1usize..=10);
         let mask = (1u64 << width) - 1;
         let (lo, hi) = {
-            let a = bounds.0 & mask;
-            let b = bounds.1 & mask;
+            let a = rng.gen::<u64>() & mask;
+            let b = rng.gen::<u64>() & mask;
             (a.min(b), a.max(b))
         };
-        let members: Vec<u64> = members.into_iter().map(|v| v & mask).collect();
-        let values: Vec<u64> = values.into_iter().map(|v| v & mask).collect();
+        let members: Vec<u64> =
+            (0..rng.gen_range(1usize..5)).map(|_| rng.gen::<u64>() & mask).collect();
+        let values = random_values(&mut rng, mask);
         let mut xb = crossbar_with(&values, width);
         let mut pool = scratch();
         let mut b = CodeBuilder::new(&mut pool);
@@ -171,8 +196,8 @@ proptest! {
         let inn = predicate::compile_in_set(&mut b, ColRange::new(0, width), &members).unwrap();
         xb.execute(&b.finish()).unwrap();
         for (r, v) in values.iter().enumerate() {
-            prop_assert_eq!(xb.bits().get(r, bw), (lo..=hi).contains(v), "between row {}", r);
-            prop_assert_eq!(xb.bits().get(r, inn), members.contains(v), "in row {}", r);
+            assert_eq!(xb.bits().get(r, bw), (lo..=hi).contains(v), "case {case} between row {r}");
+            assert_eq!(xb.bits().get(r, inn), members.contains(v), "case {case} in row {r}");
         }
     }
 }

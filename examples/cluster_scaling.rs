@@ -1,0 +1,76 @@
+//! Cluster scaling: run one SSB GROUP BY query on 1, 2 and 4 PIM
+//! modules and watch the simulated wall clock shrink while the merged
+//! answer stays bit-identical.
+//!
+//! ```sh
+//! cargo run --release --example cluster_scaling
+//! ```
+
+use bbpim::cluster::{ClusterEngine, Partitioner};
+use bbpim::db::ssb::{queries, SsbDb, SsbParams};
+use bbpim::db::stats;
+use bbpim::engine::groupby::calibration::CalibrationConfig;
+use bbpim::engine::modes::EngineMode;
+use bbpim::sim::SimConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small SSB instance; Q4.1 (two GROUP BY keys, wide filter) is a
+    // query whose host-side aggregation tail benefits from sharding.
+    let wide = SsbDb::generate(&SsbParams::uniform(0.01)).prejoin();
+    let q = queries::standard_query("Q4.1").expect("Q4.1 exists");
+    let oracle = stats::run_oracle(&q, &wide)?;
+    println!("{} over {} records, {} groups in the answer\n", q.id, wide.len(), oracle.len());
+
+    let mut single_ns = 0.0;
+    for shards in [1usize, 2, 4] {
+        // Each shard is a full-size module holding 1/n of the records.
+        let mut cluster = ClusterEngine::new(
+            SimConfig::default(),
+            wide.clone(),
+            EngineMode::OneXb,
+            shards,
+            Partitioner::RoundRobin,
+        )?;
+        // One calibration sweep, shared across all shards.
+        cluster.calibrate(&CalibrationConfig::default())?;
+        let out = cluster.run(&q)?;
+        assert_eq!(out.groups, oracle, "sharding must not change the answer");
+        let r = &out.report;
+        if shards == 1 {
+            single_ns = r.time_ns;
+        }
+        println!(
+            "{} shard(s): {:>8.3} ms wall clock ({:.2}x), {:>8.3} ms total work, {:.3} mJ, merge {:.1} us",
+            shards,
+            r.time_ns / 1e6,
+            r.speedup_over(single_ns),
+            r.total_shard_time_ns / 1e6,
+            r.energy_pj * 1e-9,
+            r.merge_time_ns / 1e3,
+        );
+    }
+
+    // The batch scheduler: shards drain a queue without cluster-wide
+    // barriers, so a mixed batch finishes earlier than one-at-a-time.
+    let batch_queries: Vec<_> = ["Q1.1", "Q2.1", "Q3.1", "Q4.1"]
+        .iter()
+        .map(|id| queries::standard_query(id).expect("standard query"))
+        .collect();
+    let mut cluster = ClusterEngine::new(
+        SimConfig::default(),
+        wide,
+        EngineMode::OneXb,
+        4,
+        Partitioner::RoundRobin,
+    )?;
+    cluster.calibrate(&CalibrationConfig::default())?;
+    let batch = cluster.run_batch(&batch_queries)?;
+    println!(
+        "\nbatch of {}: pipelined {:.3} ms vs barriered {:.3} ms ({:.2}x from pipelining)",
+        batch.executions.len(),
+        batch.wall_time_ns / 1e6,
+        batch.serial_time_ns / 1e6,
+        batch.pipelining_speedup(),
+    );
+    Ok(())
+}

@@ -76,8 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out = engine.run(&q)?;
     assert_eq!(out.groups, stats::run_oracle(&q, engine.relation())?);
 
-    let site_dict =
-        engine.relation().schema().attr("s_site")?.dictionary().expect("dict").clone();
+    let site_dict = engine.relation().schema().attr("s_site")?.dictionary().expect("dict").clone();
     println!("\nMAX(value - baseline), hours 0-5, temperature sensors:");
     for (key, drift) in &out.groups {
         println!("  {:<8} {drift}", site_dict.decode(key[0]).unwrap_or("?"));

@@ -42,7 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let revenue = out.groups.get(&Vec::new()).copied().unwrap_or(0);
     let r = &out.report;
     println!("\nQ1.1: SUM(lo_extendedprice * lo_discount) = {revenue}");
-    println!("  selected          : {} records ({:.3}% selectivity)", r.selected, r.selectivity * 100.0);
+    println!(
+        "  selected          : {} records ({:.3}% selectivity)",
+        r.selected,
+        r.selectivity * 100.0
+    );
     println!("  simulated latency : {:.3} ms", r.time_ns / 1e6);
     println!("  PIM energy        : {:.3} mJ", r.energy_pj * 1e-9);
     println!("  peak chip power   : {:.3} W", r.peak_chip_power_w);

@@ -16,12 +16,21 @@
 //! * [`engine`] — the paper's contribution: the PIM OLAP engine with
 //!   one-crossbar / two-crossbar layouts, the hybrid GROUP-BY with its
 //!   empirical cost model, and UPDATE via the PIM multiplexer.
+//! * [`cluster`] — sharded multi-module execution on top of [`engine`]:
+//!   a `ClusterEngine` partitions the wide relation over `n` PIM
+//!   modules (round-robin or hash-by-group-key), scatters each query to
+//!   all shards on scoped threads, and merges the per-shard partial
+//!   aggregates — same `run(&Query)` surface, bit-identical answers,
+//!   max-of-shards simulated wall clock. Includes a batch scheduler and
+//!   cluster-wide UPDATE fan-out.
 //! * [`monet`] — the in-memory column-store baseline (`mnt-reg` /
 //!   `mnt-join`).
 //!
-//! See `README.md` for a walkthrough and `examples/quickstart.rs` for a
-//! complete end-to-end query.
+//! See `README.md` for a walkthrough, `examples/quickstart.rs` for a
+//! complete end-to-end query, and `examples/cluster_scaling.rs` for
+//! shard-count scaling.
 
+pub use bbpim_cluster as cluster;
 pub use bbpim_core as engine;
 pub use bbpim_db as db;
 pub use bbpim_monet as monet;

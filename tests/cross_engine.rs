@@ -82,8 +82,7 @@ fn reports_carry_consistent_metadata() {
     let db = tiny_db();
     let wide = db.prejoin();
     let records = wide.len();
-    let mut engine =
-        PimQueryEngine::new(SimConfig::default(), wide, EngineMode::OneXb).unwrap();
+    let mut engine = PimQueryEngine::new(SimConfig::default(), wide, EngineMode::OneXb).unwrap();
     engine.calibrate(&CalibrationConfig::tiny_for_tests()).unwrap();
     for q in queries::standard_queries() {
         let out = engine.run(&q).unwrap();

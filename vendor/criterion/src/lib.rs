@@ -1,0 +1,124 @@
+//! Workspace-local stand-in for the slice of `criterion` this
+//! workspace's benches use: `Criterion::bench_function`,
+//! `benchmark_group` with `sample_size`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! It is a plain wall-clock harness (median of N samples, printed to
+//! stdout) rather than a statistics engine — enough for `cargo bench`
+//! to build and produce comparable numbers offline. Swap in the real
+//! `criterion` when a registry is available.
+
+use std::time::{Duration, Instant};
+
+/// Measurement driver handed to bench closures.
+pub struct Bencher {
+    samples: usize,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `f` over the configured number of samples; the harness
+    /// prints the median afterwards.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        self.times.clear();
+        self.times.reserve(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = f();
+            self.times.push(start.elapsed());
+            std::hint::black_box(&out);
+        }
+    }
+}
+
+fn run_one<R>(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher) -> R) {
+    let mut b = Bencher { samples, times: Vec::new() };
+    let _ = f(&mut b);
+    if b.times.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    b.times.sort_unstable();
+    let median = b.times[b.times.len() / 2];
+    let min = b.times[0];
+    println!(
+        "{name:<50} median {:>12.3?}  min {:>12.3?}  ({} samples)",
+        median,
+        min,
+        b.times.len()
+    );
+}
+
+/// Top-level benchmark registry (mirrors `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Run one named benchmark with the default sample count.
+    pub fn bench_function<R, F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher) -> R,
+    {
+        run_one(name, 10, &mut f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup { prefix: name.to_owned(), samples: 10 }
+    }
+}
+
+/// A group of related benchmarks sharing a sample count.
+pub struct BenchmarkGroup {
+    prefix: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup {
+    /// Set the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Run one named benchmark in the group.
+    pub fn bench_function<R, F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher) -> R,
+    {
+        run_one(&format!("{}/{}", self.prefix, name), self.samples, &mut f);
+        self
+    }
+
+    /// Close the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Re-export for parity with `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect bench functions into one runner (mirrors criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running every group (mirrors criterion's macro).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,16 @@
+//! Workspace-local stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and the matching
+//! derive macros so source files can keep their `use serde::{...}` and
+//! `#[derive(Serialize, Deserialize)]` lines unchanged. The derives are
+//! no-ops (nothing in this workspace serializes to a wire format yet);
+//! replace this vendored crate with the real `serde` once a registry is
+//! reachable.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,22 @@
+//! Workspace-local stand-in for `serde_derive`.
+//!
+//! The container this workspace builds in has no access to crates.io,
+//! and nothing in the workspace actually serializes anything yet — the
+//! `#[derive(Serialize, Deserialize)]` attributes only mark types as
+//! serialization-ready for future wire formats. These derives therefore
+//! expand to nothing; swap in the real `serde`/`serde_derive` when a
+//! registry is available.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive (accepts `#[serde(...)]` field attributes).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive (accepts `#[serde(...)]` field attributes).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
