@@ -8,6 +8,7 @@ use bbpim_core::groupby::pim_gb::run_pim_gb;
 use bbpim_core::layout::RecordLayout;
 use bbpim_core::loader::load_relation;
 use bbpim_core::modes::EngineMode;
+use bbpim_core::planner::PageSet;
 use bbpim_db::plan::{AggExpr, AggFunc};
 use bbpim_db::schema::{Attribute, Schema};
 use bbpim_db::Relation;
@@ -33,10 +34,17 @@ fn setup() -> Setup {
     let mut module = PimModule::new(cfg);
     let loaded = load_relation(&mut module, &rel, &layout).unwrap();
     let mut log = RunLog::new();
-    run_filter(&mut module, &layout, &loaded, &[], &mut log).unwrap();
-    let input =
-        materialize_expr(&mut module, &layout, &loaded, &AggExpr::Attr("lo_v".into()), &mut log)
-            .unwrap();
+    let pages = PageSet::all(loaded.page_count());
+    run_filter(&mut module, &layout, &loaded, &[], &pages, &mut log).unwrap();
+    let input = materialize_expr(
+        &mut module,
+        &layout,
+        &loaded,
+        &pages,
+        &AggExpr::Attr("lo_v".into()),
+        &mut log,
+    )
+    .unwrap();
     (module, layout, loaded, input)
 }
 
@@ -51,6 +59,7 @@ fn bench_pim_gb(c: &mut Criterion) {
                     &mut module,
                     &layout,
                     &loaded,
+                    &PageSet::all(loaded.page_count()),
                     EngineMode::OneXb,
                     &gp,
                     &[vec![3u64]],
@@ -78,7 +87,8 @@ fn bench_host_gb(c: &mut Criterion) {
                 func: AggFunc::Sum,
                 skip: &skip,
             };
-            black_box(run_host_gb(&mut module, &layout, &loaded, &req, &mut log).unwrap())
+            let pages = PageSet::all(loaded.page_count());
+            black_box(run_host_gb(&mut module, &layout, &loaded, &pages, &req, &mut log).unwrap())
         })
     });
 }

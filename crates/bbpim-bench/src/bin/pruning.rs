@@ -1,0 +1,26 @@
+//! Zone-map pruning study: pruned vs exhaustive dispatch over all 13
+//! SSB queries on a `RangeByAttr(d_year)` cluster at several shard
+//! counts.
+//!
+//! Range placement on `d_year` makes shard zone maps narrow on the
+//! attribute Q1.x/Q3.x/Q4.x constrain, so the planner skips most shards
+//! pre-scatter and most pages inside the survivors; Q2.x (no date
+//! filter) shows the no-pruning baseline behaviour. Both executions of
+//! every query are cross-checked against the row-at-a-time oracle.
+//!
+//! Flags: `--sf`, `--seed`, `--uniform`, `--shards 1,4,8` (see
+//! `bbpim_bench::BenchConfig`).
+
+use bbpim_bench::{reports, run_pruning_study, setup, BenchConfig};
+use bbpim_core::modes::EngineMode;
+
+/// The range-partitioning attribute: the dimension attribute SSB's
+/// selective filters constrain most often.
+const RANGE_ATTR: &str = "d_year";
+
+fn main() {
+    let s = setup(BenchConfig::from_args());
+    let shard_counts = s.cfg.shards.clone();
+    let points = run_pruning_study(&s, EngineMode::OneXb, &shard_counts, RANGE_ATTR);
+    reports::print_pruning(&s, &points);
+}

@@ -1,10 +1,12 @@
 //! Cluster scaling study: the 13 SSB queries on a sharded multi-module
-//! cluster at 1 / 2 / 4 / 8 shards, round-robin partitioned, plus a
-//! hash-by-group-key comparison at 4 shards.
+//! cluster, round-robin partitioned, plus a hash-by-group-key
+//! comparison at one shard count.
 //!
 //! Every merged answer is cross-checked against the row-at-a-time
-//! oracle before it is reported. Flags: `--sf`, `--seed`, `--uniform`
-//! (see `bbpim_bench::BenchConfig`).
+//! oracle before it is reported. Flags: `--sf`, `--seed`, `--uniform`,
+//! and `--shards 1,2,4,8` for the shard counts to sweep (see
+//! `bbpim_bench::BenchConfig`); the hash comparison runs at 4 shards
+//! when swept, otherwise at the largest requested count.
 
 use bbpim_bench::{reports, run_cluster_scaling, setup, BenchConfig};
 use bbpim_cluster::{ClusterEngine, Partitioner};
@@ -12,20 +14,25 @@ use bbpim_core::groupby::calibration::CalibrationConfig;
 use bbpim_core::modes::EngineMode;
 use bbpim_sim::SimConfig;
 
-const HASH_SHARDS: usize = 4;
-
 fn main() {
     let s = setup(BenchConfig::from_args());
+    let shard_counts = s.cfg.shards.clone();
     let points =
-        run_cluster_scaling(&s, EngineMode::OneXb, &[1, 2, 4, 8], &Partitioner::RoundRobin);
+        run_cluster_scaling(&s, EngineMode::OneXb, &shard_counts, &Partitioner::RoundRobin);
     reports::print_scaling(&s, &points);
 
     // Hash partitioning keeps every subgroup on one shard: the merge is
     // a disjoint union and each shard's GROUP BY sees k/n subgroups.
     // One hash cluster per GROUP BY query (the key set differs), each
     // running only its own query.
-    println!("\nhash-by-group-key vs round-robin at {HASH_SHARDS} shards (GROUP BY queries):\n");
-    let rr_point = points.iter().find(|p| p.shards == HASH_SHARDS).expect("4-shard point");
+    let hash_shards = if shard_counts.contains(&4) {
+        4
+    } else {
+        *shard_counts.iter().max().expect("at least one shard count")
+    };
+    println!("\nhash-by-group-key vs round-robin at {hash_shards} shards (GROUP BY queries):\n");
+    let rr_point =
+        points.iter().find(|p| p.shards == hash_shards).expect("hash-comparison shard point");
     let mut rows = Vec::new();
     for (i, q) in s.queries.iter().enumerate() {
         if !q.has_group_by() {
@@ -35,7 +42,7 @@ fn main() {
             SimConfig::default(),
             s.wide.clone(),
             EngineMode::OneXb,
-            HASH_SHARDS,
+            hash_shards,
             Partitioner::hash_by_group_keys(&q.group_by),
         )
         .expect("hash cluster construction");
@@ -48,12 +55,18 @@ fn main() {
         );
         let rr_ns = rr_point.executions[i].report.time_ns;
         let hash_ns = out.report.time_ns;
+        let ratio = rr_ns / hash_ns;
         rows.push(vec![
             q.id.clone(),
+            out.report.partitioner.to_string(),
             bbpim_bench::fmt_ms(rr_ns),
             bbpim_bench::fmt_ms(hash_ns),
-            format!("{:.2}", rr_ns / hash_ns),
+            // zone-pruned zero-match queries cost ~0 on both layouts
+            if ratio.is_finite() { format!("{ratio:.2}") } else { "-".into() },
         ]);
     }
-    bbpim_bench::print_table(&["query", "round-robin", "hash-by-key", "rr/hash"], &rows);
+    bbpim_bench::print_table(
+        &["query", "partitioner", "round-robin", "hash-by-key", "rr/hash"],
+        &rows,
+    );
 }

@@ -46,11 +46,13 @@ pub struct BenchConfig {
     pub seed: u64,
     /// Host threads for the baseline engine.
     pub threads: usize,
+    /// Shard counts for the cluster studies (`--shards 1,2,4,8`).
+    pub shards: Vec<usize>,
 }
 
 impl Default for BenchConfig {
     fn default() -> Self {
-        BenchConfig { sf: 0.1, skewed: true, seed: 0xB1_7B17, threads: 4 }
+        BenchConfig { sf: 0.1, skewed: true, seed: 0xB1_7B17, threads: 4, shards: vec![1, 2, 4, 8] }
     }
 }
 
@@ -79,6 +81,19 @@ impl BenchConfig {
                     if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
                         cfg.threads = v;
                         i += 1;
+                    }
+                }
+                "--shards" => {
+                    if let Some(list) = args.get(i + 1) {
+                        let parsed: Vec<usize> = list
+                            .split(',')
+                            .filter_map(|t| t.trim().parse().ok())
+                            .filter(|&s| s > 0)
+                            .collect();
+                        if !parsed.is_empty() {
+                            cfg.shards = parsed;
+                            i += 1;
+                        }
                     }
                 }
                 "--uniform" => cfg.skewed = false,
@@ -213,6 +228,81 @@ pub fn run_cluster_scaling(
                 })
                 .collect();
             ClusterScalePoint { shards, partitioner: partitioner.label(), executions }
+        })
+        .collect()
+}
+
+/// One shard count's pruned-vs-exhaustive comparison in the pruning
+/// study.
+pub struct PruningPoint {
+    /// Shard count.
+    pub shards: usize,
+    /// Partitioning strategy label.
+    pub partitioner: &'static str,
+    /// Per-query executions with zone-map pruning on, in query order.
+    pub pruned: Vec<ClusterExecution>,
+    /// Per-query executions with exhaustive dispatch, in query order.
+    pub exhaustive: Vec<ClusterExecution>,
+}
+
+/// Run every query through a range-partitioned `ClusterEngine` twice —
+/// exhaustive dispatch vs zone-map pruning — at each shard count,
+/// cross-checking both answers against the oracle.
+///
+/// `range_attr` is the range-partitioning attribute (SSB: `d_year`,
+/// which Q1.x/Q3.x/Q4.x constrain).
+///
+/// # Panics
+///
+/// Panics on engine errors or an answer/oracle mismatch (the harness
+/// runs known-good inputs).
+pub fn run_pruning_study(
+    setup: &SsbSetup,
+    mode: EngineMode,
+    shard_counts: &[usize],
+    range_attr: &str,
+) -> Vec<PruningPoint> {
+    let partitioner = Partitioner::range_by_attr(range_attr);
+    let oracles: Vec<GroupedResult> = setup
+        .queries
+        .iter()
+        .map(|q| bbpim_db::stats::run_oracle(q, &setup.wide).expect("oracle"))
+        .collect();
+    shard_counts
+        .iter()
+        .map(|&shards| {
+            let mut cluster = ClusterEngine::new(
+                SimConfig::default(),
+                setup.wide.clone(),
+                mode,
+                shards,
+                partitioner.clone(),
+            )
+            .expect("cluster construction");
+            cluster.calibrate(&CalibrationConfig::default()).expect("calibration");
+            let run_all = |cluster: &mut ClusterEngine| -> Vec<ClusterExecution> {
+                setup
+                    .queries
+                    .iter()
+                    .zip(&oracles)
+                    .map(|(q, oracle)| {
+                        let out = cluster
+                            .run(q)
+                            .unwrap_or_else(|e| panic!("{shards} shards on {}: {e}", q.id));
+                        assert_eq!(
+                            &out.groups, oracle,
+                            "cluster/oracle mismatch on {} at {shards} shards",
+                            q.id
+                        );
+                        out
+                    })
+                    .collect()
+            };
+            cluster.set_pruning(false);
+            let exhaustive = run_all(&mut cluster);
+            cluster.set_pruning(true);
+            let pruned = run_all(&mut cluster);
+            PruningPoint { shards, partitioner: partitioner.label(), pruned, exhaustive }
         })
         .collect()
 }
@@ -357,6 +447,16 @@ mod tests {
         assert!(c.skewed);
         assert!((c.sf - 0.1).abs() < 1e-12);
         assert_eq!(c.threads, 4);
+        assert_eq!(c.shards, vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn shard_list_parsing() {
+        let parsed: Vec<usize> =
+            "1, 4,8".split(',').filter_map(|t| t.trim().parse().ok()).collect();
+        assert_eq!(parsed, vec![1, 4, 8]);
+        let empty: Vec<usize> = "x,y".split(',').filter_map(|t| t.trim().parse().ok()).collect();
+        assert!(empty.is_empty()); // bad lists keep the default
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Shared report printers for the figure binaries (`fig6`–`fig9`,
 //! `table2`, `all`) and the cluster scaling study (`scaling`).
 
-use crate::{fmt_ms, geomean, print_table, ClusterScalePoint, MonetRun, PimModeRun, SsbSetup};
+use crate::{
+    fmt_ms, geomean, print_table, ClusterScalePoint, MonetRun, PimModeRun, PruningPoint, SsbSetup,
+};
 
 /// Fig. 6: execution latency of all five systems plus the paper's
 /// headline geo-means.
@@ -286,10 +288,81 @@ pub fn print_table2(setup: &SsbSetup, pim: &[PimModeRun]) {
     println!("subgroups to PIM (e.g. Q2.2: 56, Q3.1: 150), two_xb assigns none, pimdb few.");
 }
 
+/// Pruning study: zone-map-pruned vs exhaustive dispatch per query and
+/// shard count on a range-partitioned cluster.
+pub fn print_pruning(setup: &SsbSetup, points: &[PruningPoint]) {
+    println!(
+        "Zone-map pruning — pruned vs exhaustive dispatch (SF={}, {} data, {} records)\n",
+        setup.cfg.sf,
+        if setup.cfg.skewed { "skewed" } else { "uniform" },
+        setup.wide.len(),
+    );
+    for point in points {
+        println!("{} shards, {} partitioning:", point.shards, point.partitioner);
+        let mut rows = Vec::new();
+        let mut ratios = Vec::new();
+        let mut planner_only = 0usize;
+        for (i, q) in setup.queries.iter().enumerate() {
+            let ex = &point.exhaustive[i].report;
+            let pr = &point.pruned[i].report;
+            // A zero pruned time means the planner answered the query
+            // without touching a single page: report it as such and
+            // keep the geo-mean over the queries that did execute.
+            let speedup_cell = if pr.time_ns > 0.0 {
+                let speedup = ex.time_ns / pr.time_ns;
+                ratios.push(speedup.max(1e-9));
+                format!("{speedup:.2}")
+            } else {
+                planner_only += 1;
+                "planner-only".into()
+            };
+            let energy_cell = if pr.energy_pj > 0.0 {
+                format!("{:.2}", ex.energy_pj / pr.energy_pj)
+            } else {
+                "-".into()
+            };
+            rows.push(vec![
+                q.id.clone(),
+                fmt_ms(ex.time_ns),
+                fmt_ms(pr.time_ns),
+                speedup_cell,
+                format!("{}/{}", pr.shards_pruned, pr.active_shards),
+                format!("{}/{}", pr.pages_scanned, pr.pages_total),
+                energy_cell,
+            ]);
+        }
+        print_table(
+            &[
+                "query",
+                "exhaustive",
+                "pruned",
+                "speedup",
+                "shards pruned",
+                "pages scanned",
+                "energy x",
+            ],
+            &rows,
+        );
+        if ratios.is_empty() {
+            println!("  every query answered by the planner alone\n");
+        } else {
+            println!(
+                "  geo-mean wall-clock speedup: {:.2}x over {} executed queries ({planner_only} answered by the planner alone)\n",
+                geomean(&ratios),
+                ratios.len(),
+            );
+        }
+    }
+    println!(
+        "(latencies in ms; shards pruned = zone-map-skipped / active; pages scanned counts\nonly dispatched shards' planned pages. Answers are oracle-checked bit-identical.)"
+    );
+}
+
 /// Cluster scaling study: simulated latency and speedup per shard
-/// count, per query. `points[0]` is the baseline (normally 1 shard).
+/// count, per query. The point with the fewest shards is the baseline
+/// (normally 1 shard), regardless of sweep order.
 pub fn print_scaling(setup: &SsbSetup, points: &[ClusterScalePoint]) {
-    let base = &points[0];
+    let base = points.iter().min_by_key(|p| p.shards).expect("at least one scale point");
     println!(
         "Cluster scaling — simulated latency [ms] (SF={}, {} data, {} records, {} partitioning)\n",
         setup.cfg.sf,
@@ -298,39 +371,48 @@ pub fn print_scaling(setup: &SsbSetup, points: &[ClusterScalePoint]) {
         base.partitioner,
     );
 
-    let mut headers: Vec<String> = vec!["query".into()];
+    let mut headers: Vec<String> = vec!["query".into(), "partitioner".into()];
     for p in points {
         headers.push(format!("{}-shard", p.shards));
     }
-    for p in points.iter().skip(1) {
+    let compared: Vec<&ClusterScalePoint> =
+        points.iter().filter(|p| p.shards != base.shards).collect();
+    for p in &compared {
         headers.push(format!("x{}", p.shards));
     }
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
 
     let mut rows = Vec::new();
     for (i, q) in setup.queries.iter().enumerate() {
-        let mut row = vec![q.id.clone()];
+        let mut row = vec![q.id.clone(), base.executions[i].report.partitioner.to_string()];
         for p in points {
             row.push(fmt_ms(p.executions[i].report.time_ns));
         }
         let t0 = base.executions[i].report.time_ns;
-        for p in points.iter().skip(1) {
-            row.push(format!("{:.2}", t0 / p.executions[i].report.time_ns));
+        for p in &compared {
+            let ratio = t0 / p.executions[i].report.time_ns;
+            // zone-pruned zero-match queries cost ~0 at every shard count
+            row.push(if ratio.is_finite() { format!("{ratio:.2}") } else { "-".into() });
         }
         rows.push(row);
     }
     print_table(&header_refs, &rows);
 
-    println!("\ngeo-mean speedup over {}-shard:", base.shards);
-    for p in points.iter().skip(1) {
+    println!("\ngeo-mean speedup over {}-shard (queries with nonzero time):", base.shards);
+    for p in &compared {
         let ratios: Vec<f64> = (0..setup.queries.len())
             .map(|i| base.executions[i].report.time_ns / p.executions[i].report.time_ns)
+            .filter(|r| r.is_finite() && *r > 0.0)
             .collect();
-        println!("  {} shards: {:>6.2}x", p.shards, geomean(&ratios));
+        if ratios.is_empty() {
+            println!("  {} shards: every query answered by the planner alone", p.shards);
+        } else {
+            println!("  {} shards: {:>6.2}x", p.shards, geomean(&ratios));
+        }
     }
 
     // The headline check: module-level parallelism must pay off on at
-    // least one GROUP BY query by 4 shards.
+    // least one GROUP BY query by 4 shards (when 4 shards were run).
     if let Some(p4) = points.iter().find(|p| p.shards == 4) {
         let best = setup
             .queries

@@ -5,10 +5,27 @@
 //! from many independent modules; this layer models a rank of `n` such
 //! modules. Each shard owns a horizontal slice of the wide pre-joined
 //! relation (see [`crate::partition`]) inside its own `PimModule`.
-//! Because real modules execute concurrently, the cluster's simulated
-//! wall clock for one query is the *maximum* over shards of the
-//! per-shard [`RunLog`] time (plus a small host-side gather cost),
-//! while energy — drawn by every module — is the *sum*.
+//!
+//! ## Zone-map shard pruning
+//!
+//! Every shard carries a [`ZoneMap`] (per-attribute min/max, built
+//! during partitioning and widened by UPDATE fan-out). Before the
+//! scatter, the query's [`FilterBounds`] are tested against each
+//! shard's map: shards that provably hold no matching record are
+//! *pruned pre-scatter* — no thread, no per-page host dispatch, no PIM
+//! activity. With [`Partitioner::RangeByAttr`] placement, selective
+//! filters on the split attribute touch one or two shards instead of
+//! all of them.
+//!
+//! ## Wall-clock model
+//!
+//! Real modules execute concurrently, but the *host* is one resource:
+//! its per-page orchestration (the [`PhaseKind::HostDispatch`] slice of
+//! each shard's log) serialises across shards, while the PIM phases
+//! overlap. The cluster's simulated wall clock for one query is
+//! therefore `Σ dispatch + max over shards of (shard time − its
+//! dispatch) + host merge`; energy — drawn by every module — is the
+//! *sum*.
 
 use bbpim_core::engine::PimQueryEngine;
 use bbpim_core::groupby::calibration::CalibrationConfig;
@@ -16,19 +33,24 @@ use bbpim_core::modes::EngineMode;
 use bbpim_core::result::{PartialGroups, QueryExecution, QueryReport};
 use bbpim_core::update::{UpdateOp, UpdateReport};
 use bbpim_core::CoreError;
-use bbpim_db::plan::Query;
+use bbpim_db::plan::{Atom, FilterBounds, Query};
 use bbpim_db::stats::GroupedResult;
+use bbpim_db::zonemap::ZoneMap;
 use bbpim_db::Relation;
 use bbpim_sim::config::SimConfig;
+use bbpim_sim::timeline::{PhaseKind, RunLog};
 
 use crate::error::ClusterError;
 use crate::partition::Partitioner;
 
-/// One shard: its position in the cluster plus its engine.
+/// One shard: its position in the cluster plus its engine and zone map.
 struct Shard {
     /// Shard index in `0..shard_count` (empty shards have no entry).
     index: usize,
     engine: PimQueryEngine,
+    /// Per-attribute min/max over this shard's records; widened after
+    /// UPDATE fan-out so pre-scatter pruning stays sound.
+    zone: ZoneMap,
 }
 
 /// A sharded PIM OLAP engine over one (pre-joined) relation.
@@ -41,6 +63,7 @@ pub struct ClusterEngine {
     partitioner: Partitioner,
     mode: EngineMode,
     records: usize,
+    pruning: bool,
 }
 
 /// Everything the cluster reports per query.
@@ -53,13 +76,19 @@ pub struct ClusterReport {
     /// Configured shard count (including shards that received no
     /// records).
     pub shards: usize,
-    /// Shards that hold records and actually executed.
+    /// Shards that hold records and could have executed.
     pub active_shards: usize,
+    /// Active shards skipped pre-scatter because their zone map proves
+    /// they hold no matching record.
+    pub shards_pruned: usize,
     /// Partitioning strategy label.
     pub partitioner: &'static str,
-    /// Simulated wall clock: max over shards plus the host-side merge,
-    /// nanoseconds (modules run concurrently).
+    /// Simulated wall clock: host-serial dispatch plus max over shards
+    /// of the PIM-side time plus the host-side merge, nanoseconds.
     pub time_ns: f64,
+    /// Host-side per-page orchestration summed over dispatched shards
+    /// (serialised on the one host), nanoseconds.
+    pub dispatch_time_ns: f64,
     /// Host-side gather/merge slice of `time_ns`.
     pub merge_time_ns: f64,
     /// Total busy time summed over shards (the work the cluster did).
@@ -70,6 +99,10 @@ pub struct ClusterReport {
     pub peak_chip_power_w: f64,
     /// Records across the cluster.
     pub records: usize,
+    /// Pages across all active shards (per partition).
+    pub pages_total: usize,
+    /// Pages the dispatched shards' planners actually activated.
+    pub pages_scanned: usize,
     /// Records passing the filter across the cluster.
     pub selected: u64,
     /// Cluster-wide selectivity.
@@ -77,7 +110,7 @@ pub struct ClusterReport {
     /// Largest per-shard potential-subgroup count (`k_MAX` of the
     /// busiest shard).
     pub max_shard_subgroups: u64,
-    /// Full per-shard reports, in shard order.
+    /// Full per-shard reports of the dispatched shards, in shard order.
     pub per_shard: Vec<QueryReport>,
 }
 
@@ -106,9 +139,10 @@ pub struct ClusterExecution {
 pub struct BatchExecution {
     /// Per-query merged executions, in admission order.
     pub executions: Vec<ClusterExecution>,
-    /// Pipelined wall clock: every shard drains the whole queue without
-    /// waiting for stragglers on other shards, so the batch finishes at
-    /// max-over-shards of the per-shard queue time (plus merges).
+    /// Pipelined wall clock: every shard drains its own (pruned) queue
+    /// without waiting for stragglers on other shards, so the batch
+    /// finishes at host-serial dispatch plus max-over-shards of the
+    /// per-shard PIM queue time (plus merges).
     pub wall_time_ns: f64,
     /// Reference wall clock if queries ran one at a time with a
     /// cluster-wide barrier between them (sum of per-query maxima).
@@ -130,20 +164,36 @@ impl BatchExecution {
 pub struct ClusterUpdateReport {
     /// Records rewritten across all shards.
     pub records_updated: u64,
-    /// Simulated wall clock (max over shards), nanoseconds.
+    /// Active shards skipped pre-scatter (their zone maps prove the
+    /// WHERE clause matches nothing they hold).
+    pub shards_pruned: usize,
+    /// Simulated wall clock (host-serial dispatch + max over shards of
+    /// the PIM-side time), nanoseconds.
     pub time_ns: f64,
+    /// Host-side per-page orchestration summed over dispatched shards.
+    pub dispatch_time_ns: f64,
     /// Total busy time summed over shards.
     pub total_shard_time_ns: f64,
     /// Total PIM energy over all modules, picojoules.
     pub energy_pj: f64,
-    /// Full per-shard reports, in shard order.
+    /// Full per-shard reports of the dispatched shards, in shard order.
     pub per_shard: Vec<UpdateReport>,
+}
+
+/// The host-dispatch slice of one log.
+fn dispatch_ns(log: &RunLog) -> f64 {
+    log.time_in(PhaseKind::HostDispatch)
 }
 
 impl ClusterEngine {
     /// Partition `relation` with `partitioner` into `shards` slices and
     /// build one [`PimQueryEngine`] (its own `PimModule`, same `cfg`)
-    /// per non-empty slice.
+    /// per non-empty slice, each paired with the slice's zone map.
+    /// Empty slices — common when a range split has more buckets than
+    /// distinct values — are dropped: they own no engine and no module,
+    /// and [`ClusterEngine::active_shards`] excludes them while
+    /// [`ClusterEngine::shard_count`] keeps reporting the configured
+    /// count.
     ///
     /// Use [`SimConfig::per_module_of`] on `cfg` first for iso-capacity
     /// scaling experiments; pass `cfg` unchanged to model a cluster of
@@ -161,16 +211,23 @@ impl ClusterEngine {
         partitioner: Partitioner,
     ) -> Result<Self, ClusterError> {
         let records = relation.len();
-        let parts = partitioner.split(&relation, shards)?;
+        let parts = partitioner.split_zoned(&relation, shards)?;
         let mut built = Vec::with_capacity(shards);
-        for (index, part) in parts.into_iter().enumerate() {
+        for (index, (part, zone)) in parts.into_iter().enumerate() {
             if part.is_empty() {
                 continue;
             }
             let engine = PimQueryEngine::new(cfg.clone(), part, mode)?;
-            built.push(Shard { index, engine });
+            built.push(Shard { index, engine, zone });
         }
-        Ok(ClusterEngine { shards: built, shard_count: shards, partitioner, mode, records })
+        Ok(ClusterEngine {
+            shards: built,
+            shard_count: shards,
+            partitioner,
+            mode,
+            records,
+            pruning: true,
+        })
     }
 
     /// Configured shard count (including empty shards).
@@ -183,8 +240,8 @@ impl ClusterEngine {
         self.shards.len()
     }
 
-    /// Configured indices of the shards that hold records (hash
-    /// partitioning can leave some of `0..shard_count` empty).
+    /// Configured indices of the shards that hold records (hash and
+    /// range partitioning can leave some of `0..shard_count` empty).
     pub fn active_shard_indices(&self) -> Vec<usize> {
         self.shards.iter().map(|s| s.index).collect()
     }
@@ -202,6 +259,27 @@ impl ClusterEngine {
     /// The partitioning strategy.
     pub fn partitioner(&self) -> &Partitioner {
         &self.partitioner
+    }
+
+    /// Is zone-map pruning (shard-level pre-scatter skip + per-shard
+    /// page pruning) enabled? Defaults to `true`.
+    pub fn pruning(&self) -> bool {
+        self.pruning
+    }
+
+    /// Enable or disable zone-map pruning cluster-wide (propagates to
+    /// every shard engine's page-level pruning). Answers are
+    /// bit-identical either way.
+    pub fn set_pruning(&mut self, enabled: bool) {
+        self.pruning = enabled;
+        for shard in &mut self.shards {
+            shard.engine.set_pruning(enabled);
+        }
+    }
+
+    /// An active shard's zone map; `i` indexes active shards.
+    pub fn shard_zone(&self, i: usize) -> Option<&ZoneMap> {
+        self.shards.get(i).map(|s| &s.zone)
     }
 
     /// Borrow an active shard's engine (inspection in tests/benches);
@@ -229,82 +307,170 @@ impl ClusterEngine {
         Ok(())
     }
 
-    /// Run `f` on every shard engine concurrently (one OS thread per
-    /// shard — the scatter phase) and gather the results in shard
-    /// order. The first shard error aborts the cluster operation.
-    fn scatter<T, F>(&mut self, f: F) -> Result<Vec<T>, ClusterError>
+    /// The pre-scatter plan of a conjunction: `true` per active shard
+    /// that must be dispatched, `false` where the shard's zone map
+    /// proves no record can match. With pruning disabled every shard is
+    /// dispatched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filter resolution failures.
+    pub fn plan_shards(&self, filter: &[Atom]) -> Result<Vec<bool>, ClusterError> {
+        if !self.pruning || filter.is_empty() {
+            return Ok(vec![true; self.shards.len()]);
+        }
+        let Some(first) = self.shards.first() else {
+            return Ok(Vec::new());
+        };
+        let schema = first.engine.relation().schema();
+        let resolved = filter
+            .iter()
+            .map(|a| a.resolve(schema))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(ClusterError::Db)?;
+        let bounds = FilterBounds::from_atoms(&resolved);
+        Ok(self.shards.iter().map(|s| bounds.can_match(&s.zone)).collect())
+    }
+
+    /// Run `f` on the masked shard engines concurrently (one OS thread
+    /// per dispatched shard — the scatter phase) and gather the results
+    /// in shard order (`None` for pruned shards). The first shard error
+    /// aborts the cluster operation.
+    fn scatter_planned<T, F>(&mut self, mask: &[bool], f: F) -> Result<Vec<Option<T>>, ClusterError>
     where
         T: Send,
         F: Fn(&mut PimQueryEngine) -> Result<T, CoreError> + Sync,
     {
-        let results: Vec<Result<T, CoreError>> = std::thread::scope(|scope| {
+        let results: Vec<Option<Result<T, CoreError>>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .shards
                 .iter_mut()
-                .map(|shard| {
-                    let f = &f;
-                    scope.spawn(move || f(&mut shard.engine))
+                .zip(mask)
+                .map(|(shard, &dispatched)| {
+                    dispatched.then(|| {
+                        let f = &f;
+                        scope.spawn(move || f(&mut shard.engine))
+                    })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.map(|h| h.join().expect("shard worker panicked")))
+                .collect()
         });
-        results.into_iter().map(|r| r.map_err(ClusterError::from)).collect()
+        results.into_iter().map(|r| r.transpose().map_err(ClusterError::from)).collect()
     }
 
-    /// Execute one query on all shards in parallel and merge the
-    /// per-shard partial aggregates.
+    /// Execute one query: consult the shard zone maps, scatter to the
+    /// surviving shards in parallel, and merge the per-shard partial
+    /// aggregates. Pruned shards contribute nothing — provably the same
+    /// nothing they would have computed.
     ///
     /// # Errors
     ///
     /// Propagates the first shard failure.
     pub fn run(&mut self, query: &Query) -> Result<ClusterExecution, ClusterError> {
-        let executions = self.scatter(|engine| engine.run(query))?;
-        let refs: Vec<&QueryExecution> = executions.iter().collect();
-        Ok(self.merge(query, &refs))
+        let mask = self.plan_shards(&query.filter)?;
+        let results = self.scatter_planned(&mask, |engine| engine.run(query))?;
+        let refs: Vec<&QueryExecution> = results.iter().flatten().collect();
+        let pruned = mask.iter().filter(|d| !**d).count();
+        Ok(self.merge(query, &refs, pruned))
     }
 
-    /// Admit a queue of queries: every shard drains the whole queue on
-    /// its own module without cluster-wide barriers between queries
-    /// (shard `a` may be on query 3 while shard `b` is still on query
-    /// 1), so the batch's wall clock is max-over-shards of the queue
+    /// Admit a queue of queries: every shard drains *its own* queue —
+    /// the queries its zone map cannot refuse — on its own module
+    /// without cluster-wide barriers (shard `a` may be on query 3 while
+    /// shard `b` is still on query 1). The batch's wall clock is the
+    /// host-serial dispatch total plus max-over-shards of the PIM queue
     /// time rather than the sum of per-query maxima.
     ///
     /// # Errors
     ///
     /// Propagates the first shard failure.
     pub fn run_batch(&mut self, queries: &[Query]) -> Result<BatchExecution, ClusterError> {
-        let per_shard: Vec<Vec<QueryExecution>> = self.scatter(|engine| {
-            queries.iter().map(|q| engine.run(q)).collect::<Result<Vec<_>, _>>()
-        })?;
+        let masks: Vec<Vec<bool>> = queries
+            .iter()
+            .map(|q| self.plan_shards(&q.filter))
+            .collect::<Result<_, ClusterError>>()?;
+        let shard_lists: Vec<Vec<usize>> = (0..self.shards.len())
+            .map(|s| (0..queries.len()).filter(|&qi| masks[qi][s]).collect())
+            .collect();
 
-        let mut executions = Vec::with_capacity(queries.len());
-        for (qi, query) in queries.iter().enumerate() {
-            let row: Vec<&QueryExecution> =
-                per_shard.iter().map(|shard_execs| &shard_execs[qi]).collect();
-            executions.push(self.merge(query, &row));
+        let per_shard: Vec<Vec<(usize, QueryExecution)>> = {
+            let joined: Vec<Result<Vec<(usize, QueryExecution)>, CoreError>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = self
+                        .shards
+                        .iter_mut()
+                        .zip(&shard_lists)
+                        .map(|(shard, list)| {
+                            scope.spawn(move || {
+                                list.iter()
+                                    .map(|&qi| shard.engine.run(&queries[qi]).map(|e| (qi, e)))
+                                    .collect::<Result<Vec<_>, _>>()
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
+                });
+            joined.into_iter().collect::<Result<_, _>>().map_err(ClusterError::from)?
+        };
+
+        let mut rows: Vec<Vec<&QueryExecution>> = vec![Vec::new(); queries.len()];
+        for shard_execs in &per_shard {
+            for (qi, exec) in shard_execs {
+                rows[*qi].push(exec);
+            }
         }
+        let executions: Vec<ClusterExecution> = queries
+            .iter()
+            .enumerate()
+            .map(|(qi, q)| {
+                let pruned = masks[qi].iter().filter(|d| !**d).count();
+                self.merge(q, &rows[qi], pruned)
+            })
+            .collect();
 
-        let queue_time = |shard_execs: &Vec<QueryExecution>| -> f64 {
-            shard_execs.iter().map(|e| e.report.time_ns).sum()
+        let dispatch_total: f64 = per_shard
+            .iter()
+            .flat_map(|execs| execs.iter().map(|(_, e)| dispatch_ns(&e.report.phases)))
+            .sum();
+        let pim_queue = |shard_execs: &Vec<(usize, QueryExecution)>| -> f64 {
+            shard_execs.iter().map(|(_, e)| e.report.time_ns - dispatch_ns(&e.report.phases)).sum()
         };
         let merge_time: f64 = executions.iter().map(|e| e.report.merge_time_ns).sum();
-        let wall_time_ns = per_shard.iter().map(queue_time).fold(0.0, f64::max) + merge_time;
+        let wall_time_ns =
+            dispatch_total + per_shard.iter().map(pim_queue).fold(0.0, f64::max) + merge_time;
         let serial_time_ns = executions.iter().map(|e| e.report.time_ns).sum();
         Ok(BatchExecution { executions, wall_time_ns, serial_time_ns })
     }
 
-    /// Fan an UPDATE out to every shard (each shard's filter selects
-    /// the records it owns; shards run concurrently).
+    /// Fan an UPDATE out to the shards whose zone maps admit the WHERE
+    /// clause (each shard's filter then selects the records it owns;
+    /// shards run concurrently). Afterwards the dispatched shards' zone
+    /// maps are refreshed from their engines' widened page zones, so
+    /// later pruning decisions account for the written values.
     ///
     /// # Errors
     ///
     /// Propagates the first shard failure.
     pub fn update(&mut self, op: &UpdateOp) -> Result<ClusterUpdateReport, ClusterError> {
-        let reports = self.scatter(|engine| engine.update(op))?;
-        let time_ns = reports.iter().map(|r| r.time_ns).fold(0.0, f64::max);
+        let mask = self.plan_shards(&op.filter)?;
+        let results = self.scatter_planned(&mask, |engine| engine.update(op))?;
+        for (shard, result) in self.shards.iter_mut().zip(&results) {
+            if result.is_some() {
+                shard.zone = shard.engine.zone_map();
+            }
+        }
+        let reports: Vec<UpdateReport> = results.into_iter().flatten().collect();
+        let dispatch_time_ns: f64 = reports.iter().map(|r| dispatch_ns(&r.phases)).sum();
+        let pim_max =
+            reports.iter().map(|r| r.time_ns - dispatch_ns(&r.phases)).fold(0.0, f64::max);
         Ok(ClusterUpdateReport {
             records_updated: reports.iter().map(|r| r.records_updated).sum(),
-            time_ns,
+            shards_pruned: mask.iter().filter(|d| !**d).count(),
+            time_ns: dispatch_time_ns + pim_max,
+            dispatch_time_ns,
             total_shard_time_ns: reports.iter().map(|r| r.time_ns).sum(),
             energy_pj: reports.iter().map(|r| r.energy_pj).sum(),
             per_shard: reports,
@@ -312,7 +478,12 @@ impl ClusterEngine {
     }
 
     /// Gather: merge per-shard executions into one cluster execution.
-    fn merge(&self, query: &Query, executions: &[&QueryExecution]) -> ClusterExecution {
+    fn merge(
+        &self,
+        query: &Query,
+        executions: &[&QueryExecution],
+        shards_pruned: usize,
+    ) -> ClusterExecution {
         let mut partial = PartialGroups::new(query.agg_func);
         let mut merged_entries = 0u64;
         for exec in executions {
@@ -329,15 +500,23 @@ impl ClusterEngine {
             .unwrap_or(0.0);
         let merge_time_ns = merged_entries as f64 * merge_ns_per_entry;
 
-        let shard_max = executions.iter().map(|e| e.report.time_ns).fold(0.0, f64::max);
+        // One host: per-page dispatch serialises across shards; the PIM
+        // phases overlap.
+        let dispatch_time_ns: f64 = executions.iter().map(|e| dispatch_ns(&e.report.phases)).sum();
+        let pim_max = executions
+            .iter()
+            .map(|e| e.report.time_ns - dispatch_ns(&e.report.phases))
+            .fold(0.0, f64::max);
         let selected: u64 = executions.iter().map(|e| e.report.selected).sum();
         let report = ClusterReport {
             query_id: query.id.clone(),
             mode: self.mode,
             shards: self.shard_count,
             active_shards: self.shards.len(),
+            shards_pruned,
             partitioner: self.partitioner.label(),
-            time_ns: shard_max + merge_time_ns,
+            time_ns: dispatch_time_ns + pim_max + merge_time_ns,
+            dispatch_time_ns,
             merge_time_ns,
             total_shard_time_ns: executions.iter().map(|e| e.report.time_ns).sum(),
             energy_pj: executions.iter().map(|e| e.report.energy_pj).sum(),
@@ -346,6 +525,8 @@ impl ClusterEngine {
                 .map(|e| e.report.peak_chip_power_w)
                 .fold(0.0, f64::max),
             records: self.records,
+            pages_total: self.shards.iter().map(|s| s.engine.page_count()).sum(),
+            pages_scanned: executions.iter().map(|e| e.report.pages_scanned).sum(),
             selected,
             selectivity: if self.records == 0 {
                 0.0
@@ -371,6 +552,7 @@ impl std::fmt::Debug for ClusterEngine {
             .field("partitioner", &self.partitioner.label())
             .field("mode", &self.mode)
             .field("records", &self.records)
+            .field("pruning", &self.pruning)
             .finish()
     }
 }
@@ -436,11 +618,12 @@ mod tests {
     }
 
     #[test]
-    fn matches_oracle_both_partitioners_all_funcs() {
+    fn matches_oracle_all_partitioners_all_funcs() {
         let rel = relation(1500);
         for p in [
             Partitioner::RoundRobin,
             Partitioner::hash_by_group_keys(&["d_year".into(), "d_brand".into()]),
+            Partitioner::range_by_attr("d_year"),
         ] {
             for func in [AggFunc::Sum, AggFunc::Min, AggFunc::Max] {
                 let q = q2_like(func);
@@ -464,21 +647,88 @@ mod tests {
     }
 
     #[test]
-    fn wall_clock_is_max_plus_merge_energy_is_sum() {
+    fn wall_clock_serialises_dispatch_and_overlaps_pim() {
         let mut c = cluster(3, Partitioner::RoundRobin);
         let out = c.run(&q2_like(AggFunc::Sum)).unwrap();
-        let max = out.report.per_shard.iter().map(|r| r.time_ns).fold(0.0, f64::max);
+        let d_total: f64 =
+            out.report.per_shard.iter().map(|r| r.phases.time_in(PhaseKind::HostDispatch)).sum();
+        let pim_max = out
+            .report
+            .per_shard
+            .iter()
+            .map(|r| r.time_ns - r.phases.time_in(PhaseKind::HostDispatch))
+            .fold(0.0, f64::max);
         let sum_t: f64 = out.report.per_shard.iter().map(|r| r.time_ns).sum();
         let sum_e: f64 = out.report.per_shard.iter().map(|r| r.energy_pj).sum();
-        assert!((out.report.time_ns - (max + out.report.merge_time_ns)).abs() < 1e-9);
+        assert!((out.report.dispatch_time_ns - d_total).abs() < 1e-9);
+        assert!((out.report.time_ns - (d_total + pim_max + out.report.merge_time_ns)).abs() < 1e-9);
         assert!((out.report.total_shard_time_ns - sum_t).abs() < 1e-9);
         assert!((out.report.energy_pj - sum_e).abs() < 1e-9);
         assert!(out.report.merge_time_ns > 0.0);
+        assert!(out.report.dispatch_time_ns > 0.0);
         assert!(out.report.time_ns < sum_t, "parallel shards must beat serial execution");
     }
 
     #[test]
-    fn empty_shards_are_skipped_but_counted() {
+    fn range_partitioning_prunes_shards_pre_scatter() {
+        let rel = relation(1400); // d_year uniform over 0..7
+        let q = Query {
+            id: "year3".into(),
+            filter: vec![Atom::Eq { attr: "d_year".into(), value: 3u64.into() }],
+            group_by: vec![],
+            agg_func: AggFunc::Sum,
+            agg_expr: AggExpr::Attr("lo_price".into()),
+        };
+        let mut c = ClusterEngine::new(
+            SimConfig::small_for_tests(),
+            rel.clone(),
+            EngineMode::OneXb,
+            7,
+            Partitioner::range_by_attr("d_year"),
+        )
+        .unwrap();
+        let out = c.run(&q).unwrap();
+        assert_eq!(out.groups, stats::run_oracle(&q, &rel).unwrap());
+        assert_eq!(out.report.shards_pruned, 6, "only the d_year=3 shard may survive");
+        assert_eq!(out.report.per_shard.len(), 1);
+        // exhaustive dispatch runs every shard and costs more wall clock
+        c.set_pruning(false);
+        let exhaustive = c.run(&q).unwrap();
+        assert_eq!(exhaustive.groups, out.groups);
+        assert_eq!(exhaustive.report.shards_pruned, 0);
+        assert_eq!(exhaustive.report.per_shard.len(), 7);
+        assert!(exhaustive.report.time_ns > out.report.time_ns);
+        assert!(exhaustive.report.energy_pj > out.report.energy_pj);
+    }
+
+    #[test]
+    fn all_shards_pruned_returns_empty_answer() {
+        let rel = relation(700);
+        let q = Query {
+            id: "none".into(),
+            filter: vec![Atom::Gt { attr: "lo_price".into(), value: 254u64.into() }],
+            group_by: vec![],
+            agg_func: AggFunc::Sum,
+            agg_expr: AggExpr::Attr("lo_price".into()),
+        };
+        let mut c = ClusterEngine::new(
+            SimConfig::small_for_tests(),
+            rel.clone(),
+            EngineMode::OneXb,
+            3,
+            Partitioner::RoundRobin,
+        )
+        .unwrap();
+        let out = c.run(&q).unwrap();
+        assert_eq!(out.groups, stats::run_oracle(&q, &rel).unwrap());
+        assert!(out.groups.is_empty());
+        assert_eq!(out.report.shards_pruned, out.report.active_shards);
+        assert_eq!(out.report.time_ns, 0.0);
+        assert_eq!(out.report.selected, 0);
+    }
+
+    #[test]
+    fn empty_shards_are_dropped_but_counted() {
         // 7 hash shards over a key with few distinct values: some
         // shards receive nothing and must not break execution.
         let rel = relation(200);
@@ -500,6 +750,29 @@ mod tests {
         let out = c.run(&q).unwrap();
         assert_eq!(out.groups, stats::run_oracle(&q, &rel).unwrap());
         assert_eq!(out.report.shards, 7);
+    }
+
+    #[test]
+    fn range_split_with_more_shards_than_values_drops_empties() {
+        // d_year has 7 distinct values; 16 range buckets leave gaps.
+        let rel = relation(400);
+        let q = q2_like(AggFunc::Sum);
+        let mut c = ClusterEngine::new(
+            SimConfig::small_for_tests(),
+            rel.clone(),
+            EngineMode::OneXb,
+            16,
+            Partitioner::range_by_attr("d_year"),
+        )
+        .unwrap();
+        assert_eq!(c.shard_count(), 16);
+        assert!(c.active_shards() < 16, "some buckets must be empty");
+        assert_eq!(c.active_shard_indices().len(), c.active_shards());
+        c.calibrate(&CalibrationConfig::tiny_for_tests()).unwrap();
+        let out = c.run(&q).unwrap();
+        assert_eq!(out.groups, stats::run_oracle(&q, &rel).unwrap());
+        assert_eq!(out.report.shards, 16);
+        assert_eq!(out.report.active_shards, c.active_shards());
     }
 
     #[test]
@@ -534,6 +807,48 @@ mod tests {
     }
 
     #[test]
+    fn update_widens_shard_zones_for_later_pruning() {
+        // range split on d_year, then move year-3 records to year 6:
+        // the year-3 shard's zone must widen so a d_year=6 query still
+        // dispatches it.
+        let rel = relation(1400);
+        let mut c = ClusterEngine::new(
+            SimConfig::small_for_tests(),
+            rel.clone(),
+            EngineMode::OneXb,
+            7,
+            Partitioner::range_by_attr("d_year"),
+        )
+        .unwrap();
+        let op = UpdateOp {
+            filter: vec![Atom::Eq { attr: "d_year".into(), value: 3u64.into() }],
+            set_attr: "d_year".into(),
+            set_value: 6u64.into(),
+        };
+        let rep = c.update(&op).unwrap();
+        assert!(rep.records_updated > 0);
+        assert!(rep.shards_pruned >= 5, "the update itself must skip unrelated shards");
+        let probe = Query {
+            id: "year6".into(),
+            filter: vec![Atom::Eq { attr: "d_year".into(), value: 6u64.into() }],
+            group_by: vec![],
+            agg_func: AggFunc::Sum,
+            agg_expr: AggExpr::Attr("lo_price".into()),
+        };
+        let mut reference = rel.clone();
+        let y = reference.schema().index_of("d_year").unwrap();
+        for row in 0..reference.len() {
+            if reference.value(row, y) == 3 {
+                reference.set_value(row, y, 6).unwrap();
+            }
+        }
+        let out = c.run(&probe).unwrap();
+        assert_eq!(out.groups, stats::run_oracle(&probe, &reference).unwrap());
+        // both the original year-6 shard and the widened year-3 shard run
+        assert_eq!(out.report.per_shard.len(), 2);
+    }
+
+    #[test]
     fn batch_pipelines_across_shards() {
         let mut c = cluster(3, Partitioner::RoundRobin);
         let queries = vec![q1_like(), q2_like(AggFunc::Sum), q2_like(AggFunc::Max)];
@@ -547,6 +862,33 @@ mod tests {
         for (q, e) in queries.iter().zip(&batch.executions) {
             assert_eq!(e.groups, stats::run_oracle(q, &rel).unwrap(), "{}", q.id);
         }
+    }
+
+    #[test]
+    fn batch_prunes_per_query() {
+        let rel = relation(1400);
+        let year_probe = |y: u64| Query {
+            id: format!("y{y}"),
+            filter: vec![Atom::Eq { attr: "d_year".into(), value: y.into() }],
+            group_by: vec![],
+            agg_func: AggFunc::Sum,
+            agg_expr: AggExpr::Attr("lo_price".into()),
+        };
+        let queries = vec![year_probe(1), year_probe(5)];
+        let mut c = ClusterEngine::new(
+            SimConfig::small_for_tests(),
+            rel.clone(),
+            EngineMode::OneXb,
+            7,
+            Partitioner::range_by_attr("d_year"),
+        )
+        .unwrap();
+        let batch = c.run_batch(&queries).unwrap();
+        for (q, e) in queries.iter().zip(&batch.executions) {
+            assert_eq!(e.groups, stats::run_oracle(q, &rel).unwrap(), "{}", q.id);
+            assert_eq!(e.report.shards_pruned, 6, "{}", q.id);
+        }
+        assert!(batch.wall_time_ns <= batch.serial_time_ns + 1e-9);
     }
 
     #[test]

@@ -6,22 +6,29 @@
 //! parallelism. This crate scales the single-module
 //! [`bbpim_core::PimQueryEngine`] horizontally:
 //!
-//! * [`partition::Partitioner`] — round-robin and hash-by-group-key
-//!   horizontal partitioning of the wide pre-joined relation into `n`
-//!   record-range shards.
+//! * [`partition::Partitioner`] — round-robin, hash-by-group-key and
+//!   range-by-attribute horizontal partitioning of the wide pre-joined
+//!   relation into `n` record shards, each paired with its
+//!   [`bbpim_db::zonemap::ZoneMap`].
 //! * [`engine::ClusterEngine`] — one `PimQueryEngine` (its own
-//!   `PimModule`) per shard; `run(&Query)` scatters the query to all
-//!   shards on scoped OS threads, gathers the per-shard
+//!   `PimModule`) per non-empty shard; `run(&Query)` first tests the
+//!   filter's bound intervals against every shard's zone map and
+//!   *prunes* shards that provably hold no match, scatters the query to
+//!   the survivors on scoped OS threads, gathers the per-shard
 //!   [`bbpim_core::result::PartialGroups`], and merges them — wrapping
 //!   SUM addition, MIN/MAX folding, and map union for GROUP BY — into
 //!   an answer bit-identical to the single-module engine's. Simulated
-//!   wall clock follows a max-of-shards model (real modules run
-//!   concurrently); energy sums over modules.
+//!   wall clock serialises the host's per-page dispatch across shards
+//!   and overlaps the PIM phases (real modules run concurrently);
+//!   energy sums over modules.
 //! * [`engine::ClusterEngine::run_batch`] — a small batch scheduler:
-//!   every shard drains the query queue without cluster-wide barriers,
-//!   so batch wall clock is max-over-shards of queue time.
-//! * [`engine::ClusterEngine::update`] — cluster-wide UPDATE fan-out;
-//!   each shard's PIM multiplexer rewrites the records it owns.
+//!   every shard drains its own zone-pruned query queue without
+//!   cluster-wide barriers, so batch wall clock is host dispatch plus
+//!   max-over-shards of PIM queue time.
+//! * [`engine::ClusterEngine::update`] — cluster-wide UPDATE fan-out to
+//!   the shards admitting the WHERE clause; each shard's PIM
+//!   multiplexer rewrites the records it owns, and the touched shards'
+//!   zone maps widen so pruning stays sound after writes.
 //!
 //! ```
 //! use bbpim_cluster::{ClusterEngine, Partitioner};

@@ -1,7 +1,7 @@
 //! Horizontal partitioning strategies for the cluster layer.
 //!
 //! A [`Partitioner`] maps every record of the wide pre-joined relation
-//! to one of `n` shards. Two strategies are provided:
+//! to one of `n` shards. Three strategies are provided:
 //!
 //! * [`Partitioner::RoundRobin`] — record *i* goes to shard `i % n`.
 //!   Shard sizes are balanced to within one record regardless of data
@@ -13,8 +13,16 @@
 //!   and keeping each shard's subgroup count — the `k` of the paper's
 //!   Eq. (3) decision — `n`× smaller. Skewed keys can unbalance
 //!   shards, which the max-of-shards wall-clock model makes visible.
+//! * [`Partitioner::RangeByAttr`] — the attribute's observed `[min,
+//!   max]` domain is cut into `n` equal-width buckets and each record
+//!   goes to its value's bucket. This is *data placement for pruning*:
+//!   shard zone maps become narrow on the split attribute, so filters
+//!   constraining it (e.g. SSB's `d_year`) skip most shards before the
+//!   scatter. Value skew can empty buckets — empty shards are dropped
+//!   at cluster construction.
 
 use bbpim_db::relation::Relation;
+use bbpim_db::zonemap::ZoneMap;
 
 use crate::error::ClusterError;
 
@@ -25,6 +33,9 @@ pub enum Partitioner {
     RoundRobin,
     /// Records hash on the named attributes' values (FNV-1a) → shard.
     HashByKey(Vec<String>),
+    /// Records bucket by the named attribute's value: `n` equal-width
+    /// ranges over the attribute's observed `[min, max]` domain.
+    RangeByAttr(String),
 }
 
 /// FNV-1a over a record's key attribute values: stable across runs and
@@ -44,6 +55,12 @@ impl Partitioner {
     /// A hash partitioner over a query's GROUP BY attributes.
     pub fn hash_by_group_keys(keys: &[String]) -> Self {
         Partitioner::HashByKey(keys.to_vec())
+    }
+
+    /// A range partitioner over one attribute (typically the attribute
+    /// selective filters constrain, e.g. `d_year`).
+    pub fn range_by_attr(attr: &str) -> Self {
+        Partitioner::RangeByAttr(attr.to_string())
     }
 
     /// The shard each record of `rel` is assigned to, for `n` shards.
@@ -73,6 +90,20 @@ impl Partitioner {
                     .map(|row| (fnv1a(idx.iter().map(|&i| rel.value(row, i))) % n as u64) as usize)
                     .collect())
             }
+            Partitioner::RangeByAttr(attr) => {
+                let idx = rel.schema().index_of(attr).map_err(ClusterError::Db)?;
+                let values = rel.column(idx).values();
+                let Some((&lo, &hi)) = values.iter().min().zip(values.iter().max()) else {
+                    return Ok(Vec::new()); // empty relation: nothing to assign
+                };
+                // u128 arithmetic: `hi - lo + 1` and the product both
+                // overflow u64 on full-domain attributes.
+                let span = u128::from(hi - lo) + 1;
+                Ok(values
+                    .iter()
+                    .map(|&v| (u128::from(v - lo) * n as u128 / span) as usize)
+                    .collect())
+            }
         }
     }
 
@@ -82,8 +113,23 @@ impl Partitioner {
     ///
     /// See [`Partitioner::assignments`].
     pub fn split(&self, rel: &Relation, n: usize) -> Result<Vec<Relation>, ClusterError> {
+        Ok(self.split_zoned(rel, n)?.into_iter().map(|(part, _)| part).collect())
+    }
+
+    /// Split `rel` into `n` shard relations, each paired with its
+    /// [`ZoneMap`] (built in the same pass) — the input the cluster's
+    /// shard-level pruning needs.
+    ///
+    /// # Errors
+    ///
+    /// See [`Partitioner::assignments`].
+    pub fn split_zoned(
+        &self,
+        rel: &Relation,
+        n: usize,
+    ) -> Result<Vec<(Relation, ZoneMap)>, ClusterError> {
         let assign = self.assignments(rel, n)?;
-        rel.partition_by(n, |row| assign[row]).map_err(ClusterError::Db)
+        rel.partition_by_zoned(n, |row| assign[row]).map_err(ClusterError::Db)
     }
 
     /// Short label for reports.
@@ -91,6 +137,7 @@ impl Partitioner {
         match self {
             Partitioner::RoundRobin => "round-robin",
             Partitioner::HashByKey(_) => "hash-by-key",
+            Partitioner::RangeByAttr(_) => "range-by-attr",
         }
     }
 }
@@ -160,10 +207,76 @@ mod tests {
     #[test]
     fn one_shard_is_identity() {
         let r = rel(50);
-        for p in [Partitioner::RoundRobin, Partitioner::HashByKey(vec!["d_g".into()])] {
+        for p in [
+            Partitioner::RoundRobin,
+            Partitioner::HashByKey(vec!["d_g".into()]),
+            Partitioner::range_by_attr("d_g"),
+        ] {
             let parts = p.split(&r, 1).unwrap();
-            assert_eq!(parts.len(), 1);
+            assert_eq!(parts.len(), 1, "{}", p.label());
             assert_eq!(parts[0], r);
         }
+    }
+
+    #[test]
+    fn range_by_attr_buckets_are_ordered_and_disjoint() {
+        let r = rel(300);
+        let p = Partitioner::range_by_attr("lo_v");
+        let parts = p.split_zoned(&r, 4).unwrap();
+        assert_eq!(parts.iter().map(|(part, _)| part.len()).sum::<usize>(), 300);
+        // every record's value falls inside its shard's zone, and zones
+        // of successive shards are disjoint, ascending ranges
+        let mut prev_hi: Option<u64> = None;
+        for (part, zone) in &parts {
+            assert_eq!(zone, &part.zone_map());
+            if let Some((lo, hi)) = zone.range(0) {
+                if let Some(p) = prev_hi {
+                    assert!(lo > p, "ranges must ascend disjointly");
+                }
+                prev_hi = Some(hi);
+            }
+        }
+    }
+
+    #[test]
+    fn range_by_attr_with_more_shards_than_values_leaves_empties() {
+        // d_g has 13 distinct values; 20 buckets cannot all be hit
+        let r = rel(300);
+        let parts = Partitioner::range_by_attr("d_g").split(&r, 20).unwrap();
+        assert_eq!(parts.len(), 20);
+        assert!(parts.iter().any(Relation::is_empty));
+        assert_eq!(parts.iter().map(Relation::len).sum::<usize>(), 300);
+    }
+
+    #[test]
+    fn range_by_attr_full_domain_does_not_overflow() {
+        use bbpim_db::schema::{Attribute, Schema};
+        let schema = Schema::new("t", vec![Attribute::numeric("x", 64)]);
+        let mut r = Relation::new(schema);
+        for v in [0u64, 1, u64::MAX / 2, u64::MAX - 1, u64::MAX] {
+            r.push_row(&[v]).unwrap();
+        }
+        let assign = Partitioner::range_by_attr("x").assignments(&r, 3).unwrap();
+        assert!(assign.iter().all(|&s| s < 3));
+        assert_eq!(assign[0], 0);
+        assert_eq!(assign[4], 2);
+    }
+
+    #[test]
+    fn range_by_attr_unknown_attribute_rejected() {
+        let r = rel(10);
+        assert!(matches!(
+            Partitioner::range_by_attr("nope").assignments(&r, 2),
+            Err(ClusterError::Db(_))
+        ));
+    }
+
+    #[test]
+    fn range_by_attr_empty_relation() {
+        let r = rel(0);
+        assert!(Partitioner::range_by_attr("lo_v").assignments(&r, 3).unwrap().is_empty());
+        let parts = Partitioner::range_by_attr("lo_v").split(&r, 3).unwrap();
+        assert_eq!(parts.len(), 3);
+        assert!(parts.iter().all(Relation::is_empty));
     }
 }

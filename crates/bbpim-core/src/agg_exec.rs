@@ -22,6 +22,7 @@ use crate::error::CoreError;
 use crate::layout::RecordLayout;
 use crate::loader::LoadedRelation;
 use crate::modes::EngineMode;
+use crate::planner::PageSet;
 
 /// Host nanoseconds to fold one per-crossbar partial into the total.
 const COMBINE_NS_PER_PARTIAL: f64 = 2.0;
@@ -60,6 +61,7 @@ pub fn materialize_expr(
     module: &mut PimModule,
     layout: &RecordLayout,
     loaded: &LoadedRelation,
+    pages: &PageSet,
     expr: &AggExpr,
     log: &mut RunLog,
 ) -> Result<AggInput, CoreError> {
@@ -101,7 +103,7 @@ pub fn materialize_expr(
                 AggExpr::Attr(..) => unreachable!("handled above"),
             }
             let prog = builder.finish();
-            let phase = module.exec_program(loaded.pages(pa.partition), &prog)?;
+            let phase = module.exec_program(&pages.ids(loaded, pa.partition), &prog)?;
             log.push(phase);
             Ok(AggInput { partition: pa.partition, value: dst, scratch_left: rest })
         }
@@ -142,6 +144,7 @@ pub fn aggregate_masked(
     module: &mut PimModule,
     layout: &RecordLayout,
     loaded: &LoadedRelation,
+    page_set: &PageSet,
     mode: EngineMode,
     input: &AggInput,
     mask_col: usize,
@@ -151,7 +154,7 @@ pub fn aggregate_masked(
     let rows = module.config().crossbar_rows;
     let dst = partial_width(layout, input.partition, input.value, rows);
     let req = AggRequest { op: reduce_op(func), value: input.value, mask_col, dst_row: 0, dst };
-    let pages = loaded.pages(input.partition).to_vec();
+    let pages = page_set.ids(loaded, input.partition);
     let (partials, phase) = if mode.uses_agg_circuit() {
         module.agg_circuit(&pages, &req)?
     } else {
@@ -197,6 +200,7 @@ pub fn aggregate_masked_counted(
     module: &mut PimModule,
     layout: &RecordLayout,
     loaded: &LoadedRelation,
+    page_set: &PageSet,
     mode: EngineMode,
     input: &AggInput,
     mask_col: usize,
@@ -210,7 +214,7 @@ pub fn aggregate_masked_counted(
     let dst = ColRange::new(slot.lo, sum_width.max(1));
     let count_dst = ColRange::new(slot.lo + slot.width - 16, 16);
     let req = AggRequest { op: reduce_op(func), value: input.value, mask_col, dst_row: 0, dst };
-    let pages = loaded.pages(input.partition).to_vec();
+    let pages = page_set.ids(loaded, input.partition);
     let ((sums, counts), phase) = if mode.uses_agg_circuit() {
         module.agg_circuit_counted(&pages, &req, count_dst)?
     } else {
@@ -257,6 +261,10 @@ mod tests {
     use bbpim_db::Relation;
     use bbpim_sim::SimConfig;
 
+    fn all(loaded: &LoadedRelation) -> PageSet {
+        PageSet::all(loaded.page_count())
+    }
+
     fn setup(mode: EngineMode) -> (PimModule, Relation, RecordLayout, LoadedRelation) {
         let cfg = SimConfig::small_for_tests();
         let schema = Schema::new(
@@ -299,7 +307,8 @@ mod tests {
             .zip(q.filter.iter())
             .map(|(a, raw)| (a, layout.placement(raw.attr()).unwrap()))
             .collect();
-        run_filter(module, layout, loaded, &atoms, log).unwrap();
+        run_filter(module, layout, loaded, &atoms, &PageSet::all(loaded.page_count()), log)
+            .unwrap();
         q
     }
 
@@ -320,6 +329,7 @@ mod tests {
                 &mut module,
                 &layout,
                 &loaded,
+                &PageSet::all(loaded.page_count()),
                 &AggExpr::Attr("lo_price".into()),
                 &mut log,
             )
@@ -328,6 +338,7 @@ mod tests {
                 &mut module,
                 &layout,
                 &loaded,
+                &all(&loaded),
                 mode,
                 &input,
                 MASK_COL,
@@ -347,12 +358,14 @@ mod tests {
         let mut log = RunLog::new();
         filter_all(&mut module, &rel, &layout, &loaded, vec![], &mut log);
         let expr = AggExpr::Mul("lo_price".into(), "lo_disc".into());
-        let input = materialize_expr(&mut module, &layout, &loaded, &expr, &mut log).unwrap();
+        let input = materialize_expr(&mut module, &layout, &loaded, &all(&loaded), &expr, &mut log)
+            .unwrap();
         assert_eq!(input.value.width, 12);
         let total = aggregate_masked(
             &mut module,
             &layout,
             &loaded,
+            &all(&loaded),
             EngineMode::OneXb,
             &input,
             MASK_COL,
@@ -379,11 +392,13 @@ mod tests {
             &mut log,
         );
         let expr = AggExpr::Sub("lo_price".into(), "lo_disc".into());
-        let input = materialize_expr(&mut module, &layout, &loaded, &expr, &mut log).unwrap();
+        let input = materialize_expr(&mut module, &layout, &loaded, &all(&loaded), &expr, &mut log)
+            .unwrap();
         let total = aggregate_masked(
             &mut module,
             &layout,
             &loaded,
+            &all(&loaded),
             EngineMode::OneXb,
             &input,
             MASK_COL,
@@ -407,6 +422,7 @@ mod tests {
             &mut module,
             &layout,
             &loaded,
+            &all(&loaded),
             &AggExpr::Attr("lo_price".into()),
             &mut log,
         )
@@ -415,6 +431,7 @@ mod tests {
             &mut module,
             &layout,
             &loaded,
+            &all(&loaded),
             EngineMode::OneXb,
             &input,
             MASK_COL,
@@ -426,6 +443,7 @@ mod tests {
             &mut module,
             &layout,
             &loaded,
+            &all(&loaded),
             EngineMode::OneXb,
             &input,
             MASK_COL,
@@ -446,16 +464,31 @@ mod tests {
         let mut log2 = RunLog::new();
         filter_all(&mut m1, &rel1, &l1, &ld1, vec![], &mut log1);
         filter_all(&mut m2, &rel1, &l2, &ld2, vec![], &mut log2);
-        let i1 = materialize_expr(&mut m1, &l1, &ld1, &AggExpr::Attr("lo_price".into()), &mut log1)
-            .unwrap();
-        let i2 = materialize_expr(&mut m2, &l2, &ld2, &AggExpr::Attr("lo_price".into()), &mut log2)
-            .unwrap();
+        let i1 = materialize_expr(
+            &mut m1,
+            &l1,
+            &ld1,
+            &all(&ld1),
+            &AggExpr::Attr("lo_price".into()),
+            &mut log1,
+        )
+        .unwrap();
+        let i2 = materialize_expr(
+            &mut m2,
+            &l2,
+            &ld2,
+            &all(&ld2),
+            &AggExpr::Attr("lo_price".into()),
+            &mut log2,
+        )
+        .unwrap();
         let mut a1 = RunLog::new();
         let mut a2 = RunLog::new();
         let v1 = aggregate_masked(
             &mut m1,
             &l1,
             &ld1,
+            &all(&ld1),
             EngineMode::OneXb,
             &i1,
             MASK_COL,
@@ -467,6 +500,7 @@ mod tests {
             &mut m2,
             &l2,
             &ld2,
+            &all(&ld2),
             EngineMode::PimDb,
             &i2,
             MASK_COL,
@@ -484,7 +518,8 @@ mod tests {
         let (mut module, _rel, layout, loaded) = setup(EngineMode::OneXb);
         let mut log = RunLog::new();
         let expr = AggExpr::Mul("lo_price".into(), "lo_disc".into());
-        let input = materialize_expr(&mut module, &layout, &loaded, &expr, &mut log).unwrap();
+        let input = materialize_expr(&mut module, &layout, &loaded, &all(&loaded), &expr, &mut log)
+            .unwrap();
         // A follow-up mask program must compile inside the remaining
         // scratch without touching the materialised product.
         let prog = crate::filter_exec::build_mask_program_in(

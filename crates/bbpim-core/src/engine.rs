@@ -7,12 +7,13 @@
 //! host-gb → report. Queries without GROUP BY (SSB Q1.x) aggregate the
 //! whole selection in PIM directly.
 
-use bbpim_db::plan::Query;
+use bbpim_db::plan::{FilterBounds, Query};
 use bbpim_db::stats::{self, GroupedResult};
+use bbpim_db::zonemap::ZoneMap;
 use bbpim_db::Relation;
 use bbpim_sim::config::SimConfig;
 use bbpim_sim::module::PimModule;
-use bbpim_sim::timeline::RunLog;
+use bbpim_sim::timeline::{Phase, RunLog};
 
 use crate::agg_exec::{aggregate_masked, materialize_expr};
 use crate::error::CoreError;
@@ -23,6 +24,7 @@ use crate::groupby::run_group_by;
 use crate::layout::{RecordLayout, MASK_COL};
 use crate::loader::{load_relation, LoadedRelation};
 use crate::modes::EngineMode;
+use crate::planner::{plan_pages, PageSet};
 use crate::result::{QueryExecution, QueryReport};
 use crate::update::{run_update, UpdateOp, UpdateReport};
 
@@ -34,6 +36,7 @@ pub struct PimQueryEngine {
     loaded: LoadedRelation,
     mode: EngineMode,
     model: Option<GroupByModel>,
+    pruning: bool,
 }
 
 impl std::fmt::Debug for PimQueryEngine {
@@ -44,6 +47,7 @@ impl std::fmt::Debug for PimQueryEngine {
             .field("pages", &self.loaded.page_count())
             .field("mode", &self.mode)
             .field("calibrated", &self.model.is_some())
+            .field("pruning", &self.pruning)
             .finish()
     }
 }
@@ -84,7 +88,7 @@ impl PimQueryEngine {
         }
         let mut module = PimModule::new(cfg);
         let loaded = load_relation(&mut module, &relation, &layout)?;
-        Ok(PimQueryEngine { module, relation, layout, loaded, mode, model: None })
+        Ok(PimQueryEngine { module, relation, layout, loaded, mode, model: None, pruning: true })
     }
 
     /// The engine mode.
@@ -112,6 +116,49 @@ impl PimQueryEngine {
         self.loaded.page_count()
     }
 
+    /// Is zone-map page pruning enabled (default) or is every query
+    /// dispatched exhaustively to all pages?
+    pub fn pruning(&self) -> bool {
+        self.pruning
+    }
+
+    /// Enable or disable zone-map page pruning. Answers are bit-identical
+    /// either way; only which pages are activated (and therefore time,
+    /// energy and endurance) changes.
+    pub fn set_pruning(&mut self, enabled: bool) {
+        self.pruning = enabled;
+    }
+
+    /// The loaded relation's zone map (merge over per-page zones,
+    /// including UPDATE widening) — what the cluster layer consults for
+    /// shard-level pruning.
+    pub fn zone_map(&self) -> ZoneMap {
+        self.loaded.zone_map()
+    }
+
+    /// Plan the pages a query's filter must touch under the current
+    /// pruning setting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filter resolution failures.
+    pub fn plan(&self, query: &Query) -> Result<PageSet, CoreError> {
+        if !self.pruning {
+            return Ok(PageSet::all(self.loaded.page_count()));
+        }
+        let bounds = FilterBounds::of_query(query, self.relation.schema())?;
+        Ok(plan_pages(&bounds, &self.loaded))
+    }
+
+    /// [`PimQueryEngine::plan`] from already-resolved atoms (avoids a
+    /// second resolution pass inside [`PimQueryEngine::run`]).
+    fn plan_resolved(&self, resolved: &[bbpim_db::plan::ResolvedAtom]) -> PageSet {
+        if !self.pruning {
+            return PageSet::all(self.loaded.page_count());
+        }
+        plan_pages(&FilterBounds::from_atoms(resolved), &self.loaded)
+    }
+
     /// The fitted GROUP-BY model, if calibrated.
     pub fn model(&self) -> Option<&GroupByModel> {
         self.model.as_ref()
@@ -136,13 +183,20 @@ impl PimQueryEngine {
 
     /// Execute one query.
     ///
+    /// The physical plan comes first: the filter's bound intervals are
+    /// tested against the per-page zone maps and only candidate pages
+    /// are dispatched — pruned pages draw no crossbar ops, no host read
+    /// lines and no per-page orchestration time, while the answer stays
+    /// bit-identical to exhaustive execution.
+    ///
     /// # Errors
     ///
     /// [`CoreError::NotCalibrated`] for GROUP BY queries before
     /// [`PimQueryEngine::calibrate`]; substrate failures otherwise.
     pub fn run(&mut self, query: &Query) -> Result<QueryExecution, CoreError> {
-        let atoms: Vec<_> = query
-            .resolve_filter(self.relation.schema())?
+        let resolved = query.resolve_filter(self.relation.schema())?;
+        let pages = self.plan_resolved(&resolved);
+        let atoms: Vec<_> = resolved
             .into_iter()
             .zip(query.filter.iter())
             .map(|(a, raw)| Ok((a, self.layout.placement(raw.attr())?)))
@@ -152,7 +206,15 @@ impl PimQueryEngine {
         self.module.reset_endurance(&all_pages);
         let mut log = RunLog::new();
 
-        let outcome = run_filter(&mut self.module, &self.layout, &self.loaded, &atoms, &mut log)?;
+        // Host orchestration: one request descriptor per candidate page
+        // per partition (the journal extension's per-page host cost).
+        log.push(Phase::host_dispatch(
+            (pages.len() * self.layout.partitions()) as f64
+                * self.module.config().host.dispatch_ns_per_page,
+        ));
+
+        let outcome =
+            run_filter(&mut self.module, &self.layout, &self.loaded, &atoms, &pages, &mut log)?;
 
         let mut groups = GroupedResult::new();
         let (mut k, mut kmax, mut sampled) = (0usize, 0usize, 0usize);
@@ -162,6 +224,7 @@ impl PimQueryEngine {
                 &mut self.module,
                 &self.layout,
                 &self.loaded,
+                &pages,
                 &self.relation,
                 self.mode,
                 query,
@@ -178,6 +241,7 @@ impl PimQueryEngine {
                 &mut self.module,
                 &self.layout,
                 &self.loaded,
+                &pages,
                 &query.agg_expr,
                 &mut log,
             )?;
@@ -185,6 +249,7 @@ impl PimQueryEngine {
                 &mut self.module,
                 &self.layout,
                 &self.loaded,
+                &pages,
                 self.mode,
                 &input,
                 MASK_COL,
@@ -206,6 +271,7 @@ impl PimQueryEngine {
             row_cells: self.module.config().crossbar_cols,
             records: self.loaded.records(),
             pages: self.loaded.page_count(),
+            pages_scanned: pages.len(),
             selected: outcome.selected,
             selectivity: outcome.selectivity,
             total_subgroups: kmax as u64,
@@ -216,13 +282,22 @@ impl PimQueryEngine {
         Ok(QueryExecution { groups, report })
     }
 
-    /// Execute an UPDATE via the PIM multiplexer (Algorithm 1).
+    /// Execute an UPDATE via the PIM multiplexer (Algorithm 1). The
+    /// WHERE clause is zone-map-planned like a query filter, and the
+    /// touched pages' zone maps are widened to keep pruning sound.
     ///
     /// # Errors
     ///
     /// Propagates substrate failures.
     pub fn update(&mut self, op: &UpdateOp) -> Result<UpdateReport, CoreError> {
-        run_update(&mut self.module, &self.layout, &self.loaded, &mut self.relation, op)
+        run_update(
+            &mut self.module,
+            &self.layout,
+            &mut self.loaded,
+            &mut self.relation,
+            op,
+            self.pruning,
+        )
     }
 
     /// Direct access to the module (inspection in tests and examples).
@@ -357,6 +432,120 @@ mod tests {
         assert!(r.max_row_cell_writes > 0);
         assert!(r.peak_chip_power_w > 0.0);
         assert!(r.required_endurance(10.0) > 0.0);
+    }
+
+    /// A relation sorted by `lo_price` so page zone maps prune.
+    fn sorted_relation(rows: u64) -> Relation {
+        let schema = Schema::new(
+            "t",
+            vec![Attribute::numeric("lo_price", 12), Attribute::numeric("d_year", 3)],
+        );
+        let mut rel = Relation::new(schema);
+        for i in 0..rows {
+            rel.push_row(&[i, i % 7]).unwrap();
+        }
+        rel
+    }
+
+    #[test]
+    fn pruned_run_is_bit_identical_and_cheaper() {
+        let rel = sorted_relation(1500);
+        let q = Query {
+            id: "probe".into(),
+            filter: vec![Atom::Between {
+                attr: "lo_price".into(),
+                lo: 300u64.into(),
+                hi: 400u64.into(),
+            }],
+            group_by: vec![],
+            agg_func: AggFunc::Sum,
+            agg_expr: AggExpr::Attr("lo_price".into()),
+        };
+        let mut e =
+            PimQueryEngine::new(SimConfig::small_for_tests(), rel.clone(), EngineMode::OneXb)
+                .unwrap();
+        assert!(e.pruning());
+        let pruned = e.run_checked(&q).unwrap();
+        e.set_pruning(false);
+        let exhaustive = e.run_checked(&q).unwrap();
+        assert_eq!(pruned.groups, exhaustive.groups);
+        // 256 records/page: [300, 400] spans pages 1..=1
+        assert_eq!(pruned.report.pages_scanned, 1);
+        assert_eq!(exhaustive.report.pages_scanned, exhaustive.report.pages);
+        assert!(pruned.report.time_ns < exhaustive.report.time_ns);
+        assert!(pruned.report.energy_pj < exhaustive.report.energy_pj);
+        use bbpim_sim::timeline::PhaseKind;
+        assert!(
+            pruned.report.phases.time_in(PhaseKind::HostDispatch)
+                < exhaustive.report.phases.time_in(PhaseKind::HostDispatch)
+        );
+    }
+
+    #[test]
+    fn unsatisfiable_filter_dispatches_nothing() {
+        let rel = sorted_relation(600);
+        let q = Query {
+            id: "never".into(),
+            filter: vec![Atom::Lt { attr: "lo_price".into(), value: 0u64.into() }],
+            group_by: vec![],
+            agg_func: AggFunc::Sum,
+            agg_expr: AggExpr::Attr("lo_price".into()),
+        };
+        let mut e =
+            PimQueryEngine::new(SimConfig::small_for_tests(), rel, EngineMode::OneXb).unwrap();
+        let out = e.run_checked(&q).unwrap();
+        assert_eq!(out.report.pages_scanned, 0);
+        assert_eq!(out.report.selected, 0);
+        assert!(out.groups.is_empty());
+        assert_eq!(out.report.energy_pj, 0.0);
+    }
+
+    #[test]
+    fn update_widens_zones_so_pruning_stays_sound() {
+        let rel = sorted_relation(1500);
+        // probe for a value that exists only after the update
+        let q = Query {
+            id: "post".into(),
+            filter: vec![Atom::Eq { attr: "lo_price".into(), value: 4000u64.into() }],
+            group_by: vec![],
+            agg_func: AggFunc::Sum,
+            agg_expr: AggExpr::Attr("d_year".into()),
+        };
+        let mut e =
+            PimQueryEngine::new(SimConfig::small_for_tests(), rel, EngineMode::OneXb).unwrap();
+        assert_eq!(e.run_checked(&q).unwrap().report.pages_scanned, 0);
+        // move the d_year=3 records to lo_price=4000 (they live on many pages)
+        let op = UpdateOp {
+            filter: vec![Atom::Eq { attr: "d_year".into(), value: 3u64.into() }],
+            set_attr: "lo_price".into(),
+            set_value: 4000u64.into(),
+        };
+        let rep = e.update(&op).unwrap();
+        assert!(rep.records_updated > 0);
+        // the probe must now find them: zone maps widened to cover 4000
+        let out = e.run_checked(&q).unwrap();
+        assert_eq!(out.report.selected, rep.records_updated);
+        assert!(out.report.pages_scanned > 0);
+    }
+
+    #[test]
+    fn pruned_group_by_matches_exhaustive() {
+        let rel = sorted_relation(1500);
+        let q = Query {
+            id: "gb".into(),
+            filter: vec![Atom::Lt { attr: "lo_price".into(), value: 500u64.into() }],
+            group_by: vec!["d_year".into()],
+            agg_func: AggFunc::Sum,
+            agg_expr: AggExpr::Attr("lo_price".into()),
+        };
+        let mut e =
+            PimQueryEngine::new(SimConfig::small_for_tests(), rel, EngineMode::OneXb).unwrap();
+        e.calibrate(&CalibrationConfig::tiny_for_tests()).unwrap();
+        let pruned = e.run_checked(&q).unwrap();
+        assert!(pruned.report.pages_scanned < pruned.report.pages);
+        e.set_pruning(false);
+        let exhaustive = e.run_checked(&q).unwrap();
+        assert_eq!(pruned.groups, exhaustive.groups);
     }
 
     #[test]

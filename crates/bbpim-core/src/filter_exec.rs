@@ -19,6 +19,7 @@ use bbpim_sim::timeline::RunLog;
 use crate::error::CoreError;
 use crate::layout::{RecordLayout, MASK_COL, TRANSFER_COL, VALID_COL};
 use crate::loader::LoadedRelation;
+use crate::planner::PageSet;
 
 /// Result of the filter phase.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -112,17 +113,19 @@ pub fn count_mask_bits(module: &PimModule, pages: &[PageId], col: usize) -> u64 
         .sum()
 }
 
-/// Read a one-bit column of a partition into a per-record vector
-/// (engine-internal view of the real bits; charging for the host read
-/// is the caller's decision via [`mask_read_lines`]).
+/// Read a one-bit column of a partition's *planned* pages into a
+/// per-record vector; records on pruned pages read `false` (the
+/// all-false mask semantics pruning guarantees). Charging for the host
+/// read is the caller's decision via [`mask_read_lines`].
 pub fn mask_bits(
     module: &PimModule,
     loaded: &LoadedRelation,
-    pages: &[PageId],
+    pages: &PageSet,
+    partition: usize,
     col: usize,
 ) -> Vec<bool> {
     let mut out = vec![false; loaded.records()];
-    for (pg_idx, &pid) in pages.iter().enumerate() {
+    for (pg_idx, pid) in pages.entries(loaded, partition) {
         let page = module.page(pid);
         for slot in 0..loaded.records_per_page() {
             let record = loaded.record_at(pg_idx, slot);
@@ -143,9 +146,12 @@ pub fn mask_read_lines(module: &PimModule, pages: &[PageId]) -> u64 {
     pages.len() as u64 * module.config().crossbar_rows as u64
 }
 
-/// Execute the query filter, leaving the final mask in partition 0's
-/// [`MASK_COL`]. Pushes every phase (PIM programs, transfer reads and
-/// writes) to `log`.
+/// Execute the query filter over the *planned* pages, leaving the final
+/// mask in partition 0's [`MASK_COL`] of those pages. Pruned pages are
+/// never touched: no program executes on them and their records count
+/// as unselected (sound, because the planner proved they cannot match).
+/// Pushes every phase (PIM programs, transfer reads and writes) to
+/// `log`; an empty plan pushes nothing and selects nothing.
 ///
 /// # Errors
 ///
@@ -156,48 +162,54 @@ pub fn run_filter(
     layout: &RecordLayout,
     loaded: &LoadedRelation,
     atoms: &[(ResolvedAtom, crate::layout::AttrPlacement)],
+    pages: &PageSet,
     log: &mut RunLog,
 ) -> Result<FilterOutcome, CoreError> {
+    if pages.is_empty() {
+        return Ok(FilterOutcome { selected: 0, selectivity: 0.0 });
+    }
     let mut per_partition: Vec<Vec<(ResolvedAtom, ColRange)>> =
         vec![Vec::new(); layout.partitions()];
     for (atom, placement) in atoms {
         per_partition[placement.partition].push((atom.clone(), placement.range));
     }
 
+    let fact_pages = pages.ids(loaded, 0);
     if layout.partitions() == 1 {
         let prog = build_mask_program(layout, 0, &per_partition[0], &[VALID_COL], MASK_COL)?;
-        let phase = module.exec_program(loaded.pages(0), &prog)?;
+        let phase = module.exec_program(&fact_pages, &prog)?;
         log.push(phase);
     } else {
         let dim_atoms = &per_partition[1];
         let mut fact_and = vec![VALID_COL];
         if !dim_atoms.is_empty() {
             // Dimension-side mask…
+            let dim_pages = pages.ids(loaded, 1);
             let prog = build_mask_program(layout, 1, dim_atoms, &[VALID_COL], MASK_COL)?;
-            let phase = module.exec_program(loaded.pages(1), &prog)?;
+            let phase = module.exec_program(&dim_pages, &prog)?;
             log.push(phase);
             // …travels through the host into the fact partition.
-            let bits = mask_bits(module, loaded, loaded.pages(1), MASK_COL);
-            let lines = mask_read_lines(module, loaded.pages(1));
+            let bits = mask_bits(module, loaded, pages, 1, MASK_COL);
+            let lines = mask_read_lines(module, &dim_pages);
             log.push(module.host_read_phase(lines));
-            write_transfer_bits(module, loaded, &bits)?;
+            write_transfer_bits(module, loaded, &bits, pages)?;
             log.push(module.host_write_phase(lines));
             fact_and.push(TRANSFER_COL);
         }
         let prog = build_mask_program(layout, 0, &per_partition[0], &fact_and, MASK_COL)?;
-        let phase = module.exec_program(loaded.pages(0), &prog)?;
+        let phase = module.exec_program(&fact_pages, &prog)?;
         log.push(phase);
     }
 
-    let selected = count_mask_bits(module, loaded.pages(0), MASK_COL);
+    let selected = count_mask_bits(module, &fact_pages, MASK_COL);
     let selectivity =
         if loaded.records() == 0 { 0.0 } else { selected as f64 / loaded.records() as f64 };
     Ok(FilterOutcome { selected, selectivity })
 }
 
-/// Write a per-record bit vector into a partition's transfer chunk (the
-/// host writes whole 16-bit chunks, so each record's row takes a 16-cell
-/// write).
+/// Write a per-record bit vector into a partition's transfer chunk on
+/// the planned pages (the host writes whole 16-bit chunks, so each
+/// record's row takes a 16-cell write).
 ///
 /// # Errors
 ///
@@ -207,10 +219,11 @@ pub fn write_transfer_bits_to(
     loaded: &LoadedRelation,
     bits: &[bool],
     partition: usize,
+    pages: &PageSet,
 ) -> Result<(), CoreError> {
-    let pages: Vec<PageId> = loaded.pages(partition).to_vec();
-    for (pg_idx, pid) in pages.iter().enumerate() {
-        let page = module.page_mut(*pid);
+    let entries: Vec<(usize, PageId)> = pages.entries(loaded, partition).collect();
+    for (pg_idx, pid) in entries {
+        let page = module.page_mut(pid);
         for slot in 0..loaded.records_per_page() {
             let record = loaded.record_at(pg_idx, slot);
             if record >= bits.len() {
@@ -232,8 +245,9 @@ pub fn write_transfer_bits(
     module: &mut PimModule,
     loaded: &LoadedRelation,
     bits: &[bool],
+    pages: &PageSet,
 ) -> Result<(), CoreError> {
-    write_transfer_bits_to(module, loaded, bits, 0)
+    write_transfer_bits_to(module, loaded, bits, 0, pages)
 }
 
 #[cfg(test)]
@@ -294,11 +308,12 @@ mod tests {
         ]);
         let atoms = resolved(&q, &rel, &layout);
         let mut log = RunLog::new();
-        let out = run_filter(&mut module, &layout, &loaded, &atoms, &mut log).unwrap();
+        let pages = PageSet::all(loaded.page_count());
+        let out = run_filter(&mut module, &layout, &loaded, &atoms, &pages, &mut log).unwrap();
         let expected = bbpim_db::stats::filter_bitvec(&q, &rel).unwrap();
         assert_eq!(out.selected, expected.iter().filter(|b| **b).count() as u64);
         // per-record mask identical to the oracle
-        let mask = mask_bits(&module, &loaded, loaded.pages(0), MASK_COL);
+        let mask = mask_bits(&module, &loaded, &pages, 0, MASK_COL);
         assert_eq!(mask, expected);
         assert!(log.total_time_ns() > 0.0);
     }
@@ -312,10 +327,11 @@ mod tests {
         ]);
         let atoms = resolved(&q, &rel, &layout);
         let mut log = RunLog::new();
-        let out = run_filter(&mut module, &layout, &loaded, &atoms, &mut log).unwrap();
+        let pages = PageSet::all(loaded.page_count());
+        let out = run_filter(&mut module, &layout, &loaded, &atoms, &pages, &mut log).unwrap();
         let expected = bbpim_db::stats::filter_bitvec(&q, &rel).unwrap();
         assert_eq!(out.selected, expected.iter().filter(|b| **b).count() as u64);
-        let mask = mask_bits(&module, &loaded, loaded.pages(0), MASK_COL);
+        let mask = mask_bits(&module, &loaded, &pages, 0, MASK_COL);
         assert_eq!(mask, expected);
         // transfer phases present: at least one host read + one host write
         use bbpim_sim::timeline::PhaseKind;
@@ -329,7 +345,15 @@ mod tests {
         let q = query(vec![Atom::Gt { attr: "lo_v".into(), value: 150u64.into() }]);
         let atoms = resolved(&q, &rel, &layout);
         let mut log = RunLog::new();
-        run_filter(&mut module, &layout, &loaded, &atoms, &mut log).unwrap();
+        run_filter(
+            &mut module,
+            &layout,
+            &loaded,
+            &atoms,
+            &PageSet::all(loaded.page_count()),
+            &mut log,
+        )
+        .unwrap();
         use bbpim_sim::timeline::PhaseKind;
         assert_eq!(log.time_in(PhaseKind::HostRead), 0.0);
     }
@@ -341,7 +365,8 @@ mod tests {
         let q = query(vec![Atom::Lt { attr: "lo_v".into(), value: 255u64.into() }]);
         let atoms = resolved(&q, &rel, &layout);
         let mut log = RunLog::new();
-        let out = run_filter(&mut module, &layout, &loaded, &atoms, &mut log).unwrap();
+        let pages = PageSet::all(loaded.page_count());
+        let out = run_filter(&mut module, &layout, &loaded, &atoms, &pages, &mut log).unwrap();
         // 600 records, none of the padding slots counted
         let expected =
             rel.column_by_name("lo_v").unwrap().values().iter().filter(|v| **v < 255).count();
@@ -354,7 +379,8 @@ mod tests {
         let q = query(vec![]);
         let atoms = resolved(&q, &rel, &layout);
         let mut log = RunLog::new();
-        let out = run_filter(&mut module, &layout, &loaded, &atoms, &mut log).unwrap();
+        let pages = PageSet::all(loaded.page_count());
+        let out = run_filter(&mut module, &layout, &loaded, &atoms, &pages, &mut log).unwrap();
         assert_eq!(out.selected, rel.len() as u64);
         assert!((out.selectivity - 1.0).abs() < 1e-12);
     }

@@ -228,12 +228,16 @@ fn measure_pim_point(
     let loaded = load_relation(&mut module, &rel, &layout)?;
 
     // Query mask: everything (filter cost is not part of T_pim-gb).
+    // Calibration is always exhaustive — the fitted tables describe
+    // per-page costs, which the planner then applies to candidate pages.
+    let pages = crate::planner::PageSet::all(loaded.page_count());
     let mut pre = RunLog::new();
-    run_filter(&mut module, &layout, &loaded, &[], &mut pre)?;
+    run_filter(&mut module, &layout, &loaded, &[], &pages, &mut pre)?;
     let input = materialize_expr(
         &mut module,
         &layout,
         &loaded,
+        &pages,
         &AggExpr::Attr("lo_value".into()),
         &mut pre,
     )?;
@@ -244,6 +248,7 @@ fn measure_pim_point(
         &mut module,
         &layout,
         &loaded,
+        &pages,
         mode,
         &gp,
         &[vec![42u64]],

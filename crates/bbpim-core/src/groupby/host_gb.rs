@@ -20,6 +20,7 @@ use crate::error::CoreError;
 use crate::filter_exec::{mask_bits, mask_read_lines};
 use crate::layout::{AttrPlacement, RecordLayout, MASK_COL};
 use crate::loader::LoadedRelation;
+use crate::planner::PageSet;
 
 /// One host-gb run.
 #[derive(Debug)]
@@ -84,12 +85,14 @@ pub fn run_host_gb(
     module: &mut PimModule,
     layout: &RecordLayout,
     loaded: &LoadedRelation,
+    pages: &PageSet,
     req: &HostGbRequest<'_>,
     log: &mut RunLog,
 ) -> Result<GroupedResult, CoreError> {
-    // 1. Filter-result bit-vector.
-    let mask = mask_bits(module, loaded, loaded.pages(0), MASK_COL);
-    log.push(module.host_read_phase(mask_read_lines(module, loaded.pages(0))));
+    // 1. Filter-result bit-vector of the planned pages only (pruned
+    //    pages hold no selected records and are not read).
+    let mask = mask_bits(module, loaded, pages, 0, MASK_COL);
+    log.push(module.host_read_phase(mask_read_lines(module, &pages.ids(loaded, 0))));
 
     // 2. Which chunks must be read per record: group keys + operands.
     let read_attrs: Vec<&str> =
@@ -198,7 +201,8 @@ mod tests {
             .map(|(a, raw)| (a, layout.placement(raw.attr()).unwrap()))
             .collect();
         let mut log = RunLog::new();
-        run_filter(&mut module, &layout, &loaded, &atoms, &mut log).unwrap();
+        let pages = PageSet::all(loaded.page_count());
+        run_filter(&mut module, &layout, &loaded, &atoms, &pages, &mut log).unwrap();
         (module, rel, layout, loaded, q)
     }
 
@@ -219,7 +223,8 @@ mod tests {
                 skip: &skip,
             };
             let mut log = RunLog::new();
-            let got = run_host_gb(&mut module, &layout, &loaded, &req, &mut log).unwrap();
+            let pages = PageSet::all(loaded.page_count());
+            let got = run_host_gb(&mut module, &layout, &loaded, &pages, &req, &mut log).unwrap();
             let expected = stats::run_oracle(&q, &rel).unwrap();
             assert_eq!(got, expected, "{mode:?}");
             assert!(log.total_time_ns() > 0.0);
@@ -241,7 +246,8 @@ mod tests {
             skip: &skip,
         };
         let mut log = RunLog::new();
-        let got = run_host_gb(&mut module, &layout, &loaded, &req, &mut log).unwrap();
+        let pages = PageSet::all(loaded.page_count());
+        let got = run_host_gb(&mut module, &layout, &loaded, &pages, &req, &mut log).unwrap();
         assert!(!got.contains_key(&skipped_key));
         assert_eq!(got.len(), expected.len() - 1);
     }
@@ -256,7 +262,8 @@ mod tests {
         q.filter.clear();
         let atoms: Vec<_> = Vec::new();
         let mut log0 = RunLog::new();
-        run_filter(&mut module, &layout, &loaded, &atoms, &mut log0).unwrap();
+        let pages = PageSet::all(loaded.page_count());
+        run_filter(&mut module, &layout, &loaded, &atoms, &pages, &mut log0).unwrap();
         let req = HostGbRequest {
             group_placements: &gp,
             expr: &q.agg_expr,
@@ -264,7 +271,8 @@ mod tests {
             skip: &skip,
         };
         let mut dense_log = RunLog::new();
-        let dense = run_host_gb(&mut module, &layout, &loaded, &req, &mut dense_log).unwrap();
+        let dense =
+            run_host_gb(&mut module, &layout, &loaded, &pages, &req, &mut dense_log).unwrap();
         assert_eq!(dense.len(), stats::run_oracle(&q, &rel).unwrap().len());
         use bbpim_sim::timeline::PhaseKind;
         let dense_read = dense_log.time_in(PhaseKind::HostRead);
@@ -285,7 +293,8 @@ mod tests {
             .map(|(a, raw)| (a, layout.placement(raw.attr()).unwrap()))
             .collect();
         let mut log = RunLog::new();
-        run_filter(&mut module, &layout, &loaded, &atoms, &mut log).unwrap();
+        let pages = PageSet::all(loaded.page_count());
+        run_filter(&mut module, &layout, &loaded, &atoms, &pages, &mut log).unwrap();
         let gp = placements(&layout, &q);
         let skip = HashSet::new();
         let req = HostGbRequest {
@@ -294,7 +303,7 @@ mod tests {
             func: q.agg_func,
             skip: &skip,
         };
-        let got = run_host_gb(&mut module, &layout, &loaded, &req, &mut log).unwrap();
+        let got = run_host_gb(&mut module, &layout, &loaded, &pages, &req, &mut log).unwrap();
         assert_eq!(got, stats::run_oracle(&q, &rel).unwrap());
     }
 }

@@ -31,6 +31,7 @@ use crate::error::CoreError;
 use crate::layout::{AttrPlacement, RecordLayout};
 use crate::loader::LoadedRelation;
 use crate::modes::EngineMode;
+use crate::planner::PageSet;
 use cost_model::{GbParams, GroupByModel};
 
 /// GROUP-BY execution summary (feeds Table II).
@@ -76,9 +77,11 @@ pub fn plan_n(
     Ok(reads_per_value(cfg.read_width_bits, range))
 }
 
-/// Execute the hybrid GROUP-BY. The filter must already have produced
-/// the mask in partition 0. `relation` serves as the catalog for the
-/// potential-subgroup enumeration (`k_MAX`).
+/// Execute the hybrid GROUP-BY over the planned pages. The filter must
+/// already have produced the mask in partition 0 of those pages.
+/// `relation` serves as the catalog for the potential-subgroup
+/// enumeration (`k_MAX`). An empty plan returns the empty outcome
+/// without touching the module — the planner proved no record matches.
 ///
 /// # Errors
 ///
@@ -89,20 +92,24 @@ pub fn run_group_by(
     module: &mut PimModule,
     layout: &RecordLayout,
     loaded: &LoadedRelation,
+    pages: &PageSet,
     relation: &Relation,
     mode: EngineMode,
     query: &Query,
     model: &GroupByModel,
     log: &mut RunLog,
 ) -> Result<GroupByOutcome, CoreError> {
+    if pages.is_empty() {
+        return Ok(GroupByOutcome { groups: GroupedResult::new(), k: 0, kmax: 0, sampled: 0 });
+    }
     let group_placements: Vec<(String, AttrPlacement)> = query
         .group_by
         .iter()
         .map(|g| Ok((g.clone(), layout.placement(g)?)))
         .collect::<Result<_, CoreError>>()?;
 
-    // 1. Sample one page, estimate subgroup sizes.
-    let estimate = sampling::sample_page(module, layout, loaded, &group_placements, log)?;
+    // 1. Sample one candidate page, estimate subgroup sizes.
+    let estimate = sampling::sample_page(module, layout, loaded, pages, &group_placements, log)?;
 
     // 2. Candidate ordering: sampled keys by size, then unseen potential
     //    keys from the catalog.
@@ -125,19 +132,23 @@ pub fn run_group_by(
         query.group_by.iter().map(String::as_str).chain(query.agg_expr.attrs()),
     )?;
     let n = plan_n(layout, &cfg, &query.agg_expr)?;
-    let params = GbParams { m: loaded.page_count(), n, s, kmax };
+    // Both gb paths touch only the planned candidate pages, so the cost
+    // model's page count `M` is the plan's, not the whole relation's.
+    let params = GbParams { m: pages.len(), n, s, kmax };
     let k = model.choose_k(&params, &|k| estimate.r_of_k(k));
 
     // 4. pim-gb for the k largest candidates.
     let mut groups = GroupedResult::new();
     let mut skip: HashSet<Vec<u64>> = HashSet::new();
     if k > 0 {
-        let input: AggInput = materialize_expr(module, layout, loaded, &query.agg_expr, log)?;
+        let input: AggInput =
+            materialize_expr(module, layout, loaded, pages, &query.agg_expr, log)?;
         let keys: Vec<Vec<u64>> = candidates[..k].to_vec();
         let entries = pim_gb::run_pim_gb(
             module,
             layout,
             loaded,
+            pages,
             mode,
             &group_placements,
             &keys,
@@ -161,7 +172,7 @@ pub fn run_group_by(
             func: query.agg_func,
             skip: &skip,
         };
-        let tail = host_gb::run_host_gb(module, layout, loaded, &req, log)?;
+        let tail = host_gb::run_host_gb(module, layout, loaded, pages, &req, log)?;
         groups.extend(tail);
     }
 
@@ -235,7 +246,8 @@ mod tests {
             .map(|(a, raw)| (a, layout.placement(raw.attr()).unwrap()))
             .collect();
         let mut log = RunLog::new();
-        run_filter(&mut module, &layout, &loaded, &atoms, &mut log).unwrap();
+        let pages = PageSet::all(loaded.page_count());
+        run_filter(&mut module, &layout, &loaded, &atoms, &pages, &mut log).unwrap();
         let (_, model) = run_calibration(&cfg, mode, &CalibrationConfig::tiny_for_tests()).unwrap();
         (module, rel, layout, loaded, q, model)
     }
@@ -245,8 +257,19 @@ mod tests {
         for mode in [EngineMode::OneXb, EngineMode::TwoXb, EngineMode::PimDb] {
             let (mut module, rel, layout, loaded, q, model) = setup(mode);
             let mut log = RunLog::new();
-            let out = run_group_by(&mut module, &layout, &loaded, &rel, mode, &q, &model, &mut log)
-                .unwrap();
+            let pages = PageSet::all(loaded.page_count());
+            let out = run_group_by(
+                &mut module,
+                &layout,
+                &loaded,
+                &pages,
+                &rel,
+                mode,
+                &q,
+                &model,
+                &mut log,
+            )
+            .unwrap();
             let expected = stats::run_oracle(&q, &rel).unwrap();
             assert_eq!(out.groups, expected, "{mode:?} (k={})", out.k);
             assert!(out.kmax >= out.groups.len());
@@ -271,6 +294,7 @@ mod tests {
             &mut module,
             &layout,
             &loaded,
+            &PageSet::all(loaded.page_count()),
             &rel,
             EngineMode::OneXb,
             &q,
@@ -298,6 +322,7 @@ mod tests {
             &mut module,
             &layout,
             &loaded,
+            &PageSet::all(loaded.page_count()),
             &rel,
             EngineMode::OneXb,
             &q,
@@ -329,11 +354,13 @@ mod tests {
             .map(|(a, raw)| (a, layout.placement(raw.attr()).unwrap()))
             .collect();
         let mut log = RunLog::new();
-        run_filter(&mut module, &layout, &loaded, &atoms, &mut log).unwrap();
+        let pages = PageSet::all(loaded.page_count());
+        run_filter(&mut module, &layout, &loaded, &atoms, &pages, &mut log).unwrap();
         let out = run_group_by(
             &mut module,
             &layout,
             &loaded,
+            &pages,
             &rel,
             EngineMode::OneXb,
             &q,

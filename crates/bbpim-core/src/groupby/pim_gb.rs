@@ -25,6 +25,7 @@ use crate::layout::{
 };
 use crate::loader::LoadedRelation;
 use crate::modes::EngineMode;
+use crate::planner::PageSet;
 
 /// One PIM-aggregated subgroup: key, aggregate, matching records.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,6 +51,7 @@ pub fn run_pim_gb(
     module: &mut PimModule,
     layout: &RecordLayout,
     loaded: &LoadedRelation,
+    pages: &PageSet,
     mode: EngineMode,
     group_placements: &[(String, AttrPlacement)],
     keys: &[Vec<u64>],
@@ -77,21 +79,22 @@ pub fn run_pim_gb(
             // Same crossbar: one program forms the group mask.
             let prog =
                 build_mask_program_in(input.scratch_left, &eq_atoms, &[MASK_COL], GROUP_MASK_COL)?;
-            log.push(module.exec_program(loaded.pages(input.partition), &prog)?);
+            log.push(module.exec_program(&pages.ids(loaded, input.partition), &prog)?);
         } else {
             // two-xb: key equality in the dimension partition…
+            let key_pages = pages.ids(loaded, key_partition);
             let prog = build_mask_program_in(
                 layout.scratch(key_partition),
                 &eq_atoms,
                 &[VALID_COL],
                 GROUP_MASK_COL,
             )?;
-            log.push(module.exec_program(loaded.pages(key_partition), &prog)?);
+            log.push(module.exec_program(&key_pages, &prog)?);
             // …travels through the host per subgroup…
-            let bits = mask_bits(module, loaded, loaded.pages(key_partition), GROUP_MASK_COL);
-            let lines = mask_read_lines(module, loaded.pages(key_partition));
+            let bits = mask_bits(module, loaded, pages, key_partition, GROUP_MASK_COL);
+            let lines = mask_read_lines(module, &key_pages);
             log.push(module.host_read_phase(lines));
-            write_transfer_bits(module, loaded, &bits)?;
+            write_transfer_bits(module, loaded, &bits, pages)?;
             log.push(module.host_write_phase(lines));
             // …and combines with the query mask in the fact partition.
             let prog = build_mask_program_in(
@@ -100,13 +103,14 @@ pub fn run_pim_gb(
                 &[MASK_COL, TRANSFER_COL],
                 GROUP_MASK_COL,
             )?;
-            log.push(module.exec_program(loaded.pages(input.partition), &prog)?);
+            log.push(module.exec_program(&pages.ids(loaded, input.partition), &prog)?);
         }
 
         let (value, count) = aggregate_masked_counted(
             module,
             layout,
             loaded,
+            pages,
             mode,
             input,
             GROUP_MASK_COL,
@@ -159,8 +163,10 @@ mod tests {
             .map(|(a, raw)| (a, layout.placement(raw.attr()).unwrap()))
             .collect();
         let mut log = RunLog::new();
-        run_filter(&mut module, &layout, &loaded, &atoms, &mut log).unwrap();
-        let input = materialize_expr(&mut module, &layout, &loaded, &q.agg_expr, &mut log).unwrap();
+        let pages = PageSet::all(loaded.page_count());
+        run_filter(&mut module, &layout, &loaded, &atoms, &pages, &mut log).unwrap();
+        let input =
+            materialize_expr(&mut module, &layout, &loaded, &pages, &q.agg_expr, &mut log).unwrap();
         (module, rel, layout, loaded, q, input, log)
     }
 
@@ -179,6 +185,7 @@ mod tests {
                 &mut module,
                 &layout,
                 &loaded,
+                &PageSet::all(loaded.page_count()),
                 mode,
                 &gp,
                 &keys,
@@ -206,6 +213,7 @@ mod tests {
             &mut module,
             &layout,
             &loaded,
+            &PageSet::all(loaded.page_count()),
             EngineMode::OneXb,
             &gp,
             &[vec![15u64]],
@@ -230,10 +238,34 @@ mod tests {
         let keys: Vec<Vec<u64>> = (0..4u64).map(|g| vec![g]).collect();
         let mut log1 = RunLog::new();
         let mut log2 = RunLog::new();
-        run_pim_gb(&mut m1, &l1, &ld1, EngineMode::OneXb, &gp1, &keys, &i1, q1.agg_func, &mut log1)
-            .unwrap();
-        run_pim_gb(&mut m2, &l2, &ld2, EngineMode::TwoXb, &gp2, &keys, &i2, q2.agg_func, &mut log2)
-            .unwrap();
+        let all1 = PageSet::all(ld1.page_count());
+        let all2 = PageSet::all(ld2.page_count());
+        run_pim_gb(
+            &mut m1,
+            &l1,
+            &ld1,
+            &all1,
+            EngineMode::OneXb,
+            &gp1,
+            &keys,
+            &i1,
+            q1.agg_func,
+            &mut log1,
+        )
+        .unwrap();
+        run_pim_gb(
+            &mut m2,
+            &l2,
+            &ld2,
+            &all2,
+            EngineMode::TwoXb,
+            &gp2,
+            &keys,
+            &i2,
+            q2.agg_func,
+            &mut log2,
+        )
+        .unwrap();
         assert_eq!(log1.time_in(PhaseKind::HostWrite), 0.0);
         assert!(log2.time_in(PhaseKind::HostWrite) > 0.0);
         assert!(log2.total_time_ns() > log1.total_time_ns());
@@ -254,6 +286,7 @@ mod tests {
             &mut module,
             &layout,
             &loaded,
+            &PageSet::all(loaded.page_count()),
             EngineMode::OneXb,
             &gp,
             &[vec![1u64]],
@@ -266,6 +299,7 @@ mod tests {
             &mut module,
             &layout,
             &loaded,
+            &PageSet::all(loaded.page_count()),
             EngineMode::OneXb,
             &gp,
             &[vec![8u64]],

@@ -14,6 +14,7 @@ use bbpim_sim::timeline::RunLog;
 use crate::error::CoreError;
 use crate::layout::{AttrPlacement, RecordLayout, MASK_COL};
 use crate::loader::LoadedRelation;
+use crate::planner::PageSet;
 
 /// Subgroup-size estimate from one sampled page.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,28 +57,36 @@ impl SampleEstimate {
     }
 }
 
-/// Read one page's mask and group keys, estimate subgroup sizes.
+/// Read one candidate page's mask and group keys, estimate subgroup
+/// sizes. The sampled page is the plan's first candidate — sampling a
+/// pruned page would see only mask bits the filter never wrote.
 ///
 /// Charges the mask lines (one per row) and the key-chunk lines of the
 /// selected sampled records to `log`.
 ///
 /// # Errors
 ///
-/// Propagates simulator failures.
+/// Propagates simulator failures; the plan must be non-empty.
 pub fn sample_page(
     module: &mut PimModule,
     _layout: &RecordLayout,
     loaded: &LoadedRelation,
+    pages: &PageSet,
     group_placements: &[(String, AttrPlacement)],
     log: &mut RunLog,
 ) -> Result<SampleEstimate, CoreError> {
-    let sample_records = loaded.records_per_page().min(loaded.records());
+    let sample_idx = pages
+        .first()
+        .ok_or_else(|| CoreError::Unsupported("sampling an empty page plan".into()))?;
+    let first_record = loaded.record_at(sample_idx, 0);
+    let sample_records =
+        loaded.records_per_page().min(loaded.records().saturating_sub(first_record));
 
-    // Mask of page 0 (partition 0): one line per occupied row index.
+    // Mask of the sampled page (partition 0): one line per occupied row.
     let rows_used = sample_records.div_ceil(module.config().crossbars_per_page());
     log.push(module.host_read_phase(rows_used as u64));
 
-    let mask_page = module.page(loaded.pages(0)[0]);
+    let mask_page = module.page(loaded.pages(0)[sample_idx]);
     let mut selected_slots = Vec::new();
     for slot in 0..sample_records {
         let s = mask_page.record_slot(slot)?;
@@ -92,7 +101,7 @@ pub fn sample_page(
     for &slot in &selected_slots {
         let mut key = Vec::with_capacity(group_placements.len());
         for (_, placement) in group_placements {
-            let page_id = loaded.pages(placement.partition)[0];
+            let page_id = loaded.pages(placement.partition)[sample_idx];
             let page = module.page(page_id);
             let s = page.record_slot(slot)?;
             lines.touch_bit_range(
@@ -112,7 +121,18 @@ pub fn sample_page(
     }
     log.push(module.host_read_scattered_phase(lines.len()));
 
-    let scale = loaded.records() as f64 / sample_records as f64;
+    // Selected records exist only on candidate pages (pruned pages are
+    // proven matchless), so the sample scales up to the *candidate*
+    // record count, not the whole relation.
+    let candidate_records: usize = pages
+        .indices()
+        .iter()
+        .map(|&idx| {
+            loaded.records_per_page().min(loaded.records().saturating_sub(loaded.record_at(idx, 0)))
+        })
+        .sum();
+    let scale =
+        if sample_records == 0 { 0.0 } else { candidate_records as f64 / sample_records as f64 };
     let mut groups: Vec<(Vec<u64>, f64)> =
         counts.into_iter().map(|(k, c)| (k, c as f64 * scale)).collect();
     groups.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
@@ -121,7 +141,11 @@ pub fn sample_page(
     Ok(SampleEstimate {
         sample_records,
         sample_selected,
-        est_selectivity: sample_selected as f64 / sample_records as f64,
+        est_selectivity: if sample_records == 0 {
+            0.0
+        } else {
+            sample_selected as f64 / sample_records as f64
+        },
         groups,
         est_selected_total: sample_selected as f64 * scale,
     })
@@ -172,9 +196,10 @@ mod tests {
             .map(|(a, raw)| (a, layout.placement(raw.attr()).unwrap()))
             .collect();
         let mut log = RunLog::new();
-        run_filter(&mut module, &layout, &loaded, &atoms, &mut log).unwrap();
+        let pages = PageSet::all(loaded.page_count());
+        run_filter(&mut module, &layout, &loaded, &atoms, &pages, &mut log).unwrap();
         let placements = vec![("d_g".to_string(), layout.placement("d_g").unwrap())];
-        sample_page(&mut module, &layout, &loaded, &placements, &mut log).unwrap()
+        sample_page(&mut module, &layout, &loaded, &pages, &placements, &mut log).unwrap()
     }
 
     #[test]

@@ -21,6 +21,12 @@
 //!   *pim-gb* and the tail to *host-gb*.
 //! * **UPDATE via the PIM multiplexer** (Algorithm 1) — [`update`]
 //!   maintains pre-joined data with zero reads.
+//! * **Zone-map-driven physical planning** — [`planner`] tests a
+//!   query's bound intervals ([`bbpim_db::plan::FilterBounds`]) against
+//!   per-page min/max zone maps built at load time, and every execution
+//!   stage (filter, aggregation, GROUP BY, UPDATE) runs only over the
+//!   planned [`planner::PageSet`]; pruned pages are never activated and
+//!   cost no per-page host orchestration.
 //!
 //! ```no_run
 //! use bbpim_core::engine::PimQueryEngine;
@@ -45,6 +51,7 @@ pub mod groupby;
 pub mod layout;
 pub mod loader;
 pub mod modes;
+pub mod planner;
 pub mod result;
 pub mod update;
 

@@ -9,16 +9,25 @@
 //! counters are reset after the load.
 
 use bbpim_db::relation::Relation;
+use bbpim_db::zonemap::ZoneMap;
 use bbpim_sim::module::{PageId, PimModule};
 
 use crate::error::CoreError;
 use crate::layout::{RecordLayout, VALID_COL};
 
 /// A relation resident in PIM.
+///
+/// Besides the page runs, the loader keeps one [`ZoneMap`] per page
+/// index — the per-attribute min/max over the records the page holds —
+/// which is what the physical planner tests filters against
+/// ([`crate::planner::plan_pages`]). UPDATEs widen these maps (see
+/// [`LoadedRelation::widen_zones`]) so pruning stays sound after writes.
 #[derive(Debug, Clone)]
 pub struct LoadedRelation {
     /// Pages per partition: `pages[partition][page_index]`.
     pages: Vec<Vec<PageId>>,
+    /// Per page index (shared across partitions): min/max per attribute.
+    page_zones: Vec<ZoneMap>,
     records: usize,
     records_per_page: usize,
 }
@@ -62,6 +71,44 @@ impl LoadedRelation {
     pub fn record_at(&self, page_index: usize, slot: usize) -> usize {
         page_index * self.records_per_page + slot
     }
+
+    /// The zone map of one page index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_index` is out of range.
+    pub fn page_zone(&self, page_index: usize) -> &ZoneMap {
+        &self.page_zones[page_index]
+    }
+
+    /// All per-page zone maps, in page order.
+    pub fn page_zones(&self) -> &[ZoneMap] {
+        &self.page_zones
+    }
+
+    /// The whole loaded relation's zone map (merge over pages).
+    pub fn zone_map(&self) -> ZoneMap {
+        let arity = self.page_zones.first().map(ZoneMap::arity).unwrap_or(0);
+        let mut zm = ZoneMap::empty(arity);
+        for page in &self.page_zones {
+            zm.merge(page);
+        }
+        zm
+    }
+
+    /// Widen the given pages' zones so attribute `attr_idx` also covers
+    /// `value` — UPDATE maintenance: after a MUX rewrite the affected
+    /// pages may hold the new value, and the maps must keep
+    /// over-approximating the live contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range page index or attribute.
+    pub fn widen_zones(&mut self, page_indices: &[usize], attr_idx: usize, value: u64) {
+        for &idx in page_indices {
+            self.page_zones[idx].widen(attr_idx, value);
+        }
+    }
 }
 
 /// Write `rel` into `module` under `layout`.
@@ -91,6 +138,7 @@ pub fn load_relation(
         cols.push((idx, layout.placement(&attr.name)?));
     }
 
+    let mut page_zones = vec![ZoneMap::empty(rel.schema().arity()); page_count];
     for record in 0..rel.len() {
         let page_idx = record / records_per_page;
         let slot = record % records_per_page;
@@ -103,9 +151,12 @@ pub fn load_relation(
             let page = module.page_mut(pages[placement.partition][page_idx]);
             page.write_record_bits(slot, placement.range.lo, placement.range.width, value)?;
         }
+        for attr_idx in 0..rel.schema().arity() {
+            page_zones[page_idx].widen(attr_idx, rel.value(record, attr_idx));
+        }
     }
 
-    let loaded = LoadedRelation { pages, records: rel.len(), records_per_page };
+    let loaded = LoadedRelation { pages, page_zones, records: rel.len(), records_per_page };
     // Loading is not part of query endurance.
     module.reset_endurance(&loaded.all_pages());
     Ok(loaded)
@@ -207,6 +258,34 @@ mod tests {
             err,
             crate::error::CoreError::Sim(bbpim_sim::SimError::OutOfCapacity { .. })
         ));
+    }
+
+    #[test]
+    fn page_zones_cover_each_pages_records() {
+        let (mut module, rel, layout) = small_setup(600);
+        let loaded = load_relation(&mut module, &rel, &layout).unwrap();
+        assert_eq!(loaded.page_zones().len(), loaded.page_count());
+        let rpp = loaded.records_per_page();
+        for (pg, zone) in loaded.page_zones().iter().enumerate() {
+            let recs = (pg * rpp)..((pg + 1) * rpp).min(loaded.records());
+            for attr in 0..rel.schema().arity() {
+                let lo = recs.clone().map(|r| rel.value(r, attr)).min().unwrap();
+                let hi = recs.clone().map(|r| rel.value(r, attr)).max().unwrap();
+                assert_eq!(zone.range(attr), Some((lo, hi)), "page {pg} attr {attr}");
+            }
+        }
+        // merged zone equals the relation's own
+        assert_eq!(loaded.zone_map(), rel.zone_map());
+    }
+
+    #[test]
+    fn widen_zones_grows_the_named_pages_only() {
+        let (mut module, rel, layout) = small_setup(600);
+        let mut loaded = load_relation(&mut module, &rel, &layout).unwrap();
+        let before: Vec<_> = loaded.page_zones().to_vec();
+        loaded.widen_zones(&[1], 0, 255);
+        assert_eq!(loaded.page_zone(0), &before[0]);
+        assert_eq!(loaded.page_zone(1).range(0).unwrap().1, 255);
     }
 
     #[test]

@@ -29,6 +29,9 @@ pub struct QueryReport {
     pub records: usize,
     /// Pages per partition (`M`).
     pub pages: usize,
+    /// Pages the physical planner actually dispatched (zone-map pruning
+    /// skips the rest; equals `pages` under exhaustive execution).
+    pub pages_scanned: usize,
     /// Records passing the filter.
     pub selected: u64,
     /// Measured selectivity (Table II).
@@ -141,6 +144,7 @@ mod tests {
             row_cells: 512,
             records: 0,
             pages: 0,
+            pages_scanned: 0,
             selected: 0,
             selectivity: 0.0,
             total_subgroups: 0,

@@ -7,11 +7,11 @@
 //! attribute wherever the select bit is set — *PIM operations only, no
 //! reads*, eliminating data movement almost entirely.
 
-use bbpim_db::plan::{Atom, Const, Query};
+use bbpim_db::plan::{Atom, Const, FilterBounds, Query};
 use bbpim_db::Relation;
 use bbpim_sim::compiler::{mux, CodeBuilder, ScratchPool};
 use bbpim_sim::module::PimModule;
-use bbpim_sim::timeline::RunLog;
+use bbpim_sim::timeline::{Phase, RunLog};
 
 use crate::error::CoreError;
 use crate::filter_exec::{
@@ -19,6 +19,7 @@ use crate::filter_exec::{
 };
 use crate::layout::{RecordLayout, MASK_COL, TRANSFER_COL};
 use crate::loader::LoadedRelation;
+use crate::planner::{plan_pages, PageSet};
 
 /// One UPDATE statement: `UPDATE wide SET set_attr = set_value WHERE
 /// filter`.
@@ -37,6 +38,8 @@ pub struct UpdateOp {
 pub struct UpdateReport {
     /// Records rewritten.
     pub records_updated: u64,
+    /// Pages the planner let the UPDATE touch (per partition).
+    pub pages_scanned: usize,
     /// Simulated time, nanoseconds.
     pub time_ns: f64,
     /// PIM energy, picojoules.
@@ -45,7 +48,15 @@ pub struct UpdateReport {
     pub phases: RunLog,
 }
 
-/// Execute an UPDATE: filter → Algorithm 1 MUX.
+/// Execute an UPDATE: plan → filter → Algorithm 1 MUX → zone widening.
+///
+/// The WHERE conjunction is planned against the per-page zone maps
+/// exactly like a query filter (pass `prune = false` for exhaustive
+/// execution); the MUX then rewrites only candidate pages. Afterwards
+/// every candidate page's zone map is *widened* to cover the written
+/// immediate, so later pruning decisions stay sound — a page that now
+/// holds the new value can no longer be skipped by a filter looking for
+/// it.
 ///
 /// Also patches `relation` (the host-side catalog copy) so later
 /// catalog-derived statistics stay consistent with the PIM contents.
@@ -56,13 +67,14 @@ pub struct UpdateReport {
 pub fn run_update(
     module: &mut PimModule,
     layout: &RecordLayout,
-    loaded: &LoadedRelation,
+    loaded: &mut LoadedRelation,
     relation: &mut Relation,
     op: &UpdateOp,
+    prune: bool,
 ) -> Result<UpdateReport, CoreError> {
     let mut log = RunLog::new();
 
-    // Filter (reusing the query path).
+    // Filter (reusing the query path, zone maps included).
     let probe = Query {
         id: "update".into(),
         filter: op.filter.clone(),
@@ -70,13 +82,22 @@ pub fn run_update(
         agg_func: bbpim_db::plan::AggFunc::Sum,
         agg_expr: bbpim_db::plan::AggExpr::Attr(op.set_attr.clone()),
     };
-    let atoms: Vec<_> = probe
-        .resolve_filter(relation.schema())?
-        .into_iter()
+    let resolved = probe.resolve_filter(relation.schema())?;
+    let atoms: Vec<_> = resolved
+        .iter()
+        .cloned()
         .zip(probe.filter.iter())
         .map(|(a, raw)| Ok((a, layout.placement(raw.attr())?)))
         .collect::<Result<_, CoreError>>()?;
-    run_filter(module, layout, loaded, &atoms, &mut log)?;
+    let pages = if prune {
+        plan_pages(&FilterBounds::from_atoms(&resolved), loaded)
+    } else {
+        PageSet::all(loaded.page_count())
+    };
+    log.push(Phase::host_dispatch(
+        (pages.len() * layout.partitions()) as f64 * module.config().host.dispatch_ns_per_page,
+    ));
+    run_filter(module, layout, loaded, &atoms, &pages, &mut log)?;
 
     // Resolve destination attribute and immediate.
     let target = layout.placement(&op.set_attr)?;
@@ -86,28 +107,36 @@ pub fn run_update(
         Const::Str(s) => relation.schema().attrs()[attr_idx].encode_str(s)?,
     };
 
-    // The select bit: partition 0's mask, transferred if the target
-    // attribute lives elsewhere.
-    let select_col = if target.partition == 0 {
-        MASK_COL
+    let updated = if pages.is_empty() {
+        0
     } else {
-        let bits = mask_bits(module, loaded, loaded.pages(0), MASK_COL);
-        let lines = mask_read_lines(module, loaded.pages(0));
-        log.push(module.host_read_phase(lines));
-        write_transfer_bits_to(module, loaded, &bits, target.partition)?;
-        log.push(module.host_write_phase(lines));
-        TRANSFER_COL
+        // The select bit: partition 0's mask, transferred if the target
+        // attribute lives elsewhere.
+        let select_col = if target.partition == 0 {
+            MASK_COL
+        } else {
+            let fact_pages = pages.ids(loaded, 0);
+            let bits = mask_bits(module, loaded, &pages, 0, MASK_COL);
+            let lines = mask_read_lines(module, &fact_pages);
+            log.push(module.host_read_phase(lines));
+            write_transfer_bits_to(module, loaded, &bits, target.partition, &pages)?;
+            log.push(module.host_write_phase(lines));
+            TRANSFER_COL
+        };
+
+        // Algorithm 1, on candidate pages only.
+        let mut pool = ScratchPool::new(layout.scratch(target.partition));
+        let mut b = CodeBuilder::new(&mut pool);
+        mux::compile_mux_update(&mut b, target.range, imm, select_col)?;
+        let prog = b.finish();
+        let phase = module.exec_program(&pages.ids(loaded, target.partition), &prog)?;
+        log.push(phase);
+
+        // Zone maintenance: every candidate page may now hold `imm`.
+        loaded.widen_zones(pages.indices(), attr_idx, imm);
+
+        count_mask_bits(module, &pages.ids(loaded, 0), MASK_COL)
     };
-
-    // Algorithm 1.
-    let mut pool = ScratchPool::new(layout.scratch(target.partition));
-    let mut b = CodeBuilder::new(&mut pool);
-    mux::compile_mux_update(&mut b, target.range, imm, select_col)?;
-    let prog = b.finish();
-    let phase = module.exec_program(loaded.pages(target.partition), &prog)?;
-    log.push(phase);
-
-    let updated = count_mask_bits(module, loaded.pages(0), MASK_COL);
 
     // Keep the host-side catalog copy in sync.
     let selected = bbpim_db::stats::filter_bitvec(&probe, relation)?;
@@ -119,6 +148,7 @@ pub fn run_update(
 
     Ok(UpdateReport {
         records_updated: updated,
+        pages_scanned: pages.len(),
         time_ns: log.total_time_ns(),
         energy_pj: log.total_energy_pj(),
         phases: log,
@@ -161,14 +191,14 @@ mod tests {
 
     #[test]
     fn update_rewrites_only_matching_records() {
-        let (mut module, mut rel, layout, loaded) = setup(EngineMode::OneXb);
+        let (mut module, mut rel, layout, mut loaded) = setup(EngineMode::OneXb);
         let op = UpdateOp {
             filter: vec![Atom::Eq { attr: "d_city".into(), value: 7u64.into() }],
             set_attr: "d_city".into(),
             set_value: 39u64.into(),
         };
         let before: Vec<u64> = (0..rel.len()).map(|r| rel.value(r, 1)).collect();
-        let report = run_update(&mut module, &layout, &loaded, &mut rel, &op).unwrap();
+        let report = run_update(&mut module, &layout, &mut loaded, &mut rel, &op, true).unwrap();
         assert_eq!(report.records_updated, before.iter().filter(|v| **v == 7).count() as u64);
         for (record, prior) in before.iter().enumerate() {
             let got = read_attr(&module, &layout, &loaded, record, "d_city");
@@ -181,13 +211,13 @@ mod tests {
 
     #[test]
     fn update_in_one_xb_needs_no_host_reads() {
-        let (mut module, mut rel, layout, loaded) = setup(EngineMode::OneXb);
+        let (mut module, mut rel, layout, mut loaded) = setup(EngineMode::OneXb);
         let op = UpdateOp {
             filter: vec![Atom::Lt { attr: "lo_v".into(), value: 10u64.into() }],
             set_attr: "lo_v".into(),
             set_value: 255u64.into(),
         };
-        let report = run_update(&mut module, &layout, &loaded, &mut rel, &op).unwrap();
+        let report = run_update(&mut module, &layout, &mut loaded, &mut rel, &op, true).unwrap();
         // the paper's point: UPDATE uses PIM ops only — no data movement
         assert_eq!(report.phases.time_in(PhaseKind::HostRead), 0.0);
         assert_eq!(report.phases.time_in(PhaseKind::HostWrite), 0.0);
@@ -196,14 +226,14 @@ mod tests {
 
     #[test]
     fn two_xb_update_of_dimension_attr_transfers_mask() {
-        let (mut module, mut rel, layout, loaded) = setup(EngineMode::TwoXb);
+        let (mut module, mut rel, layout, mut loaded) = setup(EngineMode::TwoXb);
         let op = UpdateOp {
             // fact-side filter, dimension-side target: mask must travel
             filter: vec![Atom::Lt { attr: "lo_v".into(), value: 50u64.into() }],
             set_attr: "d_city".into(),
             set_value: 1u64.into(),
         };
-        let report = run_update(&mut module, &layout, &loaded, &mut rel, &op).unwrap();
+        let report = run_update(&mut module, &layout, &mut loaded, &mut rel, &op, true).unwrap();
         assert!(report.phases.time_in(PhaseKind::HostWrite) > 0.0);
         for record in 0..rel.len() {
             let v = read_attr(&module, &layout, &loaded, record, "lo_v");
@@ -216,8 +246,8 @@ mod tests {
 
     #[test]
     fn update_cost_independent_of_matched_count() {
-        let (mut m1, mut r1, l1, ld1) = setup(EngineMode::OneXb);
-        let (mut m2, mut r2, l2, ld2) = setup(EngineMode::OneXb);
+        let (mut m1, mut r1, l1, mut ld1) = setup(EngineMode::OneXb);
+        let (mut m2, mut r2, l2, mut ld2) = setup(EngineMode::OneXb);
         let narrow = UpdateOp {
             filter: vec![Atom::Eq { attr: "lo_v".into(), value: 3u64.into() }],
             set_attr: "d_city".into(),
@@ -228,8 +258,8 @@ mod tests {
             set_attr: "d_city".into(),
             set_value: 0u64.into(),
         };
-        let t1 = run_update(&mut m1, &l1, &ld1, &mut r1, &narrow).unwrap();
-        let t2 = run_update(&mut m2, &l2, &ld2, &mut r2, &wide).unwrap();
+        let t1 = run_update(&mut m1, &l1, &mut ld1, &mut r1, &narrow, true).unwrap();
+        let t2 = run_update(&mut m2, &l2, &mut ld2, &mut r2, &wide, true).unwrap();
         assert!(t2.records_updated > 50 * t1.records_updated.max(1));
         // The MUX pass itself is selection-size independent: the last
         // PIM-logic phase (the rewrite) takes identical time for 2 and

@@ -15,7 +15,12 @@
 //!   as logical plans.
 //! * [`plan`] — the logical query form shared by both engines:
 //!   conjunctive filters, GROUP BY keys, and a single aggregate over an
-//!   attribute or a two-attribute expression.
+//!   attribute or a two-attribute expression — plus
+//!   [`plan::FilterBounds`], the per-attribute bound intervals the
+//!   physical planner extracts from a resolved conjunction.
+//! * [`zonemap`] — per-zone (shard / page) min-max summaries; together
+//!   with [`plan::FilterBounds`] they let the execution layers prove a
+//!   zone holds no matching record and skip it untouched.
 //! * [`stats`] — oracles for selectivity and subgroup counts (Table II).
 //!
 //! ## Quick start
@@ -37,7 +42,9 @@ pub mod relation;
 pub mod schema;
 pub mod ssb;
 pub mod stats;
+pub mod zonemap;
 
 pub use error::DbError;
 pub use relation::Relation;
 pub use schema::{Attribute, Schema};
+pub use zonemap::ZoneMap;

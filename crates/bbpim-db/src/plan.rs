@@ -199,6 +199,114 @@ impl ResolvedAtom {
     pub fn matches(&self, rel: &Relation, row: usize) -> bool {
         self.matches_value(rel.value(row, self.attr_index()))
     }
+
+    /// The inclusive `[lo, hi]` interval every satisfying value lies in,
+    /// or `None` when the atom is unsatisfiable (`< 0`, `> u64::MAX`).
+    ///
+    /// For `In` the interval is the envelope of the member set — a sound
+    /// over-approximation; [`ResolvedAtom::can_match_range`] is exact.
+    pub fn bounds(&self) -> Option<(u64, u64)> {
+        match self {
+            ResolvedAtom::Eq { value, .. } => Some((*value, *value)),
+            ResolvedAtom::Between { lo, hi, .. } => Some((*lo, *hi)),
+            ResolvedAtom::Lt { value, .. } => value.checked_sub(1).map(|hi| (0, hi)),
+            ResolvedAtom::Gt { value, .. } => value.checked_add(1).map(|lo| (lo, u64::MAX)),
+            ResolvedAtom::In { values, .. } => {
+                // resolve() guarantees a sorted, non-empty member list
+                Some((*values.first()?, *values.last()?))
+            }
+        }
+    }
+
+    /// Could *any* value in the inclusive `[lo, hi]` range satisfy this
+    /// atom? Exact (for `In`, checks actual membership in the range) —
+    /// the zone-pruning primitive: `false` proves a zone whose attribute
+    /// spans `[lo, hi]` holds no matching record.
+    pub fn can_match_range(&self, lo: u64, hi: u64) -> bool {
+        match self {
+            ResolvedAtom::Eq { value, .. } => (lo..=hi).contains(value),
+            ResolvedAtom::Between { lo: alo, hi: ahi, .. } => *alo <= hi && *ahi >= lo,
+            ResolvedAtom::Lt { value, .. } => lo < *value,
+            ResolvedAtom::Gt { value, .. } => hi > *value,
+            ResolvedAtom::In { values, .. } => {
+                let first_ge = values.partition_point(|v| *v < lo);
+                values.get(first_ge).is_some_and(|v| *v <= hi)
+            }
+        }
+    }
+}
+
+/// A query conjunction's per-attribute bound intervals, extracted from
+/// resolved atoms — the logical side of the physical planner.
+///
+/// `from_atoms` intersects each attribute's [`ResolvedAtom::bounds`];
+/// an empty intersection (or an unsatisfiable atom) marks the whole
+/// conjunction unsatisfiable. [`FilterBounds::can_match`] then tests a
+/// [`ZoneMap`] zone: only when *every* atom could be satisfied by some
+/// value in the zone's range must the zone be scanned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterBounds {
+    atoms: Vec<ResolvedAtom>,
+    satisfiable: bool,
+}
+
+use crate::zonemap::ZoneMap;
+
+impl FilterBounds {
+    /// Extract the bounds of a resolved conjunction.
+    pub fn from_atoms(atoms: &[ResolvedAtom]) -> Self {
+        let mut per_attr: std::collections::BTreeMap<usize, (u64, u64)> =
+            std::collections::BTreeMap::new();
+        let mut satisfiable = true;
+        for atom in atoms {
+            let Some((lo, hi)) = atom.bounds() else {
+                satisfiable = false;
+                break;
+            };
+            let entry = per_attr.entry(atom.attr_index()).or_insert((lo, hi));
+            entry.0 = entry.0.max(lo);
+            entry.1 = entry.1.min(hi);
+            if entry.0 > entry.1 {
+                satisfiable = false;
+                break;
+            }
+        }
+        FilterBounds { atoms: atoms.to_vec(), satisfiable }
+    }
+
+    /// Extract the bounds of a query's filter against a schema.
+    ///
+    /// # Errors
+    ///
+    /// Propagates atom resolution failures.
+    pub fn of_query(query: &Query, schema: &Schema) -> Result<Self, DbError> {
+        Ok(Self::from_atoms(&query.resolve_filter(schema)?))
+    }
+
+    /// False when the interval analysis proved no value assignment can
+    /// satisfy the conjunction (every zone may be pruned).
+    pub fn satisfiable(&self) -> bool {
+        self.satisfiable
+    }
+
+    /// The atoms the bounds were extracted from.
+    pub fn atoms(&self) -> &[ResolvedAtom] {
+        &self.atoms
+    }
+
+    /// Could a zone summarised by `zone` hold a record satisfying the
+    /// conjunction? `false` is a proof of absence (sound to skip);
+    /// `true` means the zone must be scanned.
+    pub fn can_match(&self, zone: &ZoneMap) -> bool {
+        if !self.satisfiable {
+            return false;
+        }
+        self.atoms.iter().all(|atom| match zone.range(atom.attr_index()) {
+            // empty zone: no record can match (nothing to scan either)
+            None => false,
+            Some((lo, hi)) => atom.can_match_range(lo, hi),
+        })
+    }
 }
 
 /// The aggregate's input expression.
@@ -355,6 +463,92 @@ mod tests {
         assert_eq!(AggExpr::Attr("q".into()).eval(&rel, 1).unwrap(), 20);
         assert_eq!(AggExpr::Mul("q".into(), "region".into()).eval(&rel, 2).unwrap(), 30);
         assert_eq!(AggExpr::Sub("q".into(), "region".into()).eval(&rel, 3).unwrap(), 40);
+    }
+
+    #[test]
+    fn atom_bounds_intervals() {
+        assert_eq!(ResolvedAtom::Eq { idx: 0, value: 9 }.bounds(), Some((9, 9)));
+        assert_eq!(ResolvedAtom::Between { idx: 0, lo: 2, hi: 5 }.bounds(), Some((2, 5)));
+        assert_eq!(ResolvedAtom::Lt { idx: 0, value: 4 }.bounds(), Some((0, 3)));
+        assert_eq!(ResolvedAtom::Lt { idx: 0, value: 0 }.bounds(), None);
+        assert_eq!(ResolvedAtom::Gt { idx: 0, value: 4 }.bounds(), Some((5, u64::MAX)));
+        assert_eq!(ResolvedAtom::Gt { idx: 0, value: u64::MAX }.bounds(), None);
+        assert_eq!(ResolvedAtom::In { idx: 0, values: vec![3, 8, 20] }.bounds(), Some((3, 20)));
+    }
+
+    #[test]
+    fn can_match_range_is_exact_for_in() {
+        let a = ResolvedAtom::In { idx: 0, values: vec![5, 40] };
+        assert!(a.can_match_range(0, 5));
+        assert!(a.can_match_range(30, 50));
+        // envelope overlaps but no member inside
+        assert!(!a.can_match_range(10, 20));
+        assert!(!a.can_match_range(41, u64::MAX));
+    }
+
+    #[test]
+    fn can_match_range_comparisons() {
+        assert!(ResolvedAtom::Lt { idx: 0, value: 10 }.can_match_range(9, 100));
+        assert!(!ResolvedAtom::Lt { idx: 0, value: 10 }.can_match_range(10, 100));
+        assert!(ResolvedAtom::Gt { idx: 0, value: 10 }.can_match_range(0, 11));
+        assert!(!ResolvedAtom::Gt { idx: 0, value: 10 }.can_match_range(0, 10));
+        assert!(ResolvedAtom::Between { idx: 0, lo: 3, hi: 6 }.can_match_range(6, 9));
+        assert!(!ResolvedAtom::Between { idx: 0, lo: 3, hi: 6 }.can_match_range(7, 9));
+    }
+
+    #[test]
+    fn filter_bounds_intersection_and_zone_test() {
+        use crate::zonemap::ZoneMap;
+        let atoms = vec![
+            ResolvedAtom::Gt { idx: 0, value: 10 },
+            ResolvedAtom::Lt { idx: 0, value: 20 },
+            ResolvedAtom::Eq { idx: 1, value: 3 },
+        ];
+        let b = FilterBounds::from_atoms(&atoms);
+        assert!(b.satisfiable());
+        let mut zone = ZoneMap::empty(2);
+        zone.observe_row(&[15, 3]);
+        assert!(b.can_match(&zone));
+        // zone outside the idx-0 window
+        let mut far = ZoneMap::empty(2);
+        far.observe_row(&[25, 3]);
+        assert!(!b.can_match(&far));
+        // zone missing the idx-1 constant
+        let mut off = ZoneMap::empty(2);
+        off.observe_row(&[15, 4]);
+        assert!(!b.can_match(&off));
+        // empty zone never matches a constrained filter
+        assert!(!b.can_match(&ZoneMap::empty(2)));
+        // the empty conjunction matches any zone
+        assert!(FilterBounds::from_atoms(&[]).can_match(&ZoneMap::empty(2)));
+    }
+
+    #[test]
+    fn contradictory_bounds_are_unsatisfiable() {
+        let b = FilterBounds::from_atoms(&[
+            ResolvedAtom::Gt { idx: 0, value: 20 },
+            ResolvedAtom::Lt { idx: 0, value: 10 },
+        ]);
+        assert!(!b.satisfiable());
+        let mut zone = crate::zonemap::ZoneMap::empty(1);
+        zone.observe_row(&[15]);
+        assert!(!b.can_match(&zone));
+        assert!(!FilterBounds::from_atoms(&[ResolvedAtom::Lt { idx: 0, value: 0 }]).satisfiable());
+    }
+
+    #[test]
+    fn filter_bounds_of_query_resolves_strings() {
+        let rel = schema_and_rel();
+        let q = Query {
+            id: "t".into(),
+            filter: vec![Atom::Eq { attr: "region".into(), value: "ASIA".into() }],
+            group_by: vec![],
+            agg_func: AggFunc::Sum,
+            agg_expr: AggExpr::Attr("q".into()),
+        };
+        let b = FilterBounds::of_query(&q, rel.schema()).unwrap();
+        let zone = crate::zonemap::ZoneMap::of(&rel);
+        assert!(b.can_match(&zone));
     }
 
     #[test]

@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 use crate::column::Column;
 use crate::error::DbError;
 use crate::schema::Schema;
+use crate::zonemap::ZoneMap;
 
 /// A columnar relation: a [`Schema`] plus one [`Column`] per attribute.
 ///
@@ -159,14 +160,37 @@ impl Relation {
     ///
     /// [`DbError::InvalidQuery`] when `n` is zero or `assign` returns an
     /// out-of-range shard.
-    pub fn partition_by<F>(&self, n: usize, mut assign: F) -> Result<Vec<Relation>, DbError>
+    pub fn partition_by<F>(&self, n: usize, assign: F) -> Result<Vec<Relation>, DbError>
+    where
+        F: FnMut(usize) -> usize,
+    {
+        Ok(self.partition_by_zoned(n, assign)?.into_iter().map(|(part, _)| part).collect())
+    }
+
+    /// [`Relation::partition_by`], additionally building each part's
+    /// [`ZoneMap`] (per-attribute min/max) in the same pass over the
+    /// rows. This is the load-time half of zone-map-driven pruning: the
+    /// cluster layer keeps the per-shard maps and skips shards whose
+    /// ranges cannot satisfy a query's filter.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::InvalidQuery`] when `n` is zero or `assign` returns an
+    /// out-of-range shard.
+    pub fn partition_by_zoned<F>(
+        &self,
+        n: usize,
+        mut assign: F,
+    ) -> Result<Vec<(Relation, ZoneMap)>, DbError>
     where
         F: FnMut(usize) -> usize,
     {
         if n == 0 {
             return Err(DbError::InvalidQuery("cannot partition into 0 parts".into()));
         }
-        let mut parts: Vec<Relation> = (0..n).map(|_| Relation::new(self.schema.clone())).collect();
+        let mut parts: Vec<(Relation, ZoneMap)> = (0..n)
+            .map(|_| (Relation::new(self.schema.clone()), ZoneMap::empty(self.schema.arity())))
+            .collect();
         let mut row_buf = Vec::with_capacity(self.schema.arity());
         for row in 0..self.len() {
             let shard = assign(row);
@@ -177,9 +201,16 @@ impl Relation {
             }
             row_buf.clear();
             row_buf.extend(self.columns.iter().map(|c| c.get(row)));
-            parts[shard].push_row(&row_buf).expect("values came from a valid relation");
+            let (part, zone) = &mut parts[shard];
+            part.push_row(&row_buf).expect("values came from a valid relation");
+            zone.observe_row(&row_buf);
         }
         Ok(parts)
+    }
+
+    /// The whole relation's [`ZoneMap`].
+    pub fn zone_map(&self) -> ZoneMap {
+        ZoneMap::of(self)
     }
 
     /// Decode a row for display: dictionary attributes as strings.
@@ -270,6 +301,22 @@ mod tests {
         let parts = r.partition_by(4, |_| 2).unwrap();
         assert_eq!(parts[2].len(), 1);
         assert!(parts[0].is_empty() && parts[1].is_empty() && parts[3].is_empty());
+    }
+
+    #[test]
+    fn partition_by_zoned_summarises_each_part() {
+        let mut r = rel();
+        for i in 0..10u64 {
+            r.push_row(&[10 * i, i % 2]).unwrap();
+        }
+        let parts = r.partition_by_zoned(2, |row| row % 2).unwrap();
+        // part 0 got rows 0,2,4,6,8 → n ∈ {0,20,40,60,80}
+        assert_eq!(parts[0].1.range(0), Some((0, 80)));
+        assert_eq!(parts[1].1.range(0), Some((10, 90)));
+        // zones match recomputation from the part itself
+        for (part, zone) in &parts {
+            assert_eq!(zone, &part.zone_map());
+        }
     }
 
     #[test]

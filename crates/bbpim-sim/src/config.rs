@@ -35,6 +35,13 @@ pub struct HostConfig {
     pub host_agg_ns_per_record: f64,
     /// Host clock in GHz (used for miscellaneous per-record work).
     pub clock_ghz: f64,
+    /// Host-side orchestration cost per touched huge page per query, in
+    /// nanoseconds: physical-address resolution, request-descriptor
+    /// composition and the uncached doorbell write for one page
+    /// controller. The journal extension of the paper identifies this
+    /// per-page host work as the dominant cost of selective queries;
+    /// zone-map pruning avoids it for pages proven irrelevant.
+    pub dispatch_ns_per_page: f64,
 }
 
 impl Default for HostConfig {
@@ -48,6 +55,7 @@ impl Default for HostConfig {
             scatter_mlp: 1.0,
             host_agg_ns_per_record: 6.0,
             clock_ghz: 3.6,
+            dispatch_ns_per_page: 600.0,
         }
     }
 }

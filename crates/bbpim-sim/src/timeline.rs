@@ -25,6 +25,12 @@ pub enum PhaseKind {
     HostWrite,
     /// Host-only computation (hash aggregation, model evaluation…).
     HostCompute,
+    /// Host-side query orchestration: planning the page set and posting
+    /// one PIM request descriptor per huge page to be touched. The
+    /// journal extension of the paper measures this host work dominating
+    /// end-to-end time for selective queries, which is what zone-map
+    /// pruning removes for pages proven irrelevant.
+    HostDispatch,
 }
 
 impl PhaseKind {
@@ -37,6 +43,7 @@ impl PhaseKind {
             PhaseKind::HostRead => "host-read",
             PhaseKind::HostWrite => "host-write",
             PhaseKind::HostCompute => "host-compute",
+            PhaseKind::HostDispatch => "host-dispatch",
         }
     }
 }
@@ -58,6 +65,12 @@ impl Phase {
     /// A host-compute phase: time passes, the PIM module idles.
     pub fn host_compute(time_ns: f64) -> Self {
         Phase { kind: PhaseKind::HostCompute, time_ns, energy_pj: 0.0, chip_power_w: 0.0 }
+    }
+
+    /// A host-dispatch phase (query orchestration): the host works, the
+    /// PIM module idles, so no module energy is drawn.
+    pub fn host_dispatch(time_ns: f64) -> Self {
+        Phase { kind: PhaseKind::HostDispatch, time_ns, energy_pj: 0.0, chip_power_w: 0.0 }
     }
 }
 

@@ -18,11 +18,18 @@
 //!   empirical cost model, and UPDATE via the PIM multiplexer.
 //! * [`cluster`] — sharded multi-module execution on top of [`engine`]:
 //!   a `ClusterEngine` partitions the wide relation over `n` PIM
-//!   modules (round-robin or hash-by-group-key), scatters each query to
-//!   all shards on scoped threads, and merges the per-shard partial
-//!   aggregates — same `run(&Query)` surface, bit-identical answers,
-//!   max-of-shards simulated wall clock. Includes a batch scheduler and
-//!   cluster-wide UPDATE fan-out.
+//!   modules (round-robin, hash-by-group-key, or range-by-attr),
+//!   consults per-shard zone maps to skip shards a filter provably
+//!   cannot match, scatters each query to the survivors on scoped
+//!   threads, and merges the per-shard partial aggregates — same
+//!   `run(&Query)` surface, bit-identical answers, host-serial
+//!   dispatch + max-of-shards simulated wall clock. Includes a batch
+//!   scheduler and cluster-wide UPDATE fan-out with zone widening.
+//!
+//! The query path is physically planned end to end: `db`'s
+//! `FilterBounds` + `ZoneMap` feed `engine`'s per-page `PageSet`
+//! planner and `cluster`'s pre-scatter shard pruning, so selective
+//! queries only activate the pages that can matter.
 //! * [`monet`] — the in-memory column-store baseline (`mnt-reg` /
 //!   `mnt-join`).
 //!
