@@ -1,0 +1,25 @@
+//! Streaming scheduler study: a seeded open-loop arrival trace over the
+//! 13 SSB queries played through `bbpim-sched` on a range-partitioned
+//! cluster, once per admission policy (FIFO vs
+//! shortest-candidate-set-first).
+//!
+//! Reports the planner's `EXPLAIN` statistics, then per-policy
+//! p50/p95/p99/mean latency, queue wait, throughput, host/shard
+//! utilisation, and the out-of-order completion count. Every streamed
+//! answer is checked bit-identical against `run_batch` over the same
+//! arrived queries — the scheduler changes *when*, never *what*.
+//!
+//! Flags: `--sf`, `--seed`, `--uniform`, `--shards 8` (the largest
+//! listed count runs), `--arrivals 52`, `--load 2.0`, `--inflight 4`
+//! (see `bbpim_bench::BenchConfig`).
+
+use bbpim_bench::{reports, run_streaming_study, setup, BenchConfig};
+use bbpim_core::modes::EngineMode;
+
+fn main() {
+    let s = setup(BenchConfig::from_args());
+    let shards = s.cfg.shards.iter().copied().max().unwrap_or(8);
+    let study = run_streaming_study(&s, EngineMode::OneXb, shards);
+    reports::print_explain(&s, &study.explains);
+    reports::print_streaming(&s, &study);
+}

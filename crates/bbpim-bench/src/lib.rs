@@ -23,9 +23,10 @@ pub mod reports;
 use std::collections::BTreeMap;
 use std::time::Duration;
 
-use bbpim_cluster::{ClusterEngine, ClusterExecution, Partitioner};
+use bbpim_cluster::{BatchExecution, ClusterEngine, ClusterExecution, Partitioner, PlanExplain};
 use bbpim_core::engine::PimQueryEngine;
-use bbpim_core::groupby::calibration::CalibrationConfig;
+use bbpim_core::groupby::calibration::{run_calibration, CalibrationConfig};
+use bbpim_core::groupby::cost_model::GroupByModel;
 use bbpim_core::modes::EngineMode;
 use bbpim_core::result::QueryExecution;
 use bbpim_db::plan::Query;
@@ -33,6 +34,7 @@ use bbpim_db::relation::Relation;
 use bbpim_db::ssb::{queries, SsbDb, SsbParams};
 use bbpim_db::stats::GroupedResult;
 use bbpim_monet::MonetEngine;
+use bbpim_sched::{run_stream, AdmissionPolicy, SchedConfig, StreamOutcome, Workload};
 use bbpim_sim::SimConfig;
 
 /// Harness configuration (CLI-parsed).
@@ -48,11 +50,28 @@ pub struct BenchConfig {
     pub threads: usize,
     /// Shard counts for the cluster studies (`--shards 1,2,4,8`).
     pub shards: Vec<usize>,
+    /// Arrivals in the streaming study (`--arrivals 52`).
+    pub arrivals: usize,
+    /// Offered load of the streaming study as a multiple of cluster
+    /// capacity: mean interarrival = mean per-query service / load
+    /// (`--load 2.0`; >1 means overload, so queues form).
+    pub load: f64,
+    /// Admission-control bound on in-flight queries (`--inflight 4`).
+    pub inflight: usize,
 }
 
 impl Default for BenchConfig {
     fn default() -> Self {
-        BenchConfig { sf: 0.1, skewed: true, seed: 0xB1_7B17, threads: 4, shards: vec![1, 2, 4, 8] }
+        BenchConfig {
+            sf: 0.1,
+            skewed: true,
+            seed: 0xB1_7B17,
+            threads: 4,
+            shards: vec![1, 2, 4, 8],
+            arrivals: 52,
+            load: 2.0,
+            inflight: 4,
+        }
     }
 }
 
@@ -94,6 +113,27 @@ impl BenchConfig {
                             cfg.shards = parsed;
                             i += 1;
                         }
+                    }
+                }
+                "--arrivals" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        cfg.arrivals = v;
+                        i += 1;
+                    }
+                }
+                "--load" => {
+                    if let Some(v) =
+                        args.get(i + 1).and_then(|s| s.parse().ok()).filter(|v| *v > 0.0)
+                    {
+                        cfg.load = v;
+                        i += 1;
+                    }
+                }
+                "--inflight" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()).filter(|v| *v > 0)
+                    {
+                        cfg.inflight = v;
+                        i += 1;
                     }
                 }
                 "--uniform" => cfg.skewed = false,
@@ -168,6 +208,23 @@ pub fn run_pim_mode(setup: &SsbSetup, mode: EngineMode) -> PimModeRun {
     PimModeRun { mode, executions }
 }
 
+/// Fit the GROUP-BY cost model once for a `(SimConfig, EngineMode)`
+/// pair. The calibration is data-independent, so the returned model can
+/// be installed on every cluster instance of a study
+/// ([`ClusterEngine::set_model`]) instead of re-running the sweep per
+/// shard count — the in-memory form of cross-instance calibration
+/// reuse.
+///
+/// # Panics
+///
+/// Panics on calibration failures (the harness runs known-good
+/// configurations).
+pub fn fit_shared_model(cfg: &SimConfig, mode: EngineMode) -> GroupByModel {
+    let (_, model) =
+        run_calibration(cfg, mode, &CalibrationConfig::default()).expect("calibration");
+    model
+}
+
 /// One shard count's executions in the cluster scaling study.
 pub struct ClusterScalePoint {
     /// Shard count.
@@ -199,6 +256,8 @@ pub fn run_cluster_scaling(
         .iter()
         .map(|q| bbpim_db::stats::run_oracle(q, &setup.wide).expect("oracle"))
         .collect();
+    // One calibration sweep serves every shard count.
+    let model = fit_shared_model(&SimConfig::default(), mode);
     shard_counts
         .iter()
         .map(|&shards| {
@@ -210,7 +269,7 @@ pub fn run_cluster_scaling(
                 partitioner.clone(),
             )
             .expect("cluster construction");
-            cluster.calibrate(&CalibrationConfig::default()).expect("calibration");
+            cluster.set_model(model.clone());
             let executions: Vec<ClusterExecution> = setup
                 .queries
                 .iter()
@@ -268,6 +327,8 @@ pub fn run_pruning_study(
         .iter()
         .map(|q| bbpim_db::stats::run_oracle(q, &setup.wide).expect("oracle"))
         .collect();
+    // One calibration sweep serves every shard count.
+    let model = fit_shared_model(&SimConfig::default(), mode);
     shard_counts
         .iter()
         .map(|&shards| {
@@ -279,7 +340,7 @@ pub fn run_pruning_study(
                 partitioner.clone(),
             )
             .expect("cluster construction");
-            cluster.calibrate(&CalibrationConfig::default()).expect("calibration");
+            cluster.set_model(model.clone());
             let run_all = |cluster: &mut ClusterEngine| -> Vec<ClusterExecution> {
                 setup
                     .queries
@@ -305,6 +366,111 @@ pub fn run_pruning_study(
             PruningPoint { shards, partitioner: partitioner.label(), pruned, exhaustive }
         })
         .collect()
+}
+
+/// One admission policy's streamed run.
+pub struct StreamingPolicyRun {
+    /// The policy that ran.
+    pub policy: AdmissionPolicy,
+    /// The full streamed outcome (completions, timeline, utilisation).
+    pub outcome: StreamOutcome,
+}
+
+/// One shard count's streaming study: a seeded open-loop arrival trace
+/// played through the scheduler under each admission policy, plus the
+/// closed-batch reference and the planner's `EXPLAIN` dump.
+pub struct StreamingStudy {
+    /// Shard count.
+    pub shards: usize,
+    /// Partitioning strategy label.
+    pub partitioner: &'static str,
+    /// Admission-control bound that ran.
+    pub inflight: usize,
+    /// Mean interarrival time of the trace, nanoseconds.
+    pub mean_interarrival_ns: f64,
+    /// Mean per-query service estimate the load was derived from.
+    pub mean_service_ns: f64,
+    /// The arrival trace length.
+    pub arrivals: usize,
+    /// Per-distinct-query plan dumps (shards/pages candidate vs
+    /// pruned), in query order.
+    pub explains: Vec<PlanExplain>,
+    /// Closed-batch reference over the same arrived queries.
+    pub batch: BatchExecution,
+    /// One streamed run per admission policy.
+    pub policies: Vec<StreamingPolicyRun>,
+}
+
+/// Stream a seeded Poisson trace of the 13 queries through a
+/// range-partitioned cluster under every admission policy, checking
+/// each streamed answer bit-identical against `run_batch` over the same
+/// arrived queries. The offered load is `cfg.load` times the cluster's
+/// (batch-estimated) capacity, so load > 1 forms queues.
+///
+/// # Panics
+///
+/// Panics on engine/scheduler errors or a streamed/batch answer
+/// mismatch (the harness runs known-good inputs).
+pub fn run_streaming_study(setup: &SsbSetup, mode: EngineMode, shards: usize) -> StreamingStudy {
+    let partitioner = Partitioner::range_by_attr("d_year");
+    let mut cluster = ClusterEngine::new(
+        SimConfig::default(),
+        setup.wide.clone(),
+        mode,
+        shards,
+        partitioner.clone(),
+    )
+    .expect("cluster construction");
+    cluster.set_model(fit_shared_model(&SimConfig::default(), mode));
+
+    // Offered load is expressed relative to capacity: estimate the mean
+    // per-query service time from a closed batch of the 13 queries.
+    let probe = cluster.run_batch(&setup.queries).expect("capacity probe");
+    let mean_service_ns = probe.serial_time_ns / setup.queries.len() as f64;
+    let mean_interarrival_ns = mean_service_ns / setup.cfg.load;
+    let workload = Workload::poisson(
+        setup.queries.clone(),
+        setup.cfg.arrivals,
+        mean_interarrival_ns,
+        setup.cfg.seed,
+    );
+
+    let explains: Vec<PlanExplain> =
+        setup.queries.iter().map(|q| cluster.explain(q).expect("explain")).collect();
+    let batch = cluster.run_batch(&workload.arrived_queries()).expect("batch reference");
+    let policies = AdmissionPolicy::all()
+        .iter()
+        .map(|&policy| {
+            let outcome = run_stream(
+                &mut cluster,
+                &workload,
+                &SchedConfig { max_in_flight: setup.cfg.inflight, policy },
+            )
+            .expect("streamed run");
+            assert_eq!(outcome.executions.len(), batch.executions.len());
+            for (streamed, batched) in outcome.executions.iter().zip(&batch.executions) {
+                assert_eq!(
+                    streamed.groups,
+                    batched.groups,
+                    "streamed/batch mismatch on {} under {}",
+                    streamed.report.query_id,
+                    policy.label()
+                );
+            }
+            StreamingPolicyRun { policy, outcome }
+        })
+        .collect();
+    StreamingStudy {
+        shards,
+        partitioner: partitioner.label(),
+        inflight: setup.cfg.inflight,
+        mean_interarrival_ns,
+        mean_service_ns,
+        arrivals: workload.len(),
+        explains,
+        batch,
+        policies,
+    }
 }
 
 /// One baseline measurement.

@@ -1,9 +1,12 @@
 //! Shared report printers for the figure binaries (`fig6`–`fig9`,
-//! `table2`, `all`) and the cluster scaling study (`scaling`).
+//! `table2`, `all`), the cluster scaling study (`scaling`) and the
+//! streaming scheduler study (`streaming`).
 
 use crate::{
     fmt_ms, geomean, print_table, ClusterScalePoint, MonetRun, PimModeRun, PruningPoint, SsbSetup,
+    StreamingStudy,
 };
+use bbpim_cluster::PlanExplain;
 
 /// Fig. 6: execution latency of all five systems plus the paper's
 /// headline geo-means.
@@ -355,6 +358,115 @@ pub fn print_pruning(setup: &SsbSetup, points: &[PruningPoint]) {
     }
     println!(
         "(latencies in ms; shards pruned = zone-map-skipped / active; pages scanned counts\nonly dispatched shards' planned pages. Answers are oracle-checked bit-identical.)"
+    );
+}
+
+/// `EXPLAIN` dump: the zone-map planner's per-query statistics — how
+/// many shards/pages each query would dispatch vs what the planner
+/// proves irrelevant (no execution involved).
+pub fn print_explain(setup: &SsbSetup, explains: &[PlanExplain]) {
+    println!("EXPLAIN — zone-map plan per query (no execution)\n");
+    let rows: Vec<Vec<String>> = setup
+        .queries
+        .iter()
+        .zip(explains)
+        .map(|(q, e)| {
+            vec![
+                q.id.clone(),
+                format!("{}/{}", e.shards_dispatched(), e.shards.len()),
+                format!("{}/{}", e.pages_candidate(), e.pages_total()),
+                e.pages_pruned().to_string(),
+                if e.planner_only() { "yes".into() } else { "-".into() },
+            ]
+        })
+        .collect();
+    print_table(&["query", "shards", "pages", "pages pruned", "planner-only"], &rows);
+    let total: usize = explains.iter().map(PlanExplain::pages_total).sum();
+    let candidate: usize = explains.iter().map(PlanExplain::pages_candidate).sum();
+    println!(
+        "\n  {} of {} page dispatches pruned across the query set ({:.1}%)\n",
+        total - candidate,
+        total,
+        if total == 0 { 0.0 } else { 100.0 * (total - candidate) as f64 / total as f64 },
+    );
+}
+
+/// Streaming study: per-admission-policy latency distribution,
+/// throughput and utilisation, plus the out-of-order evidence.
+pub fn print_streaming(setup: &SsbSetup, study: &StreamingStudy) {
+    println!(
+        "Streaming — open-loop arrivals through the cluster scheduler (SF={}, {} data)\n",
+        setup.cfg.sf,
+        if setup.cfg.skewed { "skewed" } else { "uniform" },
+    );
+    println!(
+        "  {} arrivals over the 13 queries, mean interarrival {} ms (load {:.2}x of the\n  \
+         batch-estimated {} ms mean service), {} shards ({} partitioning), at most {}\n  \
+         queries in flight.\n",
+        study.arrivals,
+        fmt_ms(study.mean_interarrival_ns),
+        setup.cfg.load,
+        fmt_ms(study.mean_service_ns),
+        study.shards,
+        study.partitioner,
+        study.inflight,
+    );
+
+    let mut rows = Vec::new();
+    for run in &study.policies {
+        let s = run.outcome.latency_summary();
+        rows.push(vec![
+            run.policy.label().to_string(),
+            s.completed.to_string(),
+            fmt_ms(s.p50_ns),
+            fmt_ms(s.p95_ns),
+            fmt_ms(s.p99_ns),
+            fmt_ms(s.mean_ns),
+            fmt_ms(s.mean_wait_ns),
+            format!("{:.1}", run.outcome.throughput_qps()),
+            format!("{:.2}", run.outcome.host_utilisation()),
+            format!("{:.2}", run.outcome.mean_shard_utilisation()),
+            run.outcome.overtaken().to_string(),
+        ]);
+    }
+    print_table(
+        &[
+            "policy",
+            "done",
+            "p50",
+            "p95",
+            "p99",
+            "mean",
+            "wait",
+            "q/s",
+            "host util",
+            "shard util",
+            "overtaken",
+        ],
+        &rows,
+    );
+    println!(
+        "\n(latencies in ms; wait = mean time before first service; overtaken = queries\nthat finished after a later arrival, i.e. out-of-order completions.)"
+    );
+
+    for run in &study.policies {
+        if let Some(c) = run.outcome.first_overtaker() {
+            println!(
+                "  {}: arrival #{} ({}, {} of {} shards pruned) finished before at least \
+                 one earlier arrival",
+                run.policy.label(),
+                c.arrival,
+                c.query_id,
+                c.shards_pruned,
+                c.shards_pruned + c.shards_dispatched,
+            );
+        }
+    }
+    println!(
+        "\n  streamed answers verified bit-identical to run_batch over the same {} queries\n  \
+         (batch wall clock {} ms; streaming spreads the same work over the arrival span).",
+        study.arrivals,
+        fmt_ms(study.batch.wall_time_ns),
     );
 }
 

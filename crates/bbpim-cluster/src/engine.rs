@@ -29,6 +29,7 @@
 
 use bbpim_core::engine::PimQueryEngine;
 use bbpim_core::groupby::calibration::CalibrationConfig;
+use bbpim_core::groupby::cost_model::GroupByModel;
 use bbpim_core::modes::EngineMode;
 use bbpim_core::result::{PartialGroups, QueryExecution, QueryReport};
 use bbpim_core::update::{UpdateOp, UpdateReport};
@@ -41,6 +42,7 @@ use bbpim_sim::config::SimConfig;
 use bbpim_sim::timeline::{PhaseKind, RunLog};
 
 use crate::error::ClusterError;
+use crate::explain::{PlanExplain, ShardPlan};
 use crate::partition::Partitioner;
 
 /// One shard: its position in the cluster plus its engine and zone map.
@@ -301,10 +303,24 @@ impl ClusterEngine {
         };
         first.engine.calibrate(cal)?;
         let model = first.engine.model().cloned().expect("calibrate() installs a model");
-        for shard in self.shards.iter_mut().skip(1) {
+        self.set_model(model);
+        Ok(())
+    }
+
+    /// The fitted GROUP-BY model the shards share, if any.
+    pub fn model(&self) -> Option<&GroupByModel> {
+        self.shards.first().and_then(|s| s.engine.model())
+    }
+
+    /// Install a pre-fitted model on every shard. The calibration is a
+    /// pure function of the hardware configuration and engine mode —
+    /// not of the data — so a model fitted once (by any engine or
+    /// cluster with the same `SimConfig` + [`EngineMode`]) is valid for
+    /// every cluster instance: fit once, share everywhere.
+    pub fn set_model(&mut self, model: GroupByModel) {
+        for shard in &mut self.shards {
             shard.engine.set_model(model.clone());
         }
-        Ok(())
     }
 
     /// The pre-scatter plan of a conjunction: `true` per active shard
@@ -330,6 +346,61 @@ impl ClusterEngine {
             .map_err(ClusterError::Db)?;
         let bounds = FilterBounds::from_atoms(&resolved);
         Ok(self.shards.iter().map(|s| bounds.can_match(&s.zone)).collect())
+    }
+
+    /// The physical plan of `query` without executing anything: which
+    /// shards the zone maps admit and how many pages each admitted
+    /// shard's page-level planner would activate (the `EXPLAIN` dump).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filter resolution failures.
+    pub fn explain(&self, query: &Query) -> Result<PlanExplain, ClusterError> {
+        let mask = self.plan_shards(&query.filter)?;
+        let shards = self
+            .shards
+            .iter()
+            .zip(&mask)
+            .map(|(shard, &dispatched)| {
+                let candidate_pages = if dispatched { shard.engine.plan(query)?.len() } else { 0 };
+                Ok(ShardPlan {
+                    shard_index: shard.index,
+                    records: shard.engine.relation().len(),
+                    pages: shard.engine.page_count(),
+                    candidate_pages,
+                    dispatched,
+                })
+            })
+            .collect::<Result<Vec<_>, CoreError>>()?;
+        Ok(PlanExplain { query_id: query.id.clone(), shards })
+    }
+
+    /// Execute `query` on one active shard alone and return that
+    /// shard's partial execution — the scatter half of
+    /// [`ClusterEngine::run`] as a reusable building block. The
+    /// streaming scheduler (`bbpim-sched`) uses it to interleave
+    /// *different* queries' shard slices on different modules; folding
+    /// the per-shard partials through
+    /// [`ClusterEngine::merge_executions`] in shard order yields
+    /// answers bit-identical to [`ClusterEngine::run`].
+    ///
+    /// `i` indexes active shards (like [`ClusterEngine::shard_engine`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::InvalidCluster`] for an unknown shard index;
+    /// shard engine failures otherwise.
+    pub fn run_on_shard(
+        &mut self,
+        i: usize,
+        query: &Query,
+    ) -> Result<QueryExecution, ClusterError> {
+        let active = self.shards.len();
+        let shard = self
+            .shards
+            .get_mut(i)
+            .ok_or_else(|| ClusterError::InvalidCluster(format!("no active shard {i}/{active}")))?;
+        shard.engine.run(query).map_err(ClusterError::from)
     }
 
     /// Run `f` on the masked shard engines concurrently (one OS thread
@@ -374,7 +445,7 @@ impl ClusterEngine {
         let results = self.scatter_planned(&mask, |engine| engine.run(query))?;
         let refs: Vec<&QueryExecution> = results.iter().flatten().collect();
         let pruned = mask.iter().filter(|d| !**d).count();
-        Ok(self.merge(query, &refs, pruned))
+        Ok(self.merge_executions(query, &refs, pruned))
     }
 
     /// Admit a queue of queries: every shard drains *its own* queue —
@@ -427,7 +498,7 @@ impl ClusterEngine {
             .enumerate()
             .map(|(qi, q)| {
                 let pruned = masks[qi].iter().filter(|d| !**d).count();
-                self.merge(q, &rows[qi], pruned)
+                self.merge_executions(q, &rows[qi], pruned)
             })
             .collect();
 
@@ -477,8 +548,14 @@ impl ClusterEngine {
         })
     }
 
-    /// Gather: merge per-shard executions into one cluster execution.
-    fn merge(
+    /// Gather: merge per-shard partial executions (in shard order, as
+    /// produced by [`ClusterEngine::run_on_shard`]) into one cluster
+    /// execution. This is the gather half of [`ClusterEngine::run`];
+    /// `shards_pruned` is reporting-only and does not affect the
+    /// answer. Merging commutes with how the partials were obtained, so
+    /// a scheduler that executed the shard slices out of order still
+    /// gets the bit-identical merged result.
+    pub fn merge_executions(
         &self,
         query: &Query,
         executions: &[&QueryExecution],

@@ -1,0 +1,117 @@
+//! `EXPLAIN`-style physical-plan statistics.
+//!
+//! [`crate::ClusterEngine::explain`] runs the zone-map planner — shard
+//! admission plus per-page candidate sets inside admitted shards —
+//! without executing anything, and returns what *would* be dispatched.
+//! This is the planner side of the reports the journal extension
+//! motivates: for selective queries the interesting number is not the
+//! PIM time but how many pages the host never has to orchestrate.
+
+/// One shard's slice of a query plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Configured shard index (empty shards never appear).
+    pub shard_index: usize,
+    /// Records this shard holds.
+    pub records: usize,
+    /// Pages this shard holds (per partition).
+    pub pages: usize,
+    /// Pages the page-level planner would activate (0 when the shard is
+    /// pruned pre-scatter).
+    pub candidate_pages: usize,
+    /// Would the shard be dispatched at all? `false` means its zone map
+    /// proves the filter matches nothing it holds.
+    pub dispatched: bool,
+}
+
+/// The full pre-execution plan of one query on a cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanExplain {
+    /// Query identifier.
+    pub query_id: String,
+    /// Per-shard plans, in shard order (active shards only).
+    pub shards: Vec<ShardPlan>,
+}
+
+impl PlanExplain {
+    /// Shards the plan dispatches.
+    pub fn shards_dispatched(&self) -> usize {
+        self.shards.iter().filter(|s| s.dispatched).count()
+    }
+
+    /// Shards pruned pre-scatter.
+    pub fn shards_pruned(&self) -> usize {
+        self.shards.len() - self.shards_dispatched()
+    }
+
+    /// Candidate pages over the dispatched shards.
+    pub fn pages_candidate(&self) -> usize {
+        self.shards.iter().map(|s| s.candidate_pages).sum()
+    }
+
+    /// Pages across all active shards.
+    pub fn pages_total(&self) -> usize {
+        self.shards.iter().map(|s| s.pages).sum()
+    }
+
+    /// Pages the planner proves irrelevant (shard- plus page-level).
+    pub fn pages_pruned(&self) -> usize {
+        self.pages_total() - self.pages_candidate()
+    }
+
+    /// Does the planner answer the query alone (nothing dispatched)?
+    pub fn planner_only(&self) -> bool {
+        self.pages_candidate() == 0
+    }
+
+    /// One-line summary, e.g. `Q1.1: 2/8 shards, 3/64 pages`.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {}/{} shards, {}/{} pages",
+            self.query_id,
+            self.shards_dispatched(),
+            self.shards.len(),
+            self.pages_candidate(),
+            self.pages_total(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> PlanExplain {
+        PlanExplain {
+            query_id: "q".into(),
+            shards: vec![
+                ShardPlan {
+                    shard_index: 0,
+                    records: 100,
+                    pages: 4,
+                    candidate_pages: 2,
+                    dispatched: true,
+                },
+                ShardPlan {
+                    shard_index: 2,
+                    records: 80,
+                    pages: 4,
+                    candidate_pages: 0,
+                    dispatched: false,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let p = plan();
+        assert_eq!(p.shards_dispatched(), 1);
+        assert_eq!(p.shards_pruned(), 1);
+        assert_eq!(p.pages_candidate(), 2);
+        assert_eq!(p.pages_total(), 8);
+        assert_eq!(p.pages_pruned(), 6);
+        assert!(!p.planner_only());
+        assert_eq!(p.summary(), "q: 1/2 shards, 2/8 pages");
+    }
+}

@@ -29,6 +29,14 @@
 //!   the shards admitting the WHERE clause; each shard's PIM
 //!   multiplexer rewrites the records it owns, and the touched shards'
 //!   zone maps widen so pruning stays sound after writes.
+//! * Scatter and gather are also exposed as building blocks —
+//!   [`engine::ClusterEngine::run_on_shard`] executes one query on one
+//!   shard, [`engine::ClusterEngine::merge_executions`] folds partials
+//!   into a cluster answer, and [`engine::ClusterEngine::explain`]
+//!   dumps the zone-map plan (shards/pages candidate vs pruned) without
+//!   executing — so the streaming scheduler in `bbpim-sched` can
+//!   interleave different queries' shard slices instead of scattering
+//!   whole queries.
 //!
 //! ```
 //! use bbpim_cluster::{ClusterEngine, Partitioner};
@@ -47,8 +55,10 @@
 
 pub mod engine;
 pub mod error;
+pub mod explain;
 pub mod partition;
 
 pub use engine::{BatchExecution, ClusterEngine, ClusterExecution, ClusterReport};
 pub use error::ClusterError;
+pub use explain::{PlanExplain, ShardPlan};
 pub use partition::Partitioner;

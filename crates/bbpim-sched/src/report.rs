@@ -1,0 +1,115 @@
+//! Latency-distribution accounting for streamed runs.
+
+use crate::sched::QueryCompletion;
+
+/// Nearest-rank percentile of an ascending-sorted slice (`p` in
+/// percent). Returns 0 for an empty slice.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// The latency distribution of one streamed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencySummary {
+    /// Completed queries.
+    pub completed: usize,
+    /// Median end-to-end latency, nanoseconds.
+    pub p50_ns: f64,
+    /// 95th-percentile latency.
+    pub p95_ns: f64,
+    /// 99th-percentile latency.
+    pub p99_ns: f64,
+    /// Mean latency.
+    pub mean_ns: f64,
+    /// Worst latency.
+    pub max_ns: f64,
+    /// Mean time waiting before any service (admission + bus queues).
+    pub mean_wait_ns: f64,
+    /// Mean time in service (first dispatch → merged answer).
+    pub mean_service_ns: f64,
+}
+
+impl LatencySummary {
+    /// Summarise a set of completions (any order).
+    pub fn of(completions: &[QueryCompletion]) -> LatencySummary {
+        let n = completions.len();
+        if n == 0 {
+            return LatencySummary {
+                completed: 0,
+                p50_ns: 0.0,
+                p95_ns: 0.0,
+                p99_ns: 0.0,
+                mean_ns: 0.0,
+                max_ns: 0.0,
+                mean_wait_ns: 0.0,
+                mean_service_ns: 0.0,
+            };
+        }
+        let mut latencies: Vec<f64> = completions.iter().map(QueryCompletion::latency_ns).collect();
+        latencies.sort_by(f64::total_cmp);
+        LatencySummary {
+            completed: n,
+            p50_ns: percentile(&latencies, 50.0),
+            p95_ns: percentile(&latencies, 95.0),
+            p99_ns: percentile(&latencies, 99.0),
+            mean_ns: latencies.iter().sum::<f64>() / n as f64,
+            max_ns: *latencies.last().expect("non-empty"),
+            mean_wait_ns: completions.iter().map(QueryCompletion::wait_ns).sum::<f64>() / n as f64,
+            mean_service_ns: completions.iter().map(QueryCompletion::service_ns).sum::<f64>()
+                / n as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn completion(arrive: f64, first: f64, complete: f64) -> QueryCompletion {
+        QueryCompletion {
+            arrival: 0,
+            query_id: "q".into(),
+            arrive_ns: arrive,
+            admit_ns: first,
+            first_service_ns: first,
+            complete_ns: complete,
+            shards_dispatched: 1,
+            shards_pruned: 0,
+        }
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 95.0), 95.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn summary_decomposes_wait_and_service() {
+        let cs = vec![completion(0.0, 10.0, 30.0), completion(5.0, 5.0, 25.0)];
+        let s = LatencySummary::of(&cs);
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.max_ns, 30.0);
+        assert_eq!(s.mean_ns, 25.0); // (30 + 20) / 2
+        assert_eq!(s.mean_wait_ns, 5.0); // (10 + 0) / 2
+        assert_eq!(s.mean_service_ns, 20.0); // (20 + 20) / 2
+        assert_eq!(s.p50_ns, 20.0);
+        assert_eq!(s.p99_ns, 30.0);
+    }
+
+    #[test]
+    fn empty_summary_is_all_zero() {
+        let s = LatencySummary::of(&[]);
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.p99_ns, 0.0);
+    }
+}

@@ -1,0 +1,535 @@
+//! The deterministic discrete-event streaming scheduler.
+//!
+//! [`run_stream`] admits a [`Workload`]'s timestamped arrivals into a
+//! [`ClusterEngine`] under admission control and plays the resulting
+//! contention out on a discrete-event timeline:
+//!
+//! * **Admission control** — at most [`SchedConfig::max_in_flight`]
+//!   queries hold execution state at once; excess arrivals wait in the
+//!   admission queue (backpressure). When a slot frees, the next
+//!   admitted query is picked by [`AdmissionPolicy`]: FIFO, or
+//!   shortest-candidate-set-first (the zone-map planner's candidate
+//!   shard count is a free size estimate, so heavily pruned — short —
+//!   queries overtake broad ones).
+//! * **Planning** — each admitted query is planned through the zone-map
+//!   planner ([`ClusterEngine::plan_shards`]); pruned shards receive no
+//!   work, and a query whose candidate set is empty is answered by the
+//!   planner alone, completing at admission.
+//! * **Per-shard queues** — each candidate shard receives the query's
+//!   shard slice on its own FIFO queue; PIM phases of *different*
+//!   queries on *different* shards overlap freely, which is where
+//!   out-of-order completion comes from.
+//! * **Shared dispatch bus** — the host's per-page orchestration is one
+//!   resource ([`SharedBus`]): dispatch slices of concurrent queries
+//!   serialise, extending within-query host-serial dispatch (PR 2's
+//!   wall-clock model) across in-flight queries. The host-side merge of
+//!   each query's partials rides the same bus.
+//!
+//! Every service demand is taken from real per-shard executions
+//! ([`ClusterEngine::run_on_shard`]), and the merged answers are folded
+//! with [`ClusterEngine::merge_executions`] in shard order — so the
+//! streamed results are bit-identical to
+//! [`ClusterEngine::run_batch`] over the same queries; only timing and
+//! completion order differ. The event timeline is a pure function of
+//! `(cluster, workload, config)`.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use bbpim_cluster::{ClusterEngine, ClusterExecution};
+use bbpim_core::result::QueryExecution;
+use bbpim_sim::hostbus::SharedBus;
+use bbpim_sim::timeline::PhaseKind;
+
+use crate::error::SchedError;
+use crate::report::LatencySummary;
+use crate::workload::Workload;
+
+/// How the admission queue picks the next query when a slot frees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Strict arrival order.
+    #[default]
+    Fifo,
+    /// Fewest candidate shards first (ties broken by arrival order).
+    /// The planner's candidate set size is a zero-cost service-demand
+    /// estimate: a query pruned down to one shard is almost surely
+    /// shorter than one touching every shard.
+    ShortestCandidateFirst,
+}
+
+impl AdmissionPolicy {
+    /// Stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AdmissionPolicy::Fifo => "fifo",
+            AdmissionPolicy::ShortestCandidateFirst => "scsf",
+        }
+    }
+
+    /// Both policies, for sweeps.
+    pub fn all() -> [AdmissionPolicy; 2] {
+        [AdmissionPolicy::Fifo, AdmissionPolicy::ShortestCandidateFirst]
+    }
+}
+
+/// Scheduler configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedConfig {
+    /// Bound on concurrently in-flight queries (admission control).
+    pub max_in_flight: usize,
+    /// Admission order under backpressure.
+    pub policy: AdmissionPolicy,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig { max_in_flight: 8, policy: AdmissionPolicy::Fifo }
+    }
+}
+
+/// What happened at one point of the simulated timeline (determinism
+/// tests compare full traces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The query arrived (entered the admission queue).
+    Arrive,
+    /// The query was admitted (left the admission queue).
+    Admit,
+    /// The host bus finished dispatching the query's pages to a shard.
+    Dispatched,
+    /// A shard finished the query's PIM slice.
+    ShardDone,
+    /// The query's partials merged; the query is complete.
+    Complete,
+}
+
+/// One record of the simulated event timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelineEvent {
+    /// Simulated time, nanoseconds.
+    pub t_ns: f64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Which arrival (index into the workload's trace).
+    pub arrival: usize,
+    /// The shard involved, for [`EventKind::Dispatched`] /
+    /// [`EventKind::ShardDone`].
+    pub shard: Option<usize>,
+}
+
+/// Latency accounting for one completed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryCompletion {
+    /// Index into the workload's arrival trace.
+    pub arrival: usize,
+    /// Query identifier.
+    pub query_id: String,
+    /// When the query arrived.
+    pub arrive_ns: f64,
+    /// When admission control let it in.
+    pub admit_ns: f64,
+    /// When its first dispatch slice started on the host bus (equals
+    /// `admit_ns` for planner-only answers).
+    pub first_service_ns: f64,
+    /// When its merged answer was ready.
+    pub complete_ns: f64,
+    /// Candidate shards dispatched.
+    pub shards_dispatched: usize,
+    /// Active shards pruned by the zone-map planner.
+    pub shards_pruned: usize,
+}
+
+impl QueryCompletion {
+    /// End-to-end sojourn time (arrival → merged answer).
+    pub fn latency_ns(&self) -> f64 {
+        self.complete_ns - self.arrive_ns
+    }
+
+    /// Time spent waiting (admission queue + host-bus queue) before any
+    /// service.
+    pub fn wait_ns(&self) -> f64 {
+        self.first_service_ns - self.arrive_ns
+    }
+
+    /// Time from first service to completion.
+    pub fn service_ns(&self) -> f64 {
+        self.complete_ns - self.first_service_ns
+    }
+}
+
+/// Everything one streamed run produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamOutcome {
+    /// The admission policy that ran.
+    pub policy: AdmissionPolicy,
+    /// Per-query latency records, in completion order (compare with
+    /// arrival indices to observe out-of-order completion).
+    pub completions: Vec<QueryCompletion>,
+    /// Merged executions in arrival order — bit-identical to
+    /// [`ClusterEngine::run_batch`] over
+    /// [`Workload::arrived_queries`].
+    pub executions: Vec<ClusterExecution>,
+    /// The full event timeline (deterministic per input).
+    pub timeline: Vec<TimelineEvent>,
+    /// When the last query completed.
+    pub makespan_ns: f64,
+    /// Host-bus busy time (dispatch + merge).
+    pub host_busy_ns: f64,
+    /// Per-active-shard PIM busy time.
+    pub shard_busy_ns: Vec<f64>,
+}
+
+impl StreamOutcome {
+    /// Latency distribution over all completions.
+    pub fn latency_summary(&self) -> LatencySummary {
+        LatencySummary::of(&self.completions)
+    }
+
+    /// Completed queries per second of simulated time.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.makespan_ns <= 0.0 {
+            0.0
+        } else {
+            self.completions.len() as f64 / (self.makespan_ns / 1e9)
+        }
+    }
+
+    /// Fraction of the makespan the host bus was busy.
+    pub fn host_utilisation(&self) -> f64 {
+        if self.makespan_ns <= 0.0 {
+            0.0
+        } else {
+            self.host_busy_ns / self.makespan_ns
+        }
+    }
+
+    /// Mean per-shard PIM utilisation over the makespan.
+    pub fn mean_shard_utilisation(&self) -> f64 {
+        if self.makespan_ns <= 0.0 || self.shard_busy_ns.is_empty() {
+            return 0.0;
+        }
+        let mean_busy = self.shard_busy_ns.iter().sum::<f64>() / self.shard_busy_ns.len() as f64;
+        mean_busy / self.makespan_ns
+    }
+
+    /// The first completion that finished while an earlier arrival was
+    /// still pending — the concrete out-of-order evidence, if any.
+    pub fn first_overtaker(&self) -> Option<&QueryCompletion> {
+        let slots = self.completions.iter().map(|c| c.arrival + 1).max().unwrap_or(0);
+        let mut completed = vec![false; slots];
+        self.completions.iter().find(|c| {
+            completed[c.arrival] = true;
+            (0..c.arrival).any(|i| !completed[i])
+        })
+    }
+
+    /// Queries that finished *after* a later arrival did — i.e. they
+    /// were overtaken. Nonzero means out-of-order completion happened.
+    pub fn overtaken(&self) -> usize {
+        let mut max_seen = None::<usize>;
+        let mut n = 0;
+        for c in &self.completions {
+            if max_seen.is_some_and(|m| m > c.arrival) {
+                n += 1;
+            }
+            max_seen = Some(max_seen.map_or(c.arrival, |m| m.max(c.arrival)));
+        }
+        n
+    }
+}
+
+/// The service demand of one query on one shard (from a real
+/// execution).
+#[derive(Clone)]
+struct ShardDemand {
+    shard: usize,
+    dispatch_ns: f64,
+    pim_ns: f64,
+}
+
+/// Per-arrival resolved demand.
+#[derive(Clone)]
+struct Demand {
+    query_id: String,
+    shards: Vec<ShardDemand>,
+    shards_pruned: usize,
+    merge_ns: f64,
+}
+
+/// Mutable per-arrival simulation state.
+#[derive(Clone, Copy)]
+struct Progress {
+    admit_ns: f64,
+    first_service_ns: f64,
+    remaining: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Ev {
+    Arrive(usize),
+    DispatchDone(usize, usize),
+    PimDone(usize, usize),
+    MergeDone(usize),
+}
+
+/// Heap entry ordered by (time, insertion sequence) — the sequence
+/// makes simultaneous events deterministic.
+struct HeapEntry {
+    t_ns: f64,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.t_ns.total_cmp(&other.t_ns) == Ordering::Equal && self.seq == other.seq
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    /// Reversed so `BinaryHeap` pops the *earliest* event first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.t_ns.total_cmp(&self.t_ns).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// The simulation state machine.
+struct Sim<'a> {
+    cfg: &'a SchedConfig,
+    workload: &'a Workload,
+    demands: Vec<Demand>,
+    events: BinaryHeap<HeapEntry>,
+    seq: u64,
+    host: SharedBus,
+    shard_bus: Vec<SharedBus>,
+    waiting: Vec<usize>,
+    in_flight: usize,
+    progress: Vec<Option<Progress>>,
+    completions: Vec<QueryCompletion>,
+    timeline: Vec<TimelineEvent>,
+}
+
+impl Sim<'_> {
+    fn push_event(&mut self, t_ns: f64, ev: Ev) {
+        self.events.push(HeapEntry { t_ns, seq: self.seq, ev });
+        self.seq += 1;
+    }
+
+    fn record(&mut self, t_ns: f64, kind: EventKind, arrival: usize, shard: Option<usize>) {
+        self.timeline.push(TimelineEvent { t_ns, kind, arrival, shard });
+    }
+
+    /// Pick the next admission per policy; `waiting` keeps arrival
+    /// order, so FIFO is the front and SCSF is the min candidate count
+    /// with arrival order as tiebreak.
+    fn pick_next(&self) -> usize {
+        match self.cfg.policy {
+            AdmissionPolicy::Fifo => 0,
+            AdmissionPolicy::ShortestCandidateFirst => self
+                .waiting
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &ai)| (self.demands[ai].shards.len(), ai))
+                .map(|(pos, _)| pos)
+                .expect("pick_next on an empty queue"),
+        }
+    }
+
+    /// Admit from the queue while in-flight slots are free.
+    fn try_admit(&mut self, now_ns: f64) {
+        while self.in_flight < self.cfg.max_in_flight && !self.waiting.is_empty() {
+            let ai = self.waiting.remove(self.pick_next());
+            self.record(now_ns, EventKind::Admit, ai, None);
+            let (n_shards, merge_ns) = (self.demands[ai].shards.len(), self.demands[ai].merge_ns);
+            if n_shards == 0 {
+                // The planner answered the query: nothing to dispatch,
+                // the (empty) merge is free, the slot never fills.
+                debug_assert_eq!(merge_ns, 0.0, "empty merges cost nothing");
+                self.complete(
+                    now_ns,
+                    ai,
+                    Progress { admit_ns: now_ns, first_service_ns: now_ns, remaining: 0 },
+                );
+                continue;
+            }
+            self.in_flight += 1;
+            // The host posts this query's descriptors shard by shard;
+            // the bus serialises them against everything else in
+            // flight.
+            let mut first_service_ns = f64::INFINITY;
+            for si in 0..n_shards {
+                let (shard, dispatch_ns) = {
+                    let d = &self.demands[ai].shards[si];
+                    (d.shard, d.dispatch_ns)
+                };
+                let grant = self.host.acquire(now_ns, dispatch_ns);
+                first_service_ns = first_service_ns.min(grant.start_ns);
+                self.push_event(grant.end_ns, Ev::DispatchDone(ai, shard));
+            }
+            self.progress[ai] =
+                Some(Progress { admit_ns: now_ns, first_service_ns, remaining: n_shards });
+        }
+    }
+
+    fn complete(&mut self, now_ns: f64, ai: usize, p: Progress) {
+        self.record(now_ns, EventKind::Complete, ai, None);
+        let d = &self.demands[ai];
+        self.completions.push(QueryCompletion {
+            arrival: ai,
+            query_id: d.query_id.clone(),
+            arrive_ns: self.workload.arrivals()[ai].at_ns,
+            admit_ns: p.admit_ns,
+            first_service_ns: p.first_service_ns,
+            complete_ns: now_ns,
+            shards_dispatched: d.shards.len(),
+            shards_pruned: d.shards_pruned,
+        });
+    }
+
+    fn run(mut self, executions: Vec<ClusterExecution>) -> StreamOutcome {
+        let policy = self.cfg.policy;
+        while let Some(entry) = self.events.pop() {
+            let t = entry.t_ns;
+            match entry.ev {
+                Ev::Arrive(ai) => {
+                    self.record(t, EventKind::Arrive, ai, None);
+                    self.waiting.push(ai);
+                    self.try_admit(t);
+                }
+                Ev::DispatchDone(ai, shard) => {
+                    self.record(t, EventKind::Dispatched, ai, Some(shard));
+                    let pim_ns = self.demands[ai]
+                        .shards
+                        .iter()
+                        .find(|d| d.shard == shard)
+                        .expect("dispatched shard has a demand")
+                        .pim_ns;
+                    let grant = self.shard_bus[shard].acquire(t, pim_ns);
+                    self.push_event(grant.end_ns, Ev::PimDone(ai, shard));
+                }
+                Ev::PimDone(ai, shard) => {
+                    self.record(t, EventKind::ShardDone, ai, Some(shard));
+                    let p = self.progress[ai].as_mut().expect("in-flight query has progress");
+                    p.remaining -= 1;
+                    if p.remaining == 0 {
+                        let grant = self.host.acquire(t, self.demands[ai].merge_ns);
+                        self.push_event(grant.end_ns, Ev::MergeDone(ai));
+                    }
+                }
+                Ev::MergeDone(ai) => {
+                    let p = self.progress[ai].take().expect("merging query has progress");
+                    self.complete(t, ai, p);
+                    self.in_flight -= 1;
+                    self.try_admit(t);
+                }
+            }
+        }
+        let makespan_ns = self.completions.iter().map(|c| c.complete_ns).fold(0.0, f64::max);
+        StreamOutcome {
+            policy,
+            completions: self.completions,
+            executions,
+            timeline: self.timeline,
+            makespan_ns,
+            host_busy_ns: self.host.busy_ns(),
+            shard_busy_ns: self.shard_bus.iter().map(SharedBus::busy_ns).collect(),
+        }
+    }
+}
+
+/// The host-dispatch slice of one shard execution.
+fn dispatch_ns(exec: &QueryExecution) -> f64 {
+    exec.report.phases.time_in(PhaseKind::HostDispatch)
+}
+
+/// Stream `workload` through `cluster` under `cfg`.
+///
+/// Service demands come from real per-shard executions, so the merged
+/// answers in [`StreamOutcome::executions`] are bit-identical to
+/// [`ClusterEngine::run_batch`] over the same arrived queries; the
+/// discrete-event timeline then decides *when* each query's slices run
+/// under admission control, per-shard FIFO queues and the shared
+/// dispatch bus.
+///
+/// # Errors
+///
+/// [`SchedError::InvalidConfig`] for a zero in-flight bound;
+/// cluster/planner failures otherwise.
+pub fn run_stream(
+    cluster: &mut ClusterEngine,
+    workload: &Workload,
+    cfg: &SchedConfig,
+) -> Result<StreamOutcome, SchedError> {
+    if cfg.max_in_flight == 0 {
+        return Err(SchedError::InvalidConfig("max_in_flight must be at least 1".into()));
+    }
+
+    // Resolve every *distinct* query's service demand once by
+    // executing its shard slices (deterministic and read-only, so
+    // repeated arrivals of the same query share the computation) and
+    // merging the partials exactly as `run`/`run_batch` would.
+    let mut by_query: Vec<Option<(Demand, ClusterExecution)>> = Vec::new();
+    by_query.resize_with(workload.queries().len(), || None);
+    let mut demands = Vec::with_capacity(workload.len());
+    let mut executions = Vec::with_capacity(workload.len());
+    for arrival in workload.arrivals() {
+        if by_query[arrival.query].is_none() {
+            let query = &workload.queries()[arrival.query];
+            let mask = cluster.plan_shards(&query.filter)?;
+            let candidates: Vec<usize> =
+                mask.iter().enumerate().filter(|(_, &d)| d).map(|(s, _)| s).collect();
+            let mut shard_execs = Vec::with_capacity(candidates.len());
+            for &s in &candidates {
+                shard_execs.push((s, cluster.run_on_shard(s, query)?));
+            }
+            let refs: Vec<&QueryExecution> = shard_execs.iter().map(|(_, e)| e).collect();
+            let shards_pruned = mask.len() - candidates.len();
+            let merged = cluster.merge_executions(query, &refs, shards_pruned);
+            let demand = Demand {
+                query_id: query.id.clone(),
+                shards: shard_execs
+                    .iter()
+                    .map(|(s, e)| ShardDemand {
+                        shard: *s,
+                        dispatch_ns: dispatch_ns(e),
+                        pim_ns: e.report.time_ns - dispatch_ns(e),
+                    })
+                    .collect(),
+                shards_pruned,
+                merge_ns: merged.report.merge_time_ns,
+            };
+            by_query[arrival.query] = Some((demand, merged));
+        }
+        let (demand, merged) = by_query[arrival.query].as_ref().expect("resolved above");
+        demands.push(demand.clone());
+        executions.push(merged.clone());
+    }
+
+    let mut sim = Sim {
+        cfg,
+        workload,
+        demands,
+        events: BinaryHeap::new(),
+        seq: 0,
+        host: SharedBus::new(),
+        shard_bus: vec![SharedBus::new(); cluster.active_shards()],
+        waiting: Vec::new(),
+        in_flight: 0,
+        progress: vec![None; workload.len()],
+        completions: Vec::with_capacity(workload.len()),
+        timeline: Vec::new(),
+    };
+    for (ai, arrival) in workload.arrivals().iter().enumerate() {
+        sim.push_event(arrival.at_ns, Ev::Arrive(ai));
+    }
+    Ok(sim.run(executions))
+}

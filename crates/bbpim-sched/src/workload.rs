@@ -1,0 +1,196 @@
+//! Timestamped query workloads.
+//!
+//! A [`Workload`] is a query set plus a sequence of [`Arrival`]s —
+//! *which* query arrives *when*. [`Workload::poisson`] draws a seeded
+//! open-loop arrival process (exponential interarrival times, queries
+//! picked uniformly), the standard model for "many independent users";
+//! [`Workload::burst`] drops everything at time zero (a closed batch,
+//! useful for comparing against [`bbpim_cluster::ClusterEngine::run_batch`]);
+//! [`Workload::new`] accepts hand-written traces. Everything is a pure
+//! function of its inputs, so a seed fully determines the trace.
+
+use bbpim_db::plan::Query;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::SchedError;
+
+/// One timestamped query arrival.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arrival {
+    /// Simulated arrival time, nanoseconds.
+    pub at_ns: f64,
+    /// Index into the workload's query set.
+    pub query: usize,
+}
+
+/// A query set plus its arrival trace (sorted by time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    queries: Vec<Query>,
+    arrivals: Vec<Arrival>,
+}
+
+impl Workload {
+    /// A workload from an explicit trace.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::InvalidWorkload`] when an arrival references a
+    /// query outside the set, times are negative or non-finite, or the
+    /// trace is not sorted by arrival time.
+    pub fn new(queries: Vec<Query>, arrivals: Vec<Arrival>) -> Result<Workload, SchedError> {
+        for (i, a) in arrivals.iter().enumerate() {
+            if a.query >= queries.len() {
+                return Err(SchedError::InvalidWorkload(format!(
+                    "arrival {i} references query {} of {}",
+                    a.query,
+                    queries.len()
+                )));
+            }
+            if !a.at_ns.is_finite() || a.at_ns < 0.0 {
+                return Err(SchedError::InvalidWorkload(format!(
+                    "arrival {i} at invalid time {}",
+                    a.at_ns
+                )));
+            }
+            if i > 0 && arrivals[i - 1].at_ns > a.at_ns {
+                return Err(SchedError::InvalidWorkload(format!(
+                    "arrivals must be sorted by time (index {i})"
+                )));
+            }
+        }
+        Ok(Workload { queries, arrivals })
+    }
+
+    /// A seeded open-loop arrival process: `n` arrivals with
+    /// exponentially distributed interarrival times (mean
+    /// `mean_interarrival_ns`) over queries picked uniformly from
+    /// `queries`. The trace is a pure function of `(queries.len(), n,
+    /// mean_interarrival_ns, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries` is empty while `n > 0`, or if the mean is
+    /// negative or non-finite.
+    pub fn poisson(
+        queries: Vec<Query>,
+        n: usize,
+        mean_interarrival_ns: f64,
+        seed: u64,
+    ) -> Workload {
+        assert!(
+            mean_interarrival_ns.is_finite() && mean_interarrival_ns >= 0.0,
+            "mean interarrival must be finite and non-negative"
+        );
+        assert!(!queries.is_empty() || n == 0, "arrivals need a non-empty query set");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = 0.0f64;
+        let arrivals = (0..n)
+            .map(|_| {
+                // Inverse-CDF exponential draw; u ∈ [0, 1) keeps ln(1-u) finite.
+                let u: f64 = rng.gen();
+                t += -mean_interarrival_ns * (1.0 - u).ln();
+                Arrival { at_ns: t, query: rng.gen_range(0..queries.len()) }
+            })
+            .collect();
+        Workload { queries, arrivals }
+    }
+
+    /// A closed batch: every query of the set arrives once, in order,
+    /// at time zero. Streaming this workload is directly comparable to
+    /// [`bbpim_cluster::ClusterEngine::run_batch`] over the same set.
+    pub fn burst(queries: Vec<Query>) -> Workload {
+        let arrivals = (0..queries.len()).map(|query| Arrival { at_ns: 0.0, query }).collect();
+        Workload { queries, arrivals }
+    }
+
+    /// The query set.
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
+    }
+
+    /// The arrival trace, sorted by time.
+    pub fn arrivals(&self) -> &[Arrival] {
+        &self.arrivals
+    }
+
+    /// Number of arrivals.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Is the trace empty?
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// The arrived queries as an owned list in arrival order — the
+    /// exact argument to hand `run_batch` for an apples-to-apples
+    /// result-equivalence check.
+    pub fn arrived_queries(&self) -> Vec<Query> {
+        self.arrivals.iter().map(|a| self.queries[a.query].clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbpim_db::plan::{AggExpr, AggFunc};
+
+    fn q(id: &str) -> Query {
+        Query {
+            id: id.into(),
+            filter: vec![],
+            group_by: vec![],
+            agg_func: AggFunc::Sum,
+            agg_expr: AggExpr::Attr("x".into()),
+        }
+    }
+
+    #[test]
+    fn poisson_is_deterministic_and_sorted() {
+        let a = Workload::poisson(vec![q("a"), q("b")], 50, 1000.0, 7);
+        let b = Workload::poisson(vec![q("a"), q("b")], 50, 1000.0, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        assert!(a.arrivals().windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        assert!(a.arrivals().iter().all(|x| x.query < 2 && x.at_ns > 0.0));
+        // a different seed yields a different trace
+        let c = Workload::poisson(vec![q("a"), q("b")], 50, 1000.0, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn poisson_mean_interarrival_is_plausible() {
+        let w = Workload::poisson(vec![q("a")], 2000, 1000.0, 42);
+        let last = w.arrivals().last().unwrap().at_ns;
+        let mean = last / 2000.0;
+        assert!((500.0..2000.0).contains(&mean), "mean interarrival {mean} off by >2x");
+    }
+
+    #[test]
+    fn burst_arrives_all_at_zero() {
+        let w = Workload::burst(vec![q("a"), q("b"), q("c")]);
+        assert_eq!(w.len(), 3);
+        assert!(w.arrivals().iter().all(|a| a.at_ns == 0.0));
+        assert_eq!(
+            w.arrived_queries().iter().map(|x| x.id.as_str()).collect::<Vec<_>>(),
+            vec!["a", "b", "c"]
+        );
+    }
+
+    #[test]
+    fn new_validates_the_trace() {
+        let qs = vec![q("a")];
+        assert!(Workload::new(qs.clone(), vec![Arrival { at_ns: 0.0, query: 1 }]).is_err());
+        assert!(Workload::new(qs.clone(), vec![Arrival { at_ns: -1.0, query: 0 }]).is_err());
+        assert!(Workload::new(
+            qs.clone(),
+            vec![Arrival { at_ns: 5.0, query: 0 }, Arrival { at_ns: 1.0, query: 0 }]
+        )
+        .is_err());
+        let ok = Workload::new(qs, vec![Arrival { at_ns: 1.0, query: 0 }]).unwrap();
+        assert!(!ok.is_empty());
+    }
+}

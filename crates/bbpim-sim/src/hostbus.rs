@@ -1,0 +1,119 @@
+//! Shared-resource contention: a single-server FIFO bus.
+//!
+//! The cluster layer already serialises per-page host dispatch across
+//! shards *within* one query; the streaming scheduler
+//! (`bbpim-sched`) needs the same constraint *across* concurrently
+//! in-flight queries: the host's dispatch channel (physical-address
+//! resolution, descriptor composition, doorbell writes) is one
+//! resource, however many PIM modules sit behind it. [`SharedBus`]
+//! models exactly that — a single server that grants requests in the
+//! order they are made, each grant starting no earlier than the
+//! previous one ended.
+//!
+//! The same abstraction doubles as each shard's PIM pipeline in the
+//! scheduler: one module executes one query's PIM phases at a time, so
+//! a shard is a `SharedBus` whose jobs are PIM slices instead of
+//! dispatch slices.
+//!
+//! Grants are computed eagerly: because a discrete-event simulation
+//! requests the bus in nondecreasing event-time order, `max(now,
+//! free_at)` is precisely FIFO service. The bus also accumulates its
+//! busy time so callers can report utilisation.
+
+/// One admitted slot on a [`SharedBus`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BusGrant {
+    /// When service starts (≥ the request time).
+    pub start_ns: f64,
+    /// When service ends (`start_ns` + requested duration).
+    pub end_ns: f64,
+}
+
+impl BusGrant {
+    /// How long the request waited before service began.
+    pub fn wait_ns(&self, requested_at_ns: f64) -> f64 {
+        self.start_ns - requested_at_ns
+    }
+}
+
+/// A single-server FIFO resource: requests are served one at a time in
+/// request order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SharedBus {
+    free_at_ns: f64,
+    busy_ns: f64,
+    grants: usize,
+}
+
+impl SharedBus {
+    /// An idle bus at time zero.
+    pub fn new() -> Self {
+        SharedBus::default()
+    }
+
+    /// Request `duration_ns` of exclusive bus time at simulated time
+    /// `now_ns`. Returns the granted service window; the bus is busy
+    /// until `end_ns`.
+    ///
+    /// Callers must request in nondecreasing `now_ns` order (as any
+    /// event-driven simulation naturally does) for the FIFO semantics
+    /// to hold.
+    pub fn acquire(&mut self, now_ns: f64, duration_ns: f64) -> BusGrant {
+        let start_ns = now_ns.max(self.free_at_ns);
+        let end_ns = start_ns + duration_ns;
+        self.free_at_ns = end_ns;
+        self.busy_ns += duration_ns;
+        self.grants += 1;
+        BusGrant { start_ns, end_ns }
+    }
+
+    /// When the bus next becomes idle (0 if never used).
+    pub fn free_at_ns(&self) -> f64 {
+        self.free_at_ns
+    }
+
+    /// Total time the bus spent serving requests.
+    pub fn busy_ns(&self) -> f64 {
+        self.busy_ns
+    }
+
+    /// Number of grants issued.
+    pub fn grants(&self) -> usize {
+        self.grants
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn back_to_back_requests_serialise() {
+        let mut bus = SharedBus::new();
+        let a = bus.acquire(0.0, 10.0);
+        let b = bus.acquire(0.0, 5.0);
+        assert_eq!(a.start_ns, 0.0);
+        assert_eq!(a.end_ns, 10.0);
+        assert_eq!(b.start_ns, 10.0, "second request waits for the first");
+        assert_eq!(b.end_ns, 15.0);
+        assert_eq!(b.wait_ns(0.0), 10.0);
+        assert_eq!(bus.grants(), 2);
+    }
+
+    #[test]
+    fn idle_gaps_are_not_busy_time() {
+        let mut bus = SharedBus::new();
+        bus.acquire(0.0, 10.0);
+        let late = bus.acquire(100.0, 10.0);
+        assert_eq!(late.start_ns, 100.0, "an idle bus serves immediately");
+        assert_eq!(bus.busy_ns(), 20.0, "the 90 ns idle gap is not busy time");
+    }
+
+    #[test]
+    fn zero_duration_requests_are_free() {
+        let mut bus = SharedBus::new();
+        let g = bus.acquire(5.0, 0.0);
+        assert_eq!(g.start_ns, g.end_ns);
+        assert_eq!(bus.busy_ns(), 0.0);
+    }
+}

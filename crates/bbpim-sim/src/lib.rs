@@ -20,6 +20,9 @@
 //! * [`hostmem`] — the host-side view of PIM memory: 64-byte cache lines
 //!   that gather the same 16-bit chunk from all 32 crossbars of a page
 //!   (the paper's 32× read amplification), with a DDR4 timing model.
+//! * [`hostbus`] — a single-server FIFO resource modeling contention on
+//!   a shared host channel (the streaming scheduler in `bbpim-sched`
+//!   serialises per-page dispatch of concurrent queries through it).
 //! * [`timeline`], [`energy`], [`endurance`], [`area`] — simulated time,
 //!   energy, peak per-chip power, cell endurance, and chip area
 //!   accounting (Table I constants, Figs. 5 and 9).
@@ -46,6 +49,7 @@ pub mod crossbar;
 pub mod endurance;
 pub mod energy;
 pub mod error;
+pub mod hostbus;
 pub mod hostmem;
 pub mod isa;
 pub mod module;

@@ -1,0 +1,63 @@
+//! Streaming service: queries arriving over time against a sharded PIM
+//! cluster, with admission control and out-of-order completion.
+//!
+//! ```sh
+//! cargo run --release --example streaming
+//! ```
+
+use bbpim::cluster::{ClusterEngine, Partitioner};
+use bbpim::db::ssb::{queries, SsbDb, SsbParams};
+use bbpim::engine::groupby::calibration::CalibrationConfig;
+use bbpim::engine::modes::EngineMode;
+use bbpim::sched::{run_stream, AdmissionPolicy, SchedConfig, Workload};
+use bbpim::sim::SimConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let wide = SsbDb::generate(&SsbParams::uniform(0.01)).prejoin();
+    let mut cluster = ClusterEngine::new(
+        SimConfig::default(),
+        wide,
+        EngineMode::OneXb,
+        8,
+        Partitioner::range_by_attr("d_year"),
+    )?;
+    cluster.calibrate(&CalibrationConfig::default())?;
+
+    // 40 arrivals over the 13 SSB queries; the mean interarrival is
+    // set well below the mean service time, so queues form and the
+    // admission bound pushes back.
+    let workload = Workload::poisson(queries::standard_queries(), 40, 25_000.0, 7);
+    println!("{} arrivals over {:.3} ms\n", workload.len(), {
+        workload.arrivals().last().map(|a| a.at_ns / 1e6).unwrap_or(0.0)
+    });
+
+    for policy in AdmissionPolicy::all() {
+        let out = run_stream(&mut cluster, &workload, &SchedConfig { max_in_flight: 4, policy })?;
+        let s = out.latency_summary();
+        println!(
+            "{:>4}: p50 {:>7.3} ms  p95 {:>7.3} ms  p99 {:>7.3} ms  |  {:>7.0} q/s  \
+             {:>2} finished out of order",
+            policy.label(),
+            s.p50_ns / 1e6,
+            s.p95_ns / 1e6,
+            s.p99_ns / 1e6,
+            out.throughput_qps(),
+            out.overtaken(),
+        );
+        // The first overtaker is typically a zone-map-pruned query
+        // that jumped past broader ones already occupying the cluster.
+        if let Some(c) = out.first_overtaker() {
+            println!(
+                "      first overtaker: arrival #{} ({}, {} of {} shards pruned, latency {:.3} ms)",
+                c.arrival,
+                c.query_id,
+                c.shards_pruned,
+                c.shards_pruned + c.shards_dispatched,
+                c.latency_ns() / 1e6,
+            );
+        }
+    }
+    println!("\nAnswers are bit-identical to run_batch over the same queries — the");
+    println!("scheduler changes when work runs, never what it computes.");
+    Ok(())
+}

@@ -25,6 +25,12 @@
 //!   `run(&Query)` surface, bit-identical answers, host-serial
 //!   dispatch + max-of-shards simulated wall clock. Includes a batch
 //!   scheduler and cluster-wide UPDATE fan-out with zone widening.
+//! * [`sched`] — streaming service on top of [`cluster`]: timestamped
+//!   query arrivals (seeded Poisson traces), admission control with
+//!   backpressure (FIFO or shortest-candidate-set-first), per-shard
+//!   queues, a shared host dispatch bus, out-of-order completion, and
+//!   p50/p95/p99 latency + throughput + utilisation accounting —
+//!   deterministic per seed, answers bit-identical to `run_batch`.
 //!
 //! The query path is physically planned end to end: `db`'s
 //! `FilterBounds` + `ZoneMap` feed `engine`'s per-page `PageSet`
@@ -41,4 +47,5 @@ pub use bbpim_cluster as cluster;
 pub use bbpim_core as engine;
 pub use bbpim_db as db;
 pub use bbpim_monet as monet;
+pub use bbpim_sched as sched;
 pub use bbpim_sim as sim;
