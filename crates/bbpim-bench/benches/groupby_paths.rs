@@ -4,12 +4,12 @@
 use bbpim_core::agg_exec::materialize_expr;
 use bbpim_core::filter_exec::run_filter;
 use bbpim_core::groupby::host_gb::{run_host_gb, HostGbRequest};
-use bbpim_core::groupby::pim_gb::run_pim_gb;
+use bbpim_core::groupby::pim_gb::{run_pim_gb, PreparedAgg};
 use bbpim_core::layout::RecordLayout;
 use bbpim_core::loader::load_relation;
 use bbpim_core::modes::EngineMode;
 use bbpim_core::planner::PageSet;
-use bbpim_db::plan::{AggExpr, AggFunc};
+use bbpim_db::plan::{AggExpr, PhysAgg, PhysFunc};
 use bbpim_db::schema::{Attribute, Schema};
 use bbpim_db::Relation;
 use bbpim_sim::module::PimModule;
@@ -35,7 +35,7 @@ fn setup() -> Setup {
     let loaded = load_relation(&mut module, &rel, &layout).unwrap();
     let mut log = RunLog::new();
     let pages = PageSet::all(loaded.page_count());
-    run_filter(&mut module, &layout, &loaded, &[], &pages, &mut log).unwrap();
+    run_filter(&mut module, &layout, &loaded, &[Vec::new()], &pages, &mut log).unwrap();
     let input = materialize_expr(
         &mut module,
         &layout,
@@ -63,8 +63,8 @@ fn bench_pim_gb(c: &mut Criterion) {
                     EngineMode::OneXb,
                     &gp,
                     &[vec![3u64]],
-                    &input,
-                    AggFunc::Sum,
+                    &[PreparedAgg::Reduce { func: PhysFunc::Sum, input }],
+                    input.scratch_left,
                     &mut log,
                 )
                 .unwrap(),
@@ -76,17 +76,12 @@ fn bench_pim_gb(c: &mut Criterion) {
 fn bench_host_gb(c: &mut Criterion) {
     let (mut module, layout, loaded, _input) = setup();
     let gp = vec![("d_g".to_string(), layout.placement("d_g").unwrap())];
-    let expr = AggExpr::Attr("lo_v".into());
+    let aggs = vec![PhysAgg { func: PhysFunc::Sum, expr: Some(AggExpr::attr("lo_v")) }];
     let skip = HashSet::new();
     c.bench_function("groupby/host_gb_full_pass", |b| {
         b.iter(|| {
             let mut log = RunLog::new();
-            let req = HostGbRequest {
-                group_placements: &gp,
-                expr: &expr,
-                func: AggFunc::Sum,
-                skip: &skip,
-            };
+            let req = HostGbRequest { group_placements: &gp, aggs: &aggs, skip: &skip };
             let pages = PageSet::all(loaded.page_count());
             black_box(run_host_gb(&mut module, &layout, &loaded, &pages, &req, &mut log).unwrap())
         })

@@ -32,7 +32,7 @@ use bbpim_core::result::QueryExecution;
 use bbpim_db::plan::Query;
 use bbpim_db::relation::Relation;
 use bbpim_db::ssb::{queries, SsbDb, SsbParams};
-use bbpim_db::stats::GroupedResult;
+use bbpim_db::stats::MultiGrouped;
 use bbpim_monet::MonetEngine;
 use bbpim_sched::{run_stream, AdmissionPolicy, SchedConfig, StreamOutcome, Workload};
 use bbpim_sim::SimConfig;
@@ -251,7 +251,7 @@ pub fn run_cluster_scaling(
     partitioner: &Partitioner,
 ) -> Vec<ClusterScalePoint> {
     // The oracle answer is shard-count independent: compute it once.
-    let oracles: Vec<GroupedResult> = setup
+    let oracles: Vec<MultiGrouped> = setup
         .queries
         .iter()
         .map(|q| bbpim_db::stats::run_oracle(q, &setup.wide).expect("oracle"))
@@ -322,7 +322,7 @@ pub fn run_pruning_study(
     range_attr: &str,
 ) -> Vec<PruningPoint> {
     let partitioner = Partitioner::range_by_attr(range_attr);
-    let oracles: Vec<GroupedResult> = setup
+    let oracles: Vec<MultiGrouped> = setup
         .queries
         .iter()
         .map(|q| bbpim_db::stats::run_oracle(q, &setup.wide).expect("oracle"))
@@ -478,7 +478,7 @@ pub struct MonetRun {
     /// `mnt_join` or `mnt_reg`.
     pub label: &'static str,
     /// Per-query wall time and groups, in query order.
-    pub results: Vec<(Duration, GroupedResult)>,
+    pub results: Vec<(Duration, MultiGrouped)>,
 }
 
 /// Run every query through one baseline configuration, `repeats` times,
@@ -498,7 +498,7 @@ pub fn run_monet(setup: &SsbSetup, prejoined: bool, repeats: usize) -> MonetRun 
         .queries
         .iter()
         .map(|q| {
-            let mut best: Option<(Duration, GroupedResult)> = None;
+            let mut best: Option<(Duration, MultiGrouped)> = None;
             for _ in 0..repeats.max(1) {
                 let r = engine.run(q).expect("baseline run");
                 if best.as_ref().map(|(d, _)| r.wall < *d).unwrap_or(true) {
@@ -552,6 +552,31 @@ pub fn geomean(values: &[f64]) -> f64 {
     assert!(!values.is_empty(), "geomean of nothing");
     assert!(values.iter().all(|v| *v > 0.0), "geomean needs positive values");
     (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Geometric mean over the finite, positive entries of `values`,
+/// plus how many entries were skipped (zero, negative, NaN or
+/// infinite — e.g. ratios of planner-answered queries whose simulated
+/// time is 0). `None` when nothing survives. Reports print the skip
+/// count as a footnote instead of silently rendering `NaN`.
+pub fn geomean_filtered(values: &[f64]) -> (Option<f64>, usize) {
+    let kept: Vec<f64> = values.iter().copied().filter(|v| v.is_finite() && *v > 0.0).collect();
+    let skipped = values.len() - kept.len();
+    if kept.is_empty() {
+        (None, skipped)
+    } else {
+        (Some(geomean(&kept)), skipped)
+    }
+}
+
+/// Render a [`geomean_filtered`] result: `"7.46x"`, `"7.46x*"` (rows
+/// skipped — pair with a footnote), or `"n/a"`.
+pub fn fmt_geomean(values: &[f64]) -> String {
+    match geomean_filtered(values) {
+        (None, _) => "n/a".into(),
+        (Some(m), 0) => format!("{m:.2}x"),
+        (Some(m), _) => format!("{m:.2}x*"),
+    }
 }
 
 /// Fixed-width table printer for the figure binaries.

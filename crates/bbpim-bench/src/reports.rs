@@ -39,13 +39,19 @@ pub fn print_fig6(setup: &SsbSetup, pim: &[PimModeRun], mnt_join: &MonetRun, mnt
     let mj: Vec<f64> = mnt_join.results.iter().map(|(d, _)| d.as_nanos() as f64).collect();
     let mr: Vec<f64> = mnt_reg.results.iter().map(|(d, _)| d.as_nanos() as f64).collect();
 
-    let gm = |a: &[f64], b: &[f64]| geomean(&crate::speedups(a, b));
+    let gm = |a: &[f64], b: &[f64]| crate::fmt_geomean(&crate::speedups(a, b));
+    let any_skipped = [(&one, &mr), (&one, &mj), (&one, &pdb), (&one, &two), (&two, &mj)]
+        .iter()
+        .any(|(a, b)| crate::geomean_filtered(&crate::speedups(a, b)).1 > 0);
     println!("\ngeo-mean speedups (ratio > 1 = first system faster):");
-    println!("  one_xb vs mnt_reg : {:>7.2}x   (paper: 7.46x)", gm(&one, &mr));
-    println!("  one_xb vs mnt_join: {:>7.2}x   (paper: 4.65x)", gm(&one, &mj));
-    println!("  one_xb vs pimdb   : {:>7.2}x   (paper: 1.83x)", gm(&one, &pdb));
-    println!("  one_xb vs two_xb  : {:>7.2}x   (paper: 3.39x)", gm(&one, &two));
-    println!("  two_xb vs mnt_join: {:>7.2}x   (paper: 1.37x)", gm(&two, &mj));
+    println!("  one_xb vs mnt_reg : {:>8}   (paper: 7.46x)", gm(&one, &mr));
+    println!("  one_xb vs mnt_join: {:>8}   (paper: 4.65x)", gm(&one, &mj));
+    println!("  one_xb vs pimdb   : {:>8}   (paper: 1.83x)", gm(&one, &pdb));
+    println!("  one_xb vs two_xb  : {:>8}   (paper: 3.39x)", gm(&one, &two));
+    println!("  two_xb vs mnt_join: {:>8}   (paper: 1.37x)", gm(&two, &mj));
+    if any_skipped {
+        println!("  * zero-time rows skipped (planner-only queries have no measurable latency)");
+    }
 
     println!("\nshape checks:");
     let check = |name: &str, ok: bool| {
@@ -65,7 +71,10 @@ pub fn print_fig6(setup: &SsbSetup, pim: &[PimModeRun], mnt_join: &MonetRun, mnt
         let wins = one.iter().zip(&mj).filter(|(o, m)| o < m).count();
         wins * 2 > one.len()
     });
-    check("one_xb beats mnt_reg in geo-mean", gm(&one, &mr) > 1.0);
+    check(
+        "one_xb beats mnt_reg in geo-mean",
+        crate::geomean_filtered(&crate::speedups(&one, &mr)).0.is_some_and(|m| m > 1.0),
+    );
     // GROUP BY queries may pick different k per mode; flag only large
     // self-inflicted regressions of the hybrid decision.
     check(
@@ -105,11 +114,19 @@ pub fn print_fig7(setup: &SsbSetup, pim: &[PimModeRun]) {
             .map(|&i| pim[2].executions[i].report.energy_pj / pim[0].executions[i].report.energy_pj)
             .collect();
         let ids: Vec<&str> = both_pim_agg.iter().map(|&i| setup.queries[i].id.as_str()).collect();
-        println!(
-            "\npimdb / one_xb energy on PIM-aggregating queries {:?}: {:.2}x geo-mean (paper: 4.31x)",
-            ids,
-            geomean(&ratios)
-        );
+        let (mean, skipped) = crate::geomean_filtered(&ratios);
+        match mean {
+            Some(m) if skipped == 0 => println!(
+                "\npimdb / one_xb energy on PIM-aggregating queries {ids:?}: {m:.2}x geo-mean (paper: 4.31x)"
+            ),
+            Some(m) => println!(
+                "\npimdb / one_xb energy on PIM-aggregating queries {ids:?}: {m:.2}x geo-mean over {} rows ({skipped} zero-energy rows skipped; paper: 4.31x)",
+                ratios.len() - skipped
+            ),
+            None => println!(
+                "\npimdb / one_xb energy comparison skipped: no query drew measurable energy in both modes"
+            ),
+        }
     }
 }
 
@@ -162,16 +179,21 @@ pub fn print_fig9(setup: &SsbSetup, pim: &[PimModeRun]) {
     if !candidates.is_empty() {
         let ratios: Vec<f64> = candidates
             .iter()
-            .filter_map(|&i| {
+            .map(|&i| {
                 let one = pim[0].executions[i].report.required_endurance(10.0);
                 let pdb = pim[2].executions[i].report.required_endurance(10.0);
-                (one > 0.0 && pdb > 0.0).then_some(pdb / one)
+                pdb / one
             })
             .collect();
-        if !ratios.is_empty() {
+        let (mean, skipped) = crate::geomean_filtered(&ratios);
+        if let Some(m) = mean {
+            let note = if skipped > 0 {
+                format!(" ({skipped} zero-endurance rows skipped)")
+            } else {
+                String::new()
+            };
             println!(
-                "pimdb / one_xb required endurance on PIM-aggregating queries: {:.2}x geo-mean (paper lifetime gain: 3.21x)",
-                geomean(&ratios)
+                "pimdb / one_xb required endurance on PIM-aggregating queries: {m:.2}x geo-mean{note} (paper lifetime gain: 3.21x)"
             );
         }
     }
@@ -313,7 +335,7 @@ pub fn print_pruning(setup: &SsbSetup, points: &[PruningPoint]) {
             // keep the geo-mean over the queries that did execute.
             let speedup_cell = if pr.time_ns > 0.0 {
                 let speedup = ex.time_ns / pr.time_ns;
-                ratios.push(speedup.max(1e-9));
+                ratios.push(speedup);
                 format!("{speedup:.2}")
             } else {
                 planner_only += 1;
@@ -346,14 +368,19 @@ pub fn print_pruning(setup: &SsbSetup, points: &[PruningPoint]) {
             ],
             &rows,
         );
-        if ratios.is_empty() {
-            println!("  every query answered by the planner alone\n");
-        } else {
-            println!(
-                "  geo-mean wall-clock speedup: {:.2}x over {} executed queries ({planner_only} answered by the planner alone)\n",
-                geomean(&ratios),
-                ratios.len(),
-            );
+        match crate::geomean_filtered(&ratios) {
+            (None, _) => println!("  every query answered by the planner alone\n"),
+            (Some(m), skipped) => {
+                let note = if skipped > 0 {
+                    format!(", {skipped} degenerate ratios skipped")
+                } else {
+                    String::new()
+                };
+                println!(
+                    "  geo-mean wall-clock speedup: {m:.2}x over {} executed queries ({planner_only} answered by the planner alone{note})\n",
+                    ratios.len() - skipped,
+                );
+            }
         }
     }
     println!(
@@ -381,6 +408,18 @@ pub fn print_explain(setup: &SsbSetup, explains: &[PlanExplain]) {
         })
         .collect();
     print_table(&["query", "shards", "pages", "pages pruned", "planner-only"], &rows);
+
+    // The resolved filters the zone maps were tested against: the
+    // pretty-printed predicate tree and its per-attribute pruning
+    // intervals (interval union across OR branches).
+    println!("\nresolved filters and pruning bounds:");
+    for e in explains {
+        println!("  {:<6} {}", e.query_id, e.filter);
+        for (attr, intervals) in &e.filter_bounds {
+            println!("         {attr} ∈ {}", bbpim_cluster::explain::render_intervals(intervals));
+        }
+    }
+
     let total: usize = explains.iter().map(PlanExplain::pages_total).sum();
     let candidate: usize = explains.iter().map(PlanExplain::pages_candidate).sum();
     println!(

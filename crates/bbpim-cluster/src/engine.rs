@@ -34,8 +34,8 @@ use bbpim_core::modes::EngineMode;
 use bbpim_core::result::{PartialGroups, QueryExecution, QueryReport};
 use bbpim_core::update::{UpdateOp, UpdateReport};
 use bbpim_core::CoreError;
-use bbpim_db::plan::{Atom, FilterBounds, Query};
-use bbpim_db::stats::GroupedResult;
+use bbpim_db::plan::{FilterBounds, Pred, Query};
+use bbpim_db::stats::{GroupedResult, MultiGrouped};
 use bbpim_db::zonemap::ZoneMap;
 use bbpim_db::Relation;
 use bbpim_sim::config::SimConfig;
@@ -129,9 +129,11 @@ impl ClusterReport {
 /// A cluster query's merged answer plus its report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterExecution {
-    /// Merged grouped aggregates (same shape as the single-module
-    /// engine's answer).
-    pub groups: GroupedResult,
+    /// Merged grouped multi-column aggregates (same shape as the
+    /// single-module engine's answer: one value per SELECT item).
+    /// Derived outputs (`AVG`) are computed only after every shard's
+    /// mergeable components folded, so sharding stays bit-exact.
+    pub groups: MultiGrouped,
     /// The cluster report.
     pub report: ClusterReport,
 }
@@ -323,40 +325,53 @@ impl ClusterEngine {
         }
     }
 
-    /// The pre-scatter plan of a conjunction: `true` per active shard
+    /// The pre-scatter plan of a filter tree: `true` per active shard
     /// that must be dispatched, `false` where the shard's zone map
-    /// proves no record can match. With pruning disabled every shard is
-    /// dispatched.
+    /// proves no record can match any DNF branch (the bounds of an OR
+    /// are the per-attribute interval union of its branches). With
+    /// pruning disabled every shard is dispatched.
     ///
     /// # Errors
     ///
     /// Propagates filter resolution failures.
-    pub fn plan_shards(&self, filter: &[Atom]) -> Result<Vec<bool>, ClusterError> {
-        if !self.pruning || filter.is_empty() {
+    pub fn plan_shards(&self, filter: &Pred) -> Result<Vec<bool>, ClusterError> {
+        if !self.pruning || filter.is_always() {
             return Ok(vec![true; self.shards.len()]);
         }
         let Some(first) = self.shards.first() else {
             return Ok(Vec::new());
         };
         let schema = first.engine.relation().schema();
-        let resolved = filter
-            .iter()
-            .map(|a| a.resolve(schema))
-            .collect::<Result<Vec<_>, _>>()
-            .map_err(ClusterError::Db)?;
-        let bounds = FilterBounds::from_atoms(&resolved);
+        let dnf = filter.resolve_dnf(schema).map_err(ClusterError::Db)?;
+        let bounds = FilterBounds::from_dnf(&dnf);
         Ok(self.shards.iter().map(|s| bounds.can_match(&s.zone)).collect())
     }
 
-    /// The physical plan of `query` without executing anything: which
-    /// shards the zone maps admit and how many pages each admitted
-    /// shard's page-level planner would activate (the `EXPLAIN` dump).
+    /// The physical plan of `query` without executing anything: the
+    /// resolved filter (pretty-printed tree + per-attribute pruning
+    /// intervals), which shards the zone maps admit, and how many pages
+    /// each admitted shard's page-level planner would activate (the
+    /// `EXPLAIN` dump).
     ///
     /// # Errors
     ///
     /// Propagates filter resolution failures.
     pub fn explain(&self, query: &Query) -> Result<PlanExplain, ClusterError> {
         let mask = self.plan_shards(&query.filter)?;
+        // Per-attribute interval union of the filter bounds, rendered
+        // with attribute names (what the zone maps are tested against).
+        let filter_bounds = match self.shards.first() {
+            None => Vec::new(),
+            Some(first) => {
+                let schema = first.engine.relation().schema();
+                let dnf = query.filter.resolve_dnf(schema).map_err(ClusterError::Db)?;
+                FilterBounds::from_dnf(&dnf)
+                    .intervals()
+                    .into_iter()
+                    .map(|(idx, intervals)| (schema.attrs()[idx].name.clone(), intervals))
+                    .collect()
+            }
+        };
         let shards = self
             .shards
             .iter()
@@ -372,7 +387,12 @@ impl ClusterEngine {
                 })
             })
             .collect::<Result<Vec<_>, CoreError>>()?;
-        Ok(PlanExplain { query_id: query.id.clone(), shards })
+        Ok(PlanExplain {
+            query_id: query.id.clone(),
+            filter: query.filter.to_string(),
+            filter_bounds,
+            shards,
+        })
     }
 
     /// Execute `query` on one active shard alone and return that
@@ -526,7 +546,7 @@ impl ClusterEngine {
     ///
     /// Propagates the first shard failure.
     pub fn update(&mut self, op: &UpdateOp) -> Result<ClusterUpdateReport, ClusterError> {
-        let mask = self.plan_shards(&op.filter)?;
+        let mask = self.plan_shards(&Pred::all(op.filter.clone()))?;
         let results = self.scatter_planned(&mask, |engine| engine.update(op))?;
         for (shard, result) in self.shards.iter_mut().zip(&results) {
             if result.is_some() {
@@ -552,20 +572,32 @@ impl ClusterEngine {
     /// produced by [`ClusterEngine::run_on_shard`]) into one cluster
     /// execution. This is the gather half of [`ClusterEngine::run`];
     /// `shards_pruned` is reporting-only and does not affect the
-    /// answer. Merging commutes with how the partials were obtained, so
-    /// a scheduler that executed the shard slices out of order still
-    /// gets the bit-identical merged result.
+    /// answer. Each *physical* component (sum / min / max / count)
+    /// merges per named output column; derived outputs (`AVG`) are
+    /// computed only afterwards, so they stay bit-exact under sharding.
+    /// Merging commutes with how the partials were obtained, so a
+    /// scheduler that executed the shard slices out of order still gets
+    /// the bit-identical merged result.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a query whose SELECT list is invalid — impossible for
+    /// executions the engines produced (they validate at run time).
     pub fn merge_executions(
         &self,
         query: &Query,
         executions: &[&QueryExecution],
         shards_pruned: usize,
     ) -> ClusterExecution {
-        let mut partial = PartialGroups::new(query.agg_func);
+        let plan = query.physical_plan().expect("executed queries have a valid SELECT list");
+        let mut partials: Vec<PartialGroups> =
+            plan.aggs.iter().map(|a| PartialGroups::new(a.func)).collect();
         let mut merged_entries = 0u64;
         for exec in executions {
-            merged_entries += exec.groups.len() as u64;
-            partial.absorb(PartialGroups::from_execution(query.agg_func, exec));
+            for (acc, part) in partials.iter_mut().zip(&exec.partials) {
+                merged_entries += part.groups.len() as u64;
+                acc.absorb_ref(part);
+            }
         }
 
         // Host-side gather cost: the host folds every (shard, group)
@@ -617,7 +649,9 @@ impl ClusterEngine {
                 .unwrap_or(0),
             per_shard: executions.iter().map(|e| e.report.clone()).collect(),
         };
-        ClusterExecution { groups: partial.into_groups(), report }
+        let per_agg: Vec<GroupedResult> =
+            partials.into_iter().map(PartialGroups::into_groups).collect();
+        ClusterExecution { groups: plan.finalize(&per_agg), report }
     }
 }
 
@@ -659,26 +693,26 @@ mod tests {
     }
 
     fn q1_like() -> Query {
-        Query {
-            id: "q1".into(),
-            filter: vec![
+        Query::single(
+            "q1",
+            vec![
                 Atom::Eq { attr: "d_year".into(), value: 3u64.into() },
                 Atom::Between { attr: "lo_disc".into(), lo: 1u64.into(), hi: 3u64.into() },
             ],
-            group_by: vec![],
-            agg_func: AggFunc::Sum,
-            agg_expr: AggExpr::Mul("lo_price".into(), "lo_disc".into()),
-        }
+            vec![],
+            AggFunc::Sum,
+            AggExpr::Mul("lo_price".into(), "lo_disc".into()),
+        )
     }
 
     fn q2_like(func: AggFunc) -> Query {
-        Query {
-            id: "q2".into(),
-            filter: vec![Atom::Gt { attr: "lo_price".into(), value: 60u64.into() }],
-            group_by: vec!["d_year".into(), "d_brand".into()],
-            agg_func: func,
-            agg_expr: AggExpr::Attr("lo_price".into()),
-        }
+        Query::single(
+            "q2",
+            vec![Atom::Gt { attr: "lo_price".into(), value: 60u64.into() }],
+            vec!["d_year".into(), "d_brand".into()],
+            func,
+            AggExpr::Attr("lo_price".into()),
+        )
     }
 
     fn cluster(shards: usize, p: Partitioner) -> ClusterEngine {
@@ -749,13 +783,13 @@ mod tests {
     #[test]
     fn range_partitioning_prunes_shards_pre_scatter() {
         let rel = relation(1400); // d_year uniform over 0..7
-        let q = Query {
-            id: "year3".into(),
-            filter: vec![Atom::Eq { attr: "d_year".into(), value: 3u64.into() }],
-            group_by: vec![],
-            agg_func: AggFunc::Sum,
-            agg_expr: AggExpr::Attr("lo_price".into()),
-        };
+        let q = Query::single(
+            "year3",
+            vec![Atom::Eq { attr: "d_year".into(), value: 3u64.into() }],
+            vec![],
+            AggFunc::Sum,
+            AggExpr::Attr("lo_price".into()),
+        );
         let mut c = ClusterEngine::new(
             SimConfig::small_for_tests(),
             rel.clone(),
@@ -781,13 +815,13 @@ mod tests {
     #[test]
     fn all_shards_pruned_returns_empty_answer() {
         let rel = relation(700);
-        let q = Query {
-            id: "none".into(),
-            filter: vec![Atom::Gt { attr: "lo_price".into(), value: 254u64.into() }],
-            group_by: vec![],
-            agg_func: AggFunc::Sum,
-            agg_expr: AggExpr::Attr("lo_price".into()),
-        };
+        let q = Query::single(
+            "none",
+            vec![Atom::Gt { attr: "lo_price".into(), value: 254u64.into() }],
+            vec![],
+            AggFunc::Sum,
+            AggExpr::Attr("lo_price".into()),
+        );
         let mut c = ClusterEngine::new(
             SimConfig::small_for_tests(),
             rel.clone(),
@@ -905,13 +939,13 @@ mod tests {
         let rep = c.update(&op).unwrap();
         assert!(rep.records_updated > 0);
         assert!(rep.shards_pruned >= 5, "the update itself must skip unrelated shards");
-        let probe = Query {
-            id: "year6".into(),
-            filter: vec![Atom::Eq { attr: "d_year".into(), value: 6u64.into() }],
-            group_by: vec![],
-            agg_func: AggFunc::Sum,
-            agg_expr: AggExpr::Attr("lo_price".into()),
-        };
+        let probe = Query::single(
+            "year6",
+            vec![Atom::Eq { attr: "d_year".into(), value: 6u64.into() }],
+            vec![],
+            AggFunc::Sum,
+            AggExpr::Attr("lo_price".into()),
+        );
         let mut reference = rel.clone();
         let y = reference.schema().index_of("d_year").unwrap();
         for row in 0..reference.len() {
@@ -944,12 +978,14 @@ mod tests {
     #[test]
     fn batch_prunes_per_query() {
         let rel = relation(1400);
-        let year_probe = |y: u64| Query {
-            id: format!("y{y}"),
-            filter: vec![Atom::Eq { attr: "d_year".into(), value: y.into() }],
-            group_by: vec![],
-            agg_func: AggFunc::Sum,
-            agg_expr: AggExpr::Attr("lo_price".into()),
+        let year_probe = |y: u64| {
+            Query::single(
+                format!("y{y}"),
+                vec![Atom::Eq { attr: "d_year".into(), value: y.into() }],
+                vec![],
+                AggFunc::Sum,
+                AggExpr::Attr("lo_price".into()),
+            )
         };
         let queries = vec![year_probe(1), year_probe(5)];
         let mut c = ClusterEngine::new(

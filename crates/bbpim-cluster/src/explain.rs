@@ -29,6 +29,13 @@ pub struct ShardPlan {
 pub struct PlanExplain {
     /// Query identifier.
     pub query_id: String,
+    /// The resolved filter tree, pretty-printed
+    /// (e.g. `(d_year = 1993 AND (lo_discount BETWEEN 1 AND 3 OR …))`).
+    pub filter: String,
+    /// Per-attribute pruning intervals: the interval *union* across DNF
+    /// branches the zone maps are tested against
+    /// (`(attribute name, [lo, hi] list)`).
+    pub filter_bounds: Vec<(String, Vec<(u64, u64)>)>,
     /// Per-shard plans, in shard order (active shards only).
     pub shards: Vec<ShardPlan>,
 }
@@ -75,6 +82,50 @@ impl PlanExplain {
             self.pages_total(),
         )
     }
+
+    /// Multi-line dump: the resolved filter, its per-attribute pruning
+    /// intervals, and the shard/page candidate-vs-pruned counts.
+    pub fn detail(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.summary());
+        let _ = writeln!(out, "  filter: {}", self.filter);
+        for (attr, intervals) in &self.filter_bounds {
+            let _ = writeln!(out, "  bounds: {attr} ∈ {}", render_intervals(intervals));
+        }
+        for s in &self.shards {
+            let _ = writeln!(
+                out,
+                "  shard {:>2}: {:>8} records, {}/{} pages{}",
+                s.shard_index,
+                s.records,
+                s.candidate_pages,
+                s.pages,
+                if s.dispatched { "" } else { "  (pruned pre-scatter)" },
+            );
+        }
+        out
+    }
+}
+
+/// Render a sorted `[lo, hi]` interval list as a set-notation union:
+/// `{7}`, `[1, 3]`, `[5, ∞)`, joined with `∪`. Shared by
+/// [`PlanExplain::detail`] and the bench `EXPLAIN` report so the two
+/// renderings cannot drift.
+pub fn render_intervals(intervals: &[(u64, u64)]) -> String {
+    let rendered: Vec<String> = intervals
+        .iter()
+        .map(|(lo, hi)| {
+            if lo == hi {
+                format!("{{{lo}}}")
+            } else if *hi == u64::MAX {
+                format!("[{lo}, ∞)")
+            } else {
+                format!("[{lo}, {hi}]")
+            }
+        })
+        .collect();
+    rendered.join(" ∪ ")
 }
 
 #[cfg(test)]
@@ -84,6 +135,8 @@ mod tests {
     fn plan() -> PlanExplain {
         PlanExplain {
             query_id: "q".into(),
+            filter: "(x = 1 OR x BETWEEN 5 AND 9)".into(),
+            filter_bounds: vec![("x".into(), vec![(1, 1), (5, 9)])],
             shards: vec![
                 ShardPlan {
                     shard_index: 0,
@@ -113,5 +166,14 @@ mod tests {
         assert_eq!(p.pages_pruned(), 6);
         assert!(!p.planner_only());
         assert_eq!(p.summary(), "q: 1/2 shards, 2/8 pages");
+    }
+
+    #[test]
+    fn detail_renders_filter_and_bounds() {
+        let d = plan().detail();
+        assert!(d.contains("filter: (x = 1 OR x BETWEEN 5 AND 9)"));
+        assert!(d.contains("bounds: x ∈ {1} ∪ [5, 9]"));
+        assert!(d.contains("(pruned pre-scatter)"));
+        assert!(d.contains("shard  0"));
     }
 }

@@ -11,7 +11,7 @@
 //! (`pimdb`), followed by one cache line per result chunk per page and a
 //! trivial host-side combine of the per-crossbar partials.
 
-use bbpim_db::plan::{AggExpr, AggFunc};
+use bbpim_db::plan::{AggExpr, PhysFunc};
 use bbpim_sim::aggcircuit::AggRequest;
 use bbpim_sim::compiler::reduce::ReduceOp;
 use bbpim_sim::compiler::{arith, CodeBuilder, ColRange, ScratchPool};
@@ -39,12 +39,14 @@ pub struct AggInput {
     pub scratch_left: ColRange,
 }
 
-/// Map a plan-level aggregate function onto the hardware operator.
-pub fn reduce_op(func: AggFunc) -> ReduceOp {
+/// Map a physical aggregate component onto the hardware operator.
+/// `Count` never reaches a value reduction (it reads the count register
+/// / mask popcount); it maps to `Sum` defensively.
+pub fn reduce_op(func: PhysFunc) -> ReduceOp {
     match func {
-        AggFunc::Sum => ReduceOp::Sum,
-        AggFunc::Min => ReduceOp::Min,
-        AggFunc::Max => ReduceOp::Max,
+        PhysFunc::Sum | PhysFunc::Count => ReduceOp::Sum,
+        PhysFunc::Min => ReduceOp::Min,
+        PhysFunc::Max => ReduceOp::Max,
     }
 }
 
@@ -110,6 +112,121 @@ pub fn materialize_expr(
     }
 }
 
+/// Materialise *several* aggregate expressions at once, stacking the
+/// computed ones into disjoint scratch slices so they stay live
+/// together — the multi-aggregate GROUP BY needs every input resident
+/// while it walks subgroup keys (one group-mask program per key feeds
+/// *all* aggregates). Plain attributes are used in place; duplicate
+/// expressions share one materialisation.
+///
+/// Every returned [`AggInput`]'s `scratch_left` is the scratch
+/// remaining in its partition *after* all stacked values, so follow-up
+/// mask programs cannot clobber any materialised input.
+///
+/// # Errors
+///
+/// [`CoreError::Layout`] when the stacked widths leave less than the
+/// minimum program workspace; the per-expression errors of
+/// [`materialize_expr`] otherwise.
+pub fn materialize_exprs(
+    module: &mut PimModule,
+    layout: &RecordLayout,
+    loaded: &LoadedRelation,
+    pages: &PageSet,
+    exprs: &[&AggExpr],
+    log: &mut RunLog,
+) -> Result<Vec<AggInput>, CoreError> {
+    // Pass 1: place every computed expression (deduplicated), tracking
+    // per-partition stacked usage.
+    let mut used: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+    let mut placed: Vec<(AggExpr, usize, ColRange)> = Vec::new(); // (expr, partition, dst)
+    for expr in exprs {
+        let (a, b) = match expr {
+            AggExpr::Attr(_) => continue,
+            AggExpr::Mul(a, b) | AggExpr::Sub(a, b) => (a, b),
+        };
+        if placed.iter().any(|(e, _, _)| e == *expr) {
+            continue;
+        }
+        let pa = layout.placement(a)?;
+        let pb = layout.placement(b)?;
+        if pa.partition != pb.partition {
+            return Err(CoreError::Unsupported(format!(
+                "aggregate expression operands `{a}` and `{b}` live in different partitions"
+            )));
+        }
+        let width = match expr {
+            AggExpr::Mul(..) => pa.range.width + pb.range.width,
+            _ => pa.range.width.max(pb.range.width),
+        };
+        let scratch = layout.scratch(pa.partition);
+        let offset = used.entry(pa.partition).or_insert(0);
+        if *offset + width + crate::layout::MIN_SCRATCH_COLS > scratch.width {
+            return Err(CoreError::Layout(format!(
+                "stacked expressions need {} result columns plus workspace; scratch has {}",
+                *offset + width,
+                scratch.width
+            )));
+        }
+        let dst = ColRange::new(scratch.lo + *offset, width);
+        *offset += width;
+        placed.push(((*expr).clone(), pa.partition, dst));
+    }
+
+    // Pass 2: compile + execute one program per computed expression,
+    // with the workspace pool confined to the region past every stacked
+    // value of that partition.
+    let remaining = |partition: usize| -> ColRange {
+        let scratch = layout.scratch(partition);
+        let off = used.get(&partition).copied().unwrap_or(0);
+        ColRange::new(scratch.lo + off, scratch.width - off)
+    };
+    for (expr, partition, dst) in &placed {
+        let (a, b) = match expr {
+            AggExpr::Mul(a, b) | AggExpr::Sub(a, b) => (a, b),
+            AggExpr::Attr(_) => unreachable!("only computed expressions are placed"),
+        };
+        let pa = layout.placement(a)?;
+        let pb = layout.placement(b)?;
+        let mut pool = ScratchPool::new(remaining(*partition));
+        let mut builder = CodeBuilder::new(&mut pool);
+        match expr {
+            AggExpr::Mul(..) => arith::compile_mul(&mut builder, pa.range, pb.range, *dst)?,
+            AggExpr::Sub(..) => arith::compile_sub(&mut builder, pa.range, pb.range, *dst)?,
+            AggExpr::Attr(..) => unreachable!("only computed expressions are placed"),
+        }
+        let prog = builder.finish();
+        let phase = module.exec_program(&pages.ids(loaded, *partition), &prog)?;
+        log.push(phase);
+    }
+
+    // Pass 3: assemble the inputs in request order.
+    exprs
+        .iter()
+        .map(|expr| match expr {
+            AggExpr::Attr(name) => {
+                let p = layout.placement(name)?;
+                Ok(AggInput {
+                    partition: p.partition,
+                    value: p.range,
+                    scratch_left: remaining(p.partition),
+                })
+            }
+            computed => {
+                let (_, partition, dst) = placed
+                    .iter()
+                    .find(|(e, _, _)| e == *computed)
+                    .expect("computed expressions were placed in pass 1");
+                Ok(AggInput {
+                    partition: *partition,
+                    value: *dst,
+                    scratch_left: remaining(*partition),
+                })
+            }
+        })
+        .collect()
+}
+
 /// Result-slot width for a reduction: the value width plus carry room
 /// for `rows` addends, clamped to the slot.
 pub fn partial_width(
@@ -148,7 +265,7 @@ pub fn aggregate_masked(
     mode: EngineMode,
     input: &AggInput,
     mask_col: usize,
-    func: AggFunc,
+    func: PhysFunc,
     log: &mut RunLog,
 ) -> Result<u64, CoreError> {
     let rows = module.config().crossbar_rows;
@@ -171,9 +288,9 @@ pub fn aggregate_masked(
     let flat: Vec<u64> = partials.into_iter().flatten().collect();
     log.push(Phase::host_compute(flat.len() as f64 * COMBINE_NS_PER_PARTIAL));
     let combined = match func {
-        AggFunc::Sum => flat.iter().fold(0u64, |acc, v| acc.wrapping_add(*v)),
-        AggFunc::Min => flat.into_iter().min().unwrap_or(u64::MAX),
-        AggFunc::Max => flat.into_iter().max().unwrap_or(0),
+        PhysFunc::Sum | PhysFunc::Count => flat.iter().fold(0u64, |acc, v| acc.wrapping_add(*v)),
+        PhysFunc::Min => flat.into_iter().min().unwrap_or(u64::MAX),
+        PhysFunc::Max => flat.into_iter().max().unwrap_or(0),
     };
     Ok(combined)
 }
@@ -204,7 +321,7 @@ pub fn aggregate_masked_counted(
     mode: EngineMode,
     input: &AggInput,
     mask_col: usize,
-    func: AggFunc,
+    func: PhysFunc,
     log: &mut RunLog,
 ) -> Result<(u64, u64), CoreError> {
     let rows = module.config().crossbar_rows;
@@ -231,15 +348,17 @@ pub fn aggregate_masked_counted(
     log.push(Phase::host_compute(flat_sums.len() as f64 * COMBINE_NS_PER_PARTIAL));
     let count: u64 = flat_counts.iter().sum();
     let combined = match func {
-        AggFunc::Sum => flat_sums.iter().fold(0u64, |acc, v| acc.wrapping_add(*v)),
-        AggFunc::Min => flat_sums
+        PhysFunc::Sum | PhysFunc::Count => {
+            flat_sums.iter().fold(0u64, |acc, v| acc.wrapping_add(*v))
+        }
+        PhysFunc::Min => flat_sums
             .iter()
             .zip(&flat_counts)
             .filter(|(_, c)| **c > 0)
             .map(|(v, _)| *v)
             .min()
             .unwrap_or(u64::MAX),
-        AggFunc::Max => flat_sums
+        PhysFunc::Max => flat_sums
             .iter()
             .zip(&flat_counts)
             .filter(|(_, c)| **c > 0)
@@ -293,22 +412,29 @@ mod tests {
         filter: Vec<Atom>,
         log: &mut RunLog,
     ) -> Query {
-        let q = Query {
-            id: "t".into(),
+        let q = Query::single(
+            "t",
             filter,
-            group_by: vec![],
-            agg_func: AggFunc::Sum,
-            agg_expr: AggExpr::Attr("lo_price".into()),
-        };
-        let atoms: Vec<_> = q
-            .resolve_filter(rel.schema())
+            vec![],
+            bbpim_db::plan::AggFunc::Sum,
+            AggExpr::attr("lo_price"),
+        );
+        let schema = rel.schema();
+        let dnf: Vec<Vec<_>> = q
+            .resolve_filter(schema)
             .unwrap()
             .into_iter()
-            .zip(q.filter.iter())
-            .map(|(a, raw)| (a, layout.placement(raw.attr()).unwrap()))
+            .map(|conj| {
+                conj.into_iter()
+                    .map(|a| {
+                        let name = &schema.attrs()[a.attr_index()].name;
+                        let p = layout.placement(name).unwrap();
+                        (a, p)
+                    })
+                    .collect()
+            })
             .collect();
-        run_filter(module, layout, loaded, &atoms, &PageSet::all(loaded.page_count()), log)
-            .unwrap();
+        run_filter(module, layout, loaded, &dnf, &PageSet::all(loaded.page_count()), log).unwrap();
         q
     }
 
@@ -342,7 +468,7 @@ mod tests {
                 mode,
                 &input,
                 MASK_COL,
-                AggFunc::Sum,
+                PhysFunc::Sum,
                 &mut log,
             )
             .unwrap();
@@ -369,7 +495,7 @@ mod tests {
             EngineMode::OneXb,
             &input,
             MASK_COL,
-            AggFunc::Sum,
+            PhysFunc::Sum,
             &mut log,
         )
         .unwrap();
@@ -402,7 +528,7 @@ mod tests {
             EngineMode::OneXb,
             &input,
             MASK_COL,
-            AggFunc::Sum,
+            PhysFunc::Sum,
             &mut log,
         )
         .unwrap();
@@ -435,7 +561,7 @@ mod tests {
             EngineMode::OneXb,
             &input,
             MASK_COL,
-            AggFunc::Min,
+            PhysFunc::Min,
             &mut log,
         )
         .unwrap();
@@ -447,7 +573,7 @@ mod tests {
             EngineMode::OneXb,
             &input,
             MASK_COL,
-            AggFunc::Max,
+            PhysFunc::Max,
             &mut log,
         )
         .unwrap();
@@ -492,7 +618,7 @@ mod tests {
             EngineMode::OneXb,
             &i1,
             MASK_COL,
-            AggFunc::Sum,
+            PhysFunc::Sum,
             &mut a1,
         )
         .unwrap();
@@ -504,7 +630,7 @@ mod tests {
             EngineMode::PimDb,
             &i2,
             MASK_COL,
-            AggFunc::Sum,
+            PhysFunc::Sum,
             &mut a2,
         )
         .unwrap();

@@ -15,17 +15,17 @@ use bbpim_sim::config::SimConfig;
 use bbpim_sim::module::PimModule;
 use bbpim_sim::timeline::{Phase, RunLog};
 
-use crate::agg_exec::{aggregate_masked, materialize_expr};
+use crate::agg_exec::{aggregate_masked, materialize_exprs};
 use crate::error::CoreError;
 use crate::filter_exec::run_filter;
 use crate::groupby::calibration::{run_calibration, CalibrationConfig, CalibrationData};
 use crate::groupby::cost_model::GroupByModel;
 use crate::groupby::run_group_by;
-use crate::layout::{RecordLayout, MASK_COL};
+use crate::layout::{AttrPlacement, RecordLayout, MASK_COL};
 use crate::loader::{load_relation, LoadedRelation};
 use crate::modes::EngineMode;
 use crate::planner::{plan_pages, PageSet};
-use crate::result::{QueryExecution, QueryReport};
+use crate::result::{PartialGroups, QueryExecution, QueryReport};
 use crate::update::{run_update, UpdateOp, UpdateReport};
 
 /// A PIM-resident OLAP engine over one (pre-joined) relation.
@@ -150,13 +150,13 @@ impl PimQueryEngine {
         Ok(plan_pages(&bounds, &self.loaded))
     }
 
-    /// [`PimQueryEngine::plan`] from already-resolved atoms (avoids a
+    /// [`PimQueryEngine::plan`] from an already-resolved DNF (avoids a
     /// second resolution pass inside [`PimQueryEngine::run`]).
-    fn plan_resolved(&self, resolved: &[bbpim_db::plan::ResolvedAtom]) -> PageSet {
+    fn plan_resolved(&self, dnf: &[Vec<bbpim_db::plan::ResolvedAtom>]) -> PageSet {
         if !self.pruning {
             return PageSet::all(self.loaded.page_count());
         }
-        plan_pages(&FilterBounds::from_atoms(resolved), &self.loaded)
+        plan_pages(&FilterBounds::from_dnf(dnf), &self.loaded)
     }
 
     /// The fitted GROUP-BY model, if calibrated.
@@ -183,23 +183,36 @@ impl PimQueryEngine {
 
     /// Execute one query.
     ///
-    /// The physical plan comes first: the filter's bound intervals are
-    /// tested against the per-page zone maps and only candidate pages
-    /// are dispatched — pruned pages draw no crossbar ops, no host read
-    /// lines and no per-page orchestration time, while the answer stays
-    /// bit-identical to exhaustive execution.
+    /// The physical plan comes first: the filter's bound intervals
+    /// (interval union across OR branches) are tested against the
+    /// per-page zone maps and only candidate pages are dispatched —
+    /// pruned pages draw no crossbar ops, no host read lines and no
+    /// per-page orchestration time, while the answer stays bit-identical
+    /// to exhaustive execution.
+    ///
+    /// The filter mask is computed **once** and shared by every
+    /// aggregate of the SELECT list; extra aggregates are charged their
+    /// own value reads and reductions, never extra filter passes.
     ///
     /// # Errors
     ///
     /// [`CoreError::NotCalibrated`] for GROUP BY queries before
     /// [`PimQueryEngine::calibrate`]; substrate failures otherwise.
     pub fn run(&mut self, query: &Query) -> Result<QueryExecution, CoreError> {
-        let resolved = query.resolve_filter(self.relation.schema())?;
-        let pages = self.plan_resolved(&resolved);
-        let atoms: Vec<_> = resolved
+        let plan = query.physical_plan().map_err(CoreError::Db)?;
+        let schema = self.relation.schema();
+        let dnf = query.resolve_filter(schema)?;
+        let pages = self.plan_resolved(&dnf);
+        let disjuncts: Vec<Vec<(bbpim_db::plan::ResolvedAtom, AttrPlacement)>> = dnf
             .into_iter()
-            .zip(query.filter.iter())
-            .map(|(a, raw)| Ok((a, self.layout.placement(raw.attr())?)))
+            .map(|conj| {
+                conj.into_iter()
+                    .map(|atom| {
+                        let name = &schema.attrs()[atom.attr_index()].name;
+                        Ok((atom, self.layout.placement(name)?))
+                    })
+                    .collect::<Result<Vec<_>, CoreError>>()
+            })
             .collect::<Result<_, CoreError>>()?;
 
         let all_pages = self.loaded.all_pages();
@@ -214,9 +227,9 @@ impl PimQueryEngine {
         ));
 
         let outcome =
-            run_filter(&mut self.module, &self.layout, &self.loaded, &atoms, &pages, &mut log)?;
+            run_filter(&mut self.module, &self.layout, &self.loaded, &disjuncts, &pages, &mut log)?;
 
-        let mut groups = GroupedResult::new();
+        let mut per_agg: Vec<GroupedResult> = vec![GroupedResult::new(); plan.aggs.len()];
         let (mut k, mut kmax, mut sampled) = (0usize, 0usize, 0usize);
         if query.has_group_by() {
             let model = self.model.as_ref().ok_or(CoreError::NotCalibrated)?;
@@ -228,38 +241,72 @@ impl PimQueryEngine {
                 &self.relation,
                 self.mode,
                 query,
+                &plan,
                 model,
                 &mut log,
             )?;
-            groups = gb.groups;
+            per_agg = gb.per_agg;
             k = gb.k;
             kmax = gb.kmax;
             sampled = gb.sampled;
         } else if outcome.selected > 0 {
-            // Q1-style: one PIM aggregation over the whole selection.
-            let input = materialize_expr(
+            // Q1-style: one PIM aggregation per physical component over
+            // the whole selection, all sharing the query mask. Distinct
+            // expressions materialise once even when several components
+            // reduce them; COUNT is the filter pass's own popcount — no
+            // extra PIM work.
+            let exprs: Vec<&bbpim_db::plan::AggExpr> =
+                plan.aggs.iter().filter_map(|a| a.expr.as_ref()).collect();
+            let inputs = materialize_exprs(
                 &mut self.module,
                 &self.layout,
                 &self.loaded,
                 &pages,
-                &query.agg_expr,
+                &exprs,
                 &mut log,
             )?;
-            let value = aggregate_masked(
-                &mut self.module,
-                &self.layout,
-                &self.loaded,
-                &pages,
-                self.mode,
-                &input,
-                MASK_COL,
-                query.agg_func,
-                &mut log,
-            )?;
-            groups.insert(Vec::new(), value);
+            let mut inputs_iter = inputs.into_iter();
+            for (agg, grouped) in plan.aggs.iter().zip(per_agg.iter_mut()) {
+                let value = match &agg.expr {
+                    None => outcome.selected,
+                    Some(_) => {
+                        let input = inputs_iter.next().expect("one input per expression");
+                        // run_filter leaves the query mask in partition 0
+                        // only; a value stored elsewhere cannot be
+                        // reduced under it.
+                        if input.partition != 0 {
+                            return Err(CoreError::Unsupported(
+                                "aggregating dimension-partition attributes (the query mask \
+                                 lives in the fact partition)"
+                                    .into(),
+                            ));
+                        }
+                        aggregate_masked(
+                            &mut self.module,
+                            &self.layout,
+                            &self.loaded,
+                            &pages,
+                            self.mode,
+                            &input,
+                            MASK_COL,
+                            agg.func,
+                            &mut log,
+                        )?
+                    }
+                };
+                grouped.insert(Vec::new(), value);
+            }
             k = 1;
             kmax = 1;
         }
+
+        let groups = plan.finalize(&per_agg);
+        let partials: Vec<PartialGroups> = plan
+            .aggs
+            .iter()
+            .zip(per_agg)
+            .map(|(agg, grouped)| PartialGroups { func: agg.func, groups: grouped })
+            .collect();
 
         let report = QueryReport {
             query_id: query.id.clone(),
@@ -279,7 +326,7 @@ impl PimQueryEngine {
             pim_agg_subgroups: k as u64,
             phases: log,
         };
-        Ok(QueryExecution { groups, report })
+        Ok(QueryExecution { groups, partials, report })
     }
 
     /// Execute an UPDATE via the PIM multiplexer (Algorithm 1). The
@@ -330,8 +377,10 @@ impl PimQueryEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bbpim_db::plan::{AggExpr, AggFunc, Atom};
+    use bbpim_db::builder::col;
+    use bbpim_db::plan::{AggExpr, AggFunc, Atom, SelectItem};
     use bbpim_db::schema::{Attribute, Schema};
+    use bbpim_sim::timeline::PhaseKind;
 
     fn relation(rows: u64) -> Relation {
         let schema = Schema::new(
@@ -358,26 +407,26 @@ mod tests {
     }
 
     fn q1_like() -> Query {
-        Query {
-            id: "q1".into(),
-            filter: vec![
+        Query::single(
+            "q1",
+            vec![
                 Atom::Eq { attr: "d_year".into(), value: 3u64.into() },
                 Atom::Between { attr: "lo_disc".into(), lo: 1u64.into(), hi: 3u64.into() },
             ],
-            group_by: vec![],
-            agg_func: AggFunc::Sum,
-            agg_expr: AggExpr::Mul("lo_price".into(), "lo_disc".into()),
-        }
+            vec![],
+            AggFunc::Sum,
+            AggExpr::mul("lo_price", "lo_disc"),
+        )
     }
 
     fn q2_like() -> Query {
-        Query {
-            id: "q2".into(),
-            filter: vec![Atom::Gt { attr: "lo_price".into(), value: 60u64.into() }],
-            group_by: vec!["d_year".into(), "d_brand".into()],
-            agg_func: AggFunc::Sum,
-            agg_expr: AggExpr::Attr("lo_price".into()),
-        }
+        Query::single(
+            "q2",
+            vec![Atom::Gt { attr: "lo_price".into(), value: 60u64.into() }],
+            vec!["d_year".into(), "d_brand".into()],
+            AggFunc::Sum,
+            AggExpr::attr("lo_price"),
+        )
     }
 
     #[test]
@@ -402,6 +451,95 @@ mod tests {
     }
 
     #[test]
+    fn multi_aggregate_query_shares_one_filter_pass() {
+        // SUM + COUNT + AVG + MAX over one filter: results equal the
+        // four single-aggregate runs, while the filter's PIM program
+        // runs once.
+        for mode in [EngineMode::OneXb, EngineMode::TwoXb] {
+            let mut e = engine(mode);
+            let combined = Query::select([
+                SelectItem::sum("revenue", AggExpr::mul("lo_price", "lo_disc")),
+                SelectItem::count("orders"),
+                SelectItem::avg("avg_price", AggExpr::attr("lo_price")),
+                SelectItem::max("max_price", AggExpr::attr("lo_price")),
+            ])
+            .id("combo")
+            .filter(col("d_year").eq(3u64).and(col("lo_disc").between(1u64, 3u64)))
+            .build(e.relation().schema())
+            .unwrap();
+            let out = e.run_checked(&combined).unwrap();
+            let row = out.groups.get(&Vec::new()).unwrap().clone();
+            // compare column-wise against dedicated single-aggregate runs
+            let singles = [
+                (AggFunc::Sum, Some(AggExpr::mul("lo_price", "lo_disc"))),
+                (AggFunc::Count, None),
+                (AggFunc::Avg, Some(AggExpr::attr("lo_price"))),
+                (AggFunc::Max, Some(AggExpr::attr("lo_price"))),
+            ];
+            for (i, (func, expr)) in singles.into_iter().enumerate() {
+                let q = Query {
+                    id: format!("single{i}"),
+                    filter: combined.filter.clone(),
+                    group_by: vec![],
+                    select: vec![SelectItem { name: "value".into(), func, expr }],
+                };
+                let single = e.run_checked(&q).unwrap();
+                assert_eq!(single.groups[&Vec::new()][0], row[i], "{mode:?} column {i} ({func:?})");
+            }
+            // exactly one filter program before any aggregation: the
+            // PimLogic phases are 1 (filter) + ≤1 per materialised
+            // expression — never one filter per aggregate.
+            let pim_logic =
+                out.report.phases.phases().iter().filter(|p| p.kind == PhaseKind::PimLogic).count();
+            let dim_filter = usize::from(mode == EngineMode::TwoXb); // dim-side program
+            assert!(
+                pim_logic <= 1 + dim_filter + 2,
+                "{mode:?}: {pim_logic} PimLogic phases (filter must not repeat per aggregate)"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_expression_materialises_once_without_group_by() {
+        // SUM and MAX over the same computed product: one filter program
+        // plus exactly one arithmetic program — never one per aggregate.
+        let mut e = engine(EngineMode::OneXb);
+        let q = Query::select([
+            SelectItem::sum("total", AggExpr::mul("lo_price", "lo_disc")),
+            SelectItem::max("peak", AggExpr::mul("lo_price", "lo_disc")),
+        ])
+        .id("shared-expr")
+        .filter(col("lo_price").gt(10u64))
+        .build(e.relation().schema())
+        .unwrap();
+        let out = e.run_checked(&q).unwrap();
+        let pim_logic =
+            out.report.phases.phases().iter().filter(|p| p.kind == PhaseKind::PimLogic).count();
+        assert_eq!(pim_logic, 2, "filter + one shared materialisation");
+    }
+
+    #[test]
+    fn disjunctive_filter_end_to_end() {
+        let mut e = engine(EngineMode::OneXb);
+        let q = Query::select([
+            SelectItem::sum("total", AggExpr::attr("lo_price")),
+            SelectItem::count("n"),
+        ])
+        .id("or-query")
+        .filter(
+            col("d_year")
+                .eq(1u64)
+                .and(col("lo_disc").lt(3u64))
+                .or(col("d_year").eq(5u64).and(col("lo_disc").gt(7u64))),
+        )
+        .build(e.relation().schema())
+        .unwrap();
+        let out = e.run_checked(&q).unwrap();
+        assert!(!out.groups.is_empty());
+        assert!(out.report.selected > 0);
+    }
+
+    #[test]
     fn group_by_requires_calibration() {
         let mut e =
             PimQueryEngine::new(SimConfig::small_for_tests(), relation(500), EngineMode::OneXb)
@@ -415,7 +553,10 @@ mod tests {
     fn empty_selection_returns_empty_groups() {
         let mut e = engine(EngineMode::OneXb);
         let mut q = q1_like();
-        q.filter = vec![Atom::Gt { attr: "lo_price".into(), value: 254u64.into() }];
+        q.filter = bbpim_db::plan::Pred::all(vec![Atom::Gt {
+            attr: "lo_price".into(),
+            value: 254u64.into(),
+        }]);
         let out = e.run(&q).unwrap();
         assert!(out.groups.is_empty());
         assert_eq!(out.report.selected, 0);
@@ -450,17 +591,13 @@ mod tests {
     #[test]
     fn pruned_run_is_bit_identical_and_cheaper() {
         let rel = sorted_relation(1500);
-        let q = Query {
-            id: "probe".into(),
-            filter: vec![Atom::Between {
-                attr: "lo_price".into(),
-                lo: 300u64.into(),
-                hi: 400u64.into(),
-            }],
-            group_by: vec![],
-            agg_func: AggFunc::Sum,
-            agg_expr: AggExpr::Attr("lo_price".into()),
-        };
+        let q = Query::single(
+            "probe",
+            vec![Atom::Between { attr: "lo_price".into(), lo: 300u64.into(), hi: 400u64.into() }],
+            vec![],
+            AggFunc::Sum,
+            AggExpr::attr("lo_price"),
+        );
         let mut e =
             PimQueryEngine::new(SimConfig::small_for_tests(), rel.clone(), EngineMode::OneXb)
                 .unwrap();
@@ -474,7 +611,6 @@ mod tests {
         assert_eq!(exhaustive.report.pages_scanned, exhaustive.report.pages);
         assert!(pruned.report.time_ns < exhaustive.report.time_ns);
         assert!(pruned.report.energy_pj < exhaustive.report.energy_pj);
-        use bbpim_sim::timeline::PhaseKind;
         assert!(
             pruned.report.phases.time_in(PhaseKind::HostDispatch)
                 < exhaustive.report.phases.time_in(PhaseKind::HostDispatch)
@@ -482,15 +618,40 @@ mod tests {
     }
 
     #[test]
+    fn or_of_ranges_prunes_the_gap() {
+        // two value windows with a wide gap: the planner must dispatch
+        // the windows' pages only, and the answer must stay identical to
+        // exhaustive execution.
+        let rel = sorted_relation(1500);
+        let q = Query::select([
+            SelectItem::sum("total", AggExpr::attr("lo_price")),
+            SelectItem::count("n"),
+        ])
+        .id("or-ranges")
+        .filter(col("lo_price").between(0u64, 80u64).or(col("lo_price").between(1300u64, 1400u64)))
+        .build(rel.schema())
+        .unwrap();
+        let mut e =
+            PimQueryEngine::new(SimConfig::small_for_tests(), rel, EngineMode::OneXb).unwrap();
+        let pruned = e.run_checked(&q).unwrap();
+        // 256 records/page: window one is page 0, window two page 5
+        assert_eq!(pruned.report.pages_scanned, 2);
+        e.set_pruning(false);
+        let exhaustive = e.run_checked(&q).unwrap();
+        assert_eq!(pruned.groups, exhaustive.groups);
+        assert!(pruned.report.energy_pj < exhaustive.report.energy_pj);
+    }
+
+    #[test]
     fn unsatisfiable_filter_dispatches_nothing() {
         let rel = sorted_relation(600);
-        let q = Query {
-            id: "never".into(),
-            filter: vec![Atom::Lt { attr: "lo_price".into(), value: 0u64.into() }],
-            group_by: vec![],
-            agg_func: AggFunc::Sum,
-            agg_expr: AggExpr::Attr("lo_price".into()),
-        };
+        let q = Query::single(
+            "never",
+            vec![Atom::Lt { attr: "lo_price".into(), value: 0u64.into() }],
+            vec![],
+            AggFunc::Sum,
+            AggExpr::attr("lo_price"),
+        );
         let mut e =
             PimQueryEngine::new(SimConfig::small_for_tests(), rel, EngineMode::OneXb).unwrap();
         let out = e.run_checked(&q).unwrap();
@@ -504,13 +665,13 @@ mod tests {
     fn update_widens_zones_so_pruning_stays_sound() {
         let rel = sorted_relation(1500);
         // probe for a value that exists only after the update
-        let q = Query {
-            id: "post".into(),
-            filter: vec![Atom::Eq { attr: "lo_price".into(), value: 4000u64.into() }],
-            group_by: vec![],
-            agg_func: AggFunc::Sum,
-            agg_expr: AggExpr::Attr("d_year".into()),
-        };
+        let q = Query::single(
+            "post",
+            vec![Atom::Eq { attr: "lo_price".into(), value: 4000u64.into() }],
+            vec![],
+            AggFunc::Sum,
+            AggExpr::attr("d_year"),
+        );
         let mut e =
             PimQueryEngine::new(SimConfig::small_for_tests(), rel, EngineMode::OneXb).unwrap();
         assert_eq!(e.run_checked(&q).unwrap().report.pages_scanned, 0);
@@ -531,13 +692,13 @@ mod tests {
     #[test]
     fn pruned_group_by_matches_exhaustive() {
         let rel = sorted_relation(1500);
-        let q = Query {
-            id: "gb".into(),
-            filter: vec![Atom::Lt { attr: "lo_price".into(), value: 500u64.into() }],
-            group_by: vec!["d_year".into()],
-            agg_func: AggFunc::Sum,
-            agg_expr: AggExpr::Attr("lo_price".into()),
-        };
+        let q = Query::single(
+            "gb",
+            vec![Atom::Lt { attr: "lo_price".into(), value: 500u64.into() }],
+            vec!["d_year".into()],
+            AggFunc::Sum,
+            AggExpr::attr("lo_price"),
+        );
         let mut e =
             PimQueryEngine::new(SimConfig::small_for_tests(), rel, EngineMode::OneXb).unwrap();
         e.calibrate(&CalibrationConfig::tiny_for_tests()).unwrap();
@@ -558,25 +719,37 @@ mod tests {
         rel.push_row(&[1, 123_456_789]).unwrap();
         let mut e =
             PimQueryEngine::new(SimConfig::small_for_tests(), rel, EngineMode::OneXb).unwrap();
-        let q = Query {
-            id: "t".into(),
-            filter: vec![Atom::Eq { attr: "c_phone".into(), value: 123_456_789u64.into() }],
-            group_by: vec![],
-            agg_func: AggFunc::Sum,
-            agg_expr: AggExpr::Attr("lo_v".into()),
-        };
+        let q = Query::single(
+            "t",
+            vec![Atom::Eq { attr: "c_phone".into(), value: 123_456_789u64.into() }],
+            vec![],
+            AggFunc::Sum,
+            AggExpr::attr("lo_v"),
+        );
         assert!(matches!(e.run(&q), Err(CoreError::Unsupported(_))));
     }
 
     #[test]
     fn unknown_attribute_is_a_db_error() {
         let mut e = engine(EngineMode::OneXb);
+        let q = Query::single(
+            "t",
+            vec![Atom::Eq { attr: "nope".into(), value: 1u64.into() }],
+            vec![],
+            AggFunc::Sum,
+            AggExpr::attr("lo_price"),
+        );
+        assert!(matches!(e.run(&q), Err(CoreError::Db(_))));
+    }
+
+    #[test]
+    fn empty_select_list_is_a_db_error() {
+        let mut e = engine(EngineMode::OneXb);
         let q = Query {
             id: "t".into(),
-            filter: vec![Atom::Eq { attr: "nope".into(), value: 1u64.into() }],
+            filter: bbpim_db::plan::Pred::always(),
             group_by: vec![],
-            agg_func: AggFunc::Sum,
-            agg_expr: AggExpr::Attr("lo_price".into()),
+            select: vec![],
         };
         assert!(matches!(e.run(&q), Err(CoreError::Db(_))));
     }
@@ -622,13 +795,13 @@ mod tests {
         .unwrap();
         let mut e = PimQueryEngine::with_layout(cfg, rel, EngineMode::TwoXb, layout).unwrap();
         e.calibrate(&CalibrationConfig::tiny_for_tests()).unwrap();
-        let q = Query {
-            id: "t".into(),
-            filter: vec![Atom::Gt { attr: "lo_price".into(), value: 40u64.into() }],
-            group_by: vec!["d_brand".into()],
-            agg_func: AggFunc::Sum,
-            agg_expr: AggExpr::Attr("lo_price".into()),
-        };
+        let q = Query::single(
+            "t",
+            vec![Atom::Gt { attr: "lo_price".into(), value: 40u64.into() }],
+            vec!["d_brand".into()],
+            AggFunc::Sum,
+            AggExpr::attr("lo_price"),
+        );
         let out = e.run_checked(&q).unwrap();
         assert!(!out.groups.is_empty());
     }

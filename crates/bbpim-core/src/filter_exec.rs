@@ -1,13 +1,20 @@
-//! Filter execution: compile the query's conjunction to bulk-bitwise
-//! microprograms and leave a one-bit mask per record.
+//! Filter execution: compile the query's filter (in disjunctive normal
+//! form) to bulk-bitwise microprograms and leave a one-bit mask per
+//! record.
 //!
-//! In `one-xb` mode a single program evaluates every atom and ANDs in
-//! the validity bit. In `two-xb` mode each partition evaluates its own
-//! atoms; the dimension-side mask is then *transferred through the
-//! host* — read as cache lines, rewritten into the fact partition's
-//! transfer chunk — before the fact-side program combines everything
-//! into the final mask (the inter-partition traffic Section III
-//! predicts vertical partitioning will pay).
+//! In `one-xb` mode a single program evaluates every DNF disjunct (a
+//! conjunction of atoms), ORs the disjunct terms together and ANDs in
+//! the validity bit. In `two-xb` mode each disjunct is evaluated in
+//! sequence: its dimension-side atoms produce a mask that is
+//! *transferred through the host* — read as cache lines, rewritten into
+//! the fact partition's transfer chunk — before the fact-side program
+//! combines the disjunct and ORs it into the accumulated mask (the
+//! inter-partition traffic Section III predicts vertical partitioning
+//! will pay, now once per disjunct that touches a dimension).
+//!
+//! Either way the mask is built **once per query** and reused by every
+//! aggregate in the SELECT list — the multi-aggregate surface's whole
+//! point: aggregates cost aggregate passes, not extra filter passes.
 
 use bbpim_db::plan::ResolvedAtom;
 use bbpim_sim::compiler::predicate;
@@ -17,7 +24,7 @@ use bbpim_sim::module::{PageId, PimModule};
 use bbpim_sim::timeline::RunLog;
 
 use crate::error::CoreError;
-use crate::layout::{RecordLayout, MASK_COL, TRANSFER_COL, VALID_COL};
+use crate::layout::{AttrPlacement, RecordLayout, MASK_COL, TRANSFER_COL, VALID_COL};
 use crate::loader::LoadedRelation;
 use crate::planner::PageSet;
 
@@ -60,11 +67,12 @@ pub fn copy_col(b: &mut CodeBuilder<'_>, src: usize, dst: usize) -> Result<(), C
     Ok(())
 }
 
-/// Build the program that evaluates `atoms` (pre-resolved to column
-/// ranges of this partition), ANDs in `and_cols` (validity, transferred
-/// masks…), and writes the result to `dst_col`. Uses the partition's
-/// whole scratch region — see [`build_mask_program_in`] when part of the
-/// scratch is reserved (e.g. by a materialised aggregate expression).
+/// Build the program that evaluates the conjunction `atoms`
+/// (pre-resolved to column ranges of this partition), ANDs in
+/// `and_cols` (validity, transferred masks…), and writes the result to
+/// `dst_col`. Uses the partition's whole scratch region — see
+/// [`build_mask_program_in`] when part of the scratch is reserved (e.g.
+/// by a materialised aggregate expression).
 ///
 /// # Errors
 ///
@@ -90,6 +98,23 @@ pub fn build_mask_program_in(
     and_cols: &[usize],
     dst_col: usize,
 ) -> Result<Microprogram, CoreError> {
+    build_accumulate_program_in(scratch, atoms, and_cols, dst_col, false)
+}
+
+/// Build the program for one DNF disjunct: `conj(atoms) AND and_cols`,
+/// optionally ORed into the current contents of `dst_col` (the
+/// accumulation step of multi-disjunct two-xb filtering).
+///
+/// # Errors
+///
+/// Propagates compiler failures.
+pub fn build_accumulate_program_in(
+    scratch: ColRange,
+    atoms: &[(ResolvedAtom, ColRange)],
+    and_cols: &[usize],
+    dst_col: usize,
+    accumulate: bool,
+) -> Result<Microprogram, CoreError> {
     let mut pool = ScratchPool::new(scratch);
     let mut b = CodeBuilder::new(&mut pool);
     let mut terms: Vec<usize> = Vec::with_capacity(atoms.len() + and_cols.len());
@@ -97,7 +122,72 @@ pub fn build_mask_program_in(
         terms.push(compile_atom(&mut b, atom, *range)?);
     }
     terms.extend_from_slice(and_cols);
-    let combined = b.emit_and_many(&terms)?;
+    let conj = b.emit_and_many(&terms)?;
+    let result = if accumulate {
+        let ored = b.emit_or(conj, dst_col)?;
+        b.release(conj);
+        ored
+    } else {
+        conj
+    };
+    copy_col(&mut b, result, dst_col)?;
+    b.release(result);
+    Ok(b.finish())
+}
+
+/// Build one program evaluating a whole DNF inside a single partition:
+/// each disjunct's conjunction term, OR across disjuncts, AND
+/// `and_cols`, result to `dst_col`. An empty conjunction contributes a
+/// constant-true term; zero disjuncts write an all-false mask.
+///
+/// # Errors
+///
+/// Propagates compiler failures.
+pub fn build_dnf_mask_program_in(
+    scratch: ColRange,
+    disjuncts: &[Vec<(ResolvedAtom, ColRange)>],
+    and_cols: &[usize],
+    dst_col: usize,
+) -> Result<Microprogram, CoreError> {
+    let mut pool = ScratchPool::new(scratch);
+    let mut b = CodeBuilder::new(&mut pool);
+    if disjuncts.is_empty() {
+        // FALSE: an executed filter must still leave a well-defined
+        // (all-false) mask on the touched pages.
+        let zero = b.zero()?;
+        copy_col(&mut b, zero, dst_col)?;
+        return Ok(b.finish());
+    }
+    let mut terms: Vec<usize> = Vec::with_capacity(disjuncts.len());
+    for conj in disjuncts {
+        if conj.is_empty() {
+            terms.push(b.one()?);
+            continue;
+        }
+        let mut atom_cols: Vec<usize> = Vec::with_capacity(conj.len());
+        for (atom, range) in conj {
+            atom_cols.push(compile_atom(&mut b, atom, *range)?);
+        }
+        let term = b.emit_and_many(&atom_cols)?;
+        for c in atom_cols {
+            b.release(c);
+        }
+        terms.push(term);
+    }
+    let selected = if terms.len() == 1 {
+        terms[0]
+    } else {
+        let ored = b.emit_or_many(terms.clone())?;
+        for c in terms {
+            b.release(c);
+        }
+        ored
+    };
+    let mut all: Vec<usize> = Vec::with_capacity(1 + and_cols.len());
+    all.push(selected);
+    all.extend_from_slice(and_cols);
+    let combined = b.emit_and_many(&all)?;
+    b.release(selected);
     copy_col(&mut b, combined, dst_col)?;
     b.release(combined);
     Ok(b.finish())
@@ -146,12 +236,13 @@ pub fn mask_read_lines(module: &PimModule, pages: &[PageId]) -> u64 {
     pages.len() as u64 * module.config().crossbar_rows as u64
 }
 
-/// Execute the query filter over the *planned* pages, leaving the final
-/// mask in partition 0's [`MASK_COL`] of those pages. Pruned pages are
-/// never touched: no program executes on them and their records count
-/// as unselected (sound, because the planner proved they cannot match).
-/// Pushes every phase (PIM programs, transfer reads and writes) to
-/// `log`; an empty plan pushes nothing and selects nothing.
+/// Execute the query filter (resolved DNF, placements attached) over
+/// the *planned* pages, leaving the final mask in partition 0's
+/// [`MASK_COL`] of those pages. Pruned pages are never touched: no
+/// program executes on them and their records count as unselected
+/// (sound, because the planner proved they cannot match). Pushes every
+/// phase (PIM programs, transfer reads and writes) to `log`; an empty
+/// plan pushes nothing and selects nothing.
 ///
 /// # Errors
 ///
@@ -161,44 +252,64 @@ pub fn run_filter(
     module: &mut PimModule,
     layout: &RecordLayout,
     loaded: &LoadedRelation,
-    atoms: &[(ResolvedAtom, crate::layout::AttrPlacement)],
+    disjuncts: &[Vec<(ResolvedAtom, AttrPlacement)>],
     pages: &PageSet,
     log: &mut RunLog,
 ) -> Result<FilterOutcome, CoreError> {
     if pages.is_empty() {
         return Ok(FilterOutcome { selected: 0, selectivity: 0.0 });
     }
-    let mut per_partition: Vec<Vec<(ResolvedAtom, ColRange)>> =
-        vec![Vec::new(); layout.partitions()];
-    for (atom, placement) in atoms {
-        per_partition[placement.partition].push((atom.clone(), placement.range));
-    }
-
     let fact_pages = pages.ids(loaded, 0);
+
     if layout.partitions() == 1 {
-        let prog = build_mask_program(layout, 0, &per_partition[0], &[VALID_COL], MASK_COL)?;
-        let phase = module.exec_program(&fact_pages, &prog)?;
-        log.push(phase);
+        let ranged: Vec<Vec<(ResolvedAtom, ColRange)>> = disjuncts
+            .iter()
+            .map(|conj| conj.iter().map(|(a, p)| (a.clone(), p.range)).collect())
+            .collect();
+        let prog = build_dnf_mask_program_in(layout.scratch(0), &ranged, &[VALID_COL], MASK_COL)?;
+        log.push(module.exec_program(&fact_pages, &prog)?);
+    } else if disjuncts.is_empty() {
+        // FALSE filter under exhaustive dispatch: all-false fact mask.
+        let prog = build_dnf_mask_program_in(layout.scratch(0), &[], &[VALID_COL], MASK_COL)?;
+        log.push(module.exec_program(&fact_pages, &prog)?);
     } else {
-        let dim_atoms = &per_partition[1];
-        let mut fact_and = vec![VALID_COL];
-        if !dim_atoms.is_empty() {
-            // Dimension-side mask…
-            let dim_pages = pages.ids(loaded, 1);
-            let prog = build_mask_program(layout, 1, dim_atoms, &[VALID_COL], MASK_COL)?;
-            let phase = module.exec_program(&dim_pages, &prog)?;
-            log.push(phase);
-            // …travels through the host into the fact partition.
-            let bits = mask_bits(module, loaded, pages, 1, MASK_COL);
-            let lines = mask_read_lines(module, &dim_pages);
-            log.push(module.host_read_phase(lines));
-            write_transfer_bits(module, loaded, &bits, pages)?;
-            log.push(module.host_write_phase(lines));
-            fact_and.push(TRANSFER_COL);
+        // two-xb: evaluate disjunct by disjunct, ORing into the fact
+        // mask. Each disjunct's dimension-side conjunction travels
+        // through the host once.
+        for (i, conj) in disjuncts.iter().enumerate() {
+            let mut fact_atoms: Vec<(ResolvedAtom, ColRange)> = Vec::new();
+            let mut dim_atoms: Vec<(ResolvedAtom, ColRange)> = Vec::new();
+            for (atom, placement) in conj {
+                let entry = (atom.clone(), placement.range);
+                if placement.partition == 0 {
+                    fact_atoms.push(entry);
+                } else {
+                    dim_atoms.push(entry);
+                }
+            }
+            let mut fact_and = vec![VALID_COL];
+            if !dim_atoms.is_empty() {
+                // Dimension-side conjunction of this disjunct…
+                let dim_pages = pages.ids(loaded, 1);
+                let prog = build_mask_program(layout, 1, &dim_atoms, &[VALID_COL], MASK_COL)?;
+                log.push(module.exec_program(&dim_pages, &prog)?);
+                // …travels through the host into the fact partition.
+                let bits = mask_bits(module, loaded, pages, 1, MASK_COL);
+                let lines = mask_read_lines(module, &dim_pages);
+                log.push(module.host_read_phase(lines));
+                write_transfer_bits(module, loaded, &bits, pages)?;
+                log.push(module.host_write_phase(lines));
+                fact_and.push(TRANSFER_COL);
+            }
+            let prog = build_accumulate_program_in(
+                layout.scratch(0),
+                &fact_atoms,
+                &fact_and,
+                MASK_COL,
+                i > 0,
+            )?;
+            log.push(module.exec_program(&fact_pages, &prog)?);
         }
-        let prog = build_mask_program(layout, 0, &per_partition[0], &fact_and, MASK_COL)?;
-        let phase = module.exec_program(&fact_pages, &prog)?;
-        log.push(phase);
     }
 
     let selected = count_mask_bits(module, &fact_pages, MASK_COL);
@@ -256,7 +367,8 @@ mod tests {
     use crate::layout::RecordLayout;
     use crate::loader::load_relation;
     use crate::modes::EngineMode;
-    use bbpim_db::plan::{Atom, Query};
+    use bbpim_db::builder::col;
+    use bbpim_db::plan::{Atom, Query, SelectItem};
     use bbpim_db::schema::{Attribute, Schema};
     use bbpim_db::Relation;
     use bbpim_sim::SimConfig;
@@ -275,28 +387,38 @@ mod tests {
         (module, rel, layout, loaded)
     }
 
+    /// Resolve a query's DNF with placements (what the engine hands
+    /// `run_filter`).
     fn resolved(
         query: &Query,
         rel: &Relation,
         layout: &RecordLayout,
-    ) -> Vec<(ResolvedAtom, crate::layout::AttrPlacement)> {
+    ) -> Vec<Vec<(ResolvedAtom, AttrPlacement)>> {
+        let schema = rel.schema();
         query
-            .resolve_filter(rel.schema())
+            .resolve_filter(schema)
             .unwrap()
             .into_iter()
-            .zip(query.filter.iter())
-            .map(|(atom, raw)| (atom, layout.placement(raw.attr()).unwrap()))
+            .map(|conj| {
+                conj.into_iter()
+                    .map(|atom| {
+                        let name = &schema.attrs()[atom.attr_index()].name;
+                        let placement = layout.placement(name).unwrap();
+                        (atom, placement)
+                    })
+                    .collect()
+            })
             .collect()
     }
 
     fn query(filter: Vec<Atom>) -> Query {
-        Query {
-            id: "t".into(),
+        Query::single(
+            "t",
             filter,
-            group_by: vec![],
-            agg_func: bbpim_db::plan::AggFunc::Sum,
-            agg_expr: bbpim_db::plan::AggExpr::Attr("lo_v".into()),
-        }
+            vec![],
+            bbpim_db::plan::AggFunc::Sum,
+            bbpim_db::plan::AggExpr::attr("lo_v"),
+        )
     }
 
     #[test]
@@ -316,6 +438,56 @@ mod tests {
         let mask = mask_bits(&module, &loaded, &pages, 0, MASK_COL);
         assert_eq!(mask, expected);
         assert!(log.total_time_ns() > 0.0);
+    }
+
+    #[test]
+    fn disjunctive_filter_matches_oracle_both_modes() {
+        for mode in [EngineMode::OneXb, EngineMode::TwoXb] {
+            let (mut module, rel, layout, loaded) = setup(mode);
+            // (lo_v < 30 AND d_g = 2) OR (lo_v > 150) OR (d_g = 7)
+            let q = Query::select([SelectItem::count("n")])
+                .filter(
+                    col("lo_v")
+                        .lt(30u64)
+                        .and(col("d_g").eq(2u64))
+                        .or(col("lo_v").gt(150u64))
+                        .or(col("d_g").eq(7u64)),
+                )
+                .build(rel.schema())
+                .unwrap();
+            let atoms = resolved(&q, &rel, &layout);
+            assert_eq!(atoms.len(), 3, "three disjuncts");
+            let mut log = RunLog::new();
+            let pages = PageSet::all(loaded.page_count());
+            let out = run_filter(&mut module, &layout, &loaded, &atoms, &pages, &mut log).unwrap();
+            let expected = bbpim_db::stats::filter_bitvec(&q, &rel).unwrap();
+            assert_eq!(out.selected, expected.iter().filter(|b| **b).count() as u64, "{mode:?}");
+            let mask = mask_bits(&module, &loaded, &pages, 0, MASK_COL);
+            assert_eq!(mask, expected, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn two_xb_disjunction_charges_one_transfer_per_dim_disjunct() {
+        use bbpim_sim::timeline::PhaseKind;
+        let (mut module, rel, layout, loaded) = setup(EngineMode::TwoXb);
+        // two disjuncts with dimension atoms, one without
+        let q = Query::select([SelectItem::count("n")])
+            .filter(col("d_g").eq(1u64).or(col("d_g").eq(5u64)).or(col("lo_v").lt(10u64)))
+            .build(rel.schema())
+            .unwrap();
+        let atoms = resolved(&q, &rel, &layout);
+        let mut log = RunLog::new();
+        let pages = PageSet::all(loaded.page_count());
+        let out = run_filter(&mut module, &layout, &loaded, &atoms, &pages, &mut log).unwrap();
+        let expected = bbpim_db::stats::filter_bitvec(&q, &rel).unwrap();
+        assert_eq!(out.selected, expected.iter().filter(|b| **b).count() as u64);
+        // exactly two host read+write transfer pairs (the lo_v disjunct
+        // stays fact-side)
+        let reads = log.phases().iter().filter(|p| p.kind == PhaseKind::HostRead).count();
+        let writes = log.phases().iter().filter(|p| p.kind == PhaseKind::HostWrite).count();
+        assert_eq!(reads, 2);
+        assert_eq!(writes, 2);
     }
 
     #[test]
@@ -356,6 +528,20 @@ mod tests {
         .unwrap();
         use bbpim_sim::timeline::PhaseKind;
         assert_eq!(log.time_in(PhaseKind::HostRead), 0.0);
+    }
+
+    #[test]
+    fn false_filter_selects_nothing_exhaustively() {
+        // an empty DNF (Pred::Or(vec![])) run over all pages must leave
+        // an all-false mask
+        for mode in [EngineMode::OneXb, EngineMode::TwoXb] {
+            let (mut module, _rel, layout, loaded) = setup(mode);
+            let mut log = RunLog::new();
+            let pages = PageSet::all(loaded.page_count());
+            let out = run_filter(&mut module, &layout, &loaded, &[], &pages, &mut log).unwrap();
+            assert_eq!(out.selected, 0, "{mode:?}");
+            assert!(mask_bits(&module, &loaded, &pages, 0, MASK_COL).iter().all(|b| !b));
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use std::collections::BTreeMap;
 
-use bbpim_db::plan::{AggExpr, AggFunc};
+use bbpim_db::plan::{AggExpr, PhysFunc};
 use bbpim_db::schema::{Attribute, Schema};
 use bbpim_db::Relation;
 use rand::rngs::StdRng;
@@ -232,7 +232,8 @@ fn measure_pim_point(
     // per-page costs, which the planner then applies to candidate pages.
     let pages = crate::planner::PageSet::all(loaded.page_count());
     let mut pre = RunLog::new();
-    run_filter(&mut module, &layout, &loaded, &[], &pages, &mut pre)?;
+    // One empty conjunction = the TRUE filter (select everything).
+    run_filter(&mut module, &layout, &loaded, &[Vec::new()], &pages, &mut pre)?;
     let input = materialize_expr(
         &mut module,
         &layout,
@@ -244,6 +245,7 @@ fn measure_pim_point(
     let gp = vec![("d_key".to_string(), layout.placement("d_key")?)];
 
     let mut log = RunLog::new();
+    let scratch = input.scratch_left;
     run_pim_gb(
         &mut module,
         &layout,
@@ -252,8 +254,8 @@ fn measure_pim_point(
         mode,
         &gp,
         &[vec![42u64]],
-        &input,
-        AggFunc::Sum,
+        &[crate::groupby::pim_gb::PreparedAgg::Reduce { func: PhysFunc::Sum, input }],
+        scratch,
         &mut log,
     )?;
     Ok(log.total_time_ns())

@@ -4,13 +4,16 @@
 //! the group-key and aggregate-operand chunks of every selected record —
 //! with exact unique-line accounting, so dense selections amortise the
 //! 32-records-per-line layout and sparse ones pay full amplification —
-//! and folds each record into a hash table. Records whose key belongs
-//! to a PIM-aggregated subgroup are read (the key must be seen to be
-//! skipped) but not folded.
+//! and folds each record into a hash table, evaluating **every**
+//! physical aggregate of the SELECT list in the same pass (the record
+//! is already in a host register; extra aggregates cost host ALU work,
+//! not extra reads). Records whose key belongs to a PIM-aggregated
+//! subgroup are read (the key must be seen to be skipped) but not
+//! folded.
 
 use std::collections::HashSet;
 
-use bbpim_db::plan::{AggExpr, AggFunc};
+use bbpim_db::plan::{AggExpr, PhysAgg};
 use bbpim_db::stats::GroupedResult;
 use bbpim_sim::hostmem::LineSet;
 use bbpim_sim::module::PimModule;
@@ -27,11 +30,9 @@ use crate::planner::PageSet;
 pub struct HostGbRequest<'a> {
     /// GROUP BY attributes with placements (key order = plan order).
     pub group_placements: &'a [(String, AttrPlacement)],
-    /// The aggregate input expression (evaluated host-side from raw
-    /// operand attributes).
-    pub expr: &'a AggExpr,
-    /// Aggregate function.
-    pub func: AggFunc,
+    /// The physical aggregates to evaluate host-side (plan order).
+    /// `Count` components contribute 1 per selected record.
+    pub aggs: &'a [PhysAgg],
     /// Keys already aggregated in PIM — read but not folded.
     pub skip: &'a HashSet<Vec<u64>>,
 }
@@ -54,7 +55,7 @@ pub fn read_attr_value(
     Ok(page.read_record_bits(slot, placement.range.lo, placement.range.width)?)
 }
 
-/// Evaluate the aggregate expression for one record from stored bits.
+/// Evaluate an aggregate expression for one record from stored bits.
 ///
 /// # Errors
 ///
@@ -76,7 +77,9 @@ pub fn eval_expr(
 }
 
 /// Execute host-gb. Charges mask-read, record-read and host-compute
-/// phases to `log` and returns the aggregated tail groups.
+/// phases to `log` and returns the aggregated tail groups — one
+/// [`GroupedResult`] per requested physical aggregate, in request
+/// order.
 ///
 /// # Errors
 ///
@@ -88,15 +91,20 @@ pub fn run_host_gb(
     pages: &PageSet,
     req: &HostGbRequest<'_>,
     log: &mut RunLog,
-) -> Result<GroupedResult, CoreError> {
+) -> Result<Vec<GroupedResult>, CoreError> {
     // 1. Filter-result bit-vector of the planned pages only (pruned
     //    pages hold no selected records and are not read).
     let mask = mask_bits(module, loaded, pages, 0, MASK_COL);
     log.push(module.host_read_phase(mask_read_lines(module, &pages.ids(loaded, 0))));
 
-    // 2. Which chunks must be read per record: group keys + operands.
-    let read_attrs: Vec<&str> =
-        req.group_placements.iter().map(|(n, _)| n.as_str()).chain(req.expr.attrs()).collect();
+    // 2. Which chunks must be read per record: group keys + the union
+    //    of every aggregate's operands (shared operands read once).
+    let mut read_attrs: Vec<&str> = req.group_placements.iter().map(|(n, _)| n.as_str()).collect();
+    for agg in req.aggs {
+        read_attrs.extend(agg.attrs());
+    }
+    read_attrs.sort_unstable();
+    read_attrs.dedup();
     let chunk_map = layout.chunks_for(read_attrs.iter().copied())?;
 
     // 3. Exact unique-line accounting over the selected records.
@@ -126,8 +134,9 @@ pub fn run_host_gb(
     // latency-bound scattered reads, per the paper's host-gb behaviour.
     log.push(module.host_read_scattered_phase(lines.len()));
 
-    // 4. Hash aggregation at the host.
-    let mut out = GroupedResult::new();
+    // 4. Hash aggregation at the host, all physical aggregates folded
+    //    in one pass over the selected records.
+    let mut out: Vec<GroupedResult> = vec![GroupedResult::new(); req.aggs.len()];
     for (record, selected) in mask.iter().enumerate() {
         if !selected {
             continue;
@@ -139,16 +148,16 @@ pub fn run_host_gb(
         if req.skip.contains(&key) {
             continue;
         }
-        let v = eval_expr(module, layout, loaded, record, req.expr)?;
-        out.entry(key)
-            .and_modify(|acc| {
-                *acc = match req.func {
-                    AggFunc::Sum => acc.wrapping_add(v),
-                    AggFunc::Min => (*acc).min(v),
-                    AggFunc::Max => (*acc).max(v),
-                }
-            })
-            .or_insert(v);
+        for (agg, grouped) in req.aggs.iter().zip(out.iter_mut()) {
+            let v = match &agg.expr {
+                None => 1,
+                Some(expr) => eval_expr(module, layout, loaded, record, expr)?,
+            };
+            grouped
+                .entry(key.clone())
+                .and_modify(|acc| *acc = agg.func.merge(*acc, v))
+                .or_insert(v);
+        }
     }
     let per_record = cfg.host.host_agg_ns_per_record / cfg.host.threads as f64;
     log.push(Phase::host_compute(mask.iter().filter(|m| **m).count() as f64 * per_record));
@@ -162,11 +171,32 @@ mod tests {
     use crate::layout::RecordLayout;
     use crate::loader::load_relation;
     use crate::modes::EngineMode;
-    use bbpim_db::plan::{Atom, Query};
+    use bbpim_db::plan::{AggFunc, Atom, PhysFunc, Query};
     use bbpim_db::schema::{Attribute, Schema};
     use bbpim_db::stats;
     use bbpim_db::Relation;
     use bbpim_sim::SimConfig;
+
+    fn filter_dnf(
+        q: &Query,
+        rel: &Relation,
+        layout: &RecordLayout,
+    ) -> Vec<Vec<(bbpim_db::plan::ResolvedAtom, AttrPlacement)>> {
+        let schema = rel.schema();
+        q.resolve_filter(schema)
+            .unwrap()
+            .into_iter()
+            .map(|conj| {
+                conj.into_iter()
+                    .map(|a| {
+                        let name = &schema.attrs()[a.attr_index()].name;
+                        let p = layout.placement(name).unwrap();
+                        (a, p)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
 
     fn setup(mode: EngineMode) -> (PimModule, Relation, RecordLayout, LoadedRelation, Query) {
         let cfg = SimConfig::small_for_tests();
@@ -183,31 +213,29 @@ mod tests {
         for i in 0..800u64 {
             rel.push_row(&[(3 * i) % 251, i % 50, i % 9, (i / 9) % 5]).unwrap();
         }
-        let q = Query {
-            id: "t".into(),
-            filter: vec![Atom::Lt { attr: "lo_v".into(), value: 170u64.into() }],
-            group_by: vec!["d_g".into(), "d_h".into()],
-            agg_func: AggFunc::Sum,
-            agg_expr: AggExpr::Attr("lo_v".into()),
-        };
+        let q = Query::single(
+            "t",
+            vec![Atom::Lt { attr: "lo_v".into(), value: 170u64.into() }],
+            vec!["d_g".into(), "d_h".into()],
+            AggFunc::Sum,
+            AggExpr::attr("lo_v"),
+        );
         let layout = RecordLayout::build(rel.schema(), &cfg, mode, &[]).unwrap();
         let mut module = PimModule::new(cfg);
         let loaded = load_relation(&mut module, &rel, &layout).unwrap();
-        let atoms: Vec<_> = q
-            .resolve_filter(rel.schema())
-            .unwrap()
-            .into_iter()
-            .zip(q.filter.iter())
-            .map(|(a, raw)| (a, layout.placement(raw.attr()).unwrap()))
-            .collect();
+        let dnf = filter_dnf(&q, &rel, &layout);
         let mut log = RunLog::new();
         let pages = PageSet::all(loaded.page_count());
-        run_filter(&mut module, &layout, &loaded, &atoms, &pages, &mut log).unwrap();
+        run_filter(&mut module, &layout, &loaded, &dnf, &pages, &mut log).unwrap();
         (module, rel, layout, loaded, q)
     }
 
     fn placements(layout: &RecordLayout, q: &Query) -> Vec<(String, AttrPlacement)> {
         q.group_by.iter().map(|g| (g.clone(), layout.placement(g).unwrap())).collect()
+    }
+
+    fn sum_aggs(q: &Query) -> Vec<PhysAgg> {
+        q.physical_plan().unwrap().aggs
     }
 
     #[test]
@@ -216,40 +244,80 @@ mod tests {
             let (mut module, rel, layout, loaded, q) = setup(mode);
             let gp = placements(&layout, &q);
             let skip = HashSet::new();
-            let req = HostGbRequest {
-                group_placements: &gp,
-                expr: &q.agg_expr,
-                func: q.agg_func,
-                skip: &skip,
-            };
+            let aggs = sum_aggs(&q);
+            let req = HostGbRequest { group_placements: &gp, aggs: &aggs, skip: &skip };
             let mut log = RunLog::new();
             let pages = PageSet::all(loaded.page_count());
             let got = run_host_gb(&mut module, &layout, &loaded, &pages, &req, &mut log).unwrap();
-            let expected = stats::run_oracle(&q, &rel).unwrap();
-            assert_eq!(got, expected, "{mode:?}");
+            let expected = stats::column(&stats::run_oracle(&q, &rel).unwrap(), 0);
+            assert_eq!(got.len(), 1);
+            assert_eq!(got[0], expected, "{mode:?}");
             assert!(log.total_time_ns() > 0.0);
         }
+    }
+
+    #[test]
+    fn multi_aggregate_host_gb_single_pass() {
+        use bbpim_sim::timeline::PhaseKind;
+        let (mut module, rel, layout, loaded, q) = setup(EngineMode::OneXb);
+        let gp = placements(&layout, &q);
+        let skip = HashSet::new();
+        let aggs = vec![
+            PhysAgg { func: PhysFunc::Sum, expr: Some(AggExpr::attr("lo_v")) },
+            PhysAgg { func: PhysFunc::Count, expr: None },
+            PhysAgg { func: PhysFunc::Max, expr: Some(AggExpr::sub("lo_v", "lo_w")) },
+        ];
+        let req = HostGbRequest { group_placements: &gp, aggs: &aggs, skip: &skip };
+        let mut multi_log = RunLog::new();
+        let pages = PageSet::all(loaded.page_count());
+        let got = run_host_gb(&mut module, &layout, &loaded, &pages, &req, &mut multi_log).unwrap();
+        assert_eq!(got.len(), 3);
+        // reference per column
+        let mut sums = GroupedResult::new();
+        let mut counts = GroupedResult::new();
+        let mut maxs = GroupedResult::new();
+        for row in 0..rel.len() {
+            let v = rel.value(row, 0);
+            if v >= 170 {
+                continue;
+            }
+            let key = vec![rel.value(row, 2), rel.value(row, 3)];
+            let d = v.wrapping_sub(rel.value(row, 1));
+            *sums.entry(key.clone()).or_insert(0) += v;
+            *counts.entry(key.clone()).or_insert(0) += 1;
+            maxs.entry(key).and_modify(|m| *m = (*m).max(d)).or_insert(d);
+        }
+        assert_eq!(got[0], sums);
+        assert_eq!(got[1], counts);
+        assert_eq!(got[2], maxs);
+        // one record-read pass: compare against a single-aggregate run
+        // reading the same operand set — the multi run must not read per
+        // aggregate.
+        let single = vec![PhysAgg { func: PhysFunc::Sum, expr: Some(AggExpr::attr("lo_v")) }];
+        let req1 = HostGbRequest { group_placements: &gp, aggs: &single, skip: &skip };
+        let mut single_log = RunLog::new();
+        run_host_gb(&mut module, &layout, &loaded, &pages, &req1, &mut single_log).unwrap();
+        let reads = |log: &RunLog| log.time_in(PhaseKind::HostRead);
+        // the three-aggregate pass reads one extra operand (lo_w), never
+        // three times the lines
+        assert!(reads(&multi_log) < reads(&single_log) * 2.0);
     }
 
     #[test]
     fn skip_set_excludes_groups() {
         let (mut module, rel, layout, loaded, q) = setup(EngineMode::OneXb);
         let gp = placements(&layout, &q);
-        let expected = stats::run_oracle(&q, &rel).unwrap();
+        let expected = stats::column(&stats::run_oracle(&q, &rel).unwrap(), 0);
         let skipped_key = expected.keys().next().unwrap().clone();
         let mut skip = HashSet::new();
         skip.insert(skipped_key.clone());
-        let req = HostGbRequest {
-            group_placements: &gp,
-            expr: &q.agg_expr,
-            func: q.agg_func,
-            skip: &skip,
-        };
+        let aggs = sum_aggs(&q);
+        let req = HostGbRequest { group_placements: &gp, aggs: &aggs, skip: &skip };
         let mut log = RunLog::new();
         let pages = PageSet::all(loaded.page_count());
         let got = run_host_gb(&mut module, &layout, &loaded, &pages, &req, &mut log).unwrap();
-        assert!(!got.contains_key(&skipped_key));
-        assert_eq!(got.len(), expected.len() - 1);
+        assert!(!got[0].contains_key(&skipped_key));
+        assert_eq!(got[0].len(), expected.len() - 1);
     }
 
     #[test]
@@ -259,21 +327,17 @@ mod tests {
         let gp = placements(&layout, &q);
         let skip = HashSet::new();
         // dense: the filter already selected ~2/3; rerun with everything
-        q.filter.clear();
-        let atoms: Vec<_> = Vec::new();
+        q.filter = bbpim_db::plan::Pred::always();
+        let dnf = filter_dnf(&q, &rel, &layout);
         let mut log0 = RunLog::new();
         let pages = PageSet::all(loaded.page_count());
-        run_filter(&mut module, &layout, &loaded, &atoms, &pages, &mut log0).unwrap();
-        let req = HostGbRequest {
-            group_placements: &gp,
-            expr: &q.agg_expr,
-            func: q.agg_func,
-            skip: &skip,
-        };
+        run_filter(&mut module, &layout, &loaded, &dnf, &pages, &mut log0).unwrap();
+        let aggs = sum_aggs(&q);
+        let req = HostGbRequest { group_placements: &gp, aggs: &aggs, skip: &skip };
         let mut dense_log = RunLog::new();
         let dense =
             run_host_gb(&mut module, &layout, &loaded, &pages, &req, &mut dense_log).unwrap();
-        assert_eq!(dense.len(), stats::run_oracle(&q, &rel).unwrap().len());
+        assert_eq!(dense[0].len(), stats::run_oracle(&q, &rel).unwrap().len());
         use bbpim_sim::timeline::PhaseKind;
         let dense_read = dense_log.time_in(PhaseKind::HostRead);
         // dense read time is positive yet far below selected × s × line time
@@ -283,27 +347,18 @@ mod tests {
     #[test]
     fn expression_evaluated_host_side() {
         let (mut module, rel, layout, loaded, mut q) = setup(EngineMode::OneXb);
-        q.agg_expr = AggExpr::Sub("lo_v".into(), "lo_w".into());
-        q.filter = vec![Atom::Gt { attr: "lo_v".into(), value: 60u64.into() }];
-        let atoms: Vec<_> = q
-            .resolve_filter(rel.schema())
-            .unwrap()
-            .into_iter()
-            .zip(q.filter.iter())
-            .map(|(a, raw)| (a, layout.placement(raw.attr()).unwrap()))
-            .collect();
+        q.select[0].expr = Some(AggExpr::sub("lo_v", "lo_w"));
+        q.filter =
+            bbpim_db::plan::Pred::all(vec![Atom::Gt { attr: "lo_v".into(), value: 60u64.into() }]);
+        let dnf = filter_dnf(&q, &rel, &layout);
         let mut log = RunLog::new();
         let pages = PageSet::all(loaded.page_count());
-        run_filter(&mut module, &layout, &loaded, &atoms, &pages, &mut log).unwrap();
+        run_filter(&mut module, &layout, &loaded, &dnf, &pages, &mut log).unwrap();
         let gp = placements(&layout, &q);
         let skip = HashSet::new();
-        let req = HostGbRequest {
-            group_placements: &gp,
-            expr: &q.agg_expr,
-            func: q.agg_func,
-            skip: &skip,
-        };
+        let aggs = sum_aggs(&q);
+        let req = HostGbRequest { group_placements: &gp, aggs: &aggs, skip: &skip };
         let got = run_host_gb(&mut module, &layout, &loaded, &pages, &req, &mut log).unwrap();
-        assert_eq!(got, stats::run_oracle(&q, &rel).unwrap());
+        assert_eq!(got[0], stats::column(&stats::run_oracle(&q, &rel).unwrap(), 0));
     }
 }

@@ -1,9 +1,13 @@
-//! The hybrid GROUP-BY of Section IV.
+//! The hybrid GROUP-BY of Section IV, over the full SELECT list.
 //!
-//! Flow: filter (done by the caller) → [`sampling`] one page →
-//! [`cost_model`] evaluation of Eqs. (1)–(3) with tables fitted by
-//! [`calibration`] → the k largest subgroups to [`pim_gb`], the tail to
-//! [`host_gb`] → merge.
+//! Flow: filter (done by the caller, once per query) → [`sampling`] one
+//! page → [`cost_model`] evaluation of Eqs. (1)–(3) with tables fitted
+//! by [`calibration`] → the k largest subgroups to [`pim_gb`], the tail
+//! to [`host_gb`] → merge. Every physical aggregate of the SELECT list
+//! shares the same sample, the same k decision, the same per-key group
+//! masks (pim-gb) and the same record-read pass (host-gb) — extra
+//! aggregates cost extra reductions / host ALU work, never extra filter
+//! or mask passes.
 //!
 //! Candidate subgroups are ordered: keys seen in the sample (estimated
 //! size, descending), then all remaining *potential* keys (the cross
@@ -20,25 +24,27 @@ pub mod sampling;
 
 use std::collections::HashSet;
 
-use bbpim_db::plan::Query;
+use bbpim_db::plan::{PhysicalPlan, Query};
 use bbpim_db::stats::{self, GroupedResult};
 use bbpim_db::Relation;
 use bbpim_sim::module::PimModule;
 use bbpim_sim::timeline::RunLog;
 
-use crate::agg_exec::{materialize_expr, reads_per_value, AggInput};
+use crate::agg_exec::{materialize_exprs, reads_per_value, AggInput};
 use crate::error::CoreError;
 use crate::layout::{AttrPlacement, RecordLayout};
 use crate::loader::LoadedRelation;
 use crate::modes::EngineMode;
 use crate::planner::PageSet;
 use cost_model::{GbParams, GroupByModel};
+use pim_gb::PreparedAgg;
 
 /// GROUP-BY execution summary (feeds Table II).
 #[derive(Debug, Clone, PartialEq)]
 pub struct GroupByOutcome {
-    /// Aggregated groups.
-    pub groups: GroupedResult,
+    /// Aggregated groups, one [`GroupedResult`] per physical aggregate
+    /// of the plan (plan order).
+    pub per_agg: Vec<GroupedResult>,
     /// Subgroups aggregated in PIM (`k`).
     pub k: usize,
     /// Total potential subgroups (`k_MAX`).
@@ -47,8 +53,8 @@ pub struct GroupByOutcome {
     pub sampled: usize,
 }
 
-/// The `n` parameter (aggregation-value reads per crossbar) a query will
-/// have, without materialising anything.
+/// The `n` parameter (aggregation-value reads per crossbar) a query's
+/// expression will have, without materialising anything.
 ///
 /// # Errors
 ///
@@ -77,11 +83,12 @@ pub fn plan_n(
     Ok(reads_per_value(cfg.read_width_bits, range))
 }
 
-/// Execute the hybrid GROUP-BY over the planned pages. The filter must
-/// already have produced the mask in partition 0 of those pages.
-/// `relation` serves as the catalog for the potential-subgroup
-/// enumeration (`k_MAX`). An empty plan returns the empty outcome
-/// without touching the module — the planner proved no record matches.
+/// Execute the hybrid GROUP-BY over the planned pages for every
+/// physical aggregate of `plan`. The filter must already have produced
+/// the mask in partition 0 of those pages. `relation` serves as the
+/// catalog for the potential-subgroup enumeration (`k_MAX`). An empty
+/// plan returns the empty outcome without touching the module — the
+/// planner proved no record matches.
 ///
 /// # Errors
 ///
@@ -96,11 +103,17 @@ pub fn run_group_by(
     relation: &Relation,
     mode: EngineMode,
     query: &Query,
+    plan: &PhysicalPlan,
     model: &GroupByModel,
     log: &mut RunLog,
 ) -> Result<GroupByOutcome, CoreError> {
     if pages.is_empty() {
-        return Ok(GroupByOutcome { groups: GroupedResult::new(), k: 0, kmax: 0, sampled: 0 });
+        return Ok(GroupByOutcome {
+            per_agg: vec![GroupedResult::new(); plan.aggs.len()],
+            k: 0,
+            kmax: 0,
+            sampled: 0,
+        });
     }
     let group_placements: Vec<(String, AttrPlacement)> = query
         .group_by
@@ -108,7 +121,8 @@ pub fn run_group_by(
         .map(|g| Ok((g.clone(), layout.placement(g)?)))
         .collect::<Result<_, CoreError>>()?;
 
-    // 1. Sample one candidate page, estimate subgroup sizes.
+    // 1. Sample one candidate page, estimate subgroup sizes (shared by
+    //    every aggregate).
     let estimate = sampling::sample_page(module, layout, loaded, pages, &group_placements, log)?;
 
     // 2. Candidate ordering: sampled keys by size, then unseen potential
@@ -126,23 +140,64 @@ pub fn run_group_by(
     // keys (never in practice); clamp kmax to the candidate count.
     let kmax = kmax.max(candidates.len().min(kmax)).min(candidates.len());
 
-    // 3. Decide k (Eq. 3).
+    // 3. Decide k (Eq. 3) once for the whole SELECT list: the host-side
+    //    cost reads every operand (s covers them all); the PIM-side cost
+    //    model is driven by the widest aggregate's read count.
     let cfg = module.config().clone();
-    let s = layout.reads_per_record(
-        query.group_by.iter().map(String::as_str).chain(query.agg_expr.attrs()),
-    )?;
-    let n = plan_n(layout, &cfg, &query.agg_expr)?;
+    let agg_attrs: Vec<&str> = plan.aggs.iter().flat_map(|a| a.attrs()).collect();
+    let s = layout.reads_per_record(query.group_by.iter().map(String::as_str).chain(agg_attrs))?;
+    let n = plan
+        .aggs
+        .iter()
+        .filter_map(|a| a.expr.as_ref())
+        .map(|e| plan_n(layout, &cfg, e))
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .max()
+        .unwrap_or(1);
     // Both gb paths touch only the planned candidate pages, so the cost
     // model's page count `M` is the plan's, not the whole relation's.
     let params = GbParams { m: pages.len(), n, s, kmax };
     let k = model.choose_k(&params, &|k| estimate.r_of_k(k));
 
-    // 4. pim-gb for the k largest candidates.
-    let mut groups = GroupedResult::new();
+    // 4. pim-gb for the k largest candidates: materialise every distinct
+    //    expression once (stacked into scratch), then one shared group
+    //    mask per key feeds all reductions.
+    let mut per_agg: Vec<GroupedResult> = vec![GroupedResult::new(); plan.aggs.len()];
     let mut skip: HashSet<Vec<u64>> = HashSet::new();
     if k > 0 {
-        let input: AggInput =
-            materialize_expr(module, layout, loaded, pages, &query.agg_expr, log)?;
+        let exprs: Vec<&bbpim_db::plan::AggExpr> =
+            plan.aggs.iter().filter_map(|a| a.expr.as_ref()).collect();
+        let inputs: Vec<AggInput> = materialize_exprs(module, layout, loaded, pages, &exprs, log)?;
+        let mut inputs_iter = inputs.into_iter();
+        let prepared: Vec<PreparedAgg> = plan
+            .aggs
+            .iter()
+            .map(|agg| match &agg.expr {
+                None => PreparedAgg::Count,
+                Some(_) => PreparedAgg::Reduce {
+                    func: agg.func,
+                    input: inputs_iter.next().expect("one input per expression"),
+                },
+            })
+            .collect();
+        // Scratch past every stacked value, in the mask partition.
+        let mask_partition = prepared
+            .iter()
+            .find_map(|a| match a {
+                PreparedAgg::Reduce { input, .. } => Some(input.partition),
+                PreparedAgg::Count => None,
+            })
+            .unwrap_or(0);
+        let mask_scratch = prepared
+            .iter()
+            .find_map(|a| match a {
+                PreparedAgg::Reduce { input, .. } if input.partition == mask_partition => {
+                    Some(input.scratch_left)
+                }
+                _ => None,
+            })
+            .unwrap_or_else(|| layout.scratch(mask_partition));
         let keys: Vec<Vec<u64>> = candidates[..k].to_vec();
         let entries = pim_gb::run_pim_gb(
             module,
@@ -152,31 +207,34 @@ pub fn run_group_by(
             mode,
             &group_placements,
             &keys,
-            &input,
-            query.agg_func,
+            &prepared,
+            mask_scratch,
             log,
         )?;
         for e in entries {
             skip.insert(e.key.clone());
             if e.count > 0 {
-                groups.insert(e.key, e.value);
+                for (grouped, value) in per_agg.iter_mut().zip(&e.values) {
+                    grouped.insert(e.key.clone(), *value);
+                }
             }
         }
     }
 
-    // 5. host-gb for the tail.
+    // 5. host-gb for the tail, all aggregates in one read pass.
     if k < kmax {
         let req = host_gb::HostGbRequest {
             group_placements: &group_placements,
-            expr: &query.agg_expr,
-            func: query.agg_func,
+            aggs: &plan.aggs,
             skip: &skip,
         };
         let tail = host_gb::run_host_gb(module, layout, loaded, pages, &req, log)?;
-        groups.extend(tail);
+        for (grouped, tail_col) in per_agg.iter_mut().zip(tail) {
+            grouped.extend(tail_col);
+        }
     }
 
-    Ok(GroupByOutcome { groups, k, kmax, sampled: estimate.seen() })
+    Ok(GroupByOutcome { per_agg, k, kmax, sampled: estimate.seen() })
 }
 
 /// Cross product of per-attribute domains, deterministic order.
@@ -207,9 +265,36 @@ mod tests {
     use crate::groupby::calibration::{run_calibration, CalibrationConfig};
     use crate::layout::RecordLayout;
     use crate::loader::load_relation;
-    use bbpim_db::plan::{AggExpr, AggFunc, Atom};
+    use bbpim_db::plan::{AggExpr, AggFunc, Atom, ResolvedAtom, SelectItem};
     use bbpim_db::schema::{Attribute, Schema};
     use bbpim_sim::SimConfig;
+
+    fn run_test_filter(
+        module: &mut PimModule,
+        rel: &Relation,
+        layout: &RecordLayout,
+        loaded: &LoadedRelation,
+        q: &Query,
+        log: &mut RunLog,
+    ) {
+        let schema = rel.schema();
+        let dnf: Vec<Vec<(ResolvedAtom, AttrPlacement)>> = q
+            .resolve_filter(schema)
+            .unwrap()
+            .into_iter()
+            .map(|conj| {
+                conj.into_iter()
+                    .map(|a| {
+                        let name = &schema.attrs()[a.attr_index()].name;
+                        let p = layout.placement(name).unwrap();
+                        (a, p)
+                    })
+                    .collect()
+            })
+            .collect();
+        let pages = PageSet::all(loaded.page_count());
+        run_filter(module, layout, loaded, &dnf, &pages, log).unwrap();
+    }
 
     fn setup(
         mode: EngineMode,
@@ -228,52 +313,92 @@ mod tests {
             };
             rel.push_row(&[(7 * i) % 251, g]).unwrap();
         }
-        let q = Query {
-            id: "t".into(),
-            filter: vec![Atom::Lt { attr: "lo_v".into(), value: 240u64.into() }],
-            group_by: vec!["d_g".into()],
-            agg_func: AggFunc::Sum,
-            agg_expr: AggExpr::Attr("lo_v".into()),
-        };
+        let q = Query::single(
+            "t",
+            vec![Atom::Lt { attr: "lo_v".into(), value: 240u64.into() }],
+            vec!["d_g".into()],
+            AggFunc::Sum,
+            AggExpr::attr("lo_v"),
+        );
         let layout = RecordLayout::build(rel.schema(), &cfg, mode, &[]).unwrap();
         let mut module = PimModule::new(cfg.clone());
         let loaded = load_relation(&mut module, &rel, &layout).unwrap();
-        let atoms: Vec<_> = q
-            .resolve_filter(rel.schema())
-            .unwrap()
-            .into_iter()
-            .zip(q.filter.iter())
-            .map(|(a, raw)| (a, layout.placement(raw.attr()).unwrap()))
-            .collect();
         let mut log = RunLog::new();
-        let pages = PageSet::all(loaded.page_count());
-        run_filter(&mut module, &layout, &loaded, &atoms, &pages, &mut log).unwrap();
+        run_test_filter(&mut module, &rel, &layout, &loaded, &q, &mut log);
         let (_, model) = run_calibration(&cfg, mode, &CalibrationConfig::tiny_for_tests()).unwrap();
         (module, rel, layout, loaded, q, model)
+    }
+
+    fn run(
+        module: &mut PimModule,
+        layout: &RecordLayout,
+        loaded: &LoadedRelation,
+        rel: &Relation,
+        mode: EngineMode,
+        q: &Query,
+        model: &GroupByModel,
+    ) -> GroupByOutcome {
+        let plan = q.physical_plan().unwrap();
+        let mut log = RunLog::new();
+        run_group_by(
+            module,
+            layout,
+            loaded,
+            &PageSet::all(loaded.page_count()),
+            rel,
+            mode,
+            q,
+            &plan,
+            model,
+            &mut log,
+        )
+        .unwrap()
     }
 
     #[test]
     fn hybrid_group_by_matches_oracle_all_modes() {
         for mode in [EngineMode::OneXb, EngineMode::TwoXb, EngineMode::PimDb] {
             let (mut module, rel, layout, loaded, q, model) = setup(mode);
+            let out = run(&mut module, &layout, &loaded, &rel, mode, &q, &model);
+            let expected = stats::column(&stats::run_oracle(&q, &rel).unwrap(), 0);
+            assert_eq!(out.per_agg.len(), 1);
+            assert_eq!(out.per_agg[0], expected, "{mode:?} (k={})", out.k);
+            assert!(out.kmax >= out.per_agg[0].len());
+            assert!(out.k <= out.kmax);
+        }
+    }
+
+    #[test]
+    fn multi_aggregate_group_by_matches_oracle() {
+        for mode in [EngineMode::OneXb, EngineMode::TwoXb] {
+            let (mut module, rel, layout, loaded, base, model) = setup(mode);
+            let q = Query {
+                select: vec![
+                    SelectItem::sum("total", AggExpr::attr("lo_v")),
+                    SelectItem::count("n"),
+                    SelectItem::avg("mean", AggExpr::attr("lo_v")),
+                    SelectItem::max("hi", AggExpr::attr("lo_v")),
+                ],
+                ..base
+            };
+            let plan = q.physical_plan().unwrap();
             let mut log = RunLog::new();
-            let pages = PageSet::all(loaded.page_count());
             let out = run_group_by(
                 &mut module,
                 &layout,
                 &loaded,
-                &pages,
+                &PageSet::all(loaded.page_count()),
                 &rel,
                 mode,
                 &q,
+                &plan,
                 &model,
                 &mut log,
             )
             .unwrap();
+            let finalized = plan.finalize(&out.per_agg);
             let expected = stats::run_oracle(&q, &rel).unwrap();
-            assert_eq!(out.groups, expected, "{mode:?} (k={})", out.k);
-            assert!(out.kmax >= out.groups.len());
-            assert!(out.k <= out.kmax);
+            assert_eq!(finalized, expected, "{mode:?} (k={})", out.k);
         }
     }
 
@@ -289,21 +414,9 @@ mod tests {
         let mut per_n = BTreeMap::new();
         per_n.insert(1, LinFit { slope: 0.0, intercept: 1.0, r2: 1.0 });
         let model = GroupByModel { host: HostGbModel::new(per_s), pim: PimGbModel::new(per_n) };
-        let mut log = RunLog::new();
-        let out = run_group_by(
-            &mut module,
-            &layout,
-            &loaded,
-            &PageSet::all(loaded.page_count()),
-            &rel,
-            EngineMode::OneXb,
-            &q,
-            &model,
-            &mut log,
-        )
-        .unwrap();
+        let out = run(&mut module, &layout, &loaded, &rel, EngineMode::OneXb, &q, &model);
         assert_eq!(out.k, out.kmax, "everything must go to PIM");
-        assert_eq!(out.groups, stats::run_oracle(&q, &rel).unwrap());
+        assert_eq!(out.per_agg[0], stats::column(&stats::run_oracle(&q, &rel).unwrap(), 0));
     }
 
     #[test]
@@ -317,21 +430,9 @@ mod tests {
         let mut per_n = BTreeMap::new();
         per_n.insert(1, LinFit { slope: 0.0, intercept: 1e12, r2: 1.0 });
         let model = GroupByModel { host: HostGbModel::new(per_s), pim: PimGbModel::new(per_n) };
-        let mut log = RunLog::new();
-        let out = run_group_by(
-            &mut module,
-            &layout,
-            &loaded,
-            &PageSet::all(loaded.page_count()),
-            &rel,
-            EngineMode::OneXb,
-            &q,
-            &model,
-            &mut log,
-        )
-        .unwrap();
+        let out = run(&mut module, &layout, &loaded, &rel, EngineMode::OneXb, &q, &model);
         assert_eq!(out.k, 0);
-        assert_eq!(out.groups, stats::run_oracle(&q, &rel).unwrap());
+        assert_eq!(out.per_agg[0], stats::column(&stats::run_oracle(&q, &rel).unwrap(), 0));
     }
 
     #[test]
@@ -345,29 +446,11 @@ mod tests {
     #[test]
     fn empty_selection_yields_empty_groups() {
         let (mut module, rel, layout, loaded, mut q, model) = setup(EngineMode::OneXb);
-        q.filter = vec![Atom::Lt { attr: "lo_v".into(), value: 0u64.into() }];
-        let atoms: Vec<_> = q
-            .resolve_filter(rel.schema())
-            .unwrap()
-            .into_iter()
-            .zip(q.filter.iter())
-            .map(|(a, raw)| (a, layout.placement(raw.attr()).unwrap()))
-            .collect();
+        q.filter =
+            bbpim_db::plan::Pred::all(vec![Atom::Lt { attr: "lo_v".into(), value: 0u64.into() }]);
         let mut log = RunLog::new();
-        let pages = PageSet::all(loaded.page_count());
-        run_filter(&mut module, &layout, &loaded, &atoms, &pages, &mut log).unwrap();
-        let out = run_group_by(
-            &mut module,
-            &layout,
-            &loaded,
-            &pages,
-            &rel,
-            EngineMode::OneXb,
-            &q,
-            &model,
-            &mut log,
-        )
-        .unwrap();
-        assert!(out.groups.is_empty());
+        run_test_filter(&mut module, &rel, &layout, &loaded, &q, &mut log);
+        let out = run(&mut module, &layout, &loaded, &rel, EngineMode::OneXb, &q, &model);
+        assert!(out.per_agg[0].is_empty());
     }
 }

@@ -2,24 +2,28 @@
 //!
 //! For each assigned subgroup key, a bulk-bitwise program ANDs the
 //! group-key equality with the saved query mask into the group-mask
-//! column, then the aggregation path of the current mode reduces the
-//! value under that mask. The latency is independent of the subgroup's
-//! record count — the property the hybrid GROUP-BY exploits for large
-//! subgroups.
+//! column **once**; every physical aggregate of the SELECT list then
+//! reduces its value under that shared mask. The latency is independent
+//! of the subgroup's record count — the property the hybrid GROUP-BY
+//! exploits for large subgroups — and extra aggregates cost extra
+//! reductions, not extra mask programs.
 //!
 //! Under `two-xb` the group keys live in the dimension partition while
-//! the aggregated value lives in the fact partition, so *every subgroup*
-//! pays a mask transfer through the host — the worst-case-partitioning
-//! overhead of Section V-A.
+//! the aggregated values live in the fact partition, so *every
+//! subgroup* pays a mask transfer through the host — once per subgroup,
+//! shared by all aggregates (the worst-case-partitioning overhead of
+//! Section V-A).
 
-use bbpim_db::plan::{AggFunc, ResolvedAtom};
+use bbpim_db::plan::{PhysFunc, ResolvedAtom};
 use bbpim_sim::compiler::ColRange;
 use bbpim_sim::module::PimModule;
 use bbpim_sim::timeline::RunLog;
 
 use crate::agg_exec::{aggregate_masked_counted, AggInput};
 use crate::error::CoreError;
-use crate::filter_exec::{build_mask_program_in, mask_bits, mask_read_lines, write_transfer_bits};
+use crate::filter_exec::{
+    build_mask_program_in, count_mask_bits, mask_bits, mask_read_lines, write_transfer_bits,
+};
 use crate::layout::{
     AttrPlacement, RecordLayout, GROUP_MASK_COL, MASK_COL, TRANSFER_COL, VALID_COL,
 };
@@ -27,25 +31,47 @@ use crate::loader::LoadedRelation;
 use crate::modes::EngineMode;
 use crate::planner::PageSet;
 
-/// One PIM-aggregated subgroup: key, aggregate, matching records.
+/// One physical aggregate prepared for in-PIM GROUP BY.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PreparedAgg {
+    /// `COUNT` — read off the shared group mask (count register /
+    /// popcount), no value input.
+    Count,
+    /// A value reduction over a materialised input.
+    Reduce {
+        /// The mergeable component.
+        func: PhysFunc,
+        /// The (possibly materialised) value columns.
+        input: AggInput,
+    },
+}
+
+/// One PIM-aggregated subgroup: key, per-aggregate values, matching
+/// records.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PimGbEntry {
     /// Group key (plan order).
     pub key: Vec<u64>,
-    /// Aggregate value.
-    pub value: u64,
+    /// One value per prepared aggregate, in request order.
+    pub values: Vec<u64>,
     /// Records that matched — produced by the aggregation pass's count
     /// register (SQL needs to distinguish an empty subgroup from a zero
     /// sum), charged as part of the same PIM request.
     pub count: u64,
 }
 
-/// Aggregate each `key` in PIM; returns one entry per key.
+/// Aggregate each `key` in PIM; returns one entry per key with every
+/// prepared aggregate's value. The group mask is formed once per key
+/// and shared across aggregates.
+///
+/// `mask_scratch` is the free scratch of the partition holding the
+/// query/group masks (past any materialised expression values).
 ///
 /// # Errors
 ///
 /// Propagates compiler/simulator failures;
-/// [`CoreError::Unsupported`] when group attributes span partitions.
+/// [`CoreError::Unsupported`] when group attributes or aggregate
+/// inputs span partitions.
 #[allow(clippy::too_many_arguments)] // engine plumbing: module + layout + log threading
 pub fn run_pim_gb(
     module: &mut PimModule,
@@ -55,18 +81,44 @@ pub fn run_pim_gb(
     mode: EngineMode,
     group_placements: &[(String, AttrPlacement)],
     keys: &[Vec<u64>],
-    input: &AggInput,
-    func: AggFunc,
+    aggs: &[PreparedAgg],
+    mask_scratch: ColRange,
     log: &mut RunLog,
 ) -> Result<Vec<PimGbEntry>, CoreError> {
+    // The partition holding the aggregated values (and the final group
+    // mask). With no value reductions (pure COUNT) it is the fact
+    // partition 0, where the query mask lives.
+    let fact_partition = aggs
+        .iter()
+        .find_map(|a| match a {
+            PreparedAgg::Reduce { input, .. } => Some(input.partition),
+            PreparedAgg::Count => None,
+        })
+        .unwrap_or(0);
+    if aggs.iter().any(
+        |a| matches!(a, PreparedAgg::Reduce { input, .. } if input.partition != fact_partition),
+    ) {
+        return Err(CoreError::Unsupported("aggregate inputs spanning partitions".into()));
+    }
+    // The query mask only exists in partition 0 (run_filter's contract);
+    // aggregating a value stored in another partition would AND the
+    // group key with a column that never saw the fact-side predicates.
+    if fact_partition != 0 {
+        return Err(CoreError::Unsupported(
+            "aggregating dimension-partition attributes (the query mask lives in the fact \
+             partition)"
+                .into(),
+        ));
+    }
     let key_partition = match group_placements.first() {
         Some((_, p)) => p.partition,
-        None => input.partition,
+        None => fact_partition,
     };
     if group_placements.iter().any(|(_, p)| p.partition != key_partition) {
         return Err(CoreError::Unsupported("GROUP BY attributes spanning partitions".into()));
     }
 
+    let fact_pages = pages.ids(loaded, fact_partition);
     let mut out = Vec::with_capacity(keys.len());
     for key in keys {
         let eq_atoms: Vec<(ResolvedAtom, ColRange)> = group_placements
@@ -75,11 +127,10 @@ pub fn run_pim_gb(
             .map(|((_, p), v)| (ResolvedAtom::Eq { idx: 0, value: *v }, p.range))
             .collect();
 
-        if key_partition == input.partition {
+        if key_partition == fact_partition {
             // Same crossbar: one program forms the group mask.
-            let prog =
-                build_mask_program_in(input.scratch_left, &eq_atoms, &[MASK_COL], GROUP_MASK_COL)?;
-            log.push(module.exec_program(&pages.ids(loaded, input.partition), &prog)?);
+            let prog = build_mask_program_in(mask_scratch, &eq_atoms, &[MASK_COL], GROUP_MASK_COL)?;
+            log.push(module.exec_program(&fact_pages, &prog)?);
         } else {
             // two-xb: key equality in the dimension partition…
             let key_pages = pages.ids(loaded, key_partition);
@@ -98,26 +149,50 @@ pub fn run_pim_gb(
             log.push(module.host_write_phase(lines));
             // …and combines with the query mask in the fact partition.
             let prog = build_mask_program_in(
-                input.scratch_left,
+                mask_scratch,
                 &[],
                 &[MASK_COL, TRANSFER_COL],
                 GROUP_MASK_COL,
             )?;
-            log.push(module.exec_program(&pages.ids(loaded, input.partition), &prog)?);
+            log.push(module.exec_program(&fact_pages, &prog)?);
         }
 
-        let (value, count) = aggregate_masked_counted(
-            module,
-            layout,
-            loaded,
-            pages,
-            mode,
-            input,
-            GROUP_MASK_COL,
-            func,
-            log,
-        )?;
-        out.push(PimGbEntry { key: key.clone(), value, count });
+        // One reduction per physical aggregate under the shared mask;
+        // the count rides the first reduction's count register (a
+        // COUNT-only plan reads the mask popcount lines instead).
+        let mut values = vec![0u64; aggs.len()];
+        let mut count: Option<u64> = None;
+        for (i, agg) in aggs.iter().enumerate() {
+            if let PreparedAgg::Reduce { func, input } = agg {
+                let (value, c) = aggregate_masked_counted(
+                    module,
+                    layout,
+                    loaded,
+                    pages,
+                    mode,
+                    input,
+                    GROUP_MASK_COL,
+                    *func,
+                    log,
+                )?;
+                values[i] = value;
+                count.get_or_insert(c);
+            }
+        }
+        let count = match count {
+            Some(c) => c,
+            None => {
+                // Pure COUNT: the host reads the per-page count lines.
+                log.push(module.host_read_phase(fact_pages.len() as u64));
+                count_mask_bits(module, &fact_pages, GROUP_MASK_COL)
+            }
+        };
+        for (i, agg) in aggs.iter().enumerate() {
+            if matches!(agg, PreparedAgg::Count) {
+                values[i] = count;
+            }
+        }
+        out.push(PimGbEntry { key: key.clone(), values, count });
     }
     Ok(out)
 }
@@ -125,11 +200,11 @@ pub fn run_pim_gb(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::agg_exec::materialize_expr;
+    use crate::agg_exec::{materialize_expr, materialize_exprs};
     use crate::filter_exec::run_filter;
     use crate::layout::RecordLayout;
     use crate::loader::load_relation;
-    use bbpim_db::plan::{AggExpr, Atom, Query};
+    use bbpim_db::plan::{AggExpr, AggFunc, Atom, Query};
     use bbpim_db::schema::{Attribute, Schema};
     use bbpim_db::stats;
     use bbpim_db::Relation;
@@ -145,33 +220,45 @@ mod tests {
         for i in 0..700u64 {
             rel.push_row(&[(5 * i) % 241, i % 6]).unwrap();
         }
-        let q = Query {
-            id: "t".into(),
-            filter: vec![Atom::Lt { attr: "lo_v".into(), value: 200u64.into() }],
-            group_by: vec!["d_g".into()],
-            agg_func: AggFunc::Sum,
-            agg_expr: AggExpr::Attr("lo_v".into()),
-        };
+        let q = Query::single(
+            "t",
+            vec![Atom::Lt { attr: "lo_v".into(), value: 200u64.into() }],
+            vec!["d_g".into()],
+            AggFunc::Sum,
+            AggExpr::attr("lo_v"),
+        );
         let layout = RecordLayout::build(rel.schema(), &cfg, mode, &[]).unwrap();
         let mut module = PimModule::new(cfg);
         let loaded = load_relation(&mut module, &rel, &layout).unwrap();
-        let atoms: Vec<_> = q
-            .resolve_filter(rel.schema())
+        let schema_ref = rel.schema();
+        let dnf: Vec<Vec<_>> = q
+            .resolve_filter(schema_ref)
             .unwrap()
             .into_iter()
-            .zip(q.filter.iter())
-            .map(|(a, raw)| (a, layout.placement(raw.attr()).unwrap()))
+            .map(|conj| {
+                conj.into_iter()
+                    .map(|a| {
+                        let name = &schema_ref.attrs()[a.attr_index()].name;
+                        (a.clone(), layout.placement(name).unwrap())
+                    })
+                    .collect()
+            })
             .collect();
         let mut log = RunLog::new();
         let pages = PageSet::all(loaded.page_count());
-        run_filter(&mut module, &layout, &loaded, &atoms, &pages, &mut log).unwrap();
+        run_filter(&mut module, &layout, &loaded, &dnf, &pages, &mut log).unwrap();
+        let expr = AggExpr::attr("lo_v");
         let input =
-            materialize_expr(&mut module, &layout, &loaded, &pages, &q.agg_expr, &mut log).unwrap();
+            materialize_expr(&mut module, &layout, &loaded, &pages, &expr, &mut log).unwrap();
         (module, rel, layout, loaded, q, input, log)
     }
 
     fn oracle(q: &Query, rel: &Relation) -> bbpim_db::stats::GroupedResult {
-        stats::run_oracle(q, rel).unwrap()
+        stats::column(&stats::run_oracle(q, rel).unwrap(), 0)
+    }
+
+    fn sum_agg(input: AggInput) -> Vec<PreparedAgg> {
+        vec![PreparedAgg::Reduce { func: PhysFunc::Sum, input }]
     }
 
     #[test]
@@ -181,6 +268,7 @@ mod tests {
             let gp: Vec<_> =
                 q.group_by.iter().map(|g| (g.clone(), layout.placement(g).unwrap())).collect();
             let keys: Vec<Vec<u64>> = (0..6u64).map(|g| vec![g]).collect();
+            let scratch = input.scratch_left;
             let entries = run_pim_gb(
                 &mut module,
                 &layout,
@@ -189,17 +277,147 @@ mod tests {
                 mode,
                 &gp,
                 &keys,
-                &input,
-                q.agg_func,
+                &sum_agg(input),
+                scratch,
                 &mut log,
             )
             .unwrap();
             let expected = oracle(&q, &rel);
             for e in &entries {
-                assert_eq!(Some(&e.value), expected.get(&e.key), "{mode:?} key {:?}", e.key);
+                assert_eq!(Some(&e.values[0]), expected.get(&e.key), "{mode:?} key {:?}", e.key);
                 assert!(e.count > 0);
             }
             assert_eq!(entries.len(), 6);
+        }
+    }
+
+    #[test]
+    fn multiple_aggregates_share_one_mask_per_key() {
+        use bbpim_sim::timeline::PhaseKind;
+        // sum + max + count over the same shared group mask
+        let (mut module, rel, layout, loaded, q, input, _) = setup(EngineMode::OneXb);
+        let gp: Vec<_> =
+            q.group_by.iter().map(|g| (g.clone(), layout.placement(g).unwrap())).collect();
+        let keys: Vec<Vec<u64>> = (0..6u64).map(|g| vec![g]).collect();
+        let scratch = input.scratch_left;
+        let aggs = vec![
+            PreparedAgg::Reduce { func: PhysFunc::Sum, input },
+            PreparedAgg::Reduce { func: PhysFunc::Max, input },
+            PreparedAgg::Count,
+        ];
+        let mut log = RunLog::new();
+        let entries = run_pim_gb(
+            &mut module,
+            &layout,
+            &loaded,
+            &PageSet::all(loaded.page_count()),
+            EngineMode::OneXb,
+            &gp,
+            &keys,
+            &aggs,
+            scratch,
+            &mut log,
+        )
+        .unwrap();
+        let mut q_sum = q.clone();
+        q_sum.select[0].func = AggFunc::Sum;
+        let mut q_max = q.clone();
+        q_max.select[0].func = AggFunc::Max;
+        let sums = oracle(&q_sum, &rel);
+        let maxs = oracle(&q_max, &rel);
+        for e in &entries {
+            assert_eq!(Some(&e.values[0]), sums.get(&e.key), "sum key {:?}", e.key);
+            assert_eq!(Some(&e.values[1]), maxs.get(&e.key), "max key {:?}", e.key);
+            assert_eq!(e.values[2], e.count, "count column key {:?}", e.key);
+        }
+        // the shared-mask contract: exactly one mask program (PimLogic)
+        // and two reductions (PimAggCircuit) per key — three aggregates
+        // never cost three masks.
+        let masks = log.phases().iter().filter(|p| p.kind == PhaseKind::PimLogic).count();
+        let reductions = log.phases().iter().filter(|p| p.kind == PhaseKind::PimAggCircuit).count();
+        assert_eq!(masks, keys.len());
+        assert_eq!(reductions, keys.len() * 2);
+    }
+
+    #[test]
+    fn count_only_group_by_reads_popcount() {
+        let (mut module, rel, layout, loaded, q, _input, _) = setup(EngineMode::OneXb);
+        let gp: Vec<_> =
+            q.group_by.iter().map(|g| (g.clone(), layout.placement(g).unwrap())).collect();
+        let keys: Vec<Vec<u64>> = (0..6u64).map(|g| vec![g]).collect();
+        let mut log = RunLog::new();
+        let entries = run_pim_gb(
+            &mut module,
+            &layout,
+            &loaded,
+            &PageSet::all(loaded.page_count()),
+            EngineMode::OneXb,
+            &gp,
+            &keys,
+            &[PreparedAgg::Count],
+            layout.scratch(0),
+            &mut log,
+        )
+        .unwrap();
+        // oracle counts per group under the filter
+        let mut expected = std::collections::BTreeMap::new();
+        for row in 0..rel.len() {
+            if rel.value(row, 0) < 200 {
+                *expected.entry(vec![rel.value(row, 1)]).or_insert(0u64) += 1;
+            }
+        }
+        for e in &entries {
+            assert_eq!(Some(&e.count), expected.get(&e.key), "key {:?}", e.key);
+            assert_eq!(e.values, vec![e.count]);
+        }
+    }
+
+    #[test]
+    fn stacked_expressions_aggregate_together() {
+        // materialize lo_v (in place) and lo_v*d_g (scratch) and reduce
+        // both under shared masks
+        let (mut module, rel, layout, loaded, q, _input, _) = setup(EngineMode::OneXb);
+        let attr = AggExpr::attr("lo_v");
+        let prod = AggExpr::mul("lo_v", "d_g");
+        let mut log = RunLog::new();
+        let pages = PageSet::all(loaded.page_count());
+        let inputs =
+            materialize_exprs(&mut module, &layout, &loaded, &pages, &[&attr, &prod], &mut log)
+                .unwrap();
+        let gp: Vec<_> =
+            q.group_by.iter().map(|g| (g.clone(), layout.placement(g).unwrap())).collect();
+        let keys: Vec<Vec<u64>> = (0..6u64).map(|g| vec![g]).collect();
+        let scratch = inputs[1].scratch_left;
+        let aggs = vec![
+            PreparedAgg::Reduce { func: PhysFunc::Sum, input: inputs[0] },
+            PreparedAgg::Reduce { func: PhysFunc::Sum, input: inputs[1] },
+        ];
+        let entries = run_pim_gb(
+            &mut module,
+            &layout,
+            &loaded,
+            &pages,
+            EngineMode::OneXb,
+            &gp,
+            &keys,
+            &aggs,
+            scratch,
+            &mut log,
+        )
+        .unwrap();
+        // oracle both columns
+        let mut sum_v = std::collections::BTreeMap::new();
+        let mut sum_p = std::collections::BTreeMap::new();
+        for row in 0..rel.len() {
+            let (v, g) = (rel.value(row, 0), rel.value(row, 1));
+            if v < 200 {
+                *sum_v.entry(vec![g]).or_insert(0u64) += v;
+                *sum_p.entry(vec![g]).or_insert(0u64) += v * g;
+            }
+        }
+        for e in &entries {
+            assert_eq!(Some(&e.values[0]), sum_v.get(&e.key), "v key {:?}", e.key);
+            assert_eq!(Some(&e.values[1]), sum_p.get(&e.key), "p key {:?}", e.key);
         }
     }
 
@@ -209,6 +427,7 @@ mod tests {
         let gp: Vec<_> =
             q.group_by.iter().map(|g| (g.clone(), layout.placement(g).unwrap())).collect();
         // group 15 never occurs (d_g < 6)
+        let scratch = input.scratch_left;
         let entries = run_pim_gb(
             &mut module,
             &layout,
@@ -217,13 +436,13 @@ mod tests {
             EngineMode::OneXb,
             &gp,
             &[vec![15u64]],
-            &input,
-            q.agg_func,
+            &sum_agg(input),
+            scratch,
             &mut log,
         )
         .unwrap();
         assert_eq!(entries[0].count, 0);
-        assert_eq!(entries[0].value, 0);
+        assert_eq!(entries[0].values, vec![0]);
     }
 
     #[test]
@@ -240,6 +459,8 @@ mod tests {
         let mut log2 = RunLog::new();
         let all1 = PageSet::all(ld1.page_count());
         let all2 = PageSet::all(ld2.page_count());
+        let s1 = i1.scratch_left;
+        let s2 = i2.scratch_left;
         run_pim_gb(
             &mut m1,
             &l1,
@@ -248,8 +469,8 @@ mod tests {
             EngineMode::OneXb,
             &gp1,
             &keys,
-            &i1,
-            q1.agg_func,
+            &sum_agg(i1),
+            s1,
             &mut log1,
         )
         .unwrap();
@@ -261,8 +482,8 @@ mod tests {
             EngineMode::TwoXb,
             &gp2,
             &keys,
-            &i2,
-            q2.agg_func,
+            &sum_agg(i2),
+            s2,
             &mut log2,
         )
         .unwrap();
@@ -282,6 +503,7 @@ mod tests {
             q.group_by.iter().map(|g| (g.clone(), layout.placement(g).unwrap())).collect();
         let mut log_a = RunLog::new();
         let mut log_b = RunLog::new();
+        let scratch = input.scratch_left;
         let a = run_pim_gb(
             &mut module,
             &layout,
@@ -290,8 +512,8 @@ mod tests {
             EngineMode::OneXb,
             &gp,
             &[vec![1u64]],
-            &input,
-            q.agg_func,
+            &sum_agg(input),
+            scratch,
             &mut log_a,
         )
         .unwrap();
@@ -303,8 +525,8 @@ mod tests {
             EngineMode::OneXb,
             &gp,
             &[vec![8u64]],
-            &input,
-            q.agg_func,
+            &sum_agg(input),
+            scratch,
             &mut log_b,
         )
         .unwrap();

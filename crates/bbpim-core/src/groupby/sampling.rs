@@ -181,23 +181,30 @@ mod tests {
 
     fn filter_and_sample(selectivity_filter: Vec<Atom>) -> SampleEstimate {
         let (mut module, rel, layout, loaded) = setup();
-        let q = Query {
-            id: "t".into(),
-            filter: selectivity_filter,
-            group_by: vec!["d_g".into()],
-            agg_func: AggFunc::Sum,
-            agg_expr: AggExpr::Attr("lo_v".into()),
-        };
-        let atoms: Vec<_> = q
-            .resolve_filter(rel.schema())
+        let q = Query::single(
+            "t",
+            selectivity_filter,
+            vec!["d_g".into()],
+            AggFunc::Sum,
+            AggExpr::attr("lo_v"),
+        );
+        let schema = rel.schema();
+        let dnf: Vec<Vec<_>> = q
+            .resolve_filter(schema)
             .unwrap()
             .into_iter()
-            .zip(q.filter.iter())
-            .map(|(a, raw)| (a, layout.placement(raw.attr()).unwrap()))
+            .map(|conj| {
+                conj.into_iter()
+                    .map(|a| {
+                        let name = &schema.attrs()[a.attr_index()].name;
+                        (a, layout.placement(name).unwrap())
+                    })
+                    .collect()
+            })
             .collect();
         let mut log = RunLog::new();
         let pages = PageSet::all(loaded.page_count());
-        run_filter(&mut module, &layout, &loaded, &atoms, &pages, &mut log).unwrap();
+        run_filter(&mut module, &layout, &loaded, &dnf, &pages, &mut log).unwrap();
         let placements = vec![("d_g".to_string(), layout.placement("d_g").unwrap())];
         sample_page(&mut module, &layout, &loaded, &pages, &placements, &mut log).unwrap()
     }

@@ -138,13 +138,13 @@ mod tests {
     }
 
     fn bounds(rel: &Relation, filter: Vec<Atom>) -> FilterBounds {
-        let q = Query {
-            id: "t".into(),
+        let q = Query::single(
+            "t",
             filter,
-            group_by: vec![],
-            agg_func: bbpim_db::plan::AggFunc::Sum,
-            agg_expr: bbpim_db::plan::AggExpr::Attr("lo_v".into()),
-        };
+            vec![],
+            bbpim_db::plan::AggFunc::Sum,
+            bbpim_db::plan::AggExpr::attr("lo_v"),
+        );
         FilterBounds::of_query(&q, rel.schema()).unwrap()
     }
 

@@ -1,7 +1,7 @@
 //! Query execution results and per-query reports.
 
-use bbpim_db::plan::AggFunc;
-use bbpim_db::stats::{self, GroupedResult};
+use bbpim_db::plan::PhysFunc;
+use bbpim_db::stats::{self, GroupedResult, MultiGrouped};
 use bbpim_sim::endurance;
 use bbpim_sim::timeline::RunLog;
 use serde::Serialize;
@@ -73,41 +73,46 @@ impl QueryReport {
 /// A query's answer plus its report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryExecution {
-    /// Grouped aggregates (single entry with an empty key when the query
+    /// Finalised grouped answer: group key → one value per SELECT item,
+    /// in SELECT order (single entry with an empty key when the query
     /// has no GROUP BY; empty map when nothing matched).
-    pub groups: GroupedResult,
+    pub groups: MultiGrouped,
+    /// The *mergeable* per-physical-aggregate partials behind `groups`
+    /// (one per [`bbpim_db::plan::PhysicalPlan::aggs`] entry, same
+    /// order). The cluster layer merges these across shards and only
+    /// then finalises, so derived aggregates (`AVG`) stay bit-exact
+    /// under sharding.
+    pub partials: Vec<PartialGroups>,
     /// The report.
     pub report: QueryReport,
 }
 
-/// A partial (per-shard or per-module) grouped aggregate, tagged with
-/// the function it carries so merging cannot mix semantics.
+/// A partial (per-shard or per-module) grouped aggregate component,
+/// tagged with the physical function it carries so merging cannot mix
+/// semantics.
 ///
 /// Engines running over disjoint record slices each produce a
-/// `PartialGroups`; folding them with [`PartialGroups::absorb`]
-/// reproduces the whole-relation answer bit-exactly, because SUM
-/// (wrapping), MIN and MAX are commutative and associative. This is the
-/// gather half of the cluster layer's scatter–gather.
+/// `PartialGroups` per physical aggregate; folding them with
+/// [`PartialGroups::absorb`] reproduces the whole-relation component
+/// bit-exactly, because SUM (wrapping), MIN, MAX and COUNT (addition)
+/// are commutative and associative. This is the gather half of the
+/// cluster layer's scatter–gather; derived outputs (`AVG`) are computed
+/// from fully merged components afterwards.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PartialGroups {
-    /// The aggregate the group values carry.
-    pub func: AggFunc,
-    /// Group key values → partial aggregate.
+    /// The physical component the group values carry.
+    pub func: PhysFunc,
+    /// Group key values → partial component value.
     pub groups: GroupedResult,
 }
 
 impl PartialGroups {
-    /// An empty partial for a function.
-    pub fn new(func: AggFunc) -> Self {
+    /// An empty partial for a component.
+    pub fn new(func: PhysFunc) -> Self {
         PartialGroups { func, groups: GroupedResult::new() }
     }
 
-    /// Wrap one engine's grouped answer as a partial.
-    pub fn from_execution(func: AggFunc, exec: &QueryExecution) -> Self {
-        PartialGroups { func, groups: exec.groups.clone() }
-    }
-
-    /// Merge another partial of the same function into this one.
+    /// Merge another partial of the same component into this one.
     ///
     /// # Panics
     ///
@@ -118,7 +123,18 @@ impl PartialGroups {
         stats::merge_grouped_into(&mut self.groups, other.groups, self.func);
     }
 
-    /// Merge a raw grouped result carrying the same function.
+    /// Merge a reference to another partial of the same component
+    /// (clones only keys new to the accumulator).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the functions differ (caller bug).
+    pub fn absorb_ref(&mut self, other: &PartialGroups) {
+        assert_eq!(self.func, other.func, "cannot merge partials of different aggregates");
+        stats::merge_grouped_ref_into(&mut self.groups, &other.groups, self.func);
+    }
+
+    /// Merge a raw grouped result carrying the same component.
     pub fn absorb_groups(&mut self, groups: GroupedResult) {
         stats::merge_grouped_into(&mut self.groups, groups, self.func);
     }
@@ -170,13 +186,13 @@ mod tests {
 
     #[test]
     fn partial_groups_fold_like_a_single_pass() {
-        let mut acc = PartialGroups::new(AggFunc::Sum);
+        let mut acc = PartialGroups::new(PhysFunc::Sum);
         let mut a = GroupedResult::new();
         a.insert(vec![1], 4);
         let mut b = GroupedResult::new();
         b.insert(vec![1], 6);
         b.insert(vec![2], 1);
-        acc.absorb(PartialGroups { func: AggFunc::Sum, groups: a });
+        acc.absorb(PartialGroups { func: PhysFunc::Sum, groups: a });
         acc.absorb_groups(b);
         let merged = acc.into_groups();
         assert_eq!(merged[&vec![1u64]], 10);
@@ -184,9 +200,21 @@ mod tests {
     }
 
     #[test]
+    fn count_partials_add() {
+        let mut acc = PartialGroups::new(PhysFunc::Count);
+        let mut a = GroupedResult::new();
+        a.insert(vec![7], 3);
+        let mut b = GroupedResult::new();
+        b.insert(vec![7], 5);
+        acc.absorb(PartialGroups { func: PhysFunc::Count, groups: a });
+        acc.absorb_ref(&PartialGroups { func: PhysFunc::Count, groups: b });
+        assert_eq!(acc.into_groups()[&vec![7u64]], 8);
+    }
+
+    #[test]
     #[should_panic(expected = "different aggregates")]
     fn partial_groups_reject_mixed_functions() {
-        let mut acc = PartialGroups::new(AggFunc::Sum);
-        acc.absorb(PartialGroups::new(AggFunc::Min));
+        let mut acc = PartialGroups::new(PhysFunc::Sum);
+        acc.absorb(PartialGroups::new(PhysFunc::Min));
     }
 }

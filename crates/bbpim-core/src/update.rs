@@ -7,7 +7,7 @@
 //! attribute wherever the select bit is set — *PIM operations only, no
 //! reads*, eliminating data movement almost entirely.
 
-use bbpim_db::plan::{Atom, Const, FilterBounds, Query};
+use bbpim_db::plan::{Atom, Const, FilterBounds, Pred, Query, SelectItem};
 use bbpim_db::Relation;
 use bbpim_sim::compiler::{mux, CodeBuilder, ScratchPool};
 use bbpim_sim::module::PimModule;
@@ -74,30 +74,36 @@ pub fn run_update(
 ) -> Result<UpdateReport, CoreError> {
     let mut log = RunLog::new();
 
-    // Filter (reusing the query path, zone maps included).
+    // Filter (reusing the query path, zone maps included). UPDATE WHERE
+    // clauses stay conjunctive, so the resolved DNF has one disjunct.
     let probe = Query {
         id: "update".into(),
-        filter: op.filter.clone(),
+        filter: Pred::all(op.filter.clone()),
         group_by: vec![],
-        agg_func: bbpim_db::plan::AggFunc::Sum,
-        agg_expr: bbpim_db::plan::AggExpr::Attr(op.set_attr.clone()),
+        select: vec![SelectItem::count("n")],
     };
-    let resolved = probe.resolve_filter(relation.schema())?;
-    let atoms: Vec<_> = resolved
+    let schema = relation.schema();
+    let dnf = probe.resolve_filter(schema)?;
+    let disjuncts: Vec<Vec<_>> = dnf
         .iter()
-        .cloned()
-        .zip(probe.filter.iter())
-        .map(|(a, raw)| Ok((a, layout.placement(raw.attr())?)))
+        .map(|conj| {
+            conj.iter()
+                .map(|a| {
+                    let name = &schema.attrs()[a.attr_index()].name;
+                    Ok((a.clone(), layout.placement(name)?))
+                })
+                .collect::<Result<Vec<_>, CoreError>>()
+        })
         .collect::<Result<_, CoreError>>()?;
     let pages = if prune {
-        plan_pages(&FilterBounds::from_atoms(&resolved), loaded)
+        plan_pages(&FilterBounds::from_dnf(&dnf), loaded)
     } else {
         PageSet::all(loaded.page_count())
     };
     log.push(Phase::host_dispatch(
         (pages.len() * layout.partitions()) as f64 * module.config().host.dispatch_ns_per_page,
     ));
-    run_filter(module, layout, loaded, &atoms, &pages, &mut log)?;
+    run_filter(module, layout, loaded, &disjuncts, &pages, &mut log)?;
 
     // Resolve destination attribute and immediate.
     let target = layout.placement(&op.set_attr)?;

@@ -13,11 +13,14 @@
 //!   Rabl et al. the paper evaluates, pre-joining (denormalisation) of
 //!   the fact relation with all four dimensions, and the 13 SSB queries
 //!   as logical plans.
-//! * [`plan`] — the logical query form shared by both engines:
-//!   conjunctive filters, GROUP BY keys, and a single aggregate over an
-//!   attribute or a two-attribute expression — plus
-//!   [`plan::FilterBounds`], the per-attribute bound intervals the
-//!   physical planner extracts from a resolved conjunction.
+//! * [`plan`] — the logical query form shared by both engines: a named
+//!   multi-aggregate SELECT list (`SUM`/`MIN`/`MAX`/`COUNT`/derived
+//!   `AVG`), an `AND`/`OR` filter tree normalised to DNF, and GROUP BY
+//!   keys — plus [`plan::FilterBounds`], the per-attribute bound
+//!   intervals (interval *union* across OR branches) the physical
+//!   planner extracts from a resolved filter.
+//! * [`builder`] — the fluent surface:
+//!   `Query::select(...).filter(col("d_year").eq(1993)).build(&schema)`.
 //! * [`zonemap`] — per-zone (shard / page) min-max summaries; together
 //!   with [`plan::FilterBounds`] they let the execution layers prove a
 //!   zone holds no matching record and skip it untouched.
@@ -34,6 +37,7 @@
 //! assert_eq!(wide.len(), db.lineorder.len()); // keys are unique: no fan-out
 //! ```
 
+pub mod builder;
 pub mod column;
 pub mod dict;
 pub mod error;
@@ -44,7 +48,9 @@ pub mod ssb;
 pub mod stats;
 pub mod zonemap;
 
+pub use builder::{col, QueryBuilder};
 pub use error::DbError;
+pub use plan::{AggExpr, AggFunc, Pred, Query, SelectItem};
 pub use relation::Relation;
 pub use schema::{Attribute, Schema};
 pub use zonemap::ZoneMap;

@@ -1,4 +1,6 @@
-//! The 13 SSB queries as logical plans over the pre-joined relation.
+//! The 13 SSB queries as logical plans over the pre-joined relation,
+//! written through the fluent v2 builder, plus multi-aggregate
+//! "combined" reporting variants.
 //!
 //! [`standard_queries`] uses the benchmark's published constants.
 //! [`adjusted_queries`] re-picks filter constants against a concrete
@@ -10,188 +12,218 @@
 //! Q1.x aggregate `extendedprice · discount` and Q4.x aggregate
 //! `revenue − supplycost`; both are computed *inside* the crossbars by
 //! the PIM engine ([`crate::plan::AggExpr`]).
+//!
+//! [`combined_queries`] are the SSB reporting patterns the single-
+//! aggregate surface could not express: several named aggregates over
+//! one filter (`Q1.1-combined`: revenue + order count + average
+//! discount) and an OR-of-ranges filter (`Q1.hol`). One planned filter
+//! mask feeds every aggregate, so these cost one filter pass, not one
+//! per aggregate.
 
 use std::collections::HashMap;
 
+use crate::builder::col;
 use crate::error::DbError;
-use crate::plan::{AggExpr, AggFunc, Atom, Const, Query};
+use crate::plan::{AggExpr, Atom, Const, Pred, Query, SelectItem};
 use crate::relation::Relation;
 
-fn sum(expr: AggExpr) -> (AggFunc, AggExpr) {
-    (AggFunc::Sum, expr)
+fn revenue() -> AggExpr {
+    AggExpr::attr("lo_revenue")
 }
 
-fn q(id: &str, filter: Vec<Atom>, group_by: &[&str], agg: (AggFunc, AggExpr)) -> Query {
-    Query {
-        id: id.into(),
-        filter,
-        group_by: group_by.iter().map(|s| s.to_string()).collect(),
-        agg_func: agg.0,
-        agg_expr: agg.1,
-    }
+fn price_disc() -> AggExpr {
+    AggExpr::mul("lo_extendedprice", "lo_discount")
+}
+
+fn profit() -> AggExpr {
+    AggExpr::sub("lo_revenue", "lo_supplycost")
 }
 
 /// The 13 SSB queries with the benchmark's standard constants.
 pub fn standard_queries() -> Vec<Query> {
-    let revenue = AggExpr::Attr("lo_revenue".into());
-    let price_disc = AggExpr::Mul("lo_extendedprice".into(), "lo_discount".into());
-    let profit = AggExpr::Sub("lo_revenue".into(), "lo_supplycost".into());
     vec![
-        q(
-            "Q1.1",
-            vec![
-                Atom::Eq { attr: "d_year".into(), value: 1993u64.into() },
-                Atom::Between { attr: "lo_discount".into(), lo: 1u64.into(), hi: 3u64.into() },
-                Atom::Lt { attr: "lo_quantity".into(), value: 25u64.into() },
-            ],
-            &[],
-            sum(price_disc.clone()),
-        ),
-        q(
-            "Q1.2",
-            vec![
-                Atom::Eq { attr: "d_yearmonthnum".into(), value: 199_401u64.into() },
-                Atom::Between { attr: "lo_discount".into(), lo: 4u64.into(), hi: 6u64.into() },
-                Atom::Between { attr: "lo_quantity".into(), lo: 26u64.into(), hi: 35u64.into() },
-            ],
-            &[],
-            sum(price_disc.clone()),
-        ),
-        q(
-            "Q1.3",
-            vec![
-                Atom::Eq { attr: "d_weeknuminyear".into(), value: 6u64.into() },
-                Atom::Eq { attr: "d_year".into(), value: 1994u64.into() },
-                Atom::Between { attr: "lo_discount".into(), lo: 5u64.into(), hi: 7u64.into() },
-                Atom::Between { attr: "lo_quantity".into(), lo: 26u64.into(), hi: 35u64.into() },
-            ],
-            &[],
-            sum(price_disc),
-        ),
-        q(
-            "Q2.1",
-            vec![
-                Atom::Eq { attr: "p_category".into(), value: "MFGR#12".into() },
-                Atom::Eq { attr: "s_region".into(), value: "AMERICA".into() },
-            ],
-            &["d_year", "p_brand1"],
-            sum(revenue.clone()),
-        ),
-        q(
-            "Q2.2",
-            vec![
-                Atom::Between {
-                    attr: "p_brand1".into(),
-                    lo: "MFGR#2221".into(),
-                    hi: "MFGR#2228".into(),
-                },
-                Atom::Eq { attr: "s_region".into(), value: "ASIA".into() },
-            ],
-            &["d_year", "p_brand1"],
-            sum(revenue.clone()),
-        ),
-        q(
-            "Q2.3",
-            vec![
-                Atom::Eq { attr: "p_brand1".into(), value: "MFGR#2239".into() },
-                Atom::Eq { attr: "s_region".into(), value: "EUROPE".into() },
-            ],
-            &["d_year", "p_brand1"],
-            sum(revenue.clone()),
-        ),
-        q(
-            "Q3.1",
-            vec![
-                Atom::Eq { attr: "c_region".into(), value: "ASIA".into() },
-                Atom::Eq { attr: "s_region".into(), value: "ASIA".into() },
-                Atom::Between { attr: "d_year".into(), lo: 1992u64.into(), hi: 1997u64.into() },
-            ],
-            &["c_nation", "s_nation", "d_year"],
-            sum(revenue.clone()),
-        ),
-        q(
-            "Q3.2",
-            vec![
-                Atom::Eq { attr: "c_nation".into(), value: "UNITED STATES".into() },
-                Atom::Eq { attr: "s_nation".into(), value: "UNITED STATES".into() },
-                Atom::Between { attr: "d_year".into(), lo: 1992u64.into(), hi: 1997u64.into() },
-            ],
-            &["c_city", "s_city", "d_year"],
-            sum(revenue.clone()),
-        ),
-        q(
-            "Q3.3",
-            vec![
-                Atom::In {
-                    attr: "c_city".into(),
-                    values: vec!["UNITED KI1".into(), "UNITED KI5".into()],
-                },
-                Atom::In {
-                    attr: "s_city".into(),
-                    values: vec!["UNITED KI1".into(), "UNITED KI5".into()],
-                },
-                Atom::Between { attr: "d_year".into(), lo: 1992u64.into(), hi: 1997u64.into() },
-            ],
-            &["c_city", "s_city", "d_year"],
-            sum(revenue.clone()),
-        ),
-        q(
-            "Q3.4",
-            vec![
-                Atom::In {
-                    attr: "c_city".into(),
-                    values: vec!["UNITED KI1".into(), "UNITED KI5".into()],
-                },
-                Atom::In {
-                    attr: "s_city".into(),
-                    values: vec!["UNITED KI1".into(), "UNITED KI5".into()],
-                },
-                Atom::Eq { attr: "d_yearmonth".into(), value: "Dec1997".into() },
-                // implied by Dec1997; spelled out so the potential-subgroup
-                // count matches the paper's 2 × 2 × 1
-                Atom::Eq { attr: "d_year".into(), value: 1997u64.into() },
-            ],
-            &["c_city", "s_city", "d_year"],
-            sum(revenue),
-        ),
-        q(
-            "Q4.1",
-            vec![
-                Atom::Eq { attr: "c_region".into(), value: "AMERICA".into() },
-                Atom::Eq { attr: "s_region".into(), value: "AMERICA".into() },
-                Atom::In { attr: "p_mfgr".into(), values: vec!["MFGR#1".into(), "MFGR#2".into()] },
-            ],
-            &["d_year", "c_nation"],
-            sum(profit.clone()),
-        ),
-        q(
-            "Q4.2",
-            vec![
-                Atom::In { attr: "d_year".into(), values: vec![1997u64.into(), 1998u64.into()] },
-                Atom::Eq { attr: "c_region".into(), value: "AMERICA".into() },
-                Atom::Eq { attr: "s_region".into(), value: "AMERICA".into() },
-                Atom::In { attr: "p_mfgr".into(), values: vec!["MFGR#1".into(), "MFGR#2".into()] },
-            ],
-            &["d_year", "s_nation", "p_category"],
-            sum(profit.clone()),
-        ),
-        q(
-            "Q4.3",
-            vec![
-                Atom::In { attr: "d_year".into(), values: vec![1997u64.into(), 1998u64.into()] },
-                Atom::Eq { attr: "c_region".into(), value: "AMERICA".into() },
-                Atom::Eq { attr: "s_nation".into(), value: "UNITED STATES".into() },
-                Atom::Eq { attr: "p_category".into(), value: "MFGR#14".into() },
-            ],
-            &["d_year", "s_city", "p_brand1"],
-            sum(profit),
-        ),
+        Query::select([SelectItem::sum("value", price_disc())])
+            .id("Q1.1")
+            .filter(
+                col("d_year")
+                    .eq(1993u64)
+                    .and(col("lo_discount").between(1u64, 3u64))
+                    .and(col("lo_quantity").lt(25u64)),
+            )
+            .build_unchecked(),
+        Query::select([SelectItem::sum("value", price_disc())])
+            .id("Q1.2")
+            .filter(
+                col("d_yearmonthnum")
+                    .eq(199_401u64)
+                    .and(col("lo_discount").between(4u64, 6u64))
+                    .and(col("lo_quantity").between(26u64, 35u64)),
+            )
+            .build_unchecked(),
+        Query::select([SelectItem::sum("value", price_disc())])
+            .id("Q1.3")
+            .filter(
+                col("d_weeknuminyear")
+                    .eq(6u64)
+                    .and(col("d_year").eq(1994u64))
+                    .and(col("lo_discount").between(5u64, 7u64))
+                    .and(col("lo_quantity").between(26u64, 35u64)),
+            )
+            .build_unchecked(),
+        Query::select([SelectItem::sum("value", revenue())])
+            .id("Q2.1")
+            .filter(col("p_category").eq("MFGR#12").and(col("s_region").eq("AMERICA")))
+            .group_by(["d_year", "p_brand1"])
+            .build_unchecked(),
+        Query::select([SelectItem::sum("value", revenue())])
+            .id("Q2.2")
+            .filter(
+                col("p_brand1").between("MFGR#2221", "MFGR#2228").and(col("s_region").eq("ASIA")),
+            )
+            .group_by(["d_year", "p_brand1"])
+            .build_unchecked(),
+        Query::select([SelectItem::sum("value", revenue())])
+            .id("Q2.3")
+            .filter(col("p_brand1").eq("MFGR#2239").and(col("s_region").eq("EUROPE")))
+            .group_by(["d_year", "p_brand1"])
+            .build_unchecked(),
+        Query::select([SelectItem::sum("value", revenue())])
+            .id("Q3.1")
+            .filter(
+                col("c_region")
+                    .eq("ASIA")
+                    .and(col("s_region").eq("ASIA"))
+                    .and(col("d_year").between(1992u64, 1997u64)),
+            )
+            .group_by(["c_nation", "s_nation", "d_year"])
+            .build_unchecked(),
+        Query::select([SelectItem::sum("value", revenue())])
+            .id("Q3.2")
+            .filter(
+                col("c_nation")
+                    .eq("UNITED STATES")
+                    .and(col("s_nation").eq("UNITED STATES"))
+                    .and(col("d_year").between(1992u64, 1997u64)),
+            )
+            .group_by(["c_city", "s_city", "d_year"])
+            .build_unchecked(),
+        Query::select([SelectItem::sum("value", revenue())])
+            .id("Q3.3")
+            .filter(
+                col("c_city")
+                    .is_in(["UNITED KI1", "UNITED KI5"])
+                    .and(col("s_city").is_in(["UNITED KI1", "UNITED KI5"]))
+                    .and(col("d_year").between(1992u64, 1997u64)),
+            )
+            .group_by(["c_city", "s_city", "d_year"])
+            .build_unchecked(),
+        Query::select([SelectItem::sum("value", revenue())])
+            .id("Q3.4")
+            .filter(
+                col("c_city")
+                    .is_in(["UNITED KI1", "UNITED KI5"])
+                    .and(col("s_city").is_in(["UNITED KI1", "UNITED KI5"]))
+                    .and(col("d_yearmonth").eq("Dec1997"))
+                    // implied by Dec1997; spelled out so the potential-
+                    // subgroup count matches the paper's 2 × 2 × 1
+                    .and(col("d_year").eq(1997u64)),
+            )
+            .group_by(["c_city", "s_city", "d_year"])
+            .build_unchecked(),
+        Query::select([SelectItem::sum("value", profit())])
+            .id("Q4.1")
+            .filter(
+                col("c_region")
+                    .eq("AMERICA")
+                    .and(col("s_region").eq("AMERICA"))
+                    .and(col("p_mfgr").is_in(["MFGR#1", "MFGR#2"])),
+            )
+            .group_by(["d_year", "c_nation"])
+            .build_unchecked(),
+        Query::select([SelectItem::sum("value", profit())])
+            .id("Q4.2")
+            .filter(
+                col("d_year")
+                    .is_in([1997u64, 1998u64])
+                    .and(col("c_region").eq("AMERICA"))
+                    .and(col("s_region").eq("AMERICA"))
+                    .and(col("p_mfgr").is_in(["MFGR#1", "MFGR#2"])),
+            )
+            .group_by(["d_year", "s_nation", "p_category"])
+            .build_unchecked(),
+        Query::select([SelectItem::sum("value", profit())])
+            .id("Q4.3")
+            .filter(
+                col("d_year")
+                    .is_in([1997u64, 1998u64])
+                    .and(col("c_region").eq("AMERICA"))
+                    .and(col("s_nation").eq("UNITED STATES"))
+                    .and(col("p_category").eq("MFGR#14")),
+            )
+            .group_by(["d_year", "s_city", "p_brand1"])
+            .build_unchecked(),
+    ]
+}
+
+/// Multi-aggregate / disjunctive reporting variants of the Q1.x pattern
+/// — the query shapes the v2 surface adds:
+///
+/// * `Q1.x-combined` — the Q1.x filter feeding three named aggregates
+///   (revenue, matching-order count, average discount) off **one**
+///   planned filter mask.
+/// * `Q1.hol` — an OR-of-ranges filter (two discount windows in two
+///   different years), exercising DNF execution and interval-union
+///   zone pruning.
+/// * `Q2.1-stats` — a GROUP BY with sum + count + avg per group,
+///   merged per named column across shards.
+pub fn combined_queries() -> Vec<Query> {
+    let q1_combined = |id: &str, base: &str| {
+        let filter = standard_query(base).expect("base query exists").filter;
+        Query::select([
+            SelectItem::sum("revenue", price_disc()),
+            SelectItem::count("orders"),
+            SelectItem::avg("avg_discount", AggExpr::attr("lo_discount")),
+        ])
+        .id(id)
+        .filter(filter)
+        .build_unchecked()
+    };
+    vec![
+        q1_combined("Q1.1-combined", "Q1.1"),
+        q1_combined("Q1.2-combined", "Q1.2"),
+        q1_combined("Q1.3-combined", "Q1.3"),
+        Query::select([SelectItem::sum("revenue", price_disc()), SelectItem::count("orders")])
+            .id("Q1.hol")
+            .filter(
+                col("lo_quantity").lt(25u64).and(
+                    col("d_year").eq(1993u64).and(col("lo_discount").between(1u64, 3u64)).or(col(
+                        "d_year",
+                    )
+                    .eq(1994u64)
+                    .and(col("lo_discount").between(5u64, 7u64))),
+                ),
+            )
+            .build_unchecked(),
+        Query::select([
+            SelectItem::sum("revenue", AggExpr::attr("lo_revenue")),
+            SelectItem::count("orders"),
+            SelectItem::avg("avg_revenue", AggExpr::attr("lo_revenue")),
+        ])
+        .id("Q2.1-stats")
+        .filter(col("p_category").eq("MFGR#12").and(col("s_region").eq("AMERICA")))
+        .group_by(["d_year"])
+        .build_unchecked(),
     ]
 }
 
 /// Look up one standard query by id (`"Q2.1"`…).
 pub fn standard_query(id: &str) -> Option<Query> {
     standard_queries().into_iter().find(|q| q.id == id)
+}
+
+/// Look up one combined variant by id (`"Q1.1-combined"`…).
+pub fn combined_query(id: &str) -> Option<Query> {
+    combined_queries().into_iter().find(|q| q.id == id)
 }
 
 /// Attributes whose equality constants [`adjusted_queries`] may re-pick.
@@ -227,7 +259,14 @@ pub fn adjusted_queries(rel: &Relation) -> Result<Vec<Query>, DbError> {
 }
 
 fn adjust_query(mut query: Query, rel: &Relation) -> Result<Query, DbError> {
-    for atom in query.filter.iter_mut() {
+    adjust_pred(&mut query.filter, rel)?;
+    Ok(query)
+}
+
+/// Re-pick the adjustable constants of every atom in a filter tree (the
+/// tree shape — including any `OR` branches — is preserved).
+pub fn adjust_pred(pred: &mut Pred, rel: &Relation) -> Result<(), DbError> {
+    for atom in pred.atoms_mut() {
         if !ADJUSTABLE.contains(&atom.attr()) {
             continue;
         }
@@ -262,7 +301,7 @@ fn adjust_query(mut query: Query, rel: &Relation) -> Result<Query, DbError> {
             Atom::Lt { .. } | Atom::Gt { .. } => {}
         }
     }
-    Ok(query)
+    Ok(())
 }
 
 fn frequency_map(rel: &Relation, idx: usize) -> HashMap<u64, f64> {
@@ -366,11 +405,26 @@ mod tests {
     fn all_queries_resolve_against_prejoined_schema() {
         let db = SsbDb::generate(&SsbParams::tiny_for_tests());
         let wide = db.prejoin();
-        for query in standard_queries() {
-            query.resolve_filter(wide.schema()).unwrap_or_else(|e| {
-                panic!("{} failed to resolve: {e}", query.id);
+        for query in standard_queries().into_iter().chain(combined_queries()) {
+            query.validate(wide.schema()).unwrap_or_else(|e| {
+                panic!("{} failed to validate: {e}", query.id);
             });
         }
+    }
+
+    #[test]
+    fn combined_variants_share_the_base_filters() {
+        let base = standard_query("Q1.1").unwrap();
+        let combined = combined_query("Q1.1-combined").unwrap();
+        assert_eq!(base.filter, combined.filter);
+        assert_eq!(combined.select.len(), 3);
+        // the physical plan shares the sum component the avg needs…
+        let plan = combined.physical_plan().unwrap();
+        assert!(plan.aggs.len() <= 4, "shared components must deduplicate");
+        // …and the holiday variant really is disjunctive
+        let hol = combined_query("Q1.hol").unwrap();
+        assert!(hol.filter.as_conjunction().is_none());
+        assert_eq!(hol.filter.dnf().len(), 2);
     }
 
     #[test]
@@ -426,9 +480,9 @@ mod tests {
         let wide = db.prejoin();
         for (std_q, adj_q) in standard_queries().into_iter().zip(adjusted_queries(&wide).unwrap()) {
             assert_eq!(std_q.id, adj_q.id);
-            assert_eq!(std_q.filter.len(), adj_q.filter.len());
+            assert_eq!(std_q.filter.atoms().len(), adj_q.filter.atoms().len());
             assert_eq!(std_q.group_by, adj_q.group_by);
-            adj_q.resolve_filter(wide.schema()).unwrap();
+            adj_q.validate(wide.schema()).unwrap();
         }
     }
 

@@ -4,19 +4,47 @@
 //! and the column-store baseline are tested against, and they produce
 //! the per-query statistics of the paper's Table II (selectivity, total
 //! potential subgroups).
+//!
+//! The oracle executes the v2 query surface: the filter tree is
+//! evaluated in disjunctive normal form and every SELECT item is
+//! computed through the query's [`crate::plan::PhysicalPlan`] — the same
+//! sum/count/min/max components the engines merge — so `AVG` derives
+//! identically everywhere (merged sum over merged count, integer
+//! division at the very end).
 
 use std::collections::BTreeMap;
 
 use crate::error::DbError;
-use crate::plan::{Query, ResolvedAtom};
+use crate::plan::{PhysAgg, PhysFunc, Query, ResolvedAtom};
 use crate::relation::Relation;
 
-/// Result of a (group-by) aggregation: group key values → aggregate.
+/// Result of a single-component (group-by) aggregation: group key
+/// values → one aggregate value. This is the *mergeable* per-column
+/// shape partials travel in.
 pub type GroupedResult = BTreeMap<Vec<u64>, u64>;
 
-/// Evaluate the resolved conjunction on one row.
+/// A full query answer: group key values → one value per SELECT item
+/// (in SELECT order). Queries without GROUP BY use a single empty key.
+pub type MultiGrouped = BTreeMap<Vec<u64>, Vec<u64>>;
+
+/// Extract one output column of a [`MultiGrouped`] answer as a
+/// [`GroupedResult`] (handy for single-aggregate comparisons).
+///
+/// # Panics
+///
+/// Panics when a row is narrower than `idx` (caller bug).
+pub fn column(grouped: &MultiGrouped, idx: usize) -> GroupedResult {
+    grouped.iter().map(|(k, vs)| (k.clone(), vs[idx])).collect()
+}
+
+/// Evaluate a resolved conjunction on one row.
 pub fn row_matches(atoms: &[ResolvedAtom], rel: &Relation, row: usize) -> bool {
     atoms.iter().all(|a| a.matches(rel, row))
+}
+
+/// Evaluate a resolved DNF (any disjunct's atoms all hold) on one row.
+pub fn row_matches_dnf(dnf: &[Vec<ResolvedAtom>], rel: &Relation, row: usize) -> bool {
+    dnf.iter().any(|conj| row_matches(conj, rel, row))
 }
 
 /// The selection bit-vector of a query's filter.
@@ -25,8 +53,8 @@ pub fn row_matches(atoms: &[ResolvedAtom], rel: &Relation, row: usize) -> bool {
 ///
 /// Propagates resolution failures.
 pub fn filter_bitvec(query: &Query, rel: &Relation) -> Result<Vec<bool>, DbError> {
-    let atoms = query.resolve_filter(rel.schema())?;
-    Ok((0..rel.len()).map(|r| row_matches(&atoms, rel, r)).collect())
+    let dnf = query.resolve_filter(rel.schema())?;
+    Ok((0..rel.len()).map(|r| row_matches_dnf(&dnf, rel, r)).collect())
 }
 
 /// Selectivity: fraction of rows passing the filter.
@@ -42,37 +70,57 @@ pub fn selectivity(query: &Query, rel: &Relation) -> Result<f64, DbError> {
     Ok(bits.iter().filter(|b| **b).count() as f64 / rel.len() as f64)
 }
 
-/// Reference (row-at-a-time) execution of a query.
-///
-/// Returns the grouped aggregates; a query without GROUP BY yields one
-/// entry keyed by the empty vector. Groups with no matching rows are
-/// absent (matching SQL semantics).
+/// Evaluate one physical aggregate component for one row (`Count`
+/// contributes 1 per matching row).
+fn phys_row_value(agg: &PhysAgg, rel: &Relation, row: usize) -> Result<u64, DbError> {
+    match &agg.expr {
+        None => Ok(1),
+        Some(expr) => expr.eval(rel, row),
+    }
+}
+
+/// Reference (row-at-a-time) execution of the query's *physical* plan:
+/// one [`GroupedResult`] per deduplicated physical aggregate, in plan
+/// order. This is what per-shard partials look like before merging.
 ///
 /// # Errors
 ///
 /// Propagates resolution and evaluation failures.
-pub fn run_oracle(query: &Query, rel: &Relation) -> Result<GroupedResult, DbError> {
-    let atoms = query.resolve_filter(rel.schema())?;
+pub fn run_oracle_physical(query: &Query, rel: &Relation) -> Result<Vec<GroupedResult>, DbError> {
+    let dnf = query.resolve_filter(rel.schema())?;
+    let plan = query.physical_plan()?;
     let group_idx: Vec<usize> =
         query.group_by.iter().map(|name| rel.schema().index_of(name)).collect::<Result<_, _>>()?;
-    let mut out = GroupedResult::new();
+    let mut per_agg: Vec<GroupedResult> = vec![GroupedResult::new(); plan.aggs.len()];
     for row in 0..rel.len() {
-        if !row_matches(&atoms, rel, row) {
+        if !row_matches_dnf(&dnf, rel, row) {
             continue;
         }
         let key: Vec<u64> = group_idx.iter().map(|&i| rel.value(row, i)).collect();
-        let v = query.agg_expr.eval(rel, row)?;
-        out.entry(key)
-            .and_modify(|acc| {
-                *acc = match query.agg_func {
-                    crate::plan::AggFunc::Sum => acc.wrapping_add(v),
-                    crate::plan::AggFunc::Min => (*acc).min(v),
-                    crate::plan::AggFunc::Max => (*acc).max(v),
-                }
-            })
-            .or_insert(v);
+        for (agg, grouped) in plan.aggs.iter().zip(per_agg.iter_mut()) {
+            let v = phys_row_value(agg, rel, row)?;
+            grouped
+                .entry(key.clone())
+                .and_modify(|acc| *acc = agg.func.merge(*acc, v))
+                .or_insert(v);
+        }
     }
-    Ok(out)
+    Ok(per_agg)
+}
+
+/// Reference (row-at-a-time) execution of a query.
+///
+/// Returns the grouped multi-column answer; a query without GROUP BY
+/// yields one entry keyed by the empty vector. Groups with no matching
+/// rows are absent (matching SQL semantics) — including for `COUNT`:
+/// with nothing selected the answer is empty, not a zero row.
+///
+/// # Errors
+///
+/// Propagates resolution and evaluation failures.
+pub fn run_oracle(query: &Query, rel: &Relation) -> Result<MultiGrouped, DbError> {
+    let per_agg = run_oracle_physical(query, rel)?;
+    Ok(query.physical_plan()?.finalize(&per_agg))
 }
 
 /// The paper's "total subgroups" (Table II): how many subgroups could
@@ -85,6 +133,11 @@ pub fn run_oracle(query: &Query, rel: &Relation) -> Result<GroupedResult, DbErro
 /// the result is the product across GROUP BY attributes. This captures
 /// hierarchy implications — SSB Q2.1's `p_category = 'MFGR#12'` leaves
 /// 40 potential brands, giving the paper's 7 × 40 = 280.
+///
+/// Disjunctive filters take the **union** over DNF branches (a row can
+/// satisfy the filter through any branch, so its group values must be
+/// covered) — a sound superset, which the PIM-side GROUP BY needs when
+/// it aggregates *all* potential subgroups in PIM.
 ///
 /// Returns 0 for a query without GROUP BY.
 ///
@@ -111,18 +164,29 @@ pub fn potential_subgroups(query: &Query, rel: &Relation) -> Result<u64, DbError
 /// Propagates resolution failures.
 pub fn group_domains(query: &Query, rel: &Relation) -> Result<Vec<Vec<u64>>, DbError> {
     let prefix = |name: &str| name.split('_').next().unwrap_or("").to_owned();
-    let atoms = query.resolve_filter(rel.schema())?;
-    let atom_prefixes: Vec<String> = query.filter.iter().map(|a| prefix(a.attr())).collect();
+    let dnf = query.filter.dnf();
+    // Resolve each disjunct alongside its raw atoms (the raw names carry
+    // the dimension prefix).
+    let resolved: Vec<Vec<(String, ResolvedAtom)>> = dnf
+        .iter()
+        .map(|conj| {
+            conj.iter()
+                .map(|a| Ok((prefix(a.attr()), a.resolve(rel.schema())?)))
+                .collect::<Result<Vec<_>, DbError>>()
+        })
+        .collect::<Result<_, _>>()?;
     let mut out = Vec::with_capacity(query.group_by.len());
     for name in &query.group_by {
         let idx = rel.schema().index_of(name)?;
         let dim = prefix(name);
-        let constraints: Vec<&ResolvedAtom> =
-            atoms.iter().zip(&atom_prefixes).filter(|(_, p)| **p == dim).map(|(a, _)| a).collect();
         let mut seen = std::collections::BTreeSet::new();
-        for row in 0..rel.len() {
-            if constraints.iter().all(|a| a.matches(rel, row)) {
-                seen.insert(rel.value(row, idx));
+        for conj in &resolved {
+            let constraints: Vec<&ResolvedAtom> =
+                conj.iter().filter(|(p, _)| *p == dim).map(|(_, a)| a).collect();
+            for row in 0..rel.len() {
+                if constraints.iter().all(|a| a.matches(rel, row)) {
+                    seen.insert(rel.value(row, idx));
+                }
             }
         }
         out.push(seen.into_iter().collect());
@@ -131,35 +195,39 @@ pub fn group_domains(query: &Query, rel: &Relation) -> Result<Vec<Vec<u64>>, DbE
 }
 
 /// Merge one partial grouped result into an accumulator with the given
-/// aggregate function.
+/// physical component.
 ///
 /// This is the reduce side of sharded (scatter–gather) execution: each
 /// shard aggregates its own disjoint slice of the records, and because
-/// SUM (wrapping), MIN and MAX are commutative and associative, folding
-/// the per-shard partials in any order reproduces the single-engine
-/// answer bit-exactly. COUNT partials (e.g. per-shard selected-record
-/// counts) merge by plain addition and need no helper.
-pub fn merge_grouped_into(
-    acc: &mut GroupedResult,
-    part: GroupedResult,
-    func: crate::plan::AggFunc,
-) {
+/// SUM (wrapping), MIN, MAX and COUNT (addition) are commutative and
+/// associative, folding the per-shard partials in any order reproduces
+/// the single-engine answer bit-exactly. `AVG` never merges directly —
+/// it is derived from merged SUM + COUNT components afterwards
+/// ([`crate::plan::PhysicalPlan::finalize`]).
+pub fn merge_grouped_into(acc: &mut GroupedResult, part: GroupedResult, func: PhysFunc) {
     for (key, v) in part {
-        acc.entry(key)
-            .and_modify(|a| {
-                *a = match func {
-                    crate::plan::AggFunc::Sum => a.wrapping_add(v),
-                    crate::plan::AggFunc::Min => (*a).min(v),
-                    crate::plan::AggFunc::Max => (*a).max(v),
-                }
-            })
-            .or_insert(v);
+        acc.entry(key).and_modify(|a| *a = func.merge(*a, v)).or_insert(v);
+    }
+}
+
+/// [`merge_grouped_into`] from a borrowed partial: clones only the
+/// keys that are new to the accumulator, not the whole map — the
+/// cluster gather path merges many shard partials per query and must
+/// not deep-copy each one first.
+pub fn merge_grouped_ref_into(acc: &mut GroupedResult, part: &GroupedResult, func: PhysFunc) {
+    for (key, v) in part {
+        match acc.get_mut(key) {
+            Some(a) => *a = func.merge(*a, *v),
+            None => {
+                acc.insert(key.clone(), *v);
+            }
+        }
     }
 }
 
 /// Fold any number of partial grouped results (see
 /// [`merge_grouped_into`]).
-pub fn merge_grouped<I>(parts: I, func: crate::plan::AggFunc) -> GroupedResult
+pub fn merge_grouped<I>(parts: I, func: PhysFunc) -> GroupedResult
 where
     I: IntoIterator<Item = GroupedResult>,
 {
@@ -183,7 +251,8 @@ pub fn occupied_subgroups(query: &Query, rel: &Relation) -> Result<u64, DbError>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::plan::{AggExpr, AggFunc, Atom};
+    use crate::builder::col;
+    use crate::plan::{AggExpr, AggFunc, Atom, SelectItem};
     use crate::schema::{Attribute, Schema};
 
     fn rel() -> Relation {
@@ -204,13 +273,13 @@ mod tests {
     }
 
     fn query(filter: Vec<Atom>, group_by: Vec<&str>) -> Query {
-        Query {
-            id: "t".into(),
+        Query::single(
+            "t",
             filter,
-            group_by: group_by.into_iter().map(String::from).collect(),
-            agg_func: AggFunc::Sum,
-            agg_expr: AggExpr::Attr("v".into()),
-        }
+            group_by.into_iter().map(String::from).collect(),
+            AggFunc::Sum,
+            AggExpr::attr("v"),
+        )
     }
 
     #[test]
@@ -220,7 +289,7 @@ mod tests {
         let out = run_oracle(&q, &rel).unwrap();
         assert_eq!(out.len(), 3);
         // rows with g=0: 0,3,6,9 → v = 0+30+60+90
-        assert_eq!(out[&vec![0u64]], 180);
+        assert_eq!(out[&vec![0u64]], vec![180]);
     }
 
     #[test]
@@ -229,7 +298,8 @@ mod tests {
         let q = query(vec![Atom::Lt { attr: "v".into(), value: 30u64.into() }], vec![]);
         let out = run_oracle(&q, &rel).unwrap();
         assert_eq!(out.len(), 1);
-        assert_eq!(out[&Vec::<u64>::new()], 10 + 20);
+        assert_eq!(out[&Vec::<u64>::new()], vec![10 + 20]);
+        assert_eq!(column(&out, 0)[&Vec::<u64>::new()], 30);
     }
 
     #[test]
@@ -237,6 +307,46 @@ mod tests {
         let rel = rel();
         let q = query(vec![Atom::Eq { attr: "h".into(), value: 0u64.into() }], vec![]);
         assert!((selectivity(&q, &rel).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjunctive_filter_matches_either_branch() {
+        let rel = rel();
+        let q = Query::select([SelectItem::count("n")])
+            .filter(col("v").lt(20u64).or(col("v").gt(90u64)))
+            .build_unchecked();
+        // rows 0,1 (v=0,10) plus rows 10,11 (v=100,110)
+        let out = run_oracle(&q, &rel).unwrap();
+        assert_eq!(out[&Vec::<u64>::new()], vec![4]);
+        assert!((selectivity(&q, &rel).unwrap() - 4.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_aggregate_oracle_including_avg() {
+        let rel = rel();
+        let q = Query::select([
+            SelectItem::sum("total", AggExpr::attr("v")),
+            SelectItem::count("n"),
+            SelectItem::avg("mean", AggExpr::attr("v")),
+            SelectItem::min("lo", AggExpr::attr("v")),
+            SelectItem::max("hi", AggExpr::attr("v")),
+        ])
+        .group_by(["h"])
+        .build_unchecked();
+        let out = run_oracle(&q, &rel).unwrap();
+        // h=0: rows 0,2,4,6,8,10 → v = 0,20,…,100
+        assert_eq!(out[&vec![0u64]], vec![300, 6, 50, 0, 100]);
+        // h=1: rows 1,3,…,11 → v = 10,30,…,110
+        assert_eq!(out[&vec![1u64]], vec![360, 6, 60, 10, 110]);
+    }
+
+    #[test]
+    fn count_of_empty_selection_is_an_empty_answer() {
+        let rel = rel();
+        let q = Query::select([SelectItem::count("n")])
+            .filter(col("v").gt(10_000u64))
+            .build_unchecked();
+        assert!(run_oracle(&q, &rel).unwrap().is_empty());
     }
 
     #[test]
@@ -255,6 +365,23 @@ mod tests {
     }
 
     #[test]
+    fn group_domains_union_over_disjuncts() {
+        let rel = rel();
+        // (g = 0) OR (g = 2): the domain must cover both branches.
+        let q = Query::select([SelectItem::sum("s", AggExpr::attr("v"))])
+            .filter(col("g").eq(0u64).or(col("g").eq(2u64)))
+            .group_by(["g"])
+            .build_unchecked();
+        assert_eq!(group_domains(&q, &rel).unwrap(), vec![vec![0, 2]]);
+        assert_eq!(potential_subgroups(&q, &rel).unwrap(), 2);
+        // every occupied group is inside the enumerated domain
+        let occupied = run_oracle(&q, &rel).unwrap();
+        for key in occupied.keys() {
+            assert!([0u64, 2].contains(&key[0]));
+        }
+    }
+
+    #[test]
     fn occupied_can_be_less_than_potential() {
         let rel = rel();
         // filter keeps only rows 0..2 → g keys {0,1,2}, h keys {0,1} but
@@ -267,14 +394,22 @@ mod tests {
     #[test]
     fn merged_partitions_equal_whole() {
         let rel = rel();
-        for func in [AggFunc::Sum, AggFunc::Min, AggFunc::Max] {
+        for func in [AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Count, AggFunc::Avg] {
             let mut q = query(vec![Atom::Gt { attr: "v".into(), value: 15u64.into() }], vec!["g"]);
-            q.agg_func = func;
+            q.select[0].func = func;
             let whole = run_oracle(&q, &rel).unwrap();
+            let plan = q.physical_plan().unwrap();
             let parts = rel.partition_by(3, |row| row % 3).unwrap();
-            let partials: Vec<GroupedResult> =
-                parts.iter().map(|p| run_oracle(&q, p).unwrap()).collect();
-            assert_eq!(merge_grouped(partials, func), whole, "{func:?}");
+            // merge each physical component across partitions, then derive
+            let mut merged: Vec<GroupedResult> = vec![GroupedResult::new(); plan.aggs.len()];
+            for p in &parts {
+                let partial = run_oracle_physical(&q, p).unwrap();
+                for (acc, (part, agg)) in merged.iter_mut().zip(partial.into_iter().zip(&plan.aggs))
+                {
+                    merge_grouped_into(acc, part, agg.func);
+                }
+            }
+            assert_eq!(plan.finalize(&merged), whole, "{func:?}");
         }
     }
 
@@ -286,24 +421,36 @@ mod tests {
         let mut b = GroupedResult::new();
         b.insert(vec![2], 7);
         b.insert(vec![3], 1);
-        let ab = merge_grouped([a.clone(), b.clone()], AggFunc::Sum);
-        let ba = merge_grouped([b, a], AggFunc::Sum);
+        let ab = merge_grouped([a.clone(), b.clone()], PhysFunc::Sum);
+        let ba = merge_grouped([b, a], PhysFunc::Sum);
         assert_eq!(ab, ba);
         assert_eq!(ab[&vec![2u64]], 12);
         assert_eq!(ab.len(), 3);
     }
 
     #[test]
+    fn count_partials_merge_by_addition() {
+        let mut a = GroupedResult::new();
+        a.insert(vec![1], 4);
+        let mut b = GroupedResult::new();
+        b.insert(vec![1], 2);
+        b.insert(vec![2], 9);
+        let merged = merge_grouped([a, b], PhysFunc::Count);
+        assert_eq!(merged[&vec![1u64]], 6);
+        assert_eq!(merged[&vec![2u64]], 9);
+    }
+
+    #[test]
     fn min_max_oracle() {
         let rel = rel();
         let mut q = query(vec![], vec!["h"]);
-        q.agg_func = AggFunc::Min;
+        q.select[0].func = AggFunc::Min;
         let out = run_oracle(&q, &rel).unwrap();
-        assert_eq!(out[&vec![0u64]], 0);
-        assert_eq!(out[&vec![1u64]], 10);
-        q.agg_func = AggFunc::Max;
+        assert_eq!(out[&vec![0u64]], vec![0]);
+        assert_eq!(out[&vec![1u64]], vec![10]);
+        q.select[0].func = AggFunc::Max;
         let out = run_oracle(&q, &rel).unwrap();
-        assert_eq!(out[&vec![0u64]], 100);
-        assert_eq!(out[&vec![1u64]], 110);
+        assert_eq!(out[&vec![0u64]], vec![100]);
+        assert_eq!(out[&vec![1u64]], vec![110]);
     }
 }

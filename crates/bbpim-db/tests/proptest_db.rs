@@ -10,7 +10,7 @@ use std::collections::BTreeSet;
 
 use bbpim_db::column::Column;
 use bbpim_db::dict::{bits_for, Dictionary};
-use bbpim_db::plan::{AggExpr, AggFunc, Atom, Query};
+use bbpim_db::plan::{AggExpr, AggFunc, Atom, Pred, Query};
 use bbpim_db::relation::Relation;
 use bbpim_db::schema::{Attribute, Schema};
 use bbpim_db::ssb::skew::Zipf;
@@ -97,18 +97,13 @@ fn oracle_total_equals_sum_of_groups() {
     for case in 0..CASES {
         let mut rng = StdRng::seed_from_u64(0x04AC1E + case);
         let rel = two_attr_relation(&mut rng);
-        let grouped = Query {
-            id: "g".into(),
-            filter: vec![],
-            group_by: vec!["g".into()],
-            agg_func: AggFunc::Sum,
-            agg_expr: AggExpr::Attr("v".into()),
-        };
+        let grouped =
+            Query::single("g", vec![], vec!["g".into()], AggFunc::Sum, AggExpr::attr("v"));
         let total = Query { group_by: vec![], ..grouped.clone() };
         let by_group = stats::run_oracle(&grouped, &rel).unwrap();
         let overall = stats::run_oracle(&total, &rel).unwrap();
-        let sum_of_groups: u64 = by_group.values().copied().sum();
-        assert_eq!(overall[&Vec::<u64>::new()], sum_of_groups, "case {case}");
+        let sum_of_groups: u64 = by_group.values().map(|vs| vs[0]).sum();
+        assert_eq!(overall[&Vec::<u64>::new()], vec![sum_of_groups], "case {case}");
     }
 }
 
@@ -118,18 +113,18 @@ fn filter_monotone_under_conjunction() {
         let mut rng = StdRng::seed_from_u64(0xF117 + case);
         let rel = two_attr_relation(&mut rng);
         let threshold = rng.gen_range(0u64..100);
-        let one = Query {
-            id: "one".into(),
-            filter: vec![Atom::Lt { attr: "v".into(), value: threshold.into() }],
-            group_by: vec![],
-            agg_func: AggFunc::Sum,
-            agg_expr: AggExpr::Attr("v".into()),
-        };
+        let one = Query::single(
+            "one",
+            vec![Atom::Lt { attr: "v".into(), value: threshold.into() }],
+            vec![],
+            AggFunc::Sum,
+            AggExpr::attr("v"),
+        );
         let two = Query {
-            filter: vec![
+            filter: Pred::all(vec![
                 Atom::Lt { attr: "v".into(), value: threshold.into() },
                 Atom::Eq { attr: "g".into(), value: 3u64.into() },
-            ],
+            ]),
             ..one.clone()
         };
         let s1 = stats::selectivity(&one, &rel).unwrap();
@@ -174,13 +169,13 @@ fn potential_subgroups_bounds_occupied() {
             ])
             .unwrap();
         }
-        let q = Query {
-            id: "t".into(),
-            filter: vec![Atom::Lt { attr: "lo_v".into(), value: 25u64.into() }],
-            group_by: vec!["d_g".into(), "d_h".into()],
-            agg_func: AggFunc::Sum,
-            agg_expr: AggExpr::Attr("lo_v".into()),
-        };
+        let q = Query::single(
+            "t",
+            vec![Atom::Lt { attr: "lo_v".into(), value: 25u64.into() }],
+            vec!["d_g".into(), "d_h".into()],
+            AggFunc::Sum,
+            AggExpr::attr("lo_v"),
+        );
         let potential = stats::potential_subgroups(&q, &rel).unwrap();
         let occupied = stats::occupied_subgroups(&q, &rel).unwrap();
         assert!(occupied <= potential, "case {case}: occupied {occupied} > potential {potential}");

@@ -1,13 +1,16 @@
 //! The two MonetDB-stand-in configurations: `mnt_join` and `mnt_reg`.
 //!
 //! Queries arrive in the same logical form the PIM engine consumes
-//! (attribute names of the *wide* schema). `mnt_join` executes them
-//! directly on the pre-joined relation. `mnt_reg` runs on the normalised
-//! star schema: dimension predicates filter their dimension first,
-//! producing dense-key bitmaps; the fact scan probes the bitmaps through
-//! the foreign keys and fetches dimension group keys positionally (the
-//! invisible-join plan a column store uses for star schemas — dimension
-//! keys are dense, so the "hash" lookup is an array index).
+//! (attribute names of the *wide* schema) — including the v2 surface:
+//! multi-aggregate SELECT lists and `AND`/`OR` filter trees. `mnt_join`
+//! executes them directly on the pre-joined relation. `mnt_reg` runs on
+//! the normalised star schema: per DNF disjunct, dimension predicates
+//! filter their dimension first, producing dense-key bitmaps; the fact
+//! scan probes the bitmaps through the foreign keys, the disjunct
+//! selections are unioned, and dimension group keys are fetched
+//! positionally (the invisible-join plan a column store uses for star
+//! schemas — dimension keys are dense, so the "hash" lookup is an array
+//! index).
 //!
 //! Latencies are wall-clock (`std::time::Instant`), measured around
 //! execution only — plan resolution (the optimizer's job) is excluded,
@@ -16,19 +19,20 @@
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
-use bbpim_db::plan::{AggFunc, Query, ResolvedAtom};
+use bbpim_db::plan::{PhysFunc, Query, ResolvedAtom};
 use bbpim_db::ssb::SsbDb;
-use bbpim_db::stats::GroupedResult;
+use bbpim_db::stats::{GroupedResult, MultiGrouped};
 use bbpim_db::{DbError, Relation};
 
-use crate::exec::{eval_expr, fold, merge, ExprCols};
-use crate::selection::{refine, KeyBitmap};
+use crate::exec::{fold_row, merge_table, refine_conj, union_selections, ResolvedAggs};
+use crate::selection::{KeyBitmap, SelectionVector};
 
 /// Result of one baseline query.
 #[derive(Debug, Clone)]
 pub struct MonetResult {
-    /// Grouped aggregates (empty-key entry for global aggregates).
-    pub groups: GroupedResult,
+    /// Grouped multi-column aggregates (empty-key entry for global
+    /// aggregates), one value per SELECT item in SELECT order.
+    pub groups: MultiGrouped,
     /// Wall-clock execution time.
     pub wall: Duration,
 }
@@ -86,45 +90,71 @@ impl<'a> MonetEngine<'a> {
     }
 
     fn run_prejoined(&self, rel: &Relation, query: &Query) -> Result<MonetResult, DbError> {
-        let atoms = query.resolve_filter(rel.schema())?;
+        let dnf = query.resolve_filter(rel.schema())?;
+        let plan = query.physical_plan()?;
         let key_cols: Vec<usize> =
             query.group_by.iter().map(|g| rel.schema().index_of(g)).collect::<Result<_, _>>()?;
-        let expr = ExprCols::resolve(&query.agg_expr, rel)?;
-        let func = query.agg_func;
+        let aggs = ResolvedAggs::resolve(&plan.aggs, rel)?;
 
         let start = Instant::now();
-        let groups = scan_partitions(rel.len(), self.threads, func, |lo, hi| {
-            let mut sel: Vec<u32> = (lo as u32..hi as u32).collect();
-            for atom in &atoms {
-                sel = refine(rel.column(atom.attr_index()), atom, &sel);
-                if sel.is_empty() {
-                    break;
-                }
-            }
-            let mut table: HashMap<Vec<u64>, u64> = HashMap::new();
+        let per_agg = scan_partitions(rel.len(), self.threads, &aggs.funcs, |lo, hi| {
+            let base: SelectionVector = (lo as u32..hi as u32).collect();
+            let sel =
+                union_selections(dnf.iter().map(|conj| refine_conj(rel, conj, &base)).collect());
+            let mut table: HashMap<Vec<u64>, Vec<u64>> = HashMap::new();
             for &row in &sel {
                 let row = row as usize;
                 let key: Vec<u64> = key_cols.iter().map(|&c| rel.value(row, c)).collect();
-                fold(&mut table, key, eval_expr(rel, &expr, row), func);
+                fold_row(&mut table, key, aggs.row_values(rel, row), &aggs.funcs);
             }
             table
         });
+        let groups = plan.finalize(&per_agg);
         let wall = start.elapsed();
         Ok(MonetResult { groups, wall })
     }
 
     fn run_star(&self, db: &'a SsbDb, query: &Query) -> Result<MonetResult, DbError> {
         let fact = &db.lineorder;
+        let plan = query.physical_plan()?;
+        let dnf = query.filter.dnf();
 
-        // Split atoms: fact-side stay on the scan; dimension-side filter
-        // their dimension into a key bitmap.
-        let mut fact_atoms: Vec<ResolvedAtom> = Vec::new();
-        let mut dim_atoms: Vec<Vec<ResolvedAtom>> = vec![Vec::new(); 4];
-        for atom in &query.filter {
-            match dim_index(atom.attr()) {
-                None => fact_atoms.push(atom.resolve(fact.schema())?),
-                Some(d) => dim_atoms[d].push(atom.resolve(dim_relation(db, d).schema())?),
+        /// One DNF disjunct's star plan: fact-side atoms stay on the
+        /// scan; each dimension's atoms collapse into a key bitmap.
+        struct DisjunctPlan {
+            fact_atoms: Vec<ResolvedAtom>,
+            bitmaps: Vec<Option<KeyBitmap>>,
+            probe_cols: Vec<Option<usize>>,
+        }
+
+        let mut disjuncts: Vec<DisjunctPlan> = Vec::with_capacity(dnf.len());
+        for conj in &dnf {
+            let mut fact_atoms: Vec<ResolvedAtom> = Vec::new();
+            let mut dim_atoms: Vec<Vec<ResolvedAtom>> = vec![Vec::new(); 4];
+            for atom in conj {
+                match dim_index(atom.attr()) {
+                    None => fact_atoms.push(atom.resolve(fact.schema())?),
+                    Some(d) => dim_atoms[d].push(atom.resolve(dim_relation(db, d).schema())?),
+                }
             }
+            let mut bitmaps: Vec<Option<KeyBitmap>> = vec![None; 4];
+            let mut probe_cols: Vec<Option<usize>> = vec![None; 4];
+            for d in 0..4 {
+                if dim_atoms[d].is_empty() {
+                    continue;
+                }
+                let dim = dim_relation(db, d);
+                let sel = crate::exec::filter(dim, &dim_atoms[d]);
+                let key_col_idx = dim_key_index(dim)?;
+                bitmaps[d] = Some(KeyBitmap::from_selection(
+                    dim.column(key_col_idx),
+                    &sel,
+                    dim.len(),
+                    DIMS[d].2,
+                ));
+                probe_cols[d] = Some(fact.schema().index_of(DIMS[d].1)?);
+            }
+            disjuncts.push(DisjunctPlan { fact_atoms, bitmaps, probe_cols });
         }
 
         // Group-key sources: fact column or positional dimension fetch.
@@ -144,47 +174,29 @@ impl<'a> MonetEngine<'a> {
                 }),
             }
         }
-        let expr = ExprCols::resolve(&query.agg_expr, fact)?;
-        let func = query.agg_func;
+        let aggs = ResolvedAggs::resolve(&plan.aggs, fact)?;
 
         let start = Instant::now();
 
-        // Dimension phase: filter dimensions that carry predicates.
-        let mut bitmaps: Vec<Option<KeyBitmap>> = vec![None; 4];
-        let mut probe_cols: Vec<Option<usize>> = vec![None; 4];
-        for d in 0..4 {
-            if dim_atoms[d].is_empty() {
-                continue;
-            }
-            let dim = dim_relation(db, d);
-            let sel = crate::exec::filter(dim, &dim_atoms[d]);
-            let key_col_idx = dim_key_index(dim)?;
-            bitmaps[d] = Some(KeyBitmap::from_selection(
-                dim.column(key_col_idx),
-                &sel,
-                dim.len(),
-                DIMS[d].2,
-            ));
-            probe_cols[d] = Some(fact.schema().index_of(DIMS[d].1)?);
-        }
-
-        // Fact scan.
-        let groups = scan_partitions(fact.len(), self.threads, func, |lo, hi| {
-            let mut sel: Vec<u32> = (lo as u32..hi as u32).collect();
-            for atom in &fact_atoms {
-                sel = refine(fact.column(atom.attr_index()), atom, &sel);
-                if sel.is_empty() {
-                    break;
-                }
-            }
-            // probe the dimension bitmaps
-            for d in 0..4 {
-                if let (Some(bm), Some(fk_col)) = (&bitmaps[d], probe_cols[d]) {
-                    let col = fact.column(fk_col);
-                    sel.retain(|&row| bm.contains(col.get(row as usize)));
-                }
-            }
-            let mut table: HashMap<Vec<u64>, u64> = HashMap::new();
+        // Fact scan: per disjunct refine + probe, union, then fold.
+        let per_agg = scan_partitions(fact.len(), self.threads, &aggs.funcs, |lo, hi| {
+            let base: SelectionVector = (lo as u32..hi as u32).collect();
+            let sel = union_selections(
+                disjuncts
+                    .iter()
+                    .map(|d| {
+                        let mut sel = refine_conj(fact, &d.fact_atoms, &base);
+                        for dim in 0..4 {
+                            if let (Some(bm), Some(fk_col)) = (&d.bitmaps[dim], d.probe_cols[dim]) {
+                                let col = fact.column(fk_col);
+                                sel.retain(|&row| bm.contains(col.get(row as usize)));
+                            }
+                        }
+                        sel
+                    })
+                    .collect(),
+            );
+            let mut table: HashMap<Vec<u64>, Vec<u64>> = HashMap::new();
             for &row in &sel {
                 let row = row as usize;
                 let key: Vec<u64> = key_sources
@@ -197,10 +209,11 @@ impl<'a> MonetEngine<'a> {
                         }
                     })
                     .collect();
-                fold(&mut table, key, eval_expr(fact, &expr, row), func);
+                fold_row(&mut table, key, aggs.row_values(fact, row), &aggs.funcs);
             }
             table
         });
+        let groups = plan.finalize(&per_agg);
         let wall = start.elapsed();
         Ok(MonetResult { groups, wall })
     }
@@ -246,21 +259,21 @@ fn dim_key_index(dim: &Relation) -> Result<usize, DbError> {
 }
 
 /// Run `work(lo, hi)` over `threads` row partitions and merge the
-/// thread-local tables with the query's aggregate function (this is the
+/// thread-local multi-column tables per physical aggregate (this is the
 /// engine's parallel scan driver).
 fn scan_partitions(
     len: usize,
     threads: usize,
-    func: AggFunc,
-    work: impl Fn(usize, usize) -> HashMap<Vec<u64>, u64> + Sync,
-) -> GroupedResult {
-    let mut out = GroupedResult::new();
+    funcs: &[PhysFunc],
+    work: impl Fn(usize, usize) -> HashMap<Vec<u64>, Vec<u64>> + Sync,
+) -> Vec<GroupedResult> {
+    let mut per_agg = vec![GroupedResult::new(); funcs.len()];
     if len == 0 {
-        return out;
+        return per_agg;
     }
     let threads = threads.min(len).max(1);
     let chunk = len.div_ceil(threads);
-    let tables: Vec<HashMap<Vec<u64>, u64>> = std::thread::scope(|scope| {
+    let tables: Vec<HashMap<Vec<u64>, Vec<u64>>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let lo = t * chunk;
@@ -272,15 +285,16 @@ fn scan_partitions(
         handles.into_iter().map(|h| h.join().expect("scan worker panicked")).collect()
     });
     for table in tables {
-        merge(&mut out, table, func);
+        merge_table(&mut per_agg, table, funcs);
     }
-    out
+    per_agg
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bbpim_db::plan::{AggExpr, Atom};
+    use bbpim_db::builder::col;
+    use bbpim_db::plan::{AggExpr, AggFunc, Atom, SelectItem};
     use bbpim_db::ssb::{queries, SsbParams};
     use bbpim_db::stats;
 
@@ -304,6 +318,39 @@ mod tests {
     }
 
     #[test]
+    fn combined_variants_match_oracle_in_both_modes() {
+        let db = db();
+        let wide = db.prejoin();
+        let join_engine = MonetEngine::prejoined(&wide, 2);
+        let star_engine = MonetEngine::star(&db, 2);
+        for q in queries::combined_queries() {
+            let expected = stats::run_oracle(&q, &wide).unwrap();
+            assert_eq!(join_engine.run(&q).unwrap().groups, expected, "mnt_join {}", q.id);
+            assert_eq!(star_engine.run(&q).unwrap().groups, expected, "mnt_reg {}", q.id);
+        }
+    }
+
+    #[test]
+    fn disjunction_across_dimensions_matches_oracle() {
+        // an OR spanning two different dimensions forces per-disjunct
+        // bitmaps in the star plan
+        let db = db();
+        let wide = db.prejoin();
+        let q = Query::select([
+            SelectItem::sum("rev", AggExpr::attr("lo_revenue")),
+            SelectItem::count("n"),
+        ])
+        .id("or-dims")
+        .filter(col("c_region").eq("ASIA").or(col("s_region").eq("AMERICA")))
+        .group_by(["d_year"])
+        .build(wide.schema())
+        .unwrap();
+        let expected = stats::run_oracle(&q, &wide).unwrap();
+        assert_eq!(MonetEngine::prejoined(&wide, 3).run(&q).unwrap().groups, expected);
+        assert_eq!(MonetEngine::star(&db, 3).run(&q).unwrap().groups, expected);
+    }
+
+    #[test]
     fn thread_count_does_not_change_results() {
         let db = db();
         let wide = db.prejoin();
@@ -320,14 +367,14 @@ mod tests {
     fn min_max_queries_merge_correctly_across_threads() {
         let db = db();
         let wide = db.prejoin();
-        for func in [AggFunc::Min, AggFunc::Max] {
-            let q = Query {
-                id: "t".into(),
-                filter: vec![Atom::Eq { attr: "c_region".into(), value: "ASIA".into() }],
-                group_by: vec!["d_year".into()],
-                agg_func: func,
-                agg_expr: AggExpr::Attr("lo_revenue".into()),
-            };
+        for func in [AggFunc::Min, AggFunc::Max, AggFunc::Avg, AggFunc::Count] {
+            let q = Query::single(
+                "t",
+                vec![Atom::Eq { attr: "c_region".into(), value: "ASIA".into() }],
+                vec!["d_year".into()],
+                func,
+                AggExpr::attr("lo_revenue"),
+            );
             let expected = stats::run_oracle(&q, &wide).unwrap();
             assert_eq!(MonetEngine::prejoined(&wide, 4).run(&q).unwrap().groups, expected);
             assert_eq!(MonetEngine::star(&db, 4).run(&q).unwrap().groups, expected);
@@ -355,13 +402,13 @@ mod tests {
     fn empty_relation_yields_empty_groups() {
         let db = db();
         let wide = db.prejoin();
-        let q = Query {
-            id: "t".into(),
-            filter: vec![Atom::Gt { attr: "lo_quantity".into(), value: 63u64.into() }],
-            group_by: vec!["d_year".into()],
-            agg_func: AggFunc::Sum,
-            agg_expr: AggExpr::Attr("lo_revenue".into()),
-        };
+        let q = Query::single(
+            "t",
+            vec![Atom::Gt { attr: "lo_quantity".into(), value: 63u64.into() }],
+            vec!["d_year".into()],
+            AggFunc::Sum,
+            AggExpr::attr("lo_revenue"),
+        );
         assert!(MonetEngine::prejoined(&wide, 2).run(&q).unwrap().groups.is_empty());
         assert!(MonetEngine::star(&db, 2).run(&q).unwrap().groups.is_empty());
     }

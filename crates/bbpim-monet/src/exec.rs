@@ -1,14 +1,16 @@
-//! Physical operators: filter, positional star join, hash GROUP-BY.
+//! Physical operators: filter (conjunctive and DNF), positional star
+//! join, hash GROUP-BY over the full multi-aggregate SELECT list.
 
 use std::collections::HashMap;
 
-use bbpim_db::plan::{AggExpr, AggFunc, Query, ResolvedAtom};
-use bbpim_db::stats::GroupedResult;
+use bbpim_db::plan::{AggExpr, PhysAgg, PhysFunc, Query, ResolvedAtom};
+use bbpim_db::stats::{GroupedResult, MultiGrouped};
 use bbpim_db::{DbError, Relation};
 
 use crate::selection::{refine, select_all, SelectionVector};
 
-/// Filter a relation with resolved atoms, producing a selection vector.
+/// Filter a relation with one resolved conjunction, producing a
+/// selection vector.
 pub fn filter(rel: &Relation, atoms: &[ResolvedAtom]) -> SelectionVector {
     let mut sel = select_all(rel.len());
     for atom in atoms {
@@ -20,44 +22,43 @@ pub fn filter(rel: &Relation, atoms: &[ResolvedAtom]) -> SelectionVector {
     sel
 }
 
-/// Fold one value into a hash-aggregation table.
-#[inline]
-pub fn fold(table: &mut HashMap<Vec<u64>, u64>, key: Vec<u64>, v: u64, func: AggFunc) {
-    table
-        .entry(key)
-        .and_modify(|acc| {
-            *acc = match func {
-                AggFunc::Sum => acc.wrapping_add(v),
-                AggFunc::Min => (*acc).min(v),
-                AggFunc::Max => (*acc).max(v),
-            }
-        })
-        .or_insert(v);
+/// Refine a base selection with one resolved conjunction.
+pub fn refine_conj(
+    rel: &Relation,
+    atoms: &[ResolvedAtom],
+    base: &SelectionVector,
+) -> SelectionVector {
+    let mut sel = base.clone();
+    for atom in atoms {
+        sel = refine(rel.column(atom.attr_index()), atom, &sel);
+        if sel.is_empty() {
+            break;
+        }
+    }
+    sel
 }
 
-/// Merge a thread-local table into the global result.
-pub fn merge(into: &mut GroupedResult, from: HashMap<Vec<u64>, u64>, func: AggFunc) {
-    for (key, v) in from {
-        into.entry(key)
-            .and_modify(|acc| {
-                *acc = match func {
-                    AggFunc::Sum => acc.wrapping_add(v),
-                    AggFunc::Min => (*acc).min(v),
-                    AggFunc::Max => (*acc).max(v),
-                }
-            })
-            .or_insert(v);
+/// Union sorted selection vectors (the OR of DNF disjunct selections).
+pub fn union_selections(mut parts: Vec<SelectionVector>) -> SelectionVector {
+    match parts.len() {
+        0 => Vec::new(),
+        1 => parts.pop().expect("one part"),
+        _ => {
+            let mut all: SelectionVector = parts.into_iter().flatten().collect();
+            all.sort_unstable();
+            all.dedup();
+            all
+        }
     }
 }
 
-/// Evaluate an aggregate expression for one row (columns pre-resolved).
-#[inline]
-pub fn eval_expr(rel: &Relation, expr_cols: &ExprCols, row: usize) -> u64 {
-    match expr_cols {
-        ExprCols::Attr(a) => rel.value(row, *a),
-        ExprCols::Mul(a, b) => rel.value(row, *a).wrapping_mul(rel.value(row, *b)),
-        ExprCols::Sub(a, b) => rel.value(row, *a).wrapping_sub(rel.value(row, *b)),
-    }
+/// Filter a relation with a resolved DNF over a base row range.
+pub fn filter_dnf(
+    rel: &Relation,
+    dnf: &[Vec<ResolvedAtom>],
+    base: &SelectionVector,
+) -> SelectionVector {
+    union_selections(dnf.iter().map(|conj| refine_conj(rel, conj, base)).collect())
 }
 
 /// Column-index-resolved aggregate expression.
@@ -90,34 +91,127 @@ impl ExprCols {
     }
 }
 
-/// Hash GROUP-BY over a selection of a single (wide) relation.
+/// Evaluate an aggregate expression for one row (columns pre-resolved).
+#[inline]
+pub fn eval_expr(rel: &Relation, expr_cols: &ExprCols, row: usize) -> u64 {
+    match expr_cols {
+        ExprCols::Attr(a) => rel.value(row, *a),
+        ExprCols::Mul(a, b) => rel.value(row, *a).wrapping_mul(rel.value(row, *b)),
+        ExprCols::Sub(a, b) => rel.value(row, *a).wrapping_sub(rel.value(row, *b)),
+    }
+}
+
+/// The physical aggregates of a plan, resolved to column indices.
+#[derive(Debug, Clone)]
+pub struct ResolvedAggs {
+    /// Per-aggregate merge component.
+    pub funcs: Vec<PhysFunc>,
+    /// Per-aggregate expression (`None` = COUNT, contributes 1).
+    pub exprs: Vec<Option<ExprCols>>,
+}
+
+impl ResolvedAggs {
+    /// Resolve a plan's aggregates against a schema.
+    ///
+    /// # Errors
+    ///
+    /// Unknown attribute names.
+    pub fn resolve(aggs: &[PhysAgg], rel: &Relation) -> Result<Self, DbError> {
+        let funcs = aggs.iter().map(|a| a.func).collect();
+        let exprs = aggs
+            .iter()
+            .map(|a| a.expr.as_ref().map(|e| ExprCols::resolve(e, rel)).transpose())
+            .collect::<Result<_, _>>()?;
+        Ok(ResolvedAggs { funcs, exprs })
+    }
+
+    /// Number of aggregates.
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Is the aggregate list empty?
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+
+    /// The per-aggregate contributions of one row.
+    #[inline]
+    pub fn row_values(&self, rel: &Relation, row: usize) -> Vec<u64> {
+        self.exprs
+            .iter()
+            .map(|e| match e {
+                None => 1,
+                Some(expr) => eval_expr(rel, expr, row),
+            })
+            .collect()
+    }
+}
+
+/// Fold one row's values into a multi-column hash-aggregation table.
+#[inline]
+pub fn fold_row(
+    table: &mut HashMap<Vec<u64>, Vec<u64>>,
+    key: Vec<u64>,
+    values: Vec<u64>,
+    funcs: &[PhysFunc],
+) {
+    table
+        .entry(key)
+        .and_modify(|accs| {
+            for ((acc, v), func) in accs.iter_mut().zip(&values).zip(funcs) {
+                *acc = func.merge(*acc, *v);
+            }
+        })
+        .or_insert(values);
+}
+
+/// Merge a thread-local multi-column table into per-aggregate grouped
+/// results (one [`GroupedResult`] per aggregate, plan order).
+pub fn merge_table(
+    per_agg: &mut [GroupedResult],
+    from: HashMap<Vec<u64>, Vec<u64>>,
+    funcs: &[PhysFunc],
+) {
+    for (key, values) in from {
+        for ((grouped, v), func) in per_agg.iter_mut().zip(values).zip(funcs) {
+            grouped.entry(key.clone()).and_modify(|acc| *acc = func.merge(*acc, v)).or_insert(v);
+        }
+    }
+}
+
+/// Hash GROUP-BY over a selection of a single (wide) relation,
+/// evaluating the query's whole physical plan and finalising the
+/// multi-column answer.
 ///
 /// # Errors
 ///
-/// Unknown attribute names.
+/// Unknown attribute names / invalid SELECT lists.
 pub fn group_aggregate(
     rel: &Relation,
     query: &Query,
     sel: &SelectionVector,
-) -> Result<GroupedResult, DbError> {
+) -> Result<MultiGrouped, DbError> {
+    let plan = query.physical_plan()?;
     let key_cols: Vec<usize> =
         query.group_by.iter().map(|g| rel.schema().index_of(g)).collect::<Result<_, _>>()?;
-    let expr = ExprCols::resolve(&query.agg_expr, rel)?;
-    let mut table: HashMap<Vec<u64>, u64> = HashMap::new();
+    let aggs = ResolvedAggs::resolve(&plan.aggs, rel)?;
+    let mut table: HashMap<Vec<u64>, Vec<u64>> = HashMap::new();
     for &row in sel {
         let row = row as usize;
         let key: Vec<u64> = key_cols.iter().map(|&c| rel.value(row, c)).collect();
-        fold(&mut table, key, eval_expr(rel, &expr, row), query.agg_func);
+        fold_row(&mut table, key, aggs.row_values(rel, row), &aggs.funcs);
     }
-    let mut out = GroupedResult::new();
-    merge(&mut out, table, query.agg_func);
-    Ok(out)
+    let mut per_agg = vec![GroupedResult::new(); aggs.len()];
+    merge_table(&mut per_agg, table, &aggs.funcs);
+    Ok(plan.finalize(&per_agg))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bbpim_db::plan::Atom;
+    use bbpim_db::builder::col;
+    use bbpim_db::plan::{AggFunc, Atom, SelectItem};
     use bbpim_db::schema::{Attribute, Schema};
 
     fn rel() -> Relation {
@@ -137,13 +231,13 @@ mod tests {
     }
 
     fn query(filter: Vec<Atom>, group: Vec<&str>, expr: AggExpr) -> Query {
-        Query {
-            id: "t".into(),
+        Query::single(
+            "t",
             filter,
-            group_by: group.into_iter().map(String::from).collect(),
-            agg_func: AggFunc::Sum,
-            agg_expr: expr,
-        }
+            group.into_iter().map(String::from).collect(),
+            AggFunc::Sum,
+            expr,
+        )
     }
 
     #[test]
@@ -152,10 +246,28 @@ mod tests {
         let q = query(
             vec![Atom::Lt { attr: "v".into(), value: 30u64.into() }],
             vec!["g"],
-            AggExpr::Attr("v".into()),
+            AggExpr::attr("v"),
         );
-        let atoms = q.resolve_filter(rel.schema()).unwrap();
-        let sel = filter(&rel, &atoms);
+        let dnf = q.resolve_filter(rel.schema()).unwrap();
+        let sel = filter_dnf(&rel, &dnf, &select_all(rel.len()));
+        let got = group_aggregate(&rel, &q, &sel).unwrap();
+        assert_eq!(got, bbpim_db::stats::run_oracle(&q, &rel).unwrap());
+    }
+
+    #[test]
+    fn disjunctive_selection_unions_branches() {
+        let rel = rel();
+        let q = Query::select([SelectItem::count("n")])
+            .filter(col("v").lt(10u64).or(col("w").gt(80u64)))
+            .group_by(["g"])
+            .build(rel.schema())
+            .unwrap();
+        let dnf = q.resolve_filter(rel.schema()).unwrap();
+        let sel = filter_dnf(&rel, &dnf, &select_all(rel.len()));
+        // rows are unique even when both branches select them
+        let mut sorted = sel.clone();
+        sorted.dedup();
+        assert_eq!(sel, sorted);
         let got = group_aggregate(&rel, &q, &sel).unwrap();
         assert_eq!(got, bbpim_db::stats::run_oracle(&q, &rel).unwrap());
     }
@@ -166,16 +278,16 @@ mod tests {
         let q = query(
             vec![Atom::Gt { attr: "v".into(), value: 200u64.into() }],
             vec!["g"],
-            AggExpr::Attr("v".into()),
+            AggExpr::attr("v"),
         );
-        let atoms = q.resolve_filter(rel.schema()).unwrap();
-        assert!(filter(&rel, &atoms).is_empty());
+        let dnf = q.resolve_filter(rel.schema()).unwrap();
+        assert!(filter_dnf(&rel, &dnf, &select_all(rel.len())).is_empty());
     }
 
     #[test]
     fn expression_aggregates() {
         let rel = rel();
-        for expr in [AggExpr::Mul("v".into(), "w".into()), AggExpr::Sub("w".into(), "g".into())] {
+        for expr in [AggExpr::mul("v", "w"), AggExpr::sub("w", "g")] {
             let q = query(vec![], vec!["g"], expr);
             let sel = select_all(rel.len());
             let got = group_aggregate(&rel, &q, &sel).unwrap();
@@ -184,16 +296,40 @@ mod tests {
     }
 
     #[test]
-    fn merge_combines_thread_locals() {
-        let mut a = GroupedResult::new();
-        let mut t1 = HashMap::new();
-        fold(&mut t1, vec![1], 10, AggFunc::Sum);
-        let mut t2 = HashMap::new();
-        fold(&mut t2, vec![1], 5, AggFunc::Sum);
-        fold(&mut t2, vec![2], 7, AggFunc::Sum);
-        merge(&mut a, t1, AggFunc::Sum);
-        merge(&mut a, t2, AggFunc::Sum);
-        assert_eq!(a[&vec![1u64]], 15);
-        assert_eq!(a[&vec![2u64]], 7);
+    fn multi_aggregate_group_aggregate() {
+        let rel = rel();
+        let q = Query::select([
+            SelectItem::sum("s", AggExpr::attr("v")),
+            SelectItem::count("n"),
+            SelectItem::avg("a", AggExpr::attr("v")),
+            SelectItem::min("lo", AggExpr::attr("w")),
+        ])
+        .group_by(["g"])
+        .build(rel.schema())
+        .unwrap();
+        let got = group_aggregate(&rel, &q, &select_all(rel.len())).unwrap();
+        assert_eq!(got, bbpim_db::stats::run_oracle(&q, &rel).unwrap());
+    }
+
+    #[test]
+    fn fold_row_merges_per_column() {
+        let funcs = [PhysFunc::Sum, PhysFunc::Min, PhysFunc::Count];
+        let mut t = HashMap::new();
+        fold_row(&mut t, vec![1], vec![10, 5, 1], &funcs);
+        fold_row(&mut t, vec![1], vec![7, 9, 1], &funcs);
+        assert_eq!(t[&vec![1u64]], vec![17, 5, 2]);
+        let mut per_agg = vec![GroupedResult::new(); 3];
+        merge_table(&mut per_agg, t, &funcs);
+        assert_eq!(per_agg[0][&vec![1u64]], 17);
+        assert_eq!(per_agg[1][&vec![1u64]], 5);
+        assert_eq!(per_agg[2][&vec![1u64]], 2);
+    }
+
+    #[test]
+    fn union_selections_dedups_and_sorts() {
+        let a = vec![1u32, 3, 5];
+        let b = vec![2u32, 3, 8];
+        assert_eq!(union_selections(vec![a, b]), vec![1, 2, 3, 5, 8]);
+        assert!(union_selections(vec![]).is_empty());
     }
 }

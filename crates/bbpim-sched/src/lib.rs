@@ -84,23 +84,23 @@ mod tests {
     }
 
     fn year_probe(y: u64) -> Query {
-        Query {
-            id: format!("y{y}"),
-            filter: vec![Atom::Eq { attr: "d_year".into(), value: y.into() }],
-            group_by: vec![],
-            agg_func: AggFunc::Sum,
-            agg_expr: AggExpr::Attr("lo_price".into()),
-        }
+        Query::single(
+            format!("y{y}"),
+            vec![Atom::Eq { attr: "d_year".into(), value: y.into() }],
+            vec![],
+            AggFunc::Sum,
+            AggExpr::Attr("lo_price".into()),
+        )
     }
 
     fn broad() -> Query {
-        Query {
-            id: "broad".into(),
-            filter: vec![Atom::Gt { attr: "lo_price".into(), value: 0u64.into() }],
-            group_by: vec![],
-            agg_func: AggFunc::Sum,
-            agg_expr: AggExpr::Mul("lo_price".into(), "lo_disc".into()),
-        }
+        Query::single(
+            "broad",
+            vec![Atom::Gt { attr: "lo_price".into(), value: 0u64.into() }],
+            vec![],
+            AggFunc::Sum,
+            AggExpr::Mul("lo_price".into(), "lo_disc".into()),
+        )
     }
 
     fn cluster(shards: usize) -> ClusterEngine {
@@ -142,13 +142,13 @@ mod tests {
         // its turn on the shared dispatch bus, runs on an idle module
         // and finishes first.
         let mut c = cluster(7);
-        let long = Query {
-            id: "long".into(),
-            filter: vec![Atom::Between { attr: "d_year".into(), lo: 0u64.into(), hi: 5u64.into() }],
-            group_by: vec![],
-            agg_func: AggFunc::Sum,
-            agg_expr: AggExpr::Mul("lo_price".into(), "lo_disc".into()),
-        };
+        let long = Query::single(
+            "long",
+            vec![Atom::Between { attr: "d_year".into(), lo: 0u64.into(), hi: 5u64.into() }],
+            vec![],
+            AggFunc::Sum,
+            AggExpr::Mul("lo_price".into(), "lo_disc".into()),
+        );
         let workload = Workload::new(
             vec![long, year_probe(6)],
             vec![Arrival { at_ns: 0.0, query: 0 }, Arrival { at_ns: 1.0, query: 1 }],
@@ -253,13 +253,13 @@ mod tests {
     #[test]
     fn planner_only_queries_complete_at_admission() {
         let mut c = cluster(4);
-        let impossible = Query {
-            id: "never".into(),
-            filter: vec![Atom::Gt { attr: "lo_price".into(), value: 254u64.into() }],
-            group_by: vec![],
-            agg_func: AggFunc::Sum,
-            agg_expr: AggExpr::Attr("lo_price".into()),
-        };
+        let impossible = Query::single(
+            "never",
+            vec![Atom::Gt { attr: "lo_price".into(), value: 254u64.into() }],
+            vec![],
+            AggFunc::Sum,
+            AggExpr::Attr("lo_price".into()),
+        );
         let workload =
             Workload::new(vec![impossible], vec![Arrival { at_ns: 40.0, query: 0 }]).unwrap();
         let out = run_stream(&mut c, &workload, &SchedConfig::default()).unwrap();

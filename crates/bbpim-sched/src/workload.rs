@@ -139,13 +139,7 @@ mod tests {
     use bbpim_db::plan::{AggExpr, AggFunc};
 
     fn q(id: &str) -> Query {
-        Query {
-            id: id.into(),
-            filter: vec![],
-            group_by: vec![],
-            agg_func: AggFunc::Sum,
-            agg_expr: AggExpr::Attr("x".into()),
-        }
+        Query::single(id, vec![], vec![], AggFunc::Sum, AggExpr::Attr("x".into()))
     }
 
     #[test]

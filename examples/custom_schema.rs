@@ -1,6 +1,7 @@
 //! Using the PIM engine on a custom (non-SSB) schema: a tiny IoT
-//! telemetry warehouse, pre-joined sensor metadata, filters, GROUP BY
-//! and MIN/MAX aggregation — showing the public API is not SSB-specific.
+//! telemetry warehouse, pre-joined sensor metadata, a disjunctive
+//! filter, GROUP BY and a multi-aggregate SELECT list — showing the
+//! public v2 query API is not SSB-specific.
 //!
 //! ```sh
 //! cargo run --release --example custom_schema
@@ -8,8 +9,9 @@
 
 use std::sync::Arc;
 
+use bbpim::db::builder::col;
 use bbpim::db::dict::Dictionary;
-use bbpim::db::plan::{AggExpr, AggFunc, Atom, Query};
+use bbpim::db::plan::{AggExpr, Query, SelectItem};
 use bbpim::db::schema::{Attribute, Schema};
 use bbpim::db::stats;
 use bbpim::db::Relation;
@@ -61,25 +63,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     engine.calibrate(&CalibrationConfig::default())?;
     println!("telemetry warehouse loaded: {} readings, two-crossbar layout", 100_000);
 
-    // Peak overnight drift per site: MAX(value - baseline) for night
-    // hours at temperature sensors.
-    let q = Query {
-        id: "night_drift".into(),
-        filter: vec![
-            Atom::Lt { attr: "lo_hour".into(), value: 6u64.into() },
-            Atom::Eq { attr: "s_kind".into(), value: "temperature".into() },
-        ],
-        group_by: vec!["s_site".into()],
-        agg_func: AggFunc::Max,
-        agg_expr: AggExpr::Sub("lo_value".into(), "lo_baseline".into()),
-    };
+    // Off-hours drift report per site: temperature sensors, during the
+    // night OR the late evening (a disjunctive filter), with peak and
+    // average drift plus the sample count — three named aggregates off
+    // one planned filter mask.
+    let q = Query::select([
+        SelectItem::max("peak_drift", AggExpr::sub("lo_value", "lo_baseline")),
+        SelectItem::avg("avg_drift", AggExpr::sub("lo_value", "lo_baseline")),
+        SelectItem::count("readings"),
+    ])
+    .id("night_drift")
+    .filter(
+        col("s_kind").eq("temperature").and(col("lo_hour").lt(6u64).or(col("lo_hour").gt(21u64))),
+    )
+    .group_by(["s_site"])
+    .build(engine.relation().schema())?;
+    println!("filter: {}", q.filter);
+
     let out = engine.run(&q)?;
     assert_eq!(out.groups, stats::run_oracle(&q, engine.relation())?);
 
     let site_dict = engine.relation().schema().attr("s_site")?.dictionary().expect("dict").clone();
-    println!("\nMAX(value - baseline), hours 0-5, temperature sensors:");
-    for (key, drift) in &out.groups {
-        println!("  {:<8} {drift}", site_dict.decode(key[0]).unwrap_or("?"));
+    println!("\noff-hours drift, temperature sensors (value - baseline):");
+    println!("  {:<8} {:>10} {:>10} {:>9}", "site", "peak", "avg", "readings");
+    for (key, row) in &out.groups {
+        println!(
+            "  {:<8} {:>10} {:>10} {:>9}",
+            site_dict.decode(key[0]).unwrap_or("?"),
+            row[0],
+            row[1],
+            row[2]
+        );
     }
     println!(
         "\nsimulated: {:.3} ms, {} of {} subgroups aggregated in PIM",

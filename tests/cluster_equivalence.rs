@@ -1,5 +1,5 @@
 //! Shard-equivalence: the cluster engine must return bit-identical
-//! `GroupedResult`s to the single-module engine and the row-at-a-time
+//! multi-column answers to the single-module engine and the row-at-a-time
 //! oracle for every shard count and partitioner, on generated SSB data,
 //! including UPDATE-then-query sequences.
 
@@ -90,13 +90,13 @@ fn randomized_warehouses_agree_across_shard_counts() {
     for case in 0..6u64 {
         let mut rng = StdRng::seed_from_u64(0xC1_0571 + case);
         let rel = random_relation(&mut rng);
-        let q = Query {
-            id: "prop".into(),
-            filter: vec![Atom::Gt { attr: "lo_a".into(), value: rng.gen_range(0u64..200).into() }],
-            group_by: vec!["d_g".into()],
-            agg_func: [AggFunc::Sum, AggFunc::Min, AggFunc::Max][rng.gen_range(0usize..3)],
-            agg_expr: AggExpr::Attr("lo_a".into()),
-        };
+        let q = Query::single(
+            "prop",
+            vec![Atom::Gt { attr: "lo_a".into(), value: rng.gen_range(0u64..200).into() }],
+            vec!["d_g".into()],
+            [AggFunc::Sum, AggFunc::Min, AggFunc::Max][rng.gen_range(0usize..3)],
+            AggExpr::Attr("lo_a".into()),
+        );
         let oracle = stats::run_oracle(&q, &rel).unwrap();
         for shards in SHARD_COUNTS {
             for p in partitioners(&q.group_by) {
@@ -138,13 +138,13 @@ fn random_relation(rng: &mut StdRng) -> Relation {
 #[test]
 fn update_then_query_agrees_with_single_engine() {
     let wide = ssb_wide();
-    let probe = Query {
-        id: "post-update".into(),
-        filter: vec![Atom::Gt { attr: "lo_quantity".into(), value: 10u64.into() }],
-        group_by: vec!["d_year".into()],
-        agg_func: AggFunc::Sum,
-        agg_expr: AggExpr::Attr("lo_extendedprice".into()),
-    };
+    let probe = Query::single(
+        "post-update",
+        vec![Atom::Gt { attr: "lo_quantity".into(), value: 10u64.into() }],
+        vec!["d_year".into()],
+        AggFunc::Sum,
+        AggExpr::Attr("lo_extendedprice".into()),
+    );
     let op = UpdateOp {
         filter: vec![Atom::Lt { attr: "lo_quantity".into(), value: 25u64.into() }],
         set_attr: "d_year".into(),

@@ -84,10 +84,12 @@ fn random_query(rng: &mut StdRng, allow_sub: bool) -> Query {
             break e;
         }
     };
-    let agg_func = match rng.gen_range(0u64..3) {
+    let agg_func = match rng.gen_range(0u64..5) {
         0 => AggFunc::Sum,
         1 => AggFunc::Min,
-        _ => AggFunc::Max,
+        2 => AggFunc::Max,
+        3 => AggFunc::Count,
+        _ => AggFunc::Avg,
     };
     let group_by = match rng.gen_range(0u64..3) {
         0 => Vec::new(),
@@ -95,7 +97,7 @@ fn random_query(rng: &mut StdRng, allow_sub: bool) -> Query {
         _ => vec!["d_g".to_string(), "d_h".to_string()],
     };
     let filter = (0..rng.gen_range(0usize..3)).map(|_| random_atom(rng)).collect();
-    Query { id: "prop".into(), filter, group_by, agg_func, agg_expr }
+    Query::single("prop", filter, group_by, agg_func, agg_expr)
 }
 
 #[test]

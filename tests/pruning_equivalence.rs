@@ -49,7 +49,7 @@ fn cluster(wide: &Relation, shards: usize, p: &Partitioner) -> ClusterEngine {
 fn check_pruned_vs_exhaustive(
     c: &mut ClusterEngine,
     q: &Query,
-    oracle: &stats::GroupedResult,
+    oracle: &stats::MultiGrouped,
     label: &str,
 ) {
     c.set_pruning(true);
@@ -107,16 +107,16 @@ fn all_13_queries_pruned_equals_oracle_all_partitioners() {
 #[test]
 fn update_then_query_keeps_pruning_sound() {
     let wide = ssb_wide();
-    let probe = Query {
-        id: "post-update".into(),
-        filter: vec![
+    let probe = Query::single(
+        "post-update",
+        vec![
             Atom::Eq { attr: "d_year".into(), value: 1998u64.into() },
             Atom::Gt { attr: "lo_quantity".into(), value: 10u64.into() },
         ],
-        group_by: vec!["d_year".into()],
-        agg_func: AggFunc::Sum,
-        agg_expr: AggExpr::Attr("lo_extendedprice".into()),
-    };
+        vec!["d_year".into()],
+        AggFunc::Sum,
+        AggExpr::Attr("lo_extendedprice".into()),
+    );
     // Moves records *into* d_year = 1998: range shards that never held
     // 1998 must widen their zones or the probe would miss the records.
     let op = UpdateOp {

@@ -111,24 +111,20 @@ fn pruned_short_query_overtakes_long_one_under_load() {
     // the probe's per-shard PIM work. The 1998 probe's candidate set is
     // disjoint, so after its turn on the shared dispatch bus it runs on
     // an idle module and finishes first even though it arrived later.
-    let q_long = Query {
-        id: "long".into(),
-        filter: vec![Atom::Between {
-            attr: "d_year".into(),
-            lo: 1992u64.into(),
-            hi: 1997u64.into(),
-        }],
-        group_by: vec![],
-        agg_func: AggFunc::Sum,
-        agg_expr: AggExpr::Mul("lo_extendedprice".into(), "lo_discount".into()),
-    };
-    let q_short = Query {
-        id: "y1998".into(),
-        filter: vec![Atom::Eq { attr: "d_year".into(), value: 1998u64.into() }],
-        group_by: vec![],
-        agg_func: AggFunc::Sum,
-        agg_expr: AggExpr::Attr("lo_quantity".into()),
-    };
+    let q_long = Query::single(
+        "long",
+        vec![Atom::Between { attr: "d_year".into(), lo: 1992u64.into(), hi: 1997u64.into() }],
+        vec![],
+        AggFunc::Sum,
+        AggExpr::Mul("lo_extendedprice".into(), "lo_discount".into()),
+    );
+    let q_short = Query::single(
+        "y1998",
+        vec![Atom::Eq { attr: "d_year".into(), value: 1998u64.into() }],
+        vec![],
+        AggFunc::Sum,
+        AggExpr::Attr("lo_quantity".into()),
+    );
     let workload = Workload::new(
         vec![q_long, q_short],
         vec![
