@@ -1,0 +1,221 @@
+//! Merge per-bin bench snapshots into one `BENCH_PR.json` and gate the
+//! headline ratios against a checked-in baseline.
+//!
+//! ```text
+//! bench_gate --out BENCH_PR.json [--baseline bench/baseline.json] \
+//!            [--tolerance 0.15] scaling.json pruning.json streaming.json
+//! ```
+//!
+//! Each input is a single-section snapshot written by a bench binary's
+//! `--json` flag (`{"scaling": {…}}`). The merge concatenates the
+//! sections verbatim; with `--baseline` the gate then compares the
+//! headline ratios — pruned-vs-exhaustive wall clock, scsf-vs-fifo
+//! p50, and the 3-aggregate energy saving — and exits nonzero if any
+//! regressed by more than the tolerance (default 15 %). Every gated
+//! metric is a *simulated* ratio, so baseline and PR values are
+//! deterministic for a given seed and scale factor; the tolerance is
+//! headroom for deliberate model changes, not machine noise.
+//!
+//! Without `--baseline` the tool only merges — which is also how the
+//! checked-in baseline is (re)generated:
+//!
+//! ```text
+//! bench_gate --out bench/baseline.json scaling.json pruning.json streaming.json
+//! ```
+//!
+//! The workspace vendors a stub `serde`, so the snapshots are parsed
+//! with a purpose-built scanner for this flat two-level shape instead
+//! of a JSON library.
+
+use std::process::ExitCode;
+
+/// The gated headline ratios: `(section, key)`. Higher is better for
+/// every one of them.
+const GATED: &[(&str, &str)] = &[
+    ("pruning", "wall_clock_speedup"),
+    ("streaming", "scsf_vs_fifo_p50"),
+    ("scaling", "agg3_energy_saving"),
+];
+
+/// Extract the body of a top-level `"section": { … }` object. The
+/// snapshots are flat (no nested braces inside a section), which the
+/// writer guarantees.
+fn section_body(json: &str, section: &str) -> Option<String> {
+    let tag = format!("\"{section}\"");
+    let at = json.find(&tag)?;
+    let open = json[at..].find('{')? + at;
+    let close = json[open..].find('}')? + open;
+    Some(json[open + 1..close].trim().to_string())
+}
+
+/// Look up `section.key` as a number in a snapshot (merged or single).
+fn lookup(json: &str, section: &str, key: &str) -> Option<f64> {
+    let body = section_body(json, section)?;
+    let tag = format!("\"{key}\"");
+    let at = body.find(&tag)?;
+    let colon = body[at..].find(':')? + at;
+    let rest = body[colon + 1..].trim_start();
+    let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Merge single-section snapshots into one JSON object, preserving
+/// input order. Duplicate sections are rejected — that is always a CI
+/// wiring mistake.
+fn merge(inputs: &[(String, String)]) -> Result<String, String> {
+    let mut sections: Vec<(String, String)> = Vec::new();
+    for (path, content) in inputs {
+        let name_at = content.find('"').ok_or_else(|| format!("{path}: no section"))?;
+        let name_end = content[name_at + 1..]
+            .find('"')
+            .ok_or_else(|| format!("{path}: unterminated section name"))?
+            + name_at
+            + 1;
+        let name = content[name_at + 1..name_end].to_string();
+        if sections.iter().any(|(n, _)| *n == name) {
+            return Err(format!("{path}: duplicate section `{name}`"));
+        }
+        let body =
+            section_body(content, &name).ok_or_else(|| format!("{path}: malformed section"))?;
+        sections.push((name, body));
+    }
+    let rendered: Vec<String> = sections
+        .iter()
+        .map(|(name, body)| {
+            let indented =
+                body.lines().map(|l| format!("    {}", l.trim())).collect::<Vec<_>>().join("\n");
+            format!("  \"{name}\": {{\n{indented}\n  }}")
+        })
+        .collect();
+    Ok(format!("{{\n{}\n}}\n", rendered.join(",\n")))
+}
+
+struct Args {
+    out: Option<String>,
+    baseline: Option<String>,
+    tolerance: f64,
+    inputs: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args { out: None, baseline: None, tolerance: 0.15, inputs: Vec::new() };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--out" => {
+                args.out = Some(argv.get(i + 1).ok_or("--out needs a path")?.clone());
+                i += 1;
+            }
+            "--baseline" => {
+                args.baseline = Some(argv.get(i + 1).ok_or("--baseline needs a path")?.clone());
+                i += 1;
+            }
+            "--tolerance" => {
+                args.tolerance = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|t: &f64| (0.0..1.0).contains(t))
+                    .ok_or("--tolerance needs a fraction in [0, 1)")?;
+                i += 1;
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            path => args.inputs.push(path.to_string()),
+        }
+        i += 1;
+    }
+    if args.inputs.is_empty() {
+        return Err("no input snapshots given".into());
+    }
+    Ok(args)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let inputs: Vec<(String, String)> = args
+        .inputs
+        .iter()
+        .map(|p| {
+            std::fs::read_to_string(p).map(|c| (p.clone(), c)).map_err(|e| format!("{p}: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    let merged = merge(&inputs)?;
+    if let Some(out) = &args.out {
+        std::fs::write(out, &merged).map_err(|e| format!("{out}: {e}"))?;
+        println!("merged {} snapshots into {out}", inputs.len());
+    }
+
+    let Some(baseline_path) = &args.baseline else {
+        return Ok(());
+    };
+    let baseline =
+        std::fs::read_to_string(baseline_path).map_err(|e| format!("{baseline_path}: {e}"))?;
+    let mut failures = Vec::new();
+    println!("\nregression gate (tolerance {:.0}%):", args.tolerance * 100.0);
+    for (section, key) in GATED {
+        let base = lookup(&baseline, section, key)
+            .ok_or_else(|| format!("{baseline_path}: missing {section}.{key}"))?;
+        let now = lookup(&merged, section, key)
+            .ok_or_else(|| format!("merged snapshot: missing {section}.{key}"))?;
+        let floor = base * (1.0 - args.tolerance);
+        let ok = now >= floor;
+        println!(
+            "  [{}] {section}.{key}: {now:.4} vs baseline {base:.4} (floor {floor:.4})",
+            if ok { "PASS" } else { "FAIL" },
+        );
+        if !ok {
+            failures.push(format!("{section}.{key} regressed: {now:.4} < {floor:.4}"));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCALING: &str = "{\n  \"scaling\": {\n    \"agg3_energy_saving\": 2.103000,\n    \"max_shards\": 4.000000\n  }\n}\n";
+    const PRUNING: &str = "{\n  \"pruning\": {\n    \"wall_clock_speedup\": 1.810000\n  }\n}\n";
+
+    #[test]
+    fn lookup_reads_section_scoped_numbers() {
+        assert_eq!(lookup(SCALING, "scaling", "agg3_energy_saving"), Some(2.103));
+        assert_eq!(lookup(SCALING, "scaling", "max_shards"), Some(4.0));
+        assert_eq!(lookup(SCALING, "scaling", "missing"), None);
+        assert_eq!(lookup(SCALING, "pruning", "wall_clock_speedup"), None);
+    }
+
+    #[test]
+    fn merge_concatenates_sections_and_stays_parseable() {
+        let merged =
+            merge(&[("a.json".into(), SCALING.into()), ("b.json".into(), PRUNING.into())]).unwrap();
+        assert_eq!(lookup(&merged, "scaling", "agg3_energy_saving"), Some(2.103));
+        assert_eq!(lookup(&merged, "pruning", "wall_clock_speedup"), Some(1.81));
+    }
+
+    #[test]
+    fn merge_rejects_duplicate_sections() {
+        let r = merge(&[("a.json".into(), SCALING.into()), ("b.json".into(), SCALING.into())]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn lookup_handles_trailing_entry_without_comma() {
+        let json = "{\n  \"s\": {\n    \"only\": 3.5\n  }\n}\n";
+        assert_eq!(lookup(json, "s", "only"), Some(3.5));
+    }
+}

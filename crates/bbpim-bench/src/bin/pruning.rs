@@ -23,4 +23,28 @@ fn main() {
     let shard_counts = s.cfg.shards.clone();
     let points = run_pruning_study(&s, EngineMode::OneXb, &shard_counts, RANGE_ATTR);
     reports::print_pruning(&s, &points);
+
+    // Machine-readable snapshot for the CI regression gate: the
+    // pruned-vs-exhaustive wall-clock headline at the largest shard
+    // count (geo-mean over queries the planner did not answer alone).
+    if let Some(path) = &s.cfg.json {
+        let top = points.iter().max_by_key(|p| p.shards).expect("at least one shard count");
+        let wall: Vec<f64> = (0..s.queries.len())
+            .filter(|&i| top.pruned[i].report.time_ns > 0.0)
+            .map(|i| top.exhaustive[i].report.time_ns / top.pruned[i].report.time_ns)
+            .collect();
+        let energy: Vec<f64> = (0..s.queries.len())
+            .filter(|&i| top.pruned[i].report.energy_pj > 0.0)
+            .map(|i| top.exhaustive[i].report.energy_pj / top.pruned[i].report.energy_pj)
+            .collect();
+        bbpim_bench::write_snapshot(
+            path,
+            "pruning",
+            &[
+                ("wall_clock_speedup", bbpim_bench::geomean_filtered(&wall).0.unwrap_or(1.0)),
+                ("energy_saving", bbpim_bench::geomean_filtered(&energy).0.unwrap_or(1.0)),
+                ("max_shards", top.shards as f64),
+            ],
+        );
+    }
 }

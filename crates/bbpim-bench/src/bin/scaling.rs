@@ -69,4 +69,27 @@ fn main() {
         &["query", "partitioner", "round-robin", "hash-by-key", "rr/hash"],
         &rows,
     );
+
+    // Machine-readable snapshot for the CI regression gate: the
+    // multi-aggregate sharing headline (one 3-aggregate query vs three
+    // single-aggregate runs) plus the scaling geo-mean.
+    if let Some(path) = &s.cfg.json {
+        let max_shards = *shard_counts.iter().max().expect("at least one shard count");
+        let agg3 = bbpim_bench::run_multi_agg_saving(&s, EngineMode::OneXb, max_shards);
+        let base = points.iter().min_by_key(|p| p.shards).expect("scale points");
+        let top = points.iter().max_by_key(|p| p.shards).expect("scale points");
+        let ratios: Vec<f64> = (0..s.queries.len())
+            .map(|i| base.executions[i].report.time_ns / top.executions[i].report.time_ns)
+            .collect();
+        let geomean_speedup = bbpim_bench::geomean_filtered(&ratios).0.unwrap_or(1.0);
+        bbpim_bench::write_snapshot(
+            path,
+            "scaling",
+            &[
+                ("agg3_energy_saving", agg3),
+                ("geomean_speedup_max_shards", geomean_speedup),
+                ("max_shards", max_shards as f64),
+            ],
+        );
+    }
 }

@@ -22,4 +22,30 @@ fn main() {
     let study = run_streaming_study(&s, EngineMode::OneXb, shards);
     reports::print_explain(&s, &study.explains);
     reports::print_streaming(&s, &study);
+
+    // Machine-readable snapshot for the CI regression gate: the
+    // admission-policy headline (FIFO p50 over SCSF p50 — how much the
+    // candidate-set-size heuristic buys) plus bus pressure.
+    if let Some(path) = &s.cfg.json {
+        let p50 = |label: &str| {
+            study
+                .policies
+                .iter()
+                .find(|r| r.policy.label() == label)
+                .map(|r| r.outcome.latency_summary().p50_ns)
+                .expect("both policies ran")
+        };
+        let (fifo, scsf) = (p50("fifo"), p50("scsf"));
+        let fifo_run = study.policies.iter().find(|r| r.policy.label() == "fifo").unwrap();
+        bbpim_bench::write_snapshot(
+            path,
+            "streaming",
+            &[
+                ("scsf_vs_fifo_p50", if scsf > 0.0 { fifo / scsf } else { 1.0 }),
+                ("fifo_p50_ms", fifo / 1e6),
+                ("scsf_p50_ms", scsf / 1e6),
+                ("host_utilisation", fifo_run.outcome.host_utilisation()),
+            ],
+        );
+    }
 }

@@ -510,8 +510,12 @@ pub fn print_streaming(setup: &SsbSetup, study: &StreamingStudy) {
 }
 
 /// Cluster scaling study: simulated latency and speedup per shard
-/// count, per query. The point with the fewest shards is the baseline
-/// (normally 1 shard), regardless of sweep order.
+/// count, per query, under the default shared-host-channel contention
+/// model. The free-per-module-channel A/B timing is recovered from the
+/// same executions with [`crate::optimistic_wall_ns`] — the gap between
+/// the two clocks is exactly the journal extension's host-channel
+/// bound. The point with the fewest shards is the baseline (normally 1
+/// shard), regardless of sweep order.
 pub fn print_scaling(setup: &SsbSetup, points: &[ClusterScalePoint]) {
     let base = points.iter().min_by_key(|p| p.shards).expect("at least one scale point");
     println!(
@@ -549,35 +553,68 @@ pub fn print_scaling(setup: &SsbSetup, points: &[ClusterScalePoint]) {
     }
     print_table(&header_refs, &rows);
 
-    println!("\ngeo-mean speedup over {}-shard (queries with nonzero time):", base.shards);
-    for p in &compared {
+    // Two wall clocks from the one sweep: the contended model as
+    // reported, and the optimistic free-channel model recomputed from
+    // the same per-shard logs.
+    let wall = |p: &ClusterScalePoint, i: usize, contended: bool| -> f64 {
+        if contended {
+            p.executions[i].report.time_ns
+        } else {
+            crate::optimistic_wall_ns(&p.executions[i].report)
+        }
+    };
+    let geomean_speedups = |p: &ClusterScalePoint, contended: bool| -> Option<f64> {
         let ratios: Vec<f64> = (0..setup.queries.len())
-            .map(|i| base.executions[i].report.time_ns / p.executions[i].report.time_ns)
+            .map(|i| wall(base, i, contended) / wall(p, i, contended))
             .filter(|r| r.is_finite() && *r > 0.0)
             .collect();
         if ratios.is_empty() {
-            println!("  {} shards: every query answered by the planner alone", p.shards);
+            None
         } else {
-            println!("  {} shards: {:>6.2}x", p.shards, geomean(&ratios));
+            Some(geomean(&ratios))
+        }
+    };
+    println!("\ngeo-mean speedup over {}-shard (queries with nonzero time):", base.shards);
+    for p in &compared {
+        match (geomean_speedups(p, true), geomean_speedups(p, false)) {
+            (None, _) => {
+                println!("  {} shards: every query answered by the planner alone", p.shards)
+            }
+            (Some(c), Some(f)) => println!(
+                "  {} shards: {c:>6.2}x contended host channel  ({f:.2}x with free per-module \
+                 channels — the gap is the host-channel bound)",
+                p.shards
+            ),
+            (Some(c), None) => println!("  {} shards: {c:>6.2}x", p.shards),
         }
     }
 
     // The headline check: module-level parallelism must pay off on at
     // least one GROUP BY query by 4 shards (when 4 shards were run).
-    if let Some(p4) = points.iter().find(|p| p.shards == 4) {
-        let best = setup
+    // Parallelism is a property of the modules, so it is checked on the
+    // free-channel model; the contended best alongside it quantifies
+    // how much of that parallelism the shared host channel eats — the
+    // journal extension's core observation.
+    let best_gb = |contended: bool| -> Option<(f64, String)> {
+        let p4 = points.iter().find(|p| p.shards == 4)?;
+        setup
             .queries
             .iter()
             .enumerate()
             .filter(|(_, q)| q.has_group_by())
-            .map(|(i, q)| {
-                (base.executions[i].report.time_ns / p4.executions[i].report.time_ns, q.id.clone())
-            })
-            .max_by(|a, b| a.0.total_cmp(&b.0));
-        if let Some((speedup, id)) = best {
+            .map(|(i, q)| (wall(base, i, contended) / wall(p4, i, contended), q.id.clone()))
+            .max_by(|a, b| a.0.total_cmp(&b.0))
+    };
+    if let Some((speedup, id)) = best_gb(false) {
+        println!(
+            "\nshape check:\n  [{}] best GROUP BY module-parallel speedup at 4 shards: \
+             {speedup:.2}x on {id} (free channels, target > 1.5x)",
+            if speedup > 1.5 { "PASS" } else { "FAIL" },
+        );
+        if let Some((contended, cid)) = best_gb(true) {
             println!(
-                "\nshape check:\n  [{}] best GROUP BY speedup at 4 shards: {speedup:.2}x on {id} (target > 1.5x)",
-                if speedup > 1.5 { "PASS" } else { "FAIL" },
+                "  host-channel bound: the contended model keeps {contended:.2}x (on {cid}) of \
+                 that win"
             );
         }
     }

@@ -19,13 +19,18 @@
 //!
 //! ## Wall-clock model
 //!
-//! Real modules execute concurrently, but the *host* is one resource:
-//! its per-page orchestration (the [`PhaseKind::HostDispatch`] slice of
-//! each shard's log) serialises across shards, while the PIM phases
-//! overlap. The cluster's simulated wall clock for one query is
-//! therefore `Σ dispatch + max over shards of (shard time − its
-//! dispatch) + host merge`; energy — drawn by every module — is the
-//! *sum*.
+//! Real modules execute concurrently, but the *host* is one resource.
+//! Under the default **contention model**, *everything* that crosses
+//! the host↔module channel serialises across shards: per-page dispatch
+//! ([`PhaseKind::HostDispatch`]) *and* the bandwidth term of every
+//! byte-tagged transfer (mask transfers, result-line reads, host-gb
+//! record fetches — `QueryReport::host_bus_ns`). The wall clock for
+//! one query is `Σ host-bus occupancy + max over shards of (shard time
+//! − its occupancy) + host merge`; energy — drawn by every module — is
+//! the *sum*. [`ClusterEngine::set_contention`]`(false)` restores the
+//! pre-contention optimistic model (only dispatch serialises, every
+//! transfer rides a free per-module channel) for A/B studies; answers
+//! are bit-identical either way.
 
 use bbpim_core::engine::PimQueryEngine;
 use bbpim_core::groupby::calibration::CalibrationConfig;
@@ -66,6 +71,7 @@ pub struct ClusterEngine {
     mode: EngineMode,
     records: usize,
     pruning: bool,
+    contention: bool,
 }
 
 /// Everything the cluster reports per query.
@@ -85,12 +91,19 @@ pub struct ClusterReport {
     pub shards_pruned: usize,
     /// Partitioning strategy label.
     pub partitioner: &'static str,
-    /// Simulated wall clock: host-serial dispatch plus max over shards
-    /// of the PIM-side time plus the host-side merge, nanoseconds.
+    /// Simulated wall clock: host-serial channel occupancy plus max
+    /// over shards of the overlappable time plus the host-side merge,
+    /// nanoseconds (see the module docs for the contention model).
     pub time_ns: f64,
     /// Host-side per-page orchestration summed over dispatched shards
     /// (serialised on the one host), nanoseconds.
     pub dispatch_time_ns: f64,
+    /// Total shared host-channel occupancy summed over dispatched
+    /// shards (dispatch + the bandwidth term of every byte-tagged
+    /// transfer), nanoseconds. Under the contention model this whole
+    /// slice serialises; the optimistic model serialises only
+    /// `dispatch_time_ns`.
+    pub host_bus_time_ns: f64,
     /// Host-side gather/merge slice of `time_ns`.
     pub merge_time_ns: f64,
     /// Total busy time summed over shards (the work the cluster did).
@@ -171,8 +184,8 @@ pub struct ClusterUpdateReport {
     /// Active shards skipped pre-scatter (their zone maps prove the
     /// WHERE clause matches nothing they hold).
     pub shards_pruned: usize,
-    /// Simulated wall clock (host-serial dispatch + max over shards of
-    /// the PIM-side time), nanoseconds.
+    /// Simulated wall clock (host-serial channel occupancy + max over
+    /// shards of the overlappable PIM-side time), nanoseconds.
     pub time_ns: f64,
     /// Host-side per-page orchestration summed over dispatched shards.
     pub dispatch_time_ns: f64,
@@ -187,6 +200,21 @@ pub struct ClusterUpdateReport {
 /// The host-dispatch slice of one log.
 fn dispatch_ns(log: &RunLog) -> f64 {
     log.time_in(PhaseKind::HostDispatch)
+}
+
+impl ClusterEngine {
+    /// The slice of one shard's execution the host must serialise under
+    /// the current accounting model: the whole channel occupancy
+    /// (`host_bus_ns`) with contention on, only per-page dispatch with
+    /// it off. Single source of truth for `run`, `run_batch` and
+    /// `update` so the three wall clocks can never drift apart.
+    fn serial_slice_ns(&self, host_bus_ns: f64, log: &RunLog) -> f64 {
+        if self.contention {
+            host_bus_ns
+        } else {
+            dispatch_ns(log)
+        }
+    }
 }
 
 impl ClusterEngine {
@@ -231,6 +259,7 @@ impl ClusterEngine {
             mode,
             records,
             pruning: true,
+            contention: true,
         })
     }
 
@@ -279,6 +308,23 @@ impl ClusterEngine {
         for shard in &mut self.shards {
             shard.engine.set_pruning(enabled);
         }
+    }
+
+    /// Is the shared-host-channel contention model enabled (default)?
+    /// When on, every host↔module transfer serialises across shards in
+    /// the wall clock; when off, only per-page dispatch does (the
+    /// pre-contention optimistic model). Answers are bit-identical
+    /// either way — only time accounting changes.
+    pub fn contention(&self) -> bool {
+        self.contention
+    }
+
+    /// Enable or disable the shared-host-channel contention model for
+    /// A/B studies. Propagates to the streaming scheduler, which reads
+    /// this flag to decide whether tagged transfer phases ride the
+    /// shared bus.
+    pub fn set_contention(&mut self, enabled: bool) {
+        self.contention = enabled;
     }
 
     /// An active shard's zone map; `i` indexes active shards.
@@ -522,16 +568,16 @@ impl ClusterEngine {
             })
             .collect();
 
-        let dispatch_total: f64 = per_shard
-            .iter()
-            .flat_map(|execs| execs.iter().map(|(_, e)| dispatch_ns(&e.report.phases)))
-            .sum();
+        let serial =
+            |e: &QueryExecution| self.serial_slice_ns(e.report.host_bus_ns, &e.report.phases);
+        let serial_total: f64 =
+            per_shard.iter().flat_map(|execs| execs.iter().map(|(_, e)| serial(e))).sum();
         let pim_queue = |shard_execs: &Vec<(usize, QueryExecution)>| -> f64 {
-            shard_execs.iter().map(|(_, e)| e.report.time_ns - dispatch_ns(&e.report.phases)).sum()
+            shard_execs.iter().map(|(_, e)| e.report.time_ns - serial(e)).sum()
         };
         let merge_time: f64 = executions.iter().map(|e| e.report.merge_time_ns).sum();
         let wall_time_ns =
-            dispatch_total + per_shard.iter().map(pim_queue).fold(0.0, f64::max) + merge_time;
+            serial_total + per_shard.iter().map(pim_queue).fold(0.0, f64::max) + merge_time;
         let serial_time_ns = executions.iter().map(|e| e.report.time_ns).sum();
         Ok(BatchExecution { executions, wall_time_ns, serial_time_ns })
     }
@@ -555,12 +601,13 @@ impl ClusterEngine {
         }
         let reports: Vec<UpdateReport> = results.into_iter().flatten().collect();
         let dispatch_time_ns: f64 = reports.iter().map(|r| dispatch_ns(&r.phases)).sum();
-        let pim_max =
-            reports.iter().map(|r| r.time_ns - dispatch_ns(&r.phases)).fold(0.0, f64::max);
+        let serial = |r: &UpdateReport| self.serial_slice_ns(r.host_bus_ns, &r.phases);
+        let serial_total: f64 = reports.iter().map(serial).sum();
+        let pim_max = reports.iter().map(|r| r.time_ns - serial(r)).fold(0.0, f64::max);
         Ok(ClusterUpdateReport {
             records_updated: reports.iter().map(|r| r.records_updated).sum(),
             shards_pruned: mask.iter().filter(|d| !**d).count(),
-            time_ns: dispatch_time_ns + pim_max,
+            time_ns: serial_total + pim_max,
             dispatch_time_ns,
             total_shard_time_ns: reports.iter().map(|r| r.time_ns).sum(),
             energy_pj: reports.iter().map(|r| r.energy_pj).sum(),
@@ -609,13 +656,16 @@ impl ClusterEngine {
             .unwrap_or(0.0);
         let merge_time_ns = merged_entries as f64 * merge_ns_per_entry;
 
-        // One host: per-page dispatch serialises across shards; the PIM
-        // phases overlap.
+        // One host: the serialised slice of each shard is its whole
+        // channel occupancy under the contention model, or just its
+        // per-page dispatch under the optimistic one; everything else
+        // overlaps across modules.
         let dispatch_time_ns: f64 = executions.iter().map(|e| dispatch_ns(&e.report.phases)).sum();
-        let pim_max = executions
-            .iter()
-            .map(|e| e.report.time_ns - dispatch_ns(&e.report.phases))
-            .fold(0.0, f64::max);
+        let host_bus_time_ns: f64 = executions.iter().map(|e| e.report.host_bus_ns).sum();
+        let serial =
+            |e: &&QueryExecution| self.serial_slice_ns(e.report.host_bus_ns, &e.report.phases);
+        let serial_total: f64 = executions.iter().map(serial).sum();
+        let pim_max = executions.iter().map(|e| e.report.time_ns - serial(e)).fold(0.0, f64::max);
         let selected: u64 = executions.iter().map(|e| e.report.selected).sum();
         let report = ClusterReport {
             query_id: query.id.clone(),
@@ -624,8 +674,9 @@ impl ClusterEngine {
             active_shards: self.shards.len(),
             shards_pruned,
             partitioner: self.partitioner.label(),
-            time_ns: dispatch_time_ns + pim_max + merge_time_ns,
+            time_ns: serial_total + pim_max + merge_time_ns,
             dispatch_time_ns,
+            host_bus_time_ns,
             merge_time_ns,
             total_shard_time_ns: executions.iter().map(|e| e.report.time_ns).sum(),
             energy_pj: executions.iter().map(|e| e.report.energy_pj).sum(),
@@ -758,26 +809,58 @@ mod tests {
     }
 
     #[test]
-    fn wall_clock_serialises_dispatch_and_overlaps_pim() {
+    fn wall_clock_serialises_host_bus_and_overlaps_pim() {
         let mut c = cluster(3, Partitioner::RoundRobin);
         let out = c.run(&q2_like(AggFunc::Sum)).unwrap();
         let d_total: f64 =
             out.report.per_shard.iter().map(|r| r.phases.time_in(PhaseKind::HostDispatch)).sum();
-        let pim_max = out
-            .report
-            .per_shard
-            .iter()
-            .map(|r| r.time_ns - r.phases.time_in(PhaseKind::HostDispatch))
-            .fold(0.0, f64::max);
+        let bus_total: f64 = out.report.per_shard.iter().map(|r| r.host_bus_ns).sum();
+        let pim_max =
+            out.report.per_shard.iter().map(|r| r.time_ns - r.host_bus_ns).fold(0.0, f64::max);
         let sum_t: f64 = out.report.per_shard.iter().map(|r| r.time_ns).sum();
         let sum_e: f64 = out.report.per_shard.iter().map(|r| r.energy_pj).sum();
         assert!((out.report.dispatch_time_ns - d_total).abs() < 1e-9);
-        assert!((out.report.time_ns - (d_total + pim_max + out.report.merge_time_ns)).abs() < 1e-9);
+        assert!((out.report.host_bus_time_ns - bus_total).abs() < 1e-9);
+        assert!(
+            bus_total > d_total,
+            "result-line reads must add channel occupancy beyond dispatch"
+        );
+        assert!(
+            (out.report.time_ns - (bus_total + pim_max + out.report.merge_time_ns)).abs() < 1e-9
+        );
         assert!((out.report.total_shard_time_ns - sum_t).abs() < 1e-9);
         assert!((out.report.energy_pj - sum_e).abs() < 1e-9);
         assert!(out.report.merge_time_ns > 0.0);
         assert!(out.report.dispatch_time_ns > 0.0);
         assert!(out.report.time_ns < sum_t, "parallel shards must beat serial execution");
+    }
+
+    #[test]
+    fn contention_off_restores_optimistic_model_with_identical_answers() {
+        let q = q2_like(AggFunc::Sum);
+        let mut c = cluster(3, Partitioner::RoundRobin);
+        let contended = c.run(&q).unwrap();
+        c.set_contention(false);
+        assert!(!c.contention());
+        let optimistic = c.run(&q).unwrap();
+        assert_eq!(contended.groups, optimistic.groups, "answers are accounting-independent");
+        assert_eq!(contended.report.selected, optimistic.report.selected);
+        // the optimistic model serialises only dispatch
+        let d_total = optimistic.report.dispatch_time_ns;
+        let pim_max = optimistic
+            .report
+            .per_shard
+            .iter()
+            .map(|r| r.time_ns - r.phases.time_in(PhaseKind::HostDispatch))
+            .fold(0.0, f64::max);
+        assert!(
+            (optimistic.report.time_ns - (d_total + pim_max + optimistic.report.merge_time_ns))
+                .abs()
+                < 1e-9
+        );
+        // contention can only lengthen the wall clock; energy is identical
+        assert!(contended.report.time_ns >= optimistic.report.time_ns - 1e-9);
+        assert!((contended.report.energy_pj - optimistic.report.energy_pj).abs() < 1e-9);
     }
 
     #[test]

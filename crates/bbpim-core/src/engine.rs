@@ -311,6 +311,7 @@ impl PimQueryEngine {
         let report = QueryReport {
             query_id: query.id.clone(),
             mode: self.mode,
+            host_bus_ns: bbpim_sim::hostbus::log_occupancy_ns(&self.module.config().host, &log),
             time_ns: log.total_time_ns(),
             energy_pj: log.total_energy_pj(),
             peak_chip_power_w: log.peak_chip_power_w(),

@@ -42,6 +42,13 @@ pub struct QueryReport {
     pub subgroups_in_sample: u64,
     /// Subgroups aggregated in PIM (`k`, Table II; Q1.x report 1).
     pub pim_agg_subgroups: u64,
+    /// Shared host-channel occupancy of this execution, nanoseconds:
+    /// per-page dispatch plus the bandwidth term of every host↔module
+    /// transfer (mask transfers, result-line reads, host-gb record
+    /// fetches). This is the slice of `time_ns` a multi-module host
+    /// must *serialise* across shards and concurrent queries; the rest
+    /// (PIM phases, host compute, latency stalls) overlaps freely.
+    pub host_bus_ns: f64,
     /// Full phase log.
     pub phases: RunLog,
 }
@@ -166,6 +173,7 @@ mod tests {
             total_subgroups: 0,
             subgroups_in_sample: 0,
             pim_agg_subgroups: 0,
+            host_bus_ns: 0.0,
             phases: RunLog::new(),
         }
     }

@@ -42,6 +42,10 @@ pub struct UpdateReport {
     pub pages_scanned: usize,
     /// Simulated time, nanoseconds.
     pub time_ns: f64,
+    /// Shared host-channel occupancy (dispatch + transfer bandwidth),
+    /// nanoseconds — the slice of `time_ns` serialised across shards
+    /// under contention (see `QueryReport::host_bus_ns`).
+    pub host_bus_ns: f64,
     /// PIM energy, picojoules.
     pub energy_pj: f64,
     /// Phase log.
@@ -156,6 +160,7 @@ pub fn run_update(
         records_updated: updated,
         pages_scanned: pages.len(),
         time_ns: log.total_time_ns(),
+        host_bus_ns: bbpim_sim::hostbus::log_occupancy_ns(&module.config().host, &log),
         energy_pj: log.total_energy_pj(),
         phases: log,
     })

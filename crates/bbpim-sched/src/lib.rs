@@ -281,10 +281,20 @@ mod tests {
         assert!(out.throughput_qps() > 0.0);
         assert!(out.host_utilisation() > 0.0 && out.host_utilisation() <= 1.0);
         assert!(out.mean_shard_utilisation() > 0.0 && out.mean_shard_utilisation() <= 1.0);
-        // host busy time equals the dispatch + merge demand total
+        // host busy time equals the channel-occupancy + merge demand
+        // total (under contention every tagged transfer rides the bus)
         let demand: f64 =
-            out.executions.iter().map(|e| e.report.dispatch_time_ns + e.report.merge_time_ns).sum();
+            out.executions.iter().map(|e| e.report.host_bus_time_ns + e.report.merge_time_ns).sum();
         assert!((out.host_busy_ns - demand).abs() < 1e-6);
+        assert!(
+            demand
+                > out
+                    .executions
+                    .iter()
+                    .map(|e| e.report.dispatch_time_ns + e.report.merge_time_ns)
+                    .sum::<f64>(),
+            "transfers must add bused work beyond dispatch + merge"
+        );
     }
 
     #[test]

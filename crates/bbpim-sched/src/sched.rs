@@ -19,11 +19,19 @@
 //!   shard slice on its own FIFO queue; PIM phases of *different*
 //!   queries on *different* shards overlap freely, which is where
 //!   out-of-order completion comes from.
-//! * **Shared dispatch bus** — the host's per-page orchestration is one
-//!   resource ([`SharedBus`]): dispatch slices of concurrent queries
-//!   serialise, extending within-query host-serial dispatch (PR 2's
-//!   wall-clock model) across in-flight queries. The host-side merge of
-//!   each query's partials rides the same bus.
+//! * **Shared host channel** — with the cluster's contention model on
+//!   (the default, [`ClusterEngine::contention`]), *every* tagged host
+//!   phase of every in-flight query rides one [`SharedBus`]: per-page
+//!   dispatch, mask transfers, result-line reads, host-gb record
+//!   fetches and update-mask writes, each for its channel occupancy
+//!   ([`bbpim_sim::hostbus::phase_occupancy_ns`]). A shard execution
+//!   becomes an alternating chain of bus slices and module-local
+//!   slices, so a two-xb query's per-disjunct mask transfers queue
+//!   behind other queries' result reads exactly as the off-chip
+//!   interface would force them to. The host-side merge of each
+//!   query's partials rides the same bus. With contention off, only
+//!   dispatch and merge serialise (the pre-contention optimistic
+//!   model) — useful for A/B latency studies.
 //!
 //! Every service demand is taken from real per-shard executions
 //! ([`ClusterEngine::run_on_shard`]), and the merged answers are folded
@@ -38,7 +46,8 @@ use std::collections::BinaryHeap;
 
 use bbpim_cluster::{ClusterEngine, ClusterExecution};
 use bbpim_core::result::QueryExecution;
-use bbpim_sim::hostbus::SharedBus;
+use bbpim_sim::config::HostConfig;
+use bbpim_sim::hostbus::{phase_occupancy_ns, SharedBus};
 use bbpim_sim::timeline::PhaseKind;
 
 use crate::error::SchedError;
@@ -96,9 +105,10 @@ pub enum EventKind {
     Arrive,
     /// The query was admitted (left the admission queue).
     Admit,
-    /// The host bus finished dispatching the query's pages to a shard.
+    /// The host bus finished the query's *first* bus slice for a shard
+    /// (the per-page dispatch that opens every shard chain).
     Dispatched,
-    /// A shard finished the query's PIM slice.
+    /// A shard finished the query's entire slice chain.
     ShardDone,
     /// The query's partials merged; the query is complete.
     Complete,
@@ -129,7 +139,7 @@ pub struct QueryCompletion {
     pub arrive_ns: f64,
     /// When admission control let it in.
     pub admit_ns: f64,
-    /// When its first dispatch slice started on the host bus (equals
+    /// When its first bus slice started on the host channel (equals
     /// `admit_ns` for planner-only answers).
     pub first_service_ns: f64,
     /// When its merged answer was ready.
@@ -174,9 +184,10 @@ pub struct StreamOutcome {
     pub timeline: Vec<TimelineEvent>,
     /// When the last query completed.
     pub makespan_ns: f64,
-    /// Host-bus busy time (dispatch + merge).
+    /// Host-channel busy time: dispatch, every tagged transfer slice
+    /// (under contention) and merges.
     pub host_busy_ns: f64,
-    /// Per-active-shard PIM busy time.
+    /// Per-active-shard module-local busy time.
     pub shard_busy_ns: Vec<f64>,
 }
 
@@ -195,13 +206,14 @@ impl StreamOutcome {
         }
     }
 
-    /// Fraction of the makespan the host bus was busy.
+    /// Fraction of the makespan the host channel was busy, saturated to
+    /// `[0, 1]` (eager FIFO grants can stretch past the last
+    /// completion, so the raw ratio could drift above 1).
     pub fn host_utilisation(&self) -> f64 {
         if self.makespan_ns <= 0.0 {
-            0.0
-        } else {
-            self.host_busy_ns / self.makespan_ns
+            return 0.0;
         }
+        (self.host_busy_ns / self.makespan_ns).clamp(0.0, 1.0)
     }
 
     /// Mean per-shard PIM utilisation over the makespan.
@@ -210,7 +222,7 @@ impl StreamOutcome {
             return 0.0;
         }
         let mean_busy = self.shard_busy_ns.iter().sum::<f64>() / self.shard_busy_ns.len() as f64;
-        mean_busy / self.makespan_ns
+        (mean_busy / self.makespan_ns).clamp(0.0, 1.0)
     }
 
     /// The first completion that finished while an earlier arrival was
@@ -239,13 +251,24 @@ impl StreamOutcome {
     }
 }
 
-/// The service demand of one query on one shard (from a real
-/// execution).
+/// One step of a shard chain: an optional host-channel slice followed
+/// by an optional module-local slice.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Slice {
+    /// Shared-channel occupancy (serialises against everything in
+    /// flight).
+    bus_ns: f64,
+    /// Module-local time (PIM programs, host compute, latency stalls):
+    /// queues only on this shard's own server.
+    local_ns: f64,
+}
+
+/// The service demand of one query on one shard: its execution's phase
+/// log compiled to an alternating bus/local slice chain.
 #[derive(Clone)]
 struct ShardDemand {
     shard: usize,
-    dispatch_ns: f64,
-    pim_ns: f64,
+    slices: Vec<Slice>,
 }
 
 /// Per-arrival resolved demand.
@@ -255,6 +278,37 @@ struct Demand {
     shards: Vec<ShardDemand>,
     shards_pruned: usize,
     merge_ns: f64,
+}
+
+/// Compile one shard execution's phase log into the slice chain the
+/// discrete-event simulation plays out.
+///
+/// Under contention every phase contributes its channel occupancy
+/// ([`phase_occupancy_ns`]) as a bus slice and the remainder as local
+/// time, preserving phase order — a transfer in the middle of a two-xb
+/// filter really does re-queue on the bus between two PIM programs.
+/// Without contention the whole log collapses to the optimistic shape:
+/// one bus slice for the per-page dispatch, everything else local.
+fn compile_slices(exec: &QueryExecution, host: &HostConfig, contention: bool) -> Vec<Slice> {
+    if !contention {
+        let dispatch = exec.report.phases.time_in(PhaseKind::HostDispatch);
+        return vec![Slice { bus_ns: dispatch, local_ns: exec.report.time_ns - dispatch }];
+    }
+    let mut slices: Vec<Slice> = vec![Slice { bus_ns: 0.0, local_ns: 0.0 }];
+    for phase in exec.report.phases.phases() {
+        let bus = phase_occupancy_ns(host, phase);
+        let local = phase.time_ns - bus;
+        if bus > 0.0 {
+            slices.push(Slice { bus_ns: bus, local_ns: local });
+        } else {
+            slices.last_mut().expect("seeded with one slice").local_ns += local;
+        }
+    }
+    slices.retain(|s| s.bus_ns > 0.0 || s.local_ns > 0.0);
+    if slices.is_empty() {
+        slices.push(Slice { bus_ns: 0.0, local_ns: 0.0 });
+    }
+    slices
 }
 
 /// Mutable per-arrival simulation state.
@@ -267,9 +321,13 @@ struct Progress {
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Ev {
+    /// An arrival enters the admission queue.
     Arrive(usize),
-    DispatchDone(usize, usize),
-    PimDone(usize, usize),
+    /// `(arrival, shard_pos, slice_idx)`: the slice's bus part ended.
+    BusDone(usize, usize, usize),
+    /// `(arrival, shard_pos, slice_idx)`: the slice's local part ended.
+    LocalDone(usize, usize, usize),
+    /// The query's host-side merge ended.
     MergeDone(usize),
 }
 
@@ -344,6 +402,22 @@ impl Sim<'_> {
         }
     }
 
+    /// Start one slice of a shard chain at `now_ns`: its bus part rides
+    /// the shared channel first (free when zero-width), then its local
+    /// part queues on the shard. Returns the bus grant start when the
+    /// slice touched the bus.
+    fn start_slice(&mut self, now_ns: f64, ai: usize, sp: usize, idx: usize) -> Option<f64> {
+        let slice = self.demands[ai].shards[sp].slices[idx];
+        if slice.bus_ns > 0.0 {
+            let grant = self.host.acquire(now_ns, slice.bus_ns);
+            self.push_event(grant.end_ns, Ev::BusDone(ai, sp, idx));
+            Some(grant.start_ns)
+        } else {
+            self.push_event(now_ns, Ev::BusDone(ai, sp, idx));
+            None
+        }
+    }
+
     /// Admit from the queue while in-flight slots are free.
     fn try_admit(&mut self, now_ns: f64) {
         while self.in_flight < self.cfg.max_in_flight && !self.waiting.is_empty() {
@@ -362,18 +436,17 @@ impl Sim<'_> {
                 continue;
             }
             self.in_flight += 1;
-            // The host posts this query's descriptors shard by shard;
-            // the bus serialises them against everything else in
-            // flight.
+            // The host opens every candidate shard's chain; the first
+            // slice of each (the per-page dispatch) serialises on the
+            // bus against everything else in flight.
             let mut first_service_ns = f64::INFINITY;
-            for si in 0..n_shards {
-                let (shard, dispatch_ns) = {
-                    let d = &self.demands[ai].shards[si];
-                    (d.shard, d.dispatch_ns)
-                };
-                let grant = self.host.acquire(now_ns, dispatch_ns);
-                first_service_ns = first_service_ns.min(grant.start_ns);
-                self.push_event(grant.end_ns, Ev::DispatchDone(ai, shard));
+            for sp in 0..n_shards {
+                if let Some(start) = self.start_slice(now_ns, ai, sp, 0) {
+                    first_service_ns = first_service_ns.min(start);
+                }
+            }
+            if !first_service_ns.is_finite() {
+                first_service_ns = now_ns;
             }
             self.progress[ai] =
                 Some(Progress { admit_ns: now_ns, first_service_ns, remaining: n_shards });
@@ -395,6 +468,17 @@ impl Sim<'_> {
         });
     }
 
+    /// A shard chain finished its last slice.
+    fn shard_done(&mut self, t: f64, ai: usize, shard: usize) {
+        self.record(t, EventKind::ShardDone, ai, Some(shard));
+        let p = self.progress[ai].as_mut().expect("in-flight query has progress");
+        p.remaining -= 1;
+        if p.remaining == 0 {
+            let grant = self.host.acquire(t, self.demands[ai].merge_ns);
+            self.push_event(grant.end_ns, Ev::MergeDone(ai));
+        }
+    }
+
     fn run(mut self, executions: Vec<ClusterExecution>) -> StreamOutcome {
         let policy = self.cfg.policy;
         while let Some(entry) = self.events.pop() {
@@ -405,24 +489,30 @@ impl Sim<'_> {
                     self.waiting.push(ai);
                     self.try_admit(t);
                 }
-                Ev::DispatchDone(ai, shard) => {
-                    self.record(t, EventKind::Dispatched, ai, Some(shard));
-                    let pim_ns = self.demands[ai]
-                        .shards
-                        .iter()
-                        .find(|d| d.shard == shard)
-                        .expect("dispatched shard has a demand")
-                        .pim_ns;
-                    let grant = self.shard_bus[shard].acquire(t, pim_ns);
-                    self.push_event(grant.end_ns, Ev::PimDone(ai, shard));
+                Ev::BusDone(ai, sp, idx) => {
+                    let (shard, slice) = {
+                        let d = &self.demands[ai].shards[sp];
+                        (d.shard, d.slices[idx])
+                    };
+                    if idx == 0 {
+                        self.record(t, EventKind::Dispatched, ai, Some(shard));
+                    }
+                    if slice.local_ns > 0.0 {
+                        let grant = self.shard_bus[shard].acquire(t, slice.local_ns);
+                        self.push_event(grant.end_ns, Ev::LocalDone(ai, sp, idx));
+                    } else {
+                        self.push_event(t, Ev::LocalDone(ai, sp, idx));
+                    }
                 }
-                Ev::PimDone(ai, shard) => {
-                    self.record(t, EventKind::ShardDone, ai, Some(shard));
-                    let p = self.progress[ai].as_mut().expect("in-flight query has progress");
-                    p.remaining -= 1;
-                    if p.remaining == 0 {
-                        let grant = self.host.acquire(t, self.demands[ai].merge_ns);
-                        self.push_event(grant.end_ns, Ev::MergeDone(ai));
+                Ev::LocalDone(ai, sp, idx) => {
+                    let (shard, len) = {
+                        let d = &self.demands[ai].shards[sp];
+                        (d.shard, d.slices.len())
+                    };
+                    if idx + 1 < len {
+                        self.start_slice(t, ai, sp, idx + 1);
+                    } else {
+                        self.shard_done(t, ai, shard);
                     }
                 }
                 Ev::MergeDone(ai) => {
@@ -446,19 +536,17 @@ impl Sim<'_> {
     }
 }
 
-/// The host-dispatch slice of one shard execution.
-fn dispatch_ns(exec: &QueryExecution) -> f64 {
-    exec.report.phases.time_in(PhaseKind::HostDispatch)
-}
-
 /// Stream `workload` through `cluster` under `cfg`.
 ///
 /// Service demands come from real per-shard executions, so the merged
 /// answers in [`StreamOutcome::executions`] are bit-identical to
 /// [`ClusterEngine::run_batch`] over the same arrived queries; the
 /// discrete-event timeline then decides *when* each query's slices run
-/// under admission control, per-shard FIFO queues and the shared
-/// dispatch bus.
+/// under admission control, per-shard FIFO queues and the shared host
+/// channel. With [`ClusterEngine::contention`] on (the default), every
+/// tagged host phase — dispatch, mask transfers, result reads, host-gb
+/// fetches — queues on the one bus; with it off only dispatch and
+/// merge do.
 ///
 /// # Errors
 ///
@@ -472,6 +560,8 @@ pub fn run_stream(
     if cfg.max_in_flight == 0 {
         return Err(SchedError::InvalidConfig("max_in_flight must be at least 1".into()));
     }
+    let contention = cluster.contention();
+    let host_cfg: Option<HostConfig> = cluster.shard_engine(0).map(|e| e.config().host.clone());
 
     // Resolve every *distinct* query's service demand once by
     // executing its shard slices (deterministic and read-only, so
@@ -494,14 +584,14 @@ pub fn run_stream(
             let refs: Vec<&QueryExecution> = shard_execs.iter().map(|(_, e)| e).collect();
             let shards_pruned = mask.len() - candidates.len();
             let merged = cluster.merge_executions(query, &refs, shards_pruned);
+            let host = host_cfg.as_ref().expect("candidate shards imply an active shard");
             let demand = Demand {
                 query_id: query.id.clone(),
                 shards: shard_execs
                     .iter()
                     .map(|(s, e)| ShardDemand {
                         shard: *s,
-                        dispatch_ns: dispatch_ns(e),
-                        pim_ns: e.report.time_ns - dispatch_ns(e),
+                        slices: compile_slices(e, host, contention),
                     })
                     .collect(),
                 shards_pruned,
@@ -532,4 +622,96 @@ pub fn run_stream(
         sim.push_event(arrival.at_ns, Ev::Arrive(ai));
     }
     Ok(sim.run(executions))
+}
+
+#[cfg(test)]
+mod slice_tests {
+    use super::*;
+    use bbpim_sim::timeline::{Phase, RunLog};
+
+    fn phase(kind: PhaseKind, time_ns: f64, host_bytes: u64) -> Phase {
+        Phase { kind, time_ns, energy_pj: 0.0, chip_power_w: 0.0, host_bytes }
+    }
+
+    fn exec_with(phases: Vec<Phase>) -> QueryExecution {
+        let mut log = RunLog::new();
+        for p in &phases {
+            log.push(*p);
+        }
+        let host = HostConfig::default();
+        let host_bus_ns = bbpim_sim::hostbus::log_occupancy_ns(&host, &log);
+        QueryExecution {
+            groups: Default::default(),
+            partials: Vec::new(),
+            report: bbpim_core::result::QueryReport {
+                query_id: "t".into(),
+                mode: bbpim_core::modes::EngineMode::OneXb,
+                time_ns: log.total_time_ns(),
+                energy_pj: 0.0,
+                peak_chip_power_w: 0.0,
+                max_row_cell_writes: 0,
+                row_cells: 512,
+                records: 0,
+                pages: 0,
+                pages_scanned: 0,
+                selected: 0,
+                selectivity: 0.0,
+                total_subgroups: 0,
+                subgroups_in_sample: 0,
+                pim_agg_subgroups: 0,
+                host_bus_ns,
+                phases: log,
+            },
+        }
+    }
+
+    #[test]
+    fn contention_compiles_per_phase_chains() {
+        let host = HostConfig::default();
+        let exec = exec_with(vec![
+            Phase::host_dispatch(600.0),
+            phase(PhaseKind::PimLogic, 3000.0, 0),
+            phase(PhaseKind::HostRead, 500.0, 4096),
+            phase(PhaseKind::HostWrite, 700.0, 4096),
+            phase(PhaseKind::PimLogic, 1000.0, 0),
+        ]);
+        let slices = compile_slices(&exec, &host, true);
+        // dispatch opens the chain, then read and write each re-queue
+        assert_eq!(slices.len(), 3);
+        assert_eq!(slices[0].bus_ns, 600.0);
+        assert_eq!(slices[0].local_ns, 3000.0);
+        let read_bus = bbpim_sim::hostbus::transfer_ns(&host, 4096);
+        assert!((slices[1].bus_ns - read_bus).abs() < 1e-9);
+        assert!((slices[1].local_ns - (500.0 - read_bus)).abs() < 1e-9);
+        assert!((slices[2].local_ns - (700.0 - slices[2].bus_ns) - 1000.0).abs() < 1e-9);
+        // total time is preserved exactly
+        let total: f64 = slices.iter().map(|s| s.bus_ns + s.local_ns).sum();
+        assert!((total - exec.report.time_ns).abs() < 1e-9);
+        // and the bus share matches the report's occupancy
+        let bus: f64 = slices.iter().map(|s| s.bus_ns).sum();
+        assert!((bus - exec.report.host_bus_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_contention_collapses_to_dispatch_plus_local() {
+        let host = HostConfig::default();
+        let exec = exec_with(vec![
+            Phase::host_dispatch(600.0),
+            phase(PhaseKind::HostRead, 500.0, 64 * 1024),
+            phase(PhaseKind::PimLogic, 1000.0, 0),
+        ]);
+        let slices = compile_slices(&exec, &host, false);
+        assert_eq!(slices.len(), 1);
+        assert_eq!(slices[0].bus_ns, 600.0);
+        assert!((slices[0].local_ns - 1500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_log_still_yields_a_chain() {
+        let host = HostConfig::default();
+        let exec = exec_with(Vec::new());
+        let slices = compile_slices(&exec, &host, true);
+        assert_eq!(slices.len(), 1);
+        assert_eq!(slices[0], Slice { bus_ns: 0.0, local_ns: 0.0 });
+    }
 }

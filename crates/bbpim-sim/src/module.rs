@@ -144,6 +144,7 @@ impl PimModule {
             time_ns,
             energy_pj: logic_pj + controller_pj,
             chip_power_w: self.logic_chip_power_w(pages.len()),
+            host_bytes: 0,
         })
     }
 
@@ -186,6 +187,7 @@ impl PimModule {
                 time_ns,
                 energy_pj,
                 chip_power_w: self.agg_chip_power_w(pages.len(), req),
+                host_bytes: 0,
             },
         ))
     }
@@ -237,6 +239,7 @@ impl PimModule {
                 time_ns,
                 energy_pj,
                 chip_power_w: self.agg_chip_power_w(pages.len(), req),
+                host_bytes: 0,
             },
         ))
     }
@@ -308,6 +311,7 @@ impl PimModule {
                 time_ns,
                 energy_pj,
                 chip_power_w: self.logic_chip_power_w(pages.len()),
+                host_bytes: 0,
             },
         ))
     }
@@ -365,6 +369,8 @@ impl PimModule {
     }
 
     /// Phase for the host reading `lines` cache lines from this module.
+    /// The phase is byte-tagged (`lines × line_bytes`) so the shared
+    /// host channel can account its bus occupancy under contention.
     pub fn host_read_phase(&self, lines: u64) -> Phase {
         let time_ns = hostmem::read_time_ns(&self.cfg, lines);
         let energy_pj = hostmem::read_energy_pj(&self.cfg, lines);
@@ -373,12 +379,15 @@ impl PimModule {
             time_ns,
             energy_pj,
             chip_power_w: hostmem::chip_power_w(&self.cfg, energy_pj, time_ns),
+            host_bytes: lines * self.cfg.host.line_bytes as u64,
         }
     }
 
     /// Phase for the host reading `lines` *scattered* (data-dependent)
     /// cache lines from this module — see
-    /// [`hostmem::scattered_read_time_ns`].
+    /// [`hostmem::scattered_read_time_ns`]. Byte-tagged like
+    /// [`PimModule::host_read_phase`]; the latency-stall excess over
+    /// the bandwidth term does not occupy the shared channel.
     pub fn host_read_scattered_phase(&self, lines: u64) -> Phase {
         let time_ns = hostmem::scattered_read_time_ns(&self.cfg, lines);
         let energy_pj = hostmem::read_energy_pj(&self.cfg, lines);
@@ -387,10 +396,12 @@ impl PimModule {
             time_ns,
             energy_pj,
             chip_power_w: hostmem::chip_power_w(&self.cfg, energy_pj, time_ns),
+            host_bytes: lines * self.cfg.host.line_bytes as u64,
         }
     }
 
-    /// Phase for the host writing `lines` cache lines into this module.
+    /// Phase for the host writing `lines` cache lines into this module
+    /// (byte-tagged, see [`PimModule::host_read_phase`]).
     pub fn host_write_phase(&self, lines: u64) -> Phase {
         let time_ns = hostmem::write_time_ns(&self.cfg, lines);
         let energy_pj = hostmem::write_energy_pj(&self.cfg, lines);
@@ -399,6 +410,7 @@ impl PimModule {
             time_ns,
             energy_pj,
             chip_power_w: hostmem::chip_power_w(&self.cfg, energy_pj, time_ns),
+            host_bytes: lines * self.cfg.host.line_bytes as u64,
         }
     }
 

@@ -59,18 +59,37 @@ pub struct Phase {
     pub energy_pj: f64,
     /// Power drawn by a single PIM chip during the phase, watts.
     pub chip_power_w: f64,
+    /// Bytes this phase moved over the host↔module channel (cache-line
+    /// transfers: reads, writes). Zero for phases that never touch the
+    /// channel (PIM logic, host compute) and for host dispatch, whose
+    /// channel occupancy is its duration, not a data volume. The shared
+    /// host bus ([`crate::hostbus`]) turns these byte tags into
+    /// contention grants.
+    pub host_bytes: u64,
 }
 
 impl Phase {
     /// A host-compute phase: time passes, the PIM module idles.
     pub fn host_compute(time_ns: f64) -> Self {
-        Phase { kind: PhaseKind::HostCompute, time_ns, energy_pj: 0.0, chip_power_w: 0.0 }
+        Phase {
+            kind: PhaseKind::HostCompute,
+            time_ns,
+            energy_pj: 0.0,
+            chip_power_w: 0.0,
+            host_bytes: 0,
+        }
     }
 
     /// A host-dispatch phase (query orchestration): the host works, the
     /// PIM module idles, so no module energy is drawn.
     pub fn host_dispatch(time_ns: f64) -> Self {
-        Phase { kind: PhaseKind::HostDispatch, time_ns, energy_pj: 0.0, chip_power_w: 0.0 }
+        Phase {
+            kind: PhaseKind::HostDispatch,
+            time_ns,
+            energy_pj: 0.0,
+            chip_power_w: 0.0,
+            host_bytes: 0,
+        }
     }
 }
 
@@ -125,6 +144,16 @@ impl RunLog {
     pub fn energy_in(&self, kind: PhaseKind) -> f64 {
         self.phases.iter().filter(|p| p.kind == kind).map(|p| p.energy_pj).sum()
     }
+
+    /// Bytes moved over the host↔module channel in a given phase kind.
+    pub fn host_bytes_in(&self, kind: PhaseKind) -> u64 {
+        self.phases.iter().filter(|p| p.kind == kind).map(|p| p.host_bytes).sum()
+    }
+
+    /// Total bytes moved over the host↔module channel.
+    pub fn host_bytes(&self) -> u64 {
+        self.phases.iter().map(|p| p.host_bytes).sum()
+    }
 }
 
 #[cfg(test)]
@@ -132,7 +161,7 @@ mod tests {
     use super::*;
 
     fn phase(kind: PhaseKind, t: f64, e: f64, p: f64) -> Phase {
-        Phase { kind, time_ns: t, energy_pj: e, chip_power_w: p }
+        Phase { kind, time_ns: t, energy_pj: e, chip_power_w: p, host_bytes: 0 }
     }
 
     #[test]
