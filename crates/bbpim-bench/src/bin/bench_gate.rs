@@ -10,8 +10,9 @@
 //! `--json` flag (`{"scaling": {…}}`). The merge concatenates the
 //! sections verbatim; with `--baseline` the gate then compares the
 //! headline ratios — pruned-vs-exhaustive wall clock, scsf-vs-fifo
-//! p50, and the 3-aggregate energy saving — and exits nonzero if any
-//! regressed by more than the tolerance (default 15 %). Every gated
+//! p50, the 3-aggregate energy saving, and the star-join host-byte
+//! reduction — and exits nonzero if any regressed by more than the
+//! tolerance (default 15 %). Every gated
 //! metric is a *simulated* ratio, so baseline and PR values are
 //! deterministic for a given seed and scale factor; the tolerance is
 //! headroom for deliberate model changes, not machine noise.
@@ -35,6 +36,7 @@ const GATED: &[(&str, &str)] = &[
     ("pruning", "wall_clock_speedup"),
     ("streaming", "scsf_vs_fifo_p50"),
     ("scaling", "agg3_energy_saving"),
+    ("join", "host_bytes_ratio_q1"),
 ];
 
 /// Extract the body of a top-level `"section": { … }` object. The

@@ -70,6 +70,15 @@ fn main() {
         &rows,
     );
 
+    // What this cluster's wide relation costs in PIM capacity next to
+    // the normalized star catalog (the `join` study's storage win).
+    println!();
+    let catalog = bbpim_db::ssb::star::StarSchema::of_db(&s.db);
+    reports::print_star_footprint(
+        &catalog.footprints(&catalog.ssb_cold_attrs()),
+        &bbpim_db::ssb::star::table_footprint(&s.wide, &[]),
+    );
+
     // Machine-readable snapshot for the CI regression gate: the
     // multi-aggregate sharing headline (one 3-aggregate query vs three
     // single-aggregate runs) plus the scaling geo-mean.

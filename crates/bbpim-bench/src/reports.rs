@@ -7,6 +7,7 @@ use crate::{
     StreamingStudy,
 };
 use bbpim_cluster::PlanExplain;
+use bbpim_db::ssb::star::TableFootprint;
 
 /// Fig. 6: execution latency of all five systems plus the paper's
 /// headline geo-means.
@@ -427,6 +428,41 @@ pub fn print_explain(setup: &SsbSetup, explains: &[PlanExplain]) {
         total - candidate,
         total,
         if total == 0 { 0.0 } else { 100.0 * (total - candidate) as f64 / total as f64 },
+    );
+}
+
+/// Per-table PIM-resident memory footprint of the normalized star
+/// schema next to the single pre-joined wide table it replaces. The
+/// normalized rows list `lineorder` plus the four dimensions (their
+/// `data_bytes` already exclude host-resident cold columns); the
+/// pre-join row is the capacity the dropped wide relation would have
+/// occupied across the cluster.
+pub fn print_star_footprint(normalized: &[TableFootprint], prejoin: &TableFootprint) {
+    println!("PIM-resident memory footprint — normalized star schema vs pre-join\n");
+    let total: u64 = normalized.iter().map(|f| f.data_bytes).sum();
+    let mut rows = Vec::new();
+    for f in normalized {
+        rows.push(vec![
+            f.table.clone(),
+            f.records.to_string(),
+            f.resident_bits.to_string(),
+            f.data_bytes.to_string(),
+            format!("{:.1}%", 100.0 * f.data_bytes as f64 / total.max(1) as f64),
+        ]);
+    }
+    rows.push(vec![
+        format!("{} (dropped)", prejoin.table),
+        prejoin.records.to_string(),
+        prejoin.resident_bits.to_string(),
+        prejoin.data_bytes.to_string(),
+        "-".into(),
+    ]);
+    print_table(&["table", "records", "resident bits/rec", "data bytes", "share"], &rows);
+    println!(
+        "\n  normalized total: {total} B — {:.1}% of the {} B pre-join ({:.2}x smaller)",
+        100.0 * total as f64 / prejoin.data_bytes.max(1) as f64,
+        prejoin.data_bytes,
+        prejoin.data_bytes as f64 / total.max(1) as f64,
     );
 }
 

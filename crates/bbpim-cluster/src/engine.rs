@@ -438,6 +438,8 @@ impl ClusterEngine {
             filter: query.filter.to_string(),
             filter_bounds,
             shards,
+            // the pre-joined model never joins: nothing crosses the bus
+            join_transfers: Vec::new(),
         })
     }
 

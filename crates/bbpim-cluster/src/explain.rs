@@ -24,6 +24,30 @@ pub struct ShardPlan {
     pub dispatched: bool,
 }
 
+/// One dimension-bitmap transfer of a star join: the host reads the
+/// filtered key bitmap off the dimension module once, compressed, and
+/// broadcasts it to every fact shard in one grant. `raw_bytes` vs
+/// `wire_bytes` is the saving the compressed wire format buys over a
+/// bit-packed bitmap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinTransfer {
+    /// Dimension table name.
+    pub dimension: String,
+    /// Which DNF disjunct of the filter this semijoin belongs to.
+    pub disjunct: usize,
+    /// Keys the dimension filter selected.
+    pub keys_selected: u64,
+    /// Size of the dimension's dense key space.
+    pub key_space: u64,
+    /// Bit-packed bitmap payload, bytes.
+    pub raw_bytes: u64,
+    /// Bytes actually crossing the channel (header + the smaller of
+    /// bit-packed and run-length encodings).
+    pub wire_bytes: u64,
+    /// Fact shards the single broadcast grant reaches.
+    pub broadcast_shards: usize,
+}
+
 /// The full pre-execution plan of one query on a cluster.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PlanExplain {
@@ -38,6 +62,9 @@ pub struct PlanExplain {
     pub filter_bounds: Vec<(String, Vec<(u64, u64)>)>,
     /// Per-shard plans, in shard order (active shards only).
     pub shards: Vec<ShardPlan>,
+    /// Dimension-bitmap transfers of a star join (empty on the
+    /// pre-joined storage model, which never joins).
+    pub join_transfers: Vec<JoinTransfer>,
 }
 
 impl PlanExplain {
@@ -93,6 +120,20 @@ impl PlanExplain {
         for (attr, intervals) in &self.filter_bounds {
             let _ = writeln!(out, "  bounds: {attr} ∈ {}", render_intervals(intervals));
         }
+        for t in &self.join_transfers {
+            let _ = writeln!(
+                out,
+                "  semijoin: {} (disjunct {}): {}/{} keys, {} B raw → {} B wire, \
+                 broadcast ×{}",
+                t.dimension,
+                t.disjunct,
+                t.keys_selected,
+                t.key_space,
+                t.raw_bytes,
+                t.wire_bytes,
+                t.broadcast_shards,
+            );
+        }
         for s in &self.shards {
             let _ = writeln!(
                 out,
@@ -105,6 +146,17 @@ impl PlanExplain {
             );
         }
         out
+    }
+
+    /// Total bytes the join bitmaps put on the channel (reads off the
+    /// dimension modules plus one broadcast each).
+    pub fn join_wire_bytes(&self) -> u64 {
+        self.join_transfers.iter().map(|t| 2 * t.wire_bytes).sum()
+    }
+
+    /// What the same transfers would cost bit-packed, uncompressed.
+    pub fn join_raw_bytes(&self) -> u64 {
+        self.join_transfers.iter().map(|t| 2 * t.raw_bytes).sum()
     }
 }
 
@@ -153,6 +205,15 @@ mod tests {
                     dispatched: false,
                 },
             ],
+            join_transfers: vec![JoinTransfer {
+                dimension: "date".into(),
+                disjunct: 0,
+                keys_selected: 365,
+                key_space: 2556,
+                raw_bytes: 320,
+                wire_bytes: 12,
+                broadcast_shards: 2,
+            }],
         }
     }
 
@@ -175,5 +236,13 @@ mod tests {
         assert!(d.contains("bounds: x ∈ {1} ∪ [5, 9]"));
         assert!(d.contains("(pruned pre-scatter)"));
         assert!(d.contains("shard  0"));
+        assert!(d.contains("semijoin: date (disjunct 0): 365/2556 keys, 320 B raw → 12 B wire"));
+    }
+
+    #[test]
+    fn join_byte_totals_count_read_plus_broadcast() {
+        let p = plan();
+        assert_eq!(p.join_wire_bytes(), 24);
+        assert_eq!(p.join_raw_bytes(), 640);
     }
 }

@@ -53,6 +53,7 @@ pub mod loader;
 pub mod modes;
 pub mod planner;
 pub mod result;
+pub mod semijoin;
 pub mod update;
 
 pub use engine::PimQueryEngine;

@@ -1,0 +1,334 @@
+//! Semijoin mask programs: AND a dimension's key bitmap into the fact
+//! mask *through the foreign-key column*, entirely on-module.
+//!
+//! A star join runs each dimension's filter on the dimension's own
+//! module, yielding a bitmap over that dimension's (dense) key space.
+//! The bitmap crosses the host channel once, compressed; expanding it
+//! against millions of fact rows must NOT — the host would have to
+//! write a bit per fact record, which is exactly the wide-mask traffic
+//! the normalized storage model exists to avoid. Instead the bitmap is
+//! decomposed into *runs* of consecutive selected keys, and each run
+//! compiles to a range predicate over the fact table's FK column: a
+//! run of width 1 is an equality, wider runs a BETWEEN. The fact-side
+//! program then evaluates
+//!
+//! ```text
+//! mask = OR over disjuncts ( AND(fact atoms)
+//!                            AND per-dim OR(run predicates) )
+//!        AND validity
+//! ```
+//!
+//! in one [`Microprogram`] — bulk-bitwise cycles on the fact module,
+//! zero channel bytes. Selective dimension filters (the Q1.x class)
+//! produce few runs and tiny programs; scattered bitmaps (a region
+//! filter selecting every fifth customer) produce many runs, which
+//! costs PIM-logic time but still no bus traffic — the trade the
+//! paper's channel-bound analysis argues for.
+//!
+//! The builder mirrors
+//! [`crate::filter_exec::build_dnf_mask_program_in`], adding the inner
+//! OR level; run predicates reuse the same compiled-predicate library
+//! via [`compile_atom`].
+
+use bbpim_db::plan::ResolvedAtom;
+use bbpim_sim::compiler::{CodeBuilder, ColRange, ScratchPool};
+use bbpim_sim::isa::Microprogram;
+
+use crate::error::CoreError;
+use crate::filter_exec::{compile_atom, copy_col};
+
+/// One dimension's contribution to a disjunct: the key runs its
+/// filtered bitmap decomposed into, anchored at the fact FK column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SemijoinTerm {
+    /// The fact-partition column range holding the foreign key.
+    pub fk_range: ColRange,
+    /// Inclusive `[lo, hi]` runs of selected key *values* (not rows),
+    /// ascending and non-overlapping. Empty = the dimension filter
+    /// selected nothing, so the term (and its disjunct) is false.
+    pub runs: Vec<(u64, u64)>,
+}
+
+impl SemijoinTerm {
+    /// Decompose a dense key bitmap into runs. `key_base` is the key
+    /// value of bit 0 (dimension keys are dense in
+    /// `key_base..key_base+len`).
+    pub fn from_bitmap(fk_range: ColRange, bits: &[bool], key_base: u64) -> SemijoinTerm {
+        let mut runs: Vec<(u64, u64)> = Vec::new();
+        for (i, &set) in bits.iter().enumerate() {
+            if !set {
+                continue;
+            }
+            let key = key_base + i as u64;
+            match runs.last_mut() {
+                Some((_, hi)) if *hi + 1 == key => *hi = key,
+                _ => runs.push((key, key)),
+            }
+        }
+        SemijoinTerm { fk_range, runs }
+    }
+
+    /// Selected keys (sum of run widths).
+    pub fn keys_selected(&self) -> u64 {
+        self.runs.iter().map(|(lo, hi)| hi - lo + 1).sum()
+    }
+
+    /// The convex hull `[lo, hi]` of every run — `None` when nothing
+    /// is selected. The planner turns this into a BETWEEN bound on the
+    /// FK attribute for zone pruning.
+    pub fn hull(&self) -> Option<(u64, u64)> {
+        match (self.runs.first(), self.runs.last()) {
+            (Some(&(lo, _)), Some(&(_, hi))) => Some((lo, hi)),
+            _ => None,
+        }
+    }
+}
+
+/// One disjunct of a star-join filter as the fact module sees it:
+/// local atoms plus one semijoin term per participating dimension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SemijoinDisjunct {
+    /// Fact-table atoms, pre-resolved to column ranges.
+    pub atoms: Vec<(ResolvedAtom, ColRange)>,
+    /// Semijoin terms (one per dimension this disjunct filters).
+    pub semijoins: Vec<SemijoinTerm>,
+}
+
+/// Emit the OR of a term's run predicates; returns the result column.
+///
+/// Runs are OR-accumulated pairwise so at most one accumulator and one
+/// fresh predicate are live at a time — the program length grows with
+/// the run count but scratch occupancy does not.
+fn compile_runs(b: &mut CodeBuilder<'_>, term: &SemijoinTerm) -> Result<usize, CoreError> {
+    if term.runs.is_empty() {
+        return Ok(b.zero()?);
+    }
+    let mut acc: Option<usize> = None;
+    for &(lo, hi) in &term.runs {
+        let atom = if lo == hi {
+            ResolvedAtom::Eq { idx: 0, value: lo }
+        } else {
+            ResolvedAtom::Between { idx: 0, lo, hi }
+        };
+        let col = compile_atom(b, &atom, term.fk_range)?;
+        acc = Some(match acc {
+            None => col,
+            Some(a) => {
+                let ored = b.emit_or(a, col)?;
+                b.release(a);
+                b.release(col);
+                ored
+            }
+        });
+    }
+    Ok(acc.expect("at least one run"))
+}
+
+/// Build the fact-side program of a star join: per disjunct, AND the
+/// fact atoms with every semijoin term's run-OR; OR across disjuncts;
+/// AND `and_cols` (validity); write the result to `dst_col`. A
+/// disjunct with no atoms and no semijoins contributes constant true;
+/// zero disjuncts write an all-false mask (same conventions as
+/// [`crate::filter_exec::build_dnf_mask_program_in`]).
+///
+/// # Errors
+///
+/// Propagates compiler failures (scratch exhaustion, bad constants).
+pub fn build_semijoin_mask_program_in(
+    scratch: ColRange,
+    disjuncts: &[SemijoinDisjunct],
+    and_cols: &[usize],
+    dst_col: usize,
+) -> Result<Microprogram, CoreError> {
+    let mut pool = ScratchPool::new(scratch);
+    let mut b = CodeBuilder::new(&mut pool);
+    if disjuncts.is_empty() {
+        let zero = b.zero()?;
+        copy_col(&mut b, zero, dst_col)?;
+        return Ok(b.finish());
+    }
+    let mut terms: Vec<usize> = Vec::with_capacity(disjuncts.len());
+    for d in disjuncts {
+        if d.atoms.is_empty() && d.semijoins.is_empty() {
+            terms.push(b.one()?);
+            continue;
+        }
+        let mut cols: Vec<usize> = Vec::with_capacity(d.atoms.len() + d.semijoins.len());
+        for (atom, range) in &d.atoms {
+            cols.push(compile_atom(&mut b, atom, *range)?);
+        }
+        for sj in &d.semijoins {
+            cols.push(compile_runs(&mut b, sj)?);
+        }
+        let term = b.emit_and_many(&cols)?;
+        for c in cols {
+            b.release(c);
+        }
+        terms.push(term);
+    }
+    let selected = if terms.len() == 1 {
+        terms[0]
+    } else {
+        let ored = b.emit_or_many(terms.clone())?;
+        for c in terms {
+            b.release(c);
+        }
+        ored
+    };
+    let mut all: Vec<usize> = Vec::with_capacity(1 + and_cols.len());
+    all.push(selected);
+    all.extend_from_slice(and_cols);
+    let combined = b.emit_and_many(&all)?;
+    b.release(selected);
+    copy_col(&mut b, combined, dst_col)?;
+    b.release(combined);
+    Ok(b.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter_exec::{count_mask_bits, mask_bits};
+    use crate::layout::{RecordLayout, MASK_COL, VALID_COL};
+    use crate::loader::{load_relation, LoadedRelation};
+    use crate::modes::EngineMode;
+    use crate::planner::PageSet;
+    use bbpim_db::schema::{Attribute, Schema};
+    use bbpim_db::Relation;
+    use bbpim_sim::module::PimModule;
+    use bbpim_sim::SimConfig;
+
+    fn setup() -> (PimModule, Relation, RecordLayout, LoadedRelation) {
+        let cfg = SimConfig::small_for_tests();
+        let schema =
+            Schema::new("f", vec![Attribute::numeric("fk", 8), Attribute::numeric("v", 8)]);
+        let mut rel = Relation::new(schema);
+        for i in 0..700u64 {
+            rel.push_row(&[(i * 7) % 200, i % 100]).unwrap();
+        }
+        let layout = RecordLayout::build(rel.schema(), &cfg, EngineMode::OneXb, &[]).unwrap();
+        let mut module = PimModule::new(cfg);
+        let loaded = load_relation(&mut module, &rel, &layout).unwrap();
+        (module, rel, layout, loaded)
+    }
+
+    fn run(
+        module: &mut PimModule,
+        layout: &RecordLayout,
+        loaded: &LoadedRelation,
+        disjuncts: &[SemijoinDisjunct],
+    ) -> Vec<bool> {
+        let prog =
+            build_semijoin_mask_program_in(layout.scratch(0), disjuncts, &[VALID_COL], MASK_COL)
+                .unwrap();
+        let pages = PageSet::all(loaded.page_count());
+        module.exec_program(&pages.ids(loaded, 0), &prog).unwrap();
+        mask_bits(module, loaded, &pages, 0, MASK_COL)
+    }
+
+    #[test]
+    fn bitmap_decomposes_into_maximal_runs() {
+        let range = ColRange { lo: 0, width: 8 };
+        let bits = [true, true, false, true, false, false, true, true];
+        let t = SemijoinTerm::from_bitmap(range, &bits, 10);
+        assert_eq!(t.runs, vec![(10, 11), (13, 13), (16, 17)]);
+        assert_eq!(t.keys_selected(), 5);
+        assert_eq!(t.hull(), Some((10, 17)));
+        let empty = SemijoinTerm::from_bitmap(range, &[false; 4], 0);
+        assert!(empty.runs.is_empty());
+        assert_eq!(empty.hull(), None);
+        assert_eq!(empty.keys_selected(), 0);
+    }
+
+    #[test]
+    fn run_predicates_match_bitmap_semantics() {
+        let (mut module, rel, layout, loaded) = setup();
+        // keys 20..=35 and 100, 102 selected
+        let mut bits = vec![false; 200];
+        bits[20..=35].fill(true);
+        bits[100] = true;
+        bits[102] = true;
+        let fk_range = layout.placement("fk").unwrap().range;
+        let term = SemijoinTerm::from_bitmap(fk_range, &bits, 0);
+        assert_eq!(term.runs.len(), 3);
+        let d = SemijoinDisjunct { atoms: vec![], semijoins: vec![term] };
+        let mask = run(&mut module, &layout, &loaded, &[d]);
+        for (row, got) in mask.iter().enumerate() {
+            let fk = rel.value(row, 0) as usize;
+            assert_eq!(*got, bits[fk], "row {row} fk {fk}");
+        }
+    }
+
+    #[test]
+    fn semijoin_ands_with_fact_atoms() {
+        let (mut module, rel, layout, loaded) = setup();
+        let fk_range = layout.placement("fk").unwrap().range;
+        let v_range = layout.placement("v").unwrap().range;
+        let term = SemijoinTerm { fk_range, runs: vec![(0, 49)] };
+        let d = SemijoinDisjunct {
+            atoms: vec![(ResolvedAtom::Lt { idx: 1, value: 30 }, v_range)],
+            semijoins: vec![term],
+        };
+        let mask = run(&mut module, &layout, &loaded, &[d]);
+        for (row, got) in mask.iter().enumerate() {
+            let expect = rel.value(row, 0) < 50 && rel.value(row, 1) < 30;
+            assert_eq!(*got, expect, "row {row}");
+        }
+    }
+
+    #[test]
+    fn disjuncts_or_together() {
+        let (mut module, rel, layout, loaded) = setup();
+        let fk_range = layout.placement("fk").unwrap().range;
+        let d1 = SemijoinDisjunct {
+            atoms: vec![],
+            semijoins: vec![SemijoinTerm { fk_range, runs: vec![(0, 9)] }],
+        };
+        let d2 = SemijoinDisjunct {
+            atoms: vec![],
+            semijoins: vec![SemijoinTerm { fk_range, runs: vec![(150, 199)] }],
+        };
+        let mask = run(&mut module, &layout, &loaded, &[d1, d2]);
+        for (row, got) in mask.iter().enumerate() {
+            let fk = rel.value(row, 0);
+            assert_eq!(*got, !(10..150).contains(&fk), "row {row}");
+        }
+    }
+
+    #[test]
+    fn empty_runs_make_disjunct_false_and_no_disjuncts_make_all_false() {
+        let (mut module, _rel, layout, loaded) = setup();
+        let fk_range = layout.placement("fk").unwrap().range;
+        let d = SemijoinDisjunct {
+            atoms: vec![],
+            semijoins: vec![SemijoinTerm { fk_range, runs: vec![] }],
+        };
+        assert!(run(&mut module, &layout, &loaded, &[d]).iter().all(|b| !b));
+        assert!(run(&mut module, &layout, &loaded, &[]).iter().all(|b| !b));
+    }
+
+    #[test]
+    fn empty_disjunct_selects_all_valid() {
+        let (mut module, rel, layout, loaded) = setup();
+        let d = SemijoinDisjunct { atoms: vec![], semijoins: vec![] };
+        let mask = run(&mut module, &layout, &loaded, &[d]);
+        assert_eq!(mask.iter().filter(|b| **b).count(), rel.len());
+        let pages = PageSet::all(loaded.page_count());
+        assert_eq!(count_mask_bits(&module, &pages.ids(&loaded, 0), MASK_COL), rel.len() as u64);
+    }
+
+    #[test]
+    fn many_scattered_runs_stay_within_scratch() {
+        let (mut module, rel, layout, loaded) = setup();
+        let fk_range = layout.placement("fk").unwrap().range;
+        // every third key: 67 single-key runs
+        let bits: Vec<bool> = (0..200).map(|k| k % 3 == 0).collect();
+        let term = SemijoinTerm::from_bitmap(fk_range, &bits, 0);
+        assert!(term.runs.len() > 60);
+        let d = SemijoinDisjunct { atoms: vec![], semijoins: vec![term] };
+        let mask = run(&mut module, &layout, &loaded, &[d]);
+        for (row, got) in mask.iter().enumerate() {
+            assert_eq!(*got, rel.value(row, 0) % 3 == 0, "row {row}");
+        }
+    }
+}

@@ -14,6 +14,7 @@ pub mod names;
 pub mod prejoin;
 pub mod queries;
 pub mod skew;
+pub mod star;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

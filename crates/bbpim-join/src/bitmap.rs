@@ -1,0 +1,227 @@
+//! The dimension key bitmap and its wire format.
+//!
+//! A dimension filter leaves one bit per dimension row in the module's
+//! mask column. Dimension keys are dense (`row = key − key_base`), so
+//! that mask *is* the key bitmap of the semijoin. It crosses the host
+//! channel exactly once per (disjunct, dimension) — the module streams
+//! the mask column through its row buffer bit-packed, and the host
+//! re-broadcasts it to every fact shard in one grant — so the wire
+//! format matters: selective filters (the Q1.x class) set long runs of
+//! zeros with a few short runs of ones, which a gap/length run-length
+//! code collapses to a handful of bytes. The transfer is charged at
+//! whichever of the two encodings is smaller:
+//!
+//! * **bit-packed** — `⌈len/8⌉` bytes, the dense fallback scattered
+//!   bitmaps degrade to;
+//! * **run-length** — per run of set bits, the zero-gap before it and
+//!   its length, both LEB128 varints.
+//!
+//! plus a fixed 8-byte header (key base, length, encoding tag).
+
+/// A bitmap over a dimension's dense key space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyBitmap {
+    base: u64,
+    bits: Vec<bool>,
+}
+
+/// Fixed per-transfer header bytes (key base + length + encoding tag).
+pub const WIRE_HEADER_BYTES: u64 = 8;
+
+/// Append a LEB128 varint.
+fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read a LEB128 varint; `None` on truncated input.
+fn read_varint(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes.get(*pos)?;
+        *pos += 1;
+        v |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+impl KeyBitmap {
+    /// Wrap a mask over keys `base..base + bits.len()`.
+    pub fn new(base: u64, bits: Vec<bool>) -> Self {
+        KeyBitmap { base, bits }
+    }
+
+    /// Key value of bit 0.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// The raw bits (indexed by `key − base`).
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Size of the key space (bitmap length).
+    pub fn key_space(&self) -> u64 {
+        self.bits.len() as u64
+    }
+
+    /// Selected key count.
+    pub fn keys_selected(&self) -> u64 {
+        self.bits.iter().filter(|b| **b).count() as u64
+    }
+
+    /// Maximal runs of consecutive selected keys, as inclusive
+    /// `[lo, hi]` key-value ranges, ascending.
+    pub fn runs(&self) -> Vec<(u64, u64)> {
+        let mut runs: Vec<(u64, u64)> = Vec::new();
+        for (i, &set) in self.bits.iter().enumerate() {
+            if !set {
+                continue;
+            }
+            let key = self.base + i as u64;
+            match runs.last_mut() {
+                Some((_, hi)) if *hi + 1 == key => *hi = key,
+                _ => runs.push((key, key)),
+            }
+        }
+        runs
+    }
+
+    /// Convex hull `[lo, hi]` of the selected keys (`None` when empty)
+    /// — the BETWEEN bound shard pruning tests against the FK zone.
+    pub fn hull(&self) -> Option<(u64, u64)> {
+        let first = self.bits.iter().position(|b| *b)?;
+        let last = self.bits.iter().rposition(|b| *b)?;
+        Some((self.base + first as u64, self.base + last as u64))
+    }
+
+    /// Bit-packed payload size, bytes.
+    pub fn raw_bytes(&self) -> u64 {
+        (self.bits.len() as u64).div_ceil(8)
+    }
+
+    /// Run-length payload: per run, (gap since previous run's end,
+    /// run length) as varints.
+    pub fn encode_rle(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut cursor = self.base;
+        for (lo, hi) in self.runs() {
+            push_varint(&mut out, lo - cursor);
+            push_varint(&mut out, hi - lo + 1);
+            cursor = hi + 1;
+        }
+        out
+    }
+
+    /// Rebuild a bitmap from its run-length payload; `None` on corrupt
+    /// input (truncated varint, runs past `key_space`).
+    pub fn decode_rle(base: u64, key_space: u64, payload: &[u8]) -> Option<KeyBitmap> {
+        let mut bits = vec![false; key_space as usize];
+        let mut pos = 0usize;
+        let mut cursor = 0u64;
+        while pos < payload.len() {
+            let gap = read_varint(payload, &mut pos)?;
+            let len = read_varint(payload, &mut pos)?;
+            let start = cursor.checked_add(gap)?;
+            let end = start.checked_add(len)?;
+            if end > key_space || len == 0 {
+                return None;
+            }
+            for b in &mut bits[start as usize..end as usize] {
+                *b = true;
+            }
+            cursor = end;
+        }
+        Some(KeyBitmap { base, bits })
+    }
+
+    /// Bytes actually sent: the header plus the smaller encoding.
+    pub fn wire_bytes(&self) -> u64 {
+        WIRE_HEADER_BYTES + self.raw_bytes().min(self.encode_rle().len() as u64)
+    }
+
+    /// Host-channel lines the transfer occupies at `line_bytes` per
+    /// line.
+    pub fn wire_lines(&self, line_bytes: u64) -> u64 {
+        self.wire_bytes().div_ceil(line_bytes.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bitmap(base: u64, set: &[usize], len: usize) -> KeyBitmap {
+        let mut bits = vec![false; len];
+        for &i in set {
+            bits[i] = true;
+        }
+        KeyBitmap::new(base, bits)
+    }
+
+    #[test]
+    fn runs_hull_and_counts() {
+        let b = bitmap(10, &[0, 1, 3, 6, 7], 9);
+        assert_eq!(b.runs(), vec![(10, 11), (13, 13), (16, 17)]);
+        assert_eq!(b.hull(), Some((10, 17)));
+        assert_eq!(b.keys_selected(), 5);
+        assert_eq!(b.key_space(), 9);
+        let empty = bitmap(0, &[], 4);
+        assert!(empty.runs().is_empty());
+        assert_eq!(empty.hull(), None);
+    }
+
+    #[test]
+    fn rle_roundtrips() {
+        for set in [
+            vec![],
+            vec![0],
+            vec![2555],
+            (0..2556).collect::<Vec<_>>(),
+            vec![0, 1, 2, 100, 101, 900],
+            (0..2556).filter(|i| i % 3 == 0).collect(),
+        ] {
+            let b = bitmap(0, &set, 2556);
+            let payload = b.encode_rle();
+            let back = KeyBitmap::decode_rle(0, 2556, &payload).unwrap();
+            assert_eq!(back, b);
+        }
+    }
+
+    #[test]
+    fn selective_filters_compress_far_below_bitpacked() {
+        // one year of the date dimension: a single 365-day run
+        let b = bitmap(0, &(365..730).collect::<Vec<_>>(), 2556);
+        assert_eq!(b.raw_bytes(), 320);
+        assert!(b.encode_rle().len() <= 4, "{} B", b.encode_rle().len());
+        assert!(b.wire_bytes() <= WIRE_HEADER_BYTES + 4);
+        assert_eq!(b.wire_lines(64), 1);
+    }
+
+    #[test]
+    fn scattered_bitmaps_fall_back_to_bitpacked() {
+        let b = bitmap(1, &(0..3000).step_by(2).collect::<Vec<_>>(), 3000);
+        // 1500 runs of length 1 cost ~2 B each in RLE — packed wins
+        assert!(b.encode_rle().len() as u64 > b.raw_bytes());
+        assert_eq!(b.wire_bytes(), WIRE_HEADER_BYTES + b.raw_bytes());
+    }
+
+    #[test]
+    fn corrupt_payloads_rejected() {
+        assert!(KeyBitmap::decode_rle(0, 10, &[0x80]).is_none()); // truncated
+        assert!(KeyBitmap::decode_rle(0, 10, &[0, 11]).is_none()); // past end
+        assert!(KeyBitmap::decode_rle(0, 10, &[0, 0]).is_none()); // zero run
+    }
+}

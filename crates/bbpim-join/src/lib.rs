@@ -1,0 +1,62 @@
+//! # bbpim-join — normalized star-schema storage with PIM-side semijoins
+//!
+//! Every prior crate in this workspace executes SSB queries against the
+//! *pre-joined* wide relation — the storage model the source paper
+//! evaluates, which trades PIM capacity (every dimension attribute
+//! replicated into every fact record) for join-free scans. This crate
+//! drops the pre-join: `lineorder` and the four dimension tables stay
+//! *normalized*, each resident on its own PIM module, and joins execute
+//! as **PIM-side semijoin bitmaps**:
+//!
+//! 1. the dimension slice of a filter runs on the dimension module as
+//!    one bulk-bitwise conjunction, leaving a key bitmap in its mask
+//!    column (dimension keys are dense, so mask == key bitmap);
+//! 2. the bitmap crosses the host channel *compressed*
+//!    ([`bitmap::KeyBitmap`]: 8-byte header + the smaller of bit-packed
+//!    and run-length encodings) — one read off the dimension module and
+//!    one broadcast write shared by every fact shard in a single grant;
+//! 3. each fact shard ANDs the bitmap into its mask *through the FK
+//!    column*: the bitmap's consecutive-key runs compile to range
+//!    predicates in one microprogram
+//!    ([`bbpim_core::semijoin::build_semijoin_mask_program_in`]), so no
+//!    per-fact-row mask bits ever ride the bus.
+//!
+//! Answers are bit-identical to the pre-joined oracle for all SSB
+//! queries (attribute names are globally unique, so query texts run
+//! unmodified on both models); what changes is PIM-resident capacity
+//! (normalized tables are a fraction of the wide relation) and the
+//! bytes on the shared host channel (a compressed dimension bitmap
+//! replaces wide-record scans). Dimension UPDATEs touch one small
+//! module instead of rewriting a replicated column across every fact
+//! shard.
+//!
+//! * [`table::StarTable`] — one normalized table on its own module.
+//! * [`bitmap::KeyBitmap`] — the compressed wire format.
+//! * [`cluster::StarCluster`] — sharded fact + shared dimensions;
+//!   `run`/`run_on_shard`/`merge_executions`/`update`/`explain` mirror
+//!   [`bbpim_cluster::ClusterEngine`], so schedulers and benches treat
+//!   both storage models uniformly.
+//!
+//! ```
+//! use bbpim_cluster::Partitioner;
+//! use bbpim_core::modes::EngineMode;
+//! use bbpim_db::ssb::{queries, SsbDb, SsbParams};
+//! use bbpim_join::StarCluster;
+//! use bbpim_sim::SimConfig;
+//!
+//! let db = SsbDb::generate(&SsbParams::tiny_for_tests());
+//! let mut star = StarCluster::new(
+//!     SimConfig::small_for_tests(), &db, EngineMode::OneXb, 2, Partitioner::RoundRobin)?;
+//! let q = queries::standard_query("Q1.1").unwrap();
+//! let out = star.run(&q)?;
+//! println!("{}: {} records joined+selected", q.id, out.report.selected);
+//! # Ok::<(), bbpim_cluster::ClusterError>(())
+//! ```
+
+pub mod bitmap;
+pub mod cluster;
+pub mod table;
+
+pub use bitmap::KeyBitmap;
+pub use cluster::StarCluster;
+pub use table::StarTable;

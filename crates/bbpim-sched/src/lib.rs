@@ -52,8 +52,8 @@ pub mod workload;
 pub use error::SchedError;
 pub use report::LatencySummary;
 pub use sched::{
-    run_stream, AdmissionPolicy, EventKind, QueryCompletion, SchedConfig, StreamOutcome,
-    TimelineEvent,
+    run_stream, AdmissionPolicy, EventKind, QueryCompletion, SchedConfig, StreamEngine,
+    StreamOutcome, TimelineEvent,
 };
 pub use workload::{Arrival, Workload};
 

@@ -44,8 +44,9 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use bbpim_cluster::{ClusterEngine, ClusterExecution};
+use bbpim_cluster::{ClusterEngine, ClusterError, ClusterExecution};
 use bbpim_core::result::QueryExecution;
+use bbpim_db::plan::{Pred, Query};
 use bbpim_sim::config::HostConfig;
 use bbpim_sim::hostbus::{phase_occupancy_ns, SharedBus};
 use bbpim_sim::timeline::PhaseKind;
@@ -53,6 +54,82 @@ use bbpim_sim::timeline::PhaseKind;
 use crate::error::SchedError;
 use crate::report::LatencySummary;
 use crate::workload::Workload;
+
+/// The scatter/gather surface the streaming scheduler needs from a
+/// sharded engine. [`ClusterEngine`] (pre-joined storage) implements it
+/// here; the normalized star-join cluster implements it in its own
+/// crate — the scheduler interleaves shard slices identically on both
+/// storage models, so streamed answers stay bit-identical to batch runs
+/// whichever one is underneath.
+pub trait StreamEngine {
+    /// Is the shared-host-channel contention model on?
+    fn contention(&self) -> bool;
+
+    /// The host-channel parameters (`None` only for an empty cluster,
+    /// which can never produce candidate shards).
+    fn host_config(&self) -> Option<HostConfig>;
+
+    /// Fact shards actually holding records.
+    fn active_shards(&self) -> usize;
+
+    /// Zone-map shard admission: one flag per active shard.
+    ///
+    /// # Errors
+    ///
+    /// Attribute resolution failures.
+    fn plan_shards(&self, filter: &Pred) -> Result<Vec<bool>, ClusterError>;
+
+    /// Execute one query on one active shard (the scatter half).
+    ///
+    /// # Errors
+    ///
+    /// Unknown shard index or substrate failures.
+    fn run_on_shard(&mut self, shard: usize, query: &Query)
+        -> Result<QueryExecution, ClusterError>;
+
+    /// Fold per-shard partials into a cluster answer (the gather half).
+    fn merge_executions(
+        &self,
+        query: &Query,
+        executions: &[&QueryExecution],
+        shards_pruned: usize,
+    ) -> ClusterExecution;
+}
+
+impl StreamEngine for ClusterEngine {
+    fn contention(&self) -> bool {
+        ClusterEngine::contention(self)
+    }
+
+    fn host_config(&self) -> Option<HostConfig> {
+        self.shard_engine(0).map(|e| e.config().host.clone())
+    }
+
+    fn active_shards(&self) -> usize {
+        ClusterEngine::active_shards(self)
+    }
+
+    fn plan_shards(&self, filter: &Pred) -> Result<Vec<bool>, ClusterError> {
+        ClusterEngine::plan_shards(self, filter)
+    }
+
+    fn run_on_shard(
+        &mut self,
+        shard: usize,
+        query: &Query,
+    ) -> Result<QueryExecution, ClusterError> {
+        ClusterEngine::run_on_shard(self, shard, query)
+    }
+
+    fn merge_executions(
+        &self,
+        query: &Query,
+        executions: &[&QueryExecution],
+        shards_pruned: usize,
+    ) -> ClusterExecution {
+        ClusterEngine::merge_executions(self, query, executions, shards_pruned)
+    }
+}
 
 /// How the admission queue picks the next query when a slot frees.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -536,7 +613,9 @@ impl Sim<'_> {
     }
 }
 
-/// Stream `workload` through `cluster` under `cfg`.
+/// Stream `workload` through `cluster` — any [`StreamEngine`]: the
+/// pre-joined [`ClusterEngine`] or the normalized star-join cluster —
+/// under `cfg`.
 ///
 /// Service demands come from real per-shard executions, so the merged
 /// answers in [`StreamOutcome::executions`] are bit-identical to
@@ -552,8 +631,8 @@ impl Sim<'_> {
 ///
 /// [`SchedError::InvalidConfig`] for a zero in-flight bound;
 /// cluster/planner failures otherwise.
-pub fn run_stream(
-    cluster: &mut ClusterEngine,
+pub fn run_stream<E: StreamEngine>(
+    cluster: &mut E,
     workload: &Workload,
     cfg: &SchedConfig,
 ) -> Result<StreamOutcome, SchedError> {
@@ -561,7 +640,7 @@ pub fn run_stream(
         return Err(SchedError::InvalidConfig("max_in_flight must be at least 1".into()));
     }
     let contention = cluster.contention();
-    let host_cfg: Option<HostConfig> = cluster.shard_engine(0).map(|e| e.config().host.clone());
+    let host_cfg: Option<HostConfig> = cluster.host_config();
 
     // Resolve every *distinct* query's service demand once by
     // executing its shard slices (deterministic and read-only, so

@@ -36,16 +36,25 @@
 //! `FilterBounds` + `ZoneMap` feed `engine`'s per-page `PageSet`
 //! planner and `cluster`'s pre-scatter shard pruning, so selective
 //! queries only activate the pages that can matter.
+//! * [`join`] — normalized star-schema storage with PIM-side semijoin
+//!   bitmaps: `lineorder` plus the four dimensions stay separate PIM
+//!   tables (a fraction of the pre-join's capacity), dimension filters
+//!   run on their own modules, and the resulting key bitmaps cross the
+//!   host channel compressed — once — before compiling into fact-side
+//!   range programs through the FK columns. Same query surface, answers
+//!   bit-identical to the pre-joined path.
 //! * [`monet`] — the in-memory column-store baseline (`mnt-reg` /
 //!   `mnt-join`).
 //!
 //! See `README.md` for a walkthrough, `examples/quickstart.rs` for a
-//! complete end-to-end query, and `examples/cluster_scaling.rs` for
-//! shard-count scaling.
+//! complete end-to-end query, `examples/cluster_scaling.rs` for
+//! shard-count scaling, and `examples/star_join.rs` for the normalized
+//! star-join path.
 
 pub use bbpim_cluster as cluster;
 pub use bbpim_core as engine;
 pub use bbpim_db as db;
+pub use bbpim_join as join;
 pub use bbpim_monet as monet;
 pub use bbpim_sched as sched;
 pub use bbpim_sim as sim;
