@@ -35,9 +35,19 @@ use std::process::ExitCode;
 const GATED: &[(&str, &str)] = &[
     ("pruning", "wall_clock_speedup"),
     ("streaming", "scsf_vs_fifo_p50"),
+    ("streaming", "hiload_host_utilisation"),
     ("scaling", "agg3_energy_saving"),
+    ("scaling", "geomean_speedup_max_shards"),
     ("join", "host_bytes_ratio_q1"),
 ];
+
+/// Absolute floors checked against the merged snapshot whenever the
+/// key is present — independent of any baseline, so even a baseline
+/// *regeneration* fails if sharding stops paying off. The contended
+/// max-shard geo-mean dropping below 1.0 means the host channel is
+/// again eating all module parallelism — the regression the byte-diet
+/// PR exists to prevent — and no relative tolerance excuses that.
+const ABSOLUTE_FLOORS: &[(&str, &str, f64)] = &[("scaling", "geomean_speedup_max_shards", 1.0)];
 
 /// Extract the body of a top-level `"section": { … }` object. The
 /// snapshots are flat (no nested braces inside a section), which the
@@ -147,12 +157,30 @@ fn run() -> Result<(), String> {
         println!("merged {} snapshots into {out}", inputs.len());
     }
 
+    let mut failures = Vec::new();
+    let mut floor_header = false;
+    for (section, key, floor) in ABSOLUTE_FLOORS {
+        if let Some(now) = lookup(&merged, section, key) {
+            if !floor_header {
+                println!("\nabsolute floors:");
+                floor_header = true;
+            }
+            let ok = now >= *floor;
+            println!(
+                "  [{}] {section}.{key}: {now:.4} vs absolute floor {floor:.4}",
+                if ok { "PASS" } else { "FAIL" },
+            );
+            if !ok {
+                failures.push(format!("{section}.{key} below absolute floor: {now:.4} < {floor}"));
+            }
+        }
+    }
+
     let Some(baseline_path) = &args.baseline else {
-        return Ok(());
+        return if failures.is_empty() { Ok(()) } else { Err(failures.join("; ")) };
     };
     let baseline =
         std::fs::read_to_string(baseline_path).map_err(|e| format!("{baseline_path}: {e}"))?;
-    let mut failures = Vec::new();
     println!("\nregression gate (tolerance {:.0}%):", args.tolerance * 100.0);
     for (section, key) in GATED {
         let base = lookup(&baseline, section, key)

@@ -1,74 +1,195 @@
 //! Cluster scaling study: the 13 SSB queries on a sharded multi-module
-//! cluster, round-robin partitioned, plus a hash-by-group-key
-//! comparison at one shard count.
+//! cluster at each shard count, plus an A/B table attributing the
+//! host-channel byte diet lever by lever at the largest count.
+//!
+//! The default path is the normalized **star** cluster (PIM-side
+//! semijoin bitmaps, two-crossbar modules) — the storage model the
+//! byte diet was built for. The legacy pre-joined one-crossbar sweep,
+//! including its hash-by-group-key partitioner comparison, is kept
+//! behind `--prejoined`.
 //!
 //! Every merged answer is cross-checked against the row-at-a-time
 //! oracle before it is reported. Flags: `--sf`, `--seed`, `--uniform`,
-//! and `--shards 1,2,4,8` for the shard counts to sweep (see
-//! `bbpim_bench::BenchConfig`); the hash comparison runs at 4 shards
-//! when swept, otherwise at the largest requested count.
+//! `--shards 1,2,4,8` for the shard counts to sweep (see
+//! `bbpim_bench::BenchConfig`), and `--prejoined` for the legacy path.
 
-use bbpim_bench::{reports, run_cluster_scaling, setup, BenchConfig};
-use bbpim_cluster::{ClusterEngine, Partitioner};
+use bbpim_bench::{
+    fmt_ms, geomean_filtered, print_table, report_host_bytes, reports, run_cluster_scaling,
+    run_star_scaling, setup, BenchConfig, ClusterScalePoint, SsbSetup,
+};
+use bbpim_cluster::{ClusterEngine, ClusterExecution, Partitioner};
 use bbpim_core::groupby::calibration::CalibrationConfig;
 use bbpim_core::modes::EngineMode;
-use bbpim_sim::SimConfig;
+use bbpim_join::StarCluster;
+use bbpim_sim::{SimConfig, XferPolicy};
+
+/// The lever attribution rows: each byte-diet lever switched off
+/// individually against the all-on default, bracketed by the default
+/// and the legacy (all-off) policy.
+fn lever_rows() -> Vec<(&'static str, XferPolicy)> {
+    let on = XferPolicy::default();
+    vec![
+        ("all-on (default)", on),
+        ("compress_masks off", XferPolicy { compress_masks: false, ..on }),
+        ("batch_dispatch off", XferPolicy { batch_dispatch: false, ..on }),
+        ("module_reduce off", XferPolicy { module_reduce: false, ..on }),
+        ("legacy (all off)", XferPolicy::legacy()),
+    ]
+}
+
+/// Run all 13 queries at `shards` under `policy` on the default-path
+/// engine (star unless `--prejoined`), returning the executions.
+fn run_policy(
+    s: &SsbSetup,
+    prejoined: bool,
+    mode: EngineMode,
+    shards: usize,
+    policy: XferPolicy,
+) -> Vec<ClusterExecution> {
+    if prejoined {
+        let mut c = ClusterEngine::new(
+            SimConfig::default(),
+            s.wide.clone(),
+            mode,
+            shards,
+            Partitioner::RoundRobin,
+        )
+        .expect("cluster construction");
+        c.calibrate(&CalibrationConfig::default()).expect("calibration");
+        c.set_xfer_policy(policy);
+        s.queries
+            .iter()
+            .map(|q| c.run(q).unwrap_or_else(|e| panic!("{} under lever A/B: {e}", q.id)))
+            .collect()
+    } else {
+        let mut c =
+            StarCluster::new(SimConfig::default(), &s.db, mode, shards, Partitioner::RoundRobin)
+                .expect("star cluster construction");
+        c.set_xfer_policy(policy);
+        s.queries
+            .iter()
+            .map(|q| c.run(q).unwrap_or_else(|e| panic!("{} under lever A/B: {e}", q.id)))
+            .collect()
+    }
+}
+
+/// The A/B lever table at `shards`: per configuration, mean host bytes
+/// per query and the contended-wall-clock geo-mean speedup over the
+/// legacy policy. Returns the all-on mean host bytes per query (the
+/// `host_bytes_per_query` snapshot headline).
+fn lever_table(s: &SsbSetup, prejoined: bool, mode: EngineMode, shards: usize) -> f64 {
+    println!("\nhost-channel byte diet at {shards} shards, contended (per-lever attribution):\n");
+    let runs: Vec<(&str, Vec<ClusterExecution>)> = lever_rows()
+        .into_iter()
+        .map(|(label, policy)| (label, run_policy(s, prejoined, mode, shards, policy)))
+        .collect();
+    let legacy = &runs.last().expect("legacy row").1;
+    // answers are lever-independent; the equivalence suite enforces
+    // this against the oracle, the cheap cross-check here is free
+    for (label, execs) in &runs {
+        for (e, l) in execs.iter().zip(legacy.iter()) {
+            assert_eq!(e.groups, l.groups, "lever answer drift under {label}");
+        }
+    }
+    let bytes_per_query = |execs: &[ClusterExecution]| {
+        execs.iter().map(|e| report_host_bytes(&e.report)).sum::<u64>() as f64
+            / execs.len().max(1) as f64
+    };
+    let legacy_bytes = bytes_per_query(legacy);
+    let mut rows = Vec::new();
+    for (label, execs) in &runs {
+        let bytes = bytes_per_query(execs);
+        let ratios: Vec<f64> = execs
+            .iter()
+            .zip(legacy.iter())
+            .map(|(e, l)| l.report.time_ns / e.report.time_ns)
+            .collect();
+        let wall: f64 = execs.iter().map(|e| e.report.time_ns).sum();
+        rows.push(vec![
+            label.to_string(),
+            format!("{bytes:.0}"),
+            format!("{:.2}x", legacy_bytes / bytes.max(1.0)),
+            fmt_ms(wall),
+            bbpim_bench::fmt_geomean(&ratios),
+        ]);
+    }
+    print_table(
+        &["policy", "host B/query", "bytes vs legacy", "total ms", "speedup vs legacy"],
+        &rows,
+    );
+    bytes_per_query(&runs[0].1)
+}
 
 fn main() {
     let s = setup(BenchConfig::from_args());
+    let prejoined = std::env::args().any(|a| a == "--prejoined");
     let shard_counts = s.cfg.shards.clone();
-    let points =
-        run_cluster_scaling(&s, EngineMode::OneXb, &shard_counts, &Partitioner::RoundRobin);
-    reports::print_scaling(&s, &points);
-
-    // Hash partitioning keeps every subgroup on one shard: the merge is
-    // a disjoint union and each shard's GROUP BY sees k/n subgroups.
-    // One hash cluster per GROUP BY query (the key set differs), each
-    // running only its own query.
-    let hash_shards = if shard_counts.contains(&4) {
-        4
+    let (mode, points): (EngineMode, Vec<ClusterScalePoint>) = if prejoined {
+        let m = EngineMode::OneXb;
+        (m, run_cluster_scaling(&s, m, &shard_counts, &Partitioner::RoundRobin))
     } else {
-        *shard_counts.iter().max().expect("at least one shard count")
+        // the star path runs two-crossbar modules: dimension filters on
+        // their own modules, compressed semijoin bitmaps over the bus
+        let m = EngineMode::TwoXb;
+        (m, run_star_scaling(&s, m, &shard_counts, &Partitioner::RoundRobin))
     };
-    println!("\nhash-by-group-key vs round-robin at {hash_shards} shards (GROUP BY queries):\n");
-    let rr_point =
-        points.iter().find(|p| p.shards == hash_shards).expect("hash-comparison shard point");
-    let mut rows = Vec::new();
-    for (i, q) in s.queries.iter().enumerate() {
-        if !q.has_group_by() {
-            continue;
-        }
-        let mut cluster = ClusterEngine::new(
-            SimConfig::default(),
-            s.wide.clone(),
-            EngineMode::OneXb,
-            hash_shards,
-            Partitioner::hash_by_group_keys(&q.group_by),
-        )
-        .expect("hash cluster construction");
-        cluster.calibrate(&CalibrationConfig::default()).expect("calibration");
-        let out = cluster.run(q).unwrap_or_else(|e| panic!("hash shards on {}: {e}", q.id));
-        assert_eq!(
-            out.groups, rr_point.executions[i].groups,
-            "hash/round-robin mismatch on {}",
-            q.id
-        );
-        let rr_ns = rr_point.executions[i].report.time_ns;
-        let hash_ns = out.report.time_ns;
-        let ratio = rr_ns / hash_ns;
-        rows.push(vec![
-            q.id.clone(),
-            out.report.partitioner.to_string(),
-            bbpim_bench::fmt_ms(rr_ns),
-            bbpim_bench::fmt_ms(hash_ns),
-            // zone-pruned zero-match queries cost ~0 on both layouts
-            if ratio.is_finite() { format!("{ratio:.2}") } else { "-".into() },
-        ]);
-    }
-    bbpim_bench::print_table(
-        &["query", "partitioner", "round-robin", "hash-by-key", "rr/hash"],
-        &rows,
+    println!(
+        "scaling path: {}\n",
+        if prejoined { "pre-joined (legacy)" } else { "star (default)" }
     );
+    reports::print_scaling(&s, &points, !prejoined);
+
+    let max_shards = *shard_counts.iter().max().expect("at least one shard count");
+
+    if prejoined {
+        // Hash partitioning keeps every subgroup on one shard: the
+        // merge is a disjoint union and each shard's GROUP BY sees k/n
+        // subgroups. One hash cluster per GROUP BY query (the key set
+        // differs), each running only its own query.
+        let hash_shards = if shard_counts.contains(&4) { 4 } else { max_shards };
+        println!(
+            "\nhash-by-group-key vs round-robin at {hash_shards} shards (GROUP BY queries):\n"
+        );
+        let rr_point =
+            points.iter().find(|p| p.shards == hash_shards).expect("hash-comparison shard point");
+        let mut rows = Vec::new();
+        for (i, q) in s.queries.iter().enumerate() {
+            if !q.has_group_by() {
+                continue;
+            }
+            let mut cluster = ClusterEngine::new(
+                SimConfig::default(),
+                s.wide.clone(),
+                mode,
+                hash_shards,
+                Partitioner::hash_by_group_keys(&q.group_by),
+            )
+            .expect("hash cluster construction");
+            cluster.calibrate(&CalibrationConfig::default()).expect("calibration");
+            let out = cluster.run(q).unwrap_or_else(|e| panic!("hash shards on {}: {e}", q.id));
+            assert_eq!(
+                out.groups, rr_point.executions[i].groups,
+                "hash/round-robin mismatch on {}",
+                q.id
+            );
+            let rr_ns = rr_point.executions[i].report.time_ns;
+            let hash_ns = out.report.time_ns;
+            let ratio = rr_ns / hash_ns;
+            rows.push(vec![
+                q.id.clone(),
+                out.report.partitioner.to_string(),
+                fmt_ms(rr_ns),
+                fmt_ms(hash_ns),
+                // zone-pruned zero-match queries cost ~0 on both layouts
+                if ratio.is_finite() { format!("{ratio:.2}") } else { "-".into() },
+            ]);
+        }
+        print_table(&["query", "partitioner", "round-robin", "hash-by-key", "rr/hash"], &rows);
+    }
+
+    // Lever-by-lever byte attribution at the largest shard count — the
+    // A/B table behind the `host_bytes_per_query` headline.
+    let host_bytes_per_query = lever_table(&s, prejoined, mode, max_shards);
 
     // What this cluster's wide relation costs in PIM capacity next to
     // the normalized star catalog (the `join` study's storage win).
@@ -81,22 +202,23 @@ fn main() {
 
     // Machine-readable snapshot for the CI regression gate: the
     // multi-aggregate sharing headline (one 3-aggregate query vs three
-    // single-aggregate runs) plus the scaling geo-mean.
+    // single-aggregate runs), the contended scaling geo-mean — gated
+    // absolutely at 1.0 by `bench_gate` — and the byte-diet headline.
     if let Some(path) = &s.cfg.json {
-        let max_shards = *shard_counts.iter().max().expect("at least one shard count");
         let agg3 = bbpim_bench::run_multi_agg_saving(&s, EngineMode::OneXb, max_shards);
         let base = points.iter().min_by_key(|p| p.shards).expect("scale points");
         let top = points.iter().max_by_key(|p| p.shards).expect("scale points");
         let ratios: Vec<f64> = (0..s.queries.len())
             .map(|i| base.executions[i].report.time_ns / top.executions[i].report.time_ns)
             .collect();
-        let geomean_speedup = bbpim_bench::geomean_filtered(&ratios).0.unwrap_or(1.0);
+        let geomean_speedup = geomean_filtered(&ratios).0.unwrap_or(1.0);
         bbpim_bench::write_snapshot(
             path,
             "scaling",
             &[
                 ("agg3_energy_saving", agg3),
                 ("geomean_speedup_max_shards", geomean_speedup),
+                ("host_bytes_per_query", host_bytes_per_query),
                 ("max_shards", max_shards as f64),
             ],
         );

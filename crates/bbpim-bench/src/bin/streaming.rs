@@ -12,8 +12,17 @@
 //! Flags: `--sf`, `--seed`, `--uniform`, `--shards 8` (the largest
 //! listed count runs), `--arrivals 52`, `--load 2.0`, `--inflight 4`
 //! (see `bbpim_bench::BenchConfig`).
+//!
+//! Two rows run: the configured load on the one-crossbar layout, and a
+//! **high-contention** row at 4× that load with a 4×-deeper in-flight
+//! window on the two-crossbar layout — the mask-transfer-heavy shape
+//! whose host-bus pressure the byte-diet levers exist to relieve. The
+//! default row leaves the shared channel mostly idle (utilisation
+//! ~0.15 in the PR-5 baseline), so only the high-contention row
+//! exercises the saturated regime the contention model is for; its
+//! utilisation is snapshotted and gated.
 
-use bbpim_bench::{reports, run_streaming_study, setup, BenchConfig};
+use bbpim_bench::{reports, run_streaming_study, setup, BenchConfig, SsbSetup};
 use bbpim_core::modes::EngineMode;
 
 fn main() {
@@ -22,6 +31,26 @@ fn main() {
     let study = run_streaming_study(&s, EngineMode::OneXb, shards);
     reports::print_explain(&s, &study.explains);
     reports::print_streaming(&s, &study);
+
+    // High-contention row: same data and trace shape, 4× the offered
+    // load and in-flight window, two-xb layout (per-disjunct mask
+    // transfers ride the bus).
+    let hi = SsbSetup {
+        cfg: BenchConfig {
+            load: s.cfg.load * 4.0,
+            inflight: (s.cfg.inflight * 4).max(16),
+            ..s.cfg.clone()
+        },
+        db: s.db.clone(),
+        wide: s.wide.clone(),
+        queries: s.queries.clone(),
+    };
+    println!(
+        "\n== high-contention row: load {:.1}x capacity, {} in flight, two-xb ==",
+        hi.cfg.load, hi.cfg.inflight
+    );
+    let hi_study = run_streaming_study(&hi, EngineMode::TwoXb, shards);
+    reports::print_streaming(&hi, &hi_study);
 
     // Machine-readable snapshot for the CI regression gate: the
     // admission-policy headline (FIFO p50 over SCSF p50 — how much the
@@ -37,6 +66,11 @@ fn main() {
         };
         let (fifo, scsf) = (p50("fifo"), p50("scsf"));
         let fifo_run = study.policies.iter().find(|r| r.policy.label() == "fifo").unwrap();
+        let hi_fifo = hi_study
+            .policies
+            .iter()
+            .find(|r| r.policy.label() == "fifo")
+            .expect("fifo ran in the high-contention row");
         bbpim_bench::write_snapshot(
             path,
             "streaming",
@@ -45,6 +79,8 @@ fn main() {
                 ("fifo_p50_ms", fifo / 1e6),
                 ("scsf_p50_ms", scsf / 1e6),
                 ("host_utilisation", fifo_run.outcome.host_utilisation()),
+                ("hiload_host_utilisation", hi_fifo.outcome.host_utilisation()),
+                ("hiload_load", hi.cfg.load),
             ],
         );
     }

@@ -33,6 +33,7 @@ use bbpim_db::plan::Query;
 use bbpim_db::relation::Relation;
 use bbpim_db::ssb::{queries, SsbDb, SsbParams};
 use bbpim_db::stats::MultiGrouped;
+use bbpim_join::StarCluster;
 use bbpim_monet::MonetEngine;
 use bbpim_sched::{run_stream, AdmissionPolicy, SchedConfig, StreamOutcome, Workload};
 use bbpim_sim::SimConfig;
@@ -317,6 +318,66 @@ pub fn run_cluster_scaling(
             ClusterScalePoint { shards, partitioner: partitioner.label(), executions }
         })
         .collect()
+}
+
+/// Run every query through a normalized [`StarCluster`] at each shard
+/// count — the `scaling` study's default path now that the star
+/// storage model exists (the pre-joined sweep stays behind
+/// `--prejoined`). Same output shape as [`run_cluster_scaling`] so the
+/// two paths share the reports, and every merged answer is
+/// cross-checked against the row-at-a-time oracle.
+///
+/// # Panics
+///
+/// Panics on engine errors or a cluster/oracle mismatch (the harness
+/// runs known-good inputs).
+pub fn run_star_scaling(
+    setup: &SsbSetup,
+    mode: EngineMode,
+    shard_counts: &[usize],
+    partitioner: &Partitioner,
+) -> Vec<ClusterScalePoint> {
+    let oracles: Vec<MultiGrouped> = setup
+        .queries
+        .iter()
+        .map(|q| bbpim_db::stats::run_oracle(q, &setup.wide).expect("oracle"))
+        .collect();
+    shard_counts
+        .iter()
+        .map(|&shards| {
+            let mut cluster = StarCluster::new(
+                SimConfig::default(),
+                &setup.db,
+                mode,
+                shards,
+                partitioner.clone(),
+            )
+            .expect("star cluster construction");
+            let executions: Vec<ClusterExecution> = setup
+                .queries
+                .iter()
+                .zip(&oracles)
+                .map(|(q, oracle)| {
+                    let out = cluster
+                        .run(q)
+                        .unwrap_or_else(|e| panic!("{shards} star shards on {}: {e}", q.id));
+                    assert_eq!(
+                        &out.groups, oracle,
+                        "star/oracle mismatch on {} at {shards} shards",
+                        q.id
+                    );
+                    out
+                })
+                .collect();
+            ClusterScalePoint { shards, partitioner: partitioner.label(), executions }
+        })
+        .collect()
+}
+
+/// Host-channel bytes one cluster execution put on the shared bus,
+/// summed over the per-shard phase logs.
+pub fn report_host_bytes(report: &bbpim_cluster::ClusterReport) -> u64 {
+    report.per_shard.iter().map(|r| r.phases.host_bytes()).sum()
 }
 
 /// One shard count's pruned-vs-exhaustive comparison in the pruning

@@ -552,7 +552,7 @@ pub fn print_streaming(setup: &SsbSetup, study: &StreamingStudy) {
 /// the two clocks is exactly the journal extension's host-channel
 /// bound. The point with the fewest shards is the baseline (normally 1
 /// shard), regardless of sweep order.
-pub fn print_scaling(setup: &SsbSetup, points: &[ClusterScalePoint]) {
+pub fn print_scaling(setup: &SsbSetup, points: &[ClusterScalePoint], star: bool) {
     let base = points.iter().min_by_key(|p| p.shards).expect("at least one scale point");
     println!(
         "Cluster scaling — simulated latency [ms] (SF={}, {} data, {} records, {} partitioning)\n",
@@ -623,6 +623,25 @@ pub fn print_scaling(setup: &SsbSetup, points: &[ClusterScalePoint]) {
             ),
             (Some(c), None) => println!("  {} shards: {c:>6.2}x", p.shards),
         }
+    }
+
+    if star {
+        // The star path answers GROUP BY by host-side gather, so the
+        // pim-gb parallelism target below does not apply; the shape
+        // that matters here (and that bench_gate floors absolutely) is
+        // that module parallelism survives the contended host channel
+        // at the widest sweep point.
+        if let Some(p) = compared.iter().max_by_key(|p| p.shards) {
+            if let Some(c) = geomean_speedups(p, true) {
+                println!(
+                    "\nshape check:\n  [{}] contended geo-mean speedup at {} shards: {c:.2}x \
+                     (byte-diet target > 1.0x)",
+                    if c > 1.0 { "PASS" } else { "FAIL" },
+                    p.shards
+                );
+            }
+        }
+        return;
     }
 
     // The headline check: module-level parallelism must pay off on at

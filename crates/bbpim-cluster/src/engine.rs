@@ -47,7 +47,7 @@ use bbpim_sim::config::SimConfig;
 use bbpim_sim::timeline::{PhaseKind, RunLog};
 
 use crate::error::ClusterError;
-use crate::explain::{PlanExplain, ShardPlan};
+use crate::explain::{HostBytes, PlanExplain, ShardPlan};
 use crate::partition::Partitioner;
 
 /// One shard: its position in the cluster plus its engine and zone map.
@@ -327,6 +327,23 @@ impl ClusterEngine {
         self.contention = enabled;
     }
 
+    /// The host-transfer policy the shards run under (compressed mask
+    /// transfers, batched dispatch descriptors, module-side result
+    /// reduction). Defaults to all levers on.
+    pub fn xfer_policy(&self) -> bbpim_sim::XferPolicy {
+        self.shards.first().map(|s| s.engine.xfer_policy()).unwrap_or_default()
+    }
+
+    /// Set the host-transfer policy cluster-wide for A/B attribution
+    /// studies (like [`ClusterEngine::set_contention`]). Answers are
+    /// bit-identical under every lever combination — only the bytes on
+    /// the channel (and hence contended wall clock) change.
+    pub fn set_xfer_policy(&mut self, policy: bbpim_sim::XferPolicy) {
+        for shard in &mut self.shards {
+            shard.engine.set_xfer_policy(policy);
+        }
+    }
+
     /// An active shard's zone map; `i` indexes active shards.
     pub fn shard_zone(&self, i: usize) -> Option<&ZoneMap> {
         self.shards.get(i).map(|s| &s.zone)
@@ -418,21 +435,23 @@ impl ClusterEngine {
                     .collect()
             }
         };
-        let shards = self
-            .shards
-            .iter()
-            .zip(&mask)
-            .map(|(shard, &dispatched)| {
-                let candidate_pages = if dispatched { shard.engine.plan(query)?.len() } else { 0 };
-                Ok(ShardPlan {
-                    shard_index: shard.index,
-                    records: shard.engine.relation().len(),
-                    pages: shard.engine.page_count(),
-                    candidate_pages,
-                    dispatched,
-                })
-            })
-            .collect::<Result<Vec<_>, CoreError>>()?;
+        let mut host_bytes = HostBytes::default();
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for (shard, &dispatched) in self.shards.iter().zip(&mask) {
+            let mut candidate_pages = 0;
+            if dispatched {
+                let plan = shard.engine.plan(query).map_err(ClusterError::Core)?;
+                candidate_pages = plan.len();
+                host_bytes.absorb(&shard_host_bytes(&shard.engine, query, &plan)?);
+            }
+            shards.push(ShardPlan {
+                shard_index: shard.index,
+                records: shard.engine.relation().len(),
+                pages: shard.engine.page_count(),
+                candidate_pages,
+                dispatched,
+            });
+        }
         Ok(PlanExplain {
             query_id: query.id.clone(),
             filter: query.filter.to_string(),
@@ -440,6 +459,7 @@ impl ClusterEngine {
             shards,
             // the pre-joined model never joins: nothing crosses the bus
             join_transfers: Vec::new(),
+            host_bytes,
         })
     }
 
@@ -706,6 +726,55 @@ impl ClusterEngine {
             partials.into_iter().map(PartialGroups::into_groups).collect();
         ClusterExecution { groups: plan.finalize(&per_agg), report }
     }
+}
+
+/// Planner estimate of one dispatched shard's host-channel bytes under
+/// its engine's transfer policy (see [`HostBytes`] for the category
+/// semantics and the estimate's assumptions).
+fn shard_host_bytes(
+    engine: &PimQueryEngine,
+    query: &Query,
+    plan: &bbpim_core::planner::PageSet,
+) -> Result<HostBytes, ClusterError> {
+    let mut out = HostBytes::default();
+    if plan.is_empty() {
+        return Ok(out);
+    }
+    let cfg = engine.config();
+    let host = &cfg.host;
+    let policy = engine.xfer_policy();
+    let partitions = engine.layout().partitions();
+    if policy.batch_dispatch {
+        out.dispatch_bytes = partitions as u64
+            * (host.dispatch_header_bytes + plan.run_count() as u64 * host.dispatch_run_bytes);
+    }
+    if partitions > 1 {
+        // one transfer pair per disjunct that touches a dimension
+        // partition (the two-xb inter-partition traffic)
+        let schema = engine.relation().schema();
+        let dnf = query.filter.resolve_dnf(schema).map_err(ClusterError::Db)?;
+        let dim_disjuncts = dnf
+            .iter()
+            .filter(|conj| {
+                conj.iter().any(|a| {
+                    let name = &schema.attrs()[a.attr_index()].name;
+                    engine.layout().placement(name).map(|p| p.partition != 0).unwrap_or(false)
+                })
+            })
+            .count() as u64;
+        let raw_bytes = plan.len() as u64 * cfg.crossbar_rows as u64 * host.line_bytes as u64;
+        let records_per_page =
+            (engine.relation().len() as u64).div_ceil(engine.page_count().max(1) as u64);
+        let packed = bbpim_sim::maskwire::WIRE_HEADER_BYTES
+            + (plan.len() as u64 * records_per_page).div_ceil(8);
+        let per_transfer = if policy.compress_masks { packed.min(raw_bytes) } else { raw_bytes };
+        out.mask_wire_bytes = dim_disjuncts * 2 * per_transfer;
+    }
+    let aggs = query.physical_plan().map_err(ClusterError::Db)?.aggs.len() as u64;
+    let chunk_lines = 64u64.div_ceil(cfg.read_width_bits as u64);
+    let per_agg = chunk_lines * host.line_bytes as u64;
+    out.result_bytes = aggs * per_agg * if policy.module_reduce { 1 } else { plan.len() as u64 };
+    Ok(out)
 }
 
 impl std::fmt::Debug for ClusterEngine {

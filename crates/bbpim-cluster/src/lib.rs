@@ -60,5 +60,5 @@ pub mod partition;
 
 pub use engine::{BatchExecution, ClusterEngine, ClusterExecution, ClusterReport};
 pub use error::ClusterError;
-pub use explain::{JoinTransfer, PlanExplain, ShardPlan};
+pub use explain::{HostBytes, JoinTransfer, PlanExplain, ShardPlan};
 pub use partition::Partitioner;

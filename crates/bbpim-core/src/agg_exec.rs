@@ -279,14 +279,22 @@ pub fn aggregate_masked(
     };
     log.push(phase);
 
-    // Host fetches one line per result chunk per page…
     let chunk_bits = module.config().read_width_bits;
     let chunks = reads_per_value(chunk_bits, dst) as u64;
-    log.push(module.host_read_phase(pages.len() as u64 * chunks));
-
-    // …and folds the per-crossbar partials.
     let flat: Vec<u64> = partials.into_iter().flatten().collect();
-    log.push(Phase::host_compute(flat.len() as f64 * COMBINE_NS_PER_PARTIAL));
+    if module.policy().module_reduce {
+        // Page controllers fold the per-crossbar partials locally, so
+        // one finalised partial crosses the channel instead of one
+        // result line per page.
+        log.push(module.partial_combine_phase(pages.len(), flat.len() as u64));
+        log.push(module.host_read_phase(if pages.is_empty() { 0 } else { chunks }));
+        log.push(Phase::host_compute(flat.len().min(1) as f64 * COMBINE_NS_PER_PARTIAL));
+    } else {
+        // Host fetches one line per result chunk per page and folds the
+        // per-crossbar partials itself.
+        log.push(module.host_read_phase(pages.len() as u64 * chunks));
+        log.push(Phase::host_compute(flat.len() as f64 * COMBINE_NS_PER_PARTIAL));
+    }
     let combined = match func {
         PhysFunc::Sum | PhysFunc::Count => flat.iter().fold(0u64, |acc, v| acc.wrapping_add(*v)),
         PhysFunc::Min => flat.into_iter().min().unwrap_or(u64::MAX),
@@ -341,11 +349,17 @@ pub fn aggregate_masked_counted(
 
     let chunk_bits = module.config().read_width_bits;
     let chunks = reads_per_value(chunk_bits, dst) as u64 + 1; // + the count chunk
-    log.push(module.host_read_phase(pages.len() as u64 * chunks));
-
     let flat_sums: Vec<u64> = sums.into_iter().flatten().collect();
     let flat_counts: Vec<u64> = counts.into_iter().flatten().collect();
-    log.push(Phase::host_compute(flat_sums.len() as f64 * COMBINE_NS_PER_PARTIAL));
+    if module.policy().module_reduce {
+        // both streams (value + count) fold module-side
+        log.push(module.partial_combine_phase(pages.len(), 2 * flat_sums.len() as u64));
+        log.push(module.host_read_phase(if pages.is_empty() { 0 } else { chunks }));
+        log.push(Phase::host_compute(flat_sums.len().min(1) as f64 * COMBINE_NS_PER_PARTIAL));
+    } else {
+        log.push(module.host_read_phase(pages.len() as u64 * chunks));
+        log.push(Phase::host_compute(flat_sums.len() as f64 * COMBINE_NS_PER_PARTIAL));
+    }
     let count: u64 = flat_counts.iter().sum();
     let combined = match func {
         PhysFunc::Sum | PhysFunc::Count => {

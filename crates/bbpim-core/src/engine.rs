@@ -13,7 +13,7 @@ use bbpim_db::zonemap::ZoneMap;
 use bbpim_db::Relation;
 use bbpim_sim::config::SimConfig;
 use bbpim_sim::module::PimModule;
-use bbpim_sim::timeline::{Phase, RunLog};
+use bbpim_sim::timeline::RunLog;
 
 use crate::agg_exec::{aggregate_masked, materialize_exprs};
 use crate::error::CoreError;
@@ -129,6 +129,17 @@ impl PimQueryEngine {
         self.pruning = enabled;
     }
 
+    /// The host-channel transfer policy in effect (byte-diet levers).
+    pub fn xfer_policy(&self) -> bbpim_sim::XferPolicy {
+        self.module.policy()
+    }
+
+    /// Set the host-channel transfer policy. Answers are bit-identical
+    /// under every lever combination; only bytes, time and energy move.
+    pub fn set_xfer_policy(&mut self, policy: bbpim_sim::XferPolicy) {
+        self.module.set_policy(policy);
+    }
+
     /// The loaded relation's zone map (merge over per-page zones,
     /// including UPDATE widening) — what the cluster layer consults for
     /// shard-level pruning.
@@ -219,11 +230,12 @@ impl PimQueryEngine {
         self.module.reset_endurance(&all_pages);
         let mut log = RunLog::new();
 
-        // Host orchestration: one request descriptor per candidate page
-        // per partition (the journal extension's per-page host cost).
-        log.push(Phase::host_dispatch(
-            (pages.len() * self.layout.partitions()) as f64
-                * self.module.config().host.dispatch_ns_per_page,
+        // Host orchestration: per-page doorbells, or one run-list
+        // descriptor per partition under batched dispatch.
+        log.push(pages.dispatch_phase(
+            &self.module.config().host,
+            self.module.policy(),
+            self.layout.partitions(),
         ));
 
         let outcome =
@@ -602,6 +614,13 @@ mod tests {
         let mut e =
             PimQueryEngine::new(SimConfig::small_for_tests(), rel.clone(), EngineMode::OneXb)
                 .unwrap();
+        // Per-page doorbells so the dispatch comparison below measures
+        // pruning economics, not descriptor batching (which collapses
+        // both contiguous plans to one run each).
+        e.set_xfer_policy(bbpim_sim::XferPolicy {
+            batch_dispatch: false,
+            ..bbpim_sim::XferPolicy::default()
+        });
         assert!(e.pruning());
         let pruned = e.run_checked(&q).unwrap();
         e.set_pruning(false);

@@ -20,8 +20,9 @@ use bbpim_db::plan::ResolvedAtom;
 use bbpim_sim::compiler::predicate;
 use bbpim_sim::compiler::{CodeBuilder, ColRange, ScratchPool};
 use bbpim_sim::isa::Microprogram;
+use bbpim_sim::maskwire;
 use bbpim_sim::module::{PageId, PimModule};
-use bbpim_sim::timeline::RunLog;
+use bbpim_sim::timeline::{Phase, RunLog};
 
 use crate::error::CoreError;
 use crate::layout::{AttrPlacement, RecordLayout, MASK_COL, TRANSFER_COL, VALID_COL};
@@ -236,6 +237,87 @@ pub fn mask_read_lines(module: &PimModule, pages: &[PageId]) -> u64 {
     pages.len() as u64 * module.config().crossbar_rows as u64
 }
 
+/// The per-record mask bits of the *planned* pages, in page order — the
+/// payload an inter-partition mask transfer actually moves. `bits` is
+/// the full per-record vector ([`mask_bits`]).
+pub fn planned_mask_payload(loaded: &LoadedRelation, pages: &PageSet, bits: &[bool]) -> Vec<bool> {
+    let mut out = Vec::with_capacity(pages.len() * loaded.records_per_page());
+    for &pg_idx in pages.indices() {
+        for slot in 0..loaded.records_per_page() {
+            let record = loaded.record_at(pg_idx, slot);
+            if record >= loaded.records() {
+                break;
+            }
+            out.push(bits[record]);
+        }
+    }
+    out
+}
+
+/// The host-channel phases of one inter-partition mask transfer over
+/// the planned pages: a host read out of the source partition and a
+/// host write into the destination, plus — on the compressed path — the
+/// module-local pack/unpack phase.
+///
+/// Legacy: both sides cost one line per (page, row)
+/// ([`mask_read_lines`]). With [`bbpim_sim::XferPolicy::compress_masks`]
+/// the transfer is charged at the [`maskwire`] size of the planned
+/// pages' mask bits (8-byte header + min(bit-packed, RLE)) and the
+/// leftover cell traffic becomes a `PimUnpack` phase that never touches
+/// the channel. Falls back to the raw transfer when the wire format
+/// does not win. Answers are unaffected either way — the mask bits are
+/// moved exactly, which the round-trip debug assertion checks.
+pub fn mask_transfer_phases(
+    module: &PimModule,
+    loaded: &LoadedRelation,
+    pages: &PageSet,
+    bits: &[bool],
+) -> Vec<Phase> {
+    let raw_lines = pages.len() as u64 * module.config().crossbar_rows as u64;
+    if module.policy().compress_masks {
+        let payload = planned_mask_payload(loaded, pages, bits);
+        debug_assert_eq!(
+            maskwire::decode_rle(payload.len() as u64, &maskwire::encode_rle(&payload)).as_deref(),
+            Some(payload.as_slice()),
+            "mask wire format must round-trip bit-identically"
+        );
+        let wire_lines = maskwire::wire_lines(&payload, module.config().host.line_bytes as u64);
+        if wire_lines < raw_lines {
+            let (read, write, unpack) = module.compressed_mask_phases(raw_lines, wire_lines);
+            return vec![read, write, unpack];
+        }
+    }
+    vec![module.host_read_phase(raw_lines), module.host_write_phase(raw_lines)]
+}
+
+/// The host-channel phases of reading the planned pages' mask column
+/// back to the host — the filter-result fetch of the host-side GROUP
+/// BY gather (pre-joined and star). Legacy: one line per (page, row)
+/// ([`mask_read_lines`]). With
+/// [`bbpim_sim::XferPolicy::compress_masks`] the read is charged at
+/// the [`maskwire`] size of the planned pages' mask bits and the
+/// leftover cell traffic becomes a module-local `PimPack` phase off
+/// the channel — the read-direction mirror of
+/// [`mask_transfer_phases`], with the same conservation (total time
+/// and energy match the raw read exactly).
+pub fn mask_read_phases(
+    module: &PimModule,
+    loaded: &LoadedRelation,
+    pages: &PageSet,
+    bits: &[bool],
+) -> Vec<Phase> {
+    let raw_lines = pages.len() as u64 * module.config().crossbar_rows as u64;
+    if module.policy().compress_masks {
+        let payload = planned_mask_payload(loaded, pages, bits);
+        let wire_lines = maskwire::wire_lines(&payload, module.config().host.line_bytes as u64);
+        if wire_lines < raw_lines {
+            let (read, pack) = module.compressed_mask_read_phases(raw_lines, wire_lines);
+            return vec![read, pack];
+        }
+    }
+    vec![module.host_read_phase(raw_lines)]
+}
+
 /// Execute the query filter (resolved DNF, placements attached) over
 /// the *planned* pages, leaving the final mask in partition 0's
 /// [`MASK_COL`] of those pages. Pruned pages are never touched: no
@@ -293,12 +375,13 @@ pub fn run_filter(
                 let dim_pages = pages.ids(loaded, 1);
                 let prog = build_mask_program(layout, 1, &dim_atoms, &[VALID_COL], MASK_COL)?;
                 log.push(module.exec_program(&dim_pages, &prog)?);
-                // …travels through the host into the fact partition.
+                // …travels through the host into the fact partition, in
+                // the compressed wire format when the policy allows.
                 let bits = mask_bits(module, loaded, pages, 1, MASK_COL);
-                let lines = mask_read_lines(module, &dim_pages);
-                log.push(module.host_read_phase(lines));
+                for phase in mask_transfer_phases(module, loaded, pages, &bits) {
+                    log.push(phase);
+                }
                 write_transfer_bits(module, loaded, &bits, pages)?;
-                log.push(module.host_write_phase(lines));
                 fact_and.push(TRANSFER_COL);
             }
             let prog = build_accumulate_program_in(

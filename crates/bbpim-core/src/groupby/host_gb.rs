@@ -20,7 +20,7 @@ use bbpim_sim::module::PimModule;
 use bbpim_sim::timeline::{Phase, RunLog};
 
 use crate::error::CoreError;
-use crate::filter_exec::{mask_bits, mask_read_lines};
+use crate::filter_exec::{mask_bits, mask_read_phases};
 use crate::layout::{AttrPlacement, RecordLayout, MASK_COL};
 use crate::loader::LoadedRelation;
 use crate::planner::PageSet;
@@ -95,7 +95,9 @@ pub fn run_host_gb(
     // 1. Filter-result bit-vector of the planned pages only (pruned
     //    pages hold no selected records and are not read).
     let mask = mask_bits(module, loaded, pages, 0, MASK_COL);
-    log.push(module.host_read_phase(mask_read_lines(module, &pages.ids(loaded, 0))));
+    for phase in mask_read_phases(module, loaded, pages, &mask) {
+        log.push(phase);
+    }
 
     // 2. Which chunks must be read per record: group keys + the union
     //    of every aggregate's operands (shared operands read once).

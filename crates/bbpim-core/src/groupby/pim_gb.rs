@@ -22,7 +22,7 @@ use bbpim_sim::timeline::RunLog;
 use crate::agg_exec::{aggregate_masked_counted, AggInput};
 use crate::error::CoreError;
 use crate::filter_exec::{
-    build_mask_program_in, count_mask_bits, mask_bits, mask_read_lines, write_transfer_bits,
+    build_mask_program_in, count_mask_bits, mask_bits, mask_transfer_phases, write_transfer_bits,
 };
 use crate::layout::{
     AttrPlacement, RecordLayout, GROUP_MASK_COL, MASK_COL, TRANSFER_COL, VALID_COL,
@@ -141,12 +141,13 @@ pub fn run_pim_gb(
                 GROUP_MASK_COL,
             )?;
             log.push(module.exec_program(&key_pages, &prog)?);
-            // …travels through the host per subgroup…
+            // …travels through the host per subgroup (compressed wire
+            // format when the policy allows)…
             let bits = mask_bits(module, loaded, pages, key_partition, GROUP_MASK_COL);
-            let lines = mask_read_lines(module, &key_pages);
-            log.push(module.host_read_phase(lines));
+            for phase in mask_transfer_phases(module, loaded, pages, &bits) {
+                log.push(phase);
+            }
             write_transfer_bits(module, loaded, &bits, pages)?;
-            log.push(module.host_write_phase(lines));
             // …and combines with the query mask in the fact partition.
             let prog = build_mask_program_in(
                 mask_scratch,
@@ -182,8 +183,17 @@ pub fn run_pim_gb(
         let count = match count {
             Some(c) => c,
             None => {
-                // Pure COUNT: the host reads the per-page count lines.
-                log.push(module.host_read_phase(fact_pages.len() as u64));
+                // Pure COUNT: the host reads the per-page count lines —
+                // or, under module-side reduction, the module folds them
+                // first and one finalised line crosses the channel.
+                if module.policy().module_reduce {
+                    log.push(
+                        module.partial_combine_phase(fact_pages.len(), fact_pages.len() as u64),
+                    );
+                    log.push(module.host_read_phase(if fact_pages.is_empty() { 0 } else { 1 }));
+                } else {
+                    log.push(module.host_read_phase(fact_pages.len() as u64));
+                }
                 count_mask_bits(module, &fact_pages, GROUP_MASK_COL)
             }
         };

@@ -16,7 +16,9 @@
 //! all partitions of a query.
 
 use bbpim_db::plan::FilterBounds;
-use bbpim_sim::module::PageId;
+use bbpim_sim::config::HostConfig;
+use bbpim_sim::module::{PageId, XferPolicy};
+use bbpim_sim::timeline::Phase;
 
 use crate::loader::LoadedRelation;
 
@@ -96,6 +98,56 @@ impl PageSet {
     ) -> impl Iterator<Item = (usize, PageId)> + 'a {
         let pages = loaded.pages(partition);
         self.indices.iter().map(move |&i| (i, pages[i]))
+    }
+
+    /// Maximal runs of consecutive candidate page indices, as inclusive
+    /// `[lo, hi]` ranges — the run-list a batched dispatch descriptor
+    /// carries.
+    pub fn runs(&self) -> Vec<(usize, usize)> {
+        let mut runs: Vec<(usize, usize)> = Vec::new();
+        for &i in &self.indices {
+            match runs.last_mut() {
+                Some((_, hi)) if *hi + 1 == i => *hi = i,
+                _ => runs.push((i, i)),
+            }
+        }
+        runs
+    }
+
+    /// Number of contiguous runs in the candidate set.
+    pub fn run_count(&self) -> usize {
+        self.runs().len()
+    }
+
+    /// The host-dispatch phase for posting this plan to `partitions`
+    /// vertical partitions under `policy`.
+    ///
+    /// Legacy: one doorbell per page per partition
+    /// (`len × partitions × dispatch_ns_per_page`, no byte tag — the
+    /// occupancy is the duration). Batched: one descriptor per
+    /// partition whose run-list covers the candidate set, costing one
+    /// doorbell per *run* and tagging the descriptor bytes
+    /// (`header + runs × run_bytes`) for the ledger. All-singleton runs
+    /// degenerate to exactly the legacy cost.
+    pub fn dispatch_phase(
+        &self,
+        host: &HostConfig,
+        policy: XferPolicy,
+        partitions: usize,
+    ) -> Phase {
+        if self.indices.is_empty() {
+            return Phase::host_dispatch(0.0);
+        }
+        if !policy.batch_dispatch {
+            return Phase::host_dispatch(
+                (self.indices.len() * partitions) as f64 * host.dispatch_ns_per_page,
+            );
+        }
+        let runs = self.run_count() as u64;
+        let time_ns = (runs as usize * partitions) as f64 * host.dispatch_ns_per_page;
+        let bytes =
+            partitions as u64 * (host.dispatch_header_bytes + runs * host.dispatch_run_bytes);
+        Phase::host_dispatch_batched(time_ns, bytes)
     }
 }
 

@@ -11,11 +11,11 @@ use bbpim_db::plan::{Atom, Const, FilterBounds, Pred, Query, SelectItem};
 use bbpim_db::Relation;
 use bbpim_sim::compiler::{mux, CodeBuilder, ScratchPool};
 use bbpim_sim::module::PimModule;
-use bbpim_sim::timeline::{Phase, RunLog};
+use bbpim_sim::timeline::RunLog;
 
 use crate::error::CoreError;
 use crate::filter_exec::{
-    count_mask_bits, mask_bits, mask_read_lines, run_filter, write_transfer_bits_to,
+    count_mask_bits, mask_bits, mask_transfer_phases, run_filter, write_transfer_bits_to,
 };
 use crate::layout::{RecordLayout, MASK_COL, TRANSFER_COL};
 use crate::loader::LoadedRelation;
@@ -104,9 +104,7 @@ pub fn run_update(
     } else {
         PageSet::all(loaded.page_count())
     };
-    log.push(Phase::host_dispatch(
-        (pages.len() * layout.partitions()) as f64 * module.config().host.dispatch_ns_per_page,
-    ));
+    log.push(pages.dispatch_phase(&module.config().host, module.policy(), layout.partitions()));
     run_filter(module, layout, loaded, &disjuncts, &pages, &mut log)?;
 
     // Resolve destination attribute and immediate.
@@ -125,12 +123,11 @@ pub fn run_update(
         let select_col = if target.partition == 0 {
             MASK_COL
         } else {
-            let fact_pages = pages.ids(loaded, 0);
             let bits = mask_bits(module, loaded, &pages, 0, MASK_COL);
-            let lines = mask_read_lines(module, &fact_pages);
-            log.push(module.host_read_phase(lines));
+            for phase in mask_transfer_phases(module, loaded, &pages, &bits) {
+                log.push(phase);
+            }
             write_transfer_bits_to(module, loaded, &bits, target.partition, &pages)?;
-            log.push(module.host_write_phase(lines));
             TRANSFER_COL
         };
 

@@ -17,6 +17,13 @@
 //!   its length, both LEB128 varints.
 //!
 //! plus a fixed 8-byte header (key base, length, encoding tag).
+//!
+//! The codec itself is [`bbpim_sim::maskwire`] — shared with the
+//! pre-joined engine's two-crossbar mask transfers so the two wire
+//! accountings cannot drift; `KeyBitmap` adds the dense-key view
+//! (base offset, runs as key ranges, the FK hull).
+
+use bbpim_sim::maskwire;
 
 /// A bitmap over a dimension's dense key space.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,35 +33,7 @@ pub struct KeyBitmap {
 }
 
 /// Fixed per-transfer header bytes (key base + length + encoding tag).
-pub const WIRE_HEADER_BYTES: u64 = 8;
-
-/// Append a LEB128 varint.
-fn push_varint(out: &mut Vec<u8>, mut v: u64) {
-    loop {
-        let byte = (v & 0x7F) as u8;
-        v >>= 7;
-        if v == 0 {
-            out.push(byte);
-            return;
-        }
-        out.push(byte | 0x80);
-    }
-}
-
-/// Read a LEB128 varint; `None` on truncated input.
-fn read_varint(bytes: &[u8], pos: &mut usize) -> Option<u64> {
-    let mut v = 0u64;
-    let mut shift = 0u32;
-    loop {
-        let byte = *bytes.get(*pos)?;
-        *pos += 1;
-        v |= u64::from(byte & 0x7F) << shift;
-        if byte & 0x80 == 0 {
-            return Some(v);
-        }
-        shift += 7;
-    }
-}
+pub const WIRE_HEADER_BYTES: u64 = maskwire::WIRE_HEADER_BYTES;
 
 impl KeyBitmap {
     /// Wrap a mask over keys `base..base + bits.len()`.
@@ -85,18 +64,10 @@ impl KeyBitmap {
     /// Maximal runs of consecutive selected keys, as inclusive
     /// `[lo, hi]` key-value ranges, ascending.
     pub fn runs(&self) -> Vec<(u64, u64)> {
-        let mut runs: Vec<(u64, u64)> = Vec::new();
-        for (i, &set) in self.bits.iter().enumerate() {
-            if !set {
-                continue;
-            }
-            let key = self.base + i as u64;
-            match runs.last_mut() {
-                Some((_, hi)) if *hi + 1 == key => *hi = key,
-                _ => runs.push((key, key)),
-            }
-        }
-        runs
+        maskwire::bit_runs(&self.bits)
+            .into_iter()
+            .map(|(lo, hi)| (self.base + lo, self.base + hi))
+            .collect()
     }
 
     /// Convex hull `[lo, hi]` of the selected keys (`None` when empty)
@@ -109,53 +80,30 @@ impl KeyBitmap {
 
     /// Bit-packed payload size, bytes.
     pub fn raw_bytes(&self) -> u64 {
-        (self.bits.len() as u64).div_ceil(8)
+        maskwire::raw_bytes(self.bits.len() as u64)
     }
 
     /// Run-length payload: per run, (gap since previous run's end,
     /// run length) as varints.
     pub fn encode_rle(&self) -> Vec<u8> {
-        let mut out = Vec::new();
-        let mut cursor = self.base;
-        for (lo, hi) in self.runs() {
-            push_varint(&mut out, lo - cursor);
-            push_varint(&mut out, hi - lo + 1);
-            cursor = hi + 1;
-        }
-        out
+        maskwire::encode_rle(&self.bits)
     }
 
     /// Rebuild a bitmap from its run-length payload; `None` on corrupt
     /// input (truncated varint, runs past `key_space`).
     pub fn decode_rle(base: u64, key_space: u64, payload: &[u8]) -> Option<KeyBitmap> {
-        let mut bits = vec![false; key_space as usize];
-        let mut pos = 0usize;
-        let mut cursor = 0u64;
-        while pos < payload.len() {
-            let gap = read_varint(payload, &mut pos)?;
-            let len = read_varint(payload, &mut pos)?;
-            let start = cursor.checked_add(gap)?;
-            let end = start.checked_add(len)?;
-            if end > key_space || len == 0 {
-                return None;
-            }
-            for b in &mut bits[start as usize..end as usize] {
-                *b = true;
-            }
-            cursor = end;
-        }
-        Some(KeyBitmap { base, bits })
+        Some(KeyBitmap { base, bits: maskwire::decode_rle(key_space, payload)? })
     }
 
     /// Bytes actually sent: the header plus the smaller encoding.
     pub fn wire_bytes(&self) -> u64 {
-        WIRE_HEADER_BYTES + self.raw_bytes().min(self.encode_rle().len() as u64)
+        maskwire::wire_bytes(&self.bits)
     }
 
     /// Host-channel lines the transfer occupies at `line_bytes` per
     /// line.
     pub fn wire_lines(&self, line_bytes: u64) -> u64 {
-        self.wire_bytes().div_ceil(line_bytes.max(1))
+        maskwire::wire_lines(&self.bits, line_bytes)
     }
 }
 
@@ -223,5 +171,66 @@ mod tests {
         assert!(KeyBitmap::decode_rle(0, 10, &[0x80]).is_none()); // truncated
         assert!(KeyBitmap::decode_rle(0, 10, &[0, 11]).is_none()); // past end
         assert!(KeyBitmap::decode_rle(0, 10, &[0, 0]).is_none()); // zero run
+    }
+
+    /// Deterministic xorshift so the adversarial sweep needs no RNG dep.
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    #[test]
+    fn adversarial_masks_roundtrip_and_never_beat_raw_lines() {
+        // Every adversarial shape must (a) round-trip bit-identically
+        // through the wire codec and (b) cost no more channel lines
+        // than the uncompressed line-per-row transfer it replaces.
+        let len = 4096usize;
+        let mut shapes: Vec<Vec<usize>> = vec![
+            vec![],                                    // empty
+            (0..len).collect(),                        // full
+            (0..len).step_by(2).collect(),             // alternating
+            (1..len).step_by(2).collect(),             // anti-phase alternating
+            vec![0],                                   // lone head
+            vec![len - 1],                             // lone tail
+            (7..len - 9).collect(),                    // one long run
+            (0..len).step_by(8).collect(),             // every byte boundary
+            (0..len).filter(|i| i % 37 < 3).collect(), // short periodic runs
+        ];
+        let mut state = 0x2545F4914F6CDD1Du64;
+        for density_shift in [1u64, 3, 6] {
+            shapes.push(
+                (0..len)
+                    .filter(|_| xorshift(&mut state).is_multiple_of(1 << density_shift))
+                    .collect(),
+            );
+        }
+        for (base, line_bytes) in [(0u64, 64u64), (1000, 64), (0, 32)] {
+            for set in &shapes {
+                let b = bitmap(base, set, len);
+                let back = KeyBitmap::decode_rle(base, len as u64, &b.encode_rle()).unwrap();
+                assert_eq!(back, b, "round-trip, base {base}, {} set", set.len());
+                assert!(
+                    b.wire_bytes() <= WIRE_HEADER_BYTES + b.raw_bytes(),
+                    "wire must never exceed header + bit-packed"
+                );
+                // raw transfer: one line per key-space row
+                assert!(
+                    b.wire_lines(line_bytes) <= len as u64,
+                    "wire lines above the raw line-per-row transfer"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wire_format_matches_shared_codec_exactly() {
+        // KeyBitmap is a view over bbpim_sim::maskwire — same bytes.
+        use bbpim_sim::maskwire;
+        let b = bitmap(42, &[0, 1, 5, 6, 7, 300], 512);
+        assert_eq!(b.encode_rle(), maskwire::encode_rle(b.bits()));
+        assert_eq!(b.wire_bytes(), maskwire::wire_bytes(b.bits()));
+        assert_eq!(b.raw_bytes(), maskwire::raw_bytes(512));
     }
 }

@@ -46,12 +46,12 @@ use std::collections::HashMap;
 
 use bbpim_cluster::engine::ClusterUpdateReport;
 use bbpim_cluster::{
-    ClusterError, ClusterExecution, ClusterReport, JoinTransfer, Partitioner, PlanExplain,
-    ShardPlan,
+    ClusterError, ClusterExecution, ClusterReport, HostBytes, JoinTransfer, Partitioner,
+    PlanExplain, ShardPlan,
 };
 use bbpim_core::agg_exec::{aggregate_masked, materialize_exprs};
 use bbpim_core::error::CoreError;
-use bbpim_core::filter_exec::{count_mask_bits, mask_bits, mask_read_lines};
+use bbpim_core::filter_exec::{count_mask_bits, mask_bits, mask_read_phases};
 use bbpim_core::groupby::host_gb::{eval_expr, read_attr_value};
 use bbpim_core::layout::{RecordLayout, MASK_COL, VALID_COL};
 use bbpim_core::loader::LoadedRelation;
@@ -234,6 +234,27 @@ impl StarCluster {
         self.contention = enabled;
     }
 
+    /// The host-transfer policy the tables run under (compressed mask
+    /// transfers, batched dispatch descriptors, module-side result
+    /// reduction). Defaults to all levers on.
+    pub fn xfer_policy(&self) -> bbpim_sim::XferPolicy {
+        self.shards.first().map(|s| s.table.module().policy()).unwrap_or_default()
+    }
+
+    /// Set the host-transfer policy cluster-wide — fact shards and
+    /// dimension modules — for A/B attribution studies. Answers are
+    /// bit-identical under every lever combination. Invalidates
+    /// compiled join plans (their preludes embed the old byte charges).
+    pub fn set_xfer_policy(&mut self, policy: bbpim_sim::XferPolicy) {
+        for shard in &mut self.shards {
+            shard.table.set_xfer_policy(policy);
+        }
+        for dim in &mut self.dims {
+            dim.set_xfer_policy(policy);
+        }
+        self.join_cache.clear();
+    }
+
     /// One dimension table by catalog index (see
     /// [`bbpim_db::ssb::star::DIMENSIONS`]).
     ///
@@ -375,28 +396,49 @@ impl StarCluster {
                     .collect()
             }
         };
-        let shards = self
-            .shards
-            .iter()
-            .zip(&mask)
-            .map(|(shard, &dispatched)| {
-                let candidate_pages =
-                    if dispatched { shard.table.plan_dnf(&dnf, self.pruning).len() } else { 0 };
-                ShardPlan {
-                    shard_index: shard.index,
-                    records: shard.table.relation().len(),
-                    pages: shard.table.page_count(),
-                    candidate_pages,
-                    dispatched,
+        let policy = self.xfer_policy();
+        let mut host_bytes = HostBytes::default();
+        // semijoin bitmaps: one read + one broadcast each, at the wire
+        // size (or bit-packed raw with the compression lever off)
+        for t in &transfers {
+            host_bytes.mask_wire_bytes +=
+                2 * if policy.compress_masks { t.wire_bytes } else { t.raw_bytes };
+        }
+        let aggs = query.physical_plan().map_err(ClusterError::Db)?.aggs.len() as u64;
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for (shard, &dispatched) in self.shards.iter().zip(&mask) {
+            let mut candidate_pages = 0;
+            if dispatched {
+                let plan = shard.table.plan_dnf(&dnf, self.pruning);
+                candidate_pages = plan.len();
+                if !plan.is_empty() {
+                    let cfg = shard.table.module().config();
+                    if policy.batch_dispatch {
+                        host_bytes.dispatch_bytes += cfg.host.dispatch_header_bytes
+                            + plan.run_count() as u64 * cfg.host.dispatch_run_bytes;
+                    }
+                    let chunk_lines = 64u64.div_ceil(cfg.read_width_bits as u64);
+                    host_bytes.result_bytes += aggs
+                        * chunk_lines
+                        * cfg.host.line_bytes as u64
+                        * if policy.module_reduce { 1 } else { plan.len() as u64 };
                 }
-            })
-            .collect();
+            }
+            shards.push(ShardPlan {
+                shard_index: shard.index,
+                records: shard.table.relation().len(),
+                pages: shard.table.page_count(),
+                candidate_pages,
+                dispatched,
+            });
+        }
         Ok(PlanExplain {
             query_id: query.id.clone(),
             filter: query.filter.to_string(),
             filter_bounds,
             shards,
             join_transfers: transfers,
+            host_bytes,
         })
     }
 
@@ -447,10 +489,17 @@ impl StarCluster {
                 let pages = dim.plan_conjunction(&resolved, prune);
                 let bits = dim.filter_conjunction(&ranged, &pages, &mut prelude)?;
                 let bitmap = KeyBitmap::new(DIMENSIONS[d].key_base, bits);
-                // the compressed bitmap crosses the channel twice: one
-                // read off the dimension module, one broadcast write
-                // shared by every fact shard (a single grant)
-                let lines = bitmap.wire_lines(dim.module().config().host.line_bytes as u64);
+                // the bitmap crosses the channel twice: one read off
+                // the dimension module, one broadcast write shared by
+                // every fact shard (a single grant) — at the compressed
+                // wire size, or bit-packed raw when the compression
+                // lever is off (A/B attribution)
+                let line_bytes = dim.module().config().host.line_bytes as u64;
+                let lines = if dim.module().policy().compress_masks {
+                    bitmap.wire_lines(line_bytes)
+                } else {
+                    bitmap.raw_bytes().div_ceil(line_bytes.max(1)).max(1)
+                };
                 prelude.push(dim.module().host_read_phase(lines));
                 prelude.push(dim.module().host_write_phase(lines));
                 match bitmap.hull() {
@@ -773,7 +822,7 @@ fn exec_star_query(
     if let Some(p) = prelude {
         log.extend(p);
     }
-    log.push(Phase::host_dispatch(pages.len() as f64 * module.config().host.dispatch_ns_per_page));
+    log.push(pages.dispatch_phase(&module.config().host, module.policy(), 1));
     let fact_pages = pages.ids(loaded, 0);
     let selected = if pages.is_empty() {
         0
@@ -877,9 +926,13 @@ fn star_gather(
         })
         .collect();
 
-    // 1. filter-result bit-vector off the fact shard
+    // 1. filter-result bit-vector off the fact shard (wire-compressed
+    //    under the byte diet: the mask packs module-side and only the
+    //    wire bytes occupy the shared channel)
     let mask = mask_bits(module, loaded, pages, 0, MASK_COL);
-    log.push(module.host_read_phase(mask_read_lines(module, &pages.ids(loaded, 0))));
+    for phase in mask_read_phases(module, loaded, pages, &mask) {
+        log.push(phase);
+    }
 
     // 2. chunks per table: fact group keys + the FK of every dimension
     //    key + aggregate operands on the fact side; the referenced

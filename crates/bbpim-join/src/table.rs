@@ -19,7 +19,7 @@ use bbpim_db::zonemap::ZoneMap;
 use bbpim_db::Relation;
 use bbpim_sim::compiler::ColRange;
 use bbpim_sim::module::PimModule;
-use bbpim_sim::timeline::{Phase, RunLog};
+use bbpim_sim::timeline::RunLog;
 use bbpim_sim::SimConfig;
 
 /// A normalized table resident on its own PIM module.
@@ -63,6 +63,12 @@ impl StarTable {
     /// The module (inspection, line accounting).
     pub fn module(&self) -> &PimModule {
         &self.module
+    }
+
+    /// Set the host-transfer policy (compressed masks, batched
+    /// dispatch, module-side reduction) on this table's module.
+    pub fn set_xfer_policy(&mut self, policy: bbpim_sim::XferPolicy) {
+        self.module.set_policy(policy);
     }
 
     /// Table-level zone map (widened by UPDATEs).
@@ -119,9 +125,7 @@ impl StarTable {
         pages: &PageSet,
         log: &mut RunLog,
     ) -> Result<Vec<bool>, ClusterError> {
-        log.push(Phase::host_dispatch(
-            pages.len() as f64 * self.module.config().host.dispatch_ns_per_page,
-        ));
+        log.push(pages.dispatch_phase(&self.module.config().host, self.module.policy(), 1));
         if !pages.is_empty() {
             let prog = filter_exec::build_dnf_mask_program_in(
                 self.layout.scratch(0),

@@ -41,7 +41,19 @@ pub struct HostConfig {
     /// controller. The journal extension of the paper identifies this
     /// per-page host work as the dominant cost of selective queries;
     /// zone-map pruning avoids it for pages proven irrelevant.
+    ///
+    /// With batched dispatch ([`crate::module::XferPolicy`]) this cost
+    /// is paid per contiguous page-ID *run* instead of per page: one
+    /// descriptor covers a whole run, so dense candidate sets amortise
+    /// to a single doorbell while singleton pages degenerate to exactly
+    /// the per-page cost.
     pub dispatch_ns_per_page: f64,
+    /// Fixed bytes of one batched dispatch descriptor (query id, shard,
+    /// program handle, run count).
+    pub dispatch_header_bytes: u64,
+    /// Bytes per page-ID run entry in a batched dispatch descriptor
+    /// (start page + run length).
+    pub dispatch_run_bytes: u64,
 }
 
 impl Default for HostConfig {
@@ -56,6 +68,8 @@ impl Default for HostConfig {
             host_agg_ns_per_record: 6.0,
             clock_ghz: 3.6,
             dispatch_ns_per_page: 600.0,
+            dispatch_header_bytes: 16,
+            dispatch_run_bytes: 8,
         }
     }
 }
@@ -105,6 +119,10 @@ pub struct SimConfig {
     pub controller_power_uw: f64,
     /// Bus/issue overhead for one PIM request, nanoseconds.
     pub request_issue_ns: f64,
+    /// Page-controller time to fold one aggregation partial into its
+    /// running total during module-side result reduction
+    /// ([`crate::module::XferPolicy::module_reduce`]), nanoseconds.
+    pub combine_ns_per_partial: f64,
     /// Host-side parameters.
     pub host: HostConfig,
 }
@@ -127,6 +145,7 @@ impl Default for SimConfig {
             agg_circuit_power_uw: 25.4,
             controller_power_uw: 126.0,
             request_issue_ns: 50.0,
+            combine_ns_per_partial: 2.0,
             host: HostConfig::default(),
         }
     }

@@ -52,10 +52,11 @@ pub mod error;
 pub mod hostbus;
 pub mod hostmem;
 pub mod isa;
+pub mod maskwire;
 pub mod module;
 pub mod page;
 pub mod timeline;
 
 pub use config::SimConfig;
 pub use error::SimError;
-pub use module::PimModule;
+pub use module::{PimModule, XferPolicy};

@@ -22,6 +22,43 @@ use crate::timeline::{Phase, PhaseKind};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PageId(pub usize);
 
+/// Independent toggles for the host-channel byte-diet levers. Each can
+/// be flipped on its own (like the cluster's `set_contention`) so the
+/// bench tables can attribute byte/time savings per lever. All levers
+/// are on by default; [`XferPolicy::legacy`] is the pre-diet model.
+///
+/// Answers are bit-identical under every combination — the levers move
+/// bytes and time, never bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XferPolicy {
+    /// Send two-crossbar per-disjunct mask transfers in the compressed
+    /// wire format ([`crate::maskwire`]) instead of one line per page
+    /// row; decompression is a module-local [`PhaseKind::PimUnpack`]
+    /// phase.
+    pub compress_masks: bool,
+    /// Dispatch one descriptor per (query, shard) carrying a page-ID
+    /// run-list instead of one doorbell per page.
+    pub batch_dispatch: bool,
+    /// Fold per-page aggregation partials inside the module
+    /// ([`PhaseKind::PimCombine`]) so one finalised partial per
+    /// physical aggregate crosses the channel.
+    pub module_reduce: bool,
+}
+
+impl Default for XferPolicy {
+    fn default() -> Self {
+        XferPolicy { compress_masks: true, batch_dispatch: true, module_reduce: true }
+    }
+}
+
+impl XferPolicy {
+    /// The pre-diet transfer model: per-row mask lines, per-page
+    /// doorbells, per-page result reads.
+    pub fn legacy() -> Self {
+        XferPolicy { compress_masks: false, batch_dispatch: false, module_reduce: false }
+    }
+}
+
 /// A bulk-bitwise PIM module.
 ///
 /// ```
@@ -40,6 +77,7 @@ pub struct PageId(pub usize);
 pub struct PimModule {
     cfg: SimConfig,
     pages: Vec<PimPage>,
+    policy: XferPolicy,
 }
 
 impl PimModule {
@@ -51,12 +89,23 @@ impl PimModule {
     /// module cannot exist with inconsistent geometry.
     pub fn new(cfg: SimConfig) -> Self {
         cfg.validate().expect("invalid simulator configuration");
-        PimModule { cfg, pages: Vec::new() }
+        PimModule { cfg, pages: Vec::new(), policy: XferPolicy::default() }
     }
 
     /// The configuration this module was built with.
     pub fn config(&self) -> &SimConfig {
         &self.cfg
+    }
+
+    /// The host-channel transfer policy in effect.
+    pub fn policy(&self) -> XferPolicy {
+        self.policy
+    }
+
+    /// Set the host-channel transfer policy (A/B attribution of the
+    /// byte-diet levers).
+    pub fn set_policy(&mut self, policy: XferPolicy) {
+        self.policy = policy;
     }
 
     /// Pages currently allocated.
@@ -411,6 +460,77 @@ impl PimModule {
             energy_pj,
             chip_power_w: hostmem::chip_power_w(&self.cfg, energy_pj, time_ns),
             host_bytes: lines * self.cfg.host.line_bytes as u64,
+        }
+    }
+
+    /// Phases of one compressed mask transfer: the wire-sized host read
+    /// and write that actually cross the channel, plus the module-local
+    /// pack/unpack phase covering the same crossbar cell traffic the
+    /// legacy raw-line transfer would have driven from the host.
+    ///
+    /// Constructed so the three phases together cost exactly what the
+    /// legacy `host_read_phase(raw_lines)` + `host_write_phase(raw_lines)`
+    /// pair did in time and energy — the lever moves work off the shared
+    /// channel (only `wire_lines` are byte-tagged), it does not change
+    /// the cell reads/writes the mask movement requires. When the wire
+    /// format does not win (`wire_lines ≥ raw_lines`, tiny masks where
+    /// the header dominates) callers should fall back to the raw
+    /// transfer.
+    pub fn compressed_mask_phases(&self, raw_lines: u64, wire_lines: u64) -> (Phase, Phase, Phase) {
+        let read = self.host_read_phase(wire_lines);
+        let write = self.host_write_phase(wire_lines);
+        let time_ns = (hostmem::read_time_ns(&self.cfg, raw_lines) - read.time_ns
+            + hostmem::write_time_ns(&self.cfg, raw_lines)
+            - write.time_ns)
+            .max(0.0);
+        let energy_pj = (hostmem::read_energy_pj(&self.cfg, raw_lines) - read.energy_pj
+            + hostmem::write_energy_pj(&self.cfg, raw_lines)
+            - write.energy_pj)
+            .max(0.0);
+        let unpack = Phase {
+            kind: PhaseKind::PimUnpack,
+            time_ns,
+            energy_pj,
+            chip_power_w: hostmem::chip_power_w(&self.cfg, energy_pj, time_ns),
+            host_bytes: 0,
+        };
+        (read, write, unpack)
+    }
+
+    /// Phases of one compressed mask *read* (module → host): the
+    /// wire-sized host read that actually crosses the channel plus the
+    /// module-local pack phase covering the same crossbar cell traffic
+    /// the legacy raw-line read would have driven from the host. Same
+    /// conservation as [`PimModule::compressed_mask_phases`]: the two
+    /// phases together cost exactly what `host_read_phase(raw_lines)`
+    /// did in time and energy; only `wire_lines` occupy the channel.
+    pub fn compressed_mask_read_phases(&self, raw_lines: u64, wire_lines: u64) -> (Phase, Phase) {
+        let read = self.host_read_phase(wire_lines);
+        let time_ns = (hostmem::read_time_ns(&self.cfg, raw_lines) - read.time_ns).max(0.0);
+        let energy_pj = (hostmem::read_energy_pj(&self.cfg, raw_lines) - read.energy_pj).max(0.0);
+        let pack = Phase {
+            kind: PhaseKind::PimPack,
+            time_ns,
+            energy_pj,
+            chip_power_w: hostmem::chip_power_w(&self.cfg, energy_pj, time_ns),
+            host_bytes: 0,
+        };
+        (read, pack)
+    }
+
+    /// Module-side fold of `partials` aggregation partials into one
+    /// finalised partial per physical aggregate: the page controllers
+    /// combine their crossbars' results locally so only the final slot
+    /// is read over the channel.
+    pub fn partial_combine_phase(&self, pages: usize, partials: u64) -> Phase {
+        let time_ns = partials as f64 * self.cfg.combine_ns_per_partial;
+        let energy_pj = self.controller_energy_pj(pages, time_ns);
+        Phase {
+            kind: PhaseKind::PimCombine,
+            time_ns,
+            energy_pj,
+            chip_power_w: pages as f64 * self.cfg.controller_power_uw * 1e-6,
+            host_bytes: 0,
         }
     }
 

@@ -19,6 +19,18 @@ pub enum PhaseKind {
     PimAggCircuit,
     /// Pure bulk-bitwise reduction (PIMDB-style aggregation).
     PimReduce,
+    /// Page controllers expanding a compressed mask transfer into
+    /// crossbar mask columns (module-local: the wire bytes already
+    /// crossed the channel in the preceding host read/write phases).
+    PimUnpack,
+    /// Page controllers streaming a crossbar mask column into its wire
+    /// encoding before a compressed host read — the module-local mirror
+    /// of [`PhaseKind::PimUnpack`] for the read direction.
+    PimPack,
+    /// Page controllers folding per-crossbar aggregation partials into
+    /// one finalised partial per physical aggregate, so only that
+    /// partial crosses the channel instead of per-page result lines.
+    PimCombine,
     /// Host reading cache lines from the PIM rank.
     HostRead,
     /// Host writing cache lines into the PIM rank.
@@ -40,6 +52,9 @@ impl PhaseKind {
             PhaseKind::PimLogic => "pim-logic",
             PhaseKind::PimAggCircuit => "pim-agg-circuit",
             PhaseKind::PimReduce => "pim-reduce",
+            PhaseKind::PimUnpack => "pim-unpack",
+            PhaseKind::PimPack => "pim-pack",
+            PhaseKind::PimCombine => "pim-combine",
             PhaseKind::HostRead => "host-read",
             PhaseKind::HostWrite => "host-write",
             PhaseKind::HostCompute => "host-compute",
@@ -61,8 +76,9 @@ pub struct Phase {
     pub chip_power_w: f64,
     /// Bytes this phase moved over the host↔module channel (cache-line
     /// transfers: reads, writes). Zero for phases that never touch the
-    /// channel (PIM logic, host compute) and for host dispatch, whose
-    /// channel occupancy is its duration, not a data volume. The shared
+    /// channel (PIM logic, host compute). Host-dispatch phases carry
+    /// their descriptor bytes for the ledger, but their channel
+    /// occupancy stays their duration, not a data volume. The shared
     /// host bus ([`crate::hostbus`]) turns these byte tags into
     /// contention grants.
     pub host_bytes: u64,
@@ -89,6 +105,20 @@ impl Phase {
             energy_pj: 0.0,
             chip_power_w: 0.0,
             host_bytes: 0,
+        }
+    }
+
+    /// A batched host-dispatch phase: one descriptor per (query, shard)
+    /// carrying a page-ID run-list instead of one doorbell per page.
+    /// `descriptor_bytes` tags the descriptor size for the byte ledger;
+    /// channel occupancy remains the phase duration.
+    pub fn host_dispatch_batched(time_ns: f64, descriptor_bytes: u64) -> Self {
+        Phase {
+            kind: PhaseKind::HostDispatch,
+            time_ns,
+            energy_pj: 0.0,
+            chip_power_w: 0.0,
+            host_bytes: descriptor_bytes,
         }
     }
 }

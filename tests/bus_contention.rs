@@ -156,6 +156,11 @@ fn two_xb_overload_contended_p95_exceeds_optimistic_with_saturated_bus() {
         Partitioner::range_by_attr("d_year"),
     )
     .expect("cluster construction");
+    // Legacy transfer policy: this test saturates the bus to verify the
+    // contention *model*; the byte-diet levers (compressed masks,
+    // batched dispatch, module reduction) exist precisely to relieve
+    // this pressure and are exercised by xfer_policy_equivalence.rs.
+    c.set_xfer_policy(bbpim::sim::XferPolicy::legacy());
 
     // 2× overload relative to the contended batch capacity estimate.
     let probe = c.run_batch(&qs).expect("capacity probe");
