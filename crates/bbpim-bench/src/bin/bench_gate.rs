@@ -24,6 +24,12 @@
 //! bench_gate --out bench/baseline.json scaling.json pruning.json streaming.json
 //! ```
 //!
+//! The metrics-registry snapshot the streaming bin's `--metrics` flag
+//! writes (`{"metrics": {…}}`) merges like any other section; gated
+//! headlines that alias a registry series (host-bus utilisation) are
+//! read from it when present, so the gate tracks the observability
+//! surface rather than a parallel ad-hoc number.
+//!
 //! The workspace vendors a stub `serde`, so the snapshots are parsed
 //! with a purpose-built scanner for this flat two-level shape instead
 //! of a JSON library.
@@ -49,15 +55,52 @@ const GATED: &[(&str, &str)] = &[
 /// PR exists to prevent — and no relative tolerance excuses that.
 const ABSOLUTE_FLOORS: &[(&str, &str, f64)] = &[("scaling", "geomean_speedup_max_shards", 1.0)];
 
-/// Extract the body of a top-level `"section": { … }` object. The
-/// snapshots are flat (no nested braces inside a section), which the
-/// writer guarantees.
+/// Gated headlines that also exist as metrics-registry series (the
+/// `{"metrics": …}` snapshot the streaming bin's `--metrics` flag
+/// writes, merged alongside the bin sections). The PR-side value is
+/// read from the registry series when present, so the gate and the
+/// observability surface report one number; the bin-section key stays
+/// as the fallback (and is what checked-in baselines carry).
+const METRIC_ALIASES: &[(&str, &str, &str)] = &[
+    ("streaming", "host_utilisation", "bbpim_host_bus_utilisation{run=fifo}"),
+    ("streaming", "hiload_host_utilisation", "bbpim_host_bus_utilisation{run=hi-fifo}"),
+];
+
+/// Extract the body of a top-level `"section": { … }` object. Values
+/// are flat, but metrics-registry *keys* embed braces
+/// (`name{label=value}`), so the closing brace is matched by depth
+/// with quoted strings skipped.
 fn section_body(json: &str, section: &str) -> Option<String> {
     let tag = format!("\"{section}\"");
     let at = json.find(&tag)?;
     let open = json[at..].find('{')? + at;
-    let close = json[open..].find('}')? + open;
-    Some(json[open + 1..close].trim().to_string())
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, b) in json.bytes().enumerate().skip(open) {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_str = true,
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(json[open + 1..i].trim().to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
 }
 
 /// Look up `section.key` as a number in a snapshot (merged or single).
@@ -65,10 +108,20 @@ fn lookup(json: &str, section: &str, key: &str) -> Option<f64> {
     let body = section_body(json, section)?;
     let tag = format!("\"{key}\"");
     let at = body.find(&tag)?;
-    let colon = body[at..].find(':')? + at;
+    let colon = body[at + tag.len()..].find(':')? + at + tag.len();
     let rest = body[colon + 1..].trim_start();
     let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
     rest[..end].trim().parse().ok()
+}
+
+/// The PR-side value of a gated headline: the metrics-registry series
+/// when aliased and present, the bin-section key otherwise.
+fn lookup_current(json: &str, section: &str, key: &str) -> Option<f64> {
+    METRIC_ALIASES
+        .iter()
+        .find(|(s, k, _)| *s == section && *k == key)
+        .and_then(|(_, _, alias)| lookup(json, "metrics", alias))
+        .or_else(|| lookup(json, section, key))
 }
 
 /// Merge single-section snapshots into one JSON object, preserving
@@ -160,7 +213,7 @@ fn run() -> Result<(), String> {
     let mut failures = Vec::new();
     let mut floor_header = false;
     for (section, key, floor) in ABSOLUTE_FLOORS {
-        if let Some(now) = lookup(&merged, section, key) {
+        if let Some(now) = lookup_current(&merged, section, key) {
             if !floor_header {
                 println!("\nabsolute floors:");
                 floor_header = true;
@@ -185,7 +238,7 @@ fn run() -> Result<(), String> {
     for (section, key) in GATED {
         let base = lookup(&baseline, section, key)
             .ok_or_else(|| format!("{baseline_path}: missing {section}.{key}"))?;
-        let now = lookup(&merged, section, key)
+        let now = lookup_current(&merged, section, key)
             .ok_or_else(|| format!("merged snapshot: missing {section}.{key}"))?;
         let floor = base * (1.0 - args.tolerance);
         let ok = now >= floor;
@@ -247,5 +300,33 @@ mod tests {
     fn lookup_handles_trailing_entry_without_comma() {
         let json = "{\n  \"s\": {\n    \"only\": 3.5\n  }\n}\n";
         assert_eq!(lookup(json, "s", "only"), Some(3.5));
+    }
+
+    const METRICS: &str = "{\n  \"metrics\": {\n    \"bbpim_host_bus_utilisation{run=fifo}\": 0.1512,\n    \"bbpim_host_bus_utilisation{run=hi-fifo}\": 0.9731,\n    \"plain\": 1\n  }\n}\n";
+
+    #[test]
+    fn section_body_and_lookup_handle_braced_metric_keys() {
+        // `{run=…}` inside the key must not terminate the section.
+        assert_eq!(
+            lookup(METRICS, "metrics", "bbpim_host_bus_utilisation{run=hi-fifo}"),
+            Some(0.9731)
+        );
+        assert_eq!(
+            lookup(METRICS, "metrics", "bbpim_host_bus_utilisation{run=fifo}"),
+            Some(0.1512)
+        );
+        assert_eq!(lookup(METRICS, "metrics", "plain"), Some(1.0));
+    }
+
+    #[test]
+    fn gate_prefers_the_metrics_registry_series_when_present() {
+        let stale_bin = "{\n  \"streaming\": {\n    \"hiload_host_utilisation\": 0.5\n  }\n}\n";
+        let merged =
+            merge(&[("s.json".into(), stale_bin.into()), ("m.json".into(), METRICS.into())])
+                .unwrap();
+        assert_eq!(lookup_current(&merged, "streaming", "hiload_host_utilisation"), Some(0.9731));
+        // unaliased keys and missing-registry cases fall back to the bin section
+        assert_eq!(lookup_current(stale_bin, "streaming", "hiload_host_utilisation"), Some(0.5));
+        assert_eq!(lookup_current(&merged, "streaming", "missing"), None);
     }
 }

@@ -3,15 +3,21 @@
 //! cluster, once per admission policy (FIFO vs
 //! shortest-candidate-set-first).
 //!
-//! Reports the planner's `EXPLAIN` statistics, then per-policy
+//! Reports the planner's `EXPLAIN ANALYZE` statistics (planned
+//! shards/pages next to recorded actuals), then per-policy
 //! p50/p95/p99/mean latency, queue wait, throughput, host/shard
 //! utilisation, and the out-of-order completion count. Every streamed
 //! answer is checked bit-identical against `run_batch` over the same
 //! arrived queries — the scheduler changes *when*, never *what*.
 //!
 //! Flags: `--sf`, `--seed`, `--uniform`, `--shards 8` (the largest
-//! listed count runs), `--arrivals 52`, `--load 2.0`, `--inflight 4`
-//! (see `bbpim_bench::BenchConfig`).
+//! listed count runs), `--arrivals 52`, `--load 2.0`, `--inflight 4`,
+//! plus the observability outputs — `--trace <path>` writes a
+//! Chrome/Perfetto `trace_event` JSON of the default-load FIFO run
+//! (one track per module, one for the host bus, one for the
+//! scheduler) with a flat-JSONL sidecar, and `--metrics <path>` writes
+//! the metrics-registry snapshot (flat JSON) with a Prometheus-text
+//! sidecar (see `bbpim_bench::BenchConfig`).
 //!
 //! Two rows run: the configured load on the one-crossbar layout, and a
 //! **high-contention** row at 4× that load with a 4×-deeper in-flight
@@ -20,15 +26,40 @@
 //! default row leaves the shared channel mostly idle (utilisation
 //! ~0.15 in the PR-5 baseline), so only the high-contention row
 //! exercises the saturated regime the contention model is for; its
-//! utilisation is snapshotted and gated.
+//! utilisation is snapshotted and gated. Both rows label their metric
+//! series by policy (`run=fifo` … `run=hi-scsf`), and the `--json`
+//! snapshot numbers are read back out of the registry — the gate and
+//! the observability surface see the same values by construction.
 
-use bbpim_bench::{reports, run_streaming_study, setup, BenchConfig, SsbSetup};
+use bbpim_bench::{reports, run_streaming_study_observed, setup, BenchConfig, SsbSetup};
 use bbpim_core::modes::EngineMode;
+use bbpim_sched::obs::{HOST_UTILISATION, LATENCY_NS};
+use bbpim_trace::export::{jsonl, perfetto_json};
+use bbpim_trace::{MetricsRegistry, TraceRecorder};
+
+/// Write `body` to `path`, creating parent directories as needed.
+fn write_out(path: &str, body: &str) {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("output directory");
+        }
+    }
+    std::fs::write(path, body).expect("output write");
+}
+
+/// `path` with its extension replaced by `ext` (the sidecar naming).
+fn sibling(path: &str, ext: &str) -> String {
+    std::path::Path::new(path).with_extension(ext).to_string_lossy().into_owned()
+}
 
 fn main() {
     let s = setup(BenchConfig::from_args());
     let shards = s.cfg.shards.iter().copied().max().unwrap_or(8);
-    let study = run_streaming_study(&s, EngineMode::OneXb, shards);
+    let mut trace =
+        if s.cfg.trace.is_some() { TraceRecorder::enabled() } else { TraceRecorder::disabled() };
+    let mut reg = MetricsRegistry::new();
+    let study =
+        run_streaming_study_observed(&s, EngineMode::OneXb, shards, &mut trace, &mut reg, "");
     reports::print_explain(&s, &study.explains);
     reports::print_streaming(&s, &study);
 
@@ -49,28 +80,41 @@ fn main() {
         "\n== high-contention row: load {:.1}x capacity, {} in flight, two-xb ==",
         hi.cfg.load, hi.cfg.inflight
     );
-    let hi_study = run_streaming_study(&hi, EngineMode::TwoXb, shards);
+    let mut no_trace = TraceRecorder::disabled();
+    let hi_study = run_streaming_study_observed(
+        &hi,
+        EngineMode::TwoXb,
+        shards,
+        &mut no_trace,
+        &mut reg,
+        "hi-",
+    );
     reports::print_streaming(&hi, &hi_study);
+
+    if let Some(path) = &s.cfg.trace {
+        write_out(path, &perfetto_json(&trace));
+        let flat = sibling(path, "jsonl");
+        write_out(&flat, &jsonl(&trace));
+        println!("\nwrote Perfetto trace to {path} ({} events; flat JSONL: {flat})", trace.len());
+    }
+    if let Some(path) = &s.cfg.metrics {
+        write_out(path, &reg.snapshot_json());
+        let prom = sibling(path, "prom");
+        write_out(&prom, &reg.prometheus_text());
+        println!("\nwrote metrics snapshot to {path} (Prometheus text: {prom})");
+    }
 
     // Machine-readable snapshot for the CI regression gate: the
     // admission-policy headline (FIFO p50 over SCSF p50 — how much the
-    // candidate-set-size heuristic buys) plus bus pressure.
+    // candidate-set-size heuristic buys) plus bus pressure, all read
+    // back out of the metrics registry.
     if let Some(path) = &s.cfg.json {
-        let p50 = |label: &str| {
-            study
-                .policies
-                .iter()
-                .find(|r| r.policy.label() == label)
-                .map(|r| r.outcome.latency_summary().p50_ns)
-                .expect("both policies ran")
+        let gauge = |name: &str, run: &str| {
+            reg.gauge(name, &[("run", run)])
+                .unwrap_or_else(|| panic!("metric {name}{{run={run}}} was never recorded"))
         };
-        let (fifo, scsf) = (p50("fifo"), p50("scsf"));
-        let fifo_run = study.policies.iter().find(|r| r.policy.label() == "fifo").unwrap();
-        let hi_fifo = hi_study
-            .policies
-            .iter()
-            .find(|r| r.policy.label() == "fifo")
-            .expect("fifo ran in the high-contention row");
+        let p50 = format!("{LATENCY_NS}_p50");
+        let (fifo, scsf) = (gauge(&p50, "fifo"), gauge(&p50, "scsf"));
         bbpim_bench::write_snapshot(
             path,
             "streaming",
@@ -78,8 +122,8 @@ fn main() {
                 ("scsf_vs_fifo_p50", if scsf > 0.0 { fifo / scsf } else { 1.0 }),
                 ("fifo_p50_ms", fifo / 1e6),
                 ("scsf_p50_ms", scsf / 1e6),
-                ("host_utilisation", fifo_run.outcome.host_utilisation()),
-                ("hiload_host_utilisation", hi_fifo.outcome.host_utilisation()),
+                ("host_utilisation", gauge(HOST_UTILISATION, "fifo")),
+                ("hiload_host_utilisation", gauge(HOST_UTILISATION, "hi-fifo")),
                 ("hiload_load", hi.cfg.load),
             ],
         );

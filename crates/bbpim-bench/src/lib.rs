@@ -35,8 +35,12 @@ use bbpim_db::ssb::{queries, SsbDb, SsbParams};
 use bbpim_db::stats::MultiGrouped;
 use bbpim_join::StarCluster;
 use bbpim_monet::MonetEngine;
-use bbpim_sched::{run_stream, AdmissionPolicy, SchedConfig, StreamOutcome, Workload};
+use bbpim_sched::{
+    record_stream_metrics, run_stream, run_stream_traced, AdmissionPolicy, SchedConfig,
+    StreamOutcome, Workload,
+};
 use bbpim_sim::SimConfig;
+use bbpim_trace::{MetricsRegistry, TraceRecorder};
 
 /// Harness configuration (CLI-parsed).
 #[derive(Debug, Clone, PartialEq)]
@@ -64,6 +68,14 @@ pub struct BenchConfig {
     /// merges into `BENCH_PR.json` and gates against
     /// `bench/baseline.json`.
     pub json: Option<String>,
+    /// Write a Chrome/Perfetto `trace_event` JSON of the (FIFO)
+    /// streamed run to this path, plus a flat-JSONL sidecar next to it
+    /// (`--trace bench-out/stream-trace.json`).
+    pub trace: Option<String>,
+    /// Write the metrics-registry snapshot as flat JSON to this path,
+    /// plus a Prometheus-text sidecar next to it
+    /// (`--metrics bench-out/metrics.json`).
+    pub metrics: Option<String>,
 }
 
 impl Default for BenchConfig {
@@ -78,6 +90,8 @@ impl Default for BenchConfig {
             load: 2.0,
             inflight: 4,
             json: None,
+            trace: None,
+            metrics: None,
         }
     }
 }
@@ -146,6 +160,18 @@ impl BenchConfig {
                 "--json" => {
                     if let Some(path) = args.get(i + 1) {
                         cfg.json = Some(path.clone());
+                        i += 1;
+                    }
+                }
+                "--trace" => {
+                    if let Some(path) = args.get(i + 1) {
+                        cfg.trace = Some(path.clone());
+                        i += 1;
+                    }
+                }
+                "--metrics" => {
+                    if let Some(path) = args.get(i + 1) {
+                        cfg.metrics = Some(path.clone());
                         i += 1;
                     }
                 }
@@ -501,6 +527,34 @@ pub struct StreamingStudy {
 /// Panics on engine/scheduler errors or a streamed/batch answer
 /// mismatch (the harness runs known-good inputs).
 pub fn run_streaming_study(setup: &SsbSetup, mode: EngineMode, shards: usize) -> StreamingStudy {
+    let mut trace = TraceRecorder::disabled();
+    let mut reg = MetricsRegistry::new();
+    run_streaming_study_observed(setup, mode, shards, &mut trace, &mut reg, "")
+}
+
+/// [`run_streaming_study`] with the observability surface threaded
+/// through: the FIFO run is recorded into `trace` (host-bus grants,
+/// per-module phase windows, scheduler instants — all on the simulated
+/// clock) when the recorder is enabled, every policy's outcome is
+/// folded into `reg` as `run=<prefix><policy>` series via
+/// [`record_stream_metrics`], and the planner dumps come from
+/// `EXPLAIN ANALYZE` — each distinct query runs once so recorded
+/// actuals sit next to the planned shards/pages/bytes (byte totals
+/// recorded as `run=<prefix>explain` series). Tracing and metrics
+/// never change the simulation: outcomes are bit-identical to the
+/// unobserved path.
+///
+/// # Panics
+///
+/// Same as [`run_streaming_study`].
+pub fn run_streaming_study_observed(
+    setup: &SsbSetup,
+    mode: EngineMode,
+    shards: usize,
+    trace: &mut TraceRecorder,
+    reg: &mut MetricsRegistry,
+    run_prefix: &str,
+) -> StreamingStudy {
     let partitioner = Partitioner::range_by_attr("d_year");
     let mut cluster = ClusterEngine::new(
         SimConfig::default(),
@@ -524,17 +578,28 @@ pub fn run_streaming_study(setup: &SsbSetup, mode: EngineMode, shards: usize) ->
         setup.cfg.seed,
     );
 
-    let explains: Vec<PlanExplain> =
-        setup.queries.iter().map(|q| cluster.explain(q).expect("explain")).collect();
+    let explain_run = format!("{run_prefix}explain");
+    let explains: Vec<PlanExplain> = setup
+        .queries
+        .iter()
+        .map(|q| {
+            let (plan, _) = cluster.explain_analyze(q).expect("explain analyze");
+            bbpim_cluster::obs::record_explain_analyze(reg, &plan, &[("run", &explain_run)]);
+            plan
+        })
+        .collect();
     let batch = cluster.run_batch(&workload.arrived_queries()).expect("batch reference");
     let policies = AdmissionPolicy::all()
         .iter()
         .map(|&policy| {
-            let outcome = run_stream(
-                &mut cluster,
-                &workload,
-                &SchedConfig { max_in_flight: setup.cfg.inflight, policy },
-            )
+            let cfg = SchedConfig { max_in_flight: setup.cfg.inflight, policy };
+            // One policy per trace: the FIFO run owns the recorder so
+            // the exported timeline is a single coherent schedule.
+            let outcome = if policy.label() == "fifo" {
+                run_stream_traced(&mut cluster, &workload, &cfg, trace)
+            } else {
+                run_stream(&mut cluster, &workload, &cfg)
+            }
             .expect("streamed run");
             assert_eq!(outcome.executions.len(), batch.executions.len());
             for (streamed, batched) in outcome.executions.iter().zip(&batch.executions) {
@@ -546,6 +611,8 @@ pub fn run_streaming_study(setup: &SsbSetup, mode: EngineMode, shards: usize) ->
                     policy.label()
                 );
             }
+            let run = format!("{run_prefix}{}", policy.label());
+            record_stream_metrics(reg, &outcome, &[("run", &run)]);
             StreamingPolicyRun { policy, outcome }
         })
         .collect();

@@ -391,9 +391,16 @@ pub fn print_pruning(setup: &SsbSetup, points: &[PruningPoint]) {
 
 /// `EXPLAIN` dump: the zone-map planner's per-query statistics — how
 /// many shards/pages each query would dispatch vs what the planner
-/// proves irrelevant (no execution involved).
+/// proves irrelevant. Plans carrying `EXPLAIN ANALYZE` actuals get a
+/// second table with the recorded shards/pages/bytes/time/energy next
+/// to the estimates.
 pub fn print_explain(setup: &SsbSetup, explains: &[PlanExplain]) {
-    println!("EXPLAIN — zone-map plan per query (no execution)\n");
+    let analyzed = explains.iter().any(|e| e.actuals.is_some());
+    if analyzed {
+        println!("EXPLAIN ANALYZE — zone-map plan per query, with recorded actuals\n");
+    } else {
+        println!("EXPLAIN — zone-map plan per query (no execution)\n");
+    }
     let rows: Vec<Vec<String>> = setup
         .queries
         .iter()
@@ -409,6 +416,31 @@ pub fn print_explain(setup: &SsbSetup, explains: &[PlanExplain]) {
         })
         .collect();
     print_table(&["query", "shards", "pages", "pages pruned", "planner-only"], &rows);
+
+    if analyzed {
+        println!("\nrecorded actuals (run / planned; bytes split by channel direction):");
+        let rows: Vec<Vec<String>> = explains
+            .iter()
+            .filter_map(|e| {
+                let a = e.actuals?;
+                Some(vec![
+                    e.query_id.clone(),
+                    format!("{}/{}", a.shards_executed, e.shards_dispatched()),
+                    format!("{}/{}", a.pages_scanned, e.pages_candidate()),
+                    a.total_bytes().to_string(),
+                    a.dispatch_bytes.to_string(),
+                    a.read_bytes.to_string(),
+                    a.write_bytes.to_string(),
+                    fmt_ms(a.time_ns),
+                    format!("{:.3}", a.energy_pj / 1e6),
+                ])
+            })
+            .collect();
+        print_table(
+            &["query", "shards", "pages", "bytes", "dispatch", "read", "write", "ms", "uJ"],
+            &rows,
+        );
+    }
 
     // The resolved filters the zone maps were tested against: the
     // pretty-printed predicate tree and its per-attribute pruning

@@ -460,7 +460,29 @@ impl ClusterEngine {
             // the pre-joined model never joins: nothing crosses the bus
             join_transfers: Vec::new(),
             host_bytes,
+            actuals: None,
         })
+    }
+
+    /// `EXPLAIN ANALYZE`: plan `query`, execute it, and return the
+    /// plan with the run's recorded actuals attached (plus the
+    /// execution itself, so the answer is not thrown away). The
+    /// planned pages/shards/bytes sit next to what the run actually
+    /// did — [`PlanExplain::consistency_errors`] checks the recorded
+    /// run never exceeded the plan on pruned paths.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ClusterEngine::explain`] and
+    /// [`ClusterEngine::run`].
+    pub fn explain_analyze(
+        &mut self,
+        query: &Query,
+    ) -> Result<(PlanExplain, ClusterExecution), ClusterError> {
+        let mut plan = self.explain(query)?;
+        let exec = self.run(query)?;
+        plan.attach_actuals(&exec.report);
+        Ok((plan, exec))
     }
 
     /// Execute `query` on one active shard alone and return that

@@ -56,9 +56,10 @@
 pub mod engine;
 pub mod error;
 pub mod explain;
+pub mod obs;
 pub mod partition;
 
 pub use engine::{BatchExecution, ClusterEngine, ClusterExecution, ClusterReport};
 pub use error::ClusterError;
-pub use explain::{HostBytes, JoinTransfer, PlanExplain, ShardPlan};
+pub use explain::{HostBytes, JoinTransfer, PlanActuals, PlanExplain, ShardPlan};
 pub use partition::Partitioner;

@@ -51,6 +51,7 @@ pub mod groupby;
 pub mod layout;
 pub mod loader;
 pub mod modes;
+pub mod obs;
 pub mod planner;
 pub mod result;
 pub mod semijoin;

@@ -1,0 +1,26 @@
+//! Metrics glue for single-engine executions.
+//!
+//! One call folds a [`QueryExecution`]'s phase log and cell-wear
+//! accounting into a [`MetricsRegistry`] — the engine-level unit the
+//! cluster and scheduler layers aggregate over.
+
+use bbpim_trace::phases::{record_run_log, CELL_WRITES, REQUIRED_ENDURANCE};
+use bbpim_trace::MetricsRegistry;
+
+use crate::result::QueryExecution;
+
+/// The horizon the required-endurance gauge assumes (the paper's
+/// Fig. 9 runs each query back-to-back for ten years).
+pub const ENDURANCE_YEARS: f64 = 10.0;
+
+/// Record one execution: per-phase-kind time / energy / host bytes,
+/// plus — for queries that write PIM cells — the worst-row cell-write
+/// counter and the required-endurance gauge (kept as a max across
+/// recorded executions).
+pub fn record_execution(reg: &mut MetricsRegistry, exec: &QueryExecution, labels: &[(&str, &str)]) {
+    record_run_log(reg, &exec.report.phases, labels);
+    if exec.report.max_row_cell_writes > 0 {
+        reg.counter_add(CELL_WRITES, labels, exec.report.max_row_cell_writes as f64);
+        reg.gauge_max(REQUIRED_ENDURANCE, labels, exec.report.required_endurance(ENDURANCE_YEARS));
+    }
+}

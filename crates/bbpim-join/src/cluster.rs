@@ -404,6 +404,33 @@ impl StarCluster {
             host_bytes.mask_wire_bytes +=
                 2 * if policy.compress_masks { t.wire_bytes } else { t.raw_bytes };
         }
+        // dimension-filter dispatch: each filtered dimension of a
+        // disjunct is dispatched once on its module as part of the join
+        // prelude, and those descriptor bytes ride the channel like any
+        // fact dispatch. Charging mirrors `build_join_plan`: a
+        // dimension whose empty bitmap kills the disjunct is still
+        // dispatched; the dimensions after it are never reached.
+        for conj in &query.filter.dnf() {
+            let (_, dim_atoms) = route_conjunct(conj);
+            for (d, da) in dim_atoms.iter().enumerate() {
+                if da.is_empty() {
+                    continue;
+                }
+                let dim = &self.dims[d];
+                let schema = dim.relation().schema();
+                let resolved: Vec<ResolvedAtom> =
+                    da.iter().map(|a| a.resolve(schema)).collect::<Result<_, _>>()?;
+                let pages = dim.plan_conjunction(&resolved, self.pruning);
+                let host = &dim.module().config().host;
+                if !pages.is_empty() && dim.module().policy().batch_dispatch {
+                    host_bytes.dispatch_bytes += host.dispatch_header_bytes
+                        + pages.run_count() as u64 * host.dispatch_run_bytes;
+                }
+                if self.host_dim_bitmap(d, da)?.hull().is_none() {
+                    break;
+                }
+            }
+        }
         let aggs = query.physical_plan().map_err(ClusterError::Db)?.aggs.len() as u64;
         let mut shards = Vec::with_capacity(self.shards.len());
         for (shard, &dispatched) in self.shards.iter().zip(&mask) {
@@ -439,7 +466,27 @@ impl StarCluster {
             shards,
             join_transfers: transfers,
             host_bytes,
+            actuals: None,
         })
+    }
+
+    /// `EXPLAIN ANALYZE` on the normalized star store: plan `query`,
+    /// execute it, and return the plan with the run's recorded actuals
+    /// attached next to the planner's estimates (cf.
+    /// [`bbpim_cluster::explain::PlanExplain::consistency_errors`]).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`StarCluster::explain`] and
+    /// [`StarCluster::run`].
+    pub fn explain_analyze(
+        &mut self,
+        query: &Query,
+    ) -> Result<(PlanExplain, ClusterExecution), ClusterError> {
+        let mut plan = self.explain(query)?;
+        let exec = self.run(query)?;
+        plan.attach_actuals(&exec.report);
+        Ok((plan, exec))
     }
 
     /// Compile a query's join: run each disjunct's dimension filters

@@ -45,15 +45,17 @@
 //! ```
 
 pub mod error;
+pub mod obs;
 pub mod report;
 pub mod sched;
 pub mod workload;
 
 pub use error::SchedError;
+pub use obs::record_stream_metrics;
 pub use report::LatencySummary;
 pub use sched::{
-    run_stream, AdmissionPolicy, EventKind, QueryCompletion, SchedConfig, StreamEngine,
-    StreamOutcome, TimelineEvent,
+    run_stream, run_stream_traced, AdmissionPolicy, EventKind, QueryCompletion, SchedConfig,
+    StreamEngine, StreamOutcome, TimelineEvent, ENDURANCE_YEARS,
 };
 pub use workload::{Arrival, Workload};
 

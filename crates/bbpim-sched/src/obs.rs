@@ -1,0 +1,115 @@
+//! Fold a [`StreamOutcome`] into the metrics registry.
+//!
+//! One call turns everything a streamed run measured — latency
+//! distribution, host-channel utilisation *and* raw demand, queue
+//! behaviour, per-phase-kind time/energy/bytes, per-module cell wear —
+//! into named registry series, so bench bins and the CI gate read one
+//! surface instead of scraping ad-hoc printouts.
+
+use bbpim_trace::phases::record_run_log;
+use bbpim_trace::MetricsRegistry;
+
+use crate::sched::StreamOutcome;
+use crate::EventKind;
+
+/// Completed queries, counter.
+pub const COMPLETIONS: &str = "bbpim_stream_completions_total";
+/// Queries that finished after a later arrival (out-of-order), counter.
+pub const OVERTAKEN: &str = "bbpim_stream_overtaken_total";
+/// Saturated host-channel utilisation over the makespan, gauge.
+pub const HOST_UTILISATION: &str = "bbpim_host_bus_utilisation";
+/// Raw (unclamped) host-channel demand ratio, gauge.
+pub const HOST_DEMAND: &str = "bbpim_host_bus_demand_ratio";
+/// Mean per-shard PIM utilisation, gauge.
+pub const SHARD_UTILISATION: &str = "bbpim_shard_utilisation_mean";
+/// Completed queries per simulated second, gauge.
+pub const THROUGHPUT_QPS: &str = "bbpim_stream_throughput_qps";
+/// Simulated makespan, gauge (ns).
+pub const MAKESPAN_NS: &str = "bbpim_stream_makespan_ns";
+/// Peak admission-queue depth, gauge.
+pub const QUEUE_PEAK: &str = "bbpim_admission_queue_peak";
+/// End-to-end latency histogram (ns) plus `_p50/_p95/_p99/_mean`
+/// gauges.
+pub const LATENCY_NS: &str = "bbpim_stream_latency_ns";
+/// Pre-service wait histogram (ns).
+pub const WAIT_NS: &str = "bbpim_stream_wait_ns";
+/// Service-time histogram (ns).
+pub const SERVICE_NS: &str = "bbpim_stream_service_ns";
+pub use bbpim_trace::phases::{CELL_WRITES, REQUIRED_ENDURANCE};
+
+/// Record everything `outcome` measured into `reg`, labelling every
+/// series with `labels` (typically `run=<study row>`); per-module
+/// series additionally carry `module=<active shard index>`.
+pub fn record_stream_metrics(
+    reg: &mut MetricsRegistry,
+    outcome: &StreamOutcome,
+    labels: &[(&str, &str)],
+) {
+    reg.counter_add(COMPLETIONS, labels, outcome.completions.len() as f64);
+    reg.counter_add(OVERTAKEN, labels, outcome.overtaken() as f64);
+    reg.gauge_set(HOST_UTILISATION, labels, outcome.host_utilisation());
+    reg.gauge_set(HOST_DEMAND, labels, outcome.host_demand());
+    reg.gauge_set(SHARD_UTILISATION, labels, outcome.mean_shard_utilisation());
+    reg.gauge_set(THROUGHPUT_QPS, labels, outcome.throughput_qps());
+    reg.gauge_set(MAKESPAN_NS, labels, outcome.makespan_ns);
+
+    let s = outcome.latency_summary();
+    for (suffix, v) in [
+        ("_p50", s.p50_ns),
+        ("_p95", s.p95_ns),
+        ("_p99", s.p99_ns),
+        ("_mean", s.mean_ns),
+        ("_max", s.max_ns),
+    ] {
+        reg.gauge_set(&format!("{LATENCY_NS}{suffix}"), labels, v);
+    }
+    for c in &outcome.completions {
+        reg.observe(LATENCY_NS, labels, c.latency_ns());
+        reg.observe(WAIT_NS, labels, c.wait_ns());
+        reg.observe(SERVICE_NS, labels, c.service_ns());
+    }
+
+    // Peak admission-queue depth, replayed from the event timeline.
+    let mut depth = 0i64;
+    let mut peak = 0i64;
+    for ev in &outcome.timeline {
+        match ev.kind {
+            EventKind::Arrive => {
+                depth += 1;
+                peak = peak.max(depth);
+            }
+            EventKind::Admit => depth -= 1,
+            _ => {}
+        }
+    }
+    reg.gauge_set(QUEUE_PEAK, labels, peak as f64);
+
+    // Per-phase-kind time / energy / host bytes over every executed
+    // shard slice (per arrival: repeated queries cost the channel each
+    // time they run).
+    for exec in &outcome.executions {
+        for shard in &exec.report.per_shard {
+            record_run_log(reg, &shard.phases, labels);
+        }
+    }
+
+    // Per-module cell wear (the dormant endurance model, surfaced).
+    for (m, writes) in outcome.shard_cell_writes.iter().enumerate() {
+        if *writes == 0 {
+            continue;
+        }
+        let module = m.to_string();
+        let mut with_module = labels.to_vec();
+        with_module.push(("module", module.as_str()));
+        reg.counter_add(CELL_WRITES, &with_module, *writes as f64);
+    }
+    for (m, req) in outcome.shard_required_endurance.iter().enumerate() {
+        if *req <= 0.0 {
+            continue;
+        }
+        let module = m.to_string();
+        let mut with_module = labels.to_vec();
+        with_module.push(("module", module.as_str()));
+        reg.gauge_max(REQUIRED_ENDURANCE, &with_module, *req);
+    }
+}

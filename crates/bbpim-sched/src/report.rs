@@ -112,4 +112,37 @@ mod tests {
         assert_eq!(s.completed, 0);
         assert_eq!(s.p99_ns, 0.0);
     }
+
+    /// Regression pin: percentiles must come from *sorted* latencies,
+    /// not completion order. A streamed run with overtaking delivers
+    /// completions out of latency order — here a scripted trace whose
+    /// completion order is adversarially anti-sorted (worst latency
+    /// completes first). Nearest-rank over the sorted 1..=100 ns
+    /// latencies has known answers; an implementation indexing the
+    /// completion-ordered list would report p50 = 51, p95 = 6,
+    /// p99 = 2.
+    #[test]
+    fn percentiles_are_order_invariant_under_overtaking() {
+        // Latency of completion i is (100 - i) ns: completion order is
+        // strictly descending latency, the extreme of out-of-order.
+        let cs: Vec<QueryCompletion> = (0..100)
+            .map(|i| {
+                let latency = (100 - i) as f64;
+                let mut c = completion(0.0, 0.0, latency);
+                c.arrival = i;
+                c
+            })
+            .collect();
+        let s = LatencySummary::of(&cs);
+        assert_eq!(s.p50_ns, 50.0);
+        assert_eq!(s.p95_ns, 95.0);
+        assert_eq!(s.p99_ns, 99.0);
+        assert_eq!(s.max_ns, 100.0);
+        // and any permutation of the same completions agrees exactly
+        let mut shuffled = cs.clone();
+        shuffled.reverse();
+        shuffled.swap(3, 77);
+        shuffled.swap(12, 50);
+        assert_eq!(LatencySummary::of(&shuffled), s);
+    }
 }

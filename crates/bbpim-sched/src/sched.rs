@@ -50,6 +50,7 @@ use bbpim_db::plan::{Pred, Query};
 use bbpim_sim::config::HostConfig;
 use bbpim_sim::hostbus::{phase_occupancy_ns, SharedBus};
 use bbpim_sim::timeline::PhaseKind;
+use bbpim_trace::{ArgValue, TraceRecorder, TrackId};
 
 use crate::error::SchedError;
 use crate::report::LatencySummary;
@@ -266,6 +267,16 @@ pub struct StreamOutcome {
     pub host_busy_ns: f64,
     /// Per-active-shard module-local busy time.
     pub shard_busy_ns: Vec<f64>,
+    /// Per-active-shard accumulated worst-row cell writes over every
+    /// shard slice that ran there (the dormant endurance model's input,
+    /// now surfaced per module: UPDATE-heavy streams wear modules
+    /// unevenly).
+    pub shard_cell_writes: Vec<u64>,
+    /// Per-active-shard required cell endurance (write cycles) to
+    /// sustain that module's worst query back-to-back for ten years —
+    /// the paper's Fig. 9 metric, per module. Zero for modules whose
+    /// queries perform no PIM writes.
+    pub shard_required_endurance: Vec<f64>,
 }
 
 impl StreamOutcome {
@@ -291,6 +302,18 @@ impl StreamOutcome {
             return 0.0;
         }
         (self.host_busy_ns / self.makespan_ns).clamp(0.0, 1.0)
+    }
+
+    /// Raw host-channel demand ratio `offered_ns / makespan_ns`,
+    /// **unclamped** — above 1.0 it measures how deeply the stream
+    /// oversubscribes the channel, which the saturated
+    /// [`StreamOutcome::host_utilisation`] deliberately hides (cf.
+    /// [`SharedBus::demand`]).
+    pub fn host_demand(&self) -> f64 {
+        if self.makespan_ns <= 0.0 {
+            return 0.0;
+        }
+        self.host_busy_ns / self.makespan_ns
     }
 
     /// Mean per-shard PIM utilisation over the makespan.
@@ -338,6 +361,22 @@ struct Slice {
     /// Module-local time (PIM programs, host compute, latency stalls):
     /// queues only on this shard's own server.
     local_ns: f64,
+    /// The phase kind whose channel occupancy the bus part is (`None`
+    /// for a bus-free slice) — purely descriptive, for trace labels.
+    bus_kind: Option<PhaseKind>,
+    /// Channel bytes the bus part moved (descriptor bytes for
+    /// dispatch) — purely descriptive, for trace args.
+    bus_bytes: u64,
+}
+
+/// A compiled shard chain: the slices the event loop plays out, plus —
+/// only when tracing — each slice's local-part composition by phase
+/// kind (`detail[i]` decomposes `slices[i].local_ns`), so module
+/// tracks can show *which* PIM phases filled each local window.
+#[derive(Clone, Debug, PartialEq)]
+struct Chain {
+    slices: Vec<Slice>,
+    detail: Vec<Vec<(PhaseKind, f64)>>,
 }
 
 /// The service demand of one query on one shard: its execution's phase
@@ -345,7 +384,11 @@ struct Slice {
 #[derive(Clone)]
 struct ShardDemand {
     shard: usize,
+    /// Worst-row cell writes of the shard execution (endurance input).
+    cell_writes: u64,
     slices: Vec<Slice>,
+    /// Per-slice local-part phase composition (empty when not tracing).
+    detail: Vec<Vec<(PhaseKind, f64)>>,
 }
 
 /// Per-arrival resolved demand.
@@ -366,26 +409,73 @@ struct Demand {
 /// filter really does re-queue on the bus between two PIM programs.
 /// Without contention the whole log collapses to the optimistic shape:
 /// one bus slice for the per-page dispatch, everything else local.
-fn compile_slices(exec: &QueryExecution, host: &HostConfig, contention: bool) -> Vec<Slice> {
+fn compile_slices(
+    exec: &QueryExecution,
+    host: &HostConfig,
+    contention: bool,
+    want_detail: bool,
+) -> Chain {
+    let empty_slice = Slice { bus_ns: 0.0, local_ns: 0.0, bus_kind: None, bus_bytes: 0 };
     if !contention {
         let dispatch = exec.report.phases.time_in(PhaseKind::HostDispatch);
-        return vec![Slice { bus_ns: dispatch, local_ns: exec.report.time_ns - dispatch }];
+        let slice = Slice {
+            bus_ns: dispatch,
+            local_ns: exec.report.time_ns - dispatch,
+            bus_kind: (dispatch > 0.0).then_some(PhaseKind::HostDispatch),
+            bus_bytes: exec.report.phases.host_bytes_in(PhaseKind::HostDispatch),
+        };
+        let detail = if want_detail {
+            vec![exec
+                .report
+                .phases
+                .phases()
+                .iter()
+                .filter(|p| p.kind != PhaseKind::HostDispatch && p.time_ns > 0.0)
+                .map(|p| (p.kind, p.time_ns))
+                .collect()]
+        } else {
+            Vec::new()
+        };
+        return Chain { slices: vec![slice], detail };
     }
-    let mut slices: Vec<Slice> = vec![Slice { bus_ns: 0.0, local_ns: 0.0 }];
+    let mut slices: Vec<Slice> = vec![empty_slice];
+    let mut detail: Vec<Vec<(PhaseKind, f64)>> = vec![Vec::new()];
     for phase in exec.report.phases.phases() {
         let bus = phase_occupancy_ns(host, phase);
         let local = phase.time_ns - bus;
         if bus > 0.0 {
-            slices.push(Slice { bus_ns: bus, local_ns: local });
+            slices.push(Slice {
+                bus_ns: bus,
+                local_ns: local,
+                bus_kind: Some(phase.kind),
+                bus_bytes: phase.host_bytes,
+            });
+            detail.push(if want_detail && local > 0.0 {
+                vec![(phase.kind, local)]
+            } else {
+                Vec::new()
+            });
         } else {
             slices.last_mut().expect("seeded with one slice").local_ns += local;
+            if want_detail && local > 0.0 {
+                detail.last_mut().expect("seeded with one slice").push((phase.kind, local));
+            }
         }
     }
-    slices.retain(|s| s.bus_ns > 0.0 || s.local_ns > 0.0);
+    // Drop empty slices, keeping the detail rows in lockstep.
+    let keep: Vec<bool> = slices.iter().map(|s| s.bus_ns > 0.0 || s.local_ns > 0.0).collect();
+    let mut it = keep.iter();
+    slices.retain(|_| *it.next().expect("lockstep"));
+    let mut it = keep.iter();
+    detail.retain(|_| *it.next().expect("lockstep"));
     if slices.is_empty() {
-        slices.push(Slice { bus_ns: 0.0, local_ns: 0.0 });
+        slices.push(empty_slice);
+        detail.push(Vec::new());
     }
-    slices
+    if !want_detail {
+        detail = Vec::new();
+    }
+    Chain { slices, detail }
 }
 
 /// Mutable per-arrival simulation state.
@@ -437,6 +527,27 @@ impl Ord for HeapEntry {
     }
 }
 
+/// Trace track ids for the scheduler's lanes (present only when the
+/// recorder is enabled).
+struct Tracks {
+    sched: TrackId,
+    host: TrackId,
+    modules: Vec<TrackId>,
+}
+
+impl Tracks {
+    fn new(trace: &mut TraceRecorder, active_shards: usize) -> Option<Tracks> {
+        if !trace.is_enabled() {
+            return None;
+        }
+        Some(Tracks {
+            sched: trace.track("scheduler"),
+            host: trace.track("host-bus"),
+            modules: (0..active_shards).map(|s| trace.track(&format!("module-{s}"))).collect(),
+        })
+    }
+}
+
 /// The simulation state machine.
 struct Sim<'a> {
     cfg: &'a SchedConfig,
@@ -451,6 +562,9 @@ struct Sim<'a> {
     progress: Vec<Option<Progress>>,
     completions: Vec<QueryCompletion>,
     timeline: Vec<TimelineEvent>,
+    shard_cell_writes: Vec<u64>,
+    trace: &'a mut TraceRecorder,
+    tracks: Option<Tracks>,
 }
 
 impl Sim<'_> {
@@ -461,6 +575,26 @@ impl Sim<'_> {
 
     fn record(&mut self, t_ns: f64, kind: EventKind, arrival: usize, shard: Option<usize>) {
         self.timeline.push(TimelineEvent { t_ns, kind, arrival, shard });
+    }
+
+    /// Standard event attributes: the arrival index and its query id.
+    fn query_args(&self, ai: usize) -> Vec<(&'static str, ArgValue)> {
+        vec![
+            ("arrival", ArgValue::U64(ai as u64)),
+            ("query", ArgValue::Str(self.demands[ai].query_id.clone())),
+        ]
+    }
+
+    /// Sample the two scheduler counters (admission-queue depth and
+    /// in-flight count) onto the scheduler track.
+    fn trace_queue_counters(&mut self, t_ns: f64) {
+        if let Some(tracks) = &self.tracks {
+            let sched = tracks.sched;
+            let depth = self.waiting.len() as f64;
+            let in_flight = self.in_flight as f64;
+            self.trace.counter(sched, "admission-queue", t_ns, depth);
+            self.trace.counter(sched, "in-flight", t_ns, in_flight);
+        }
     }
 
     /// Pick the next admission per policy; `waiting` keeps arrival
@@ -488,6 +622,15 @@ impl Sim<'_> {
         if slice.bus_ns > 0.0 {
             let grant = self.host.acquire(now_ns, slice.bus_ns);
             self.push_event(grant.end_ns, Ev::BusDone(ai, sp, idx));
+            if let Some(tracks) = &self.tracks {
+                let (host, shard) = (tracks.host, self.demands[ai].shards[sp].shard);
+                let name = slice.bus_kind.map_or("bus", |k| k.label());
+                let mut args = self.query_args(ai);
+                args.push(("shard", ArgValue::U64(shard as u64)));
+                args.push(("wait_ns", ArgValue::F64(grant.start_ns - now_ns)));
+                args.push(("bytes", ArgValue::U64(slice.bus_bytes)));
+                self.trace.span(host, name, grant.start_ns, slice.bus_ns, args);
+            }
             Some(grant.start_ns)
         } else {
             self.push_event(now_ns, Ev::BusDone(ai, sp, idx));
@@ -500,6 +643,13 @@ impl Sim<'_> {
         while self.in_flight < self.cfg.max_in_flight && !self.waiting.is_empty() {
             let ai = self.waiting.remove(self.pick_next());
             self.record(now_ns, EventKind::Admit, ai, None);
+            if let Some(tracks) = &self.tracks {
+                let sched = tracks.sched;
+                let mut args = self.query_args(ai);
+                let arrive = self.workload.arrivals()[ai].at_ns;
+                args.push(("queued_ns", ArgValue::F64(now_ns - arrive)));
+                self.trace.instant(sched, "admit", now_ns, args);
+            }
             let (n_shards, merge_ns) = (self.demands[ai].shards.len(), self.demands[ai].merge_ns);
             if n_shards == 0 {
                 // The planner answered the query: nothing to dispatch,
@@ -510,6 +660,7 @@ impl Sim<'_> {
                     ai,
                     Progress { admit_ns: now_ns, first_service_ns: now_ns, remaining: 0 },
                 );
+                self.trace_queue_counters(now_ns);
                 continue;
             }
             self.in_flight += 1;
@@ -527,11 +678,19 @@ impl Sim<'_> {
             }
             self.progress[ai] =
                 Some(Progress { admit_ns: now_ns, first_service_ns, remaining: n_shards });
+            self.trace_queue_counters(now_ns);
         }
     }
 
     fn complete(&mut self, now_ns: f64, ai: usize, p: Progress) {
         self.record(now_ns, EventKind::Complete, ai, None);
+        if let Some(tracks) = &self.tracks {
+            let sched = tracks.sched;
+            let mut args = self.query_args(ai);
+            let arrive = self.workload.arrivals()[ai].at_ns;
+            args.push(("latency_ns", ArgValue::F64(now_ns - arrive)));
+            self.trace.instant(sched, "complete", now_ns, args);
+        }
         let d = &self.demands[ai];
         self.completions.push(QueryCompletion {
             arrival: ai,
@@ -546,13 +705,45 @@ impl Sim<'_> {
     }
 
     /// A shard chain finished its last slice.
-    fn shard_done(&mut self, t: f64, ai: usize, shard: usize) {
+    fn shard_done(&mut self, t: f64, ai: usize, sp: usize, shard: usize) {
         self.record(t, EventKind::ShardDone, ai, Some(shard));
+        self.shard_cell_writes[shard] += self.demands[ai].shards[sp].cell_writes;
         let p = self.progress[ai].as_mut().expect("in-flight query has progress");
         p.remaining -= 1;
         if p.remaining == 0 {
-            let grant = self.host.acquire(t, self.demands[ai].merge_ns);
+            let merge_ns = self.demands[ai].merge_ns;
+            let grant = self.host.acquire(t, merge_ns);
             self.push_event(grant.end_ns, Ev::MergeDone(ai));
+            if merge_ns > 0.0 {
+                if let Some(tracks) = &self.tracks {
+                    let host = tracks.host;
+                    let mut args = self.query_args(ai);
+                    args.push(("wait_ns", ArgValue::F64(grant.start_ns - t)));
+                    self.trace.span(host, "merge", grant.start_ns, merge_ns, args);
+                }
+            }
+        }
+    }
+
+    /// Emit the module-track spans for one local window
+    /// `[start_ns, start_ns + local_ns]`: the per-phase composition
+    /// when the chain was compiled with detail, one opaque `local`
+    /// span otherwise.
+    fn trace_local(&mut self, ai: usize, sp: usize, idx: usize, start_ns: f64, local_ns: f64) {
+        let Some(tracks) = &self.tracks else { return };
+        let shard = self.demands[ai].shards[sp].shard;
+        let module = tracks.modules[shard];
+        let detail = self.demands[ai].shards[sp].detail.get(idx).cloned().unwrap_or_default();
+        if detail.is_empty() {
+            let args = self.query_args(ai);
+            self.trace.span(module, "local", start_ns, local_ns, args);
+            return;
+        }
+        let mut at = start_ns;
+        for (kind, dt) in detail {
+            let args = self.query_args(ai);
+            self.trace.span(module, kind.label(), at, dt, args);
+            at += dt;
         }
     }
 
@@ -563,7 +754,13 @@ impl Sim<'_> {
             match entry.ev {
                 Ev::Arrive(ai) => {
                     self.record(t, EventKind::Arrive, ai, None);
+                    if let Some(tracks) = &self.tracks {
+                        let sched = tracks.sched;
+                        let args = self.query_args(ai);
+                        self.trace.instant(sched, "arrive", t, args);
+                    }
                     self.waiting.push(ai);
+                    self.trace_queue_counters(t);
                     self.try_admit(t);
                 }
                 Ev::BusDone(ai, sp, idx) => {
@@ -577,6 +774,7 @@ impl Sim<'_> {
                     if slice.local_ns > 0.0 {
                         let grant = self.shard_bus[shard].acquire(t, slice.local_ns);
                         self.push_event(grant.end_ns, Ev::LocalDone(ai, sp, idx));
+                        self.trace_local(ai, sp, idx, grant.start_ns, slice.local_ns);
                     } else {
                         self.push_event(t, Ev::LocalDone(ai, sp, idx));
                     }
@@ -589,13 +787,14 @@ impl Sim<'_> {
                     if idx + 1 < len {
                         self.start_slice(t, ai, sp, idx + 1);
                     } else {
-                        self.shard_done(t, ai, shard);
+                        self.shard_done(t, ai, sp, shard);
                     }
                 }
                 Ev::MergeDone(ai) => {
                     let p = self.progress[ai].take().expect("merging query has progress");
                     self.complete(t, ai, p);
                     self.in_flight -= 1;
+                    self.trace_queue_counters(t);
                     self.try_admit(t);
                 }
             }
@@ -609,6 +808,8 @@ impl Sim<'_> {
             makespan_ns,
             host_busy_ns: self.host.busy_ns(),
             shard_busy_ns: self.shard_bus.iter().map(SharedBus::busy_ns).collect(),
+            shard_cell_writes: self.shard_cell_writes,
+            shard_required_endurance: Vec::new(),
         }
     }
 }
@@ -636,11 +837,34 @@ pub fn run_stream<E: StreamEngine>(
     workload: &Workload,
     cfg: &SchedConfig,
 ) -> Result<StreamOutcome, SchedError> {
+    let mut trace = TraceRecorder::disabled();
+    run_stream_traced(cluster, workload, cfg, &mut trace)
+}
+
+/// [`run_stream`] with a [`TraceRecorder`]: when the recorder is
+/// enabled, every scheduler admission/completion, every host-bus grant
+/// (with its queueing wait and byte payload) and every module-local
+/// phase window is recorded on named tracks — `scheduler`, `host-bus`,
+/// `module-<k>` — on the simulated clock. The recorder **never**
+/// changes the simulation: the event timeline, completions and merged
+/// executions are identical with tracing on, off, or disabled (the
+/// oracle-equivalence suites assert exactly this).
+///
+/// # Errors
+///
+/// Same as [`run_stream`].
+pub fn run_stream_traced<E: StreamEngine>(
+    cluster: &mut E,
+    workload: &Workload,
+    cfg: &SchedConfig,
+    trace: &mut TraceRecorder,
+) -> Result<StreamOutcome, SchedError> {
     if cfg.max_in_flight == 0 {
         return Err(SchedError::InvalidConfig("max_in_flight must be at least 1".into()));
     }
     let contention = cluster.contention();
     let host_cfg: Option<HostConfig> = cluster.host_config();
+    let want_detail = trace.is_enabled();
 
     // Resolve every *distinct* query's service demand once by
     // executing its shard slices (deterministic and read-only, so
@@ -650,6 +874,10 @@ pub fn run_stream<E: StreamEngine>(
     by_query.resize_with(workload.queries().len(), || None);
     let mut demands = Vec::with_capacity(workload.len());
     let mut executions = Vec::with_capacity(workload.len());
+    let active_shards = cluster.active_shards();
+    // Worst-query required endurance per module (Fig. 9 per shard):
+    // max over distinct queries that execute there.
+    let mut shard_endurance = vec![0.0f64; active_shards];
     for arrival in workload.arrivals() {
         if by_query[arrival.query].is_none() {
             let query = &workload.queries()[arrival.query];
@@ -664,13 +892,22 @@ pub fn run_stream<E: StreamEngine>(
             let shards_pruned = mask.len() - candidates.len();
             let merged = cluster.merge_executions(query, &refs, shards_pruned);
             let host = host_cfg.as_ref().expect("candidate shards imply an active shard");
+            for (s, e) in &shard_execs {
+                let req = e.report.required_endurance(ENDURANCE_YEARS);
+                shard_endurance[*s] = shard_endurance[*s].max(req);
+            }
             let demand = Demand {
                 query_id: query.id.clone(),
                 shards: shard_execs
                     .iter()
-                    .map(|(s, e)| ShardDemand {
-                        shard: *s,
-                        slices: compile_slices(e, host, contention),
+                    .map(|(s, e)| {
+                        let chain = compile_slices(e, host, contention, want_detail);
+                        ShardDemand {
+                            shard: *s,
+                            cell_writes: e.report.max_row_cell_writes,
+                            slices: chain.slices,
+                            detail: chain.detail,
+                        }
                     })
                     .collect(),
                 shards_pruned,
@@ -683,6 +920,7 @@ pub fn run_stream<E: StreamEngine>(
         executions.push(merged.clone());
     }
 
+    let tracks = Tracks::new(trace, active_shards);
     let mut sim = Sim {
         cfg,
         workload,
@@ -690,18 +928,27 @@ pub fn run_stream<E: StreamEngine>(
         events: BinaryHeap::new(),
         seq: 0,
         host: SharedBus::new(),
-        shard_bus: vec![SharedBus::new(); cluster.active_shards()],
+        shard_bus: vec![SharedBus::new(); active_shards],
         waiting: Vec::new(),
         in_flight: 0,
         progress: vec![None; workload.len()],
         completions: Vec::with_capacity(workload.len()),
         timeline: Vec::new(),
+        shard_cell_writes: vec![0; active_shards],
+        trace,
+        tracks,
     };
     for (ai, arrival) in workload.arrivals().iter().enumerate() {
         sim.push_event(arrival.at_ns, Ev::Arrive(ai));
     }
-    Ok(sim.run(executions))
+    let mut out = sim.run(executions);
+    out.shard_required_endurance = shard_endurance;
+    Ok(out)
 }
+
+/// The horizon the per-module required-endurance figures assume (the
+/// paper's Fig. 9 runs each query back-to-back for ten years).
+pub const ENDURANCE_YEARS: f64 = 10.0;
 
 #[cfg(test)]
 mod slice_tests {
@@ -754,9 +1001,12 @@ mod slice_tests {
             phase(PhaseKind::HostWrite, 700.0, 4096),
             phase(PhaseKind::PimLogic, 1000.0, 0),
         ]);
-        let slices = compile_slices(&exec, &host, true);
+        let slices = compile_slices(&exec, &host, true, false).slices;
         // dispatch opens the chain, then read and write each re-queue
         assert_eq!(slices.len(), 3);
+        assert_eq!(slices[0].bus_kind, Some(PhaseKind::HostDispatch));
+        assert_eq!(slices[1].bus_kind, Some(PhaseKind::HostRead));
+        assert_eq!(slices[1].bus_bytes, 4096);
         assert_eq!(slices[0].bus_ns, 600.0);
         assert_eq!(slices[0].local_ns, 3000.0);
         let read_bus = bbpim_sim::hostbus::transfer_ns(&host, 4096);
@@ -779,7 +1029,7 @@ mod slice_tests {
             phase(PhaseKind::HostRead, 500.0, 64 * 1024),
             phase(PhaseKind::PimLogic, 1000.0, 0),
         ]);
-        let slices = compile_slices(&exec, &host, false);
+        let slices = compile_slices(&exec, &host, false, false).slices;
         assert_eq!(slices.len(), 1);
         assert_eq!(slices[0].bus_ns, 600.0);
         assert!((slices[0].local_ns - 1500.0).abs() < 1e-9);
@@ -789,8 +1039,35 @@ mod slice_tests {
     fn empty_log_still_yields_a_chain() {
         let host = HostConfig::default();
         let exec = exec_with(Vec::new());
-        let slices = compile_slices(&exec, &host, true);
+        let slices = compile_slices(&exec, &host, true, false).slices;
         assert_eq!(slices.len(), 1);
-        assert_eq!(slices[0], Slice { bus_ns: 0.0, local_ns: 0.0 });
+        assert_eq!(slices[0], Slice { bus_ns: 0.0, local_ns: 0.0, bus_kind: None, bus_bytes: 0 });
+    }
+
+    #[test]
+    fn detail_decomposes_each_local_window_exactly() {
+        let host = HostConfig::default();
+        let exec = exec_with(vec![
+            Phase::host_dispatch(600.0),
+            phase(PhaseKind::PimLogic, 3000.0, 0),
+            phase(PhaseKind::PimAggCircuit, 200.0, 0),
+            phase(PhaseKind::HostRead, 500.0, 4096),
+            phase(PhaseKind::PimLogic, 1000.0, 0),
+        ]);
+        for contention in [true, false] {
+            let chain = compile_slices(&exec, &host, contention, true);
+            assert_eq!(chain.detail.len(), chain.slices.len());
+            for (slice, d) in chain.slices.iter().zip(&chain.detail) {
+                let sum: f64 = d.iter().map(|(_, t)| t).sum();
+                assert!(
+                    (sum - slice.local_ns).abs() < 1e-9,
+                    "detail must decompose the local window: {sum} vs {}",
+                    slice.local_ns
+                );
+            }
+            // detail never changes the slice boundaries
+            let bare = compile_slices(&exec, &host, contention, false);
+            assert_eq!(bare.slices, chain.slices);
+        }
     }
 }

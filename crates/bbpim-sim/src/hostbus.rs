@@ -175,6 +175,19 @@ impl SharedBus {
         }
         (self.busy_ns / horizon_ns).clamp(0.0, 1.0)
     }
+
+    /// Raw demand ratio `offered_ns / horizon_ns`, **unclamped**: the
+    /// total service time offered to the bus over the horizon. Values
+    /// above 1.0 measure oversubscription depth — a demand of 1.8
+    /// means the channel was asked for 80 % more service than the
+    /// horizon holds, which the saturated [`SharedBus::utilisation`]
+    /// deliberately hides. A non-positive horizon reports 0.
+    pub fn demand(&self, horizon_ns: f64) -> f64 {
+        if horizon_ns <= 0.0 {
+            return 0.0;
+        }
+        self.busy_ns / horizon_ns
+    }
 }
 
 #[cfg(test)]
@@ -297,6 +310,20 @@ mod tests {
         assert_eq!(bus.utilisation(100.0), 1.0);
         assert_eq!(bus.utilisation(0.0), 0.0);
         assert_eq!(bus.utilisation(-5.0), 0.0);
+    }
+
+    #[test]
+    fn demand_ratio_is_unclamped() {
+        let mut bus = SharedBus::new();
+        bus.acquire(0.0, 80.0);
+        bus.acquire(0.0, 40.0);
+        // below saturation the two ratios agree
+        assert!((bus.demand(1000.0) - bus.utilisation(1000.0)).abs() < 1e-12);
+        // past saturation, demand keeps the oversubscription depth
+        assert!((bus.demand(100.0) - 1.2).abs() < 1e-12);
+        assert_eq!(bus.utilisation(100.0), 1.0);
+        assert_eq!(bus.demand(0.0), 0.0);
+        assert_eq!(bus.demand(-5.0), 0.0);
     }
 
     #[test]

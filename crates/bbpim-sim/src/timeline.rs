@@ -46,6 +46,21 @@ pub enum PhaseKind {
 }
 
 impl PhaseKind {
+    /// Every phase kind, in declaration order — for exhaustive
+    /// per-kind breakdowns (metrics, reports).
+    pub const ALL: [PhaseKind; 10] = [
+        PhaseKind::PimLogic,
+        PhaseKind::PimAggCircuit,
+        PhaseKind::PimReduce,
+        PhaseKind::PimUnpack,
+        PhaseKind::PimPack,
+        PhaseKind::PimCombine,
+        PhaseKind::HostRead,
+        PhaseKind::HostWrite,
+        PhaseKind::HostCompute,
+        PhaseKind::HostDispatch,
+    ];
+
     /// Stable lowercase label for reports.
     pub fn label(&self) -> &'static str {
         match self {

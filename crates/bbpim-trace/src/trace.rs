@@ -1,0 +1,246 @@
+//! The structured trace recorder.
+//!
+//! A [`TraceRecorder`] collects [`TraceEvent`]s — spans (with a
+//! duration), instants, and counter samples — on named *tracks*
+//! (lanes). Timestamps are simulated-clock nanoseconds supplied by the
+//! caller; the recorder never reads a wall clock, so a deterministic
+//! simulation produces a deterministic trace.
+//!
+//! A disabled recorder ([`TraceRecorder::disabled`]) drops everything
+//! at the cost of one branch per call, which keeps tracing free for
+//! the oracle-equivalence suites that must see identical answers and
+//! identical simulated time with tracing on or off.
+
+/// Index into the recorder's track table.
+pub type TrackId = usize;
+
+/// One attribute value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer (ids, byte counts).
+    U64(u64),
+    /// Floating point (durations, ratios).
+    F64(f64),
+    /// Free-form string (query ids, labels).
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// The shape of one recorded event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventShape {
+    /// A window on a track: `[ts_ns, ts_ns + dur_ns]`.
+    Span {
+        /// Duration, simulated nanoseconds.
+        dur_ns: f64,
+    },
+    /// A point on a track.
+    Instant,
+    /// A sampled counter value (queue depth, in-flight count…).
+    Counter {
+        /// The sampled value.
+        value: f64,
+    },
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Which track (lane) the event belongs to.
+    pub track: TrackId,
+    /// Event name (phase-kind label, `"admit"`, counter name…).
+    pub name: String,
+    /// Start / sample time, simulated nanoseconds.
+    pub ts_ns: f64,
+    /// Span / instant / counter.
+    pub shape: EventShape,
+    /// Attributes (query id, shard, wait, bytes…), in insertion order.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+/// Collects events on named tracks; free when disabled.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceRecorder {
+    enabled: bool,
+    tracks: Vec<String>,
+    events: Vec<TraceEvent>,
+}
+
+impl TraceRecorder {
+    /// An enabled recorder with no tracks yet.
+    pub fn enabled() -> Self {
+        TraceRecorder { enabled: true, tracks: Vec::new(), events: Vec::new() }
+    }
+
+    /// A recorder that drops everything (the default for untraced
+    /// runs: every recording call is one branch).
+    pub fn disabled() -> Self {
+        TraceRecorder::default()
+    }
+
+    /// Is this recorder collecting?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Register (or find) a track by name and return its id. Track ids
+    /// are dense and assigned in first-registration order, which keeps
+    /// exports deterministic. On a disabled recorder this returns 0
+    /// without registering anything.
+    pub fn track(&mut self, name: &str) -> TrackId {
+        if !self.enabled {
+            return 0;
+        }
+        if let Some(id) = self.tracks.iter().position(|t| t == name) {
+            return id;
+        }
+        self.tracks.push(name.to_string());
+        self.tracks.len() - 1
+    }
+
+    /// Record a span of `dur_ns` starting at `ts_ns`.
+    pub fn span(
+        &mut self,
+        track: TrackId,
+        name: &str,
+        ts_ns: f64,
+        dur_ns: f64,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.events.push(TraceEvent {
+            track,
+            name: name.to_string(),
+            ts_ns,
+            shape: EventShape::Span { dur_ns },
+            args,
+        });
+    }
+
+    /// Record an instantaneous event.
+    pub fn instant(
+        &mut self,
+        track: TrackId,
+        name: &str,
+        ts_ns: f64,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.events.push(TraceEvent {
+            track,
+            name: name.to_string(),
+            ts_ns,
+            shape: EventShape::Instant,
+            args,
+        });
+    }
+
+    /// Record a counter sample.
+    pub fn counter(&mut self, track: TrackId, name: &str, ts_ns: f64, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.events.push(TraceEvent {
+            track,
+            name: name.to_string(),
+            ts_ns,
+            shape: EventShape::Counter { value },
+            args: Vec::new(),
+        });
+    }
+
+    /// Registered track names, in id order.
+    pub fn tracks(&self) -> &[String] {
+        &self.tracks
+    }
+
+    /// Recorded events, in recording order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// No events recorded yet (always true when disabled).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_drops_everything() {
+        let mut t = TraceRecorder::disabled();
+        assert!(!t.is_enabled());
+        let tr = t.track("host-bus");
+        assert_eq!(tr, 0);
+        t.span(tr, "dispatch", 0.0, 10.0, vec![("q", ArgValue::U64(1))]);
+        t.instant(tr, "admit", 1.0, vec![]);
+        t.counter(tr, "queue", 2.0, 3.0);
+        assert!(t.is_empty());
+        assert!(t.tracks().is_empty());
+    }
+
+    #[test]
+    fn tracks_dedup_by_name_in_registration_order() {
+        let mut t = TraceRecorder::enabled();
+        let a = t.track("scheduler");
+        let b = t.track("host-bus");
+        let a2 = t.track("scheduler");
+        assert_eq!((a, b, a2), (0, 1, 0));
+        assert_eq!(t.tracks(), ["scheduler", "host-bus"]);
+    }
+
+    #[test]
+    fn events_record_in_order_with_args() {
+        let mut t = TraceRecorder::enabled();
+        let tr = t.track("module-0");
+        t.span(tr, "pim-logic", 5.0, 100.0, vec![("query", ArgValue::Str("Q1.1".into()))]);
+        t.instant(tr, "complete", 105.0, vec![("arrival", ArgValue::U64(3))]);
+        t.counter(tr, "in-flight", 105.0, 2.0);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.events()[0].shape, EventShape::Span { dur_ns: 100.0 });
+        assert_eq!(t.events()[1].shape, EventShape::Instant);
+        assert_eq!(t.events()[2].shape, EventShape::Counter { value: 2.0 });
+        assert_eq!(t.events()[0].args[0].0, "query");
+    }
+}

@@ -45,6 +45,10 @@
 //!   bit-identical to the pre-joined path.
 //! * [`monet`] — the in-memory column-store baseline (`mnt-reg` /
 //!   `mnt-join`).
+//! * [`trace`] — the observability substrate: a structured span/event
+//!   recorder on the simulated clock (Chrome/Perfetto + JSONL
+//!   exporters) and a metrics registry (Prometheus text + flat JSON
+//!   snapshots) that every layer reports into.
 //!
 //! See `README.md` for a walkthrough, `examples/quickstart.rs` for a
 //! complete end-to-end query, `examples/cluster_scaling.rs` for
@@ -58,3 +62,4 @@ pub use bbpim_join as join;
 pub use bbpim_monet as monet;
 pub use bbpim_sched as sched;
 pub use bbpim_sim as sim;
+pub use bbpim_trace as trace;
