@@ -10,9 +10,9 @@
 //! `--json` flag (`{"scaling": {…}}`). The merge concatenates the
 //! sections verbatim; with `--baseline` the gate then compares the
 //! headline ratios — pruned-vs-exhaustive wall clock, scsf-vs-fifo
-//! p50, the 3-aggregate energy saving, and the star-join host-byte
-//! reduction — and exits nonzero if any regressed by more than the
-//! tolerance (default 15 %). Every gated
+//! p50, the 3-aggregate energy saving, the star-join host-byte
+//! reduction, and the serving study's heavy-tenant goodput — and exits
+//! nonzero if any regressed by more than the tolerance (default 15 %). Every gated
 //! metric is a *simulated* ratio, so baseline and PR values are
 //! deterministic for a given seed and scale factor; the tolerance is
 //! headroom for deliberate model changes, not machine noise.
@@ -45,6 +45,7 @@ const GATED: &[(&str, &str)] = &[
     ("scaling", "agg3_energy_saving"),
     ("scaling", "geomean_speedup_max_shards"),
     ("join", "host_bytes_ratio_q1"),
+    ("serve", "heavy_tenant_goodput"),
 ];
 
 /// Absolute floors checked against the merged snapshot whenever the
@@ -53,7 +54,12 @@ const GATED: &[(&str, &str)] = &[
 /// max-shard geo-mean dropping below 1.0 means the host channel is
 /// again eating all module parallelism — the regression the byte-diet
 /// PR exists to prevent — and no relative tolerance excuses that.
-const ABSOLUTE_FLOORS: &[(&str, &str, f64)] = &[("scaling", "geomean_speedup_max_shards", 1.0)];
+/// Likewise `serve.light_p95_within_slo` is a 0/1 bit: the serving
+/// study's light tenant either kept its p95 promise under the AIMD
+/// window at the gate overload or it did not — a promise is not a
+/// metric one may regress 15% on.
+const ABSOLUTE_FLOORS: &[(&str, &str, f64)] =
+    &[("scaling", "geomean_speedup_max_shards", 1.0), ("serve", "light_p95_within_slo", 1.0)];
 
 /// Gated headlines that also exist as metrics-registry series (the
 /// `{"metrics": …}` snapshot the streaming bin's `--metrics` flag

@@ -35,9 +35,14 @@ use bbpim_db::ssb::{queries, SsbDb, SsbParams};
 use bbpim_db::stats::MultiGrouped;
 use bbpim_join::StarCluster;
 use bbpim_monet::MonetEngine;
+use bbpim_sched::demand::resolve_query_demand;
 use bbpim_sched::{
     record_stream_metrics, run_stream, run_stream_traced, AdmissionPolicy, SchedConfig,
     StreamOutcome, Workload,
+};
+use bbpim_serve::{
+    record_serve_metrics, run_serve, run_serve_traced, tenant_reports, AimdConfig, ArrivalProcess,
+    RateLimit, ServeConfig, ServeOutcome, SloSpec, TenantReport, TenantSpec, WindowPolicy,
 };
 use bbpim_sim::SimConfig;
 use bbpim_trace::{MetricsRegistry, TraceRecorder};
@@ -694,6 +699,257 @@ pub fn run_multi_agg_saving(setup: &SsbSetup, mode: EngineMode, shards: usize) -
         return 1.0;
     }
     singles_energy / combined_exec.report.energy_pj
+}
+
+/// One serve-study row: the three-tenant mix at one overload under one
+/// window policy.
+pub struct ServeStudyRow {
+    /// The heavy tenant's offered load as a multiple of capacity.
+    pub overload: f64,
+    /// `"aimd"` or `"static<w>"`.
+    pub policy: String,
+    /// The tenant mix that ran.
+    pub tenants: Vec<TenantSpec>,
+    /// The full serve outcome.
+    pub outcome: ServeOutcome,
+    /// Per-tenant summaries, in tenant order.
+    pub reports: Vec<TenantReport>,
+}
+
+impl ServeStudyRow {
+    /// The named tenant's report.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no tenant carries `name` (a study wiring bug).
+    pub fn report(&self, name: &str) -> &TenantReport {
+        self.reports.iter().find(|r| r.name == name).expect("tenant report by name")
+    }
+}
+
+/// The serve study: the three-tenant mix swept over overload multiples
+/// under the AIMD window, plus a static-window sweep at the gate
+/// overload for the adaptive-vs-fixed comparison.
+pub struct ServeStudy {
+    /// Shard count.
+    pub shards: usize,
+    /// Batch-estimated mean per-query service time, nanoseconds.
+    pub mean_service_ns: f64,
+    /// The overload at which the static sweep ran and headlines gate.
+    pub gate_overload: f64,
+    /// All rows, AIMD first per overload.
+    pub rows: Vec<ServeStudyRow>,
+}
+
+impl ServeStudy {
+    /// The row for one `(overload, policy)` pair.
+    pub fn row(&self, overload: f64, policy: &str) -> Option<&ServeStudyRow> {
+        self.rows.iter().find(|r| (r.overload - overload).abs() < 1e-9 && r.policy == policy)
+    }
+
+    /// The AIMD row at the gate overload — where the headlines and the
+    /// CI gate read from.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the study was run without the gate overload.
+    pub fn gate_row(&self) -> &ServeStudyRow {
+        self.row(self.gate_overload, "aimd").expect("aimd row at the gate overload")
+    }
+
+    /// The best heavy-tenant goodput any *SLO-respecting* static window
+    /// achieved at the gate overload (windows that blow the light
+    /// tenant's p95 promise are not an alternative an operator could
+    /// ship). `None` when no static window qualifies.
+    pub fn best_static_heavy_goodput(&self) -> Option<(String, f64)> {
+        self.rows
+            .iter()
+            .filter(|r| {
+                (r.overload - self.gate_overload).abs() < 1e-9
+                    && r.policy.starts_with("static")
+                    && r.report("light").slo_met
+            })
+            .map(|r| (r.policy.clone(), r.report("heavy").goodput_qps))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+    }
+}
+
+/// The serve study's AIMD parameters: start at the legacy `--inflight`
+/// knob, float in [1, 32] on 8-completion windows.
+pub fn serve_aimd_config(inflight: usize) -> AimdConfig {
+    AimdConfig {
+        initial_window: inflight.clamp(1, 32),
+        min_window: 1,
+        max_window: 32,
+        sample_window: 8,
+        ..Default::default()
+    }
+}
+
+/// Index sets into `setup.queries` for the serve mix's tenants, chosen
+/// by per-query demand at the default scale: `LIGHT` are the cheapest
+/// zone-map-pruned probes (~10 µs busy), `HEAVY` the most expensive
+/// scans (the two single-shard year-range scans plus the widest join
+/// probe, ~75–145 µs busy), `BATCH` two mid-cost queries.
+const LIGHT_QUERIES: &[usize] = &[2, 9, 11];
+const HEAVY_QUERIES: &[usize] = &[0, 1, 6];
+const BATCH_QUERIES: &[usize] = &[4, 8];
+
+/// Mean resolved busy time over one tenant's query indices.
+fn mean_busy_ns(per_query_busy_ns: &[f64], idx: &[usize]) -> f64 {
+    idx.iter().map(|&i| per_query_busy_ns[i]).sum::<f64>() / idx.len() as f64
+}
+
+/// The three-tenant serve mix at one overload multiple, calibrated from
+/// `per_query_busy_ns` (resolved demand per `setup.queries` entry):
+///
+/// * `light` — cheap selective probes at ~25% of their own serial
+///   footprint, double weight, a tight p95 promise (the interactive
+///   tenant the SLO protects);
+/// * `heavy` — the most expensive scans offered at `overload`× their
+///   serial footprint behind a 2.5×-footprint token bucket, each
+///   request carrying a deadline (the bulk tenant goodput measures);
+/// * `batch` — two closed-loop think-time clients with a loose promise
+///   (offered load that reacts to latency).
+pub fn serve_tenant_mix(
+    setup: &SsbSetup,
+    per_query_busy_ns: &[f64],
+    overload: f64,
+) -> Vec<TenantSpec> {
+    let pick = |idx: &[usize]| idx.iter().map(|&i| setup.queries[i].clone()).collect::<Vec<_>>();
+    let light_ns = mean_busy_ns(per_query_busy_ns, LIGHT_QUERIES);
+    let heavy_ns = mean_busy_ns(per_query_busy_ns, HEAVY_QUERIES);
+    let batch_ns = mean_busy_ns(per_query_busy_ns, BATCH_QUERIES);
+    vec![
+        TenantSpec {
+            name: "light".into(),
+            queries: pick(LIGHT_QUERIES),
+            process: ArrivalProcess::OpenPoisson {
+                arrivals: setup.cfg.arrivals,
+                mean_interarrival_ns: 4.0 * light_ns,
+            },
+            rate_limit: None,
+            slo: SloSpec { p95_target_ns: 35.0 * light_ns, deadline_ns: None },
+            weight: 2.0,
+        },
+        TenantSpec {
+            name: "heavy".into(),
+            queries: pick(HEAVY_QUERIES),
+            process: ArrivalProcess::OpenPoisson {
+                arrivals: setup.cfg.arrivals,
+                mean_interarrival_ns: heavy_ns / overload,
+            },
+            rate_limit: Some(RateLimit { rate_per_s: 2.5e9 / heavy_ns, burst: 8.0 }),
+            slo: SloSpec { p95_target_ns: 50.0 * heavy_ns, deadline_ns: Some(30.0 * heavy_ns) },
+            weight: 1.0,
+        },
+        TenantSpec {
+            name: "batch".into(),
+            queries: pick(BATCH_QUERIES),
+            process: ArrivalProcess::Closed {
+                clients: 2,
+                queries_per_client: 3,
+                mean_think_ns: 2.0 * batch_ns,
+            },
+            rate_limit: None,
+            slo: SloSpec { p95_target_ns: 100.0 * batch_ns, deadline_ns: None },
+            weight: 1.0,
+        },
+    ]
+}
+
+/// Run the serve study: the three-tenant mix at each overload under the
+/// AIMD window, plus every `static_windows` entry at `gate_overload`.
+/// Every completion's answer is checked bit-identical against
+/// `run_batch` over the tenant query set; the AIMD gate row is recorded
+/// into `trace` when the recorder is enabled, and every row folds its
+/// per-tenant series into `reg` as `run=x<overload>-<policy>`.
+///
+/// # Panics
+///
+/// Panics on engine/serve errors or a served/batch answer mismatch
+/// (the harness runs known-good inputs).
+#[allow(clippy::too_many_arguments)]
+pub fn run_serve_study_observed(
+    setup: &SsbSetup,
+    mode: EngineMode,
+    shards: usize,
+    overloads: &[f64],
+    gate_overload: f64,
+    static_windows: &[usize],
+    trace: &mut TraceRecorder,
+    reg: &mut MetricsRegistry,
+) -> ServeStudy {
+    let partitioner = Partitioner::range_by_attr("d_year");
+    let mut cluster =
+        ClusterEngine::new(SimConfig::default(), setup.wide.clone(), mode, shards, partitioner)
+            .expect("cluster construction");
+    cluster.set_model(fit_shared_model(&SimConfig::default(), mode));
+    let probe = cluster.run_batch(&setup.queries).expect("capacity probe");
+    let mean_service_ns = probe.serial_time_ns / setup.queries.len() as f64;
+    // Per-query resolved busy time calibrates each tenant's arrival
+    // rate and promise against its own query set, not the global mean.
+    let per_query_busy_ns: Vec<f64> = setup
+        .queries
+        .iter()
+        .map(|q| {
+            let (d, _) = resolve_query_demand(&mut cluster, q, false).expect("demand probe");
+            d.total_busy_ns()
+        })
+        .collect();
+
+    // The batch oracle over the tenant query set, once: the mix's
+    // queries are overload-independent, only arrival shapes change.
+    let distinct: Vec<Query> = serve_tenant_mix(setup, &per_query_busy_ns, 1.0)
+        .iter()
+        .flat_map(|t| t.queries.clone())
+        .collect();
+    let oracle = cluster.run_batch(&distinct).expect("serve oracle");
+    let by_id: BTreeMap<&str, &ClusterExecution> =
+        distinct.iter().map(|q| q.id.as_str()).zip(oracle.executions.iter()).collect();
+
+    let mut rows = Vec::new();
+    for &overload in overloads {
+        let at_gate = (overload - gate_overload).abs() < 1e-9;
+        let tenants = serve_tenant_mix(setup, &per_query_busy_ns, overload);
+        let mut policies = vec![WindowPolicy::Aimd(serve_aimd_config(setup.cfg.inflight))];
+        if at_gate {
+            policies.extend(static_windows.iter().map(|&w| WindowPolicy::Static(w)));
+        }
+        for window in policies {
+            let policy = match &window {
+                WindowPolicy::Aimd(_) => "aimd".to_string(),
+                WindowPolicy::Static(w) => format!("static{w}"),
+            };
+            let cfg = ServeConfig { seed: setup.cfg.seed, window };
+            // The gate row owns the recorder: one coherent timeline.
+            let outcome = if at_gate && policy == "aimd" {
+                run_serve_traced(&mut cluster, &tenants, &cfg, trace)
+            } else {
+                run_serve(&mut cluster, &tenants, &cfg)
+            }
+            .expect("serve session");
+            for (c, e) in outcome.completions.iter().zip(&outcome.executions) {
+                let want = by_id[c.query_id.as_str()];
+                assert_eq!(
+                    e.groups, want.groups,
+                    "served/batch mismatch on {} ({policy} at {overload}x)",
+                    c.query_id
+                );
+            }
+            let run = format!("x{overload:.0}-{policy}");
+            record_serve_metrics(reg, &tenants, &outcome, &[("run", &run)]);
+            let reports = tenant_reports(&tenants, &outcome);
+            rows.push(ServeStudyRow {
+                overload,
+                policy,
+                tenants: tenants.clone(),
+                outcome,
+                reports,
+            });
+        }
+    }
+    ServeStudy { shards, mean_service_ns, gate_overload, rows }
 }
 
 /// Write one binary's headline metrics as a single-section JSON

@@ -44,12 +44,14 @@
 //! # Ok::<(), bbpim_sched::SchedError>(())
 //! ```
 
+pub mod demand;
 pub mod error;
 pub mod obs;
 pub mod report;
 pub mod sched;
 pub mod workload;
 
+pub use demand::{resolve_query_demand, QueryDemand, ShardDemand, Slice, SliceChain};
 pub use error::SchedError;
 pub use obs::record_stream_metrics;
 pub use report::LatencySummary;

@@ -28,8 +28,8 @@ pub const THROUGHPUT_QPS: &str = "bbpim_stream_throughput_qps";
 pub const MAKESPAN_NS: &str = "bbpim_stream_makespan_ns";
 /// Peak admission-queue depth, gauge.
 pub const QUEUE_PEAK: &str = "bbpim_admission_queue_peak";
-/// End-to-end latency histogram (ns) plus `_p50/_p95/_p99/_mean`
-/// gauges.
+/// End-to-end latency histogram (ns) plus
+/// `_p50/_p95/_p99/_p999/_mean/_max` gauges.
 pub const LATENCY_NS: &str = "bbpim_stream_latency_ns";
 /// Pre-service wait histogram (ns).
 pub const WAIT_NS: &str = "bbpim_stream_wait_ns";
@@ -58,6 +58,7 @@ pub fn record_stream_metrics(
         ("_p50", s.p50_ns),
         ("_p95", s.p95_ns),
         ("_p99", s.p99_ns),
+        ("_p999", s.p999_ns),
         ("_mean", s.mean_ns),
         ("_max", s.max_ns),
     ] {

@@ -4,11 +4,25 @@ use crate::sched::QueryCompletion;
 
 /// Nearest-rank percentile of an ascending-sorted slice (`p` in
 /// percent). Returns 0 for an empty slice.
+///
+/// The rank is `⌈p·n / 100⌉`. Common percentiles are not
+/// binary-representable (`0.55`, `99.9`), so the naive float form
+/// lands an ulp above an exact boundary and `ceil` charges one rank
+/// too many — p55 of 20 values indexed rank 12 instead of the
+/// nearest-rank 11. The product is taken before the division and the
+/// result snapped to the nearest integer when it is within relative
+/// epsilon of one.
 pub fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    let exact = (p * sorted.len() as f64) / 100.0;
+    let nearest = exact.round();
+    let rank = if (exact - nearest).abs() <= 1e-9 * nearest.max(1.0) {
+        nearest as usize
+    } else {
+        exact.ceil() as usize
+    };
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
@@ -17,12 +31,17 @@ pub fn percentile(sorted: &[f64], p: f64) -> f64 {
 pub struct LatencySummary {
     /// Completed queries.
     pub completed: usize,
+    /// Requests dropped before completion (deadline shed); zero for
+    /// plain streamed runs, which never drop.
+    pub count_dropped: usize,
     /// Median end-to-end latency, nanoseconds.
     pub p50_ns: f64,
     /// 95th-percentile latency.
     pub p95_ns: f64,
     /// 99th-percentile latency.
     pub p99_ns: f64,
+    /// 99.9th-percentile latency (the serving tail).
+    pub p999_ns: f64,
     /// Mean latency.
     pub mean_ns: f64,
     /// Worst latency.
@@ -36,31 +55,50 @@ pub struct LatencySummary {
 impl LatencySummary {
     /// Summarise a set of completions (any order).
     pub fn of(completions: &[QueryCompletion]) -> LatencySummary {
-        let n = completions.len();
+        LatencySummary::from_parts(
+            completions.iter().map(QueryCompletion::latency_ns).collect(),
+            &completions.iter().map(QueryCompletion::wait_ns).collect::<Vec<_>>(),
+            &completions.iter().map(QueryCompletion::service_ns).collect::<Vec<_>>(),
+            0,
+        )
+    }
+
+    /// Summarise raw latency/wait/service samples (any order) plus a
+    /// dropped count — the constructor serving layers with their own
+    /// completion types share with [`LatencySummary::of`].
+    pub fn from_parts(
+        mut latencies: Vec<f64>,
+        waits: &[f64],
+        services: &[f64],
+        dropped: usize,
+    ) -> LatencySummary {
+        let n = latencies.len();
         if n == 0 {
             return LatencySummary {
                 completed: 0,
+                count_dropped: dropped,
                 p50_ns: 0.0,
                 p95_ns: 0.0,
                 p99_ns: 0.0,
+                p999_ns: 0.0,
                 mean_ns: 0.0,
                 max_ns: 0.0,
                 mean_wait_ns: 0.0,
                 mean_service_ns: 0.0,
             };
         }
-        let mut latencies: Vec<f64> = completions.iter().map(QueryCompletion::latency_ns).collect();
         latencies.sort_by(f64::total_cmp);
         LatencySummary {
             completed: n,
+            count_dropped: dropped,
             p50_ns: percentile(&latencies, 50.0),
             p95_ns: percentile(&latencies, 95.0),
             p99_ns: percentile(&latencies, 99.0),
+            p999_ns: percentile(&latencies, 99.9),
             mean_ns: latencies.iter().sum::<f64>() / n as f64,
             max_ns: *latencies.last().expect("non-empty"),
-            mean_wait_ns: completions.iter().map(QueryCompletion::wait_ns).sum::<f64>() / n as f64,
-            mean_service_ns: completions.iter().map(QueryCompletion::service_ns).sum::<f64>()
-                / n as f64,
+            mean_wait_ns: waits.iter().sum::<f64>() / n as f64,
+            mean_service_ns: services.iter().sum::<f64>() / n as f64,
         }
     }
 }
@@ -93,17 +131,42 @@ mod tests {
         assert_eq!(percentile(&[], 50.0), 0.0);
     }
 
+    /// Nearest-rank pin on exact boundaries: `⌈p·n/100⌉` with the
+    /// product computed *before* the division. `0.55_f64` is slightly
+    /// above 55/100, so the old `(p/100)·n` form ceiled p55 of twenty
+    /// values to rank 12; the convention says rank 11.
+    #[test]
+    fn percentile_exact_boundaries_stay_nearest_rank() {
+        let v: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 55.0), 11.0);
+        assert_eq!(percentile(&v, 5.0), 1.0);
+        assert_eq!(percentile(&v, 50.0), 10.0);
+        assert_eq!(percentile(&v, 95.0), 19.0);
+        // p95 of 40: 0.95·40 = 38 exactly → rank 38
+        let v40: Vec<f64> = (1..=40).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v40, 95.0), 38.0);
+        // p999 pins: rank ⌈0.999·n⌉
+        let v1000: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v1000, 99.9), 999.0);
+        let v2000: Vec<f64> = (1..=2000).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v2000, 99.9), 1998.0);
+        let v100: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v100, 99.9), 100.0);
+    }
+
     #[test]
     fn summary_decomposes_wait_and_service() {
         let cs = vec![completion(0.0, 10.0, 30.0), completion(5.0, 5.0, 25.0)];
         let s = LatencySummary::of(&cs);
         assert_eq!(s.completed, 2);
+        assert_eq!(s.count_dropped, 0);
         assert_eq!(s.max_ns, 30.0);
         assert_eq!(s.mean_ns, 25.0); // (30 + 20) / 2
         assert_eq!(s.mean_wait_ns, 5.0); // (10 + 0) / 2
         assert_eq!(s.mean_service_ns, 20.0); // (20 + 20) / 2
         assert_eq!(s.p50_ns, 20.0);
         assert_eq!(s.p99_ns, 30.0);
+        assert_eq!(s.p999_ns, 30.0);
     }
 
     #[test]
@@ -111,6 +174,22 @@ mod tests {
         let s = LatencySummary::of(&[]);
         assert_eq!(s.completed, 0);
         assert_eq!(s.p99_ns, 0.0);
+        assert_eq!(s.p999_ns, 0.0);
+        assert_eq!(s.count_dropped, 0);
+    }
+
+    #[test]
+    fn from_parts_carries_drops_even_when_nothing_completed() {
+        let s = LatencySummary::from_parts(Vec::new(), &[], &[], 7);
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.count_dropped, 7);
+        let s = LatencySummary::from_parts(vec![4.0, 2.0], &[1.0, 1.0], &[3.0, 1.0], 3);
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.count_dropped, 3);
+        assert_eq!(s.p50_ns, 2.0);
+        assert_eq!(s.max_ns, 4.0);
+        assert_eq!(s.mean_wait_ns, 1.0);
+        assert_eq!(s.mean_service_ns, 2.0);
     }
 
     /// Regression pin: percentiles must come from *sorted* latencies,
@@ -137,6 +216,7 @@ mod tests {
         assert_eq!(s.p50_ns, 50.0);
         assert_eq!(s.p95_ns, 95.0);
         assert_eq!(s.p99_ns, 99.0);
+        assert_eq!(s.p999_ns, 100.0);
         assert_eq!(s.max_ns, 100.0);
         // and any permutation of the same completions agrees exactly
         let mut shuffled = cs.clone();

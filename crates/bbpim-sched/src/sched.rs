@@ -48,10 +48,10 @@ use bbpim_cluster::{ClusterEngine, ClusterError, ClusterExecution};
 use bbpim_core::result::QueryExecution;
 use bbpim_db::plan::{Pred, Query};
 use bbpim_sim::config::HostConfig;
-use bbpim_sim::hostbus::{phase_occupancy_ns, SharedBus};
-use bbpim_sim::timeline::PhaseKind;
+use bbpim_sim::hostbus::SharedBus;
 use bbpim_trace::{ArgValue, TraceRecorder, TrackId};
 
+use crate::demand::{resolve_query_demand, QueryDemand};
 use crate::error::SchedError;
 use crate::report::LatencySummary;
 use crate::workload::Workload;
@@ -351,133 +351,6 @@ impl StreamOutcome {
     }
 }
 
-/// One step of a shard chain: an optional host-channel slice followed
-/// by an optional module-local slice.
-#[derive(Clone, Copy, Debug, PartialEq)]
-struct Slice {
-    /// Shared-channel occupancy (serialises against everything in
-    /// flight).
-    bus_ns: f64,
-    /// Module-local time (PIM programs, host compute, latency stalls):
-    /// queues only on this shard's own server.
-    local_ns: f64,
-    /// The phase kind whose channel occupancy the bus part is (`None`
-    /// for a bus-free slice) — purely descriptive, for trace labels.
-    bus_kind: Option<PhaseKind>,
-    /// Channel bytes the bus part moved (descriptor bytes for
-    /// dispatch) — purely descriptive, for trace args.
-    bus_bytes: u64,
-}
-
-/// A compiled shard chain: the slices the event loop plays out, plus —
-/// only when tracing — each slice's local-part composition by phase
-/// kind (`detail[i]` decomposes `slices[i].local_ns`), so module
-/// tracks can show *which* PIM phases filled each local window.
-#[derive(Clone, Debug, PartialEq)]
-struct Chain {
-    slices: Vec<Slice>,
-    detail: Vec<Vec<(PhaseKind, f64)>>,
-}
-
-/// The service demand of one query on one shard: its execution's phase
-/// log compiled to an alternating bus/local slice chain.
-#[derive(Clone)]
-struct ShardDemand {
-    shard: usize,
-    /// Worst-row cell writes of the shard execution (endurance input).
-    cell_writes: u64,
-    slices: Vec<Slice>,
-    /// Per-slice local-part phase composition (empty when not tracing).
-    detail: Vec<Vec<(PhaseKind, f64)>>,
-}
-
-/// Per-arrival resolved demand.
-#[derive(Clone)]
-struct Demand {
-    query_id: String,
-    shards: Vec<ShardDemand>,
-    shards_pruned: usize,
-    merge_ns: f64,
-}
-
-/// Compile one shard execution's phase log into the slice chain the
-/// discrete-event simulation plays out.
-///
-/// Under contention every phase contributes its channel occupancy
-/// ([`phase_occupancy_ns`]) as a bus slice and the remainder as local
-/// time, preserving phase order — a transfer in the middle of a two-xb
-/// filter really does re-queue on the bus between two PIM programs.
-/// Without contention the whole log collapses to the optimistic shape:
-/// one bus slice for the per-page dispatch, everything else local.
-fn compile_slices(
-    exec: &QueryExecution,
-    host: &HostConfig,
-    contention: bool,
-    want_detail: bool,
-) -> Chain {
-    let empty_slice = Slice { bus_ns: 0.0, local_ns: 0.0, bus_kind: None, bus_bytes: 0 };
-    if !contention {
-        let dispatch = exec.report.phases.time_in(PhaseKind::HostDispatch);
-        let slice = Slice {
-            bus_ns: dispatch,
-            local_ns: exec.report.time_ns - dispatch,
-            bus_kind: (dispatch > 0.0).then_some(PhaseKind::HostDispatch),
-            bus_bytes: exec.report.phases.host_bytes_in(PhaseKind::HostDispatch),
-        };
-        let detail = if want_detail {
-            vec![exec
-                .report
-                .phases
-                .phases()
-                .iter()
-                .filter(|p| p.kind != PhaseKind::HostDispatch && p.time_ns > 0.0)
-                .map(|p| (p.kind, p.time_ns))
-                .collect()]
-        } else {
-            Vec::new()
-        };
-        return Chain { slices: vec![slice], detail };
-    }
-    let mut slices: Vec<Slice> = vec![empty_slice];
-    let mut detail: Vec<Vec<(PhaseKind, f64)>> = vec![Vec::new()];
-    for phase in exec.report.phases.phases() {
-        let bus = phase_occupancy_ns(host, phase);
-        let local = phase.time_ns - bus;
-        if bus > 0.0 {
-            slices.push(Slice {
-                bus_ns: bus,
-                local_ns: local,
-                bus_kind: Some(phase.kind),
-                bus_bytes: phase.host_bytes,
-            });
-            detail.push(if want_detail && local > 0.0 {
-                vec![(phase.kind, local)]
-            } else {
-                Vec::new()
-            });
-        } else {
-            slices.last_mut().expect("seeded with one slice").local_ns += local;
-            if want_detail && local > 0.0 {
-                detail.last_mut().expect("seeded with one slice").push((phase.kind, local));
-            }
-        }
-    }
-    // Drop empty slices, keeping the detail rows in lockstep.
-    let keep: Vec<bool> = slices.iter().map(|s| s.bus_ns > 0.0 || s.local_ns > 0.0).collect();
-    let mut it = keep.iter();
-    slices.retain(|_| *it.next().expect("lockstep"));
-    let mut it = keep.iter();
-    detail.retain(|_| *it.next().expect("lockstep"));
-    if slices.is_empty() {
-        slices.push(empty_slice);
-        detail.push(Vec::new());
-    }
-    if !want_detail {
-        detail = Vec::new();
-    }
-    Chain { slices, detail }
-}
-
 /// Mutable per-arrival simulation state.
 #[derive(Clone, Copy)]
 struct Progress {
@@ -552,7 +425,7 @@ impl Tracks {
 struct Sim<'a> {
     cfg: &'a SchedConfig,
     workload: &'a Workload,
-    demands: Vec<Demand>,
+    demands: Vec<QueryDemand>,
     events: BinaryHeap<HeapEntry>,
     seq: u64,
     host: SharedBus,
@@ -862,15 +735,13 @@ pub fn run_stream_traced<E: StreamEngine>(
     if cfg.max_in_flight == 0 {
         return Err(SchedError::InvalidConfig("max_in_flight must be at least 1".into()));
     }
-    let contention = cluster.contention();
-    let host_cfg: Option<HostConfig> = cluster.host_config();
     let want_detail = trace.is_enabled();
 
     // Resolve every *distinct* query's service demand once by
     // executing its shard slices (deterministic and read-only, so
     // repeated arrivals of the same query share the computation) and
     // merging the partials exactly as `run`/`run_batch` would.
-    let mut by_query: Vec<Option<(Demand, ClusterExecution)>> = Vec::new();
+    let mut by_query: Vec<Option<(QueryDemand, ClusterExecution)>> = Vec::new();
     by_query.resize_with(workload.queries().len(), || None);
     let mut demands = Vec::with_capacity(workload.len());
     let mut executions = Vec::with_capacity(workload.len());
@@ -881,38 +752,10 @@ pub fn run_stream_traced<E: StreamEngine>(
     for arrival in workload.arrivals() {
         if by_query[arrival.query].is_none() {
             let query = &workload.queries()[arrival.query];
-            let mask = cluster.plan_shards(&query.filter)?;
-            let candidates: Vec<usize> =
-                mask.iter().enumerate().filter(|(_, &d)| d).map(|(s, _)| s).collect();
-            let mut shard_execs = Vec::with_capacity(candidates.len());
-            for &s in &candidates {
-                shard_execs.push((s, cluster.run_on_shard(s, query)?));
+            let (demand, merged) = resolve_query_demand(cluster, query, want_detail)?;
+            for sd in &demand.shards {
+                shard_endurance[sd.shard] = shard_endurance[sd.shard].max(sd.required_endurance);
             }
-            let refs: Vec<&QueryExecution> = shard_execs.iter().map(|(_, e)| e).collect();
-            let shards_pruned = mask.len() - candidates.len();
-            let merged = cluster.merge_executions(query, &refs, shards_pruned);
-            let host = host_cfg.as_ref().expect("candidate shards imply an active shard");
-            for (s, e) in &shard_execs {
-                let req = e.report.required_endurance(ENDURANCE_YEARS);
-                shard_endurance[*s] = shard_endurance[*s].max(req);
-            }
-            let demand = Demand {
-                query_id: query.id.clone(),
-                shards: shard_execs
-                    .iter()
-                    .map(|(s, e)| {
-                        let chain = compile_slices(e, host, contention, want_detail);
-                        ShardDemand {
-                            shard: *s,
-                            cell_writes: e.report.max_row_cell_writes,
-                            slices: chain.slices,
-                            detail: chain.detail,
-                        }
-                    })
-                    .collect(),
-                shards_pruned,
-                merge_ns: merged.report.merge_time_ns,
-            };
             by_query[arrival.query] = Some((demand, merged));
         }
         let (demand, merged) = by_query[arrival.query].as_ref().expect("resolved above");
@@ -949,125 +792,3 @@ pub fn run_stream_traced<E: StreamEngine>(
 /// The horizon the per-module required-endurance figures assume (the
 /// paper's Fig. 9 runs each query back-to-back for ten years).
 pub const ENDURANCE_YEARS: f64 = 10.0;
-
-#[cfg(test)]
-mod slice_tests {
-    use super::*;
-    use bbpim_sim::timeline::{Phase, RunLog};
-
-    fn phase(kind: PhaseKind, time_ns: f64, host_bytes: u64) -> Phase {
-        Phase { kind, time_ns, energy_pj: 0.0, chip_power_w: 0.0, host_bytes }
-    }
-
-    fn exec_with(phases: Vec<Phase>) -> QueryExecution {
-        let mut log = RunLog::new();
-        for p in &phases {
-            log.push(*p);
-        }
-        let host = HostConfig::default();
-        let host_bus_ns = bbpim_sim::hostbus::log_occupancy_ns(&host, &log);
-        QueryExecution {
-            groups: Default::default(),
-            partials: Vec::new(),
-            report: bbpim_core::result::QueryReport {
-                query_id: "t".into(),
-                mode: bbpim_core::modes::EngineMode::OneXb,
-                time_ns: log.total_time_ns(),
-                energy_pj: 0.0,
-                peak_chip_power_w: 0.0,
-                max_row_cell_writes: 0,
-                row_cells: 512,
-                records: 0,
-                pages: 0,
-                pages_scanned: 0,
-                selected: 0,
-                selectivity: 0.0,
-                total_subgroups: 0,
-                subgroups_in_sample: 0,
-                pim_agg_subgroups: 0,
-                host_bus_ns,
-                phases: log,
-            },
-        }
-    }
-
-    #[test]
-    fn contention_compiles_per_phase_chains() {
-        let host = HostConfig::default();
-        let exec = exec_with(vec![
-            Phase::host_dispatch(600.0),
-            phase(PhaseKind::PimLogic, 3000.0, 0),
-            phase(PhaseKind::HostRead, 500.0, 4096),
-            phase(PhaseKind::HostWrite, 700.0, 4096),
-            phase(PhaseKind::PimLogic, 1000.0, 0),
-        ]);
-        let slices = compile_slices(&exec, &host, true, false).slices;
-        // dispatch opens the chain, then read and write each re-queue
-        assert_eq!(slices.len(), 3);
-        assert_eq!(slices[0].bus_kind, Some(PhaseKind::HostDispatch));
-        assert_eq!(slices[1].bus_kind, Some(PhaseKind::HostRead));
-        assert_eq!(slices[1].bus_bytes, 4096);
-        assert_eq!(slices[0].bus_ns, 600.0);
-        assert_eq!(slices[0].local_ns, 3000.0);
-        let read_bus = bbpim_sim::hostbus::transfer_ns(&host, 4096);
-        assert!((slices[1].bus_ns - read_bus).abs() < 1e-9);
-        assert!((slices[1].local_ns - (500.0 - read_bus)).abs() < 1e-9);
-        assert!((slices[2].local_ns - (700.0 - slices[2].bus_ns) - 1000.0).abs() < 1e-9);
-        // total time is preserved exactly
-        let total: f64 = slices.iter().map(|s| s.bus_ns + s.local_ns).sum();
-        assert!((total - exec.report.time_ns).abs() < 1e-9);
-        // and the bus share matches the report's occupancy
-        let bus: f64 = slices.iter().map(|s| s.bus_ns).sum();
-        assert!((bus - exec.report.host_bus_ns).abs() < 1e-9);
-    }
-
-    #[test]
-    fn no_contention_collapses_to_dispatch_plus_local() {
-        let host = HostConfig::default();
-        let exec = exec_with(vec![
-            Phase::host_dispatch(600.0),
-            phase(PhaseKind::HostRead, 500.0, 64 * 1024),
-            phase(PhaseKind::PimLogic, 1000.0, 0),
-        ]);
-        let slices = compile_slices(&exec, &host, false, false).slices;
-        assert_eq!(slices.len(), 1);
-        assert_eq!(slices[0].bus_ns, 600.0);
-        assert!((slices[0].local_ns - 1500.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn empty_log_still_yields_a_chain() {
-        let host = HostConfig::default();
-        let exec = exec_with(Vec::new());
-        let slices = compile_slices(&exec, &host, true, false).slices;
-        assert_eq!(slices.len(), 1);
-        assert_eq!(slices[0], Slice { bus_ns: 0.0, local_ns: 0.0, bus_kind: None, bus_bytes: 0 });
-    }
-
-    #[test]
-    fn detail_decomposes_each_local_window_exactly() {
-        let host = HostConfig::default();
-        let exec = exec_with(vec![
-            Phase::host_dispatch(600.0),
-            phase(PhaseKind::PimLogic, 3000.0, 0),
-            phase(PhaseKind::PimAggCircuit, 200.0, 0),
-            phase(PhaseKind::HostRead, 500.0, 4096),
-            phase(PhaseKind::PimLogic, 1000.0, 0),
-        ]);
-        for contention in [true, false] {
-            let chain = compile_slices(&exec, &host, contention, true);
-            assert_eq!(chain.detail.len(), chain.slices.len());
-            for (slice, d) in chain.slices.iter().zip(&chain.detail) {
-                let sum: f64 = d.iter().map(|(_, t)| t).sum();
-                assert!(
-                    (sum - slice.local_ns).abs() < 1e-9,
-                    "detail must decompose the local window: {sum} vs {}",
-                    slice.local_ns
-                );
-            }
-            // detail never changes the slice boundaries
-            let bare = compile_slices(&exec, &host, contention, false);
-            assert_eq!(bare.slices, chain.slices);
-        }
-    }
-}

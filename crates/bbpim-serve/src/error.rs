@@ -1,0 +1,49 @@
+//! Serving-layer errors.
+
+use std::error::Error;
+use std::fmt;
+
+use bbpim_cluster::ClusterError;
+use bbpim_sched::SchedError;
+
+/// Everything that can go wrong setting up or running a serve session.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A scheduler-layer failure (demand resolution, planner, shards).
+    Sched(SchedError),
+    /// A malformed tenant specification.
+    InvalidTenant(String),
+    /// A malformed serve or controller configuration.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Sched(e) => write!(f, "scheduler error: {e}"),
+            ServeError::InvalidTenant(m) => write!(f, "invalid tenant: {m}"),
+            ServeError::InvalidConfig(m) => write!(f, "invalid serve config: {m}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Sched(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SchedError> for ServeError {
+    fn from(e: SchedError) -> Self {
+        ServeError::Sched(e)
+    }
+}
+
+impl From<ClusterError> for ServeError {
+    fn from(e: ClusterError) -> Self {
+        ServeError::Sched(SchedError::from(e))
+    }
+}

@@ -1,0 +1,90 @@
+//! Multi-tenant serving: two tenants share one PIM cluster — an
+//! interactive tenant with a tight p95 promise, and a bulk tenant
+//! offered at several times the cluster's capacity behind a token
+//! bucket, with a per-request deadline. The closed-loop AIMD
+//! controller adapts the global in-flight window to keep the promise
+//! while admission shedding keeps the bulk queue from poisoning
+//! everyone's latency.
+//!
+//! ```sh
+//! cargo run --release --example multi_tenant
+//! ```
+
+use bbpim::cluster::{ClusterEngine, Partitioner};
+use bbpim::db::ssb::{queries, SsbDb, SsbParams};
+use bbpim::engine::groupby::calibration::CalibrationConfig;
+use bbpim::engine::modes::EngineMode;
+use bbpim::serve::{
+    run_serve, tenant_reports, AimdConfig, ArrivalProcess, RateLimit, ServeConfig, SloSpec,
+    TenantSpec, WindowPolicy,
+};
+use bbpim::sim::SimConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let wide = SsbDb::generate(&SsbParams::uniform(0.01)).prejoin();
+    let mut cluster = ClusterEngine::new(
+        SimConfig::default(),
+        wide,
+        EngineMode::OneXb,
+        8,
+        Partitioner::range_by_attr("d_year"),
+    )?;
+    cluster.calibrate(&CalibrationConfig::default())?;
+    let q = queries::standard_queries();
+
+    // `interactive` sends selective probes at a modest rate and was
+    // promised a 2 ms p95. `bulk` dumps broad scans at far more than
+    // the cluster can absorb: a token bucket paces its admission
+    // eligibility and each request carries a 6 ms deadline — requests
+    // whose predicted completion blows it are shed at admission.
+    let tenants = vec![
+        TenantSpec {
+            name: "interactive".into(),
+            queries: vec![q[2].clone(), q[9].clone(), q[11].clone()],
+            process: ArrivalProcess::OpenPoisson { arrivals: 60, mean_interarrival_ns: 250_000.0 },
+            rate_limit: None,
+            slo: SloSpec { p95_target_ns: 2.0e6, deadline_ns: None },
+            weight: 2.0,
+        },
+        TenantSpec {
+            name: "bulk".into(),
+            queries: vec![q[0].clone(), q[1].clone(), q[6].clone()],
+            process: ArrivalProcess::OpenPoisson { arrivals: 60, mean_interarrival_ns: 30_000.0 },
+            rate_limit: Some(RateLimit { rate_per_s: 12_000.0, burst: 6.0 }),
+            slo: SloSpec { p95_target_ns: 20.0e6, deadline_ns: Some(6.0e6) },
+            weight: 1.0,
+        },
+    ];
+
+    let cfg = ServeConfig { seed: 7, window: WindowPolicy::Aimd(AimdConfig::default()) };
+    let outcome = run_serve(&mut cluster, &tenants, &cfg)?;
+
+    println!(
+        "{} submitted, {} served, {} shed, {} throttled; window {} -> {} over {} decisions\n",
+        outcome.submitted.iter().sum::<usize>(),
+        outcome.completions.len(),
+        outcome.drops.len(),
+        outcome.throttled.iter().sum::<usize>(),
+        outcome.window_trajectory.first().map(|&(_, w)| w).unwrap_or(0),
+        outcome.final_window(),
+        outcome.decisions.len(),
+    );
+    for r in tenant_reports(&tenants, &outcome) {
+        println!(
+            "{:>11}: {:>2}/{:<2} served  p50 {:>7.3} ms  p95 {:>7.3} ms (promise {:>6.1} ms, {})  \
+             goodput {:>7.0}/s  shed {:>2.0}%",
+            r.name,
+            r.completed,
+            r.submitted,
+            r.latency.p50_ns / 1e6,
+            r.latency.p95_ns / 1e6,
+            r.p95_target_ns / 1e6,
+            if r.slo_met { "met" } else { "MISSED" },
+            r.goodput_qps,
+            100.0 * r.drop_rate,
+        );
+    }
+    println!("\nEvery served answer is bit-identical to the batch oracle — tenancy,");
+    println!("rate limits and the window decide when and whether, never what.");
+    Ok(())
+}

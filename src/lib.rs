@@ -43,6 +43,15 @@
 //!   host channel compressed — once — before compiling into fact-side
 //!   range programs through the FK columns. Same query surface, answers
 //!   bit-identical to the pre-joined path.
+//! * [`serve`] — SLO-aware multi-tenant serving on top of [`sched`]'s
+//!   engine surface: named tenants (seeded open Poisson / burst
+//!   arrivals and closed-loop think-time clients) multiplexed into one
+//!   deterministic event stream, per-tenant token-bucket rate limits
+//!   and SLO specs, weighted fair sharing across tenant admission
+//!   queues, deadline-aware shedding at admission, and a closed-loop
+//!   AIMD controller that adapts the global in-flight window from the
+//!   windowed SLO-normalised p95 — per-tenant latency/goodput/drop
+//!   reports, every admitted answer bit-identical to the batch oracle.
 //! * [`monet`] — the in-memory column-store baseline (`mnt-reg` /
 //!   `mnt-join`).
 //! * [`trace`] — the observability substrate: a structured span/event
@@ -52,8 +61,9 @@
 //!
 //! See `README.md` for a walkthrough, `examples/quickstart.rs` for a
 //! complete end-to-end query, `examples/cluster_scaling.rs` for
-//! shard-count scaling, and `examples/star_join.rs` for the normalized
-//! star-join path.
+//! shard-count scaling, `examples/star_join.rs` for the normalized
+//! star-join path, and `examples/multi_tenant.rs` for the serving
+//! layer's per-tenant SLO report.
 
 pub use bbpim_cluster as cluster;
 pub use bbpim_core as engine;
@@ -61,5 +71,6 @@ pub use bbpim_db as db;
 pub use bbpim_join as join;
 pub use bbpim_monet as monet;
 pub use bbpim_sched as sched;
+pub use bbpim_serve as serve;
 pub use bbpim_sim as sim;
 pub use bbpim_trace as trace;
