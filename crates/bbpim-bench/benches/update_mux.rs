@@ -2,8 +2,8 @@
 
 use bbpim_core::engine::PimQueryEngine;
 use bbpim_core::modes::EngineMode;
-use bbpim_core::update::UpdateOp;
-use bbpim_db::plan::Atom;
+use bbpim_core::mutation::Mutation;
+use bbpim_db::builder::col;
 use bbpim_db::schema::{Attribute, Schema};
 use bbpim_db::Relation;
 use bbpim_sim::SimConfig;
@@ -23,20 +23,14 @@ fn relation() -> Relation {
 fn bench_update(c: &mut Criterion) {
     let mut engine =
         PimQueryEngine::new(SimConfig::small_for_tests(), relation(), EngineMode::OneXb).unwrap();
-    let op = UpdateOp {
-        filter: vec![Atom::Eq { attr: "d_city".into(), value: 17u64.into() }],
-        set_attr: "d_city".into(),
-        set_value: 18u64.into(),
-    };
-    let back = UpdateOp {
-        filter: vec![Atom::Eq { attr: "d_city".into(), value: 18u64.into() }],
-        set_attr: "d_city".into(),
-        set_value: 17u64.into(),
-    };
+    let fwd =
+        Mutation::update().filter(col("d_city").eq(17u64)).set("d_city", 18u64).build_unchecked();
+    let back =
+        Mutation::update().filter(col("d_city").eq(18u64)).set("d_city", 17u64).build_unchecked();
     c.bench_function("update/mux_filter_plus_rewrite", |b| {
         b.iter(|| {
-            black_box(engine.update(&op).unwrap());
-            black_box(engine.update(&back).unwrap());
+            black_box(engine.mutate(&fwd).unwrap());
+            black_box(engine.mutate(&back).unwrap());
         })
     });
 }

@@ -11,7 +11,8 @@
 //! sections verbatim; with `--baseline` the gate then compares the
 //! headline ratios — pruned-vs-exhaustive wall clock, scsf-vs-fifo
 //! p50, the 3-aggregate energy saving, the star-join host-byte
-//! reduction, and the serving study's heavy-tenant goodput — and exits
+//! reduction, the serving study's heavy-tenant goodput, and the HTAP
+//! study's query-p95-under-ingest ratio — and exits
 //! nonzero if any regressed by more than the tolerance (default 15 %). Every gated
 //! metric is a *simulated* ratio, so baseline and PR values are
 //! deterministic for a given seed and scale factor; the tolerance is
@@ -46,6 +47,7 @@ const GATED: &[(&str, &str)] = &[
     ("scaling", "geomean_speedup_max_shards"),
     ("join", "host_bytes_ratio_q1"),
     ("serve", "heavy_tenant_goodput"),
+    ("htap", "query_p95_under_ingest"),
 ];
 
 /// Absolute floors checked against the merged snapshot whenever the
@@ -57,9 +59,14 @@ const GATED: &[(&str, &str)] = &[
 /// Likewise `serve.light_p95_within_slo` is a 0/1 bit: the serving
 /// study's light tenant either kept its p95 promise under the AIMD
 /// window at the gate overload or it did not — a promise is not a
-/// metric one may regress 15% on.
-const ABSOLUTE_FLOORS: &[(&str, &str, f64)] =
-    &[("scaling", "geomean_speedup_max_shards", 1.0), ("serve", "light_p95_within_slo", 1.0)];
+/// metric one may regress 15% on. `htap.snapshot_consistency` is the
+/// same kind of bit: a streamed answer that diverges from its
+/// prefix-replay oracle is wrong, not slow.
+const ABSOLUTE_FLOORS: &[(&str, &str, f64)] = &[
+    ("scaling", "geomean_speedup_max_shards", 1.0),
+    ("serve", "light_p95_within_slo", 1.0),
+    ("htap", "snapshot_consistency", 1.0),
+];
 
 /// Gated headlines that also exist as metrics-registry series (the
 /// `{"metrics": …}` snapshot the streaming bin's `--metrics` flag

@@ -37,8 +37,8 @@ use bbpim_join::StarCluster;
 use bbpim_monet::MonetEngine;
 use bbpim_sched::demand::resolve_query_demand;
 use bbpim_sched::{
-    record_stream_metrics, run_stream, run_stream_traced, AdmissionPolicy, SchedConfig,
-    StreamOutcome, Workload,
+    record_stream_metrics, run_stream, run_stream_traced, AdmissionPolicy, MutationArrival,
+    SchedConfig, StreamOutcome, Workload,
 };
 use bbpim_serve::{
     record_serve_metrics, run_serve, run_serve_traced, tenant_reports, AimdConfig, ArrivalProcess,
@@ -597,7 +597,8 @@ pub fn run_streaming_study_observed(
     let policies = AdmissionPolicy::all()
         .iter()
         .map(|&policy| {
-            let cfg = SchedConfig { max_in_flight: setup.cfg.inflight, policy };
+            let cfg =
+                SchedConfig { max_in_flight: setup.cfg.inflight, policy, ..SchedConfig::default() };
             // One policy per trace: the FIFO run owns the recorder so
             // the exported timeline is a single coherent schedule.
             let outcome = if policy.label() == "fifo" {
@@ -631,6 +632,253 @@ pub fn run_streaming_study_observed(
         explains,
         batch,
         policies,
+    }
+}
+
+/// One HTAP study row: a streamed workload (pure-query baseline or
+/// mixed query/mutation ingest) with its snapshot-consistency verdict.
+pub struct HtapRow {
+    /// Row label (`pure-query`, `htap`).
+    pub label: &'static str,
+    /// Mutation share of the arrival trace.
+    pub mutation_frac: f64,
+    /// The streamed outcome (query + mutation completions, wear).
+    pub outcome: StreamOutcome,
+    /// Did every streamed answer equal its prefix-replay oracle?
+    pub snapshot_consistent: bool,
+    /// Records landed by the row's admitted mutations.
+    pub records_written: u64,
+}
+
+/// The HTAP streaming-ingest study: the same seeded query pressure with
+/// and without a mutation stream riding the scheduler, plus the
+/// per-workload endurance wear series the `htap` bin tabulates.
+pub struct HtapStudy {
+    /// Shard count.
+    pub shards: usize,
+    /// Partitioning strategy label.
+    pub partitioner: &'static str,
+    /// Mean interarrival of the baseline row, nanoseconds.
+    pub mean_interarrival_ns: f64,
+    /// Mean per-query service estimate the load was derived from.
+    pub mean_service_ns: f64,
+    /// Arrival-trace length per row.
+    pub arrivals: usize,
+    /// The ingest-buffer depth both rows ran under.
+    pub ingest_buffer: usize,
+    /// Baseline row first, ingest row second.
+    pub rows: Vec<HtapRow>,
+}
+
+impl HtapStudy {
+    /// The row labelled `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no such row ran.
+    pub fn row(&self, label: &str) -> &HtapRow {
+        self.rows.iter().find(|r| r.label == label).expect("study row")
+    }
+
+    /// The gate headline: baseline query p95 over under-ingest query
+    /// p95 (1.0 = ingest is free; lower = queries pay more; higher is
+    /// better, like every gated ratio).
+    pub fn query_p95_under_ingest(&self) -> f64 {
+        let base = self.row("pure-query").outcome.latency_summary().p95_ns;
+        let htap = self.row("htap").outcome.latency_summary().p95_ns;
+        if htap > 0.0 {
+            base / htap
+        } else {
+            1.0
+        }
+    }
+
+    /// The per-workload endurance wear series: one entry per (row,
+    /// lane) with accumulated worst-row cell writes and the required
+    /// cell endurance to sustain that lane's worst chain for ten years.
+    /// This is the `htap` bin's wear table and the series the pinning
+    /// unit test locks to the stream outcome.
+    pub fn endurance_rows(&self) -> Vec<(&'static str, usize, u64, f64)> {
+        self.rows
+            .iter()
+            .flat_map(|r| {
+                r.outcome
+                    .shard_cell_writes
+                    .iter()
+                    .zip(&r.outcome.shard_required_endurance)
+                    .enumerate()
+                    .map(move |(lane, (&writes, &endurance))| (r.label, lane, writes, endurance))
+            })
+            .collect()
+    }
+}
+
+/// The mutation set the HTAP study streams against the pre-joined
+/// relation: a point UPDATE, an OR-filtered (DNF) UPDATE that
+/// exercises zone-map widening, and an INSERT replaying an existing
+/// (already-encoded) row. The UPDATEs rewrite `lo_tax` — an attribute
+/// no SSB query filters or aggregates — so their write phases load the
+/// bus and wear cells without reshaping the value distributions the
+/// zone-map planner prunes on: the gate headline then measures ingest
+/// *interference*, not a data-distribution shift. (Answer-changing
+/// mutations are the ingest equivalence suite's job; the INSERT here
+/// still moves every aggregate so prefix-replay stays a real check.)
+///
+/// # Panics
+///
+/// Panics if the wide schema stops carrying the SSB attribute names.
+pub fn htap_mutations(wide: &Relation) -> Vec<bbpim_core::mutation::Mutation> {
+    use bbpim_core::mutation::Mutation;
+    use bbpim_db::builder::col;
+    vec![
+        Mutation::update()
+            .filter(col("d_year").eq(1993u64))
+            .set("lo_tax", 2u64)
+            .build(wide.schema())
+            .expect("point update"),
+        Mutation::update()
+            .filter(col("d_year").eq(1994u64).or(col("d_year").eq(1995u64)))
+            .set("lo_tax", 3u64)
+            .build(wide.schema())
+            .expect("DNF update"),
+        Mutation::insert().row(wide.row(0)).build(wide.schema()).expect("insert"),
+    ]
+}
+
+/// Stream the HTAP study: a pure-query baseline row at the configured
+/// load, then the *same* seeded query trace with a second Poisson
+/// mutation stream overlaid at half the query rate (one in three
+/// events is a mutation), both FIFO on a range-partitioned cluster.
+/// Holding the query arrivals fixed makes the p95 comparison measure
+/// ingest interference alone — the gate headline is not polluted by a
+/// re-drawn query mix. Every query answer in both rows is verified
+/// bit-identical against a prefix-replay oracle (a fresh cluster that
+/// applies exactly the first [`bbpim_sched::QueryCompletion::epoch`]
+/// arrived mutations and then runs the query); the verdict rides the
+/// row instead of panicking so the snapshot can gate it as an absolute
+/// floor. Both rows' outcomes are folded into `reg` (`run=pure` /
+/// `run=htap`) and the ingest row is recorded into `trace` when
+/// enabled.
+///
+/// # Panics
+///
+/// Panics on engine/scheduler errors (the harness runs known-good
+/// inputs).
+pub fn run_htap_study_observed(
+    setup: &SsbSetup,
+    mode: EngineMode,
+    shards: usize,
+    trace: &mut TraceRecorder,
+    reg: &mut MetricsRegistry,
+) -> HtapStudy {
+    let partitioner = Partitioner::range_by_attr("d_year");
+    let model = fit_shared_model(&SimConfig::default(), mode);
+    let fresh = || {
+        let mut c = ClusterEngine::new(
+            SimConfig::default(),
+            setup.wide.clone(),
+            mode,
+            shards,
+            partitioner.clone(),
+        )
+        .expect("cluster construction");
+        c.set_model(model.clone());
+        c
+    };
+    let mut cluster = fresh();
+    let probe = cluster.run_batch(&setup.queries).expect("capacity probe");
+    let mean_service_ns = probe.serial_time_ns / setup.queries.len() as f64;
+    let mean_interarrival_ns = mean_service_ns / setup.cfg.load;
+    let mutations = htap_mutations(&setup.wide);
+    let sched = SchedConfig { max_in_flight: setup.cfg.inflight, ..SchedConfig::default() };
+
+    // One query trace shared by both rows; the ingest row overlays a
+    // seeded Poisson mutation stream at half the query rate, clipped to
+    // the query trace's horizon so both rows finish on the same work.
+    let base = Workload::poisson(
+        setup.queries.clone(),
+        setup.cfg.arrivals,
+        mean_interarrival_ns,
+        setup.cfg.seed,
+    );
+    let horizon_ns = base.arrivals().last().map_or(0.0, |a| a.at_ns);
+    let mutation_arrivals = {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(setup.cfg.seed ^ 0x117A9);
+        let mean = mean_interarrival_ns * 2.0;
+        let mut t = 0.0f64;
+        let mut out = Vec::new();
+        loop {
+            let u: f64 = rng.gen();
+            t += -mean * (1.0 - u).ln();
+            if t > horizon_ns {
+                break out;
+            }
+            out.push(MutationArrival { at_ns: t, mutation: rng.gen_range(0..mutations.len()) });
+        }
+    };
+
+    let specs: [(&'static str, bool); 2] = [("pure-query", false), ("htap", true)];
+    let rows = specs
+        .iter()
+        .map(|&(label, with_ingest)| {
+            let workload = Workload::with_mutations(
+                setup.queries.clone(),
+                base.arrivals().to_vec(),
+                mutations.clone(),
+                if with_ingest { mutation_arrivals.clone() } else { Vec::new() },
+            )
+            .expect("workload");
+            let mutation_frac = if with_ingest {
+                mutation_arrivals.len() as f64
+                    / (mutation_arrivals.len() + base.arrivals().len()) as f64
+            } else {
+                0.0
+            };
+            let mut c = fresh();
+            let outcome = if label == "htap" {
+                run_stream_traced(&mut c, &workload, &sched, trace)
+            } else {
+                run_stream(&mut c, &workload, &sched)
+            }
+            .expect("streamed run");
+            // prefix-replay oracle, completions walked in epoch order so
+            // one replay cluster serves the row
+            let arrived = workload.arrived_mutations();
+            let mut replay = fresh();
+            let mut applied = 0usize;
+            let mut by_epoch: Vec<_> = outcome.completions.iter().collect();
+            by_epoch.sort_by_key(|c| c.epoch);
+            let snapshot_consistent = by_epoch.iter().all(|qc| {
+                while applied < qc.epoch {
+                    replay.mutate(&arrived[applied]).expect("replay mutate");
+                    applied += 1;
+                }
+                let q = &workload.queries()[workload.arrivals()[qc.arrival].query];
+                replay.run(q).expect("replay query").groups == outcome.executions[qc.arrival].groups
+            });
+            let records_written = outcome
+                .mutation_completions
+                .iter()
+                .map(|m| m.records_updated + m.records_inserted)
+                .sum();
+            record_stream_metrics(
+                reg,
+                &outcome,
+                &[("run", if label == "htap" { "htap" } else { "pure" })],
+            );
+            HtapRow { label, mutation_frac, outcome, snapshot_consistent, records_written }
+        })
+        .collect();
+    HtapStudy {
+        shards,
+        partitioner: partitioner.label(),
+        mean_interarrival_ns,
+        mean_service_ns,
+        arrivals: setup.cfg.arrivals,
+        ingest_buffer: sched.ingest_buffer,
+        rows,
     }
 }
 
@@ -828,6 +1076,7 @@ pub fn serve_tenant_mix(
                 arrivals: setup.cfg.arrivals,
                 mean_interarrival_ns: 4.0 * light_ns,
             },
+            writes: None,
             rate_limit: None,
             slo: SloSpec { p95_target_ns: 35.0 * light_ns, deadline_ns: None },
             weight: 2.0,
@@ -839,6 +1088,7 @@ pub fn serve_tenant_mix(
                 arrivals: setup.cfg.arrivals,
                 mean_interarrival_ns: heavy_ns / overload,
             },
+            writes: None,
             rate_limit: Some(RateLimit { rate_per_s: 2.5e9 / heavy_ns, burst: 8.0 }),
             slo: SloSpec { p95_target_ns: 50.0 * heavy_ns, deadline_ns: Some(30.0 * heavy_ns) },
             weight: 1.0,
@@ -851,6 +1101,7 @@ pub fn serve_tenant_mix(
                 queries_per_client: 3,
                 mean_think_ns: 2.0 * batch_ns,
             },
+            writes: None,
             rate_limit: None,
             slo: SloSpec { p95_target_ns: 100.0 * batch_ns, deadline_ns: None },
             weight: 1.0,
@@ -1118,6 +1369,59 @@ pub fn by_query<T: Clone>(queries: &[Query], values: &[T]) -> BTreeMap<String, T
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Pins the htap bin's per-workload endurance wear table to the
+    /// stream outcomes it projects: every (row, lane) entry must equal
+    /// the scheduler's accumulated cell writes and 10-year required
+    /// endurance for that lane, the ingest row must wear strictly more
+    /// than the pure-query baseline, and both rows must answer from
+    /// consistent snapshots — the series a dashboard reads is the
+    /// series the wear model computed, not a re-derivation.
+    #[test]
+    fn htap_endurance_table_pins_the_wear_series() {
+        let s = setup(BenchConfig {
+            sf: 0.002,
+            skewed: false,
+            arrivals: 12,
+            shards: vec![2],
+            ..BenchConfig::default()
+        });
+        let mut trace = TraceRecorder::disabled();
+        let mut reg = MetricsRegistry::new();
+        let study = run_htap_study_observed(&s, EngineMode::OneXb, 2, &mut trace, &mut reg);
+        assert_eq!(study.rows.len(), 2);
+        let wear = study.endurance_rows();
+        for r in &study.rows {
+            assert!(r.snapshot_consistent, "{} row lost snapshot consistency", r.label);
+            assert_eq!(r.outcome.shard_cell_writes.len(), study.shards);
+            for (lane, (&writes, &endurance)) in r
+                .outcome
+                .shard_cell_writes
+                .iter()
+                .zip(&r.outcome.shard_required_endurance)
+                .enumerate()
+            {
+                assert!(
+                    wear.contains(&(r.label, lane, writes, endurance)),
+                    "wear table dropped ({}, lane {lane})",
+                    r.label
+                );
+            }
+        }
+        assert_eq!(wear.len(), 2 * study.shards, "one wear entry per (row, lane)");
+        let total = |label: &str| study.row(label).outcome.shard_cell_writes.iter().sum::<u64>();
+        assert!(study.row("htap").records_written > 0, "the ingest row must land records");
+        assert!(
+            total("htap") > total("pure-query"),
+            "ingest must wear cells beyond the query-only baseline"
+        );
+        assert!(study.query_p95_under_ingest() > 0.0);
+        // and the registry carries the ingest series for the htap run only
+        assert!(reg
+            .counter(bbpim_sched::obs::INGEST_COMPLETIONS, &[("run", "htap")])
+            .is_some_and(|v| v > 0.0));
+        assert!(reg.counter(bbpim_sched::obs::INGEST_COMPLETIONS, &[("run", "pure")]).is_none());
+    }
 
     #[test]
     fn geomean_basics() {

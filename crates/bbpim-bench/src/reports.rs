@@ -3,7 +3,7 @@
 //! streaming scheduler study (`streaming`).
 
 use crate::{
-    fmt_ms, geomean, print_table, ClusterScalePoint, MonetRun, PimModeRun, PruningPoint,
+    fmt_ms, geomean, print_table, ClusterScalePoint, HtapStudy, MonetRun, PimModeRun, PruningPoint,
     ServeStudy, SsbSetup, StreamingStudy,
 };
 use bbpim_cluster::PlanExplain;
@@ -792,4 +792,84 @@ pub fn print_scaling(setup: &SsbSetup, points: &[ClusterScalePoint], star: bool)
             );
         }
     }
+}
+
+/// The HTAP streaming-ingest study: per-row query and mutation
+/// latencies, backpressure counters, the snapshot-consistency verdict,
+/// and the per-workload endurance wear table.
+pub fn print_htap(setup: &SsbSetup, study: &HtapStudy) {
+    println!(
+        "HTAP — mutations as scheduler citizens (SF={}, {} data)\n",
+        setup.cfg.sf,
+        if setup.cfg.skewed { "skewed" } else { "uniform" },
+    );
+    println!(
+        "  {} arrivals per row, baseline mean interarrival {} ms (load {:.2}x of the\n  \
+         batch-estimated {} ms mean service), {} shards ({} partitioning),\n  \
+         ingest buffer {} per lane.\n",
+        study.arrivals,
+        fmt_ms(study.mean_interarrival_ns),
+        setup.cfg.load,
+        fmt_ms(study.mean_service_ns),
+        study.shards,
+        study.partitioner,
+        study.ingest_buffer,
+    );
+
+    let mut rows = Vec::new();
+    for r in &study.rows {
+        let q = r.outcome.latency_summary();
+        let m = r.outcome.mutation_latency_summary();
+        rows.push(vec![
+            r.label.to_string(),
+            format!("{:.0}%", r.mutation_frac * 100.0),
+            q.completed.to_string(),
+            fmt_ms(q.p50_ns),
+            fmt_ms(q.p95_ns),
+            m.completed.to_string(),
+            if m.completed > 0 { fmt_ms(m.p95_ns) } else { "-".into() },
+            r.records_written.to_string(),
+            r.outcome.ingest_stalls.to_string(),
+            fmt_ms(r.outcome.ingest_stall_ns),
+            if r.snapshot_consistent { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    print_table(
+        &[
+            "row",
+            "mut %",
+            "queries",
+            "q p50",
+            "q p95",
+            "ingests",
+            "m p95",
+            "records",
+            "stalls",
+            "stall time",
+            "snapshot ok",
+        ],
+        &rows,
+    );
+    println!(
+        "\n(latencies in ms; snapshot ok = every streamed answer equals a fresh engine\nthat replayed exactly the first `epoch` arrived mutations — the HTAP\ncorrectness bar, gated as an absolute floor.)"
+    );
+
+    // Per-workload endurance wear series: UPDATE-heavy streams wear
+    // lanes unevenly, and the ingest row's extra write traffic shows up
+    // as required endurance the pure-query row never demands.
+    let wear = study.endurance_rows();
+    let mut wear_rows = Vec::new();
+    for (label, lane, writes, endurance) in &wear {
+        if *writes == 0 && *endurance <= 0.0 {
+            continue;
+        }
+        wear_rows.push(vec![
+            (*label).to_string(),
+            format!("module-{lane}"),
+            writes.to_string(),
+            format!("{endurance:.3e}"),
+        ]);
+    }
+    println!("\nper-workload endurance wear (10-year back-to-back, per lane):\n");
+    print_table(&["row", "lane", "cell writes", "required endurance"], &wear_rows);
 }

@@ -36,8 +36,10 @@ use bbpim_core::engine::PimQueryEngine;
 use bbpim_core::groupby::calibration::CalibrationConfig;
 use bbpim_core::groupby::cost_model::GroupByModel;
 use bbpim_core::modes::EngineMode;
+use bbpim_core::mutation::{Mutation, MutationReport};
 use bbpim_core::result::{PartialGroups, QueryExecution, QueryReport};
-use bbpim_core::update::{UpdateOp, UpdateReport};
+#[allow(deprecated)]
+use bbpim_core::update::UpdateOp;
 use bbpim_core::CoreError;
 use bbpim_db::plan::{FilterBounds, Pred, Query};
 use bbpim_db::stats::{GroupedResult, MultiGrouped};
@@ -176,13 +178,16 @@ impl BatchExecution {
     }
 }
 
-/// Outcome of a cluster-wide UPDATE fan-out.
+/// Outcome of a cluster-wide mutation fan-out (UPDATE or INSERT).
 #[derive(Debug, Clone, PartialEq)]
-pub struct ClusterUpdateReport {
+pub struct ClusterMutationReport {
     /// Records rewritten across all shards.
     pub records_updated: u64,
-    /// Active shards skipped pre-scatter (their zone maps prove the
-    /// WHERE clause matches nothing they hold).
+    /// Records appended across all shards.
+    pub records_inserted: u64,
+    /// Active shards the mutation never touched (UPDATE: their zone
+    /// maps prove the WHERE clause matches nothing they hold; INSERT:
+    /// the row routing sent them nothing).
     pub shards_pruned: usize,
     /// Simulated wall clock (host-serial channel occupancy + max over
     /// shards of the overlappable PIM-side time), nanoseconds.
@@ -194,8 +199,11 @@ pub struct ClusterUpdateReport {
     /// Total PIM energy over all modules, picojoules.
     pub energy_pj: f64,
     /// Full per-shard reports of the dispatched shards, in shard order.
-    pub per_shard: Vec<UpdateReport>,
+    pub per_shard: Vec<MutationReport>,
 }
+
+/// v1 name of [`ClusterMutationReport`].
+pub type ClusterUpdateReport = ClusterMutationReport;
 
 /// The host-dispatch slice of one log.
 fn dispatch_ns(log: &RunLog) -> f64 {
@@ -626,37 +634,133 @@ impl ClusterEngine {
         Ok(BatchExecution { executions, wall_time_ns, serial_time_ns })
     }
 
-    /// Fan an UPDATE out to the shards whose zone maps admit the WHERE
-    /// clause (each shard's filter then selects the records it owns;
-    /// shards run concurrently). Afterwards the dispatched shards' zone
-    /// maps are refreshed from their engines' widened page zones, so
-    /// later pruning decisions account for the written values.
+    /// The active-shard *lanes* a mutation will touch, in lane order —
+    /// the scheduler's ingest-buffer admission check. UPDATE lanes are
+    /// the shards whose zone maps admit the WHERE clause (the full DNF:
+    /// the bounds of an OR are the per-attribute interval union of its
+    /// branches); INSERT lanes are where the deterministic round-robin
+    /// row routing — cursor `records % active` — will land the rows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filter resolution failures.
+    pub fn plan_mutation_lanes(&self, m: &Mutation) -> Result<Vec<usize>, ClusterError> {
+        match m {
+            Mutation::Update { filter, .. } => {
+                let mask = self.plan_shards(filter)?;
+                Ok(mask.iter().enumerate().filter_map(|(i, &d)| d.then_some(i)).collect())
+            }
+            Mutation::Insert { rows } => {
+                let active = self.shards.len();
+                if active == 0 || rows.is_empty() {
+                    return Ok(Vec::new());
+                }
+                let start = self.records % active;
+                let mut lanes: Vec<usize> =
+                    (0..rows.len().min(active)).map(|k| (start + k) % active).collect();
+                lanes.sort_unstable();
+                Ok(lanes)
+            }
+        }
+    }
+
+    /// Lane-indexed mutation fan-out: execute `m` on each involved
+    /// active shard *serially* and return the per-lane reports in lane
+    /// order — the scheduler's building block (each lane's write phases
+    /// then serialise independently on the shared bus). UPDATE runs on
+    /// every zone-admitted shard; INSERT routes rows round-robin from
+    /// the deterministic cursor `records % active`, so a given cluster
+    /// history always lands rows on the same lanes. Touched shards'
+    /// zone maps are refreshed afterwards so later pruning decisions
+    /// account for the written values.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::InvalidCluster`] for an INSERT into a cluster
+    /// with no active shards; shard failures otherwise. Mutations are
+    /// not atomic: on a mid-fan-out error earlier lanes have applied.
+    pub fn mutate_on_lanes(
+        &mut self,
+        m: &Mutation,
+    ) -> Result<Vec<(usize, MutationReport)>, ClusterError> {
+        match m {
+            Mutation::Update { .. } => {
+                let lanes = self.plan_mutation_lanes(m)?;
+                let mut out = Vec::with_capacity(lanes.len());
+                for lane in lanes {
+                    let report = self.shards[lane].engine.mutate(m).map_err(ClusterError::from)?;
+                    self.shards[lane].zone = self.shards[lane].engine.zone_map();
+                    out.push((lane, report));
+                }
+                Ok(out)
+            }
+            Mutation::Insert { rows } => {
+                let active = self.shards.len();
+                if active == 0 {
+                    return Err(ClusterError::InvalidCluster(
+                        "INSERT into a cluster with no active shards".into(),
+                    ));
+                }
+                let start = self.records % active;
+                let mut per_lane: Vec<Vec<Vec<u64>>> = vec![Vec::new(); active];
+                for (k, row) in rows.iter().enumerate() {
+                    per_lane[(start + k) % active].push(row.clone());
+                }
+                let mut out = Vec::new();
+                for (lane, lane_rows) in per_lane.into_iter().enumerate() {
+                    if lane_rows.is_empty() {
+                        continue;
+                    }
+                    let part = Mutation::Insert { rows: lane_rows };
+                    let report =
+                        self.shards[lane].engine.mutate(&part).map_err(ClusterError::from)?;
+                    self.shards[lane].zone = self.shards[lane].engine.zone_map();
+                    self.records += report.records_inserted as usize;
+                    out.push((lane, report));
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Fan a mutation out across the cluster and aggregate one report
+    /// (same wall-clock model as [`ClusterEngine::run`]: host-serial
+    /// channel occupancy plus max-over-shards of the overlappable
+    /// PIM-side time).
     ///
     /// # Errors
     ///
     /// Propagates the first shard failure.
-    pub fn update(&mut self, op: &UpdateOp) -> Result<ClusterUpdateReport, ClusterError> {
-        let mask = self.plan_shards(&Pred::all(op.filter.clone()))?;
-        let results = self.scatter_planned(&mask, |engine| engine.update(op))?;
-        for (shard, result) in self.shards.iter_mut().zip(&results) {
-            if result.is_some() {
-                shard.zone = shard.engine.zone_map();
-            }
-        }
-        let reports: Vec<UpdateReport> = results.into_iter().flatten().collect();
+    pub fn mutate(&mut self, m: &Mutation) -> Result<ClusterMutationReport, ClusterError> {
+        let active = self.shards.len();
+        let reports: Vec<MutationReport> =
+            self.mutate_on_lanes(m)?.into_iter().map(|(_, r)| r).collect();
         let dispatch_time_ns: f64 = reports.iter().map(|r| dispatch_ns(&r.phases)).sum();
-        let serial = |r: &UpdateReport| self.serial_slice_ns(r.host_bus_ns, &r.phases);
+        let serial = |r: &MutationReport| self.serial_slice_ns(r.host_bus_ns, &r.phases);
         let serial_total: f64 = reports.iter().map(serial).sum();
         let pim_max = reports.iter().map(|r| r.time_ns - serial(r)).fold(0.0, f64::max);
-        Ok(ClusterUpdateReport {
+        Ok(ClusterMutationReport {
             records_updated: reports.iter().map(|r| r.records_updated).sum(),
-            shards_pruned: mask.iter().filter(|d| !**d).count(),
+            records_inserted: reports.iter().map(|r| r.records_inserted).sum(),
+            shards_pruned: active - reports.len(),
             time_ns: serial_total + pim_max,
             dispatch_time_ns,
             total_shard_time_ns: reports.iter().map(|r| r.time_ns).sum(),
             energy_pj: reports.iter().map(|r| r.energy_pj).sum(),
             per_shard: reports,
         })
+    }
+
+    /// Fan a v1 UPDATE out to the shards. Deprecated wrapper over
+    /// [`ClusterEngine::mutate`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard failure.
+    #[allow(deprecated)]
+    #[deprecated(note = "use ClusterEngine::mutate with bbpim_core::mutation::Mutation")]
+    pub fn update(&mut self, op: &UpdateOp) -> Result<ClusterMutationReport, ClusterError> {
+        self.mutate(&op.clone().into())
     }
 
     /// Gather: merge per-shard partial executions (in shard order, as
@@ -815,6 +919,7 @@ impl std::fmt::Debug for ClusterEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bbpim_db::builder::col;
     use bbpim_db::plan::{AggExpr, AggFunc, Atom};
     use bbpim_db::schema::{Attribute, Schema};
     use bbpim_db::stats;
@@ -1065,13 +1170,12 @@ mod tests {
     #[test]
     fn update_fans_out_to_every_shard() {
         let rel = relation(1500);
-        let op = UpdateOp {
-            filter: vec![Atom::Eq { attr: "d_year".into(), value: 3u64.into() }],
-            set_attr: "d_brand".into(),
-            set_value: 29u64.into(),
-        };
+        let m = Mutation::update()
+            .filter(col("d_year").eq(3u64))
+            .set("d_brand", 29u64)
+            .build_unchecked();
         let mut c = cluster(4, Partitioner::RoundRobin);
-        let rep = c.update(&op).unwrap();
+        let rep = c.mutate(&m).unwrap();
         // reference: host-side rewrite of the unsharded relation
         let mut reference = rel.clone();
         let (b, y) = (
@@ -1107,12 +1211,9 @@ mod tests {
             Partitioner::range_by_attr("d_year"),
         )
         .unwrap();
-        let op = UpdateOp {
-            filter: vec![Atom::Eq { attr: "d_year".into(), value: 3u64.into() }],
-            set_attr: "d_year".into(),
-            set_value: 6u64.into(),
-        };
-        let rep = c.update(&op).unwrap();
+        let m =
+            Mutation::update().filter(col("d_year").eq(3u64)).set("d_year", 6u64).build_unchecked();
+        let rep = c.mutate(&m).unwrap();
         assert!(rep.records_updated > 0);
         assert!(rep.shards_pruned >= 5, "the update itself must skip unrelated shards");
         let probe = Query::single(

@@ -24,9 +24,11 @@ use crate::groupby::run_group_by;
 use crate::layout::{AttrPlacement, RecordLayout, MASK_COL};
 use crate::loader::{load_relation, LoadedRelation};
 use crate::modes::EngineMode;
+use crate::mutation::{run_mutation, Mutation, MutationReport};
 use crate::planner::{plan_pages, PageSet};
 use crate::result::{PartialGroups, QueryExecution, QueryReport};
-use crate::update::{run_update, UpdateOp, UpdateReport};
+#[allow(deprecated)]
+use crate::update::{UpdateOp, UpdateReport};
 
 /// A PIM-resident OLAP engine over one (pre-joined) relation.
 pub struct PimQueryEngine {
@@ -342,22 +344,36 @@ impl PimQueryEngine {
         Ok(QueryExecution { groups, partials, report })
     }
 
-    /// Execute an UPDATE via the PIM multiplexer (Algorithm 1). The
-    /// WHERE clause is zone-map-planned like a query filter, and the
-    /// touched pages' zone maps are widened to keep pruning sound.
+    /// Execute a mutation (API v2): UPDATE via the PIM multiplexer
+    /// (Algorithm 1) with full `Pred` filters and multi-column SET, or
+    /// INSERT appending rows behind the loaded image. UPDATE WHERE
+    /// clauses are zone-map-planned like query filters, and the touched
+    /// pages' zone maps are widened/grown to keep pruning sound.
     ///
     /// # Errors
     ///
     /// Propagates substrate failures.
-    pub fn update(&mut self, op: &UpdateOp) -> Result<UpdateReport, CoreError> {
-        run_update(
+    pub fn mutate(&mut self, mutation: &Mutation) -> Result<MutationReport, CoreError> {
+        run_mutation(
             &mut self.module,
             &self.layout,
             &mut self.loaded,
             &mut self.relation,
-            op,
+            mutation,
             self.pruning,
         )
+    }
+
+    /// Execute a v1 UPDATE. Deprecated wrapper over
+    /// [`PimQueryEngine::mutate`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate failures.
+    #[allow(deprecated)]
+    #[deprecated(note = "use PimQueryEngine::mutate with bbpim_core::mutation::Mutation")]
+    pub fn update(&mut self, op: &UpdateOp) -> Result<UpdateReport, CoreError> {
+        self.mutate(&op.clone().into())
     }
 
     /// Direct access to the module (inspection in tests and examples).
@@ -696,12 +712,11 @@ mod tests {
             PimQueryEngine::new(SimConfig::small_for_tests(), rel, EngineMode::OneXb).unwrap();
         assert_eq!(e.run_checked(&q).unwrap().report.pages_scanned, 0);
         // move the d_year=3 records to lo_price=4000 (they live on many pages)
-        let op = UpdateOp {
-            filter: vec![Atom::Eq { attr: "d_year".into(), value: 3u64.into() }],
-            set_attr: "lo_price".into(),
-            set_value: 4000u64.into(),
-        };
-        let rep = e.update(&op).unwrap();
+        let m = Mutation::update()
+            .filter(col("d_year").eq(3u64))
+            .set("lo_price", 4000u64)
+            .build_unchecked();
+        let rep = e.mutate(&m).unwrap();
         assert!(rep.records_updated > 0);
         // the probe must now find them: zone maps widened to cover 4000
         let out = e.run_checked(&q).unwrap();
@@ -830,12 +845,11 @@ mod tests {
     fn update_then_query_sees_new_values() {
         let mut e = engine(EngineMode::OneXb);
         // move every year-3 record to brand 29, then group by brand
-        let op = UpdateOp {
-            filter: vec![Atom::Eq { attr: "d_year".into(), value: 3u64.into() }],
-            set_attr: "d_brand".into(),
-            set_value: 29u64.into(),
-        };
-        let rep = e.update(&op).unwrap();
+        let m = Mutation::update()
+            .filter(col("d_year").eq(3u64))
+            .set("d_brand", 29u64)
+            .build_unchecked();
+        let rep = e.mutate(&m).unwrap();
         assert!(rep.records_updated > 0);
         let out = e.run_checked(&q2_like()).unwrap();
         // all year-3 groups now carry brand 29

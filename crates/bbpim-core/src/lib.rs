@@ -19,8 +19,10 @@
 //!   page, estimates subgroup sizes, fits/evaluates the empirical
 //!   latency model (Eqs. 1–3), assigns the k largest subgroups to
 //!   *pim-gb* and the tail to *host-gb*.
-//! * **UPDATE via the PIM multiplexer** (Algorithm 1) — [`update`]
-//!   maintains pre-joined data with zero reads.
+//! * **Mutations via the PIM multiplexer** (Algorithm 1) — [`mutation`]
+//!   (API v2) maintains PIM-resident data with zero reads: UPDATE with
+//!   full `And`/`Or` filter trees and multi-column SET, plus INSERT
+//!   appending rows online ([`update`] is the deprecated v1 shim).
 //! * **Zone-map-driven physical planning** — [`planner`] tests a
 //!   query's bound intervals ([`bbpim_db::plan::FilterBounds`]) against
 //!   per-page min/max zone maps built at load time, and every execution
@@ -51,6 +53,7 @@ pub mod groupby;
 pub mod layout;
 pub mod loader;
 pub mod modes;
+pub mod mutation;
 pub mod obs;
 pub mod planner;
 pub mod result;
@@ -60,3 +63,4 @@ pub mod update;
 pub use engine::PimQueryEngine;
 pub use error::CoreError;
 pub use modes::EngineMode;
+pub use mutation::{Mutation, MutationBuilder, MutationReport};

@@ -11,6 +11,7 @@
 use bbpim_db::relation::Relation;
 use bbpim_db::zonemap::ZoneMap;
 use bbpim_sim::module::{PageId, PimModule};
+use bbpim_sim::timeline::{Phase, RunLog};
 
 use crate::error::CoreError;
 use crate::layout::{RecordLayout, VALID_COL};
@@ -160,6 +161,91 @@ pub fn load_relation(
     // Loading is not part of query endurance.
     module.reset_endurance(&loaded.all_pages());
     Ok(loaded)
+}
+
+/// Append encoded rows behind an already-loaded relation.
+///
+/// Unlike [`load_relation`] this is an *online* operation — part of the
+/// measured workload, charged on the host channel as byte-tagged writes
+/// (INSERT data crosses the bus) plus a dispatch phase for the touched
+/// pages, and it does **not** reset endurance counters: streamed
+/// inserts wear cells, which is exactly what the endurance model wants
+/// to see. Fresh pages are allocated on demand when the current image
+/// is full; new rows keep the aligned slot/page invariant and the
+/// touched pages' zone maps are widened over the new values. The
+/// host-side catalog copy `rel` is appended in lockstep.
+///
+/// Returns the phase log and the touched page indices (in page order).
+///
+/// # Errors
+///
+/// Row arity/domain violations, allocation failures
+/// ([`bbpim_sim::SimError::OutOfCapacity`]), and placement errors. On
+/// error some rows may already be applied (mutations are not atomic);
+/// callers treat this as fatal for the stream.
+pub fn append_rows(
+    module: &mut PimModule,
+    layout: &RecordLayout,
+    loaded: &mut LoadedRelation,
+    rel: &mut Relation,
+    rows: &[Vec<u64>],
+) -> Result<(RunLog, Vec<usize>), CoreError> {
+    let mut log = RunLog::new();
+    if rows.is_empty() {
+        return Ok((log, Vec::new()));
+    }
+
+    let mut cols: Vec<(usize, crate::layout::AttrPlacement)> = Vec::new();
+    for (idx, attr) in rel.schema().attrs().iter().enumerate() {
+        if layout.is_excluded(&attr.name) {
+            continue;
+        }
+        cols.push((idx, layout.placement(&attr.name)?));
+    }
+
+    let mut touched: Vec<usize> = Vec::new();
+    for row in rows {
+        // catalog first: push_row validates arity and bit domains
+        rel.push_row(row)?;
+        let record = loaded.records;
+        let page_idx = record / loaded.records_per_page;
+        let slot = record % loaded.records_per_page;
+        if page_idx == loaded.page_count() {
+            // image full: grow every partition by one aligned page
+            for partition_pages in &mut loaded.pages {
+                partition_pages.push(module.alloc_pages(1)?[0]);
+            }
+            loaded.page_zones.push(ZoneMap::empty(rel.schema().arity()));
+        }
+        for partition_pages in &loaded.pages {
+            let page = module.page_mut(partition_pages[page_idx]);
+            page.write_record_bits(slot, VALID_COL, 1, 1)?;
+        }
+        for &(col_idx, placement) in &cols {
+            let page = module.page_mut(loaded.pages[placement.partition][page_idx]);
+            page.write_record_bits(slot, placement.range.lo, placement.range.width, row[col_idx])?;
+        }
+        for (attr_idx, &value) in row.iter().enumerate() {
+            loaded.page_zones[page_idx].widen(attr_idx, value);
+        }
+        loaded.records += 1;
+        if touched.last() != Some(&page_idx) {
+            touched.push(page_idx);
+        }
+    }
+
+    // Host-channel accounting: one dispatch over the touched pages plus
+    // the row payload itself, written per partition as memory lines.
+    let host = &module.config().host;
+    log.push(Phase::host_dispatch(
+        touched.len() as f64 * layout.partitions() as f64 * host.dispatch_ns_per_page,
+    ));
+    let row_bytes = module.config().crossbar_cols.div_ceil(8) as u64;
+    let lines = (rows.len() as u64 * row_bytes).div_ceil(host.line_bytes as u64).max(1);
+    for _ in 0..layout.partitions() {
+        log.push(module.host_write_phase(lines));
+    }
+    Ok((log, touched))
 }
 
 #[cfg(test)]

@@ -6,23 +6,29 @@
 //! selects the affected records, and the Algorithm 1 MUX overwrites the
 //! attribute wherever the select bit is set — *PIM operations only, no
 //! reads*, eliminating data movement almost entirely.
+//!
+//! **API v1 shim.** This module is superseded by [`crate::mutation`]
+//! (Mutation API v2: full `Pred` filter trees, multi-column SET,
+//! INSERT). [`UpdateOp`] / [`run_update`] remain as deprecated wrappers
+//! over [`crate::mutation::run_mutation`], and [`UpdateReport`] is now
+//! an alias of [`crate::mutation::MutationReport`].
 
-use bbpim_db::plan::{Atom, Const, FilterBounds, Pred, Query, SelectItem};
+use bbpim_db::plan::{Atom, Const};
 use bbpim_db::Relation;
-use bbpim_sim::compiler::{mux, CodeBuilder, ScratchPool};
 use bbpim_sim::module::PimModule;
-use bbpim_sim::timeline::RunLog;
 
 use crate::error::CoreError;
-use crate::filter_exec::{
-    count_mask_bits, mask_bits, mask_transfer_phases, run_filter, write_transfer_bits_to,
-};
-use crate::layout::{RecordLayout, MASK_COL, TRANSFER_COL};
+use crate::layout::RecordLayout;
 use crate::loader::LoadedRelation;
-use crate::planner::{plan_pages, PageSet};
+use crate::mutation::{run_mutation, Mutation};
+
+/// Outcome of an UPDATE (alias of the v2 report; `records_inserted` is
+/// always 0 on this path).
+pub type UpdateReport = crate::mutation::MutationReport;
 
 /// One UPDATE statement: `UPDATE wide SET set_attr = set_value WHERE
 /// filter`.
+#[deprecated(note = "use bbpim_core::mutation::Mutation (API v2: Pred filters, multi-column SET)")]
 #[derive(Debug, Clone, PartialEq)]
 pub struct UpdateOp {
     /// Conjunctive WHERE clause.
@@ -33,41 +39,14 @@ pub struct UpdateOp {
     pub set_value: Const,
 }
 
-/// Outcome of an UPDATE.
-#[derive(Debug, Clone, PartialEq)]
-pub struct UpdateReport {
-    /// Records rewritten.
-    pub records_updated: u64,
-    /// Pages the planner let the UPDATE touch (per partition).
-    pub pages_scanned: usize,
-    /// Simulated time, nanoseconds.
-    pub time_ns: f64,
-    /// Shared host-channel occupancy (dispatch + transfer bandwidth),
-    /// nanoseconds — the slice of `time_ns` serialised across shards
-    /// under contention (see `QueryReport::host_bus_ns`).
-    pub host_bus_ns: f64,
-    /// PIM energy, picojoules.
-    pub energy_pj: f64,
-    /// Phase log.
-    pub phases: RunLog,
-}
-
-/// Execute an UPDATE: plan → filter → Algorithm 1 MUX → zone widening.
-///
-/// The WHERE conjunction is planned against the per-page zone maps
-/// exactly like a query filter (pass `prune = false` for exhaustive
-/// execution); the MUX then rewrites only candidate pages. Afterwards
-/// every candidate page's zone map is *widened* to cover the written
-/// immediate, so later pruning decisions stay sound — a page that now
-/// holds the new value can no longer be skipped by a filter looking for
-/// it.
-///
-/// Also patches `relation` (the host-side catalog copy) so later
-/// catalog-derived statistics stay consistent with the PIM contents.
+/// Execute a v1 UPDATE: plan → filter → Algorithm 1 MUX → zone
+/// widening. Deprecated wrapper over [`run_mutation`].
 ///
 /// # Errors
 ///
 /// Propagates resolution/compiler/simulator failures.
+#[allow(deprecated)]
+#[deprecated(note = "use bbpim_core::mutation::run_mutation")]
 pub fn run_update(
     module: &mut PimModule,
     layout: &RecordLayout,
@@ -76,98 +55,16 @@ pub fn run_update(
     op: &UpdateOp,
     prune: bool,
 ) -> Result<UpdateReport, CoreError> {
-    let mut log = RunLog::new();
-
-    // Filter (reusing the query path, zone maps included). UPDATE WHERE
-    // clauses stay conjunctive, so the resolved DNF has one disjunct.
-    let probe = Query {
-        id: "update".into(),
-        filter: Pred::all(op.filter.clone()),
-        group_by: vec![],
-        select: vec![SelectItem::count("n")],
-    };
-    let schema = relation.schema();
-    let dnf = probe.resolve_filter(schema)?;
-    let disjuncts: Vec<Vec<_>> = dnf
-        .iter()
-        .map(|conj| {
-            conj.iter()
-                .map(|a| {
-                    let name = &schema.attrs()[a.attr_index()].name;
-                    Ok((a.clone(), layout.placement(name)?))
-                })
-                .collect::<Result<Vec<_>, CoreError>>()
-        })
-        .collect::<Result<_, CoreError>>()?;
-    let pages = if prune {
-        plan_pages(&FilterBounds::from_dnf(&dnf), loaded)
-    } else {
-        PageSet::all(loaded.page_count())
-    };
-    log.push(pages.dispatch_phase(&module.config().host, module.policy(), layout.partitions()));
-    run_filter(module, layout, loaded, &disjuncts, &pages, &mut log)?;
-
-    // Resolve destination attribute and immediate.
-    let target = layout.placement(&op.set_attr)?;
-    let attr_idx = relation.schema().index_of(&op.set_attr)?;
-    let imm = match &op.set_value {
-        Const::Num(v) => *v,
-        Const::Str(s) => relation.schema().attrs()[attr_idx].encode_str(s)?,
-    };
-
-    let updated = if pages.is_empty() {
-        0
-    } else {
-        // The select bit: partition 0's mask, transferred if the target
-        // attribute lives elsewhere.
-        let select_col = if target.partition == 0 {
-            MASK_COL
-        } else {
-            let bits = mask_bits(module, loaded, &pages, 0, MASK_COL);
-            for phase in mask_transfer_phases(module, loaded, &pages, &bits) {
-                log.push(phase);
-            }
-            write_transfer_bits_to(module, loaded, &bits, target.partition, &pages)?;
-            TRANSFER_COL
-        };
-
-        // Algorithm 1, on candidate pages only.
-        let mut pool = ScratchPool::new(layout.scratch(target.partition));
-        let mut b = CodeBuilder::new(&mut pool);
-        mux::compile_mux_update(&mut b, target.range, imm, select_col)?;
-        let prog = b.finish();
-        let phase = module.exec_program(&pages.ids(loaded, target.partition), &prog)?;
-        log.push(phase);
-
-        // Zone maintenance: every candidate page may now hold `imm`.
-        loaded.widen_zones(pages.indices(), attr_idx, imm);
-
-        count_mask_bits(module, &pages.ids(loaded, 0), MASK_COL)
-    };
-
-    // Keep the host-side catalog copy in sync.
-    let selected = bbpim_db::stats::filter_bitvec(&probe, relation)?;
-    for (row, hit) in selected.into_iter().enumerate() {
-        if hit {
-            relation.set_value(row, attr_idx, imm)?;
-        }
-    }
-
-    Ok(UpdateReport {
-        records_updated: updated,
-        pages_scanned: pages.len(),
-        time_ns: log.total_time_ns(),
-        host_bus_ns: bbpim_sim::hostbus::log_occupancy_ns(&module.config().host, &log),
-        energy_pj: log.total_energy_pj(),
-        phases: log,
-    })
+    let mutation: Mutation = op.clone().into();
+    run_mutation(module, layout, loaded, relation, &mutation, prune)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::layout::RecordLayout;
-    use crate::loader::load_relation;
+    use crate::loader::{load_relation, LoadedRelation};
     use crate::modes::EngineMode;
     use bbpim_db::schema::{Attribute, Schema};
     use bbpim_sim::timeline::PhaseKind;

@@ -44,7 +44,7 @@
 
 use std::collections::HashMap;
 
-use bbpim_cluster::engine::ClusterUpdateReport;
+use bbpim_cluster::engine::ClusterMutationReport;
 use bbpim_cluster::{
     ClusterError, ClusterExecution, ClusterReport, HostBytes, JoinTransfer, Partitioner,
     PlanExplain, ShardPlan,
@@ -56,10 +56,12 @@ use bbpim_core::groupby::host_gb::{eval_expr, read_attr_value};
 use bbpim_core::layout::{RecordLayout, MASK_COL, VALID_COL};
 use bbpim_core::loader::LoadedRelation;
 use bbpim_core::modes::EngineMode;
+use bbpim_core::mutation::{Mutation, MutationReport};
 use bbpim_core::planner::PageSet;
 use bbpim_core::result::{PartialGroups, QueryExecution, QueryReport};
 use bbpim_core::semijoin::{build_semijoin_mask_program_in, SemijoinDisjunct, SemijoinTerm};
-use bbpim_core::update::{UpdateOp, UpdateReport};
+#[allow(deprecated)]
+use bbpim_core::update::UpdateOp;
 use bbpim_db::plan::{Atom, FilterBounds, PhysicalPlan, Pred, Query, ResolvedAtom};
 use bbpim_db::ssb::star::{self, StarSchema, TableFootprint, DIMENSIONS};
 use bbpim_db::ssb::SsbDb;
@@ -719,61 +721,174 @@ impl StarCluster {
         ClusterExecution { groups: plan.finalize(&per_agg), report }
     }
 
-    /// Apply an UPDATE to the table owning `set_attr`: one module for
-    /// a dimension (cost proportional to the dimension's cardinality —
-    /// the normalization win over rewriting a denormalized column on
-    /// every fact shard), or a zone-planned fan-out over the fact
-    /// shards. Compiled join plans are invalidated either way.
-    ///
-    /// # Errors
-    ///
-    /// [`ClusterError::InvalidCluster`] when the WHERE clause names a
-    /// different table than `set_attr` (cross-table UPDATE semantics
-    /// are not defined); substrate failures otherwise.
-    pub fn update(&mut self, op: &UpdateOp) -> Result<ClusterUpdateReport, ClusterError> {
-        let target = StarSchema::dim_of_attr(&op.set_attr);
-        for a in &op.filter {
+    /// Which single table an UPDATE routes to: `Some(d)` for dimension
+    /// `d` (catalog order), `None` for the fact table. Every SET
+    /// attribute and every filter atom must agree — cross-table UPDATE
+    /// semantics are not defined.
+    fn route_update(&self, m: &Mutation) -> Result<Option<usize>, ClusterError> {
+        let Mutation::Update { filter, set } = m else {
+            return Err(ClusterError::InvalidCluster("route_update on an INSERT".into()));
+        };
+        let mut target: Option<Option<usize>> = None;
+        for (attr, _) in set {
+            let t = StarSchema::dim_of_attr(attr);
+            match target {
+                None => target = Some(t),
+                Some(prev) if prev != t => {
+                    return Err(ClusterError::InvalidCluster(format!(
+                        "UPDATE mixes tables in its SET list at {attr}"
+                    )));
+                }
+                Some(_) => {}
+            }
+        }
+        let Some(target) = target else {
+            return Err(ClusterError::InvalidCluster("UPDATE with an empty SET list".into()));
+        };
+        for a in m_filter_atoms(filter) {
             if StarSchema::dim_of_attr(a.attr()) != target {
                 return Err(ClusterError::InvalidCluster(format!(
-                    "UPDATE mixes tables: SET {} filtered by {}",
-                    op.set_attr,
+                    "UPDATE mixes tables: SET list filtered by {}",
                     a.attr()
                 )));
             }
         }
+        Ok(target)
+    }
+
+    /// Total ingest lanes the scheduler sees: one per active fact shard
+    /// plus one per dimension module (dimension `d` is lane
+    /// `active_shards() + d`).
+    pub fn ingest_lanes(&self) -> usize {
+        self.shards.len() + self.dims.len()
+    }
+
+    /// The lanes a mutation will touch, in lane order. A dimension
+    /// UPDATE occupies that dimension's module lane; a fact UPDATE the
+    /// zone-admitted fact-shard lanes; an INSERT (fact rows only) the
+    /// lanes its deterministic round-robin routing — cursor
+    /// `records % active` — will land the rows on.
+    ///
+    /// # Errors
+    ///
+    /// Cross-table UPDATEs and filter resolution failures.
+    pub fn plan_mutation_lanes(&self, m: &Mutation) -> Result<Vec<usize>, ClusterError> {
+        match m {
+            Mutation::Update { filter, .. } => match self.route_update(m)? {
+                Some(d) => Ok(vec![self.shards.len() + d]),
+                None => {
+                    let mask = self.plan_shards(filter)?;
+                    Ok(mask.iter().enumerate().filter_map(|(i, &x)| x.then_some(i)).collect())
+                }
+            },
+            Mutation::Insert { rows } => {
+                let active = self.shards.len();
+                if active == 0 || rows.is_empty() {
+                    return Ok(Vec::new());
+                }
+                let start = self.records % active;
+                let mut lanes: Vec<usize> =
+                    (0..rows.len().min(active)).map(|k| (start + k) % active).collect();
+                lanes.sort_unstable();
+                Ok(lanes)
+            }
+        }
+    }
+
+    /// Lane-indexed mutation fan-out (serial; lane order) — the
+    /// scheduler's building block, mirroring
+    /// [`bbpim_cluster::ClusterEngine::mutate_on_lanes`]. A dimension
+    /// UPDATE runs on one module with cost proportional to the
+    /// dimension's cardinality — the normalization win over rewriting a
+    /// denormalized column on every fact shard. INSERTs append fact
+    /// rows round-robin from the deterministic cursor
+    /// `records % active` (dimension INSERTs are not supported — SSB
+    /// dimensions are keyed positionally). Compiled join plans are
+    /// invalidated by every mutation: a landed write may change any
+    /// cached semijoin bitmap.
+    ///
+    /// # Errors
+    ///
+    /// Cross-table UPDATEs ([`ClusterError::InvalidCluster`]);
+    /// substrate failures otherwise. Mutations are not atomic: on a
+    /// mid-fan-out error earlier lanes have applied.
+    pub fn mutate_on_lanes(
+        &mut self,
+        m: &Mutation,
+    ) -> Result<Vec<(usize, MutationReport)>, ClusterError> {
         self.join_cache.clear();
+        match m {
+            Mutation::Update { .. } => match self.route_update(m)? {
+                Some(d) => {
+                    let report = self.dims[d].mutate(m, self.pruning)?;
+                    Ok(vec![(self.shards.len() + d, report)])
+                }
+                None => {
+                    let lanes = self.plan_mutation_lanes(m)?;
+                    let mut out = Vec::with_capacity(lanes.len());
+                    for lane in lanes {
+                        let shard = &mut self.shards[lane];
+                        let report = shard.table.mutate(m, self.pruning)?;
+                        shard.zone = shard.table.zone_map();
+                        out.push((lane, report));
+                    }
+                    Ok(out)
+                }
+            },
+            Mutation::Insert { rows } => {
+                let active = self.shards.len();
+                if active == 0 {
+                    return Err(ClusterError::InvalidCluster(
+                        "INSERT into a star cluster with no active fact shards".into(),
+                    ));
+                }
+                let start = self.records % active;
+                let mut per_lane: Vec<Vec<Vec<u64>>> = vec![Vec::new(); active];
+                for (k, row) in rows.iter().enumerate() {
+                    per_lane[(start + k) % active].push(row.clone());
+                }
+                let mut out = Vec::new();
+                for (lane, lane_rows) in per_lane.into_iter().enumerate() {
+                    if lane_rows.is_empty() {
+                        continue;
+                    }
+                    let part = Mutation::Insert { rows: lane_rows };
+                    let shard = &mut self.shards[lane];
+                    let report = shard.table.mutate(&part, self.pruning)?;
+                    shard.zone = shard.table.zone_map();
+                    self.records += report.records_inserted as usize;
+                    out.push((lane, report));
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Apply a mutation to the owning table(s) and aggregate one
+    /// report (same wall-clock model as queries: host-serial channel
+    /// occupancy plus max-over-lanes of the overlappable PIM time).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`StarCluster::mutate_on_lanes`].
+    pub fn mutate(&mut self, m: &Mutation) -> Result<ClusterMutationReport, ClusterError> {
+        let fact_update = matches!(m, Mutation::Update { .. }) && self.route_update(m)?.is_none();
+        let reports: Vec<MutationReport> =
+            self.mutate_on_lanes(m)?.into_iter().map(|(_, r)| r).collect();
         let contention = self.contention;
-        let serial = |r: &UpdateReport| {
+        let serial = |r: &MutationReport| {
             if contention {
                 r.host_bus_ns
             } else {
                 r.phases.time_in(PhaseKind::HostDispatch)
             }
         };
-        let reports = match target {
-            Some(d) => vec![self.dims[d].update(op, self.pruning)?],
-            None => {
-                let mask = self.plan_shards(&Pred::all(op.filter.clone()))?;
-                let mut reports = Vec::new();
-                for (i, &dispatched) in mask.iter().enumerate() {
-                    if !dispatched {
-                        continue;
-                    }
-                    let shard = &mut self.shards[i];
-                    reports.push(shard.table.update(op, self.pruning)?);
-                    shard.zone = shard.table.zone_map();
-                }
-                reports
-            }
-        };
-        let shards_pruned = match target {
-            Some(_) => 0,
-            None => self.shards.len() - reports.len(),
-        };
+        let shards_pruned = if fact_update { self.shards.len() - reports.len() } else { 0 };
         let serial_total: f64 = reports.iter().map(serial).sum();
         let pim_max = reports.iter().map(|r| r.time_ns - serial(r)).fold(0.0, f64::max);
-        Ok(ClusterUpdateReport {
+        Ok(ClusterMutationReport {
             records_updated: reports.iter().map(|r| r.records_updated).sum(),
+            records_inserted: reports.iter().map(|r| r.records_inserted).sum(),
             shards_pruned,
             time_ns: serial_total + pim_max,
             dispatch_time_ns: reports
@@ -785,6 +900,23 @@ impl StarCluster {
             per_shard: reports,
         })
     }
+
+    /// Apply a v1 UPDATE. Deprecated wrapper over
+    /// [`StarCluster::mutate`].
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`StarCluster::mutate`].
+    #[allow(deprecated)]
+    #[deprecated(note = "use StarCluster::mutate with bbpim_core::mutation::Mutation")]
+    pub fn update(&mut self, op: &UpdateOp) -> Result<ClusterMutationReport, ClusterError> {
+        self.mutate(&op.clone().into())
+    }
+}
+
+/// Every atom of a filter tree (all DNF branches flattened).
+fn m_filter_atoms(filter: &Pred) -> Vec<Atom> {
+    filter.dnf().into_iter().flatten().collect()
 }
 
 /// The streaming scheduler ([`bbpim_sched::run_stream`]) drives the
@@ -802,6 +934,21 @@ impl bbpim_sched::StreamEngine for StarCluster {
 
     fn active_shards(&self) -> usize {
         StarCluster::active_shards(self)
+    }
+
+    fn ingest_lanes(&self) -> usize {
+        StarCluster::ingest_lanes(self)
+    }
+
+    fn plan_mutation_lanes(&self, mutation: &Mutation) -> Result<Vec<usize>, ClusterError> {
+        StarCluster::plan_mutation_lanes(self, mutation)
+    }
+
+    fn apply_mutation(
+        &mut self,
+        mutation: &Mutation,
+    ) -> Result<Vec<(usize, MutationReport)>, ClusterError> {
+        StarCluster::mutate_on_lanes(self, mutation)
     }
 
     fn plan_shards(&self, filter: &Pred) -> Result<Vec<bool>, ClusterError> {
@@ -1227,15 +1374,11 @@ mod tests {
         let before = c.run(&q).unwrap();
         // move 1994 into 1993: Q1.1's d_year = 1993 filter now selects
         // twice the days
-        let op = UpdateOp {
-            filter: vec![Atom::Eq {
-                attr: "d_year".into(),
-                value: bbpim_db::plan::Const::from(1994u64),
-            }],
-            set_attr: "d_year".into(),
-            set_value: bbpim_db::plan::Const::from(1993u64),
-        };
-        let rep = c.update(&op).unwrap();
+        let m = Mutation::update()
+            .filter(bbpim_db::builder::col("d_year").eq(1994u64))
+            .set("d_year", 1993u64)
+            .build_unchecked();
+        let rep = c.mutate(&m).unwrap();
         assert_eq!(rep.records_updated, 365);
         let after = c.run(&q).unwrap();
         assert!(after.report.selected > before.report.selected);
@@ -1274,14 +1417,10 @@ mod tests {
     fn cross_table_update_rejected() {
         let db = db();
         let mut c = cluster(&db, 1);
-        let op = UpdateOp {
-            filter: vec![Atom::Eq {
-                attr: "d_year".into(),
-                value: bbpim_db::plan::Const::from(1993u64),
-            }],
-            set_attr: "lo_discount".into(),
-            set_value: bbpim_db::plan::Const::from(0u64),
-        };
-        assert!(matches!(c.update(&op), Err(ClusterError::InvalidCluster(_))));
+        let m = Mutation::update()
+            .filter(bbpim_db::builder::col("d_year").eq(1993u64))
+            .set("lo_discount", 0u64)
+            .build_unchecked();
+        assert!(matches!(c.mutate(&m), Err(ClusterError::InvalidCluster(_))));
     }
 }

@@ -12,8 +12,10 @@ use bbpim_cluster::ClusterError;
 use bbpim_core::filter_exec::{self, mask_read_lines};
 use bbpim_core::layout::{RecordLayout, MASK_COL, VALID_COL};
 use bbpim_core::loader::{load_relation, LoadedRelation};
+use bbpim_core::mutation::{run_mutation, Mutation, MutationReport};
 use bbpim_core::planner::{plan_pages, PageSet};
-use bbpim_core::update::{run_update, UpdateOp, UpdateReport};
+#[allow(deprecated)]
+use bbpim_core::update::{UpdateOp, UpdateReport};
 use bbpim_db::plan::{FilterBounds, ResolvedAtom};
 use bbpim_db::zonemap::ZoneMap;
 use bbpim_db::Relation;
@@ -147,22 +149,35 @@ impl StarTable {
         mask_read_lines(&self.module, &pages.ids(&self.loaded, 0))
     }
 
-    /// Apply an UPDATE through the PIM multiplexer, widening zone maps
-    /// and patching the catalog copy.
+    /// Apply a mutation (API v2): UPDATE through the PIM multiplexer —
+    /// full `Pred` filter, multi-column SET — widening zone maps and
+    /// patching the catalog copy, or INSERT appending rows behind the
+    /// loaded image (fresh pages on demand, zones grown).
     ///
     /// # Errors
     ///
     /// Propagates substrate failures (cold SET attributes included —
     /// host-resident columns cannot be rewritten in PIM).
-    pub fn update(&mut self, op: &UpdateOp, prune: bool) -> Result<UpdateReport, ClusterError> {
-        Ok(run_update(
+    pub fn mutate(&mut self, m: &Mutation, prune: bool) -> Result<MutationReport, ClusterError> {
+        Ok(run_mutation(
             &mut self.module,
             &self.layout,
             &mut self.loaded,
             &mut self.relation,
-            op,
+            m,
             prune,
         )?)
+    }
+
+    /// Apply a v1 UPDATE. Deprecated wrapper over [`StarTable::mutate`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate failures.
+    #[allow(deprecated)]
+    #[deprecated(note = "use StarTable::mutate with bbpim_core::mutation::Mutation")]
+    pub fn update(&mut self, op: &UpdateOp, prune: bool) -> Result<UpdateReport, ClusterError> {
+        self.mutate(&op.clone().into(), prune)
     }
 
     /// Split borrow for execution paths that mutate the module while
@@ -217,12 +232,11 @@ mod tests {
     #[test]
     fn update_patches_module_and_catalog() {
         let mut t = date_table();
-        let op = UpdateOp {
-            filter: vec![Atom::Eq { attr: "d_year".into(), value: Const::from(1995u64) }],
-            set_attr: "d_weeknuminyear".into(),
-            set_value: Const::from(53u64),
-        };
-        let rep = t.update(&op, true).unwrap();
+        let m = Mutation::update()
+            .filter(bbpim_db::builder::col("d_year").eq(1995u64))
+            .set("d_weeknuminyear", 53u64)
+            .build_unchecked();
+        let rep = t.mutate(&m, true).unwrap();
         assert_eq!(rep.records_updated, 365);
         let schema = t.relation().schema().clone();
         let (year, week) =

@@ -15,11 +15,12 @@
 //! to the scheduler.
 
 use bbpim_cluster::ClusterExecution;
+use bbpim_core::mutation::MutationReport;
 use bbpim_core::result::QueryExecution;
 use bbpim_db::plan::Query;
 use bbpim_sim::config::HostConfig;
 use bbpim_sim::hostbus::phase_occupancy_ns;
-use bbpim_sim::timeline::PhaseKind;
+use bbpim_sim::timeline::{PhaseKind, RunLog};
 
 use crate::error::SchedError;
 use crate::sched::{StreamEngine, ENDURANCE_YEARS};
@@ -112,19 +113,32 @@ pub fn compile_slices(
     contention: bool,
     want_detail: bool,
 ) -> SliceChain {
+    compile_log_slices(&exec.report.phases, exec.report.time_ns, host, contention, want_detail)
+}
+
+/// [`compile_slices`] generalised over any phase log: the same
+/// compilation working straight off a [`RunLog`] and its total time, so
+/// mutation reports ([`MutationReport`]) compile to slice chains with
+/// the identical bus/local decomposition queries get — their
+/// byte-tagged write phases ride the same shared channel.
+pub fn compile_log_slices(
+    log: &RunLog,
+    total_time_ns: f64,
+    host: &HostConfig,
+    contention: bool,
+    want_detail: bool,
+) -> SliceChain {
     let empty_slice = Slice { bus_ns: 0.0, local_ns: 0.0, bus_kind: None, bus_bytes: 0 };
     if !contention {
-        let dispatch = exec.report.phases.time_in(PhaseKind::HostDispatch);
+        let dispatch = log.time_in(PhaseKind::HostDispatch);
         let slice = Slice {
             bus_ns: dispatch,
-            local_ns: exec.report.time_ns - dispatch,
+            local_ns: total_time_ns - dispatch,
             bus_kind: (dispatch > 0.0).then_some(PhaseKind::HostDispatch),
-            bus_bytes: exec.report.phases.host_bytes_in(PhaseKind::HostDispatch),
+            bus_bytes: log.host_bytes_in(PhaseKind::HostDispatch),
         };
         let detail = if want_detail {
-            vec![exec
-                .report
-                .phases
+            vec![log
                 .phases()
                 .iter()
                 .filter(|p| p.kind != PhaseKind::HostDispatch && p.time_ns > 0.0)
@@ -137,7 +151,7 @@ pub fn compile_slices(
     }
     let mut slices: Vec<Slice> = vec![empty_slice];
     let mut detail: Vec<Vec<(PhaseKind, f64)>> = vec![Vec::new()];
-    for phase in exec.report.phases.phases() {
+    for phase in log.phases() {
         let bus = phase_occupancy_ns(host, phase);
         let local = phase.time_ns - bus;
         if bus > 0.0 {
@@ -227,6 +241,65 @@ pub fn resolve_query_demand<E: StreamEngine>(
         merge_ns: merged.report.merge_time_ns,
     };
     Ok((demand, merged))
+}
+
+/// One admitted mutation's compiled service demand across its ingest
+/// lanes: the write-phase chains the event loop plays out on the shared
+/// host channel and the per-lane module servers. Unlike queries there
+/// is no merge — a mutation completes when its last lane chain does.
+#[derive(Clone, Debug)]
+pub struct MutationDemand {
+    /// The mutation's label (trace/report lines).
+    pub label: String,
+    /// Per-lane chains (the [`ShardDemand::shard`] field holds the
+    /// *ingest lane* index — fact-shard lanes share indices with query
+    /// shard slices; auxiliary lanes, e.g. star dimension modules, sit
+    /// above [`crate::StreamEngine::active_shards`]).
+    pub lanes: Vec<ShardDemand>,
+    /// Records the mutation rewrote (UPDATE), summed over lanes.
+    pub records_updated: u64,
+    /// Records the mutation appended (INSERT), summed over lanes.
+    pub records_inserted: u64,
+}
+
+impl MutationDemand {
+    /// Total busy time across the host channel and every lane module.
+    pub fn total_busy_ns(&self) -> f64 {
+        self.lanes.iter().flat_map(|ld| ld.slices.iter()).map(|s| s.bus_ns + s.local_ns).sum()
+    }
+}
+
+/// Compile the per-lane reports an applied mutation produced
+/// ([`crate::StreamEngine::apply_mutation`]) into a [`MutationDemand`]:
+/// each lane's phase log becomes a bus/local slice chain exactly as
+/// query shard executions do, so UPDATE mask writes and INSERT row
+/// transfers queue on the shared channel alongside query traffic.
+pub fn compile_mutation_demand(
+    label: String,
+    applied: &[(usize, MutationReport)],
+    host: &HostConfig,
+    contention: bool,
+    want_detail: bool,
+) -> MutationDemand {
+    let lanes = applied
+        .iter()
+        .map(|(lane, rep)| {
+            let chain = compile_log_slices(&rep.phases, rep.time_ns, host, contention, want_detail);
+            ShardDemand {
+                shard: *lane,
+                cell_writes: rep.max_row_cell_writes,
+                required_endurance: rep.required_endurance(ENDURANCE_YEARS),
+                slices: chain.slices,
+                detail: chain.detail,
+            }
+        })
+        .collect();
+    MutationDemand {
+        label,
+        lanes,
+        records_updated: applied.iter().map(|(_, r)| r.records_updated).sum(),
+        records_inserted: applied.iter().map(|(_, r)| r.records_inserted).sum(),
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,9 @@
 //!
 //! * [`workload::Workload`] — timestamped arrival traces over a query
 //!   set: seeded Poisson ([`Workload::poisson`]), closed bursts
-//!   ([`Workload::burst`]), or hand-written traces.
+//!   ([`Workload::burst`]), hand-written traces, or mixed HTAP streams
+//!   interleaving queries with mutations on one seeded clock
+//!   ([`Workload::poisson_htap`]).
 //! * [`sched::run_stream`] — a deterministic discrete-event scheduler:
 //!   admission control bounds in-flight queries (backpressure, FIFO or
 //!   shortest-candidate-set-first order), each admitted query is
@@ -18,6 +20,14 @@
 //!   order; answers are **bit-identical** to
 //!   [`bbpim_cluster::ClusterEngine::run_batch`] over the same queries
 //!   — only timing and order differ.
+//! * **Streaming ingest** — mutation arrivals are first-class
+//!   scheduler citizens: strict-FIFO admission behind a bounded
+//!   per-lane ingest buffer ([`SchedConfig::ingest_buffer`],
+//!   deterministic backpressure stalls), write phases on the shared
+//!   host channel alongside query traffic, and snapshot-consistent
+//!   queries — each answer reflects exactly the mutations admitted
+//!   before it ([`QueryCompletion::epoch`]), bit-identical to a
+//!   prefix-replay oracle.
 //! * [`report::LatencySummary`] — per-query queue-wait vs service
 //!   decomposition, p50/p95/p99/mean/max latency, plus throughput and
 //!   host/shard utilisation on [`sched::StreamOutcome`].
@@ -51,15 +61,18 @@ pub mod report;
 pub mod sched;
 pub mod workload;
 
-pub use demand::{resolve_query_demand, QueryDemand, ShardDemand, Slice, SliceChain};
+pub use demand::{
+    compile_log_slices, compile_mutation_demand, resolve_query_demand, MutationDemand, QueryDemand,
+    ShardDemand, Slice, SliceChain,
+};
 pub use error::SchedError;
 pub use obs::record_stream_metrics;
 pub use report::LatencySummary;
 pub use sched::{
-    run_stream, run_stream_traced, AdmissionPolicy, EventKind, QueryCompletion, SchedConfig,
-    StreamEngine, StreamOutcome, TimelineEvent, ENDURANCE_YEARS,
+    run_stream, run_stream_traced, AdmissionPolicy, EventKind, MutationCompletion, QueryCompletion,
+    SchedConfig, StreamEngine, StreamOutcome, TimelineEvent, ENDURANCE_YEARS,
 };
-pub use workload::{Arrival, Workload};
+pub use workload::{Arrival, MutationArrival, Workload};
 
 #[cfg(test)]
 mod tests {
@@ -179,7 +192,12 @@ mod tests {
             Workload::poisson(vec![broad(), year_probe(2), year_probe(4)], 16, 30_000.0, 5);
         let run = |policy| {
             let mut c = cluster(5);
-            run_stream(&mut c, &workload, &SchedConfig { max_in_flight: 3, policy }).unwrap()
+            run_stream(
+                &mut c,
+                &workload,
+                &SchedConfig { max_in_flight: 3, policy, ..SchedConfig::default() },
+            )
+            .unwrap()
         };
         for policy in AdmissionPolicy::all() {
             let a = run(policy);
@@ -197,13 +215,21 @@ mod tests {
         let tight = run_stream(
             &mut c,
             &workload,
-            &SchedConfig { max_in_flight: 1, policy: AdmissionPolicy::Fifo },
+            &SchedConfig {
+                max_in_flight: 1,
+                policy: AdmissionPolicy::Fifo,
+                ..SchedConfig::default()
+            },
         )
         .unwrap();
         let wide = run_stream(
             &mut c,
             &workload,
-            &SchedConfig { max_in_flight: 6, policy: AdmissionPolicy::Fifo },
+            &SchedConfig {
+                max_in_flight: 6,
+                policy: AdmissionPolicy::Fifo,
+                ..SchedConfig::default()
+            },
         )
         .unwrap();
         // One-at-a-time admission serialises identical queries end to
@@ -236,7 +262,12 @@ mod tests {
         let workload = Workload::new(queries, arrivals).unwrap();
         let run = |policy| {
             let mut c = cluster(7);
-            run_stream(&mut c, &workload, &SchedConfig { max_in_flight: 1, policy }).unwrap()
+            run_stream(
+                &mut c,
+                &workload,
+                &SchedConfig { max_in_flight: 1, policy, ..SchedConfig::default() },
+            )
+            .unwrap()
         };
         let fifo = run(AdmissionPolicy::Fifo);
         let scsf = run(AdmissionPolicy::ShortestCandidateFirst);
@@ -308,7 +339,11 @@ mod tests {
         let r = run_stream(
             &mut c,
             &workload,
-            &SchedConfig { max_in_flight: 0, policy: AdmissionPolicy::Fifo },
+            &SchedConfig {
+                max_in_flight: 0,
+                policy: AdmissionPolicy::Fifo,
+                ..SchedConfig::default()
+            },
         );
         assert!(matches!(r, Err(SchedError::InvalidConfig(_))));
     }
@@ -321,5 +356,159 @@ mod tests {
         assert!(out.completions.is_empty());
         assert_eq!(out.makespan_ns, 0.0);
         assert_eq!(out.throughput_qps(), 0.0);
+        assert_eq!(out.ingest_stalls, 0);
+    }
+
+    // ---- streaming ingest (mutations as first-class arrivals) ----
+
+    use bbpim_core::mutation::Mutation;
+    use bbpim_db::builder::col;
+    use workload::MutationArrival;
+
+    fn disc_probe(y: u64) -> Query {
+        Query::single(
+            format!("disc{y}"),
+            vec![Atom::Eq { attr: "d_year".into(), value: y.into() }],
+            vec![],
+            AggFunc::Sum,
+            AggExpr::Attr("lo_disc".into()),
+        )
+    }
+
+    fn disc_update(y: u64, v: u64) -> Mutation {
+        Mutation::update().filter(col("d_year").eq(y)).set("lo_disc", v).build_unchecked()
+    }
+
+    #[test]
+    fn queries_observe_exactly_the_mutations_admitted_before_them() {
+        let mut c = cluster(3);
+        // q at t=0 (epoch 0), UPDATE at t=10, q again well after (epoch 1)
+        let workload = Workload::with_mutations(
+            vec![disc_probe(3)],
+            vec![Arrival { at_ns: 0.0, query: 0 }, Arrival { at_ns: 1e9, query: 0 }],
+            vec![disc_update(3, 15)],
+            vec![MutationArrival { at_ns: 10.0, mutation: 0 }],
+        )
+        .unwrap();
+        let out = run_stream(&mut c, &workload, &SchedConfig::default()).unwrap();
+        assert_eq!(out.completions.len(), 2);
+        assert_eq!(out.mutation_completions.len(), 1);
+        let by_arrival = |a: usize| out.completions.iter().find(|x| x.arrival == a).unwrap();
+        assert_eq!(by_arrival(0).epoch, 0, "first query pre-dates the ingest");
+        assert_eq!(by_arrival(1).epoch, 1, "second query observes the update");
+        let mc = &out.mutation_completions[0];
+        assert!(mc.records_updated > 0);
+        assert_eq!(mc.epoch, 1);
+        assert!(mc.complete_ns >= mc.admit_ns && mc.admit_ns >= mc.arrive_ns);
+        // prefix-replay oracle: epoch-0 answer on a fresh cluster,
+        // epoch-1 answer after applying the mutation
+        let mut fresh = cluster(3);
+        let before = fresh.run(&disc_probe(3)).unwrap();
+        assert_eq!(out.executions[0].groups, before.groups);
+        fresh.mutate(&disc_update(3, 15)).unwrap();
+        let after = fresh.run(&disc_probe(3)).unwrap();
+        assert_eq!(out.executions[1].groups, after.groups);
+        assert_ne!(before.groups, after.groups, "the update must change the answer");
+    }
+
+    #[test]
+    fn bounded_ingest_buffer_stalls_and_drains_fifo() {
+        let mut c = cluster(3);
+        // Four updates on the same zone-planned lane at (almost) once
+        // behind a 1-deep buffer: the head admits, the rest stall.
+        let arrivals = (0..4).map(|i| MutationArrival { at_ns: i as f64, mutation: 0 }).collect();
+        let workload = Workload::with_mutations(
+            vec![disc_probe(1)],
+            vec![Arrival { at_ns: 2.0, query: 0 }],
+            vec![disc_update(3, 9)],
+            arrivals,
+        )
+        .unwrap();
+        let cfg = SchedConfig { ingest_buffer: 1, ..SchedConfig::default() };
+        let out = run_stream(&mut c, &workload, &cfg).unwrap();
+        assert_eq!(out.mutation_completions.len(), 4, "backpressure must not deadlock");
+        assert!(out.ingest_stalls > 0, "a 1-deep buffer under 4 back-to-back writes stalls");
+        assert!(out.ingest_stall_ns > 0.0);
+        assert!(out.timeline.iter().any(|e| e.kind == EventKind::MutationStall));
+        // strict FIFO: admissions in arrival order, one in flight at a time
+        let admits: Vec<usize> = out
+            .timeline
+            .iter()
+            .filter(|e| e.kind == EventKind::MutationAdmit)
+            .map(|e| e.arrival)
+            .collect();
+        assert_eq!(admits, vec![0, 1, 2, 3]);
+        let epochs: Vec<usize> = out.mutation_completions.iter().map(|m| m.epoch).collect();
+        assert_eq!(epochs, vec![1, 2, 3, 4]);
+        // the query still completes, against some well-defined prefix
+        assert_eq!(out.completions.len(), 1);
+        // and the run is deterministic, stalls included
+        let mut c2 = cluster(3);
+        let again = run_stream(&mut c2, &workload, &cfg).unwrap();
+        assert_eq!(out.timeline, again.timeline);
+        assert_eq!(out.ingest_stall_ns, again.ingest_stall_ns);
+    }
+
+    #[test]
+    fn inserts_route_round_robin_and_later_queries_see_them() {
+        let mut c = cluster(3);
+        let schema = relation(1).schema().clone();
+        let ins =
+            Mutation::insert().row([200u64, 5, 6]).row([201u64, 5, 6]).build(&schema).unwrap();
+        let workload = Workload::with_mutations(
+            vec![disc_probe(6)],
+            vec![Arrival { at_ns: 0.0, query: 0 }, Arrival { at_ns: 1e9, query: 0 }],
+            vec![ins.clone()],
+            vec![MutationArrival { at_ns: 100.0, mutation: 0 }],
+        )
+        .unwrap();
+        let out = run_stream(&mut c, &workload, &SchedConfig::default()).unwrap();
+        assert_eq!(out.mutation_completions[0].records_inserted, 2);
+        let mut fresh = cluster(3);
+        let before = fresh.run(&disc_probe(6)).unwrap();
+        fresh.mutate(&ins).unwrap();
+        let after = fresh.run(&disc_probe(6)).unwrap();
+        assert_eq!(out.executions[0].groups, before.groups);
+        assert_eq!(out.executions[1].groups, after.groups);
+        assert_ne!(before.groups, after.groups, "inserted rows must show up");
+        // ingest wear is accounted on the lanes the rows landed on
+        assert!(out.shard_cell_writes.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn mutation_write_phases_ride_the_shared_bus() {
+        // With contention on, a mutation's host bus occupancy joins
+        // host_busy_ns: the streamed busy time must exceed what the
+        // queries alone account for.
+        let workload_q =
+            Workload::new(vec![disc_probe(3)], vec![Arrival { at_ns: 0.0, query: 0 }]).unwrap();
+        let workload_m = Workload::with_mutations(
+            vec![disc_probe(3)],
+            vec![Arrival { at_ns: 0.0, query: 0 }],
+            vec![disc_update(3, 9)],
+            vec![MutationArrival { at_ns: 0.0, mutation: 0 }],
+        )
+        .unwrap();
+        let mut c1 = cluster(3);
+        let queries_only = run_stream(&mut c1, &workload_q, &SchedConfig::default()).unwrap();
+        let mut c2 = cluster(3);
+        let with_ingest = run_stream(&mut c2, &workload_m, &SchedConfig::default()).unwrap();
+        assert!(
+            with_ingest.host_busy_ns > queries_only.host_busy_ns,
+            "ingest write phases must occupy the shared channel"
+        );
+        assert!(with_ingest.shard_required_endurance.iter().any(|&e| e > 0.0));
+    }
+
+    #[test]
+    fn zero_ingest_buffer_is_rejected() {
+        let mut c = cluster(2);
+        let workload = Workload::burst(vec![broad()]);
+        let r = run_stream(
+            &mut c,
+            &workload,
+            &SchedConfig { ingest_buffer: 0, ..SchedConfig::default() },
+        );
+        assert!(matches!(r, Err(SchedError::InvalidConfig(_))));
     }
 }

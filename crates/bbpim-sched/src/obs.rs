@@ -35,6 +35,21 @@ pub const LATENCY_NS: &str = "bbpim_stream_latency_ns";
 pub const WAIT_NS: &str = "bbpim_stream_wait_ns";
 /// Service-time histogram (ns).
 pub const SERVICE_NS: &str = "bbpim_stream_service_ns";
+/// Mutations durably applied, counter (absent for pure-query runs).
+pub const INGEST_COMPLETIONS: &str = "bbpim_ingest_completions_total";
+/// Backpressure stall episodes at the ingest-queue head, counter.
+pub const INGEST_STALLS: &str = "bbpim_ingest_stalls_total";
+/// Total simulated time the ingest-queue head spent stalled, gauge (ns).
+pub const INGEST_STALL_NS: &str = "bbpim_ingest_stall_ns";
+/// Mutation arrival→durable latency histogram (ns) plus
+/// `_p50/_p95/_p99/_mean/_max` gauges.
+pub const INGEST_LATENCY_NS: &str = "bbpim_ingest_latency_ns";
+/// Mutation ingest-queue wait histogram (ns), backpressure included.
+pub const INGEST_WAIT_NS: &str = "bbpim_ingest_wait_ns";
+/// Records rewritten in place by admitted UPDATEs, counter.
+pub const INGEST_RECORDS_UPDATED: &str = "bbpim_ingest_records_updated_total";
+/// Records appended by admitted INSERTs, counter.
+pub const INGEST_RECORDS_INSERTED: &str = "bbpim_ingest_records_inserted_total";
 pub use bbpim_trace::phases::{CELL_WRITES, REQUIRED_ENDURANCE};
 
 /// Record everything `outcome` measured into `reg`, labelling every
@@ -68,6 +83,34 @@ pub fn record_stream_metrics(
         reg.observe(LATENCY_NS, labels, c.latency_ns());
         reg.observe(WAIT_NS, labels, c.wait_ns());
         reg.observe(SERVICE_NS, labels, c.service_ns());
+    }
+
+    // Ingest series only when the run actually streamed mutations —
+    // pure-query runs keep exactly the metric surface they always had.
+    if !outcome.mutation_completions.is_empty() || outcome.ingest_stalls > 0 {
+        reg.counter_add(INGEST_COMPLETIONS, labels, outcome.mutation_completions.len() as f64);
+        reg.counter_add(INGEST_STALLS, labels, outcome.ingest_stalls as f64);
+        reg.gauge_set(INGEST_STALL_NS, labels, outcome.ingest_stall_ns);
+        let m = outcome.mutation_latency_summary();
+        for (suffix, v) in [
+            ("_p50", m.p50_ns),
+            ("_p95", m.p95_ns),
+            ("_p99", m.p99_ns),
+            ("_mean", m.mean_ns),
+            ("_max", m.max_ns),
+        ] {
+            reg.gauge_set(&format!("{INGEST_LATENCY_NS}{suffix}"), labels, v);
+        }
+        let mut updated = 0u64;
+        let mut inserted = 0u64;
+        for c in &outcome.mutation_completions {
+            reg.observe(INGEST_LATENCY_NS, labels, c.latency_ns());
+            reg.observe(INGEST_WAIT_NS, labels, c.wait_ns());
+            updated += c.records_updated;
+            inserted += c.records_inserted;
+        }
+        reg.counter_add(INGEST_RECORDS_UPDATED, labels, updated as f64);
+        reg.counter_add(INGEST_RECORDS_INSERTED, labels, inserted as f64);
     }
 
     // Peak admission-queue depth, replayed from the event timeline.

@@ -117,6 +117,7 @@ mod tests {
             complete_ns: complete,
             shards_dispatched: 1,
             shards_pruned: 0,
+            epoch: 0,
         }
     }
 

@@ -1,7 +1,8 @@
 //! The deterministic discrete-event streaming scheduler.
 //!
-//! [`run_stream`] admits a [`Workload`]'s timestamped arrivals into a
-//! [`ClusterEngine`] under admission control and plays the resulting
+//! [`run_stream`] admits a [`Workload`]'s timestamped arrivals —
+//! queries **and mutations**, interleaved on one clock — into a
+//! [`StreamEngine`] under admission control and plays the resulting
 //! contention out on a discrete-event timeline:
 //!
 //! * **Admission control** — at most [`SchedConfig::max_in_flight`]
@@ -11,47 +12,68 @@
 //!   shortest-candidate-set-first (the zone-map planner's candidate
 //!   shard count is a free size estimate, so heavily pruned — short —
 //!   queries overtake broad ones).
+//! * **Streaming ingest** — mutation arrivals queue in strict FIFO
+//!   behind a bounded per-lane ingest buffer: the head admits only
+//!   while every lane it plans to touch holds fewer than
+//!   [`SchedConfig::ingest_buffer`] in-flight mutations; otherwise
+//!   ingest **stalls deterministically** until a lane chain completes
+//!   (nothing overtakes a stalled head). At admission the mutation is
+//!   applied to the engine ([`StreamEngine::apply_mutation`]) — zone
+//!   maps widen, insert cursors advance, cached star join plans fall —
+//!   and its byte-tagged write phases are compiled into per-lane slice
+//!   chains that ride the same shared host channel as query traffic.
+//! * **Snapshot consistency** — a query's answer is resolved *at its
+//!   admission*, against exactly the mutations admitted before it (its
+//!   [`QueryCompletion::epoch`]); resolutions are cached per
+//!   `(query, epoch)` so repeated arrivals between ingests still share
+//!   one execution. Replaying the first `epoch` mutations into a fresh
+//!   engine and running the query reproduces the streamed answer
+//!   bit-identically — the ingest-equivalence suites assert exactly
+//!   this at every admission prefix.
 //! * **Planning** — each admitted query is planned through the zone-map
-//!   planner ([`ClusterEngine::plan_shards`]); pruned shards receive no
+//!   planner ([`StreamEngine::plan_shards`]); pruned shards receive no
 //!   work, and a query whose candidate set is empty is answered by the
 //!   planner alone, completing at admission.
 //! * **Per-shard queues** — each candidate shard receives the query's
 //!   shard slice on its own FIFO queue; PIM phases of *different*
 //!   queries on *different* shards overlap freely, which is where
-//!   out-of-order completion comes from.
+//!   out-of-order completion comes from. Mutation lane chains queue on
+//!   the same per-module servers (fact lanes share indices with query
+//!   shards; auxiliary ingest lanes — star dimension modules — sit
+//!   above [`StreamEngine::active_shards`]).
 //! * **Shared host channel** — with the cluster's contention model on
-//!   (the default, [`ClusterEngine::contention`]), *every* tagged host
-//!   phase of every in-flight query rides one [`SharedBus`]: per-page
-//!   dispatch, mask transfers, result-line reads, host-gb record
-//!   fetches and update-mask writes, each for its channel occupancy
-//!   ([`bbpim_sim::hostbus::phase_occupancy_ns`]). A shard execution
-//!   becomes an alternating chain of bus slices and module-local
-//!   slices, so a two-xb query's per-disjunct mask transfers queue
-//!   behind other queries' result reads exactly as the off-chip
-//!   interface would force them to. The host-side merge of each
-//!   query's partials rides the same bus. With contention off, only
-//!   dispatch and merge serialise (the pre-contention optimistic
+//!   (the default, [`StreamEngine::contention`]), *every* tagged host
+//!   phase of every in-flight query **and mutation** rides one
+//!   [`SharedBus`]: per-page dispatch, mask transfers, result-line
+//!   reads, host-gb record fetches, UPDATE mask writes and INSERT row
+//!   transfers, each for its channel occupancy
+//!   ([`bbpim_sim::hostbus::phase_occupancy_ns`]). The host-side merge
+//!   of each query's partials rides the same bus. With contention off,
+//!   only dispatch and merge serialise (the pre-contention optimistic
 //!   model) — useful for A/B latency studies.
 //!
-//! Every service demand is taken from real per-shard executions
-//! ([`ClusterEngine::run_on_shard`]), and the merged answers are folded
-//! with [`ClusterEngine::merge_executions`] in shard order — so the
+//! Every query service demand is taken from real per-shard executions
+//! ([`StreamEngine::run_on_shard`]) against the admitted-mutation
+//! snapshot, and the merged answers are folded with
+//! [`StreamEngine::merge_executions`] in shard order. For pure-query
+//! workloads this degenerates to the pre-ingest scheduler exactly: the
 //! streamed results are bit-identical to
 //! [`ClusterEngine::run_batch`] over the same queries; only timing and
 //! completion order differ. The event timeline is a pure function of
 //! `(cluster, workload, config)`.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use bbpim_cluster::{ClusterEngine, ClusterError, ClusterExecution};
+use bbpim_core::mutation::{Mutation, MutationReport};
 use bbpim_core::result::QueryExecution;
 use bbpim_db::plan::{Pred, Query};
 use bbpim_sim::config::HostConfig;
 use bbpim_sim::hostbus::SharedBus;
 use bbpim_trace::{ArgValue, TraceRecorder, TrackId};
 
-use crate::demand::{resolve_query_demand, QueryDemand};
+use crate::demand::{compile_mutation_demand, resolve_query_demand, MutationDemand, QueryDemand};
 use crate::error::SchedError;
 use crate::report::LatencySummary;
 use crate::workload::Workload;
@@ -72,6 +94,38 @@ pub trait StreamEngine {
 
     /// Fact shards actually holding records.
     fn active_shards(&self) -> usize;
+
+    /// Every lane a mutation may occupy: the fact shards plus any
+    /// auxiliary ingest lanes (the star cluster adds one per dimension
+    /// table). Lane indices in [`StreamEngine::apply_mutation`] reports
+    /// are always below this; fact-shard lanes share indices — and
+    /// per-module queues — with query shard slices.
+    fn ingest_lanes(&self) -> usize {
+        self.active_shards()
+    }
+
+    /// The lanes a mutation would occupy *right now* — the
+    /// ingest-buffer admission check. Re-planned on every admission
+    /// attempt: earlier admissions widen zone maps and advance insert
+    /// cursors, so a stalled mutation's lane set may shrink or move by
+    /// the time it clears the buffer.
+    ///
+    /// # Errors
+    ///
+    /// Attribute resolution / routing failures.
+    fn plan_mutation_lanes(&self, mutation: &Mutation) -> Result<Vec<usize>, ClusterError>;
+
+    /// Apply `mutation` to the engine state (zone maps widen, catalog
+    /// copies patch, cached plans invalidate) and return the per-lane
+    /// reports whose phase logs become the mutation's slice chains.
+    ///
+    /// # Errors
+    ///
+    /// Validation or substrate failures.
+    fn apply_mutation(
+        &mut self,
+        mutation: &Mutation,
+    ) -> Result<Vec<(usize, MutationReport)>, ClusterError>;
 
     /// Zone-map shard admission: one flag per active shard.
     ///
@@ -110,6 +164,17 @@ impl StreamEngine for ClusterEngine {
         ClusterEngine::active_shards(self)
     }
 
+    fn plan_mutation_lanes(&self, mutation: &Mutation) -> Result<Vec<usize>, ClusterError> {
+        ClusterEngine::plan_mutation_lanes(self, mutation)
+    }
+
+    fn apply_mutation(
+        &mut self,
+        mutation: &Mutation,
+    ) -> Result<Vec<(usize, MutationReport)>, ClusterError> {
+        ClusterEngine::mutate_on_lanes(self, mutation)
+    }
+
     fn plan_shards(&self, filter: &Pred) -> Result<Vec<bool>, ClusterError> {
         ClusterEngine::plan_shards(self, filter)
     }
@@ -141,7 +206,9 @@ pub enum AdmissionPolicy {
     /// Fewest candidate shards first (ties broken by arrival order).
     /// The planner's candidate set size is a zero-cost service-demand
     /// estimate: a query pruned down to one shard is almost surely
-    /// shorter than one touching every shard.
+    /// shorter than one touching every shard. The estimate is planned
+    /// at *arrival* (a heuristic only); the real demand is planned at
+    /// admission, against the admitted-mutation snapshot.
     ShortestCandidateFirst,
 }
 
@@ -167,11 +234,17 @@ pub struct SchedConfig {
     pub max_in_flight: usize,
     /// Admission order under backpressure.
     pub policy: AdmissionPolicy,
+    /// Per-lane bound on concurrently in-flight mutations (the bounded
+    /// ingest buffer). The head of the mutation queue admits only while
+    /// every lane it plans to touch holds fewer than this many
+    /// in-flight mutations; otherwise ingest stalls — strict FIFO, so
+    /// nothing overtakes a stalled head — until a lane chain completes.
+    pub ingest_buffer: usize,
 }
 
 impl Default for SchedConfig {
     fn default() -> Self {
-        SchedConfig { max_in_flight: 8, policy: AdmissionPolicy::Fifo }
+        SchedConfig { max_in_flight: 8, policy: AdmissionPolicy::Fifo, ingest_buffer: 2 }
     }
 }
 
@@ -190,6 +263,22 @@ pub enum EventKind {
     ShardDone,
     /// The query's partials merged; the query is complete.
     Complete,
+    /// A mutation arrived (entered the ingest queue). For mutation
+    /// events the `arrival` field indexes
+    /// [`Workload::mutation_arrivals`].
+    MutationArrive,
+    /// The head mutation could not admit — some planned lane's ingest
+    /// buffer is full (`shard` names the first full lane). Recorded
+    /// once per stall episode; strict FIFO holds everything behind it.
+    MutationStall,
+    /// The mutation was admitted: applied to the engine (later-admitted
+    /// queries observe it) and its lane chains started.
+    MutationAdmit,
+    /// One ingest lane finished the mutation's slice chain, freeing its
+    /// buffer slot.
+    MutationLaneDone,
+    /// Every lane chain finished; the mutation is durable and complete.
+    MutationComplete,
 }
 
 /// One record of the simulated event timeline.
@@ -199,10 +288,12 @@ pub struct TimelineEvent {
     pub t_ns: f64,
     /// What happened.
     pub kind: EventKind,
-    /// Which arrival (index into the workload's trace).
+    /// Which arrival: an index into the workload's query arrival trace,
+    /// or — for `Mutation*` kinds — its mutation arrival trace.
     pub arrival: usize,
-    /// The shard involved, for [`EventKind::Dispatched`] /
-    /// [`EventKind::ShardDone`].
+    /// The shard/lane involved, for [`EventKind::Dispatched`] /
+    /// [`EventKind::ShardDone`] / [`EventKind::MutationStall`] /
+    /// [`EventKind::MutationLaneDone`].
     pub shard: Option<usize>,
 }
 
@@ -226,6 +317,10 @@ pub struct QueryCompletion {
     pub shards_dispatched: usize,
     /// Active shards pruned by the zone-map planner.
     pub shards_pruned: usize,
+    /// Mutations admitted before this query's admission — the snapshot
+    /// its answer reflects. Replaying exactly the first `epoch` arrived
+    /// mutations into a fresh engine reproduces the answer bit-exactly.
+    pub epoch: usize,
 }
 
 impl QueryCompletion {
@@ -246,6 +341,44 @@ impl QueryCompletion {
     }
 }
 
+/// Latency accounting for one completed (durable) mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MutationCompletion {
+    /// Index into the workload's mutation arrival trace.
+    pub arrival: usize,
+    /// The mutation's label.
+    pub label: String,
+    /// When the mutation arrived (entered the ingest queue).
+    pub arrive_ns: f64,
+    /// When the ingest buffer admitted it (the point later queries
+    /// start observing it).
+    pub admit_ns: f64,
+    /// When its last lane chain finished (durable).
+    pub complete_ns: f64,
+    /// Ingest lanes the mutation occupied.
+    pub lanes: usize,
+    /// Records rewritten (UPDATE), summed over lanes.
+    pub records_updated: u64,
+    /// Records appended (INSERT), summed over lanes.
+    pub records_inserted: u64,
+    /// This mutation's position in admission order, 1-based: queries
+    /// with [`QueryCompletion::epoch`] `>= epoch` observe it.
+    pub epoch: usize,
+}
+
+impl MutationCompletion {
+    /// End-to-end sojourn time (arrival → durable).
+    pub fn latency_ns(&self) -> f64 {
+        self.complete_ns - self.arrive_ns
+    }
+
+    /// Ingest-queue wait (arrival → admission), including any
+    /// backpressure stall.
+    pub fn wait_ns(&self) -> f64 {
+        self.admit_ns - self.arrive_ns
+    }
+}
+
 /// Everything one streamed run produces.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StreamOutcome {
@@ -254,33 +387,43 @@ pub struct StreamOutcome {
     /// Per-query latency records, in completion order (compare with
     /// arrival indices to observe out-of-order completion).
     pub completions: Vec<QueryCompletion>,
-    /// Merged executions in arrival order — bit-identical to
-    /// [`ClusterEngine::run_batch`] over
-    /// [`Workload::arrived_queries`].
+    /// Per-mutation latency records, in completion order (empty for
+    /// pure-query workloads).
+    pub mutation_completions: Vec<MutationCompletion>,
+    /// Merged executions in query arrival order — each bit-identical to
+    /// a fresh engine that replayed the first
+    /// [`QueryCompletion::epoch`] mutations and ran the query.
     pub executions: Vec<ClusterExecution>,
     /// The full event timeline (deterministic per input).
     pub timeline: Vec<TimelineEvent>,
-    /// When the last query completed.
+    /// When the last query or mutation completed.
     pub makespan_ns: f64,
     /// Host-channel busy time: dispatch, every tagged transfer slice
-    /// (under contention) and merges.
+    /// (under contention), mutation write phases and merges.
     pub host_busy_ns: f64,
-    /// Per-active-shard module-local busy time.
+    /// Per-lane module-local busy time. For pure-query workloads one
+    /// entry per active shard; with ingest, one per ingest lane
+    /// (auxiliary lanes — star dimension modules — after the shards).
     pub shard_busy_ns: Vec<f64>,
-    /// Per-active-shard accumulated worst-row cell writes over every
-    /// shard slice that ran there (the dormant endurance model's input,
-    /// now surfaced per module: UPDATE-heavy streams wear modules
+    /// Per-lane accumulated worst-row cell writes over every query
+    /// slice and mutation chain that ran there (the endurance model's
+    /// input, surfaced per module: UPDATE-heavy streams wear modules
     /// unevenly).
     pub shard_cell_writes: Vec<u64>,
-    /// Per-active-shard required cell endurance (write cycles) to
-    /// sustain that module's worst query back-to-back for ten years —
+    /// Per-lane required cell endurance (write cycles) to sustain that
+    /// module's worst query or mutation back-to-back for ten years —
     /// the paper's Fig. 9 metric, per module. Zero for modules whose
-    /// queries perform no PIM writes.
+    /// work performs no PIM writes.
     pub shard_required_endurance: Vec<f64>,
+    /// Backpressure stall episodes: times the head of the ingest queue
+    /// found a planned lane's buffer full.
+    pub ingest_stalls: usize,
+    /// Total simulated time the head of the ingest queue spent stalled.
+    pub ingest_stall_ns: f64,
 }
 
 impl StreamOutcome {
-    /// Latency distribution over all completions.
+    /// Latency distribution over all query completions.
     pub fn latency_summary(&self) -> LatencySummary {
         LatencySummary::of(&self.completions)
     }
@@ -316,7 +459,23 @@ impl StreamOutcome {
         self.host_busy_ns / self.makespan_ns
     }
 
-    /// Mean per-shard PIM utilisation over the makespan.
+    /// Latency distribution over the mutation completions (all-zero
+    /// for pure-query runs): wait is the ingest-queue sojourn
+    /// (backpressure included), service is admission → durable.
+    pub fn mutation_latency_summary(&self) -> LatencySummary {
+        LatencySummary::from_parts(
+            self.mutation_completions.iter().map(MutationCompletion::latency_ns).collect(),
+            &self.mutation_completions.iter().map(MutationCompletion::wait_ns).collect::<Vec<_>>(),
+            &self
+                .mutation_completions
+                .iter()
+                .map(|c| c.complete_ns - c.admit_ns)
+                .collect::<Vec<_>>(),
+            0,
+        )
+    }
+
+    /// Mean per-lane PIM utilisation over the makespan.
     pub fn mean_shard_utilisation(&self) -> f64 {
         if self.makespan_ns <= 0.0 || self.shard_busy_ns.is_empty() {
             return 0.0;
@@ -351,24 +510,39 @@ impl StreamOutcome {
     }
 }
 
-/// Mutable per-arrival simulation state.
+/// Mutable per-query-arrival simulation state.
 #[derive(Clone, Copy)]
 struct Progress {
     admit_ns: f64,
     first_service_ns: f64,
     remaining: usize,
+    epoch: usize,
+}
+
+/// Mutable per-mutation-arrival simulation state.
+#[derive(Clone, Copy)]
+struct MutProgress {
+    admit_ns: f64,
+    remaining: usize,
+    epoch: usize,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Ev {
-    /// An arrival enters the admission queue.
+    /// A query arrival enters the admission queue.
     Arrive(usize),
+    /// A mutation arrival enters the ingest queue.
+    MutArrive(usize),
     /// `(arrival, shard_pos, slice_idx)`: the slice's bus part ended.
     BusDone(usize, usize, usize),
     /// `(arrival, shard_pos, slice_idx)`: the slice's local part ended.
     LocalDone(usize, usize, usize),
     /// The query's host-side merge ended.
     MergeDone(usize),
+    /// `(mutation arrival, lane_pos, slice_idx)`: bus part ended.
+    MutBusDone(usize, usize, usize),
+    /// `(mutation arrival, lane_pos, slice_idx)`: local part ended.
+    MutLocalDone(usize, usize, usize),
 }
 
 /// Heap entry ordered by (time, insertion sequence) — the sequence
@@ -409,38 +583,69 @@ struct Tracks {
 }
 
 impl Tracks {
-    fn new(trace: &mut TraceRecorder, active_shards: usize) -> Option<Tracks> {
+    fn new(trace: &mut TraceRecorder, active_shards: usize, lanes: usize) -> Option<Tracks> {
         if !trace.is_enabled() {
             return None;
         }
         Some(Tracks {
             sched: trace.track("scheduler"),
             host: trace.track("host-bus"),
-            modules: (0..active_shards).map(|s| trace.track(&format!("module-{s}"))).collect(),
+            modules: (0..lanes)
+                .map(|s| {
+                    if s < active_shards {
+                        trace.track(&format!("module-{s}"))
+                    } else {
+                        trace.track(&format!("ingest-lane-{}", s - active_shards))
+                    }
+                })
+                .collect(),
         })
     }
 }
 
 /// The simulation state machine.
-struct Sim<'a> {
+struct Sim<'a, E: StreamEngine> {
     cfg: &'a SchedConfig,
     workload: &'a Workload,
-    demands: Vec<QueryDemand>,
+    cluster: &'a mut E,
+    want_detail: bool,
+    /// Mutations admitted so far — the snapshot counter.
+    epoch: usize,
+    /// Resolution cache: `(query index, epoch)` → resolved demand and
+    /// merged answer, shared by repeated arrivals between ingests.
+    by_query: HashMap<(usize, usize), (QueryDemand, ClusterExecution)>,
+    /// Per query arrival, filled at admission.
+    demands: Vec<Option<QueryDemand>>,
+    executions: Vec<Option<ClusterExecution>>,
+    /// SCSF candidate-count estimate, planned at arrival.
+    cand_est: Vec<usize>,
+    /// Per mutation arrival, filled at admission.
+    mut_demands: Vec<Option<MutationDemand>>,
     events: BinaryHeap<HeapEntry>,
     seq: u64,
     host: SharedBus,
     shard_bus: Vec<SharedBus>,
     waiting: Vec<usize>,
+    mut_waiting: VecDeque<usize>,
     in_flight: usize,
+    /// In-flight mutation count per ingest lane (the bounded buffer).
+    lane_inflight: Vec<usize>,
+    /// When the current head-of-queue stall began, if stalled.
+    stalled_since: Option<f64>,
+    ingest_stalls: usize,
+    ingest_stall_ns: f64,
     progress: Vec<Option<Progress>>,
+    mut_progress: Vec<Option<MutProgress>>,
     completions: Vec<QueryCompletion>,
+    mutation_completions: Vec<MutationCompletion>,
     timeline: Vec<TimelineEvent>,
     shard_cell_writes: Vec<u64>,
+    shard_endurance: Vec<f64>,
     trace: &'a mut TraceRecorder,
     tracks: Option<Tracks>,
 }
 
-impl Sim<'_> {
+impl<E: StreamEngine> Sim<'_, E> {
     fn push_event(&mut self, t_ns: f64, ev: Ev) {
         self.events.push(HeapEntry { t_ns, seq: self.seq, ev });
         self.seq += 1;
@@ -450,16 +655,32 @@ impl Sim<'_> {
         self.timeline.push(TimelineEvent { t_ns, kind, arrival, shard });
     }
 
-    /// Standard event attributes: the arrival index and its query id.
-    fn query_args(&self, ai: usize) -> Vec<(&'static str, ArgValue)> {
-        vec![
-            ("arrival", ArgValue::U64(ai as u64)),
-            ("query", ArgValue::Str(self.demands[ai].query_id.clone())),
-        ]
+    /// The admitted demand of a query arrival.
+    fn qd(&self, ai: usize) -> &QueryDemand {
+        self.demands[ai].as_ref().expect("demand resolved at admission")
     }
 
-    /// Sample the two scheduler counters (admission-queue depth and
-    /// in-flight count) onto the scheduler track.
+    /// The admitted demand of a mutation arrival.
+    fn md(&self, mi: usize) -> &MutationDemand {
+        self.mut_demands[mi].as_ref().expect("mutation compiled at admission")
+    }
+
+    /// Standard event attributes: the arrival index and its query id.
+    fn query_args(&self, ai: usize) -> Vec<(&'static str, ArgValue)> {
+        let id = self.workload.queries()[self.workload.arrivals()[ai].query].id.clone();
+        vec![("arrival", ArgValue::U64(ai as u64)), ("query", ArgValue::Str(id))]
+    }
+
+    /// Standard mutation event attributes.
+    fn mutation_args(&self, mi: usize) -> Vec<(&'static str, ArgValue)> {
+        let label =
+            self.workload.mutations()[self.workload.mutation_arrivals()[mi].mutation].label();
+        vec![("ingest", ArgValue::U64(mi as u64)), ("mutation", ArgValue::Str(label))]
+    }
+
+    /// Sample the scheduler counters (admission-queue depth, in-flight
+    /// count, and — on HTAP workloads — ingest-queue depth) onto the
+    /// scheduler track.
     fn trace_queue_counters(&mut self, t_ns: f64) {
         if let Some(tracks) = &self.tracks {
             let sched = tracks.sched;
@@ -467,6 +688,10 @@ impl Sim<'_> {
             let in_flight = self.in_flight as f64;
             self.trace.counter(sched, "admission-queue", t_ns, depth);
             self.trace.counter(sched, "in-flight", t_ns, in_flight);
+            if self.workload.has_mutations() {
+                let ingest = self.mut_waiting.len() as f64;
+                self.trace.counter(sched, "ingest-queue", t_ns, ingest);
+            }
         }
     }
 
@@ -480,23 +705,23 @@ impl Sim<'_> {
                 .waiting
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, &ai)| (self.demands[ai].shards.len(), ai))
+                .min_by_key(|(_, &ai)| (self.cand_est[ai], ai))
                 .map(|(pos, _)| pos)
                 .expect("pick_next on an empty queue"),
         }
     }
 
-    /// Start one slice of a shard chain at `now_ns`: its bus part rides
-    /// the shared channel first (free when zero-width), then its local
-    /// part queues on the shard. Returns the bus grant start when the
-    /// slice touched the bus.
+    /// Start one slice of a query shard chain at `now_ns`: its bus part
+    /// rides the shared channel first (free when zero-width), then its
+    /// local part queues on the shard. Returns the bus grant start when
+    /// the slice touched the bus.
     fn start_slice(&mut self, now_ns: f64, ai: usize, sp: usize, idx: usize) -> Option<f64> {
-        let slice = self.demands[ai].shards[sp].slices[idx];
+        let slice = self.qd(ai).shards[sp].slices[idx];
         if slice.bus_ns > 0.0 {
             let grant = self.host.acquire(now_ns, slice.bus_ns);
             self.push_event(grant.end_ns, Ev::BusDone(ai, sp, idx));
             if let Some(tracks) = &self.tracks {
-                let (host, shard) = (tracks.host, self.demands[ai].shards[sp].shard);
+                let (host, shard) = (tracks.host, self.qd(ai).shards[sp].shard);
                 let name = slice.bus_kind.map_or("bus", |k| k.label());
                 let mut args = self.query_args(ai);
                 args.push(("shard", ArgValue::U64(shard as u64)));
@@ -511,8 +736,122 @@ impl Sim<'_> {
         }
     }
 
-    /// Admit from the queue while in-flight slots are free.
-    fn try_admit(&mut self, now_ns: f64) {
+    /// Start one slice of a mutation lane chain (same bus-then-local
+    /// shape as query slices — ingest writes queue on the shared
+    /// channel like any transfer).
+    fn start_mut_slice(&mut self, now_ns: f64, mi: usize, lp: usize, idx: usize) {
+        let slice = self.md(mi).lanes[lp].slices[idx];
+        if slice.bus_ns > 0.0 {
+            let grant = self.host.acquire(now_ns, slice.bus_ns);
+            self.push_event(grant.end_ns, Ev::MutBusDone(mi, lp, idx));
+            if let Some(tracks) = &self.tracks {
+                let (host, lane) = (tracks.host, self.md(mi).lanes[lp].shard);
+                let name = slice.bus_kind.map_or("bus", |k| k.label());
+                let mut args = self.mutation_args(mi);
+                args.push(("lane", ArgValue::U64(lane as u64)));
+                args.push(("wait_ns", ArgValue::F64(grant.start_ns - now_ns)));
+                args.push(("bytes", ArgValue::U64(slice.bus_bytes)));
+                self.trace.span(host, name, grant.start_ns, slice.bus_ns, args);
+            }
+        } else {
+            self.push_event(now_ns, Ev::MutBusDone(mi, lp, idx));
+        }
+    }
+
+    /// Admit work while capacity allows: ingest first (strict FIFO
+    /// behind the bounded per-lane buffer), then queries (policy
+    /// order behind the in-flight bound). Mutations admit first so a
+    /// query and a mutation released by the same event see the
+    /// mutation in the query's snapshot — admission order, not
+    /// event-processing luck, defines the epoch.
+    fn try_admit(&mut self, now_ns: f64) -> Result<(), SchedError> {
+        self.try_admit_mutations(now_ns)?;
+        self.try_admit_queries(now_ns)
+    }
+
+    /// Strict-FIFO ingest admission behind the bounded per-lane buffer.
+    fn try_admit_mutations(&mut self, now_ns: f64) -> Result<(), SchedError> {
+        while let Some(&mi) = self.mut_waiting.front() {
+            let m = &self.workload.mutations()[self.workload.mutation_arrivals()[mi].mutation];
+            let lanes = self.cluster.plan_mutation_lanes(m)?;
+            let full = lanes.iter().find(|&&l| self.lane_inflight[l] >= self.cfg.ingest_buffer);
+            if let Some(&lane) = full {
+                if self.stalled_since.is_none() {
+                    // Head-of-line backpressure: record once per
+                    // episode; everything behind the head waits too.
+                    self.stalled_since = Some(now_ns);
+                    self.ingest_stalls += 1;
+                    self.record(now_ns, EventKind::MutationStall, mi, Some(lane));
+                    if let Some(tracks) = &self.tracks {
+                        let sched = tracks.sched;
+                        let mut args = self.mutation_args(mi);
+                        args.push(("lane", ArgValue::U64(lane as u64)));
+                        self.trace.instant(sched, "ingest-stall", now_ns, args);
+                    }
+                }
+                return Ok(());
+            }
+            if let Some(since) = self.stalled_since.take() {
+                self.ingest_stall_ns += now_ns - since;
+            }
+            self.mut_waiting.pop_front();
+            self.admit_mutation(now_ns, mi)?;
+        }
+        Ok(())
+    }
+
+    /// Admit one mutation: bump the epoch, apply it to the engine (the
+    /// snapshot point), compile its lane chains and start them.
+    fn admit_mutation(&mut self, now_ns: f64, mi: usize) -> Result<(), SchedError> {
+        self.record(now_ns, EventKind::MutationAdmit, mi, None);
+        if let Some(tracks) = &self.tracks {
+            let sched = tracks.sched;
+            let mut args = self.mutation_args(mi);
+            let arrive = self.workload.mutation_arrivals()[mi].at_ns;
+            args.push(("queued_ns", ArgValue::F64(now_ns - arrive)));
+            self.trace.instant(sched, "ingest-admit", now_ns, args);
+        }
+        self.epoch += 1;
+        let m = &self.workload.mutations()[self.workload.mutation_arrivals()[mi].mutation];
+        let applied = self.cluster.apply_mutation(m)?;
+        let contention = self.cluster.contention();
+        let demand = match self.cluster.host_config() {
+            Some(host) => {
+                compile_mutation_demand(m.label(), &applied, &host, contention, self.want_detail)
+            }
+            None => compile_mutation_demand(m.label(), &[], &HostConfig::default(), false, false),
+        };
+        for ld in &demand.lanes {
+            self.shard_endurance[ld.shard] =
+                self.shard_endurance[ld.shard].max(ld.required_endurance);
+        }
+        let n_lanes = demand.lanes.len();
+        let epoch = self.epoch;
+        self.mut_demands[mi] = Some(demand);
+        if n_lanes == 0 {
+            // Zone maps admitted nothing (or the engine absorbed the
+            // mutation without PIM work): durable at admission.
+            self.complete_mutation(
+                now_ns,
+                mi,
+                MutProgress { admit_ns: now_ns, remaining: 0, epoch },
+            );
+            return Ok(());
+        }
+        for lp in 0..n_lanes {
+            let lane = self.md(mi).lanes[lp].shard;
+            self.lane_inflight[lane] += 1;
+            self.start_mut_slice(now_ns, mi, lp, 0);
+        }
+        self.mut_progress[mi] = Some(MutProgress { admit_ns: now_ns, remaining: n_lanes, epoch });
+        self.trace_queue_counters(now_ns);
+        Ok(())
+    }
+
+    /// Admit queries from the queue while in-flight slots are free,
+    /// resolving each one's demand against the current (admitted-
+    /// mutation) engine state.
+    fn try_admit_queries(&mut self, now_ns: f64) -> Result<(), SchedError> {
         while self.in_flight < self.cfg.max_in_flight && !self.waiting.is_empty() {
             let ai = self.waiting.remove(self.pick_next());
             self.record(now_ns, EventKind::Admit, ai, None);
@@ -523,7 +862,26 @@ impl Sim<'_> {
                 args.push(("queued_ns", ArgValue::F64(now_ns - arrive)));
                 self.trace.instant(sched, "admit", now_ns, args);
             }
-            let (n_shards, merge_ns) = (self.demands[ai].shards.len(), self.demands[ai].merge_ns);
+            // Snapshot-consistent resolution: plan and execute against
+            // exactly the mutations admitted so far, caching per
+            // (query, epoch) so repeated arrivals between ingests share
+            // one deterministic, read-only resolution.
+            let qi = self.workload.arrivals()[ai].query;
+            let key = (qi, self.epoch);
+            if !self.by_query.contains_key(&key) {
+                let query = &self.workload.queries()[qi];
+                let resolved = resolve_query_demand(&mut *self.cluster, query, self.want_detail)?;
+                for sd in &resolved.0.shards {
+                    self.shard_endurance[sd.shard] =
+                        self.shard_endurance[sd.shard].max(sd.required_endurance);
+                }
+                self.by_query.insert(key, resolved);
+            }
+            let (demand, merged) = self.by_query.get(&key).expect("resolved above");
+            self.demands[ai] = Some(demand.clone());
+            self.executions[ai] = Some(merged.clone());
+            let (n_shards, merge_ns) = (self.qd(ai).shards.len(), self.qd(ai).merge_ns);
+            let epoch = self.epoch;
             if n_shards == 0 {
                 // The planner answered the query: nothing to dispatch,
                 // the (empty) merge is free, the slot never fills.
@@ -531,7 +889,7 @@ impl Sim<'_> {
                 self.complete(
                     now_ns,
                     ai,
-                    Progress { admit_ns: now_ns, first_service_ns: now_ns, remaining: 0 },
+                    Progress { admit_ns: now_ns, first_service_ns: now_ns, remaining: 0, epoch },
                 );
                 self.trace_queue_counters(now_ns);
                 continue;
@@ -550,9 +908,10 @@ impl Sim<'_> {
                 first_service_ns = now_ns;
             }
             self.progress[ai] =
-                Some(Progress { admit_ns: now_ns, first_service_ns, remaining: n_shards });
+                Some(Progress { admit_ns: now_ns, first_service_ns, remaining: n_shards, epoch });
             self.trace_queue_counters(now_ns);
         }
+        Ok(())
     }
 
     fn complete(&mut self, now_ns: f64, ai: usize, p: Progress) {
@@ -564,7 +923,7 @@ impl Sim<'_> {
             args.push(("latency_ns", ArgValue::F64(now_ns - arrive)));
             self.trace.instant(sched, "complete", now_ns, args);
         }
-        let d = &self.demands[ai];
+        let d = self.qd(ai);
         self.completions.push(QueryCompletion {
             arrival: ai,
             query_id: d.query_id.clone(),
@@ -574,17 +933,41 @@ impl Sim<'_> {
             complete_ns: now_ns,
             shards_dispatched: d.shards.len(),
             shards_pruned: d.shards_pruned,
+            epoch: p.epoch,
         });
     }
 
-    /// A shard chain finished its last slice.
+    fn complete_mutation(&mut self, now_ns: f64, mi: usize, p: MutProgress) {
+        self.record(now_ns, EventKind::MutationComplete, mi, None);
+        if let Some(tracks) = &self.tracks {
+            let sched = tracks.sched;
+            let mut args = self.mutation_args(mi);
+            let arrive = self.workload.mutation_arrivals()[mi].at_ns;
+            args.push(("latency_ns", ArgValue::F64(now_ns - arrive)));
+            self.trace.instant(sched, "ingest-complete", now_ns, args);
+        }
+        let d = self.md(mi);
+        self.mutation_completions.push(MutationCompletion {
+            arrival: mi,
+            label: d.label.clone(),
+            arrive_ns: self.workload.mutation_arrivals()[mi].at_ns,
+            admit_ns: p.admit_ns,
+            complete_ns: now_ns,
+            lanes: d.lanes.len(),
+            records_updated: d.records_updated,
+            records_inserted: d.records_inserted,
+            epoch: p.epoch,
+        });
+    }
+
+    /// A query's shard chain finished its last slice.
     fn shard_done(&mut self, t: f64, ai: usize, sp: usize, shard: usize) {
         self.record(t, EventKind::ShardDone, ai, Some(shard));
-        self.shard_cell_writes[shard] += self.demands[ai].shards[sp].cell_writes;
+        self.shard_cell_writes[shard] += self.qd(ai).shards[sp].cell_writes;
         let p = self.progress[ai].as_mut().expect("in-flight query has progress");
         p.remaining -= 1;
         if p.remaining == 0 {
-            let merge_ns = self.demands[ai].merge_ns;
+            let merge_ns = self.qd(ai).merge_ns;
             let grant = self.host.acquire(t, merge_ns);
             self.push_event(grant.end_ns, Ev::MergeDone(ai));
             if merge_ns > 0.0 {
@@ -598,15 +981,38 @@ impl Sim<'_> {
         }
     }
 
+    /// A mutation's lane chain finished its last slice: free the lane's
+    /// ingest-buffer slot (the stalled head may now clear) and complete
+    /// the mutation when it was the last lane.
+    fn mut_lane_done(
+        &mut self,
+        t: f64,
+        mi: usize,
+        lp: usize,
+        lane: usize,
+    ) -> Result<(), SchedError> {
+        self.record(t, EventKind::MutationLaneDone, mi, Some(lane));
+        self.shard_cell_writes[lane] += self.md(mi).lanes[lp].cell_writes;
+        self.lane_inflight[lane] -= 1;
+        let p = self.mut_progress[mi].as_mut().expect("in-flight mutation has progress");
+        p.remaining -= 1;
+        if p.remaining == 0 {
+            let p = self.mut_progress[mi].take().expect("taken once");
+            self.complete_mutation(t, mi, p);
+        }
+        self.trace_queue_counters(t);
+        self.try_admit(t)
+    }
+
     /// Emit the module-track spans for one local window
     /// `[start_ns, start_ns + local_ns]`: the per-phase composition
     /// when the chain was compiled with detail, one opaque `local`
     /// span otherwise.
     fn trace_local(&mut self, ai: usize, sp: usize, idx: usize, start_ns: f64, local_ns: f64) {
         let Some(tracks) = &self.tracks else { return };
-        let shard = self.demands[ai].shards[sp].shard;
+        let shard = self.qd(ai).shards[sp].shard;
         let module = tracks.modules[shard];
-        let detail = self.demands[ai].shards[sp].detail.get(idx).cloned().unwrap_or_default();
+        let detail = self.qd(ai).shards[sp].detail.get(idx).cloned().unwrap_or_default();
         if detail.is_empty() {
             let args = self.query_args(ai);
             self.trace.span(module, "local", start_ns, local_ns, args);
@@ -620,7 +1026,26 @@ impl Sim<'_> {
         }
     }
 
-    fn run(mut self, executions: Vec<ClusterExecution>) -> StreamOutcome {
+    /// Module-track spans for one mutation local window.
+    fn trace_mut_local(&mut self, mi: usize, lp: usize, idx: usize, start_ns: f64, local_ns: f64) {
+        let Some(tracks) = &self.tracks else { return };
+        let lane = self.md(mi).lanes[lp].shard;
+        let module = tracks.modules[lane];
+        let detail = self.md(mi).lanes[lp].detail.get(idx).cloned().unwrap_or_default();
+        if detail.is_empty() {
+            let args = self.mutation_args(mi);
+            self.trace.span(module, "ingest", start_ns, local_ns, args);
+            return;
+        }
+        let mut at = start_ns;
+        for (kind, dt) in detail {
+            let args = self.mutation_args(mi);
+            self.trace.span(module, kind.label(), at, dt, args);
+            at += dt;
+        }
+    }
+
+    fn run(mut self) -> Result<StreamOutcome, SchedError> {
         let policy = self.cfg.policy;
         while let Some(entry) = self.events.pop() {
             let t = entry.t_ns;
@@ -632,13 +1057,31 @@ impl Sim<'_> {
                         let args = self.query_args(ai);
                         self.trace.instant(sched, "arrive", t, args);
                     }
+                    // SCSF's size estimate, planned against the zone
+                    // maps as they stand at arrival (heuristic only —
+                    // the real demand is planned at admission).
+                    let qi = self.workload.arrivals()[ai].query;
+                    let filter = &self.workload.queries()[qi].filter;
+                    self.cand_est[ai] =
+                        self.cluster.plan_shards(filter)?.iter().filter(|&&b| b).count();
                     self.waiting.push(ai);
                     self.trace_queue_counters(t);
-                    self.try_admit(t);
+                    self.try_admit(t)?;
+                }
+                Ev::MutArrive(mi) => {
+                    self.record(t, EventKind::MutationArrive, mi, None);
+                    if let Some(tracks) = &self.tracks {
+                        let sched = tracks.sched;
+                        let args = self.mutation_args(mi);
+                        self.trace.instant(sched, "ingest-arrive", t, args);
+                    }
+                    self.mut_waiting.push_back(mi);
+                    self.trace_queue_counters(t);
+                    self.try_admit(t)?;
                 }
                 Ev::BusDone(ai, sp, idx) => {
                     let (shard, slice) = {
-                        let d = &self.demands[ai].shards[sp];
+                        let d = &self.qd(ai).shards[sp];
                         (d.shard, d.slices[idx])
                     };
                     if idx == 0 {
@@ -654,7 +1097,7 @@ impl Sim<'_> {
                 }
                 Ev::LocalDone(ai, sp, idx) => {
                     let (shard, len) = {
-                        let d = &self.demands[ai].shards[sp];
+                        let d = &self.qd(ai).shards[sp];
                         (d.shard, d.slices.len())
                     };
                     if idx + 1 < len {
@@ -668,22 +1111,59 @@ impl Sim<'_> {
                     self.complete(t, ai, p);
                     self.in_flight -= 1;
                     self.trace_queue_counters(t);
-                    self.try_admit(t);
+                    self.try_admit(t)?;
+                }
+                Ev::MutBusDone(mi, lp, idx) => {
+                    let (lane, slice) = {
+                        let d = &self.md(mi).lanes[lp];
+                        (d.shard, d.slices[idx])
+                    };
+                    if slice.local_ns > 0.0 {
+                        let grant = self.shard_bus[lane].acquire(t, slice.local_ns);
+                        self.push_event(grant.end_ns, Ev::MutLocalDone(mi, lp, idx));
+                        self.trace_mut_local(mi, lp, idx, grant.start_ns, slice.local_ns);
+                    } else {
+                        self.push_event(t, Ev::MutLocalDone(mi, lp, idx));
+                    }
+                }
+                Ev::MutLocalDone(mi, lp, idx) => {
+                    let (lane, len) = {
+                        let d = &self.md(mi).lanes[lp];
+                        (d.shard, d.slices.len())
+                    };
+                    if idx + 1 < len {
+                        self.start_mut_slice(t, mi, lp, idx + 1);
+                    } else {
+                        self.mut_lane_done(t, mi, lp, lane)?;
+                    }
                 }
             }
         }
-        let makespan_ns = self.completions.iter().map(|c| c.complete_ns).fold(0.0, f64::max);
-        StreamOutcome {
+        let makespan_ns = self
+            .completions
+            .iter()
+            .map(|c| c.complete_ns)
+            .chain(self.mutation_completions.iter().map(|c| c.complete_ns))
+            .fold(0.0, f64::max);
+        let executions = self
+            .executions
+            .into_iter()
+            .map(|e| e.expect("every arrival admits and completes"))
+            .collect();
+        Ok(StreamOutcome {
             policy,
             completions: self.completions,
+            mutation_completions: self.mutation_completions,
             executions,
             timeline: self.timeline,
             makespan_ns,
             host_busy_ns: self.host.busy_ns(),
             shard_busy_ns: self.shard_bus.iter().map(SharedBus::busy_ns).collect(),
             shard_cell_writes: self.shard_cell_writes,
-            shard_required_endurance: Vec::new(),
-        }
+            shard_required_endurance: self.shard_endurance,
+            ingest_stalls: self.ingest_stalls,
+            ingest_stall_ns: self.ingest_stall_ns,
+        })
     }
 }
 
@@ -691,20 +1171,24 @@ impl Sim<'_> {
 /// pre-joined [`ClusterEngine`] or the normalized star-join cluster —
 /// under `cfg`.
 ///
-/// Service demands come from real per-shard executions, so the merged
-/// answers in [`StreamOutcome::executions`] are bit-identical to
-/// [`ClusterEngine::run_batch`] over the same arrived queries; the
-/// discrete-event timeline then decides *when* each query's slices run
-/// under admission control, per-shard FIFO queues and the shared host
-/// channel. With [`ClusterEngine::contention`] on (the default), every
+/// Query service demands come from real per-shard executions resolved
+/// *at admission* against exactly the mutations admitted before them,
+/// so each merged answer in [`StreamOutcome::executions`] is
+/// bit-identical to a fresh engine that replayed that admission prefix
+/// and ran the query (for pure-query workloads: bit-identical to
+/// [`ClusterEngine::run_batch`] over the same arrived queries). The
+/// discrete-event timeline then decides *when* each query's slices and
+/// each mutation's write phases run under admission control, bounded
+/// per-lane ingest buffers, per-shard FIFO queues and the shared host
+/// channel. With [`StreamEngine::contention`] on (the default), every
 /// tagged host phase — dispatch, mask transfers, result reads, host-gb
-/// fetches — queues on the one bus; with it off only dispatch and
-/// merge do.
+/// fetches, ingest writes — queues on the one bus; with it off only
+/// dispatch and merge do.
 ///
 /// # Errors
 ///
-/// [`SchedError::InvalidConfig`] for a zero in-flight bound;
-/// cluster/planner failures otherwise.
+/// [`SchedError::InvalidConfig`] for a zero in-flight bound or a zero
+/// ingest buffer; cluster/planner failures otherwise.
 pub fn run_stream<E: StreamEngine>(
     cluster: &mut E,
     workload: &Workload,
@@ -715,13 +1199,15 @@ pub fn run_stream<E: StreamEngine>(
 }
 
 /// [`run_stream`] with a [`TraceRecorder`]: when the recorder is
-/// enabled, every scheduler admission/completion, every host-bus grant
-/// (with its queueing wait and byte payload) and every module-local
-/// phase window is recorded on named tracks — `scheduler`, `host-bus`,
-/// `module-<k>` — on the simulated clock. The recorder **never**
-/// changes the simulation: the event timeline, completions and merged
-/// executions are identical with tracing on, off, or disabled (the
-/// oracle-equivalence suites assert exactly this).
+/// enabled, every scheduler admission/completion, every ingest
+/// stall/admission, every host-bus grant (with its queueing wait and
+/// byte payload) and every module-local phase window is recorded on
+/// named tracks — `scheduler`, `host-bus`, `module-<k>`, and
+/// `ingest-lane-<d>` for auxiliary ingest lanes — on the simulated
+/// clock. The recorder **never** changes the simulation: the event
+/// timeline, completions and merged executions are identical with
+/// tracing on, off, or disabled (the oracle-equivalence suites assert
+/// exactly this).
 ///
 /// # Errors
 ///
@@ -735,58 +1221,59 @@ pub fn run_stream_traced<E: StreamEngine>(
     if cfg.max_in_flight == 0 {
         return Err(SchedError::InvalidConfig("max_in_flight must be at least 1".into()));
     }
-    let want_detail = trace.is_enabled();
-
-    // Resolve every *distinct* query's service demand once by
-    // executing its shard slices (deterministic and read-only, so
-    // repeated arrivals of the same query share the computation) and
-    // merging the partials exactly as `run`/`run_batch` would.
-    let mut by_query: Vec<Option<(QueryDemand, ClusterExecution)>> = Vec::new();
-    by_query.resize_with(workload.queries().len(), || None);
-    let mut demands = Vec::with_capacity(workload.len());
-    let mut executions = Vec::with_capacity(workload.len());
-    let active_shards = cluster.active_shards();
-    // Worst-query required endurance per module (Fig. 9 per shard):
-    // max over distinct queries that execute there.
-    let mut shard_endurance = vec![0.0f64; active_shards];
-    for arrival in workload.arrivals() {
-        if by_query[arrival.query].is_none() {
-            let query = &workload.queries()[arrival.query];
-            let (demand, merged) = resolve_query_demand(cluster, query, want_detail)?;
-            for sd in &demand.shards {
-                shard_endurance[sd.shard] = shard_endurance[sd.shard].max(sd.required_endurance);
-            }
-            by_query[arrival.query] = Some((demand, merged));
-        }
-        let (demand, merged) = by_query[arrival.query].as_ref().expect("resolved above");
-        demands.push(demand.clone());
-        executions.push(merged.clone());
+    if cfg.ingest_buffer == 0 {
+        return Err(SchedError::InvalidConfig("ingest_buffer must be at least 1".into()));
     }
-
-    let tracks = Tracks::new(trace, active_shards);
+    let want_detail = trace.is_enabled();
+    let active_shards = cluster.active_shards();
+    // Pure-query runs keep the per-shard shape; ingest runs widen the
+    // lane vectors to every ingest lane (star dimension modules after
+    // the fact shards).
+    let lanes = if workload.has_mutations() {
+        cluster.ingest_lanes().max(active_shards)
+    } else {
+        active_shards
+    };
+    let tracks = Tracks::new(trace, active_shards, lanes);
     let mut sim = Sim {
         cfg,
         workload,
-        demands,
+        cluster,
+        want_detail,
+        epoch: 0,
+        by_query: HashMap::new(),
+        demands: vec![None; workload.len()],
+        executions: vec![None; workload.len()],
+        cand_est: vec![0; workload.len()],
+        mut_demands: vec![None; workload.mutation_arrivals().len()],
         events: BinaryHeap::new(),
         seq: 0,
         host: SharedBus::new(),
-        shard_bus: vec![SharedBus::new(); active_shards],
+        shard_bus: vec![SharedBus::new(); lanes],
         waiting: Vec::new(),
+        mut_waiting: VecDeque::new(),
         in_flight: 0,
+        lane_inflight: vec![0; lanes],
+        stalled_since: None,
+        ingest_stalls: 0,
+        ingest_stall_ns: 0.0,
         progress: vec![None; workload.len()],
+        mut_progress: vec![None; workload.mutation_arrivals().len()],
         completions: Vec::with_capacity(workload.len()),
+        mutation_completions: Vec::with_capacity(workload.mutation_arrivals().len()),
         timeline: Vec::new(),
-        shard_cell_writes: vec![0; active_shards],
+        shard_cell_writes: vec![0; lanes],
+        shard_endurance: vec![0.0; lanes],
         trace,
         tracks,
     };
     for (ai, arrival) in workload.arrivals().iter().enumerate() {
         sim.push_event(arrival.at_ns, Ev::Arrive(ai));
     }
-    let mut out = sim.run(executions);
-    out.shard_required_endurance = shard_endurance;
-    Ok(out)
+    for (mi, arrival) in workload.mutation_arrivals().iter().enumerate() {
+        sim.push_event(arrival.at_ns, Ev::MutArrive(mi));
+    }
+    sim.run()
 }
 
 /// The horizon the per-module required-endurance figures assume (the

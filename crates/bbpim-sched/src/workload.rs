@@ -1,14 +1,21 @@
-//! Timestamped query workloads.
+//! Timestamped query + mutation workloads.
 //!
 //! A [`Workload`] is a query set plus a sequence of [`Arrival`]s —
-//! *which* query arrives *when*. [`Workload::poisson`] draws a seeded
-//! open-loop arrival process (exponential interarrival times, queries
-//! picked uniformly), the standard model for "many independent users";
+//! *which* query arrives *when* — and, for HTAP streams, a mutation
+//! set plus a sequence of [`MutationArrival`]s interleaved on the same
+//! clock. [`Workload::poisson`] draws a seeded open-loop arrival
+//! process (exponential interarrival times, queries picked uniformly),
+//! the standard model for "many independent users";
+//! [`Workload::poisson_htap`] draws **one** seeded process and flips a
+//! seeded coin per arrival to make it a query or a mutation — the
+//! mixed-stream model the ingest scheduler consumes;
 //! [`Workload::burst`] drops everything at time zero (a closed batch,
 //! useful for comparing against [`bbpim_cluster::ClusterEngine::run_batch`]);
-//! [`Workload::new`] accepts hand-written traces. Everything is a pure
-//! function of its inputs, so a seed fully determines the trace.
+//! [`Workload::new`] / [`Workload::with_mutations`] accept hand-written
+//! traces. Everything is a pure function of its inputs, so a seed fully
+//! determines the trace.
 
+use bbpim_core::mutation::Mutation;
 use bbpim_db::plan::Query;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -24,15 +31,27 @@ pub struct Arrival {
     pub query: usize,
 }
 
-/// A query set plus its arrival trace (sorted by time).
+/// One timestamped mutation arrival (streaming ingest).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MutationArrival {
+    /// Simulated arrival time, nanoseconds.
+    pub at_ns: f64,
+    /// Index into the workload's mutation set.
+    pub mutation: usize,
+}
+
+/// A query set plus its arrival trace (sorted by time), optionally
+/// interleaved with a mutation set and its own sorted arrival trace.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Workload {
     queries: Vec<Query>,
     arrivals: Vec<Arrival>,
+    mutations: Vec<Mutation>,
+    mutation_arrivals: Vec<MutationArrival>,
 }
 
 impl Workload {
-    /// A workload from an explicit trace.
+    /// A pure-query workload from an explicit trace.
     ///
     /// # Errors
     ///
@@ -40,6 +59,23 @@ impl Workload {
     /// query outside the set, times are negative or non-finite, or the
     /// trace is not sorted by arrival time.
     pub fn new(queries: Vec<Query>, arrivals: Vec<Arrival>) -> Result<Workload, SchedError> {
+        Workload::with_mutations(queries, arrivals, Vec::new(), Vec::new())
+    }
+
+    /// A mixed query/mutation workload from explicit traces. The two
+    /// traces share one simulated clock; each must be independently
+    /// sorted by time.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::InvalidWorkload`] for out-of-range indices,
+    /// invalid times, or an unsorted trace (either one).
+    pub fn with_mutations(
+        queries: Vec<Query>,
+        arrivals: Vec<Arrival>,
+        mutations: Vec<Mutation>,
+        mutation_arrivals: Vec<MutationArrival>,
+    ) -> Result<Workload, SchedError> {
         for (i, a) in arrivals.iter().enumerate() {
             if a.query >= queries.len() {
                 return Err(SchedError::InvalidWorkload(format!(
@@ -60,7 +96,27 @@ impl Workload {
                 )));
             }
         }
-        Ok(Workload { queries, arrivals })
+        for (i, a) in mutation_arrivals.iter().enumerate() {
+            if a.mutation >= mutations.len() {
+                return Err(SchedError::InvalidWorkload(format!(
+                    "mutation arrival {i} references mutation {} of {}",
+                    a.mutation,
+                    mutations.len()
+                )));
+            }
+            if !a.at_ns.is_finite() || a.at_ns < 0.0 {
+                return Err(SchedError::InvalidWorkload(format!(
+                    "mutation arrival {i} at invalid time {}",
+                    a.at_ns
+                )));
+            }
+            if i > 0 && mutation_arrivals[i - 1].at_ns > a.at_ns {
+                return Err(SchedError::InvalidWorkload(format!(
+                    "mutation arrivals must be sorted by time (index {i})"
+                )));
+            }
+        }
+        Ok(Workload { queries, arrivals, mutations, mutation_arrivals })
     }
 
     /// A seeded open-loop arrival process: `n` arrivals with
@@ -94,7 +150,62 @@ impl Workload {
                 Arrival { at_ns: t, query: rng.gen_range(0..queries.len()) }
             })
             .collect();
-        Workload { queries, arrivals }
+        Workload { queries, arrivals, mutations: Vec::new(), mutation_arrivals: Vec::new() }
+    }
+
+    /// A seeded open-loop **HTAP** arrival process: one exponential
+    /// clock (mean `mean_interarrival_ns`) drives `n` arrivals, and
+    /// each arrival is a mutation with probability `mutation_frac`
+    /// (picked uniformly from `mutations`), otherwise a query (picked
+    /// uniformly from `queries`). Because queries and mutations share
+    /// one clock *and one RNG stream*, the full interleaving — times,
+    /// kinds, and picks — is a pure function of
+    /// `(queries.len(), mutations.len(), n, mutation_frac,
+    /// mean_interarrival_ns, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the mean is negative/non-finite, `mutation_frac` is
+    /// outside `[0, 1]`, or either set is empty while its side of the
+    /// coin can come up (`queries` empty with `mutation_frac < 1`,
+    /// `mutations` empty with `mutation_frac > 0`) and `n > 0`.
+    pub fn poisson_htap(
+        queries: Vec<Query>,
+        mutations: Vec<Mutation>,
+        n: usize,
+        mutation_frac: f64,
+        mean_interarrival_ns: f64,
+        seed: u64,
+    ) -> Workload {
+        assert!(
+            mean_interarrival_ns.is_finite() && mean_interarrival_ns >= 0.0,
+            "mean interarrival must be finite and non-negative"
+        );
+        assert!((0.0..=1.0).contains(&mutation_frac), "mutation_frac must be in [0, 1]");
+        if n > 0 {
+            assert!(!queries.is_empty() || mutation_frac >= 1.0, "queries may arrive: need some");
+            assert!(
+                !mutations.is_empty() || mutation_frac <= 0.0,
+                "mutations may arrive: need some"
+            );
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = 0.0f64;
+        let mut arrivals = Vec::new();
+        let mut mutation_arrivals = Vec::new();
+        for _ in 0..n {
+            let u: f64 = rng.gen();
+            t += -mean_interarrival_ns * (1.0 - u).ln();
+            if rng.gen::<f64>() < mutation_frac {
+                mutation_arrivals.push(MutationArrival {
+                    at_ns: t,
+                    mutation: rng.gen_range(0..mutations.len()),
+                });
+            } else {
+                arrivals.push(Arrival { at_ns: t, query: rng.gen_range(0..queries.len()) });
+            }
+        }
+        Workload { queries, arrivals, mutations, mutation_arrivals }
     }
 
     /// A closed batch: every query of the set arrives once, in order,
@@ -102,7 +213,7 @@ impl Workload {
     /// [`bbpim_cluster::ClusterEngine::run_batch`] over the same set.
     pub fn burst(queries: Vec<Query>) -> Workload {
         let arrivals = (0..queries.len()).map(|query| Arrival { at_ns: 0.0, query }).collect();
-        Workload { queries, arrivals }
+        Workload { queries, arrivals, mutations: Vec::new(), mutation_arrivals: Vec::new() }
     }
 
     /// The query set.
@@ -115,14 +226,29 @@ impl Workload {
         &self.arrivals
     }
 
-    /// Number of arrivals.
+    /// The mutation set (empty for pure-query workloads).
+    pub fn mutations(&self) -> &[Mutation] {
+        &self.mutations
+    }
+
+    /// The mutation arrival trace, sorted by time.
+    pub fn mutation_arrivals(&self) -> &[MutationArrival] {
+        &self.mutation_arrivals
+    }
+
+    /// Does the workload carry streaming ingest?
+    pub fn has_mutations(&self) -> bool {
+        !self.mutation_arrivals.is_empty()
+    }
+
+    /// Number of query arrivals.
     pub fn len(&self) -> usize {
         self.arrivals.len()
     }
 
-    /// Is the trace empty?
+    /// Is the trace empty (no queries *and* no mutations)?
     pub fn is_empty(&self) -> bool {
-        self.arrivals.is_empty()
+        self.arrivals.is_empty() && self.mutation_arrivals.is_empty()
     }
 
     /// The arrived queries as an owned list in arrival order — the
@@ -131,15 +257,26 @@ impl Workload {
     pub fn arrived_queries(&self) -> Vec<Query> {
         self.arrivals.iter().map(|a| self.queries[a.query].clone()).collect()
     }
+
+    /// The arrived mutations as an owned list in arrival order — what
+    /// a prefix-replay oracle applies, one admission at a time.
+    pub fn arrived_mutations(&self) -> Vec<Mutation> {
+        self.mutation_arrivals.iter().map(|a| self.mutations[a.mutation].clone()).collect()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bbpim_db::builder::col;
     use bbpim_db::plan::{AggExpr, AggFunc};
 
     fn q(id: &str) -> Query {
         Query::single(id, vec![], vec![], AggFunc::Sum, AggExpr::Attr("x".into()))
+    }
+
+    fn m() -> Mutation {
+        Mutation::update().filter(col("x").eq(1u64)).set("x", 2u64).build_unchecked()
     }
 
     #[test]
@@ -150,6 +287,7 @@ mod tests {
         assert_eq!(a.len(), 50);
         assert!(a.arrivals().windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
         assert!(a.arrivals().iter().all(|x| x.query < 2 && x.at_ns > 0.0));
+        assert!(!a.has_mutations());
         // a different seed yields a different trace
         let c = Workload::poisson(vec![q("a"), q("b")], 50, 1000.0, 8);
         assert_ne!(a, c);
@@ -161,6 +299,34 @@ mod tests {
         let last = w.arrivals().last().unwrap().at_ns;
         let mean = last / 2000.0;
         assert!((500.0..2000.0).contains(&mean), "mean interarrival {mean} off by >2x");
+    }
+
+    #[test]
+    fn htap_interleaves_one_seeded_process() {
+        let a = Workload::poisson_htap(vec![q("a"), q("b")], vec![m()], 200, 0.25, 1000.0, 9);
+        let b = Workload::poisson_htap(vec![q("a"), q("b")], vec![m()], 200, 0.25, 1000.0, 9);
+        assert_eq!(a, b, "same seed, same interleaving");
+        assert_eq!(a.len() + a.mutation_arrivals().len(), 200);
+        assert!(a.has_mutations());
+        // the coin lands near its bias
+        let frac = a.mutation_arrivals().len() as f64 / 200.0;
+        assert!((0.1..0.45).contains(&frac), "mutation fraction {frac} implausible for 0.25");
+        // both traces are independently sorted on the shared clock
+        assert!(a.arrivals().windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        assert!(a.mutation_arrivals().windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        // and genuinely interleaved: some mutation lands between queries
+        let first_q = a.arrivals().first().unwrap().at_ns;
+        let last_q = a.arrivals().last().unwrap().at_ns;
+        assert!(a.mutation_arrivals().iter().any(|x| (first_q..last_q).contains(&x.at_ns)));
+        let c = Workload::poisson_htap(vec![q("a"), q("b")], vec![m()], 200, 0.25, 1000.0, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn htap_zero_frac_is_pure_queries() {
+        let w = Workload::poisson_htap(vec![q("a")], Vec::new(), 30, 0.0, 500.0, 3);
+        assert_eq!(w.len(), 30);
+        assert!(!w.has_mutations());
     }
 
     #[test]
@@ -186,5 +352,44 @@ mod tests {
         .is_err());
         let ok = Workload::new(qs, vec![Arrival { at_ns: 1.0, query: 0 }]).unwrap();
         assert!(!ok.is_empty());
+    }
+
+    #[test]
+    fn with_mutations_validates_the_ingest_trace() {
+        let qs = vec![q("a")];
+        let ms = vec![m()];
+        let bad_idx = Workload::with_mutations(
+            qs.clone(),
+            vec![],
+            ms.clone(),
+            vec![MutationArrival { at_ns: 0.0, mutation: 1 }],
+        );
+        assert!(bad_idx.is_err());
+        let bad_time = Workload::with_mutations(
+            qs.clone(),
+            vec![],
+            ms.clone(),
+            vec![MutationArrival { at_ns: f64::NAN, mutation: 0 }],
+        );
+        assert!(bad_time.is_err());
+        let unsorted = Workload::with_mutations(
+            qs.clone(),
+            vec![],
+            ms.clone(),
+            vec![
+                MutationArrival { at_ns: 9.0, mutation: 0 },
+                MutationArrival { at_ns: 1.0, mutation: 0 },
+            ],
+        );
+        assert!(unsorted.is_err());
+        let ok = Workload::with_mutations(
+            qs,
+            vec![],
+            ms,
+            vec![MutationArrival { at_ns: 2.0, mutation: 0 }],
+        )
+        .unwrap();
+        assert!(!ok.is_empty(), "a mutation-only workload is not empty");
+        assert_eq!(ok.arrived_mutations().len(), 1);
     }
 }

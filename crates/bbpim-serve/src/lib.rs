@@ -10,8 +10,9 @@
 //!   arrival process (seeded open Poisson / burst, or closed-loop
 //!   think-time clients whose offered load *reacts* to latency), an
 //!   optional token-bucket [`tenant::RateLimit`], an [`tenant::SloSpec`]
-//!   (p95 target, optional per-request deadline), and a fair-share
-//!   weight.
+//!   (p95 target, optional per-request deadline), an optional
+//!   [`tenant::WriteMix`] (HTAP tenants issue Mutation API v2 writes as
+//!   first-class requests), and a fair-share weight.
 //! * [`serve::run_serve`] — one deterministic event loop multiplexing
 //!   every tenant's stream: token buckets delay over-rate requests,
 //!   weighted fair queueing picks the next admission (no tenant
@@ -30,7 +31,11 @@
 //! Admission policies decide *which* requests run and *when* — never
 //! *what* they answer: every admitted request's execution is resolved
 //! from real shard runs up front and stays bit-identical to the batch
-//! oracle.
+//! oracle. Write mixes apply their mutations to the cluster once at
+//! session start — queries answer over the fully-ingested state — and
+//! write requests replay the compiled write-phase chains on the shared
+//! channel and their ingest lanes, feeding the controller and the
+//! per-lane wear accounting ([`ServeOutcome::lane_cell_writes`]).
 //!
 //! ```
 //! use bbpim_cluster::{ClusterEngine, Partitioner};
@@ -49,6 +54,7 @@
 //!         name: "interactive".into(),
 //!         queries: vec![queries::standard_query("Q1.1").unwrap()],
 //!         process: ArrivalProcess::OpenPoisson { arrivals: 6, mean_interarrival_ns: 200_000.0 },
+//!         writes: None,
 //!         rate_limit: None,
 //!         slo: SloSpec { p95_target_ns: 2_000_000.0, deadline_ns: None },
 //!         weight: 4.0,
@@ -57,6 +63,7 @@
 //!         name: "batch".into(),
 //!         queries: vec![queries::standard_query("Q1.2").unwrap()],
 //!         process: ArrivalProcess::Closed { clients: 2, queries_per_client: 2, mean_think_ns: 50_000.0 },
+//!         writes: None,
 //!         rate_limit: None,
 //!         slo: SloSpec { p95_target_ns: 20_000_000.0, deadline_ns: None },
 //!         weight: 1.0,
@@ -84,9 +91,9 @@ pub use obs::record_serve_metrics;
 pub use report::{tenant_reports, TenantReport};
 pub use serve::{
     run_serve, run_serve_traced, ServeCompletion, ServeConfig, ServeDrop, ServeEventKind,
-    ServeOutcome, ServeTimelineEvent,
+    ServeOutcome, ServeTimelineEvent, ServeWriteCompletion,
 };
-pub use tenant::{ArrivalProcess, RateLimit, SloSpec, TenantSpec, TokenBucket};
+pub use tenant::{ArrivalProcess, RateLimit, SloSpec, TenantSpec, TokenBucket, WriteMix};
 
 #[cfg(test)]
 mod tests {
@@ -153,6 +160,7 @@ mod tests {
             name: name.into(),
             queries,
             process,
+            writes: None,
             rate_limit: None,
             slo: SloSpec { p95_target_ns: 1e9, deadline_ns: None },
             weight: 1.0,
@@ -551,6 +559,135 @@ mod tests {
         for want in ["serve", "host-bus", "controller"] {
             assert!(tracks.iter().any(|t| t == want), "missing track {want}");
         }
+    }
+
+    fn disc_update(y: u64, v: u64) -> bbpim_core::mutation::Mutation {
+        use bbpim_db::builder::col;
+        bbpim_core::mutation::Mutation::update()
+            .filter(col("d_year").eq(y))
+            .set("lo_disc", v)
+            .build_unchecked()
+    }
+
+    #[test]
+    fn write_traffic_rides_the_bus_wears_cells_and_stays_deterministic() {
+        let mut htap = tenant(
+            "htap",
+            vec![year_probe(2), broad()],
+            ArrivalProcess::OpenPoisson { arrivals: 16, mean_interarrival_ns: 30_000.0 },
+        );
+        htap.writes = Some(WriteMix {
+            mutations: vec![disc_update(2, 9), disc_update(5, 1)],
+            write_frac: 0.4,
+        });
+        let cfg = ServeConfig { seed: 7, window: WindowPolicy::Aimd(Default::default()) };
+        let run = || {
+            let mut c = cluster(5);
+            let out = run_serve(&mut c, &[htap.clone()], &cfg).unwrap();
+            (out, c)
+        };
+        let (out, mut c) = run();
+        // Every arrival gets a fate; the coin actually mixed the stream.
+        assert_eq!(out.completions.len() + out.write_completions.len(), 16);
+        assert!(!out.completions.is_empty(), "the mix keeps query traffic");
+        assert!(!out.write_completions.is_empty(), "the mix generates writes");
+        // Write chains occupied real service time and wore real cells.
+        assert!(out.write_completions.iter().all(|w| w.service_ns() > 0.0));
+        assert!(out.write_completions.iter().any(|w| w.records_updated > 0));
+        assert!(out.lane_cell_writes.iter().any(|&w| w > 0), "UPDATEs wear cells");
+        assert!(out.lane_required_endurance.iter().any(|&e| e > 0.0));
+        // Queries answer over the post-ingest state: the batch oracle
+        // on the same (already mutated) cluster matches bit for bit.
+        let batch = c.run_batch(&[year_probe(2), broad()]).unwrap();
+        let oracle: HashMap<&str, _> =
+            ["y2", "broad"].iter().copied().zip(batch.executions.iter()).collect();
+        for (completion, exec) in out.completions.iter().zip(&out.executions) {
+            let want = oracle[completion.query_id.as_str()];
+            assert_eq!(exec.groups, want.groups, "answer drifted for {}", completion.query_id);
+        }
+        // Same seed, same session — timeline, writes, wear, everything.
+        let (again, _) = run();
+        assert_eq!(out, again);
+        // The tenant report folds writes into the latency promise.
+        let reports = tenant_reports(&[htap], &out);
+        assert_eq!(reports[0].writes_completed, out.write_completions.len());
+        assert_eq!(reports[0].completed, 16);
+    }
+
+    #[test]
+    fn aimd_hears_write_latencies() {
+        // A pure writer slamming 16 UPDATEs against an impossible p95:
+        // the controller must see the write latencies and cut to the
+        // floor, exactly as it would for slow queries.
+        let mut writer =
+            tenant("writer", vec![], ArrivalProcess::Burst { arrivals: 16, at_ns: 0.0 });
+        writer.writes = Some(WriteMix { mutations: vec![disc_update(3, 7)], write_frac: 1.0 });
+        writer.slo.p95_target_ns = 1.0;
+        let aimd = AimdConfig {
+            initial_window: 4,
+            min_window: 1,
+            max_window: 8,
+            sample_window: 4,
+            ..Default::default()
+        };
+        let mut c = cluster(5);
+        let out = run_serve(
+            &mut c,
+            &[writer],
+            &ServeConfig { seed: 0, window: WindowPolicy::Aimd(aimd) },
+        )
+        .unwrap();
+        assert_eq!(out.write_completions.len(), 16);
+        assert!(out.completions.is_empty());
+        assert!(!out.decisions.is_empty(), "write completions feed the controller");
+        assert_eq!(out.final_window(), 1, "persistent write-latency violation pins the floor");
+    }
+
+    /// Pin the wear series names end to end: a serve session with write
+    /// traffic must land on exactly the registry series the rest of the
+    /// stack (bench gate, dashboards) reads.
+    #[test]
+    fn serve_metrics_pin_the_wear_series_names() {
+        use bbpim_trace::MetricsRegistry;
+        let mut htap = tenant(
+            "htap",
+            vec![year_probe(1)],
+            ArrivalProcess::OpenPoisson { arrivals: 10, mean_interarrival_ns: 20_000.0 },
+        );
+        htap.writes = Some(WriteMix { mutations: vec![disc_update(1, 3)], write_frac: 0.5 });
+        let mut c = cluster(4);
+        let out = run_serve(&mut c, &[htap.clone()], &ServeConfig::default()).unwrap();
+        assert!(!out.write_completions.is_empty());
+        let mut reg = MetricsRegistry::new();
+        record_serve_metrics(&mut reg, &[htap], &out, &[("run", "pin")]);
+        // The exact strings are the contract.
+        assert_eq!(obs::CELL_WRITES, "bbpim_cell_writes_total");
+        assert_eq!(obs::REQUIRED_ENDURANCE, "bbpim_required_endurance_cycles");
+        assert_eq!(obs::TENANT_WRITES, "bbpim_tenant_writes_total");
+        let worn: Vec<usize> = out
+            .lane_cell_writes
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w > 0)
+            .map(|(m, _)| m)
+            .collect();
+        assert!(!worn.is_empty());
+        for m in worn {
+            let module = m.to_string();
+            let labels = [("run", "pin"), ("module", module.as_str())];
+            assert_eq!(
+                reg.counter("bbpim_cell_writes_total", &labels),
+                Some(out.lane_cell_writes[m] as f64)
+            );
+            assert_eq!(
+                reg.gauge("bbpim_required_endurance_cycles", &labels),
+                Some(out.lane_required_endurance[m])
+            );
+        }
+        assert_eq!(
+            reg.counter("bbpim_tenant_writes_total", &[("run", "pin"), ("tenant", "htap")]),
+            Some(out.write_completions.len() as f64)
+        );
     }
 
     #[test]

@@ -12,6 +12,8 @@ use crate::report::tenant_reports;
 use crate::serve::ServeOutcome;
 use crate::tenant::TenantSpec;
 
+pub use bbpim_trace::phases::{CELL_WRITES, REQUIRED_ENDURANCE};
+
 /// Per-tenant end-to-end latency histogram (ns) plus
 /// `_p50/_p95/_p99/_p999/_mean/_max` gauges, labelled `tenant=<name>`.
 pub const TENANT_LATENCY_NS: &str = "bbpim_tenant_latency_ns";
@@ -19,6 +21,8 @@ pub const TENANT_LATENCY_NS: &str = "bbpim_tenant_latency_ns";
 pub const TENANT_GOODPUT_QPS: &str = "bbpim_tenant_goodput_qps";
 /// Per-tenant completed requests, counter.
 pub const TENANT_COMPLETIONS: &str = "bbpim_tenant_completions_total";
+/// Per-tenant write requests durably applied, counter.
+pub const TENANT_WRITES: &str = "bbpim_tenant_writes_total";
 /// Per-tenant requests shed at admission, counter.
 pub const TENANT_DROPS: &str = "bbpim_tenant_drops_total";
 /// Per-tenant requests delayed by the token bucket, counter.
@@ -61,6 +65,9 @@ pub fn record_serve_metrics(
         }
         reg.gauge_set(TENANT_GOODPUT_QPS, &with_tenant, report.goodput_qps);
         reg.counter_add(TENANT_COMPLETIONS, &with_tenant, report.completed as f64);
+        if report.writes_completed > 0 {
+            reg.counter_add(TENANT_WRITES, &with_tenant, report.writes_completed as f64);
+        }
         reg.counter_add(TENANT_DROPS, &with_tenant, report.dropped as f64);
         reg.counter_add(TENANT_THROTTLED, &with_tenant, report.throttled as f64);
         reg.gauge_set(TENANT_DROP_RATE, &with_tenant, report.drop_rate);
@@ -70,6 +77,31 @@ pub fn record_serve_metrics(
         let mut with_tenant = labels.to_vec();
         with_tenant.push(("tenant", tenants[c.tenant].name.as_str()));
         reg.observe(TENANT_LATENCY_NS, &with_tenant, c.latency_ns());
+    }
+    for c in &outcome.write_completions {
+        let mut with_tenant = labels.to_vec();
+        with_tenant.push(("tenant", tenants[c.tenant].name.as_str()));
+        reg.observe(TENANT_LATENCY_NS, &with_tenant, c.latency_ns());
+    }
+    // Per-lane cell wear, mirroring the streaming scheduler's series:
+    // the serving layer wears the same modules.
+    for (m, writes) in outcome.lane_cell_writes.iter().enumerate() {
+        if *writes == 0 {
+            continue;
+        }
+        let module = m.to_string();
+        let mut with_module = labels.to_vec();
+        with_module.push(("module", module.as_str()));
+        reg.counter_add(CELL_WRITES, &with_module, *writes as f64);
+    }
+    for (m, req) in outcome.lane_required_endurance.iter().enumerate() {
+        if *req <= 0.0 {
+            continue;
+        }
+        let module = m.to_string();
+        let mut with_module = labels.to_vec();
+        with_module.push(("module", module.as_str()));
+        reg.gauge_max(REQUIRED_ENDURANCE, &with_module, *req);
     }
     let (lo, hi) = outcome.window_bounds();
     reg.gauge_set(WINDOW_FINAL, labels, outcome.final_window() as f64);

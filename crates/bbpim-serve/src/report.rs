@@ -15,8 +15,10 @@ pub struct TenantReport {
     pub weight: f64,
     /// Requests generated.
     pub submitted: usize,
-    /// Requests completed.
+    /// Requests completed (queries and writes).
     pub completed: usize,
+    /// Write requests durably applied (a subset of `completed`).
+    pub writes_completed: usize,
     /// Requests shed at admission.
     pub dropped: usize,
     /// Requests delayed by the tenant's token bucket.
@@ -58,6 +60,16 @@ pub fn tenant_reports(tenants: &[TenantSpec], outcome: &ServeOutcome) -> Vec<Ten
                     in_time += 1;
                 }
             }
+            // Write completions count against the same latency promise
+            // and goodput (writes carry no deadline to miss).
+            let mut writes_completed = 0usize;
+            for c in outcome.write_completions.iter().filter(|c| c.tenant == t) {
+                latencies.push(c.latency_ns());
+                waits.push(c.wait_ns());
+                services.push(c.service_ns());
+                in_time += 1;
+                writes_completed += 1;
+            }
             let dropped = outcome.drops.iter().filter(|d| d.tenant == t).count();
             let completed = latencies.len();
             let submitted = outcome.submitted[t];
@@ -67,6 +79,7 @@ pub fn tenant_reports(tenants: &[TenantSpec], outcome: &ServeOutcome) -> Vec<Ten
                 weight: spec.weight,
                 submitted,
                 completed,
+                writes_completed,
                 dropped,
                 throttled: outcome.throttled[t],
                 goodput_qps: if makespan_s > 0.0 { in_time as f64 / makespan_s } else { 0.0 },

@@ -35,7 +35,9 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
 use bbpim_cluster::ClusterExecution;
-use bbpim_sched::demand::{resolve_query_demand, QueryDemand};
+use bbpim_sched::demand::{
+    compile_mutation_demand, resolve_query_demand, MutationDemand, QueryDemand, ShardDemand,
+};
 use bbpim_sched::StreamEngine;
 use bbpim_sim::hostbus::SharedBus;
 use bbpim_trace::{ArgValue, TraceRecorder, TrackId};
@@ -44,7 +46,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::controller::{AimdController, WindowDecision, WindowPolicy};
 use crate::error::ServeError;
-use crate::tenant::{exp_gap_ns, ArrivalProcess, TenantSpec, TokenBucket};
+use crate::tenant::{exp_gap_ns, ArrivalProcess, TenantSpec, TokenBucket, WriteMix};
 
 /// Serve-session configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -153,6 +155,55 @@ impl ServeCompletion {
     }
 }
 
+/// Latency accounting for one completed write request (cf.
+/// [`ServeCompletion`] — writes have no merge and no deadline, and
+/// their answer is state, not groups).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeWriteCompletion {
+    /// Index into the session's request log.
+    pub request: usize,
+    /// Owning tenant (index into the tenant slice).
+    pub tenant: usize,
+    /// The closed-loop client that issued it, if any.
+    pub client: Option<usize>,
+    /// The mutation's label.
+    pub label: String,
+    /// When the request arrived.
+    pub arrive_ns: f64,
+    /// When the token bucket made it admissible.
+    pub eligible_ns: f64,
+    /// When admission control let it in.
+    pub admit_ns: f64,
+    /// When its first bus slice started.
+    pub first_service_ns: f64,
+    /// When its last lane chain finished (durable).
+    pub complete_ns: f64,
+    /// Ingest lanes the write occupied.
+    pub lanes: usize,
+    /// Records the mutation rewrites in place (UPDATE).
+    pub records_updated: u64,
+    /// Records the mutation appends (INSERT).
+    pub records_inserted: u64,
+}
+
+impl ServeWriteCompletion {
+    /// End-to-end sojourn time (arrival → durable).
+    pub fn latency_ns(&self) -> f64 {
+        self.complete_ns - self.arrive_ns
+    }
+
+    /// Time waiting (throttle + admission queue + bus queue) before
+    /// any service.
+    pub fn wait_ns(&self) -> f64 {
+        self.first_service_ns - self.arrive_ns
+    }
+
+    /// Time from first service to durable.
+    pub fn service_ns(&self) -> f64 {
+        self.complete_ns - self.first_service_ns
+    }
+}
+
 /// One request shed at admission.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeDrop {
@@ -182,6 +233,9 @@ pub struct ServeOutcome {
     /// Merged executions parallel to `completions` — each is
     /// bit-identical to the batch answer for its query.
     pub executions: Vec<ClusterExecution>,
+    /// Per-write-request latency records, in completion order (empty
+    /// for sessions without write traffic).
+    pub write_completions: Vec<ServeWriteCompletion>,
     /// Requests shed at admission, in shed order.
     pub drops: Vec<ServeDrop>,
     /// The full event timeline (deterministic per seed).
@@ -200,8 +254,17 @@ pub struct ServeOutcome {
     pub makespan_ns: f64,
     /// Host-channel busy time.
     pub host_busy_ns: f64,
-    /// Per-active-shard module-local busy time.
+    /// Per-lane module-local busy time. One entry per active shard for
+    /// query-only sessions; with write traffic, one per ingest lane
+    /// (auxiliary lanes — star dimension modules — after the shards).
     pub shard_busy_ns: Vec<f64>,
+    /// Per-lane accumulated worst-row cell writes over every completed
+    /// query slice and write chain (the endurance model's input).
+    pub lane_cell_writes: Vec<u64>,
+    /// Per-lane required cell endurance (write cycles) to sustain that
+    /// lane's worst chain back-to-back for ten years; zero for lanes
+    /// whose work performs no PIM writes.
+    pub lane_required_endurance: Vec<f64>,
 }
 
 impl ServeOutcome {
@@ -244,16 +307,25 @@ impl ServeOutcome {
     }
 }
 
+/// What one request asks for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Work {
+    /// Index into the owning tenant's query set.
+    Query(usize),
+    /// Index into the owning tenant's write-mix mutation set.
+    Write(usize),
+}
+
 /// One generated request.
 #[derive(Debug, Clone, Copy)]
 struct Request {
     tenant: usize,
-    /// Index into the owning tenant's query set.
-    query: usize,
+    work: Work,
     client: Option<usize>,
     arrive_ns: f64,
     /// Set by the token bucket when the arrival fires.
     eligible_ns: f64,
+    /// Always `None` for writes: durable work is never shed.
     deadline_ns: Option<f64>,
 }
 
@@ -340,7 +412,7 @@ struct Tracks {
 }
 
 impl Tracks {
-    fn new(trace: &mut TraceRecorder, active_shards: usize) -> Option<Tracks> {
+    fn new(trace: &mut TraceRecorder, active_shards: usize, lanes: usize) -> Option<Tracks> {
         if !trace.is_enabled() {
             return None;
         }
@@ -348,9 +420,31 @@ impl Tracks {
             serve: trace.track("serve"),
             host: trace.track("host-bus"),
             controller: trace.track("controller"),
-            modules: (0..active_shards).map(|s| trace.track(&format!("module-{s}"))).collect(),
+            modules: (0..lanes)
+                .map(|k| {
+                    if k < active_shards {
+                        trace.track(&format!("module-{k}"))
+                    } else {
+                        trace.track(&format!("ingest-lane-{}", k - active_shards))
+                    }
+                })
+                .collect(),
         })
     }
+}
+
+/// Draw one request's work from a tenant's mix. Pure-query tenants
+/// draw exactly the single uniform pick they always did (their arrival
+/// streams stay byte-identical to pre-HTAP sessions); tenants with a
+/// write mix flip the write coin first, then pick uniformly from the
+/// chosen set.
+fn pick_work(rng: &mut StdRng, n_queries: usize, writes: Option<&WriteMix>) -> Work {
+    if let Some(w) = writes {
+        if rng.gen::<f64>() < w.write_frac {
+            return Work::Write(rng.gen_range(0..w.mutations.len()));
+        }
+    }
+    Work::Query(rng.gen_range(0..n_queries))
 }
 
 /// Distinct per-(tenant, stream) RNG seeds: stream 0 is the tenant's
@@ -365,6 +459,9 @@ struct Server<'a> {
     tenants: &'a [TenantSpec],
     /// `demands[t][q]`: tenant t's query q, resolved once.
     demands: Vec<Vec<(QueryDemand, ClusterExecution)>>,
+    /// `write_demands[t][w]`: tenant t's mutation w, applied to the
+    /// cluster once at session start and compiled to its lane chains.
+    write_demands: Vec<Vec<MutationDemand>>,
     requests: Vec<Request>,
     /// Per-tenant FIFO admission queues of request indices.
     queues: Vec<VecDeque<usize>>,
@@ -387,6 +484,9 @@ struct Server<'a> {
     next_tick_ns: Option<f64>,
     completions: Vec<ServeCompletion>,
     executions: Vec<ClusterExecution>,
+    write_completions: Vec<ServeWriteCompletion>,
+    lane_cell_writes: Vec<u64>,
+    lane_required_endurance: Vec<f64>,
     drops: Vec<ServeDrop>,
     timeline: Vec<ServeTimelineEvent>,
     window_trajectory: Vec<(f64, usize)>,
@@ -407,18 +507,43 @@ impl Server<'_> {
         self.timeline.push(ServeTimelineEvent { t_ns, kind, request, shard });
     }
 
-    fn demand(&self, ri: usize) -> &QueryDemand {
+    /// The request's per-lane slice chains: candidate shard chains for
+    /// a query, ingest lane chains for a write.
+    fn chains(&self, ri: usize) -> &[ShardDemand] {
         let r = &self.requests[ri];
-        &self.demands[r.tenant][r.query].0
+        match r.work {
+            Work::Query(q) => &self.demands[r.tenant][q].0.shards,
+            Work::Write(w) => &self.write_demands[r.tenant][w].lanes,
+        }
     }
 
-    /// Standard event attributes: request index, tenant name, query id.
+    /// The request's host-side merge occupancy (writes have none — a
+    /// write is durable when its last lane chain finishes).
+    fn merge_ns(&self, ri: usize) -> f64 {
+        let r = &self.requests[ri];
+        match r.work {
+            Work::Query(q) => self.demands[r.tenant][q].0.merge_ns,
+            Work::Write(_) => 0.0,
+        }
+    }
+
+    /// The request's report/trace label: query id or mutation label.
+    fn label(&self, ri: usize) -> &str {
+        let r = &self.requests[ri];
+        match r.work {
+            Work::Query(q) => &self.demands[r.tenant][q].0.query_id,
+            Work::Write(w) => &self.write_demands[r.tenant][w].label,
+        }
+    }
+
+    /// Standard event attributes: request index, tenant name, query id
+    /// or mutation label.
     fn request_args(&self, ri: usize) -> Vec<(&'static str, ArgValue)> {
         let r = &self.requests[ri];
         vec![
             ("request", ArgValue::U64(ri as u64)),
             ("tenant", ArgValue::Str(self.tenants[r.tenant].name.clone())),
-            ("query", ArgValue::Str(self.demand(ri).query_id.clone())),
+            ("query", ArgValue::Str(self.label(ri).to_string())),
         ]
     }
 
@@ -437,12 +562,15 @@ impl Server<'_> {
     }
 
     /// Create one request and schedule its arrival.
-    fn create_request(&mut self, tenant: usize, query: usize, client: Option<usize>, at_ns: f64) {
-        let deadline_ns = self.tenants[tenant].slo.deadline_ns.map(|d| at_ns + d);
+    fn create_request(&mut self, tenant: usize, work: Work, client: Option<usize>, at_ns: f64) {
+        let deadline_ns = match work {
+            Work::Query(_) => self.tenants[tenant].slo.deadline_ns.map(|d| at_ns + d),
+            Work::Write(_) => None,
+        };
         let ri = self.requests.len();
         self.requests.push(Request {
             tenant,
-            query,
+            work,
             client,
             arrive_ns: at_ns,
             eligible_ns: at_ns,
@@ -461,15 +589,16 @@ impl Server<'_> {
         let ArrivalProcess::Closed { mean_think_ns, .. } = self.tenants[r.tenant].process else {
             return;
         };
-        let n_queries = self.tenants[r.tenant].queries.len();
+        let tenants: &[TenantSpec] = self.tenants;
+        let spec = &tenants[r.tenant];
         let st = &mut self.clients[r.tenant][ci];
         if st.remaining == 0 {
             return;
         }
         st.remaining -= 1;
         let gap = exp_gap_ns(&mut st.rng, mean_think_ns);
-        let query = st.rng.gen_range(0..n_queries);
-        self.create_request(r.tenant, query, Some(ci), now_ns + gap);
+        let work = pick_work(&mut st.rng, spec.queries.len(), spec.writes.as_ref());
+        self.create_request(r.tenant, work, Some(ci), now_ns + gap);
     }
 
     /// The shedder's completion predictor: candidate shards × the
@@ -526,12 +655,12 @@ impl Server<'_> {
     /// shard). Returns the bus grant start when the slice touched the
     /// bus.
     fn start_slice(&mut self, now_ns: f64, ri: usize, sp: usize, idx: usize) -> Option<f64> {
-        let slice = self.demand(ri).shards[sp].slices[idx];
+        let slice = self.chains(ri)[sp].slices[idx];
         if slice.bus_ns > 0.0 {
             let grant = self.host.acquire(now_ns, slice.bus_ns);
             self.push_event(grant.end_ns, Ev::BusDone(ri, sp, idx));
             if let Some(tracks) = &self.tracks {
-                let (host, shard) = (tracks.host, self.demand(ri).shards[sp].shard);
+                let (host, shard) = (tracks.host, self.chains(ri)[sp].shard);
                 let name = slice.bus_kind.map_or("bus", |k| k.label());
                 let mut args = self.request_args(ri);
                 args.push(("shard", ArgValue::U64(shard as u64)));
@@ -562,7 +691,7 @@ impl Server<'_> {
             request: ri,
             tenant: r.tenant,
             client: r.client,
-            query_id: self.demand(ri).query_id.clone(),
+            query_id: self.label(ri).to_string(),
             arrive_ns: r.arrive_ns,
             shed_ns: now_ns,
             predicted_complete_ns: predicted_ns,
@@ -584,9 +713,10 @@ impl Server<'_> {
                 break;
             };
             let ri = self.queues[t].pop_front().expect("picked tenant has a head");
-            // Deadline shed before the slot is consumed.
+            // Deadline shed before the slot is consumed (queries only —
+            // write requests carry no deadline).
             if let Some(d) = self.requests[ri].deadline_ns {
-                let predicted = now_ns + self.estimate_service_ns(self.demand(ri).shards.len());
+                let predicted = now_ns + self.estimate_service_ns(self.chains(ri).len());
                 if now_ns > d || predicted > d {
                     self.shed(now_ns, ri, predicted, d);
                     continue;
@@ -600,8 +730,13 @@ impl Server<'_> {
                 self.trace.instant(serve, "admit", now_ns, args);
             }
             let (n_shards, busy) = {
-                let d = self.demand(ri);
-                (d.shards.len(), d.total_busy_ns())
+                let chains = self.chains(ri);
+                let slices: f64 = chains
+                    .iter()
+                    .flat_map(|c| c.slices.iter())
+                    .map(|s| s.bus_ns + s.local_ns)
+                    .sum();
+                (chains.len(), slices + self.merge_ns(ri))
             };
             self.served_work[t] += busy;
             if n_shards == 0 {
@@ -640,26 +775,53 @@ impl Server<'_> {
             self.trace.instant(serve, "complete", now_ns, args);
         }
         let r = self.requests[ri];
-        let (demand, exec) = &self.demands[r.tenant][r.query];
-        let completion = ServeCompletion {
-            request: ri,
-            tenant: r.tenant,
-            client: r.client,
-            query_id: demand.query_id.clone(),
-            arrive_ns: r.arrive_ns,
-            eligible_ns: r.eligible_ns,
-            admit_ns: p.admit_ns,
-            first_service_ns: p.first_service_ns,
-            complete_ns: now_ns,
-            shards_dispatched: demand.shards.len(),
-            shards_pruned: demand.shards_pruned,
-            deadline_ns: r.deadline_ns,
+        // Feed the controller the SLO-normalised latency: write
+        // completions count against the same promise, so a congested
+        // ingest path cuts the window exactly as slow queries do.
+        let ratio = match r.work {
+            Work::Query(q) => {
+                let (demand, exec) = &self.demands[r.tenant][q];
+                let completion = ServeCompletion {
+                    request: ri,
+                    tenant: r.tenant,
+                    client: r.client,
+                    query_id: demand.query_id.clone(),
+                    arrive_ns: r.arrive_ns,
+                    eligible_ns: r.eligible_ns,
+                    admit_ns: p.admit_ns,
+                    first_service_ns: p.first_service_ns,
+                    complete_ns: now_ns,
+                    shards_dispatched: demand.shards.len(),
+                    shards_pruned: demand.shards_pruned,
+                    deadline_ns: r.deadline_ns,
+                };
+                self.executions.push(exec.clone());
+                self.note_service(completion.service_ns(), completion.shards_dispatched);
+                let ratio = completion.latency_ns() / self.tenants[r.tenant].slo.p95_target_ns;
+                self.completions.push(completion);
+                ratio
+            }
+            Work::Write(w) => {
+                let d = &self.write_demands[r.tenant][w];
+                let completion = ServeWriteCompletion {
+                    request: ri,
+                    tenant: r.tenant,
+                    client: r.client,
+                    label: d.label.clone(),
+                    arrive_ns: r.arrive_ns,
+                    eligible_ns: r.eligible_ns,
+                    admit_ns: p.admit_ns,
+                    first_service_ns: p.first_service_ns,
+                    complete_ns: now_ns,
+                    lanes: d.lanes.len(),
+                    records_updated: d.records_updated,
+                    records_inserted: d.records_inserted,
+                };
+                let ratio = completion.latency_ns() / self.tenants[r.tenant].slo.p95_target_ns;
+                self.write_completions.push(completion);
+                ratio
+            }
         };
-        self.executions.push(exec.clone());
-        self.note_service(completion.service_ns(), completion.shards_dispatched);
-        // Feed the controller the SLO-normalised latency.
-        let ratio = completion.latency_ns() / self.tenants[r.tenant].slo.p95_target_ns;
-        self.completions.push(completion);
         if let WindowState::Aimd(ctl) = &mut self.window {
             if let Some(w) = ctl.on_completion(now_ns, ratio) {
                 self.window_trajectory.push((now_ns, w));
@@ -673,13 +835,21 @@ impl Server<'_> {
         self.client_next(now_ns, ri);
     }
 
-    /// A shard chain finished its last slice.
-    fn shard_done(&mut self, t: f64, ri: usize, shard: usize) {
+    /// A shard/lane chain finished its last slice.
+    fn shard_done(&mut self, t: f64, ri: usize, sp: usize) {
+        let (shard, cell_writes, endurance) = {
+            let c = &self.chains(ri)[sp];
+            (c.shard, c.cell_writes, c.required_endurance)
+        };
         self.record(t, ServeEventKind::ShardDone, ri, Some(shard));
+        self.lane_cell_writes[shard] += cell_writes;
+        if endurance > self.lane_required_endurance[shard] {
+            self.lane_required_endurance[shard] = endurance;
+        }
         let p = self.progress[ri].as_mut().expect("in-flight request has progress");
         p.remaining -= 1;
         if p.remaining == 0 {
-            let merge_ns = self.demand(ri).merge_ns;
+            let merge_ns = self.merge_ns(ri);
             let grant = self.host.acquire(t, merge_ns);
             self.push_event(grant.end_ns, Ev::MergeDone(ri));
             if merge_ns > 0.0 {
@@ -696,9 +866,9 @@ impl Server<'_> {
     /// Emit the module-track spans for one local window.
     fn trace_local(&mut self, ri: usize, sp: usize, idx: usize, start_ns: f64, local_ns: f64) {
         let Some(tracks) = &self.tracks else { return };
-        let shard = self.demand(ri).shards[sp].shard;
+        let shard = self.chains(ri)[sp].shard;
         let module = tracks.modules[shard];
-        let detail = self.demand(ri).shards[sp].detail.get(idx).cloned().unwrap_or_default();
+        let detail = self.chains(ri)[sp].detail.get(idx).cloned().unwrap_or_default();
         if detail.is_empty() {
             let args = self.request_args(ri);
             self.trace.span(module, "local", start_ns, local_ns, args);
@@ -747,7 +917,7 @@ impl Server<'_> {
                 }
                 Ev::BusDone(ri, sp, idx) => {
                     let (shard, slice) = {
-                        let d = &self.demand(ri).shards[sp];
+                        let d = &self.chains(ri)[sp];
                         (d.shard, d.slices[idx])
                     };
                     if idx == 0 {
@@ -762,14 +932,11 @@ impl Server<'_> {
                     }
                 }
                 Ev::LocalDone(ri, sp, idx) => {
-                    let (shard, len) = {
-                        let d = &self.demand(ri).shards[sp];
-                        (d.shard, d.slices.len())
-                    };
+                    let len = self.chains(ri)[sp].slices.len();
                     if idx + 1 < len {
                         self.start_slice(t, ri, sp, idx + 1);
                     } else {
-                        self.shard_done(t, ri, shard);
+                        self.shard_done(t, ri, sp);
                     }
                 }
                 Ev::MergeDone(ri) => {
@@ -785,6 +952,7 @@ impl Server<'_> {
             .completions
             .iter()
             .map(|c| c.complete_ns)
+            .chain(self.write_completions.iter().map(|c| c.complete_ns))
             .chain(self.drops.iter().map(|d| d.shed_ns))
             .fold(0.0, f64::max);
         let decisions = match self.window {
@@ -794,6 +962,7 @@ impl Server<'_> {
         ServeOutcome {
             completions: self.completions,
             executions: self.executions,
+            write_completions: self.write_completions,
             drops: self.drops,
             timeline: self.timeline,
             window_trajectory: self.window_trajectory,
@@ -803,6 +972,8 @@ impl Server<'_> {
             makespan_ns,
             host_busy_ns: self.host.busy_ns(),
             shard_busy_ns: self.shard_bus.iter().map(SharedBus::busy_ns).collect(),
+            lane_cell_writes: self.lane_cell_writes,
+            lane_required_endurance: self.lane_required_endurance,
         }
     }
 }
@@ -864,9 +1035,37 @@ pub fn run_serve_traced<E: StreamEngine>(
         WindowPolicy::Aimd(aimd) => WindowState::Aimd(AimdController::new(aimd.clone())?),
     };
 
+    let want_detail = trace.is_enabled();
+
+    // Apply every tenant's write mix to the cluster once, up front —
+    // tenant order, then list order — compiling each mutation's lane
+    // chains. Queries then resolve against the fully-ingested state:
+    // the batch oracle for a write session is a batch run over that
+    // same state, and write requests replay these chains' bus and lane
+    // costs without re-mutating.
+    let contention = cluster.contention();
+    let mut write_demands = Vec::with_capacity(tenants.len());
+    for t in tenants {
+        let mut per_mutation = Vec::new();
+        if let Some(w) = &t.writes {
+            for m in &w.mutations {
+                let applied = cluster.apply_mutation(m)?;
+                let host = cluster.host_config().unwrap_or_default();
+                per_mutation.push(compile_mutation_demand(
+                    m.label(),
+                    &applied,
+                    &host,
+                    contention,
+                    want_detail,
+                ));
+            }
+        }
+        write_demands.push(per_mutation);
+    }
+    let has_writes = tenants.iter().any(|t| t.writes.is_some());
+
     // Resolve every tenant query's service demand once, up front —
     // fixing every possible answer before the first arrival.
-    let want_detail = trace.is_enabled();
     let mut demands = Vec::with_capacity(tenants.len());
     for t in tenants {
         let mut per_query = Vec::with_capacity(t.queries.len());
@@ -877,11 +1076,15 @@ pub fn run_serve_traced<E: StreamEngine>(
     }
 
     let active_shards = cluster.active_shards();
-    let tracks = Tracks::new(trace, active_shards);
+    // Query-only sessions keep exactly one lane per active shard;
+    // write traffic adds the cluster's auxiliary ingest lanes.
+    let lanes = if has_writes { cluster.ingest_lanes().max(active_shards) } else { active_shards };
+    let tracks = Tracks::new(trace, active_shards, lanes);
     let n = tenants.len();
     let mut server = Server {
         tenants,
         demands,
+        write_demands,
         requests: Vec::new(),
         queues: vec![VecDeque::new(); n],
         buckets: tenants.iter().map(|t| t.rate_limit.as_ref().map(TokenBucket::new)).collect(),
@@ -893,13 +1096,16 @@ pub fn run_serve_traced<E: StreamEngine>(
         events: BinaryHeap::new(),
         seq: 0,
         host: SharedBus::new(),
-        shard_bus: vec![SharedBus::new(); active_shards],
+        shard_bus: vec![SharedBus::new(); lanes],
         in_flight: 0,
         progress: Vec::new(),
         est_per_shard_ns: None,
         next_tick_ns: None,
         completions: Vec::new(),
         executions: Vec::new(),
+        write_completions: Vec::new(),
+        lane_cell_writes: vec![0; lanes],
+        lane_required_endurance: vec![0.0; lanes],
         drops: Vec::new(),
         timeline: Vec::new(),
         window_trajectory: Vec::new(),
@@ -910,6 +1116,7 @@ pub fn run_serve_traced<E: StreamEngine>(
     // Seed every tenant's arrival stream.
     for (t, spec) in tenants.iter().enumerate() {
         let n_queries = spec.queries.len();
+        let writes = spec.writes.as_ref();
         let mut client_states = Vec::new();
         match spec.process {
             ArrivalProcess::OpenPoisson { arrivals, mean_interarrival_ns } => {
@@ -917,15 +1124,15 @@ pub fn run_serve_traced<E: StreamEngine>(
                 let mut at = 0.0;
                 for _ in 0..arrivals {
                     at += exp_gap_ns(&mut rng, mean_interarrival_ns);
-                    let query = rng.gen_range(0..n_queries);
-                    server.create_request(t, query, None, at);
+                    let work = pick_work(&mut rng, n_queries, writes);
+                    server.create_request(t, work, None, at);
                 }
             }
             ArrivalProcess::Burst { arrivals, at_ns } => {
                 let mut rng = StdRng::seed_from_u64(stream_seed(cfg.seed, t as u64, 0));
                 for _ in 0..arrivals {
-                    let query = rng.gen_range(0..n_queries);
-                    server.create_request(t, query, None, at_ns);
+                    let work = pick_work(&mut rng, n_queries, writes);
+                    server.create_request(t, work, None, at_ns);
                 }
             }
             ArrivalProcess::Closed { clients, queries_per_client, mean_think_ns } => {
@@ -937,9 +1144,9 @@ pub fn run_serve_traced<E: StreamEngine>(
                     if st.remaining > 0 {
                         st.remaining -= 1;
                         let gap = exp_gap_ns(&mut st.rng, mean_think_ns);
-                        let query = st.rng.gen_range(0..n_queries);
+                        let work = pick_work(&mut st.rng, n_queries, writes);
                         client_states.push(st);
-                        server.create_request(t, query, Some(c), gap);
+                        server.create_request(t, work, Some(c), gap);
                     } else {
                         client_states.push(st);
                     }

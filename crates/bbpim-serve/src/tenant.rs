@@ -1,6 +1,7 @@
 //! Tenant specifications: who sends traffic, how it arrives, how much
 //! is allowed in, and what latency it was promised.
 
+use bbpim_core::mutation::Mutation;
 use bbpim_db::plan::Query;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -69,6 +70,28 @@ pub struct RateLimit {
     pub burst: f64,
 }
 
+/// Write traffic mixed into a tenant's request stream.
+///
+/// Each mutation in the set is applied to the cluster **once, at
+/// session start** (tenant order, then list order), fixing the state
+/// every query answers over; the arrival processes then replay the
+/// mutations' compiled write-phase chains as first-class requests —
+/// each write request rides the shared host channel and its ingest
+/// lane's module queue, charges the tenant's fair share, feeds the
+/// AIMD controller its SLO-normalised latency, and wears its lanes'
+/// cells. Write requests are never deadline-shed: durable work is not
+/// droppable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WriteMix {
+    /// The tenant's mutation set; arrival processes pick from it
+    /// uniformly, exactly as they pick queries.
+    pub mutations: Vec<Mutation>,
+    /// Probability an arrival is a write rather than a query. Must be
+    /// in `(0, 1]`; `1.0` makes a pure-write tenant (its query set may
+    /// then be empty).
+    pub write_frac: f64,
+}
+
 /// What the tenant was promised.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SloSpec {
@@ -92,6 +115,9 @@ pub struct TenantSpec {
     pub queries: Vec<Query>,
     /// How requests are generated.
     pub process: ArrivalProcess,
+    /// Optional write traffic mixed into the request stream
+    /// (HTAP-serving tenants).
+    pub writes: Option<WriteMix>,
     /// Optional token-bucket rate limit on admission eligibility.
     pub rate_limit: Option<RateLimit>,
     /// The latency promise.
@@ -110,8 +136,23 @@ impl TenantSpec {
     /// non-positive weight/targets/rates, or non-finite parameters.
     pub fn validate(&self) -> Result<(), ServeError> {
         let fail = |m: String| Err(ServeError::InvalidTenant(format!("{}: {m}", self.name)));
-        if self.queries.is_empty() {
-            return fail("empty query set".into());
+        match &self.writes {
+            None => {
+                if self.queries.is_empty() {
+                    return fail("empty query set".into());
+                }
+            }
+            Some(w) => {
+                if w.mutations.is_empty() {
+                    return fail("write mix with an empty mutation set".into());
+                }
+                if !(w.write_frac.is_finite() && w.write_frac > 0.0 && w.write_frac <= 1.0) {
+                    return fail(format!("write_frac must be in (0, 1], got {}", w.write_frac));
+                }
+                if self.queries.is_empty() && w.write_frac < 1.0 {
+                    return fail("empty query set needs write_frac = 1".into());
+                }
+            }
         }
         if !(self.weight.is_finite() && self.weight > 0.0) {
             return fail(format!("weight must be finite and positive, got {}", self.weight));
@@ -231,6 +272,7 @@ mod tests {
             name: "t".into(),
             queries: vec![q()],
             process: ArrivalProcess::OpenPoisson { arrivals: 4, mean_interarrival_ns: 100.0 },
+            writes: None,
             rate_limit: None,
             slo: SloSpec { p95_target_ns: 1_000.0, deadline_ns: None },
             weight: 1.0,
@@ -290,6 +332,28 @@ mod tests {
         let mut t = tenant();
         t.process = ArrivalProcess::OpenPoisson { arrivals: 1, mean_interarrival_ns: f64::NAN };
         assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validate_polices_the_write_mix() {
+        let m = Mutation::update().set("a", 1).build_unchecked();
+        let mut t = tenant();
+        t.writes = Some(WriteMix { mutations: vec![m.clone()], write_frac: 0.5 });
+        assert!(t.validate().is_ok());
+        // A pure writer may drop its query set — but only at frac 1.
+        t.writes = Some(WriteMix { mutations: vec![m.clone()], write_frac: 1.0 });
+        t.queries.clear();
+        assert!(t.validate().is_ok());
+        t.writes = Some(WriteMix { mutations: vec![m.clone()], write_frac: 0.5 });
+        assert!(t.validate().is_err(), "mixed traffic needs queries to mix");
+        let mut t = tenant();
+        t.writes = Some(WriteMix { mutations: vec![], write_frac: 0.5 });
+        assert!(t.validate().is_err());
+        for bad in [0.0, -0.1, 1.5, f64::NAN] {
+            let mut t = tenant();
+            t.writes = Some(WriteMix { mutations: vec![m.clone()], write_frac: bad });
+            assert!(t.validate().is_err(), "write_frac {bad} must be rejected");
+        }
     }
 
     #[test]

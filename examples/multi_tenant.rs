@@ -42,6 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             name: "interactive".into(),
             queries: vec![q[2].clone(), q[9].clone(), q[11].clone()],
             process: ArrivalProcess::OpenPoisson { arrivals: 60, mean_interarrival_ns: 250_000.0 },
+            writes: None,
             rate_limit: None,
             slo: SloSpec { p95_target_ns: 2.0e6, deadline_ns: None },
             weight: 2.0,
@@ -50,6 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             name: "bulk".into(),
             queries: vec![q[0].clone(), q[1].clone(), q[6].clone()],
             process: ArrivalProcess::OpenPoisson { arrivals: 60, mean_interarrival_ns: 30_000.0 },
+            writes: None,
             rate_limit: Some(RateLimit { rate_per_s: 12_000.0, burst: 6.0 }),
             slo: SloSpec { p95_target_ns: 20.0e6, deadline_ns: Some(6.0e6) },
             weight: 1.0,

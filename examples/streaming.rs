@@ -32,7 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
 
     for policy in AdmissionPolicy::all() {
-        let out = run_stream(&mut cluster, &workload, &SchedConfig { max_in_flight: 4, policy })?;
+        let out = run_stream(
+            &mut cluster,
+            &workload,
+            &SchedConfig { max_in_flight: 4, policy, ..SchedConfig::default() },
+        )?;
         let s = out.latency_summary();
         println!(
             "{:>4}: p50 {:>7.3} ms  p95 {:>7.3} ms  p99 {:>7.3} ms  |  {:>7.0} q/s  \

@@ -7,11 +7,11 @@
 //! cargo run --release --example update_maintenance
 //! ```
 
-use bbpim::db::plan::Atom;
+use bbpim::db::builder::col;
 use bbpim::db::ssb::{SsbDb, SsbParams};
 use bbpim::engine::engine::PimQueryEngine;
 use bbpim::engine::modes::EngineMode;
-use bbpim::engine::update::UpdateOp;
+use bbpim::engine::mutation::Mutation;
 use bbpim::sim::timeline::PhaseKind;
 use bbpim::sim::SimConfig;
 
@@ -33,12 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("customer {custkey} appears in {duplicates} pre-joined records");
 
     // UPDATE wide SET c_city = 'UNITED KI1' WHERE lo_custkey = 42
-    let op = UpdateOp {
-        filter: vec![Atom::Eq { attr: "lo_custkey".into(), value: custkey.into() }],
-        set_attr: "c_city".into(),
-        set_value: "UNITED KI1".into(),
-    };
-    let report = engine.update(&op)?;
+    let m = Mutation::update()
+        .filter(col("lo_custkey").eq(custkey))
+        .set("c_city", "UNITED KI1")
+        .build(engine.relation().schema())?;
+    let report = engine.mutate(&m)?;
     println!("\nUPDATE via Algorithm 1 (filter + PIM MUX):");
     println!("  records rewritten : {}", report.records_updated);
     println!("  simulated latency : {:.3} us", report.time_ns / 1e3);

@@ -4,6 +4,7 @@
 //! including UPDATE-then-query sequences.
 
 use bbpim::cluster::{ClusterEngine, Partitioner};
+use bbpim::db::builder::col;
 use bbpim::db::plan::{AggExpr, AggFunc, Atom, Query};
 use bbpim::db::ssb::{queries, SsbDb, SsbParams};
 use bbpim::db::stats;
@@ -11,7 +12,7 @@ use bbpim::db::Relation;
 use bbpim::engine::engine::PimQueryEngine;
 use bbpim::engine::groupby::calibration::CalibrationConfig;
 use bbpim::engine::modes::EngineMode;
-use bbpim::engine::update::UpdateOp;
+use bbpim::engine::mutation::Mutation;
 use bbpim::sim::SimConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -145,23 +146,23 @@ fn update_then_query_agrees_with_single_engine() {
         AggFunc::Sum,
         AggExpr::Attr("lo_extendedprice".into()),
     );
-    let op = UpdateOp {
-        filter: vec![Atom::Lt { attr: "lo_quantity".into(), value: 25u64.into() }],
-        set_attr: "d_year".into(),
-        set_value: 1998u64.into(),
-    };
+    let m = Mutation::update()
+        .filter(col("lo_quantity").lt(25u64))
+        .set("d_year", 1998u64)
+        .build(wide.schema())
+        .expect("update");
 
     // single-module reference
     let mut single =
         PimQueryEngine::new(SimConfig::default(), wide.clone(), EngineMode::OneXb).unwrap();
     single.calibrate(&CalibrationConfig::tiny_for_tests()).unwrap();
-    let single_updated = single.update(&op).unwrap().records_updated;
+    let single_updated = single.mutate(&m).unwrap().records_updated;
     let reference = single.run(&probe).unwrap().groups;
 
     for shards in SHARD_COUNTS {
         for p in partitioners(&probe.group_by) {
             let mut c = cluster(&wide, shards, &p);
-            let rep = c.update(&op).unwrap();
+            let rep = c.mutate(&m).unwrap();
             assert_eq!(rep.records_updated, single_updated, "{shards} shards {}", p.label());
             let out = c.run(&probe).unwrap();
             assert_eq!(out.groups, reference, "{shards} shards {}", p.label());

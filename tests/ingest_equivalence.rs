@@ -1,0 +1,321 @@
+//! HTAP ingest equivalence: an interleaved query/mutation stream must
+//! answer every query bit-identically to a prefix-replay oracle — a
+//! fresh engine that applies exactly the first
+//! [`QueryCompletion::epoch`] arrived mutations and then runs the
+//! query — on both storage models (pre-joined wide cluster and
+//! normalized star cluster), across shard counts and contention
+//! settings. On top of snapshot equivalence: the interleaving must be
+//! a pure function of the seed, and a full ingest buffer must stall
+//! arrivals (backpressure) without deadlocking the stream.
+
+use bbpim::cluster::{ClusterEngine, ClusterExecution, Partitioner};
+use bbpim::db::builder::col;
+use bbpim::db::plan::Query;
+use bbpim::db::ssb::{queries, SsbDb, SsbParams};
+use bbpim::db::Relation;
+use bbpim::engine::groupby::calibration::{run_calibration, CalibrationConfig};
+use bbpim::engine::groupby::cost_model::GroupByModel;
+use bbpim::engine::modes::EngineMode;
+use bbpim::engine::mutation::Mutation;
+use bbpim::join::StarCluster;
+use bbpim::sched::{
+    run_stream, MutationArrival, QueryCompletion, SchedConfig, StreamOutcome, Workload,
+};
+use bbpim::sim::SimConfig;
+
+/// The ingest matrix runs the interesting ends of the shard range; the
+/// pure-query matrix in `streaming_equivalence.rs` covers 8.
+const SHARD_COUNTS: [usize; 2] = [1, 4];
+
+/// Mean interarrival for the mixed stream: half the pure-query suite's
+/// 200µs — twice the load, as the acceptance bar demands — so queries
+/// genuinely queue behind mutation write phases.
+const MEAN_INTERARRIVAL_NS: f64 = 100_000.0;
+
+fn ssb() -> SsbDb {
+    SsbDb::generate(&SsbParams::tiny_for_tests())
+}
+
+/// One calibration sweep shared by every wide cluster in this file.
+fn shared_model() -> GroupByModel {
+    let (_, model) = run_calibration(
+        &SimConfig::default(),
+        EngineMode::OneXb,
+        &CalibrationConfig::tiny_for_tests(),
+    )
+    .expect("calibration");
+    model
+}
+
+fn wide_cluster(wide: &Relation, shards: usize, model: &GroupByModel) -> ClusterEngine {
+    let mut c = ClusterEngine::new(
+        SimConfig::default(),
+        wide.clone(),
+        EngineMode::OneXb,
+        shards,
+        Partitioner::range_by_attr("d_year"),
+    )
+    .expect("cluster construction");
+    c.set_model(model.clone());
+    c
+}
+
+fn star_cluster(db: &SsbDb, shards: usize) -> StarCluster {
+    StarCluster::new(
+        SimConfig::small_for_tests(),
+        db,
+        EngineMode::OneXb,
+        shards,
+        Partitioner::RoundRobin,
+    )
+    .expect("star cluster construction")
+}
+
+/// Probes that the mutation sets below visibly perturb: Q1.1 filters
+/// on `d_year`/`lo_discount`/`lo_quantity`, Q2.1 groups by `d_year`,
+/// Q3.1 aggregates `lo_revenue` by year.
+fn probe_queries() -> Vec<Query> {
+    ["Q1.1", "Q2.1", "Q3.1"]
+        .iter()
+        .map(|id| queries::standard_query(id).expect("standard query"))
+        .collect()
+}
+
+/// The wide model's mutation set: a point UPDATE, a DNF (OR-filtered)
+/// UPDATE, and an INSERT replaying an existing row (already encoded,
+/// so it validates against the wide schema).
+fn wide_mutations(wide: &Relation) -> Vec<Mutation> {
+    vec![
+        Mutation::update()
+            .filter(col("d_year").eq(1993u64))
+            .set("lo_discount", 2u64)
+            .build(wide.schema())
+            .expect("point update"),
+        Mutation::update()
+            .filter(col("d_year").eq(1994u64).or(col("d_year").eq(1995u64)))
+            .set("lo_quantity", 10u64)
+            .build(wide.schema())
+            .expect("DNF update"),
+        Mutation::insert().row(wide.row(0)).build(wide.schema()).expect("insert"),
+    ]
+}
+
+/// The star model's mutation set: a fact UPDATE, a dimension UPDATE
+/// (one small module rewrite that invalidates cached semijoin plans),
+/// and a two-row fact INSERT.
+fn star_mutations(db: &SsbDb) -> Vec<Mutation> {
+    let lo = &db.lineorder;
+    vec![
+        Mutation::update()
+            .filter(col("lo_discount").eq(3u64))
+            .set("lo_discount", 4u64)
+            .build(lo.schema())
+            .expect("fact update"),
+        Mutation::update()
+            .filter(col("d_year").eq(1994u64))
+            .set("d_year", 1993u64)
+            .build_unchecked(),
+        Mutation::insert().row(lo.row(0)).row(lo.row(1)).build(lo.schema()).expect("fact insert"),
+    ]
+}
+
+/// A storage model the prefix-replay oracle can drive: apply one
+/// mutation, answer one query. Implemented by both engines under test.
+trait Replay {
+    fn apply(&mut self, m: &Mutation);
+    fn answer(&mut self, q: &Query) -> ClusterExecution;
+}
+
+impl Replay for ClusterEngine {
+    fn apply(&mut self, m: &Mutation) {
+        self.mutate(m).expect("replay mutate");
+    }
+    fn answer(&mut self, q: &Query) -> ClusterExecution {
+        self.run(q).expect("replay query")
+    }
+}
+
+impl Replay for StarCluster {
+    fn apply(&mut self, m: &Mutation) {
+        self.mutate(m).expect("replay mutate");
+    }
+    fn answer(&mut self, q: &Query) -> ClusterExecution {
+        self.run(q).expect("replay query")
+    }
+}
+
+/// Every streamed answer must equal a fresh engine that replayed
+/// exactly the first `epoch` arrived mutations. Completions are walked
+/// in epoch order so one replay engine serves the whole stream.
+fn assert_prefix_replay(
+    label: &str,
+    out: &StreamOutcome,
+    workload: &Workload,
+    fresh: &mut dyn Replay,
+) {
+    let muts = workload.arrived_mutations();
+    let mut by_epoch: Vec<&QueryCompletion> = out.completions.iter().collect();
+    by_epoch.sort_by_key(|c| c.epoch);
+    let mut applied = 0usize;
+    for c in by_epoch {
+        assert!(c.epoch <= muts.len(), "{label}: epoch beyond the arrived-mutation count");
+        while applied < c.epoch {
+            fresh.apply(&muts[applied]);
+            applied += 1;
+        }
+        let q = &workload.queries()[workload.arrivals()[c.arrival].query];
+        let oracle = fresh.answer(q);
+        assert_eq!(
+            out.executions[c.arrival].groups, oracle.groups,
+            "{label}: {} (arrival {}, epoch {}) diverged from its prefix-replay oracle",
+            c.query_id, c.arrival, c.epoch
+        );
+    }
+}
+
+/// The mixed stream both models run: one seeded interleaving with at
+/// least 20% mutation arrivals.
+fn mixed_workload(qs: Vec<Query>, muts: Vec<Mutation>) -> Workload {
+    let w = Workload::poisson_htap(qs, muts, 40, 0.25, MEAN_INTERARRIVAL_NS, 0xA11_CE0);
+    let total = w.arrivals().len() + w.mutation_arrivals().len();
+    assert!(
+        w.mutation_arrivals().len() * 5 >= total,
+        "seed must draw >= 20% mutations ({} of {total})",
+        w.mutation_arrivals().len()
+    );
+    w
+}
+
+#[test]
+fn mixed_stream_matches_prefix_replay_on_the_wide_model() {
+    let db = ssb();
+    let wide = db.prejoin();
+    let model = shared_model();
+    let workload = mixed_workload(probe_queries(), wide_mutations(&wide));
+    for shards in SHARD_COUNTS {
+        for contention in [false, true] {
+            let mut c = wide_cluster(&wide, shards, &model);
+            c.set_contention(contention);
+            let out = run_stream(&mut c, &workload, &SchedConfig::default())
+                .unwrap_or_else(|e| panic!("{shards} shards, contention {contention}: {e}"));
+            assert_eq!(out.completions.len(), workload.arrivals().len());
+            assert_eq!(out.mutation_completions.len(), workload.mutation_arrivals().len());
+            // the stream must have genuinely written, not no-opped
+            let written: u64 = out
+                .mutation_completions
+                .iter()
+                .map(|m| m.records_updated + m.records_inserted)
+                .sum();
+            assert!(written > 0, "mutations must land records");
+            assert!(out.shard_cell_writes.iter().sum::<u64>() > 0, "ingest must wear cells");
+            let mut fresh = wide_cluster(&wide, shards, &model);
+            assert_prefix_replay(
+                &format!("wide, {shards} shards, contention {contention}"),
+                &out,
+                &workload,
+                &mut fresh,
+            );
+        }
+    }
+}
+
+#[test]
+fn mixed_stream_matches_prefix_replay_on_the_star_model() {
+    let db = ssb();
+    let workload = mixed_workload(probe_queries(), star_mutations(&db));
+    for shards in SHARD_COUNTS {
+        for contention in [false, true] {
+            let mut c = star_cluster(&db, shards);
+            c.set_contention(contention);
+            let out = run_stream(&mut c, &workload, &SchedConfig::default())
+                .unwrap_or_else(|e| panic!("{shards} shards, contention {contention}: {e}"));
+            assert_eq!(out.completions.len(), workload.arrivals().len());
+            assert_eq!(out.mutation_completions.len(), workload.mutation_arrivals().len());
+            // lanes extend past the fact shards: dimension modules get
+            // their own ingest lanes, and the dimension UPDATE must
+            // wear one of them
+            assert_eq!(out.shard_cell_writes.len(), c.ingest_lanes());
+            assert!(
+                out.shard_cell_writes[shards..].iter().sum::<u64>() > 0,
+                "the dimension UPDATE must wear a dimension-module lane"
+            );
+            let mut fresh = star_cluster(&db, shards);
+            assert_prefix_replay(
+                &format!("star, {shards} shards, contention {contention}"),
+                &out,
+                &workload,
+                &mut fresh,
+            );
+        }
+    }
+}
+
+#[test]
+fn the_interleaving_is_a_pure_function_of_the_seed() {
+    let db = ssb();
+    let wide = db.prejoin();
+    let model = shared_model();
+    let workload = mixed_workload(probe_queries(), wide_mutations(&wide));
+    let run = |w: &Workload| {
+        let mut c = wide_cluster(&wide, 4, &model);
+        run_stream(&mut c, w, &SchedConfig::default()).expect("stream")
+    };
+    let a = run(&workload);
+    let b = run(&workload);
+    assert_eq!(a.timeline, b.timeline, "the event timeline must be deterministic");
+    assert_eq!(a.completions, b.completions);
+    assert_eq!(a.mutation_completions, b.mutation_completions);
+    assert_eq!(a.shard_cell_writes, b.shard_cell_writes);
+    assert_eq!(a.ingest_stalls, b.ingest_stalls);
+    // and a different seed draws a different interleaving
+    let other = Workload::poisson_htap(
+        probe_queries(),
+        wide_mutations(&wide),
+        40,
+        0.25,
+        MEAN_INTERARRIVAL_NS,
+        0xB0_771E,
+    );
+    assert_ne!(
+        workload.mutation_arrivals(),
+        other.mutation_arrivals(),
+        "two seeds, one trace: the interleaving would not be seeded at all"
+    );
+}
+
+#[test]
+fn a_full_ingest_buffer_stalls_without_deadlock() {
+    let db = ssb();
+    let wide = db.prejoin();
+    let model = shared_model();
+    // every mutation routes to the same range-partitioned lane
+    // (d_year = 1993), and they arrive nose-to-tail: with a one-deep
+    // buffer the later arrivals must stall at the door
+    let m = Mutation::update()
+        .filter(col("d_year").eq(1993u64))
+        .set("lo_discount", 5u64)
+        .build(wide.schema())
+        .expect("update");
+    let q = queries::standard_query("Q1.1").expect("probe");
+    let workload = Workload::with_mutations(
+        vec![q.clone()],
+        vec![bbpim::sched::Arrival { at_ns: 0.0, query: 0 }],
+        vec![m.clone()],
+        (0..4).map(|k| MutationArrival { at_ns: k as f64, mutation: 0 }).collect(),
+    )
+    .expect("workload");
+    let cfg = SchedConfig { ingest_buffer: 1, ..SchedConfig::default() };
+    let mut c = wide_cluster(&wide, 4, &model);
+    let out = run_stream(&mut c, &workload, &cfg).expect("backpressure must not deadlock");
+    assert!(out.ingest_stalls > 0, "a one-deep buffer under a burst must stall");
+    assert!(out.ingest_stall_ns > 0.0);
+    assert_eq!(out.mutation_completions.len(), 4, "every stalled mutation still completes");
+    assert_eq!(out.completions.len(), 1, "the query still completes");
+    // admissions serialised: epochs are a permutation-free 1..=4
+    let mut epochs: Vec<usize> = out.mutation_completions.iter().map(|m| m.epoch).collect();
+    epochs.sort_unstable();
+    assert_eq!(epochs, vec![1, 2, 3, 4]);
+    // and the stalled stream still answers from a well-defined prefix
+    let mut fresh = wide_cluster(&wide, 4, &model);
+    assert_prefix_replay("backpressure", &out, &workload, &mut fresh);
+}

@@ -8,12 +8,13 @@
 //! compressed dimension bitmap replaces per-disjunct wide-mask traffic.
 
 use bbpim::cluster::{ClusterEngine, ClusterReport, Partitioner};
-use bbpim::db::plan::{Atom, Query};
+use bbpim::db::builder::col;
+use bbpim::db::plan::Query;
 use bbpim::db::ssb::{queries, SsbDb, SsbParams};
 use bbpim::db::stats;
 use bbpim::engine::groupby::calibration::CalibrationConfig;
 use bbpim::engine::modes::EngineMode;
-use bbpim::engine::update::UpdateOp;
+use bbpim::engine::mutation::Mutation;
 use bbpim::join::StarCluster;
 use bbpim::monet::MonetEngine;
 use bbpim::sim::SimConfig;
@@ -113,11 +114,10 @@ fn dimension_update_then_query_agrees_with_patched_oracle() {
     let db = db();
     // move 1994 into 1993 on the *date dimension*: one small module
     // rewrite instead of a replicated-column rewrite on every shard
-    let op = UpdateOp {
-        filter: vec![Atom::Eq { attr: "d_year".into(), value: 1994u64.into() }],
-        set_attr: "d_year".into(),
-        set_value: 1993u64.into(),
-    };
+    let m = Mutation::update()
+        .filter(col("d_year").eq(1994u64))
+        .set("d_year", 1993u64)
+        .build_unchecked();
     let probe = queries::standard_query("Q1.1").unwrap(); // d_year = 1993
     let grouped = queries::standard_query("Q2.1").unwrap(); // groups by d_year
 
@@ -132,7 +132,7 @@ fn dimension_update_then_query_agrees_with_patched_oracle() {
 
     for shards in SHARD_COUNTS {
         let mut c = star(&db, EngineMode::OneXb, shards);
-        let rep = c.update(&op).unwrap();
+        let rep = c.mutate(&m).unwrap();
         assert_eq!(rep.records_updated, 365, "{shards} shards");
         assert_eq!(rep.per_shard.len(), 1, "a dimension UPDATE touches one module");
         assert_eq!(rep.shards_pruned, 0);

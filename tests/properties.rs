@@ -8,6 +8,7 @@
 //! minimal `rand` stand-in. Each case is a pure function of the loop
 //! index, so failures reproduce exactly.
 
+use bbpim::db::builder::col;
 use bbpim::db::plan::{AggExpr, AggFunc, Atom, Query};
 use bbpim::db::schema::{Attribute, Schema};
 use bbpim::db::stats;
@@ -15,7 +16,7 @@ use bbpim::db::Relation;
 use bbpim::engine::engine::PimQueryEngine;
 use bbpim::engine::groupby::calibration::CalibrationConfig;
 use bbpim::engine::modes::EngineMode;
-use bbpim::engine::update::UpdateOp;
+use bbpim::engine::mutation::Mutation;
 use bbpim::monet::MonetEngine;
 use bbpim::sim::SimConfig;
 use rand::rngs::StdRng;
@@ -139,12 +140,12 @@ fn update_via_mux_equals_host_rewrite() {
         let mut engine =
             PimQueryEngine::new(SimConfig::small_for_tests(), rel.clone(), EngineMode::OneXb)
                 .unwrap();
-        let op = UpdateOp {
-            filter: vec![Atom::Lt { attr: "lo_a".into(), value: threshold.into() }],
-            set_attr: "d_g".into(),
-            set_value: new_value.into(),
-        };
-        let report = engine.update(&op).unwrap();
+        let m = Mutation::update()
+            .filter(col("lo_a").lt(threshold))
+            .set("d_g", new_value)
+            .build(rel.schema())
+            .expect("update");
+        let report = engine.mutate(&m).unwrap();
 
         // host-side reference rewrite
         let mut reference = rel.clone();

@@ -6,14 +6,17 @@
 //! planner was built for.
 
 use bbpim::cluster::{ClusterEngine, Partitioner};
+use bbpim::db::builder::col;
 use bbpim::db::plan::{AggExpr, AggFunc, Atom, Query};
 use bbpim::db::ssb::{queries, SsbDb, SsbParams};
 use bbpim::db::stats;
 use bbpim::db::Relation;
 use bbpim::engine::groupby::calibration::CalibrationConfig;
 use bbpim::engine::modes::EngineMode;
-use bbpim::engine::update::UpdateOp;
+use bbpim::engine::mutation::Mutation;
 use bbpim::sim::SimConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 const SHARD_COUNTS: [usize; 3] = [1, 4, 8];
 
@@ -119,11 +122,11 @@ fn update_then_query_keeps_pruning_sound() {
     );
     // Moves records *into* d_year = 1998: range shards that never held
     // 1998 must widen their zones or the probe would miss the records.
-    let op = UpdateOp {
-        filter: vec![Atom::Lt { attr: "lo_quantity".into(), value: 25u64.into() }],
-        set_attr: "d_year".into(),
-        set_value: 1998u64.into(),
-    };
+    let m = Mutation::update()
+        .filter(col("lo_quantity").lt(25u64))
+        .set("d_year", 1998u64)
+        .build(wide.schema())
+        .expect("update");
 
     // host-side reference: apply the update to a relation copy
     let mut reference = wide.clone();
@@ -143,10 +146,90 @@ fn update_then_query_keeps_pruning_sound() {
     for shards in SHARD_COUNTS {
         for p in partitioners(&probe.group_by) {
             let mut c = cluster(&wide, shards, &p);
-            let rep = c.update(&op).unwrap();
+            let rep = c.mutate(&m).unwrap();
             assert_eq!(rep.records_updated, expected_updates, "{shards} shards {}", p.label());
             let out = c.run(&probe).unwrap();
             assert_eq!(out.groups, oracle, "{shards} shards {}", p.label());
+        }
+    }
+}
+
+/// Property test for OR-filtered (DNF) UPDATE widening: random
+/// disjunctive filters and SET targets, applied to a range-partitioned
+/// cluster, must leave every zone map wide enough that a pruned probe
+/// over the SET attribute still matches a host-side rewrite. A widening
+/// bug that unions only one disjunct's interval (or widens the wrong
+/// attribute) makes the pruned probe silently drop the moved records.
+#[test]
+fn dnf_update_then_query_keeps_pruning_sound() {
+    let wide = ssb_wide();
+    let years: Vec<u64> = {
+        let y = wide.schema().index_of("d_year").unwrap();
+        let mut seen: Vec<u64> = (0..wide.len()).map(|r| wide.value(r, y)).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen
+    };
+    for case in 0..12u64 {
+        let mut rng = StdRng::seed_from_u64(0xD9F_000 + case);
+        // two-to-three-branch DNF over distinct years, moved to a
+        // random (possibly brand-new) target year
+        let mut pick = years.clone();
+        let branches = rng.gen_range(2usize..=3);
+        let mut chosen = Vec::with_capacity(branches);
+        for _ in 0..branches {
+            chosen.push(pick.remove(rng.gen_range(0..pick.len())));
+        }
+        let target = years[0] + rng.gen_range(0u64..=7);
+        let qty_cap = rng.gen_range(5u64..=40);
+        let mut filter = col("d_year").eq(chosen[0]).and(col("lo_quantity").lt(qty_cap));
+        for &y in &chosen[1..] {
+            filter = filter.or(col("d_year").eq(y).and(col("lo_quantity").lt(qty_cap)));
+        }
+        let m = Mutation::update()
+            .filter(filter)
+            .set("d_year", target)
+            .build(wide.schema())
+            .expect("DNF update");
+
+        // host-side reference rewrite
+        let mut reference = wide.clone();
+        let (y, qty) = (
+            reference.schema().index_of("d_year").unwrap(),
+            reference.schema().index_of("lo_quantity").unwrap(),
+        );
+        let mut expected = 0u64;
+        for row in 0..reference.len() {
+            let hit =
+                chosen.contains(&reference.value(row, y)) && reference.value(row, qty) < qty_cap;
+            if hit {
+                reference.set_value(row, y, target).unwrap();
+                expected += 1;
+            }
+        }
+        let probe = Query::single(
+            format!("dnf-probe-{case}"),
+            vec![Atom::Eq { attr: "d_year".into(), value: target.into() }],
+            vec!["d_year".into()],
+            AggFunc::Sum,
+            AggExpr::Attr("lo_extendedprice".into()),
+        );
+        let oracle = stats::run_oracle(&probe, &reference).expect("oracle");
+
+        for shards in [4usize, 8] {
+            let mut c = cluster(&wide, shards, &Partitioner::range_by_attr("d_year"));
+            let rep = c.mutate(&m).unwrap();
+            assert_eq!(
+                rep.records_updated,
+                expected,
+                "case {case}, {shards} shards: {} -> {target} under qty < {qty_cap}",
+                chosen.iter().map(ToString::to_string).collect::<Vec<_>>().join("|"),
+            );
+            let out = c.run(&probe).unwrap();
+            assert_eq!(
+                out.groups, oracle,
+                "case {case}, {shards} shards: pruned post-DNF-update answer diverged",
+            );
         }
     }
 }

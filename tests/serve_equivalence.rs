@@ -69,6 +69,7 @@ fn tenants() -> Vec<TenantSpec> {
             name: "probes".into(),
             queries: vec![q[2].clone(), q[9].clone()],
             process: ArrivalProcess::OpenPoisson { arrivals: 10, mean_interarrival_ns: 150_000.0 },
+            writes: None,
             rate_limit: None,
             slo: SloSpec { p95_target_ns: 50.0e6, deadline_ns: None },
             weight: 2.0,
@@ -77,6 +78,7 @@ fn tenants() -> Vec<TenantSpec> {
             name: "burst".into(),
             queries: vec![q[0].clone(), q[6].clone()],
             process: ArrivalProcess::Burst { arrivals: 8, at_ns: 400_000.0 },
+            writes: None,
             rate_limit: Some(RateLimit { rate_per_s: 5_000.0, burst: 2.0 }),
             slo: SloSpec { p95_target_ns: 80.0e6, deadline_ns: Some(2.0e6) },
             weight: 1.0,
@@ -89,6 +91,7 @@ fn tenants() -> Vec<TenantSpec> {
                 queries_per_client: 2,
                 mean_think_ns: 100_000.0,
             },
+            writes: None,
             rate_limit: None,
             slo: SloSpec { p95_target_ns: 50.0e6, deadline_ns: None },
             weight: 1.0,

@@ -58,8 +58,12 @@ fn streamed_equals_batch_equals_oracle_all_shard_counts_and_policies() {
         let mut c = cluster(&wide, shards);
         let batch = c.run_batch(&workload.arrived_queries()).expect("batch");
         for policy in AdmissionPolicy::all() {
-            let out = run_stream(&mut c, &workload, &SchedConfig { max_in_flight: 3, policy })
-                .unwrap_or_else(|e| panic!("{shards} shards {}: {e}", policy.label()));
+            let out = run_stream(
+                &mut c,
+                &workload,
+                &SchedConfig { max_in_flight: 3, policy, ..SchedConfig::default() },
+            )
+            .unwrap_or_else(|e| panic!("{shards} shards {}: {e}", policy.label()));
             assert_eq!(out.completions.len(), workload.len());
             assert_eq!(out.executions.len(), workload.len());
             for ((streamed, batched), oracle) in
@@ -86,8 +90,12 @@ fn same_seed_reproduces_timeline_and_latencies_exactly() {
     for policy in AdmissionPolicy::all() {
         let run = || {
             let mut c = cluster(&wide, 4);
-            run_stream(&mut c, &workload, &SchedConfig { max_in_flight: 2, policy })
-                .expect("stream")
+            run_stream(
+                &mut c,
+                &workload,
+                &SchedConfig { max_in_flight: 2, policy, ..SchedConfig::default() },
+            )
+            .expect("stream")
         };
         let a = run();
         let b = run();
@@ -150,7 +158,12 @@ fn admission_policies_change_order_not_answers() {
     let workload = Workload::poisson(queries::standard_queries(), 16, 50_000.0, 7);
     let run = |policy| {
         let mut c = cluster(&wide, 4);
-        run_stream(&mut c, &workload, &SchedConfig { max_in_flight: 1, policy }).expect("stream")
+        run_stream(
+            &mut c,
+            &workload,
+            &SchedConfig { max_in_flight: 1, policy, ..SchedConfig::default() },
+        )
+        .expect("stream")
     };
     let fifo = run(AdmissionPolicy::Fifo);
     let scsf = run(AdmissionPolicy::ShortestCandidateFirst);
